@@ -1,0 +1,136 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! batched vs per-pair GEMM, the data-layout permutation cost, the
+//! exhaustive tile search, the Π kernel variants, and the windowed GEMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qt_bench::{bench_params, BenchFixture};
+use qt_core::params::SimParams;
+use qt_core::sse::{self, SseVariant};
+use qt_linalg::{gemm, Complex64, Matrix, Tensor};
+use qt_model::optimal_tiling;
+use rand::{Rng as _, SeedableRng};
+use std::hint::black_box;
+
+fn bench_batched_vs_loop(c: &mut Criterion) {
+    let mut r = rand::rngs::StdRng::seed_from_u64(5);
+    let (no, batch) = (8usize, 512usize);
+    let nn = no * no;
+    let a: Vec<Complex64> = (0..batch * nn)
+        .map(|_| qt_linalg::c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0)))
+        .collect();
+    let b: Vec<Complex64> = a.iter().rev().cloned().collect();
+    let mut group = c.benchmark_group("ablation_batched_gemm");
+    group.sample_size(20);
+    group.bench_function("batched_gemm", |bch| {
+        bch.iter(|| {
+            let mut out = vec![Complex64::ZERO; batch * nn];
+            gemm::batched_gemm_acc(no, no, no, batch, &a, &b, &mut out);
+            black_box(out)
+        })
+    });
+    group.bench_function("loop_of_matrix_matmuls", |bch| {
+        bch.iter(|| {
+            let mut acc = Matrix::zeros(no, no);
+            for t in 0..batch {
+                let am = Matrix::from_vec(no, no, a[t * nn..(t + 1) * nn].to_vec());
+                let bm = Matrix::from_vec(no, no, b[t * nn..(t + 1) * nn].to_vec());
+                acc += &am.matmul(&bm);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_layout_permutation(c: &mut Criterion) {
+    // The Fig. 10c data-layout transformation is a one-off O(data) cost
+    // amortized over the kernel; measure it against one SSE execution.
+    let fx = BenchFixture::new(bench_params());
+    let mut group = c.benchmark_group("ablation_data_layout");
+    group.sample_size(10);
+    group.bench_function("g_tensor_permute", |b| {
+        b.iter(|| black_box(fx.g_lesser.permuted(&[2, 0, 1, 3, 4])))
+    });
+    group.finish();
+}
+
+fn bench_tile_search(c: &mut Criterion) {
+    // §4.1: "the search completes in just a few seconds" for ~10^6 combos;
+    // ours scans divisor pairs for each process count.
+    let p = SimParams::paper_si_4864(21);
+    let mut group = c.benchmark_group("ablation_tile_search");
+    group.sample_size(10);
+    group.bench_function("optimal_tiling_21kz_21504procs", |b| {
+        b.iter(|| black_box(optimal_tiling(&p, 21504)))
+    });
+    group.finish();
+}
+
+fn bench_pi_variants(c: &mut Criterion) {
+    let fx = BenchFixture::new(SimParams {
+        nkz: 2,
+        nqz: 2,
+        ne: 16,
+        nw: 3,
+        na: 16,
+        nb: 4,
+        norb: 3,
+        bnum: 4,
+    });
+    let mut group = c.benchmark_group("ablation_pi_kernel");
+    group.sample_size(10);
+    for (name, v) in [
+        ("pi_reference", SseVariant::Reference),
+        ("pi_dace", SseVariant::Dace),
+    ] {
+        let inputs = fx.sse_inputs();
+        group.bench_function(name, |b| b.iter(|| black_box(sse::pi(&inputs, v))));
+    }
+    group.finish();
+}
+
+fn bench_tensor_inner_access(c: &mut Criterion) {
+    // Contiguous inner-slice access vs per-element indexing — the reason
+    // the transformed layout wins.
+    let t = Tensor::zeros(&[8, 64, 32, 4, 4]);
+    let mut group = c.benchmark_group("ablation_tensor_access");
+    group.bench_function("inner_slice_sum", |b| {
+        b.iter(|| {
+            let mut acc = Complex64::ZERO;
+            for k in 0..8 {
+                for e in 0..64 {
+                    for z in t.inner(&[k, e, 7]) {
+                        acc += *z;
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("per_element_get", |b| {
+        b.iter(|| {
+            let mut acc = Complex64::ZERO;
+            for k in 0..8 {
+                for e in 0..64 {
+                    for i in 0..4 {
+                        for j in 0..4 {
+                            acc += t.get(&[k, e, 7, i, j]);
+                        }
+                    }
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batched_vs_loop,
+    bench_layout_permutation,
+    bench_tile_search,
+    bench_pi_variants,
+    bench_tensor_inner_access
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 6: sparse vs dense 3-matrix multiplication in RGF
+//! (`F[n] @ gR[n+1] @ E[n+1]`) — Dense-MM vs CSRMM vs CSRGEMM.
+//!
+//! The paper measured 203.59 / 47.06 / 93.02 ms on a P100 with cuSPARSE;
+//! the reproduction checks the *ordering* and rough ratios on CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qt_bench::{table6_csrgemm, table6_csrmm, table6_dense_mm, table6_operands};
+use std::hint::black_box;
+
+fn bench_table6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_rgf_triple_product");
+    group.sample_size(10);
+    for &n in &[128usize, 256] {
+        let ops = table6_operands(n, 0.06, 11);
+        group.bench_with_input(BenchmarkId::new("dense_mm", n), &ops, |b, ops| {
+            b.iter(|| black_box(table6_dense_mm(ops)))
+        });
+        group.bench_with_input(BenchmarkId::new("csrmm", n), &ops, |b, ops| {
+            b.iter(|| black_box(table6_csrmm(ops)))
+        });
+        group.bench_with_input(BenchmarkId::new("csrgemm", n), &ops, |b, ops| {
+            b.iter(|| black_box(table6_csrgemm(ops)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6);
+criterion_main!(benches);

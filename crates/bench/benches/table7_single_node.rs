@@ -1,0 +1,62 @@
+//! Table 7: single-node runtime of the GF and SSE phases per
+//! implementation variant (OMEN / "Python" reference / DaCe), at reduced
+//! scale. The paper reports 965.45 / 30,560 / 96.79 s for SSE; here the
+//! three variants run the *same* contraction in the same binary, so the
+//! measured gap isolates loop structure, allocation behavior, and batching
+//! (the interpreter overhead of the real Python row has no analogue).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qt_bench::{bench_params, BenchFixture};
+use qt_core::gf;
+use qt_core::sse::{self, SseVariant};
+use std::hint::black_box;
+
+fn bench_table7(c: &mut Criterion) {
+    let fx = BenchFixture::new(bench_params());
+    let mut group = c.benchmark_group("table7_single_node");
+    group.sample_size(10);
+    group.bench_function("gf_phase_electrons", |b| {
+        b.iter(|| {
+            black_box(
+                gf::electron_gf_phase(
+                    &fx.dev,
+                    &fx.em,
+                    &fx.p,
+                    &fx.grids,
+                    &gf::ElectronSelfEnergy::zeros(&fx.p),
+                    &fx.cfg,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("gf_phase_phonons", |b| {
+        b.iter(|| {
+            black_box(
+                gf::phonon_gf_phase(
+                    &fx.dev,
+                    &fx.pm,
+                    &fx.p,
+                    &fx.grids,
+                    &gf::PhononSelfEnergy::zeros(&fx.p),
+                    &fx.cfg,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    for (name, variant) in [
+        ("sse_reference_python_row", SseVariant::Reference),
+        ("sse_omen_row", SseVariant::Omen),
+        ("sse_dace_row", SseVariant::Dace),
+    ] {
+        let inputs = fx.sse_inputs();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(sse::sigma(&inputs, variant)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table7);
+criterion_main!(benches);

@@ -1,0 +1,365 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p qt-bench --bin reproduce -- all
+//! cargo run --release -p qt-bench --bin reproduce -- table4
+//! ```
+//!
+//! Closed-form and model results are produced at the paper's full
+//! parameters; timed kernel results run at a reduced scale (documented per
+//! section) and report the *shape* (ratios, orderings, crossovers).
+
+use qt_bench::{bench_params, table6_csrgemm, table6_csrmm, table6_dense_mm, table6_operands, BenchFixture};
+use qt_core::flops;
+use qt_core::params::SimParams;
+use qt_core::sse::{self, SseVariant};
+use qt_dist::volume;
+use qt_model::scaling::{self, Variant};
+use qt_model::{optimal_tiling, PIZ_DAINT, SUMMIT};
+use std::time::Instant;
+
+const TIB: f64 = (1u64 << 40) as f64;
+const PF: f64 = 1e15;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let all = which == "all";
+    if all || which == "table1" {
+        table1();
+    }
+    if all || which == "table3" {
+        table3();
+    }
+    if all || which == "table4" {
+        table4();
+    }
+    if all || which == "table5" {
+        table5();
+    }
+    if all || which == "table6" {
+        table6();
+    }
+    if all || which == "table7" {
+        table7();
+    }
+    if all || which == "table8" {
+        table8();
+    }
+    if all || which == "fig13" {
+        fig13();
+    }
+    if all || which == "fig1d" {
+        fig1d();
+    }
+    if all || which == "sdfg" {
+        sdfg_figs();
+    }
+}
+
+fn table1() {
+    println!("== Table 1: simulation parameters (validated ranges) ==");
+    for (name, p) in [
+        ("Si 4,864 atoms (Nkz=7)", SimParams::paper_si_4864(7)),
+        ("Si 10,240 atoms (Nkz=21)", SimParams::paper_si_10240(21)),
+    ] {
+        p.validate_paper_ranges().expect("within Table 1 ranges");
+        println!(
+            "  {name}: NA={} NB={} Norb={} NE={} Nw={} Nkz={} (valid)",
+            p.na, p.nb, p.norb, p.ne, p.nw, p.nkz
+        );
+    }
+    println!();
+}
+
+fn table3() {
+    println!("== Table 3: single-iteration computational load (Pflop) ==");
+    println!(
+        "  {:<6} | {:>9} {:>9} | {:>9} {:>9} | {:>10} {:>10} | {:>10} {:>10}",
+        "Nkz", "CI", "paper", "RGF", "paper", "SSE(OMEN)", "paper", "SSE(DaCe)", "paper"
+    );
+    let paper = [
+        (3usize, 8.45, 52.95, 24.41, 12.38),
+        (5, 14.12, 88.25, 67.80, 34.19),
+        (7, 19.77, 123.55, 132.89, 66.85),
+        (9, 25.42, 158.85, 219.67, 110.36),
+        (11, 31.06, 194.15, 328.15, 164.71),
+    ];
+    for (nkz, ci, rgf, so, sd) in paper {
+        let p = SimParams::paper_si_4864(nkz);
+        println!(
+            "  {:<6} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:>10.2} {:>10.2} | {:>10.2} {:>10.2}",
+            nkz,
+            flops::contour_flops(&p) / PF,
+            ci,
+            flops::rgf_flops(&p) / PF,
+            rgf,
+            flops::sse_omen_flops(&p) / PF,
+            so,
+            flops::sse_dace_flops(&p) / PF,
+            sd
+        );
+    }
+    println!("  (SSE columns: paper's own closed forms; GF columns: calibrated fits)\n");
+}
+
+fn table4() {
+    println!("== Table 4: weak scaling of SSE communication volume (TiB) ==");
+    println!(
+        "  {:<4} {:>6} | {:>9} {:>9} | {:>8} {:>8}",
+        "Nkz", "procs", "OMEN", "paper", "DaCe", "paper"
+    );
+    for (nkz, procs, po, pd) in [
+        (3usize, 768usize, 32.11, 0.54),
+        (5, 1280, 89.18, 1.22),
+        (7, 1792, 174.80, 2.17),
+        (9, 2304, 288.95, 3.38),
+        (11, 2816, 431.65, 4.86),
+    ] {
+        let p = SimParams::paper_si_4864(nkz);
+        println!(
+            "  {:<4} {:>6} | {:>9.2} {:>9.2} | {:>8.2} {:>8.2}",
+            nkz,
+            procs,
+            volume::omen_total_bytes(&p, procs) / TIB,
+            po,
+            volume::dace_total_bytes(&p, nkz, procs / nkz) / TIB,
+            pd
+        );
+    }
+    println!();
+}
+
+fn table5() {
+    println!("== Table 5: strong scaling of SSE communication volume (TiB, Nkz=7) ==");
+    println!(
+        "  {:>6} | {:>9} {:>9} | {:>8} {:>8}",
+        "procs", "OMEN", "paper", "DaCe", "paper"
+    );
+    let p = SimParams::paper_si_4864(7);
+    for (procs, po, pd) in [
+        (224usize, 108.24, 0.95),
+        (448, 117.75, 1.13),
+        (896, 136.76, 1.48),
+        (1792, 174.80, 2.17),
+        (2688, 212.84, 2.87),
+    ] {
+        println!(
+            "  {:>6} | {:>9.2} {:>9.2} | {:>8.2} {:>8.2}",
+            procs,
+            volume::omen_total_bytes(&p, procs) / TIB,
+            po,
+            volume::dace_total_bytes(&p, 7, procs / 7) / TIB,
+            pd
+        );
+    }
+    println!();
+}
+
+fn time_ms<T>(reps: usize, f: impl Fn() -> T) -> f64 {
+    // Warm up once, then take the median of `reps` runs.
+    let _ = f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let _ = f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn table6() {
+    println!("== Table 6: sparse vs dense 3-matrix multiplication in RGF ==");
+    println!("  (reduced scale: n=256 blocks, ~6% Hamiltonian density; CPU, not P100)");
+    let ops = table6_operands(256, 0.06, 11);
+    let dense = time_ms(5, || table6_dense_mm(&ops));
+    let csrmm = time_ms(5, || table6_csrmm(&ops));
+    let csrgemm = time_ms(5, || table6_csrgemm(&ops));
+    println!("  {:<10} {:>10} {:>14} {:>14}", "approach", "ms", "vs CSRMM", "paper vs CSRMM");
+    println!("  {:<10} {:>10.2} {:>13.2}x {:>13.2}x", "Dense-MM", dense, dense / csrmm, 203.59 / 47.06);
+    println!("  {:<10} {:>10.2} {:>13.2}x {:>13.2}x", "CSRMM", csrmm, 1.0, 1.0);
+    println!("  {:<10} {:>10.2} {:>13.2}x {:>13.2}x", "CSRGEMM", csrgemm, csrgemm / csrmm, 93.02 / 47.06);
+    println!("  (expected ordering: CSRMM fastest, Dense-MM slowest — paper 1.98-4.33x)\n");
+}
+
+fn table7() {
+    println!("== Table 7: single-node runtime by implementation variant ==");
+    println!("  (reduced scale: NA=32, NE=32, Norb=4; paper ran 1/112 of NA=4,864)");
+    let fx = BenchFixture::new(bench_params());
+    let inputs = fx.sse_inputs();
+    // GF phase timing (same code for all variants; the paper's GF spread
+    // comes from library quality, which does not exist in a single binary).
+    let gf_ms = time_ms(3, || {
+        qt_core::gf::electron_gf_phase(
+            &fx.dev,
+            &fx.em,
+            &fx.p,
+            &fx.grids,
+            &qt_core::gf::ElectronSelfEnergy::zeros(&fx.p),
+            &fx.cfg,
+        )
+        .unwrap()
+    });
+    let t_ref = time_ms(3, || sse::sigma(&inputs, SseVariant::Reference));
+    let t_omen = time_ms(3, || sse::sigma(&inputs, SseVariant::Omen));
+    let t_dace = time_ms(3, || sse::sigma(&inputs, SseVariant::Dace));
+    println!("  {:<22} {:>10} {:>12}", "phase/variant", "ms", "vs DaCe");
+    println!("  {:<22} {:>10.1} {:>12}", "GF (RGF+boundary)", gf_ms, "-");
+    println!("  {:<22} {:>10.1} {:>11.1}x", "SSE reference (Python)", t_ref, t_ref / t_dace);
+    println!("  {:<22} {:>10.1} {:>11.1}x", "SSE OMEN", t_omen, t_omen / t_dace);
+    println!("  {:<22} {:>10.1} {:>11.1}x", "SSE DaCe", t_dace, 1.0);
+    println!(
+        "  paper ratios (vs DaCe): Python 315.7x, OMEN 9.97x — the compiled-vs-\n  \
+         interpreted gap shrinks to allocation/batching effects in a single Rust binary\n"
+    );
+}
+
+fn table8() {
+    println!("== Table 8: Summit performance on 10,240 atoms (model) ==");
+    println!(
+        "  {:<4} {:>6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8}",
+        "Nkz", "nodes", "GF Pf", "paper", "t[s]", "SSE Pf", "paper", "t[s]", "comm[s]", "paper"
+    );
+    for (nkz, nodes, gf_pf, gf_t, sse_pf, sse_t, comm_t) in [
+        (11usize, 1852usize, 2922.0, 75.84, 490.0, 95.46, 44.02),
+        (15, 2580, 3985.0, 75.90, 910.0, 116.67, 43.93),
+        (21, 1763, 5579.0, 150.38, 1784.0, 346.56, 121.91),
+        (21, 3525, 5579.0, 76.09, 1784.0, 175.15, 122.35),
+    ] {
+        let r = scaling::extreme_run(nkz, nodes, &SUMMIT);
+        println!(
+            "  {:<4} {:>6} | {:>8.0} {:>8.0} {:>8.1} | {:>8.0} {:>8.0} {:>8.1} | {:>8.1} {:>8.2}",
+            nkz, nodes, r.gf_pflop, gf_pf, r.gf_time, r.sse_pflop, sse_pf, r.sse_time, r.comm_time, comm_t
+        );
+        let _ = (gf_t, sse_t);
+    }
+    println!("  (GF Pflop: calibrated on the 4,864-atom geometry — magnitude-level)\n");
+}
+
+fn fig13() {
+    println!("== Fig. 13: strong/weak scaling model ==");
+    let p = SimParams::paper_si_4864(7);
+    for (m, nodes) in [
+        (&PIZ_DAINT, vec![112usize, 224, 448, 896, 1792, 2700, 5400]),
+        (&SUMMIT, vec![19, 38, 76, 152, 228]),
+    ] {
+        println!("  {} strong scaling (NA=4,864, Nkz=7):", m.name);
+        println!(
+            "    {:>6} {:>7} | {:>10} {:>10} | {:>10} {:>10} | {:>8}",
+            "nodes", "GPUs", "OMEN comp", "OMEN comm", "DaCe comp", "DaCe comm", "speedup"
+        );
+        for &n in &nodes {
+            let o = scaling::predict(&p, m, n, Variant::Omen);
+            let d = scaling::predict(&p, m, n, Variant::Dace);
+            println!(
+                "    {:>6} {:>7} | {:>9.1}s {:>9.1}s | {:>9.1}s {:>9.1}s | {:>7.1}x",
+                n,
+                m.gpus(n),
+                o.compute(),
+                o.t_comm,
+                d.compute(),
+                d.t_comm,
+                o.total() / d.total()
+            );
+        }
+    }
+    println!("  paper headline speedups: 16.3x total / 417x comm (Daint), 24.5x / 79.7x (Summit)");
+    // Weak scaling series.
+    let base = SimParams::paper_si_4864(3);
+    for (m, npk) in [(&PIZ_DAINT, 128usize), (&SUMMIT, 22usize)] {
+        println!("  {} weak scaling (nodes ∝ Nkz):", m.name);
+        let omen = scaling::weak_scaling(&base, m, &[3, 5, 7, 9, 11], npk, Variant::Omen);
+        let dace = scaling::weak_scaling(&base, m, &[3, 5, 7, 9, 11], npk, Variant::Dace);
+        for (o, d) in omen.iter().zip(&dace) {
+            println!(
+                "    Nkz={:<2} nodes={:<5} OMEN {:>9.1}s  DaCe {:>8.1}s  ({:>5.1}x)",
+                o.0,
+                o.1.nodes,
+                o.1.times.total(),
+                d.1.times.total(),
+                o.1.times.total() / d.1.times.total()
+            );
+        }
+    }
+    // Tiling the model picked at one configuration.
+    if let Some(t) = optimal_tiling(&p, 1792) {
+        println!(
+            "  optimal tiling at P=1792: TE={}, TA={} ({:.2} TiB — Table 5's tiling)",
+            t.te,
+            t.ta,
+            t.total_bytes / TIB
+        );
+    }
+    println!();
+}
+
+fn fig1d() {
+    println!("== Fig. 1(d): atomically-resolved self-heating (reduced scale) ==");
+    use qt_core::scf::{run_scf, ScfConfig, Simulation};
+    let p = SimParams {
+        nkz: 3,
+        nqz: 3,
+        ne: 24,
+        nw: 4,
+        na: 48,
+        nb: 4,
+        norb: 2,
+        bnum: 12,
+    };
+    let sim = Simulation::new(p, -1.2, 1.2);
+    let mut cfg = ScfConfig {
+        max_iterations: 30,
+        tolerance: 1e-6,
+        ..Default::default()
+    };
+    cfg.gf.contacts.mu_left = 0.35;
+    cfg.gf.contacts.mu_right = -0.35;
+    let out = run_scf(&sim, &cfg).expect("SCF");
+    let power = qt_core::observables::dissipated_power_per_atom(
+        &sim.p, &sim.grids, &out.sigma, &out.electron,
+    );
+    let temp = qt_core::observables::temperature_map(&power, 300.0, 100.0);
+    let apb = sim.dev.atoms_per_slab;
+    print!("  slab <T>[K]:");
+    for s in 0..p.bnum {
+        let t: f64 = (s * apb..(s + 1) * apb).map(|a| temp[a]).sum::<f64>() / apb as f64;
+        print!(" {t:.0}");
+    }
+    println!(
+        "\n  converged={} iters={} I={:.4}  (non-uniform heating profile reproduced)\n",
+        out.converged,
+        out.iterations,
+        out.current_history.last().unwrap()
+    );
+}
+
+fn sdfg_figs() {
+    println!("== Figs. 8-12: SSE kernel transformation pipeline ==");
+    use qt_sdfg::library;
+    let b: qt_sdfg::Bindings = [
+        ("Nkz", 5i64),
+        ("NE", 64),
+        ("Nqz", 5),
+        ("Nw", 8),
+        ("N3D", 3),
+        ("NA", 64),
+        ("NB", 6),
+        ("Norb", 4),
+    ]
+    .iter()
+    .map(|&(k, v)| (k.to_string(), v))
+    .collect();
+    let mut tree = library::sse_sigma_tree();
+    let steps = library::transform_sse_sigma(&mut tree, &b).expect("pipeline");
+    for s in &steps {
+        println!(
+            "  {:<44} {:>12.2} Gflop {:>14} accesses {:>10} KiB transient",
+            s.name,
+            s.stats.flops as f64 / 1e9,
+            s.stats.total_accesses(),
+            s.stats.transient_bytes / 1024
+        );
+    }
+    println!();
+}

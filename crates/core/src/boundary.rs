@@ -1,0 +1,248 @@
+//! Open boundary conditions: contact self-energies.
+//!
+//! Substitution (DESIGN.md §4): OMEN computes boundary self-energies with a
+//! contour-integral method; we use Sancho–Rubio decimation, which produces
+//! the same object (the retarded self-energy of a semi-infinite periodic
+//! lead) with robust convergence. The lesser/greater components follow from
+//! the fluctuation–dissipation theorem at the contact's equilibrium
+//! occupation:
+//!
+//! * electrons: `Σ< = i·f·Γ`, `Σ> = −i·(1−f)·Γ`
+//! * phonons:   `Π< = −i·n·Γ`, `Π> = −i·(n+1)·Γ`
+//!
+//! with `Γ = i(Σᴿ − Σᴿ†)`, which guarantees `Σ> − Σ< = Σᴿ − Σᴬ`.
+
+use qt_linalg::{c64, invert, Complex64, Matrix, SingularMatrix};
+
+/// Which contact a self-energy belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// Convergence controls for the decimation iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundaryConfig {
+    /// Imaginary broadening added to the energy (eV).
+    pub eta: f64,
+    /// Maximum decimation iterations.
+    pub max_iter: usize,
+    /// Convergence threshold on the coupling norm.
+    pub tol: f64,
+}
+
+impl Default for BoundaryConfig {
+    fn default() -> Self {
+        BoundaryConfig {
+            eta: 1e-4,
+            max_iter: 200,
+            tol: 1e-12,
+        }
+    }
+}
+
+/// Retarded surface self-energy of a semi-infinite lead.
+///
+/// The lead repeats the period `(h00, s00)` with inter-period coupling
+/// `(h01, s01)` (pointing *away* from the device). `z = E + iη` for
+/// electrons or `ω² + iη` for phonons (pass `s00 = I`, `s01 = 0` then).
+pub fn surface_self_energy(
+    z: Complex64,
+    h00: &Matrix,
+    h01: &Matrix,
+    s00: &Matrix,
+    s01: &Matrix,
+    side: Side,
+    cfg: &BoundaryConfig,
+) -> Result<Matrix, SingularMatrix> {
+    let zs = |s: &Matrix, h: &Matrix| -> Matrix {
+        let mut m = s.scale(z);
+        m -= h;
+        m
+    };
+    // Decimation on the A = z·S − H blocks: eliminating every other block
+    // renormalizes the surface block as eps_s -= α·g·β (chain extending in
+    // the +direction through α) or eps_s -= β·g·α (−direction). The sign
+    // pattern follows from Gaussian elimination of A·x = I; the minus signs
+    // in the coupling updates cancel pairwise in all accumulated products.
+    let alpha0 = zs(s01, h01);
+    let beta0 = zs(&s01.dagger(), &h01.dagger());
+    let mut alpha = alpha0.clone();
+    let mut beta = beta0.clone();
+    let mut eps = zs(s00, h00);
+    // Surface onsite for the chain extending away from the device.
+    let mut eps_s = eps.clone();
+    for _ in 0..cfg.max_iter {
+        if alpha.norm() < cfg.tol && beta.norm() < cfg.tol {
+            break;
+        }
+        let g = invert(&eps)?;
+        let ag = alpha.matmul(&g);
+        let bg = beta.matmul(&g);
+        let agb = ag.matmul(&beta);
+        let bga = bg.matmul(&alpha);
+        match side {
+            // Left lead extends toward −∞: its exposed (rightmost) block is
+            // renormalized through the β-direction.
+            Side::Left => eps_s -= &bga,
+            // Right lead extends toward +∞ through α.
+            Side::Right => eps_s -= &agb,
+        }
+        eps -= &agb;
+        eps -= &bga;
+        alpha = ag.matmul(&alpha);
+        beta = bg.matmul(&beta);
+    }
+    let gs = invert(&eps_s)?;
+    // Left lead couples into device block 0 via A_{0,−1} = β;
+    // right lead via A_{N−1,N} = α.
+    Ok(match side {
+        Side::Left => beta0.matmul(&gs).matmul(&alpha0),
+        Side::Right => alpha0.matmul(&gs).matmul(&beta0),
+    })
+}
+
+/// Broadening matrix `Γ = i(Σᴿ − Σᴿ†)`.
+pub fn gamma(sigma_r: &Matrix) -> Matrix {
+    let mut d = sigma_r.clone();
+    d -= &sigma_r.dagger();
+    d.scale(Complex64::I)
+}
+
+/// Electron lesser/greater boundary self-energies at occupation `f`.
+pub fn electron_lesser_greater(sigma_r: &Matrix, f: f64) -> (Matrix, Matrix) {
+    let g = gamma(sigma_r);
+    let lesser = g.scale(c64(0.0, f));
+    let greater = g.scale(c64(0.0, f - 1.0));
+    (lesser, greater)
+}
+
+/// Phonon lesser/greater boundary self-energies at Bose occupation `n`.
+pub fn phonon_lesser_greater(pi_r: &Matrix, n: f64) -> (Matrix, Matrix) {
+    let g = gamma(pi_r);
+    let lesser = g.scale(c64(0.0, -n));
+    let greater = g.scale(c64(0.0, -(n + 1.0)));
+    (lesser, greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::hamiltonian::{ElectronModel, PhononModel};
+    use crate::params::SimParams;
+
+    fn electron_setup() -> (Matrix, Matrix, Matrix, Matrix) {
+        let p = SimParams::test_small();
+        let dev = Device::new(&p);
+        let em = ElectronModel::for_params(&p);
+        let h = em.hamiltonian(&dev, 0.3);
+        let s = em.overlap_matrix(&dev, 0.3);
+        (
+            h.diag(0).clone(),
+            h.upper(0).clone(),
+            s.diag(0).clone(),
+            s.upper(0).clone(),
+        )
+    }
+
+    #[test]
+    fn surface_sigma_converges_and_dissipates() {
+        let (h00, h01, s00, s01) = electron_setup();
+        let cfg = BoundaryConfig::default();
+        let z = c64(0.1, cfg.eta);
+        let sig = surface_self_energy(z, &h00, &h01, &s00, &s01, Side::Left, &cfg).unwrap();
+        // A retarded self-energy has a negative anti-Hermitian part:
+        // Γ = i(Σ − Σ†) must be positive semidefinite; check via its trace
+        // and smallest Rayleigh quotient over basis vectors.
+        let g = gamma(&sig);
+        let tr = g.trace();
+        assert!(tr.re >= -1e-10, "tr Γ = {tr} must be non-negative");
+        assert!(tr.im.abs() < 1e-10);
+        assert!(g.is_hermitian(1e-10));
+    }
+
+    #[test]
+    fn decimation_matches_fixed_point() {
+        // The surface GF satisfies gs = (z·S00 − H00 − (z·S10−H10) gs (z·S01−H01))^{-1}
+        // ... for the left-pointing lead. Verify the fixed-point residual.
+        let (h00, h01, s00, s01) = electron_setup();
+        let cfg = BoundaryConfig {
+            eta: 1e-3,
+            ..Default::default()
+        };
+        let z = c64(0.05, cfg.eta);
+        // Sigma_left = beta gs alpha, so gs can be recovered:
+        // compute directly with the same recursion internals by solving the
+        // fixed point iteratively from scratch here.
+        let zs = |s: &Matrix, h: &Matrix| {
+            let mut m = s.scale(z);
+            m -= h;
+            m
+        };
+        let alpha0 = zs(&s01, &h01);
+        let beta0 = zs(&s01.dagger(), &h01.dagger());
+        let e0 = zs(&s00, &h00);
+        // Brute-force fixed point iteration.
+        let mut gs = invert(&e0).unwrap();
+        for _ in 0..4000 {
+            let mut m = e0.clone();
+            let corr = beta0.matmul(&gs).matmul(&alpha0);
+            m -= &corr;
+            gs = invert(&m).unwrap();
+        }
+        let sigma_fp = beta0.matmul(&gs).matmul(&alpha0);
+        let sigma_sr =
+            surface_self_energy(z, &h00, &h01, &s00, &s01, Side::Left, &cfg).unwrap();
+        let rel = sigma_fp.max_abs_diff(&sigma_sr) / sigma_sr.max_abs().max(1e-30);
+        assert!(rel < 1e-6, "decimation vs fixed point rel err {rel}");
+    }
+
+    #[test]
+    fn electron_occupations_bracket() {
+        let (h00, h01, s00, s01) = electron_setup();
+        let cfg = BoundaryConfig::default();
+        let sig =
+            surface_self_energy(c64(0.2, cfg.eta), &h00, &h01, &s00, &s01, Side::Right, &cfg)
+                .unwrap();
+        let (l_full, g_full) = electron_lesser_greater(&sig, 1.0);
+        let (l_empty, g_empty) = electron_lesser_greater(&sig, 0.0);
+        // f = 1: Σ> = 0; f = 0: Σ< = 0.
+        assert!(g_full.max_abs() < 1e-12);
+        assert!(l_empty.max_abs() < 1e-12);
+        // Identity Σ> − Σ< = Σᴿ − Σᴬ at any occupation.
+        for (l, g) in [(l_full, g_full), (l_empty, g_empty)] {
+            let mut lhs = g.clone();
+            lhs -= &l;
+            let mut rhs = sig.clone();
+            rhs -= &sig.dagger();
+            assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn phonon_boundary_identity() {
+        let p = SimParams::test_small();
+        let dev = Device::new(&p);
+        let pm = PhononModel::default();
+        let phi = pm.dynamical(&dev, 0.5);
+        let cfg = BoundaryConfig {
+            eta: 1e-6,
+            ..Default::default()
+        };
+        let w: f64 = 0.02;
+        let z = c64(w * w, cfg.eta);
+        let eye = Matrix::identity(phi.block_size());
+        let zero = Matrix::zeros(phi.block_size(), phi.block_size());
+        let pi = surface_self_energy(z, phi.diag(0), phi.upper(0), &eye, &zero, Side::Left, &cfg)
+            .unwrap();
+        let n = 0.7;
+        let (l, g) = phonon_lesser_greater(&pi, n);
+        let mut lhs = g.clone();
+        lhs -= &l;
+        let mut rhs = pi.clone();
+        rhs -= &pi.dagger();
+        assert!(lhs.max_abs_diff(&rhs) < 1e-10, "Π> − Π< = Πᴿ − Πᴬ");
+    }
+}

@@ -1,0 +1,246 @@
+//! Device geometry: the 2-D slice of a FinFET (Fig. 1).
+//!
+//! The fin's large height/width ratio lets the z-direction be folded into
+//! momentum points, so the simulated structure is a 2-D lattice of atoms:
+//! `bnum` slabs along transport (x), each `NA/bnum` atoms tall (y). Slabs
+//! couple only to adjacent slabs, which is what gives `H`, `S`, `Φ` their
+//! block tri-diagonal structure.
+//!
+//! Substitution note (DESIGN.md §4): production OMEN reads atom positions
+//! and neighbor lists from DFT inputs; we generate a silicon-like lattice
+//! with the same structural properties (fixed `NB` nearest neighbors, only
+//! intra-slab/adjacent-slab couplings, a neighbor indirection table
+//! `f(a, b)`).
+
+use crate::params::SimParams;
+
+/// Index of a missing neighbor slot.
+pub const NO_NEIGHBOR: usize = usize::MAX;
+
+/// The simulated nanostructure.
+#[derive(Clone, Debug)]
+pub struct Device {
+    /// Total number of atoms.
+    pub na: usize,
+    /// Neighbor slots per atom.
+    pub nb: usize,
+    /// Number of transport slabs (RGF blocks).
+    pub bnum: usize,
+    /// Atoms per slab.
+    pub atoms_per_slab: usize,
+    /// Position of each atom in lattice units `(x = slab, y = row)`.
+    pub positions: Vec<(f64, f64)>,
+    /// `neighbors[a][s]` = index of atom `a`'s `s`-th neighbor, or
+    /// [`NO_NEIGHBOR`] when the slot is empty (edge atoms).
+    pub neighbors: Vec<Vec<usize>>,
+}
+
+impl Device {
+    /// Build the 2-D slice for the given parameters.
+    ///
+    /// Atoms are laid out slab-major (`a = slab · atoms_per_slab + row`), on
+    /// a slightly dimerized lattice (silicon-like two-atom basis along y).
+    /// Neighbor slots are filled with the nearest atoms by Euclidean
+    /// distance, restricted to the same or adjacent slabs.
+    pub fn new(p: &SimParams) -> Self {
+        p.validate().expect("invalid simulation parameters");
+        let atoms_per_slab = p.atoms_per_block();
+        let mut positions = Vec::with_capacity(p.na);
+        for slab in 0..p.bnum {
+            for row in 0..atoms_per_slab {
+                // Dimerization: odd rows are offset along x, mimicking the
+                // two-atom basis of the diamond lattice projected to 2-D.
+                let x = slab as f64 + if row % 2 == 1 { 0.25 } else { 0.0 };
+                let y = row as f64 * 0.5;
+                positions.push((x, y));
+            }
+        }
+        let slab_of = |a: usize| a / atoms_per_slab;
+        let mut neighbors = vec![vec![NO_NEIGHBOR; p.nb]; p.na];
+        for a in 0..p.na {
+            let (ax, ay) = positions[a];
+            // Candidates: atoms in slabs within ±1.
+            let s = slab_of(a);
+            let lo = s.saturating_sub(1) * atoms_per_slab;
+            let hi = ((s + 2).min(p.bnum)) * atoms_per_slab;
+            let mut cands: Vec<(f64, usize)> = (lo..hi)
+                .filter(|&b| b != a)
+                .map(|b| {
+                    let (bx, by) = positions[b];
+                    let d2 = (ax - bx).powi(2) + (ay - by).powi(2);
+                    (d2, b)
+                })
+                .collect();
+            cands.sort_by(|l, r| l.partial_cmp(r).unwrap());
+            for (slot, &(_, b)) in cands.iter().take(p.nb).enumerate() {
+                neighbors[a][slot] = b;
+            }
+        }
+        Device {
+            na: p.na,
+            nb: p.nb,
+            bnum: p.bnum,
+            atoms_per_slab,
+            positions,
+            neighbors,
+        }
+    }
+
+    /// Slab (RGF block) containing atom `a`.
+    #[inline]
+    pub fn slab_of(&self, a: usize) -> usize {
+        a / self.atoms_per_slab
+    }
+
+    /// The neighbor indirection `f(a, b)` of Eq. 3; `None` for empty slots.
+    #[inline]
+    pub fn neighbor(&self, a: usize, slot: usize) -> Option<usize> {
+        let n = self.neighbors[a][slot];
+        (n != NO_NEIGHBOR).then_some(n)
+    }
+
+    /// True if two atoms are in the same or adjacent slabs (may couple).
+    pub fn may_couple(&self, a: usize, b: usize) -> bool {
+        self.slab_of(a).abs_diff(self.slab_of(b)) <= 1
+    }
+
+    /// Largest index distance `|a − f(a, s)|` over all neighbor slots: the
+    /// exact halo width an atom-tile needs so every neighbor lookup stays
+    /// local (the paper approximates this with `NB/2`; slab-major ordering
+    /// makes it `O(atoms_per_slab)` here).
+    pub fn max_neighbor_index_distance(&self) -> usize {
+        let mut max = 0;
+        for a in 0..self.na {
+            for s in 0..self.nb {
+                if let Some(b) = self.neighbor(a, s) {
+                    max = max.max(a.abs_diff(b));
+                }
+            }
+        }
+        max
+    }
+
+    /// Symmetric set of coupling pairs `(a, b)` with `a < b`: the union of
+    /// the (possibly asymmetric) nearest-neighbor relation. Matrix assembly
+    /// iterates this set so `H`, `S`, `Φ` are Hermitian by construction.
+    pub fn coupling_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for a in 0..self.na {
+            for s in 0..self.nb {
+                if let Some(b) = self.neighbor(a, s) {
+                    pairs.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Euclidean distance between two atoms in lattice units.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = self.positions[a];
+        let (bx, by) = self.positions[b];
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Bond direction unit vector from `a` to `b`, with a pseudo z
+    /// component derived from the dimerization (never zero, so bonds always
+    /// have all three components). Antisymmetric:
+    /// `bond_direction(b, a) = -bond_direction(a, b)`.
+    pub fn bond_direction(&self, a: usize, b: usize) -> [f64; 3] {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (lx, ly) = self.positions[lo];
+        let (hx, hy) = self.positions[hi];
+        let dx = hx - lx;
+        let dy = hy - ly;
+        // Deterministic tilt in {−0.125, 0.125, 0.375}: never zero.
+        let dz = 0.25 * (((lo + hi) % 3) as f64 - 1.0 + 0.5);
+        let norm = (dx * dx + dy * dy + dz * dz).sqrt();
+        let sign = if a < b { 1.0 } else { -1.0 };
+        [sign * dx / norm, sign * dy / norm, sign * dz / norm]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::new(&SimParams::test_small())
+    }
+
+    #[test]
+    fn layout_is_slab_major() {
+        let d = dev();
+        assert_eq!(d.na, 16);
+        assert_eq!(d.bnum, 4);
+        assert_eq!(d.atoms_per_slab, 4);
+        assert_eq!(d.slab_of(0), 0);
+        assert_eq!(d.slab_of(4), 1);
+        assert_eq!(d.slab_of(15), 3);
+    }
+
+    #[test]
+    fn neighbors_respect_block_tridiagonal_structure() {
+        let d = dev();
+        for a in 0..d.na {
+            for s in 0..d.nb {
+                if let Some(b) = d.neighbor(a, s) {
+                    assert!(d.may_couple(a, b), "atom {a} neighbor {b} too far");
+                    assert_ne!(a, b, "no self neighbors");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_nearest_first() {
+        let d = dev();
+        for a in 0..d.na {
+            let mut prev = 0.0;
+            for s in 0..d.nb {
+                if let Some(b) = d.neighbor(a, s) {
+                    let dist = d.distance(a, b);
+                    assert!(dist >= prev - 1e-12, "slots must be sorted by distance");
+                    prev = dist;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_atoms_have_full_slots() {
+        let d = dev();
+        // An atom in the middle of the device has all NB slots filled.
+        let a = d.na / 2;
+        for s in 0..d.nb {
+            assert!(d.neighbor(a, s).is_some());
+        }
+    }
+
+    #[test]
+    fn bond_directions_are_unit() {
+        let d = dev();
+        for a in 0..d.na {
+            for s in 0..d.nb {
+                if let Some(b) = d.neighbor(a, s) {
+                    let v = d.bond_direction(a, b);
+                    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+                    assert!((n - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_device_scales() {
+        let mut p = SimParams::test_small();
+        p.na = 64;
+        p.bnum = 8;
+        p.nb = 6;
+        let d = Device::new(&p);
+        assert_eq!(d.na, 64);
+        assert_eq!(d.atoms_per_slab, 8);
+    }
+}

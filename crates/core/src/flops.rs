@@ -1,0 +1,140 @@
+//! Analytic flop models (§4.3, Table 3).
+//!
+//! The SSE formulas are the paper's own, exact:
+//!
+//! * OMEN:  `64·NA·NB·N3D·Nkz·Nqz·NE·Nω·Norb³`
+//! * DaCe:  `32·NA·NB·N3D·Nkz·Nqz·NE·Nω·Norb³ + 32·NA·NB·N3D·Nkz·NE·Norb³`
+//!
+//! The GF-phase kernels (contour integral, RGF) mix dense and sparse work;
+//! the paper measures them with `nvprof`. Our substitute: a block-cubed
+//! model `8·Nkz·NE·bnum·κ·(NA/bnum·Norb)³` with κ calibrated once against
+//! Table 3 (documented empirical constants, like the paper's measured
+//! values).
+
+use crate::params::{SimParams, N3D};
+
+/// Calibrated RGF constant in `RGF_KAPPA·Nkz·NE·bnum·bs³` (fit to Table 3's
+/// 52.95 Pflop at `Nkz = 3` for the 4,864-atom structure with `bnum = 152`).
+pub const RGF_KAPPA: f64 = 2904.9;
+
+/// Calibrated contour-integral constant in `CONTOUR_KAPPA·Nkz·NE·bs³`
+/// (8.45 Pflop at the same calibration point).
+pub const CONTOUR_KAPPA: f64 = 70459.0;
+
+/// Table 3, "SSE (OMEN)": both small matrix products performed for every
+/// point of the full 8-D iteration space.
+pub fn sse_omen_flops(p: &SimParams) -> f64 {
+    64.0 * (p.na * p.nb * N3D) as f64
+        * (p.nkz * p.nqz) as f64
+        * (p.ne * p.nw) as f64
+        * (p.norb * p.norb * p.norb) as f64
+}
+
+/// Table 3, "SSE (DaCe)": redundancy removal makes the `∇H·G` stage
+/// independent of `(Nqz, Nω)`.
+pub fn sse_dace_flops(p: &SimParams) -> f64 {
+    let norb3 = (p.norb * p.norb * p.norb) as f64;
+    32.0 * (p.na * p.nb * N3D) as f64 * (p.nkz * p.nqz) as f64 * (p.ne * p.nw) as f64 * norb3
+        + 32.0 * (p.na * p.nb * N3D) as f64 * p.nkz as f64 * p.ne as f64 * norb3
+}
+
+/// RGF flop model: `κ·Nkz·NE·bnum·bs³` with `bs = NA/bnum·Norb`.
+pub fn rgf_flops(p: &SimParams) -> f64 {
+    let bs = p.e_block_size() as f64;
+    RGF_KAPPA * (p.nkz * p.ne * p.bnum) as f64 * bs * bs * bs
+}
+
+/// Contour-integral (boundary conditions) flop model.
+pub fn contour_flops(p: &SimParams) -> f64 {
+    let bs = p.e_block_size() as f64;
+    CONTOUR_KAPPA * (p.nkz * p.ne) as f64 * bs * bs * bs
+}
+
+/// One full GF+SSE iteration under the DaCe variant.
+pub fn iteration_flops_dace(p: &SimParams) -> f64 {
+    contour_flops(p) + rgf_flops(p) + sse_dace_flops(p)
+}
+
+/// One full iteration under the original OMEN algorithm.
+pub fn iteration_flops_omen(p: &SimParams) -> f64 {
+    contour_flops(p) + rgf_flops(p) + sse_omen_flops(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PFLOP: f64 = 1e15;
+
+    /// Table 3 row-by-row: SSE numbers are exact, GF-phase numbers are the
+    /// calibrated fits.
+    #[test]
+    fn table3_sse_omen_exact() {
+        // Paper: NA=4,864, NB=34, NE=706, Nω=70, Norb=12.
+        for (nkz, expect) in [(3, 24.41), (5, 67.80), (7, 132.89), (9, 219.67), (11, 328.15)] {
+            let p = SimParams::paper_si_4864(nkz);
+            let got = sse_omen_flops(&p) / PFLOP;
+            assert!(
+                (got - expect).abs() / expect < 0.005,
+                "Nkz={nkz}: got {got:.2} Pflop, paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn table3_sse_dace_matches_within_formula_tolerance() {
+        // The paper's printed values deviate <2% from its own closed form
+        // (extra bookkeeping in the measured kernel); we reproduce the
+        // closed form.
+        for (nkz, expect) in [(3, 12.38), (5, 34.19), (7, 66.85), (9, 110.36), (11, 164.71)] {
+            let p = SimParams::paper_si_4864(nkz);
+            let got = sse_dace_flops(&p) / PFLOP;
+            assert!(
+                (got - expect).abs() / expect < 0.02,
+                "Nkz={nkz}: got {got:.2} Pflop, paper {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sse_reduction_approaches_two() {
+        let p = SimParams::paper_si_4864(11);
+        let ratio = sse_omen_flops(&p) / sse_dace_flops(&p);
+        assert!(ratio > 1.9 && ratio < 2.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn rgf_scales_linearly_in_nkz() {
+        let f3 = rgf_flops(&SimParams::paper_si_4864(3));
+        let f9 = rgf_flops(&SimParams::paper_si_4864(9));
+        assert!((f9 / f3 - 3.0).abs() < 1e-12);
+        // Calibration point: 52.95 Pflop at Nkz=3.
+        assert!((f3 / PFLOP - 52.95).abs() / 52.95 < 0.02, "{}", f3 / PFLOP);
+    }
+
+    #[test]
+    fn contour_calibration_point() {
+        let f3 = contour_flops(&SimParams::paper_si_4864(3));
+        assert!((f3 / PFLOP - 8.45).abs() / 8.45 < 0.02, "{}", f3 / PFLOP);
+    }
+
+    #[test]
+    fn instrumented_kernels_match_analytic_shape() {
+        // Run the actual Σ kernels at tiny scale and compare the measured
+        // flop ratio OMEN/DaCe with the analytic prediction.
+        use crate::sse::{self, testutil, SseVariant};
+        let fx = testutil::fixture();
+        let inputs = fx.inputs();
+        let (_, f_omen) = qt_linalg::count_flops(|| sse::sigma(&inputs, SseVariant::Omen));
+        let (_, f_dace) = qt_linalg::count_flops(|| sse::sigma(&inputs, SseVariant::Dace));
+        let measured = f_omen as f64 / f_dace as f64;
+        let analytic = sse_omen_flops(&fx.p) / sse_dace_flops(&fx.p);
+        // The tiny fixture has boundary effects (energy window clamps),
+        // so allow a generous band around the analytic ratio.
+        assert!(
+            (measured / analytic - 1.0).abs() < 0.8,
+            "measured {measured:.2} vs analytic {analytic:.2}"
+        );
+        assert!(measured > 1.0);
+    }
+}

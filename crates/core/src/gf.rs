@@ -1,0 +1,642 @@
+//! The GF phase (Fig. 6, left state): solve Eq. (1) for electrons over all
+//! `(kz, E)` and Eq. (2) for phonons over all `(qz, ω)`.
+//!
+//! Each grid point is independent (embarrassingly parallel — the paper's
+//! momentum+energy MPI decomposition); here the points fan out over a rayon
+//! pool. The outputs are exactly the tensors the SSE phase consumes:
+//! `G≷[Nkz, NE, NA, Norb, Norb]` and `D≷[Nqz, Nω, NA, NB+1, 3, 3]`
+//! (slot `NB` holds the diagonal `D_aa`, slots `0..NB` the neighbor pairs).
+
+use crate::boundary::{self, BoundaryConfig, Side};
+use crate::device::Device;
+use crate::grids::{bose, fermi, Grids};
+use crate::hamiltonian::{ElectronModel, PhononModel};
+use crate::params::{SimParams, N3D};
+use crate::rgf;
+use qt_linalg::{c64, BlockTridiag, Complex64, Matrix, SingularMatrix, Tensor};
+use rayon::prelude::*;
+
+/// Contact electrochemical potentials and temperature.
+#[derive(Clone, Copy, Debug)]
+pub struct Contacts {
+    /// Left contact chemical potential (eV).
+    pub mu_left: f64,
+    /// Right contact chemical potential (eV).
+    pub mu_right: f64,
+    /// Lattice/contact temperature (K).
+    pub temperature: f64,
+}
+
+impl Default for Contacts {
+    fn default() -> Self {
+        Contacts {
+            mu_left: 0.05,
+            mu_right: -0.05,
+            temperature: 300.0,
+        }
+    }
+}
+
+/// Configuration of the GF phase.
+#[derive(Clone, Copy, Debug)]
+pub struct GfConfig {
+    /// Contact broadening η (eV): imaginary part used when solving the
+    /// lead surface Green's functions.
+    pub eta: f64,
+    /// Broadening inside the device. Defaults to 0 so that the only
+    /// dissipation channels are the contacts and the scattering
+    /// self-energies — this makes the equilibrium current vanish exactly
+    /// (current conservation).
+    pub device_eta: f64,
+    /// Broadening inside the device for the *phonon* system (relative to
+    /// ω·de). Interior vibrational modes decouple from the contacts almost
+    /// completely, so a small damping is needed to bound `D` at resonance
+    /// and keep the Born iteration stable.
+    pub phonon_device_eta: f64,
+    pub boundary: BoundaryConfig,
+    pub contacts: Contacts,
+}
+
+impl Default for GfConfig {
+    fn default() -> Self {
+        GfConfig {
+            eta: 1e-3,
+            device_eta: 0.0,
+            phonon_device_eta: 5e-2,
+            boundary: BoundaryConfig::default(),
+            contacts: Contacts::default(),
+        }
+    }
+}
+
+/// Electron scattering self-energies (diagonal per-atom blocks, §2:
+/// "only the diagonal blocks of Σ are retained").
+/// Shape `[Nkz, NE, NA, Norb, Norb]`.
+#[derive(Clone, Debug)]
+pub struct ElectronSelfEnergy {
+    pub lesser: Tensor,
+    pub greater: Tensor,
+}
+
+impl ElectronSelfEnergy {
+    pub fn zeros(p: &SimParams) -> Self {
+        let shape = [p.nkz, p.ne, p.na, p.norb, p.norb];
+        ElectronSelfEnergy {
+            lesser: Tensor::zeros(&shape),
+            greater: Tensor::zeros(&shape),
+        }
+    }
+
+    /// Retarded part via the paper's approximation `Σᴿ ≈ (Σ> − Σ<)/2`.
+    pub fn retarded_block(&self, idx: &[usize; 3], norb: usize) -> Matrix {
+        let g = self.greater.inner(&idx[..]);
+        let l = self.lesser.inner(&idx[..]);
+        Matrix::from_vec(
+            norb,
+            norb,
+            g.iter()
+                .zip(l)
+                .map(|(&gg, &ll)| (gg - ll).scale(0.5))
+                .collect(),
+        )
+    }
+}
+
+/// Phonon scattering self-energies. Shape `[Nqz, Nω, NA, NB+1, 3, 3]`;
+/// slot `NB` is the diagonal `Π_aa`, slots `0..NB` the neighbor connections
+/// (§2: "NB non-diagonal connections are kept for Π").
+#[derive(Clone, Debug)]
+pub struct PhononSelfEnergy {
+    pub lesser: Tensor,
+    pub greater: Tensor,
+}
+
+impl PhononSelfEnergy {
+    pub fn zeros(p: &SimParams) -> Self {
+        let shape = [p.nqz, p.nw, p.na, p.nb + 1, N3D, N3D];
+        PhononSelfEnergy {
+            lesser: Tensor::zeros(&shape),
+            greater: Tensor::zeros(&shape),
+        }
+    }
+
+    pub fn retarded_block(&self, idx: &[usize; 4]) -> Matrix {
+        let g = self.greater.inner(&idx[..]);
+        let l = self.lesser.inner(&idx[..]);
+        Matrix::from_vec(
+            N3D,
+            N3D,
+            g.iter()
+                .zip(l)
+                .map(|(&gg, &ll)| (gg - ll).scale(0.5))
+                .collect(),
+        )
+    }
+}
+
+/// Output of the electron GF phase.
+#[derive(Clone, Debug)]
+pub struct ElectronGf {
+    /// `G<[kz, E, a, :, :]` diagonal atom blocks.
+    pub g_lesser: Tensor,
+    /// `G>[kz, E, a, :, :]`.
+    pub g_greater: Tensor,
+    /// Left-contact current spectrum per `(kz, E)` (Meir–Wingreen trace).
+    pub current_spectrum: Vec<f64>,
+    /// Integrated electrical current (arbitrary units: e/ħ per 2π).
+    pub current: f64,
+    /// Energy-integrated bond current through every slab interface
+    /// (`j_n = 2·Re tr[(−A_{n,n+1})·G<_{n+1,n}]`, length `bnum − 1`).
+    /// In the ballistic limit these equal the contact current exactly —
+    /// the current-conservation check of the whole RGF + boundary stack.
+    pub bond_currents: Vec<f64>,
+}
+
+/// Output of the phonon GF phase.
+#[derive(Clone, Debug)]
+pub struct PhononGf {
+    /// `D<[qz, ω, a, slot, :, :]` with slot `NB` diagonal.
+    pub d_lesser: Tensor,
+    /// `D>[qz, ω, a, slot, :, :]`.
+    pub d_greater: Tensor,
+    /// Integrated phonon energy current at the left contact.
+    pub energy_current: f64,
+}
+
+/// Assemble `A = z·S − H` for one energy.
+fn assemble_a(z: Complex64, s: &BlockTridiag, h: &BlockTridiag) -> BlockTridiag {
+    let zs = s.scale(z);
+    zs.sub(h)
+}
+
+/// Solve the electron Green's functions for every `(kz, E)` point.
+pub fn electron_gf_phase(
+    dev: &Device,
+    em: &ElectronModel,
+    p: &SimParams,
+    grids: &Grids,
+    sse: &ElectronSelfEnergy,
+    cfg: &GfConfig,
+) -> Result<ElectronGf, SingularMatrix> {
+    let no = p.norb;
+    let apb = dev.atoms_per_slab;
+    // Hoist H(kz), S(kz) per momentum point.
+    let hs: Vec<(BlockTridiag, BlockTridiag)> = grids
+        .kz
+        .iter()
+        .map(|&kz| (em.hamiltonian(dev, kz), em.overlap_matrix(dev, kz)))
+        .collect();
+    let points: Vec<(usize, usize)> = (0..p.nkz)
+        .flat_map(|k| (0..p.ne).map(move |e| (k, e)))
+        .collect();
+    type EPoint = (usize, usize, Vec<Complex64>, Vec<Complex64>, f64, Vec<f64>);
+    let results: Vec<Result<EPoint, SingularMatrix>> =
+        points
+            .par_iter()
+            .map(|&(k, e)| {
+                let (h, s) = &hs[k];
+                let energy = grids.energies[e];
+                // Lead surface GF at finite broadening; device interior at
+                // (near-)real energy so contacts are the only implicit bath.
+                let z = c64(energy, cfg.eta);
+                let z_dev = c64(energy, cfg.device_eta);
+                let mut a = assemble_a(z_dev, s, h);
+                // Boundary self-energies.
+                let nbk = a.num_blocks();
+                let sig_l = boundary::surface_self_energy(
+                    z,
+                    h.diag(0),
+                    h.upper(0),
+                    s.diag(0),
+                    s.upper(0),
+                    Side::Left,
+                    &cfg.boundary,
+                )?;
+                let sig_r = boundary::surface_self_energy(
+                    z,
+                    h.diag(nbk - 1),
+                    h.upper(nbk - 2),
+                    s.diag(nbk - 1),
+                    s.upper(nbk - 2),
+                    Side::Right,
+                    &cfg.boundary,
+                )?;
+                *a.diag_mut(0) -= &sig_l;
+                *a.diag_mut(nbk - 1) -= &sig_r;
+                let f_l = fermi(energy, cfg.contacts.mu_left, cfg.contacts.temperature);
+                let f_r = fermi(energy, cfg.contacts.mu_right, cfg.contacts.temperature);
+                let (bl_l, bg_l) = boundary::electron_lesser_greater(&sig_l, f_l);
+                let (bl_r, _) = boundary::electron_lesser_greater(&sig_r, f_r);
+                let bs = a.block_size();
+                let mut sig_lesser = vec![Matrix::zeros(bs, bs); nbk];
+                sig_lesser[0] += &bl_l;
+                sig_lesser[nbk - 1] += &bl_r;
+                // Scattering self-energies (diagonal atom blocks).
+                for atom in 0..p.na {
+                    let slab = dev.slab_of(atom);
+                    let row = (atom % apb) * no;
+                    let sr = sse.retarded_block(&[k, e, atom], no);
+                    let sl = Matrix::from_vec(no, no, sse.lesser.inner(&[k, e, atom]).to_vec());
+                    // A -= Σᴿ_scatt
+                    for i in 0..no {
+                        for j in 0..no {
+                            let cur = a.diag(slab)[(row + i, row + j)];
+                            a.diag_mut(slab)[(row + i, row + j)] = cur - sr[(i, j)];
+                        }
+                    }
+                    for i in 0..no {
+                        for j in 0..no {
+                            let cur = sig_lesser[slab][(row + i, row + j)];
+                            sig_lesser[slab][(row + i, row + j)] = cur + sl[(i, j)];
+                        }
+                    }
+                }
+                let out = rgf::rgf(&a, &sig_lesser)?;
+                // Gather per-atom diagonal blocks.
+                let mut gl = Vec::with_capacity(p.na * no * no);
+                let mut gg = Vec::with_capacity(p.na * no * no);
+                for atom in 0..p.na {
+                    let slab = dev.slab_of(atom);
+                    let row = (atom % apb) * no;
+                    for i in 0..no {
+                        for j in 0..no {
+                            gl.push(out.gl_diag[slab][(row + i, row + j)]);
+                            gg.push(out.gg_diag[slab][(row + i, row + j)]);
+                        }
+                    }
+                }
+                // Meir–Wingreen current trace at the left contact:
+                // i(E) = Re tr[Σ<_L G> − Σ>_L G<].
+                let t1 = bl_l.matmul(&out.gg_diag[0]).trace();
+                let t2 = bg_l.matmul(&out.gl_diag[0]).trace();
+                let ispec = (t1 - t2).re;
+                // Bond currents through every slab interface.
+                let bonds: Vec<f64> = (0..nbk - 1)
+                    .map(|n| {
+                        2.0 * a
+                            .upper(n)
+                            .scale(c64(-1.0, 0.0))
+                            .matmul(&out.gl_lower[n])
+                            .trace()
+                            .re
+                    })
+                    .collect();
+                Ok((k, e, gl, gg, ispec, bonds))
+            })
+            .collect();
+    let mut g_lesser = Tensor::zeros(&[p.nkz, p.ne, p.na, no, no]);
+    let mut g_greater = Tensor::zeros(&[p.nkz, p.ne, p.na, no, no]);
+    let mut current_spectrum = vec![0.0; p.nkz * p.ne];
+    let mut current = 0.0;
+    let mut bond_currents = vec![0.0; p.bnum - 1];
+    for r in results {
+        let (k, e, gl, gg, ispec, bonds) = r?;
+        g_lesser.inner_mut(&[k, e]).copy_from_slice(&gl);
+        g_greater.inner_mut(&[k, e]).copy_from_slice(&gg);
+        current_spectrum[k * p.ne + e] = ispec;
+        current += ispec * grids.de / p.nkz as f64;
+        for (acc, j) in bond_currents.iter_mut().zip(&bonds) {
+            *acc += j * grids.de / p.nkz as f64;
+        }
+    }
+    Ok(ElectronGf {
+        g_lesser,
+        g_greater,
+        current_spectrum,
+        current,
+        bond_currents,
+    })
+}
+
+/// Solve the phonon Green's functions for every `(qz, ω)` point.
+pub fn phonon_gf_phase(
+    dev: &Device,
+    pm: &PhononModel,
+    p: &SimParams,
+    grids: &Grids,
+    sse: &PhononSelfEnergy,
+    cfg: &GfConfig,
+) -> Result<PhononGf, SingularMatrix> {
+    let apb = dev.atoms_per_slab;
+    let phis: Vec<BlockTridiag> = grids.qz.iter().map(|&qz| pm.dynamical(dev, qz)).collect();
+    let bs = phis[0].block_size();
+    let eye = Matrix::identity(bs);
+    let zero = Matrix::zeros(bs, bs);
+    let points: Vec<(usize, usize)> = (0..p.nqz)
+        .flat_map(|q| (0..p.nw).map(move |w| (q, w)))
+        .collect();
+    type PhRes = (usize, usize, Vec<Complex64>, Vec<Complex64>, f64);
+    let results: Vec<Result<PhRes, SingularMatrix>> = points
+        .par_iter()
+        .map(|&(q, w)| {
+            let phi = &phis[q];
+            let omega = grids.omegas[w];
+            let z = c64(omega * omega, cfg.eta * omega.max(grids.de));
+            let z_dev = c64(omega * omega, cfg.phonon_device_eta * omega.max(grids.de));
+            // A = ω²·I − Φ − Πᴿ.
+            let mut a = BlockTridiag::zeros(phi.num_blocks(), bs);
+            let nbk = phi.num_blocks();
+            for n in 0..nbk {
+                let mut d = Matrix::scaled_identity(bs, z_dev);
+                d -= phi.diag(n);
+                *a.diag_mut(n) = d;
+            }
+            for n in 0..nbk - 1 {
+                *a.upper_mut(n) = -phi.upper(n);
+                *a.lower_mut(n) = -phi.lower(n);
+            }
+            // Boundary (equilibrium phonon baths at both contacts).
+            let pi_l = boundary::surface_self_energy(
+                z,
+                phi.diag(0),
+                phi.upper(0),
+                &eye,
+                &zero,
+                Side::Left,
+                &cfg.boundary,
+            )?;
+            let pi_r = boundary::surface_self_energy(
+                z,
+                phi.diag(nbk - 1),
+                phi.upper(nbk - 2),
+                &eye,
+                &zero,
+                Side::Right,
+                &cfg.boundary,
+            )?;
+            *a.diag_mut(0) -= &pi_l;
+            *a.diag_mut(nbk - 1) -= &pi_r;
+            let n_occ = bose(omega, cfg.contacts.temperature);
+            let (bl_l, bg_l) = boundary::phonon_lesser_greater(&pi_l, n_occ);
+            let (bl_r, _) = boundary::phonon_lesser_greater(&pi_r, n_occ);
+            let mut sig_lesser = vec![Matrix::zeros(bs, bs); nbk];
+            sig_lesser[0] += &bl_l;
+            sig_lesser[nbk - 1] += &bl_r;
+            // Scattering Πᴿ: diagonal blocks plus neighbor connections.
+            for atom in 0..p.na {
+                let sa = dev.slab_of(atom);
+                let ra = (atom % apb) * N3D;
+                let pr = sse.retarded_block(&[q, w, atom, p.nb]);
+                for i in 0..N3D {
+                    for j in 0..N3D {
+                        let cur = a.diag(sa)[(ra + i, ra + j)];
+                        a.diag_mut(sa)[(ra + i, ra + j)] = cur - pr[(i, j)];
+                    }
+                }
+                let pl = Matrix::from_vec(
+                    N3D,
+                    N3D,
+                    sse.lesser.inner(&[q, w, atom, p.nb]).to_vec(),
+                );
+                for i in 0..N3D {
+                    for j in 0..N3D {
+                        let cur = sig_lesser[sa][(ra + i, ra + j)];
+                        sig_lesser[sa][(ra + i, ra + j)] = cur + pl[(i, j)];
+                    }
+                }
+                // Neighbor connections of Πᴿ (off-diagonal, §2). Lesser
+                // off-diagonal parts are kept in the SSE tensors but not
+                // injected into RGF (block-diagonal Σ< assumption; see
+                // DESIGN.md).
+                for slot in 0..p.nb {
+                    let Some(b) = dev.neighbor(atom, slot) else {
+                        continue;
+                    };
+                    let sb = dev.slab_of(b);
+                    let rb = (b % apb) * N3D;
+                    let prn = sse.retarded_block(&[q, w, atom, slot]);
+                    if sb == sa {
+                        for i in 0..N3D {
+                            for j in 0..N3D {
+                                let cur = a.diag(sa)[(ra + i, rb + j)];
+                                a.diag_mut(sa)[(ra + i, rb + j)] = cur - prn[(i, j)];
+                            }
+                        }
+                    } else if sb == sa + 1 {
+                        for i in 0..N3D {
+                            for j in 0..N3D {
+                                let cur = a.upper(sa)[(ra + i, rb + j)];
+                                a.upper_mut(sa)[(ra + i, rb + j)] = cur - prn[(i, j)];
+                            }
+                        }
+                    } else if sb + 1 == sa {
+                        for i in 0..N3D {
+                            for j in 0..N3D {
+                                let cur = a.lower(sb)[(ra + i, rb + j)];
+                                a.lower_mut(sb)[(ra + i, rb + j)] = cur - prn[(i, j)];
+                            }
+                        }
+                    }
+                }
+            }
+            let out = rgf::rgf(&a, &sig_lesser)?;
+            // Gather D pairs: slots 0..NB neighbors, slot NB diagonal.
+            let block_len = (p.nb + 1) * N3D * N3D;
+            let mut dl = vec![Complex64::ZERO; p.na * block_len];
+            let mut dg = vec![Complex64::ZERO; p.na * block_len];
+            let write_pair =
+                |dst_l: &mut [Complex64], dst_g: &mut [Complex64], atom: usize, slot: usize, b: usize| {
+                    let sa = dev.slab_of(atom);
+                    let sb = dev.slab_of(b);
+                    let ra = (atom % apb) * N3D;
+                    let rb = (b % apb) * N3D;
+                    let base = atom * block_len + slot * N3D * N3D;
+                    // Select the matrices holding rows of slab sa, cols sb.
+                    let (l_m, g_m, roff, coff): (Matrix, Matrix, usize, usize) = if sb == sa {
+                        (out.gl_diag[sa].clone(), out.gg_diag[sa].clone(), ra, rb)
+                    } else if sb == sa + 1 {
+                        let gl = out.gl_upper(sa);
+                        let mut gg = gl.clone();
+                        gg += &out.gr_upper[sa];
+                        gg -= &out.gr_lower[sa].dagger();
+                        (gl, gg, ra, rb)
+                    } else {
+                        let gl = out.gl_lower[sb].clone();
+                        let gg = out.gg_lower(sb);
+                        (gl, gg, ra, rb)
+                    };
+                    for i in 0..N3D {
+                        for j in 0..N3D {
+                            dst_l[base + i * N3D + j] = l_m[(roff + i, coff + j)];
+                            dst_g[base + i * N3D + j] = g_m[(roff + i, coff + j)];
+                        }
+                    }
+                };
+            for atom in 0..p.na {
+                write_pair(&mut dl, &mut dg, atom, p.nb, atom);
+                for slot in 0..p.nb {
+                    if let Some(b) = dev.neighbor(atom, slot) {
+                        write_pair(&mut dl, &mut dg, atom, slot, b);
+                    }
+                }
+            }
+            let t1 = bl_l.matmul(&out.gg_diag[0]).trace();
+            let t2 = bg_l.matmul(&out.gl_diag[0]).trace();
+            let espec = (t1 - t2).re * omega;
+            Ok((q, w, dl, dg, espec))
+        })
+        .collect();
+    let mut d_lesser = Tensor::zeros(&[p.nqz, p.nw, p.na, p.nb + 1, N3D, N3D]);
+    let mut d_greater = Tensor::zeros(&[p.nqz, p.nw, p.na, p.nb + 1, N3D, N3D]);
+    let mut energy_current = 0.0;
+    for r in results {
+        let (q, w, dl, dg, espec) = r?;
+        d_lesser.inner_mut(&[q, w]).copy_from_slice(&dl);
+        d_greater.inner_mut(&[q, w]).copy_from_slice(&dg);
+        energy_current += espec * grids.de / p.nqz as f64;
+    }
+    Ok(PhononGf {
+        d_lesser,
+        d_greater,
+        energy_current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SimParams, Device, ElectronModel, PhononModel, Grids) {
+        let p = SimParams::test_small();
+        let dev = Device::new(&p);
+        let em = ElectronModel::for_params(&p);
+        let pm = PhononModel::default();
+        let grids = Grids::new(&p, -1.2, 1.2);
+        (p, dev, em, pm, grids)
+    }
+
+    #[test]
+    fn electron_phase_produces_physical_tensors() {
+        let (p, dev, em, _, grids) = setup();
+        let sse = ElectronSelfEnergy::zeros(&p);
+        let cfg = GfConfig::default();
+        let out = electron_gf_phase(&dev, &em, &p, &grids, &sse, &cfg).unwrap();
+        assert_eq!(out.g_lesser.shape(), &[p.nkz, p.ne, p.na, p.norb, p.norb]);
+        // Physicality: per-atom spectral weight i·tr(G> − G<) ≥ 0 and all
+        // entries finite.
+        for k in 0..p.nkz {
+            for e in 0..p.ne {
+                for a in 0..p.na {
+                    let gl = out.g_lesser.inner(&[k, e, a]);
+                    let gg = out.g_greater.inner(&[k, e, a]);
+                    let mut spectral = 0.0;
+                    for o in 0..p.norb {
+                        let d = gg[o * p.norb + o] - gl[o * p.norb + o];
+                        // i·(G> − G<) diagonal must be ≥ 0 (spectral func).
+                        spectral += (Complex64::I * d).re;
+                        assert!(d.is_finite());
+                    }
+                    assert!(
+                        spectral >= -1e-9,
+                        "negative spectral weight at ({k},{e},{a}): {spectral}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ballistic_current_is_conserved_through_the_device() {
+        // Every slab interface must carry exactly the contact current —
+        // the strongest end-to-end check of RGF's off-diagonal blocks and
+        // the boundary self-energies.
+        let (p, dev, em, _, grids) = setup();
+        let sse = ElectronSelfEnergy::zeros(&p);
+        let mut cfg = GfConfig::default();
+        cfg.contacts.mu_left = 0.3;
+        cfg.contacts.mu_right = -0.3;
+        let out = electron_gf_phase(&dev, &em, &p, &grids, &sse, &cfg).unwrap();
+        assert!(out.current.abs() > 1e-12);
+        for (n, j) in out.bond_currents.iter().enumerate() {
+            assert!(
+                (j - out.current).abs() / out.current.abs() < 1e-9,
+                "bond {n}: {j} vs contact {}",
+                out.current
+            );
+        }
+    }
+
+    #[test]
+    fn equilibrium_current_vanishes() {
+        let (p, dev, em, _, grids) = setup();
+        let sse = ElectronSelfEnergy::zeros(&p);
+        let mut cfg = GfConfig::default();
+        cfg.contacts.mu_left = 0.0;
+        cfg.contacts.mu_right = 0.0;
+        let out = electron_gf_phase(&dev, &em, &p, &grids, &sse, &cfg).unwrap();
+        assert!(
+            out.current.abs() < 1e-8,
+            "equilibrium current must vanish, got {}",
+            out.current
+        );
+    }
+
+    #[test]
+    fn bias_drives_current() {
+        let (p, dev, em, _, grids) = setup();
+        let sse = ElectronSelfEnergy::zeros(&p);
+        let mut cfg = GfConfig::default();
+        cfg.contacts.mu_left = 0.3;
+        cfg.contacts.mu_right = -0.3;
+        let fwd = electron_gf_phase(&dev, &em, &p, &grids, &sse, &cfg).unwrap();
+        cfg.contacts.mu_left = -0.3;
+        cfg.contacts.mu_right = 0.3;
+        let rev = electron_gf_phase(&dev, &em, &p, &grids, &sse, &cfg).unwrap();
+        assert!(fwd.current > 1e-10, "forward bias current {}", fwd.current);
+        assert!(rev.current < -1e-10, "reverse bias current {}", rev.current);
+    }
+
+    #[test]
+    fn phonon_phase_produces_physical_tensors() {
+        let (p, dev, _, pm, grids) = setup();
+        let sse = PhononSelfEnergy::zeros(&p);
+        let cfg = GfConfig::default();
+        let out = phonon_gf_phase(&dev, &pm, &p, &grids, &sse, &cfg).unwrap();
+        assert_eq!(
+            out.d_lesser.shape(),
+            &[p.nqz, p.nw, p.na, p.nb + 1, N3D, N3D]
+        );
+        for q in 0..p.nqz {
+            for w in 0..p.nw {
+                for a in 0..p.na {
+                    // Diagonal slot: spectral positivity of the phonon GF.
+                    let dl = out.d_lesser.inner(&[q, w, a, p.nb]);
+                    let dg = out.d_greater.inner(&[q, w, a, p.nb]);
+                    let mut spectral = 0.0;
+                    for i in 0..N3D {
+                        let d = dg[i * N3D + i] - dl[i * N3D + i];
+                        assert!(d.is_finite());
+                        spectral += (Complex64::I * d).re;
+                    }
+                    assert!(
+                        spectral >= -1e-9,
+                        "phonon spectral weight at ({q},{w},{a}): {spectral}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scattering_self_energy_changes_gf() {
+        let (p, dev, em, _, grids) = setup();
+        let cfg = GfConfig::default();
+        let zero_sse = ElectronSelfEnergy::zeros(&p);
+        let base = electron_gf_phase(&dev, &em, &p, &grids, &zero_sse, &cfg).unwrap();
+        // Inject a uniform lossy self-energy on every atom.
+        let mut sse = ElectronSelfEnergy::zeros(&p);
+        for k in 0..p.nkz {
+            for e in 0..p.ne {
+                for a in 0..p.na {
+                    for o in 0..p.norb {
+                        sse.lesser.set(&[k, e, a, o, o], c64(0.0, 0.01));
+                        sse.greater.set(&[k, e, a, o, o], c64(0.0, -0.01));
+                    }
+                }
+            }
+        }
+        let scat = electron_gf_phase(&dev, &em, &p, &grids, &sse, &cfg).unwrap();
+        let diff = base.g_lesser.max_abs_diff(&scat.g_lesser);
+        assert!(diff > 1e-8, "scattering must affect G<: {diff}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Energy, frequency and momentum grids, plus equilibrium statistics.
+//!
+//! The SSE convolutions index `G(E − ħω, kz − qz)` directly by grid offsets,
+//! so the phonon frequency grid is aligned with the electron energy grid:
+//! `ω_l = l · dE` for `l = 1..Nω`. Momentum is periodic on `[−π, π)` and
+//! wraps modulo `Nkz` — exactly the index arithmetic of Fig. 5.
+
+use crate::params::SimParams;
+
+/// Boltzmann constant in eV/K.
+pub const KB_EV: f64 = 8.617_333_262e-5;
+
+/// Uniform electron energy grid with an aligned phonon frequency ladder.
+#[derive(Clone, Debug)]
+pub struct Grids {
+    /// Electron energies in eV (length `NE`).
+    pub energies: Vec<f64>,
+    /// Phonon energies `ħω` in eV (length `Nω`); `omegas[l] = (l+1)·dE`.
+    pub omegas: Vec<f64>,
+    /// Electron momentum points in `[−π, π)` (length `Nkz`).
+    pub kz: Vec<f64>,
+    /// Phonon momentum points (length `Nqz`).
+    pub qz: Vec<f64>,
+    /// Energy grid spacing in eV.
+    pub de: f64,
+}
+
+impl Grids {
+    /// Build grids spanning `[emin, emax]` with the simulation dimensions.
+    pub fn new(p: &SimParams, emin: f64, emax: f64) -> Self {
+        assert!(emax > emin, "empty energy window");
+        assert!(p.ne > 1);
+        let de = (emax - emin) / (p.ne - 1) as f64;
+        let energies = (0..p.ne).map(|e| emin + e as f64 * de).collect();
+        let omegas = (0..p.nw).map(|l| (l + 1) as f64 * de).collect();
+        let kz = momentum_points(p.nkz);
+        let qz = momentum_points(p.nqz);
+        Grids {
+            energies,
+            omegas,
+            kz,
+            qz,
+            de,
+        }
+    }
+
+    /// Index of `E − ω_l` on the energy grid, `None` if below the window.
+    #[inline]
+    pub fn e_minus_w(&self, e_idx: usize, w_idx: usize) -> Option<usize> {
+        e_idx.checked_sub(w_idx + 1)
+    }
+
+    /// Index of `E + ω_l`, `None` if above the window.
+    #[inline]
+    pub fn e_plus_w(&self, e_idx: usize, w_idx: usize) -> Option<usize> {
+        let i = e_idx + w_idx + 1;
+        (i < self.energies.len()).then_some(i)
+    }
+
+    /// Periodic wrap of `kz − qz` (momentum conservation on the ring).
+    #[inline]
+    pub fn k_minus_q(&self, k_idx: usize, q_idx: usize) -> usize {
+        let nk = self.kz.len();
+        (k_idx + nk - (q_idx % nk)) % nk
+    }
+
+    /// Periodic wrap of `kz + qz`.
+    #[inline]
+    pub fn k_plus_q(&self, k_idx: usize, q_idx: usize) -> usize {
+        (k_idx + q_idx) % self.kz.len()
+    }
+}
+
+/// `n` momentum points uniformly covering `[−π, π)`.
+pub fn momentum_points(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| -std::f64::consts::PI + 2.0 * std::f64::consts::PI * i as f64 / n as f64)
+        .collect()
+}
+
+/// Fermi–Dirac occupation at energy `e` (eV), chemical potential `mu`,
+/// temperature `t` (K).
+pub fn fermi(e: f64, mu: f64, t: f64) -> f64 {
+    let x = (e - mu) / (KB_EV * t.max(1e-9));
+    if x > 500.0 {
+        0.0
+    } else if x < -500.0 {
+        1.0
+    } else {
+        1.0 / (x.exp() + 1.0)
+    }
+}
+
+/// Bose–Einstein occupation at phonon energy `w` (eV), temperature `t` (K).
+pub fn bose(w: f64, t: f64) -> f64 {
+    let x = w / (KB_EV * t.max(1e-9));
+    if x > 500.0 {
+        0.0
+    } else {
+        1.0 / (x.exp() - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grids() -> Grids {
+        Grids::new(&SimParams::test_small(), -1.0, 1.0)
+    }
+
+    #[test]
+    fn energy_grid_uniform_and_aligned() {
+        let g = grids();
+        assert_eq!(g.energies.len(), 12);
+        assert!((g.energies[0] + 1.0).abs() < 1e-14);
+        assert!((g.energies[11] - 1.0).abs() < 1e-14);
+        // Frequency ladder aligned with grid spacing.
+        for (l, w) in g.omegas.iter().enumerate() {
+            assert!((w - (l + 1) as f64 * g.de).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn energy_offset_indexing() {
+        let g = grids();
+        assert_eq!(g.e_minus_w(5, 0), Some(4));
+        assert_eq!(g.e_minus_w(5, 2), Some(2));
+        assert_eq!(g.e_minus_w(0, 0), None);
+        assert_eq!(g.e_plus_w(5, 0), Some(6));
+        assert_eq!(g.e_plus_w(11, 0), None);
+        // Consistency: the index shift matches the energy difference.
+        let e_idx = 6;
+        let w_idx = 1;
+        let em = g.e_minus_w(e_idx, w_idx).unwrap();
+        assert!(
+            (g.energies[e_idx] - g.omegas[w_idx] - g.energies[em]).abs() < 1e-12,
+            "grid alignment must make E − ω land exactly on a grid point"
+        );
+    }
+
+    #[test]
+    fn momentum_wraps_periodically() {
+        let g = grids();
+        assert_eq!(g.k_minus_q(0, 1), 2); // Nkz = 3
+        assert_eq!(g.k_minus_q(2, 2), 0);
+        assert_eq!(g.k_plus_q(2, 2), 1);
+        for k in 0..3 {
+            for q in 0..3 {
+                assert_eq!(g.k_minus_q(g.k_plus_q(k, q), q), k);
+            }
+        }
+    }
+
+    #[test]
+    fn fermi_limits() {
+        assert!((fermi(-10.0, 0.0, 300.0) - 1.0).abs() < 1e-12);
+        assert!(fermi(10.0, 0.0, 300.0) < 1e-12);
+        assert!((fermi(0.0, 0.0, 300.0) - 0.5).abs() < 1e-12);
+        // No overflow far from mu.
+        assert_eq!(fermi(1e6, 0.0, 300.0), 0.0);
+        assert_eq!(fermi(-1e6, 0.0, 300.0), 1.0);
+    }
+
+    #[test]
+    fn bose_properties() {
+        let t = 300.0;
+        let w = 0.01;
+        let n = bose(w, t);
+        assert!(n > 0.0);
+        // Detailed balance: n(w) + 1 = e^{w/kT} n(w).
+        let ratio = (n + 1.0) / n;
+        assert!((ratio - (w / (KB_EV * t)).exp()).abs() < 1e-9);
+        // High-frequency limit vanishes.
+        assert!(bose(10.0, 300.0) < 1e-12);
+    }
+
+    #[test]
+    fn momentum_points_cover_brillouin_zone() {
+        let k = momentum_points(21);
+        assert_eq!(k.len(), 21);
+        assert!((k[0] + std::f64::consts::PI).abs() < 1e-14);
+        assert!(k[20] < std::f64::consts::PI);
+    }
+}

@@ -1,0 +1,408 @@
+//! Synthetic DFT-like electron Hamiltonian and phonon dynamical matrix.
+//!
+//! Substitution (DESIGN.md §4): production OMEN consumes `H(kz)`, `S(kz)`
+//! from CP2K/SIESTA and `Φ(qz)` from DFPT. We generate structurally
+//! faithful equivalents:
+//!
+//! * Hermitian block tri-diagonal `H(kz)` with `Norb` orbitals per atom,
+//!   nearest-neighbor couplings decaying with bond length, and a periodic
+//!   `2·cos(kz)` z-coupling (the momentum dependence of the folded
+//!   dimension);
+//! * an overlap `S(kz)` close to identity (localized, non-orthogonal GTO
+//!   basis);
+//! * Hamiltonian derivative blocks `∇H[a, b, i]` with the antisymmetry
+//!   `∇H_ba = −(∇H_ab)†` of a bond-vector derivative;
+//! * a dynamical matrix `Φ(qz)` obeying the acoustic sum rule at `qz = 0`.
+//!
+//! All entries are deterministic (hash-based), so every test and benchmark
+//! is reproducible without carrying input files.
+
+use crate::device::Device;
+use crate::params::{SimParams, N3D};
+use qt_linalg::{c64, BlockTridiag, Matrix, Tensor};
+
+/// Deterministic 64-bit mix (splitmix64) used to synthesize couplings.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform value in `[-1, 1)` from a hash key.
+#[inline]
+fn uniform(key: u64) -> f64 {
+    (mix(key) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+/// Electron structure generator.
+#[derive(Clone, Debug)]
+pub struct ElectronModel {
+    pub norb: usize,
+    /// Onsite orbital energy ladder spacing (eV).
+    pub onsite_spacing: f64,
+    /// Base hopping strength (eV).
+    pub hopping: f64,
+    /// z-direction (periodic) coupling strength (eV).
+    pub z_coupling: f64,
+    /// Overlap magnitude for neighbor pairs.
+    pub overlap: f64,
+    /// Random seed folded into every coupling.
+    pub seed: u64,
+}
+
+impl Default for ElectronModel {
+    fn default() -> Self {
+        ElectronModel {
+            norb: 2,
+            onsite_spacing: 0.35,
+            hopping: 0.8,
+            z_coupling: 0.15,
+            overlap: 0.04,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl ElectronModel {
+    pub fn for_params(p: &SimParams) -> Self {
+        ElectronModel {
+            norb: p.norb,
+            ..Default::default()
+        }
+    }
+
+    /// Hermitian coupling block between neighbor atoms `a != b`
+    /// (`H_ab`; caller must place `H_ba = H_ab†`).
+    fn coupling(&self, dev: &Device, a: usize, b: usize) -> Matrix {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let decay = (-1.2 * (dev.distance(a, b) - 0.5)).exp();
+        let t = self.hopping * decay;
+        let m = Matrix::from_fn(self.norb, self.norb, |o1, o2| {
+            let key = self
+                .seed
+                .wrapping_mul(31)
+                .wrapping_add((lo as u64) << 40)
+                .wrapping_add((hi as u64) << 20)
+                .wrapping_add((o1 * self.norb + o2) as u64);
+            c64(
+                t * (0.6 + 0.4 * uniform(key)),
+                0.3 * t * uniform(key ^ 0xABCD),
+            )
+        });
+        if a <= b {
+            m
+        } else {
+            m.dagger()
+        }
+    }
+
+    /// Onsite block of atom `a` (Hermitian), including the `2·cos(kz)`
+    /// periodic z-coupling.
+    fn onsite(&self, a: usize, kz: f64) -> Matrix {
+        let mut m = Matrix::zeros(self.norb, self.norb);
+        for o in 0..self.norb {
+            let eps = self.onsite_spacing * (o as f64 - (self.norb - 1) as f64 / 2.0)
+                + 0.05 * uniform(self.seed ^ ((a as u64) << 8) ^ o as u64);
+            m[(o, o)] = c64(eps + 2.0 * self.z_coupling * kz.cos(), 0.0);
+        }
+        m
+    }
+
+    /// Assemble the block tri-diagonal `H(kz)`. Couplings are placed per
+    /// symmetric pair (`H_ba = H_ab†`), so the result is Hermitian by
+    /// construction.
+    pub fn hamiltonian(&self, dev: &Device, kz: f64) -> BlockTridiag {
+        let bs = dev.atoms_per_slab * self.norb;
+        let mut h = BlockTridiag::zeros(dev.bnum, bs);
+        let apb = dev.atoms_per_slab;
+        for a in 0..dev.na {
+            let sa = dev.slab_of(a);
+            let ra = a % apb;
+            let on = self.onsite(a, kz);
+            h.diag_mut(sa)
+                .set_submatrix(ra * self.norb, ra * self.norb, &on);
+        }
+        for (a, b) in dev.coupling_pairs() {
+            let (sa, sb) = (dev.slab_of(a), dev.slab_of(b));
+            let (ra, rb) = (a % apb, b % apb);
+            let blk = self.coupling(dev, a, b); // a < b
+            let dag = blk.dagger();
+            if sb == sa {
+                h.diag_mut(sa)
+                    .set_submatrix(ra * self.norb, rb * self.norb, &blk);
+                h.diag_mut(sa)
+                    .set_submatrix(rb * self.norb, ra * self.norb, &dag);
+            } else {
+                // a < b and slab-major layout imply sb == sa + 1.
+                h.upper_mut(sa)
+                    .set_submatrix(ra * self.norb, rb * self.norb, &blk);
+                h.lower_mut(sa)
+                    .set_submatrix(rb * self.norb, ra * self.norb, &dag);
+            }
+        }
+        h
+    }
+
+    /// Assemble the overlap `S(kz)` (identity plus small neighbor overlap).
+    pub fn overlap_matrix(&self, dev: &Device, _kz: f64) -> BlockTridiag {
+        let bs = dev.atoms_per_slab * self.norb;
+        let mut s = BlockTridiag::zeros(dev.bnum, bs);
+        let apb = dev.atoms_per_slab;
+        for n in 0..dev.bnum {
+            *s.diag_mut(n) = Matrix::identity(bs);
+        }
+        for (a, b) in dev.coupling_pairs() {
+            let (sa, sb) = (dev.slab_of(a), dev.slab_of(b));
+            let (ra, rb) = (a % apb, b % apb);
+            let v = self.overlap * (-1.5 * (dev.distance(a, b) - 0.5)).exp();
+            let blk = Matrix::scaled_identity(self.norb, c64(v, 0.0));
+            if sb == sa {
+                s.diag_mut(sa)
+                    .set_submatrix(ra * self.norb, rb * self.norb, &blk);
+                s.diag_mut(sa)
+                    .set_submatrix(rb * self.norb, ra * self.norb, &blk);
+            } else {
+                s.upper_mut(sa)
+                    .set_submatrix(ra * self.norb, rb * self.norb, &blk);
+                s.lower_mut(sa)
+                    .set_submatrix(rb * self.norb, ra * self.norb, &blk);
+            }
+        }
+        s
+    }
+
+    /// Hamiltonian derivative tensor `∇H[a, b_slot, i]` of shape
+    /// `[NA, NB, 3, Norb, Norb]`, with `∇H_ba,i = −(∇H_ab,i)†`.
+    pub fn dh_tensor(&self, dev: &Device) -> Tensor {
+        let no = self.norb;
+        let mut t = Tensor::zeros(&[dev.na, dev.nb, N3D, no, no]);
+        for a in 0..dev.na {
+            for slot in 0..dev.nb {
+                let Some(b) = dev.neighbor(a, slot) else {
+                    continue;
+                };
+                let dir = dev.bond_direction(a, b);
+                let (lo, hi) = (a.min(b), a.max(b));
+                // Hermitian kernel K_ab shared by the pair.
+                let k = Matrix::from_fn(no, no, |o1, o2| {
+                    let key = self
+                        .seed
+                        .wrapping_mul(77)
+                        .wrapping_add((lo as u64) << 36)
+                        .wrapping_add((hi as u64) << 16)
+                        .wrapping_add((o1.min(o2) * no + o1.max(o2)) as u64);
+                    let re = 0.12 * self.hopping * uniform(key);
+                    let im = if o1 == o2 {
+                        0.0
+                    } else {
+                        0.06 * self.hopping * uniform(key ^ 0xF00D) * if o1 < o2 { 1.0 } else { -1.0 }
+                    };
+                    c64(re, im)
+                });
+                // The antisymmetric bond direction carries the sign of the
+                // derivative convention ∇H_ba = −(∇H_ab)†.
+                for i in 0..N3D {
+                    let block = k.scale(c64(dir[i], 0.0));
+                    let dst = t.inner_mut(&[a, slot, i]);
+                    dst.copy_from_slice(block.as_slice());
+                }
+            }
+        }
+        t
+    }
+}
+
+/// Phonon structure generator.
+#[derive(Clone, Debug)]
+pub struct PhononModel {
+    /// Base spring constant (eV²; frequencies are in eV via ω² units).
+    pub spring: f64,
+    /// Periodic z-spring strength.
+    pub z_spring: f64,
+    pub seed: u64,
+}
+
+impl Default for PhononModel {
+    fn default() -> Self {
+        PhononModel {
+            spring: 0.05,
+            z_spring: 0.01,
+            seed: 0xF0F0,
+        }
+    }
+}
+
+impl PhononModel {
+    /// 3×3 spring block for the pair `a → b` (negative semidefinite
+    /// contribution `−k·(ê⊗ê + 0.3·I)`).
+    fn pair_block(&self, dev: &Device, a: usize, b: usize) -> Matrix {
+        let dir = if a < b {
+            dev.bond_direction(a, b)
+        } else {
+            dev.bond_direction(b, a)
+        };
+        let (lo, hi) = (a.min(b), a.max(b));
+        let k = self.spring
+            * (-(dev.distance(a, b) - 0.5)).exp()
+            * (0.8 + 0.2 * uniform(self.seed ^ ((lo as u64) << 24) ^ hi as u64));
+        Matrix::from_fn(N3D, N3D, |i, j| {
+            let v = k * (dir[i] * dir[j] + if i == j { 0.3 } else { 0.0 });
+            c64(-v, 0.0)
+        })
+    }
+
+    /// Assemble the dynamical matrix `Φ(qz)`. At `qz = 0` each row of
+    /// 3×3 blocks sums to zero (acoustic sum rule).
+    pub fn dynamical(&self, dev: &Device, qz: f64) -> BlockTridiag {
+        let bs = dev.atoms_per_slab * N3D;
+        let mut phi = BlockTridiag::zeros(dev.bnum, bs);
+        let apb = dev.atoms_per_slab;
+        let mut onsite: Vec<Matrix> = vec![Matrix::zeros(N3D, N3D); dev.na];
+        for (a, b) in dev.coupling_pairs() {
+            let (sa, sb) = (dev.slab_of(a), dev.slab_of(b));
+            let (ra, rb) = (a % apb, b % apb);
+            let blk = self.pair_block(dev, a, b); // real symmetric
+            // Acoustic sum rule: each atom's onsite subtracts its incident
+            // pair blocks.
+            onsite[a] -= &blk;
+            onsite[b] -= &blk;
+            if sb == sa {
+                phi.diag_mut(sa).set_submatrix(ra * N3D, rb * N3D, &blk);
+                phi.diag_mut(sa).set_submatrix(rb * N3D, ra * N3D, &blk);
+            } else {
+                phi.upper_mut(sa).set_submatrix(ra * N3D, rb * N3D, &blk);
+                phi.lower_mut(sa).set_submatrix(rb * N3D, ra * N3D, &blk);
+            }
+        }
+        for (a, mut on) in onsite.into_iter().enumerate() {
+            let sa = dev.slab_of(a);
+            let ra = a % apb;
+            // Periodic z-springs: +2k_z·(1 − cos(qz)) lifts the acoustic
+            // branch at finite qz while preserving the sum rule at qz = 0.
+            for i in 0..N3D {
+                on[(i, i)] += c64(2.0 * self.z_spring * (1.0 - qz.cos()), 0.0);
+            }
+            phi.diag_mut(sa).set_submatrix(ra * N3D, ra * N3D, &on);
+        }
+        phi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_linalg::Complex64;
+
+    fn setup() -> (Device, ElectronModel, PhononModel) {
+        let p = SimParams::test_small();
+        (
+            Device::new(&p),
+            ElectronModel::for_params(&p),
+            PhononModel::default(),
+        )
+    }
+
+    #[test]
+    fn hamiltonian_is_hermitian_at_all_kz() {
+        let (dev, em, _) = setup();
+        for &kz in &[0.0, 1.1, -2.3, std::f64::consts::PI] {
+            let h = em.hamiltonian(&dev, kz);
+            assert!(h.is_hermitian(1e-12), "H(kz={kz}) must be Hermitian");
+        }
+    }
+
+    #[test]
+    fn overlap_is_hermitian_and_near_identity() {
+        let (dev, em, _) = setup();
+        let s = em.overlap_matrix(&dev, 0.3);
+        assert!(s.is_hermitian(1e-12));
+        let d = s.to_dense();
+        for i in 0..d.rows() {
+            assert!((d[(i, i)] - Complex64::ONE).abs() < 1e-12);
+            // Diagonally dominant -> positive definite.
+            let off: f64 = (0..d.cols())
+                .filter(|&j| j != i)
+                .map(|j| d[(i, j)].abs())
+                .sum();
+            assert!(off < 1.0, "row {i} off-diagonal mass {off}");
+        }
+    }
+
+    #[test]
+    fn hamiltonian_depends_on_kz() {
+        let (dev, em, _) = setup();
+        let h0 = em.hamiltonian(&dev, 0.0);
+        let h1 = em.hamiltonian(&dev, 1.5);
+        assert!(h0.diag(0).max_abs_diff(h1.diag(0)) > 1e-6);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let (dev, em, _) = setup();
+        let a = em.hamiltonian(&dev, 0.7);
+        let b = em.hamiltonian(&dev, 0.7);
+        assert!(a.to_dense().max_abs_diff(&b.to_dense()) == 0.0);
+    }
+
+    #[test]
+    fn dh_antisymmetry() {
+        let (dev, em, _) = setup();
+        let dh = em.dh_tensor(&dev);
+        // For each pair (a, b) find the reverse slot and check
+        // ∇H_ba = −(∇H_ab)†.
+        for a in 0..dev.na {
+            for slot in 0..dev.nb {
+                let Some(b) = dev.neighbor(a, slot) else {
+                    continue;
+                };
+                let Some(back) = (0..dev.nb).find(|&s| dev.neighbor(b, s) == Some(a)) else {
+                    continue;
+                };
+                for i in 0..N3D {
+                    let fwd = Matrix::from_vec(em.norb, em.norb, dh.inner(&[a, slot, i]).to_vec());
+                    let rev = Matrix::from_vec(em.norb, em.norb, dh.inner(&[b, back, i]).to_vec());
+                    let expect = fwd.dagger().scale(c64(-1.0, 0.0));
+                    assert!(
+                        rev.max_abs_diff(&expect) < 1e-12,
+                        "pair ({a},{b}) dir {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamical_matrix_hermitian_and_acoustic() {
+        let (dev, _, pm) = setup();
+        let phi = pm.dynamical(&dev, 0.0);
+        assert!(phi.is_hermitian(1e-12));
+        // Acoustic sum rule at qz = 0: uniform translation is a zero mode.
+        let dense = phi.to_dense();
+        let n = dense.rows();
+        for i in 0..n {
+            let mut row_sum = Complex64::ZERO;
+            // Sum over same cartesian component of all atoms.
+            let comp = i % N3D;
+            for j in (comp..n).step_by(N3D) {
+                row_sum += dense[(i, j)];
+            }
+            assert!(
+                row_sum.abs() < 1e-12,
+                "row {i} violates acoustic sum rule: {row_sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamical_qz_gap_opens() {
+        let (dev, _, pm) = setup();
+        let phi0 = pm.dynamical(&dev, 0.0);
+        let phi1 = pm.dynamical(&dev, std::f64::consts::PI);
+        // The z-spring lifts the acoustic mode at finite qz.
+        let diff = phi1.diag(0).max_abs_diff(phi0.diag(0));
+        assert!(diff > 1e-6);
+    }
+}

@@ -1,0 +1,12 @@
+//! # qt-core — dissipative quantum transport (NEGF) core
+pub mod boundary;
+pub mod flops;
+pub mod device;
+pub mod gf;
+pub mod grids;
+pub mod hamiltonian;
+pub mod observables;
+pub mod params;
+pub mod rgf;
+pub mod scf;
+pub mod sse;

@@ -1,0 +1,280 @@
+//! Physical observables: currents, densities, and the atomically-resolved
+//! dissipated power that produces the temperature map of Fig. 1(d).
+
+use crate::gf::{ElectronGf, ElectronSelfEnergy};
+use crate::grids::Grids;
+use crate::params::SimParams;
+use qt_linalg::Complex64;
+
+/// Power dissipated by electron-phonon scattering per atom:
+/// `P_a = Σ_{kz} ∫ dE/2π · E · Re tr[Σ>_a G<_a − Σ<_a G>_a]`
+/// (out-scattering minus in-scattering, weighted by the electron energy).
+///
+/// Positive values mean the electron gas loses energy to the lattice at
+/// atom `a` (Joule heating); the spatial profile is the Fig. 1(d) map.
+pub fn dissipated_power_per_atom(
+    p: &SimParams,
+    grids: &Grids,
+    sigma: &ElectronSelfEnergy,
+    egf: &ElectronGf,
+) -> Vec<f64> {
+    let no = p.norb;
+    let weight = grids.de / (2.0 * std::f64::consts::PI * p.nkz as f64);
+    let mut power = vec![0.0; p.na];
+    for k in 0..p.nkz {
+        for e in 0..p.ne {
+            let energy = grids.energies[e];
+            for a in 0..p.na {
+                let sl = sigma.lesser.inner(&[k, e, a]);
+                let sg = sigma.greater.inner(&[k, e, a]);
+                let gl = egf.g_lesser.inner(&[k, e, a]);
+                let gg = egf.g_greater.inner(&[k, e, a]);
+                // tr(Σ> G< − Σ< G>) with row-major blocks.
+                let mut tr = Complex64::ZERO;
+                for i in 0..no {
+                    for j in 0..no {
+                        tr += sg[i * no + j] * gl[j * no + i];
+                        tr -= sl[i * no + j] * gg[j * no + i];
+                    }
+                }
+                power[a] += energy * tr.re * weight;
+            }
+        }
+    }
+    power
+}
+
+/// Map per-atom dissipated power onto an effective lattice temperature:
+/// `T_a = T0 + c · P_a` with `c` chosen so the hottest atom sits `dt_max`
+/// above the bath (a linearized proxy for the thermal solver the paper's
+/// Fig. 1(d) visualizes).
+pub fn temperature_map(power: &[f64], t0: f64, dt_max: f64) -> Vec<f64> {
+    let pmax = power.iter().cloned().fold(0.0_f64, f64::max);
+    if pmax <= 0.0 {
+        return vec![t0; power.len()];
+    }
+    power
+        .iter()
+        .map(|&p| t0 + dt_max * (p.max(0.0) / pmax))
+        .collect()
+}
+
+/// Electron density per atom: `n_a = −i Σ_{kz} ∫ dE/2π tr G<_aa`.
+pub fn electron_density(p: &SimParams, grids: &Grids, egf: &ElectronGf) -> Vec<f64> {
+    let no = p.norb;
+    let weight = grids.de / (2.0 * std::f64::consts::PI * p.nkz as f64);
+    let mut dens = vec![0.0; p.na];
+    for k in 0..p.nkz {
+        for e in 0..p.ne {
+            for a in 0..p.na {
+                let gl = egf.g_lesser.inner(&[k, e, a]);
+                let mut tr = Complex64::ZERO;
+                for o in 0..no {
+                    tr += gl[o * no + o];
+                }
+                dens[a] += (-Complex64::I * tr).re * weight;
+            }
+        }
+    }
+    dens
+}
+
+/// Local density of states per atom and energy (summed over momentum):
+/// `LDOS_a(E) = (1/2π·Nkz) Σ_kz tr[i(G> − G<)_aa]` — the spectral weight
+/// available for transport at each site.
+pub fn local_dos(p: &SimParams, egf: &ElectronGf) -> Vec<Vec<f64>> {
+    let no = p.norb;
+    let mut ldos = vec![vec![0.0; p.ne]; p.na];
+    let weight = 1.0 / (2.0 * std::f64::consts::PI * p.nkz as f64);
+    for k in 0..p.nkz {
+        for e in 0..p.ne {
+            for a in 0..p.na {
+                let gl = egf.g_lesser.inner(&[k, e, a]);
+                let gg = egf.g_greater.inner(&[k, e, a]);
+                let mut tr = Complex64::ZERO;
+                for o in 0..no {
+                    tr += gg[o * no + o] - gl[o * no + o];
+                }
+                ldos[a][e] += (Complex64::I * tr).re * weight;
+            }
+        }
+    }
+    ldos
+}
+
+/// Total density of states `DOS(E) = Σ_a LDOS_a(E)`.
+pub fn density_of_states(p: &SimParams, egf: &ElectronGf) -> Vec<f64> {
+    let ldos = local_dos(p, egf);
+    (0..p.ne)
+        .map(|e| ldos.iter().map(|row| row[e]).sum())
+        .collect()
+}
+
+/// Ballistic transmission function `T(E) = i(E) / (f_L(E) − f_R(E))`,
+/// recovered from the Meir–Wingreen current spectrum (Landauer form).
+/// Energies where the occupation difference is below `window_tol` return 0
+/// (no signal to divide by).
+pub fn transmission_spectrum(
+    p: &SimParams,
+    grids: &Grids,
+    egf: &ElectronGf,
+    contacts: &crate::gf::Contacts,
+    window_tol: f64,
+) -> Vec<f64> {
+    use crate::grids::fermi;
+    let spec = current_spectrum_by_energy(p, egf);
+    grids
+        .energies
+        .iter()
+        .zip(spec)
+        .map(|(&e, i)| {
+            let df = fermi(e, contacts.mu_left, contacts.temperature)
+                - fermi(e, contacts.mu_right, contacts.temperature);
+            if df.abs() < window_tol {
+                0.0
+            } else {
+                i / df
+            }
+        })
+        .collect()
+}
+
+/// Energy-resolved current spectrum summed over momentum, `i(E)`.
+pub fn current_spectrum_by_energy(p: &SimParams, egf: &ElectronGf) -> Vec<f64> {
+    let mut spec = vec![0.0; p.ne];
+    for k in 0..p.nkz {
+        for e in 0..p.ne {
+            spec[e] += egf.current_spectrum[k * p.ne + e] / p.nkz as f64;
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scf::{run_scf, ScfConfig, Simulation};
+
+    fn converged() -> (Simulation, crate::scf::ScfResult) {
+        let p = SimParams {
+            nkz: 2,
+            nqz: 2,
+            ne: 10,
+            nw: 2,
+            na: 8,
+            nb: 3,
+            norb: 2,
+            bnum: 4,
+        };
+        let sim = Simulation::new(p, -1.2, 1.2);
+        let mut cfg = ScfConfig::default();
+        cfg.gf.contacts.mu_left = 0.4;
+        cfg.gf.contacts.mu_right = -0.4;
+        cfg.max_iterations = 10;
+        let out = run_scf(&sim, &cfg).unwrap();
+        (sim, out)
+    }
+
+    #[test]
+    fn dissipated_power_is_finite_and_nontrivial() {
+        let (sim, out) = converged();
+        let power = dissipated_power_per_atom(&sim.p, &sim.grids, &out.sigma, &out.electron);
+        assert_eq!(power.len(), sim.p.na);
+        assert!(power.iter().all(|p| p.is_finite()));
+        let total: f64 = power.iter().map(|p| p.abs()).sum();
+        assert!(total > 0.0, "scattering must exchange energy somewhere");
+    }
+
+    #[test]
+    fn temperature_map_bounds() {
+        let power = vec![0.0, 1.0, 2.0, 0.5];
+        let t = temperature_map(&power, 300.0, 100.0);
+        assert_eq!(t[0], 300.0);
+        assert_eq!(t[2], 400.0);
+        assert!(t.iter().all(|&x| (300.0..=400.0).contains(&x)));
+        // All-zero power: uniform bath temperature.
+        let t = temperature_map(&[0.0; 4], 300.0, 100.0);
+        assert!(t.iter().all(|&x| x == 300.0));
+    }
+
+    #[test]
+    fn density_positive() {
+        let (sim, out) = converged();
+        let dens = electron_density(&sim.p, &sim.grids, &out.electron);
+        assert!(
+            dens.iter().all(|&n| n >= -1e-9),
+            "electron density must be non-negative: {dens:?}"
+        );
+        assert!(dens.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn dos_is_non_negative_and_integrates_to_states() {
+        let (sim, out) = converged();
+        let dos = density_of_states(&sim.p, &out.electron);
+        assert_eq!(dos.len(), sim.p.ne);
+        assert!(dos.iter().all(|&d| d >= -1e-9), "DOS must be non-negative");
+        // The spectral weight integrated over the window is bounded by the
+        // total orbital count (states outside the window are missed, never
+        // overcounted).
+        let total: f64 = dos.iter().map(|d| d * sim.grids.de).sum();
+        let states = (sim.p.na * sim.p.norb) as f64;
+        assert!(total > 0.0 && total <= states * 1.01, "{total} vs {states}");
+    }
+
+    #[test]
+    fn ldos_sums_to_dos() {
+        let (sim, out) = converged();
+        let ldos = local_dos(&sim.p, &out.electron);
+        let dos = density_of_states(&sim.p, &out.electron);
+        for e in 0..sim.p.ne {
+            let s: f64 = ldos.iter().map(|row| row[e]).sum();
+            assert!((s - dos[e]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transmission_is_physical_in_ballistic_limit() {
+        // Ballistic (zero SSE) transport: T(E) ∈ [0, channels].
+        let p = SimParams {
+            nkz: 2,
+            nqz: 2,
+            ne: 16,
+            nw: 2,
+            na: 8,
+            nb: 3,
+            norb: 2,
+            bnum: 4,
+        };
+        let sim = Simulation::new(p, -1.2, 1.2);
+        let mut cfg = crate::gf::GfConfig::default();
+        cfg.contacts.mu_left = 0.5;
+        cfg.contacts.mu_right = -0.5;
+        let egf = crate::gf::electron_gf_phase(
+            &sim.dev,
+            &sim.em,
+            &p,
+            &sim.grids,
+            &crate::gf::ElectronSelfEnergy::zeros(&p),
+            &cfg,
+        )
+        .unwrap();
+        let t = transmission_spectrum(&p, &sim.grids, &egf, &cfg.contacts, 1e-3);
+        let channels = (p.na / p.bnum * p.norb) as f64; // slab cross-section
+        for (e, &ti) in t.iter().enumerate() {
+            assert!(
+                ti >= -1e-9 && ti <= channels + 1e-6,
+                "T(E_{e}) = {ti} outside [0, {channels}]"
+            );
+        }
+        assert!(t.iter().any(|&ti| ti > 1e-6), "some channel must transmit");
+    }
+
+    #[test]
+    fn spectrum_sums_to_current() {
+        let (sim, out) = converged();
+        let spec = current_spectrum_by_energy(&sim.p, &out.electron);
+        let total: f64 = spec.iter().map(|s| s * sim.grids.de).sum();
+        assert!((total - out.electron.current).abs() < 1e-10);
+    }
+}

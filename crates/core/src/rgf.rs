@@ -1,0 +1,403 @@
+//! Recursive Green's Function solver (§2, ref. \[23\] Svizhenko et al.).
+//!
+//! Given the block tri-diagonal `A = z·S − H − Σᴿ` and block-diagonal
+//! lesser self-energy `Σ<`, RGF computes the diagonal (and first
+//! sub-diagonal) blocks of
+//!
+//! * `Gᴿ = A⁻¹`
+//! * `G< = Gᴿ Σ< Gᴿ†`
+//! * `G> = G< + Gᴿ − Gᴿ†`
+//!
+//! in `O(bnum · bs³)` instead of dense `O((bnum·bs)³)`. The recursions are
+//! the standard left-connected forward pass plus the exact backward-pass
+//! identities (derived and unit-verified against dense inversion):
+//!
+//! ```text
+//! forward:  gᴿ_n = (A_nn − A_{n,n−1} gᴿ_{n−1} A_{n−1,n})⁻¹
+//!           g<_n = gᴿ_n (Σ<_nn + A_{n,n−1} g<_{n−1} A_{n,n−1}†) gᴿ_n†
+//! backward: Gᴿ_nn   = gᴿ_n + gᴿ_n A_{n,n+1} Gᴿ_{n+1,n+1} A_{n+1,n} gᴿ_n
+//!           G<_nn   = g<_n + gᴿ_n A_{n,n+1} G<_{n+1,n+1} A_{n,n+1}† gᴿ_n†
+//!                   + gᴿ_n A_{n,n+1} Gᴿ_{n+1,n+1} A_{n+1,n} g<_n
+//!                   + g<_n A_{n+1,n}† Gᴿ_{n+1,n+1}† A_{n,n+1}† gᴿ_n†
+//!           Gᴿ_{n+1,n} = −Gᴿ_{n+1,n+1} A_{n+1,n} gᴿ_n
+//!           G<_{n+1,n} = −Gᴿ_{n+1,n+1} A_{n+1,n} g<_n − G<_{n+1,n+1} A_{n,n+1}† gᴿ_n†
+//! ```
+
+use qt_linalg::{invert, BlockTridiag, CsrMatrix, Matrix, SingularMatrix};
+
+/// How the off-diagonal triple products of the forward pass are evaluated
+/// (the Table 6 design space, §5.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum MultiplyStrategy {
+    /// Densify everything and use plain GEMM (Table 6 "Dense-MM").
+    #[default]
+    Dense,
+    /// Exploit the sparsity of the Hamiltonian coupling blocks:
+    /// `CSR × dense` followed by `dense × CSR` (Table 6 "CSRMM", the
+    /// paper's fastest route). Off-diagonal `A` blocks are converted to
+    /// CSR once per solve; entries below `threshold` are dropped
+    /// (structural zeros of the Hamiltonian, not numerical truncation,
+    /// with the default of 0).
+    Csrmm {
+        /// Magnitude below which entries are treated as structural zeros.
+        threshold: f64,
+    },
+}
+
+/// Diagonal and first-subdiagonal Green's-function blocks.
+#[derive(Clone, Debug)]
+pub struct RgfOutput {
+    /// `Gᴿ_nn` for every block.
+    pub gr_diag: Vec<Matrix>,
+    /// `G<_nn`.
+    pub gl_diag: Vec<Matrix>,
+    /// `G>_nn`.
+    pub gg_diag: Vec<Matrix>,
+    /// `Gᴿ_{n+1,n}` (length `bnum − 1`).
+    pub gr_lower: Vec<Matrix>,
+    /// `Gᴿ_{n,n+1}`.
+    pub gr_upper: Vec<Matrix>,
+    /// `G<_{n+1,n}`.
+    pub gl_lower: Vec<Matrix>,
+}
+
+impl RgfOutput {
+    /// `G<_{n,n+1}` from anti-Hermiticity: `G<_{n,n+1} = −(G<_{n+1,n})†`.
+    pub fn gl_upper(&self, n: usize) -> Matrix {
+        self.gl_lower[n].dagger().scale(qt_linalg::c64(-1.0, 0.0))
+    }
+
+    /// `G>_{n+1,n} = G<_{n+1,n} + Gᴿ_{n+1,n} − (Gᴿ_{n,n+1})†`.
+    pub fn gg_lower(&self, n: usize) -> Matrix {
+        let mut gg = self.gl_lower[n].clone();
+        gg += &self.gr_lower[n];
+        gg -= &self.gr_upper[n].dagger();
+        gg
+    }
+}
+
+/// Run RGF with the default dense multiply strategy. `a` is the full
+/// `z·S − H − Σᴿ` block tri-diagonal; `sigma_lesser[n]` the lesser
+/// self-energy of block `n` (boundary + scattering contributions already
+/// summed).
+pub fn rgf(a: &BlockTridiag, sigma_lesser: &[Matrix]) -> Result<RgfOutput, SingularMatrix> {
+    rgf_with_strategy(a, sigma_lesser, MultiplyStrategy::Dense)
+}
+
+/// Run RGF with an explicit off-diagonal multiply strategy (Table 6).
+pub fn rgf_with_strategy(
+    a: &BlockTridiag,
+    sigma_lesser: &[Matrix],
+    strategy: MultiplyStrategy,
+) -> Result<RgfOutput, SingularMatrix> {
+    let nb = a.num_blocks();
+    assert_eq!(sigma_lesser.len(), nb, "one Σ< block per RGF block");
+    // CSR images of the coupling blocks for the CSRMM route.
+    let sparse_couplings: Option<(Vec<CsrMatrix>, Vec<CsrMatrix>)> = match strategy {
+        MultiplyStrategy::Dense => None,
+        MultiplyStrategy::Csrmm { threshold } => Some((
+            (0..nb - 1).map(|n| CsrMatrix::from_dense(a.lower(n), threshold)).collect(),
+            (0..nb - 1).map(|n| CsrMatrix::from_dense(a.upper(n), threshold)).collect(),
+        )),
+    };
+    // Forward pass: left-connected g's.
+    let mut g_r: Vec<Matrix> = Vec::with_capacity(nb);
+    let mut g_l: Vec<Matrix> = Vec::with_capacity(nb);
+    for n in 0..nb {
+        let (m, sig_eff) = if n == 0 {
+            (a.diag(0).clone(), sigma_lesser[0].clone())
+        } else {
+            // A_{n,n−1} couples block n−1 into n; the triple product
+            // `A_{n,n−1} · gᴿ_{n−1} · A_{n−1,n}` is the Table 6 operation.
+            let tau = a.lower(n - 1);
+            let mut m = a.diag(n).clone();
+            let mut sig = sigma_lesser[n].clone();
+            match &sparse_couplings {
+                None => {
+                    m -= &tau.matmul(&g_r[n - 1]).matmul(a.upper(n - 1));
+                    sig += &tau.matmul(&g_l[n - 1]).matmul(&tau.dagger());
+                }
+                Some((lowers, uppers)) => {
+                    // CSRMM: sparse × dense, then dense × sparse.
+                    let lo_sp = &lowers[n - 1];
+                    let up_sp = &uppers[n - 1];
+                    let tg = lo_sp.mul_dense(&g_r[n - 1]);
+                    m -= &up_sp.rmul_dense(&tg);
+                    let tl = lo_sp.mul_dense(&g_l[n - 1]);
+                    sig += &tl.matmul(&tau.dagger());
+                }
+            }
+            (m, sig)
+        };
+        let gr = invert(&m)?;
+        let gl = gr.matmul(&sig_eff).matmul(&gr.dagger());
+        g_r.push(gr);
+        g_l.push(gl);
+    }
+    // Backward pass.
+    let mut gr_diag = vec![Matrix::zeros(0, 0); nb];
+    let mut gl_diag = vec![Matrix::zeros(0, 0); nb];
+    let mut gr_lower = vec![Matrix::zeros(0, 0); nb.saturating_sub(1)];
+    let mut gr_upper = vec![Matrix::zeros(0, 0); nb.saturating_sub(1)];
+    let mut gl_lower = vec![Matrix::zeros(0, 0); nb.saturating_sub(1)];
+    gr_diag[nb - 1] = g_r[nb - 1].clone();
+    gl_diag[nb - 1] = g_l[nb - 1].clone();
+    for n in (0..nb - 1).rev() {
+        let up = a.upper(n); // A_{n,n+1}
+        let lo = a.lower(n); // A_{n+1,n}
+        let gr_next = gr_diag[n + 1].clone();
+        let gl_next = gl_diag[n + 1].clone();
+        let gr_n = &g_r[n];
+        let gl_n = &g_l[n];
+        let gr_n_dag = gr_n.dagger();
+        // Gᴿ_nn
+        let t1 = gr_n.matmul(up); // gᴿ_n A_{n,n+1}
+        let mut grd = gr_n.clone();
+        grd += &t1.matmul(&gr_next).matmul(lo).matmul(gr_n);
+        // G<_nn — four terms.
+        let mut gld = gl_n.clone();
+        gld += &t1.matmul(&gl_next).matmul(&up.dagger()).matmul(&gr_n_dag);
+        let t2 = t1.matmul(&gr_next).matmul(lo).matmul(gl_n);
+        gld += &t2;
+        gld += &gl_n
+            .matmul(&lo.dagger())
+            .matmul(&gr_next.dagger())
+            .matmul(&up.dagger())
+            .matmul(&gr_n_dag);
+        // Off-diagonal blocks.
+        let mut grl = gr_next.matmul(lo).matmul(gr_n);
+        grl = grl.scale(qt_linalg::c64(-1.0, 0.0));
+        let gru = gr_n
+            .matmul(up)
+            .matmul(&gr_next)
+            .scale(qt_linalg::c64(-1.0, 0.0));
+        let mut gll = gr_next.matmul(lo).matmul(gl_n);
+        gll += &gl_next.matmul(&up.dagger()).matmul(&gr_n_dag);
+        gll = gll.scale(qt_linalg::c64(-1.0, 0.0));
+        gr_diag[n] = grd;
+        gl_diag[n] = gld;
+        gr_lower[n] = grl;
+        gr_upper[n] = gru;
+        gl_lower[n] = gll;
+    }
+    // G> from the exact identity G> = G< + Gᴿ − Gᴬ.
+    let gg_diag: Vec<Matrix> = gr_diag
+        .iter()
+        .zip(&gl_diag)
+        .map(|(gr, gl)| {
+            let mut gg = gl.clone();
+            gg += gr;
+            gg -= &gr.dagger();
+            gg
+        })
+        .collect();
+    Ok(RgfOutput {
+        gr_diag,
+        gl_diag,
+        gg_diag,
+        gr_lower,
+        gr_upper,
+        gl_lower,
+    })
+}
+
+/// Dense reference: assemble, invert, and form `G< = Gᴿ Σ< Gᴿ†` exactly.
+/// For validation and small problems only (`O(n³)` in the full order).
+pub fn dense_reference(
+    a: &BlockTridiag,
+    sigma_lesser: &[Matrix],
+) -> Result<(Matrix, Matrix), SingularMatrix> {
+    let bs = a.block_size();
+    let full = a.to_dense();
+    let gr = invert(&full)?;
+    let mut sig = Matrix::zeros(full.rows(), full.cols());
+    for (n, s) in sigma_lesser.iter().enumerate() {
+        sig.set_submatrix(n * bs, n * bs, s);
+    }
+    let gl = gr.matmul(&sig).matmul(&gr.dagger());
+    Ok((gr, gl))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_linalg::{c64, Complex64};
+    use rand::{Rng as _, SeedableRng};
+
+    /// Random non-Hermitian block tridiagonal `A` (as `E·S − H − Σᴿ` is)
+    /// plus random anti-Hermitian Σ< blocks.
+    fn random_problem(nb: usize, bs: usize, seed: u64) -> (BlockTridiag, Vec<Matrix>) {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a = BlockTridiag::zeros(nb, bs);
+        for n in 0..nb {
+            let mut d = Matrix::random(bs, bs, &mut r);
+            // Diagonal dominance for well-conditioned inversion, with a
+            // lossy imaginary part like a retarded operator has.
+            for i in 0..bs {
+                d[(i, i)] += c64(4.0, 1.0);
+            }
+            *a.diag_mut(n) = d;
+        }
+        for n in 0..nb - 1 {
+            *a.upper_mut(n) = Matrix::random(bs, bs, &mut r);
+            *a.lower_mut(n) = Matrix::random(bs, bs, &mut r);
+        }
+        let sig: Vec<Matrix> = (0..nb)
+            .map(|_| {
+                // Anti-Hermitian lesser self-energy: i·(positive Hermitian).
+                let h = Matrix::random_hermitian(bs, &mut r);
+                h.scale(Complex64::I)
+            })
+            .collect();
+        (a, sig)
+    }
+
+    #[test]
+    fn rgf_matches_dense_reference() {
+        for (nb, bs, seed) in [(2, 3, 1), (4, 4, 2), (6, 5, 3), (3, 8, 4)] {
+            let (a, sig) = random_problem(nb, bs, seed);
+            let out = rgf(&a, &sig).unwrap();
+            let (gr_dense, gl_dense) = dense_reference(&a, &sig).unwrap();
+            for n in 0..nb {
+                let gr_blk = gr_dense.submatrix(n * bs, n * bs, bs, bs);
+                let gl_blk = gl_dense.submatrix(n * bs, n * bs, bs, bs);
+                assert!(
+                    out.gr_diag[n].max_abs_diff(&gr_blk) < 1e-10,
+                    "GR block {n} mismatch (nb={nb}, bs={bs})"
+                );
+                assert!(
+                    out.gl_diag[n].max_abs_diff(&gl_blk) < 1e-10,
+                    "G< block {n} mismatch (nb={nb}, bs={bs})"
+                );
+            }
+            for n in 0..nb - 1 {
+                let gr_off = gr_dense.submatrix((n + 1) * bs, n * bs, bs, bs);
+                let gr_up = gr_dense.submatrix(n * bs, (n + 1) * bs, bs, bs);
+                let gl_off = gl_dense.submatrix((n + 1) * bs, n * bs, bs, bs);
+                let gl_up = gl_dense.submatrix(n * bs, (n + 1) * bs, bs, bs);
+                assert!(
+                    out.gr_upper[n].max_abs_diff(&gr_up) < 1e-10,
+                    "GR_{{n,n+1}} block {n} mismatch"
+                );
+                assert!(
+                    out.gl_upper(n).max_abs_diff(&gl_up) < 1e-10,
+                    "G<_{{n,n+1}} block {n} mismatch"
+                );
+                assert!(
+                    out.gr_lower[n].max_abs_diff(&gr_off) < 1e-10,
+                    "GR_{{n+1,n}} block {n} mismatch"
+                );
+                assert!(
+                    out.gl_lower[n].max_abs_diff(&gl_off) < 1e-10,
+                    "G<_{{n+1,n}} block {n} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greater_identity_holds() {
+        let (a, sig) = random_problem(4, 4, 7);
+        let out = rgf(&a, &sig).unwrap();
+        for n in 0..4 {
+            let mut rhs = out.gl_diag[n].clone();
+            rhs += &out.gr_diag[n];
+            rhs -= &out.gr_diag[n].dagger();
+            assert!(out.gg_diag[n].max_abs_diff(&rhs) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lesser_blocks_anti_hermitian() {
+        // G< must be anti-Hermitian when Σ< is.
+        let (a, sig) = random_problem(5, 3, 9);
+        let out = rgf(&a, &sig).unwrap();
+        for gl in &out.gl_diag {
+            let mut sum = gl.clone();
+            sum += &gl.dagger();
+            assert!(sum.max_abs() < 1e-10, "G< + G<† must vanish");
+        }
+    }
+
+    #[test]
+    fn single_coupling_limit() {
+        // With zero couplings the blocks decouple: GR_nn = A_nn^{-1}.
+        let mut r = rand::rngs::StdRng::seed_from_u64(11);
+        let mut a = BlockTridiag::zeros(3, 3);
+        for n in 0..3 {
+            let mut d = Matrix::random(3, 3, &mut r);
+            for i in 0..3 {
+                d[(i, i)] += c64(3.0, 0.5);
+            }
+            *a.diag_mut(n) = d;
+        }
+        let sig: Vec<Matrix> = (0..3).map(|_| Matrix::zeros(3, 3)).collect();
+        let out = rgf(&a, &sig).unwrap();
+        for n in 0..3 {
+            let expect = invert(a.diag(n)).unwrap();
+            assert!(out.gr_diag[n].max_abs_diff(&expect) < 1e-12);
+            assert!(out.gl_diag[n].max_abs() < 1e-14, "no Σ< -> no G<");
+            assert!(out.gr_lower[n.min(1)].max_abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn csrmm_strategy_matches_dense() {
+        // Build an A whose couplings are genuinely sparse (like Hamiltonian
+        // blocks) and check both strategies produce identical results while
+        // the sparse route performs fewer flop.
+        let mut r = rand::rngs::StdRng::seed_from_u64(31);
+        let (nb, bs) = (5usize, 12usize);
+        let mut a = BlockTridiag::zeros(nb, bs);
+        for n in 0..nb {
+            let mut d = Matrix::random(bs, bs, &mut r);
+            for i in 0..bs {
+                d[(i, i)] += c64(4.0, 1.0);
+            }
+            *a.diag_mut(n) = d;
+        }
+        for n in 0..nb - 1 {
+            let sparse_block = |r: &mut rand::rngs::StdRng| {
+                Matrix::from_fn(bs, bs, |_, _| {
+                    if r.random_range(0.0..1.0) < 0.15 {
+                        c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0))
+                    } else {
+                        Complex64::ZERO
+                    }
+                })
+            };
+            *a.upper_mut(n) = sparse_block(&mut r);
+            *a.lower_mut(n) = sparse_block(&mut r);
+        }
+        let sig: Vec<Matrix> = (0..nb)
+            .map(|_| Matrix::random_hermitian(bs, &mut r).scale(Complex64::I))
+            .collect();
+        let (dense, f_dense) =
+            qt_linalg::count_flops(|| rgf_with_strategy(&a, &sig, MultiplyStrategy::Dense).unwrap());
+        let (sparse, f_sparse) = qt_linalg::count_flops(|| {
+            rgf_with_strategy(&a, &sig, MultiplyStrategy::Csrmm { threshold: 0.0 }).unwrap()
+        });
+        for n in 0..nb {
+            assert!(dense.gr_diag[n].max_abs_diff(&sparse.gr_diag[n]) < 1e-10);
+            assert!(dense.gl_diag[n].max_abs_diff(&sparse.gl_diag[n]) < 1e-10);
+        }
+        assert!(
+            f_sparse < f_dense,
+            "CSRMM must do less work on sparse couplings: {f_sparse} vs {f_dense}"
+        );
+    }
+
+    #[test]
+    fn flop_scaling_is_linear_in_blocks() {
+        // RGF cost grows linearly with bnum (vs cubic dense growth).
+        let (a4, s4) = random_problem(4, 6, 21);
+        let (a8, s8) = random_problem(8, 6, 22);
+        let (_, f4) = qt_linalg::count_flops(|| rgf(&a4, &s4).unwrap());
+        let (_, f8) = qt_linalg::count_flops(|| rgf(&a8, &s8).unwrap());
+        let ratio = f8 as f64 / f4 as f64;
+        assert!(
+            ratio > 1.7 && ratio < 2.4,
+            "doubling blocks should ~double flops, got {ratio}"
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! Data-centric transformed SSE kernels (Fig. 12).
+//!
+//! The Σ≷ kernel applies the full §4.2 pipeline:
+//!
+//! 1. **Redundancy removal** — `∇H·G` is computed once per `(a, b, i, kz, E)`
+//!    instead of once per `(a, b, i, j, kz, E, qz, ω)`: the `(qz, ω)`
+//!    dimensions only offset the `(kz, E)` indices, which already span the
+//!    full grid (Fig. 10b). This halves the flop count (Table 3).
+//! 2. **Data layout** — `G≷` is permuted to `[NA, Nkz, NE, Norb, Norb]` so
+//!    the per-atom `(kz, E)` batch is contiguous (Fig. 10c).
+//! 3. **Multiplication fusion** — the `Nkz·NE` small products collapse into
+//!    one wide GEMM per `(a, b, i)` (Fig. 10d).
+//! 4. **GEMM substitution over ω** — the accumulation over the frequency
+//!    window becomes a windowed batched product (Fig. 11).
+//! 5. **Map fusion over `(a, b)`** — all transients are per-`(a, b)` work
+//!    buffers of rank 3, not global 7-D tensors (Fig. 12), and the outer
+//!    atom loop parallelizes over the rayon pool.
+
+use super::SseInputs;
+use crate::gf::{ElectronSelfEnergy, PhononSelfEnergy};
+use crate::params::N3D;
+use qt_linalg::{c64, gemm, Complex64, Matrix, Tensor};
+use rayon::prelude::*;
+
+/// Σ≷ via the transformed kernel.
+pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
+    let p = inputs.p;
+    let no = p.norb;
+    let nn = no * no;
+    let scale = c64(super::sigma_scale(p, inputs.grids), 0.0);
+    // Data-layout transformation: G≷ -> [NA, Nkz, NE, No, No].
+    let perm = [2usize, 0, 1, 3, 4];
+    let g_l = inputs.g_lesser.permuted(&perm);
+    let g_g = inputs.g_greater.permuted(&perm);
+    let ke = p.nkz * p.ne;
+
+    // Per-atom partial results, joined at the end (atoms are independent).
+    let partials: Vec<(Vec<Complex64>, Vec<Complex64>)> = (0..p.na)
+        .into_par_iter()
+        .map(|a| {
+            let mut sig_l = vec![Complex64::ZERO; ke * nn];
+            let mut sig_g = vec![Complex64::ZERO; ke * nn];
+            // Rank-3 transients of the fused kernel (Fig. 12): one (kz, E)
+            // batch and one (qz, ω) window per direction i.
+            let mut dhg = vec![vec![Complex64::ZERO; ke * nn]; N3D];
+            let mut dhd_rev = vec![vec![Complex64::ZERO; p.nqz * p.nw * nn]; N3D];
+            let mut dhd_fwd = vec![vec![Complex64::ZERO; p.nqz * p.nw * nn]; N3D];
+            for slot in 0..p.nb {
+                let Some(f) = inputs.dev.neighbor(a, slot) else {
+                    continue;
+                };
+                for (g_perm, d, d_other, sig) in [
+                    (&g_l, inputs.d_lesser_pre, inputs.d_greater_pre, &mut sig_l),
+                    (&g_g, inputs.d_greater_pre, inputs.d_lesser_pre, &mut sig_g),
+                ] {
+                    // (1 + 3) ∇H·G: one wide GEMM per direction over the
+                    // contiguous (kz, E) batch of atom f.
+                    let g_batch = g_perm.inner(&[f]); // [Nkz*NE*no, no]
+                    for (i, dhg_i) in dhg.iter_mut().enumerate() {
+                        let dh_i = inputs.dh.inner(&[a, slot, i]);
+                        dhg_i.fill(Complex64::ZERO);
+                        gemm::gemm_raw_acc(ke * no, no, no, g_batch, dh_i, dhg_i);
+                    }
+                    // ∇H·D̃ windows. Emission blocks are stored ω-reversed
+                    // so the E−ω window is a contiguous ascending-E slice;
+                    // absorption blocks (bosonic image conj D̃≶ᵀ) are stored
+                    // ascending for the E+ω window.
+                    for i in 0..N3D {
+                        let (dhd_r, dhd_f) = (&mut dhd_rev[i], &mut dhd_fwd[i]);
+                        dhd_r.fill(Complex64::ZERO);
+                        dhd_f.fill(Complex64::ZERO);
+                        for q in 0..p.nqz {
+                            for w in 0..p.nw {
+                                let base_r = (q * p.nw + (p.nw - 1 - w)) * nn;
+                                let base_f = (q * p.nw + w) * nn;
+                                for j in 0..N3D {
+                                    let dval = d.get(&[q, w, a, slot, i, j]);
+                                    let dval_abs = d_other.get(&[q, w, a, slot, j, i]).conj();
+                                    let dh_j = inputs.dh.inner(&[a, slot, j]);
+                                    if dval != Complex64::ZERO {
+                                        for (t, &s) in
+                                            dhd_r[base_r..base_r + nn].iter_mut().zip(dh_j)
+                                        {
+                                            *t += s * dval;
+                                        }
+                                    }
+                                    if dval_abs != Complex64::ZERO {
+                                        for (t, &s) in
+                                            dhd_f[base_f..base_f + nn].iter_mut().zip(dh_j)
+                                        {
+                                            *t += s * dval_abs;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Windowed GEMM accumulation (Fig. 11c): for every
+                    // (kz, qz, E), Σ[k, E] += Σ_ω dHG[k−q, E−ω−1] · dHD[q, ω].
+                    for k in 0..p.nkz {
+                        for q in 0..p.nqz {
+                            let kq = inputs.grids.k_minus_q(k, q);
+                            for e in 0..p.ne {
+                                let dst = &mut sig[(k * p.ne + e) * nn..(k * p.ne + e + 1) * nn];
+                                // Emission window E−ω.
+                                let win = e.min(p.nw);
+                                if win > 0 {
+                                    for (dhg_i, dhd_i) in dhg.iter().zip(&dhd_rev) {
+                                        // Ascending E' = e−win .. e−1 pairs
+                                        // with reversed-ω blocks.
+                                        let a_off = (kq * p.ne + e - win) * nn;
+                                        let b_off = (q * p.nw + p.nw - win) * nn;
+                                        window_gemm_acc(
+                                            no,
+                                            win,
+                                            &dhg_i[a_off..a_off + win * nn],
+                                            &dhd_i[b_off..b_off + win * nn],
+                                            dst,
+                                            scale,
+                                        );
+                                    }
+                                }
+                                // Absorption window E+ω.
+                                let win = (p.ne - 1 - e).min(p.nw);
+                                if win > 0 {
+                                    for (dhg_i, dhd_i) in dhg.iter().zip(&dhd_fwd) {
+                                        // Ascending E' = e+1 .. e+win pairs
+                                        // with ascending-ω blocks.
+                                        let a_off = (kq * p.ne + e + 1) * nn;
+                                        let b_off = (q * p.nw) * nn;
+                                        window_gemm_acc(
+                                            no,
+                                            win,
+                                            &dhg_i[a_off..a_off + win * nn],
+                                            &dhd_i[b_off..b_off + win * nn],
+                                            dst,
+                                            scale,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            (sig_l, sig_g)
+        })
+        .collect();
+    // Scatter per-atom results into the output tensors.
+    let mut out = ElectronSelfEnergy::zeros(p);
+    for (a, (sl, sg)) in partials.into_iter().enumerate() {
+        for k in 0..p.nkz {
+            for e in 0..p.ne {
+                let src = (k * p.ne + e) * nn;
+                out.lesser
+                    .inner_mut(&[k, e, a])
+                    .copy_from_slice(&sl[src..src + nn]);
+                out.greater
+                    .inner_mut(&[k, e, a])
+                    .copy_from_slice(&sg[src..src + nn]);
+            }
+        }
+    }
+    out
+}
+
+/// Windowed batched product: `out += scale · Σ_w A_w @ B_w` over `win`
+/// contiguous `no × no` blocks — the CPU analogue of the paper's single
+/// `Norb × Norb·Nω × Norb` GEMM (Fig. 11c).
+#[inline]
+fn window_gemm_acc(
+    no: usize,
+    win: usize,
+    a_blocks: &[Complex64],
+    b_blocks: &[Complex64],
+    out: &mut [Complex64],
+    scale: Complex64,
+) {
+    let nn = no * no;
+    let mut acc = vec![Complex64::ZERO; nn];
+    for w in 0..win {
+        gemm::gemm_raw_acc(
+            no,
+            no,
+            no,
+            &a_blocks[w * nn..(w + 1) * nn],
+            &b_blocks[w * nn..(w + 1) * nn],
+            &mut acc,
+        );
+    }
+    for (o, v) in out.iter_mut().zip(acc.iter()) {
+        *o += *v * scale;
+    }
+}
+
+/// Π≷ via the transformed kernel: same contraction as
+/// [`super::reference::pi`], restructured so the `∇H·G` products are hoisted
+/// out of the `(i, j)` loops and all work buffers are preallocated.
+pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
+    let p = inputs.p;
+    let no = p.norb;
+    let scale = c64(super::pi_scale(p, inputs.grids), 0.0);
+    let mut out = PhononSelfEnergy::zeros(p);
+    // Per (a, slot) pair, computed in parallel and scattered.
+    let pairs: Vec<(usize, usize, usize)> = (0..p.na)
+        .flat_map(|a| {
+            (0..p.nb).filter_map(move |s| {
+                // Device borrow is fine: closure captures &inputs.
+                Some((a, s, 0usize))
+            })
+        })
+        .collect();
+    let results: Vec<Option<(usize, usize, Matrix, Matrix)>> = pairs
+        .par_iter()
+        .map(|&(a, slot, _)| {
+            let b = inputs.dev.neighbor(a, slot)?;
+            // Precompute ∇H_ba,i and ∇H_ab,j once.
+            let dh_ba: Vec<Matrix> = (0..N3D)
+                .map(|i| super::reference::dh_reverse(inputs, a, slot, b, i))
+                .collect();
+            let dh_ab: Vec<Matrix> = (0..N3D)
+                .map(|j| {
+                    Matrix::from_vec(no, no, inputs.dh.inner(&[a, slot, j]).to_vec())
+                })
+                .collect();
+            let mut t_l = Matrix::zeros(N3D * p.nqz, N3D * p.nw); // (i·q, j·w) layout
+            let mut t_g = Matrix::zeros(N3D * p.nqz, N3D * p.nw);
+            for (g_hi, g_lo, t_out) in [
+                (inputs.g_lesser, inputs.g_greater, &mut t_l),
+                (inputs.g_greater, inputs.g_lesser, &mut t_g),
+            ] {
+                for q in 0..p.nqz {
+                    for w in 0..p.nw {
+                        for k in 0..p.nkz {
+                            let kq = inputs.grids.k_plus_q(k, q);
+                            for e in 0..p.ne {
+                                let Some(ep) = inputs.grids.e_plus_w(e, w) else {
+                                    continue;
+                                };
+                                let g1 = tensor_mat(g_hi, &[kq, ep, a], no);
+                                let g2 = tensor_mat(g_lo, &[k, e, b], no);
+                                // Hoisted products reused across (i, j).
+                                let pg1: Vec<Matrix> =
+                                    dh_ba.iter().map(|m| m.matmul(&g1)).collect();
+                                let qg2: Vec<Matrix> =
+                                    dh_ab.iter().map(|m| m.matmul(&g2)).collect();
+                                for (i, p1) in pg1.iter().enumerate() {
+                                    for (j, q2) in qg2.iter().enumerate() {
+                                        // tr(P·Q) without forming P·Q.
+                                        let mut tr = Complex64::ZERO;
+                                        for m in 0..no {
+                                            for n in 0..no {
+                                                tr = tr
+                                                    .mul_add(p1[(m, n)], q2[(n, m)]);
+                                            }
+                                        }
+                                        qt_linalg::add_flops(8 * (no * no) as u64);
+                                        t_out[(i * p.nqz + q, j * p.nw + w)] += tr;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Some((a, slot, t_l.scale(scale), t_g.scale(scale)))
+        })
+        .collect();
+    for r in results.into_iter().flatten() {
+        let (a, slot, t_l, t_g) = r;
+        for (t, tensor_pair) in [
+            (&t_l, &mut out.lesser),
+            (&t_g, &mut out.greater),
+        ] {
+            for q in 0..p.nqz {
+                for w in 0..p.nw {
+                    for i in 0..N3D {
+                        for j in 0..N3D {
+                            let v = t[(i * p.nqz + q, j * p.nw + w)];
+                            tensor_pair.add_assign_at(&[q, w, a, slot, i, j], v);
+                            let nbslot = p.nb;
+                            tensor_pair.add_assign_at(&[q, w, a, nbslot, i, j], -v);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn tensor_mat(t: &Tensor, idx: &[usize], no: usize) -> Matrix {
+    Matrix::from_vec(no, no, t.inner(idx).to_vec())
+}

@@ -1,0 +1,99 @@
+//! OMEN-style Σ≷ kernel.
+//!
+//! Mirrors the production C++ structure (§4.1): the outer loops are the
+//! `(qz, ω)` communication rounds; inside a round every process walks its
+//! `(kz, E)` points and accumulates the small matrix products with
+//! preallocated work buffers. Compared to [`super::reference`] there are no
+//! per-operation allocations, but the `∇H·G` product is still recomputed
+//! for every `(qz, ω)` pair — the redundancy the DaCe transformation
+//! removes (Fig. 10b), which is why this variant performs
+//! `64·NA·NB·N3D·Nkz·Nqz·NE·Nω·Norb³` flop (Table 3, "SSE (OMEN)").
+
+use super::SseInputs;
+use crate::gf::ElectronSelfEnergy;
+use crate::params::N3D;
+use qt_linalg::{c64, gemm, Complex64};
+
+/// Σ≷ with OMEN's loop structure.
+pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
+    let p = inputs.p;
+    let no = p.norb;
+    let nn = no * no;
+    let mut out = ElectronSelfEnergy::zeros(p);
+    let scale = c64(super::sigma_scale(p, inputs.grids), 0.0);
+    let mut dhg = vec![Complex64::ZERO; nn];
+    let mut dhd = vec![Complex64::ZERO; nn];
+    let mut prod = vec![Complex64::ZERO; nn];
+    for (g, d, d_other, sig) in [
+        (
+            inputs.g_lesser,
+            inputs.d_lesser_pre,
+            inputs.d_greater_pre,
+            &mut out.lesser,
+        ),
+        (
+            inputs.g_greater,
+            inputs.d_greater_pre,
+            inputs.d_lesser_pre,
+            &mut out.greater,
+        ),
+    ] {
+        // Communication-round ordering: (qz, ω) outermost.
+        for q in 0..p.nqz {
+            for w in 0..p.nw {
+                for k in 0..p.nkz {
+                    let kq = inputs.grids.k_minus_q(k, q);
+                    for e in 0..p.ne {
+                        // Emission and absorption sidebands (G≷(E ∓ ħω)).
+                        let sidebands =
+                            [inputs.grids.e_minus_w(e, w), inputs.grids.e_plus_w(e, w)];
+                        for a in 0..p.na {
+                            let dst = sig.inner_mut(&[k, e, a]);
+                            for slot in 0..p.nb {
+                                let Some(f) = inputs.dev.neighbor(a, slot) else {
+                                    continue;
+                                };
+                                for (side, eshift) in sidebands.iter().enumerate() {
+                                    let Some(es) = *eshift else {
+                                        continue;
+                                    };
+                                    let gblk = g.inner(&[kq, es, f]);
+                                    for i in 0..N3D {
+                                        let dh_i = inputs.dh.inner(&[a, slot, i]);
+                                        dhg.fill(Complex64::ZERO);
+                                        gemm::gemm_raw_acc(no, no, no, gblk, dh_i, &mut dhg);
+                                        // Accumulate ∇H_j · D̃_ij over j before
+                                        // the second product — two Norb³ GEMMs
+                                        // per (i) point, the 64-factor
+                                        // structure of Table 3.
+                                        dhd.fill(Complex64::ZERO);
+                                        for j in 0..N3D {
+                                            let dval = if side == 0 {
+                                                d.get(&[q, w, a, slot, i, j])
+                                            } else {
+                                                d_other.get(&[q, w, a, slot, j, i]).conj()
+                                            };
+                                            if dval == Complex64::ZERO {
+                                                continue;
+                                            }
+                                            let dh_j = inputs.dh.inner(&[a, slot, j]);
+                                            for (t, &s) in dhd.iter_mut().zip(dh_j) {
+                                                *t += s * dval;
+                                            }
+                                        }
+                                        prod.fill(Complex64::ZERO);
+                                        gemm::gemm_raw_acc(no, no, no, &dhg, &dhd, &mut prod);
+                                        for (o, v) in dst.iter_mut().zip(prod.iter()) {
+                                            *o += *v * scale;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}

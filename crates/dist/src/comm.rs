@@ -1,0 +1,347 @@
+//! Simulated message passing: an MPI-like communicator over OS threads.
+//!
+//! Substitution (DESIGN.md §4): the paper's MPI runs on Piz Daint/Summit.
+//! Communication *volume* is hardware-independent, so a rank-per-thread
+//! world with per-edge byte accounting reproduces the paper's volume
+//! measurements (Tables 4–5) exactly, and lets the distributed SSE schemes
+//! run for real at reduced scale.
+//!
+//! Messages are `Vec<Complex64>` payloads tagged with a `u64`; each ordered
+//! pair of ranks has its own FIFO channel, so point-to-point ordering is
+//! MPI-like. Sends are non-blocking (unbounded channels); receives block.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use qt_linalg::Complex64;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Bytes per payload element.
+pub const ELEM_BYTES: u64 = 16;
+
+type Payload = (u64, Vec<Complex64>);
+
+struct WorldInner {
+    n: usize,
+    /// `senders[dst][src]` sends into `receivers`' matching channel.
+    senders: Vec<Vec<Sender<Payload>>>,
+    /// Bytes sent per rank.
+    sent: Vec<AtomicU64>,
+    /// Bytes received per rank.
+    received: Vec<AtomicU64>,
+    barrier: Barrier,
+}
+
+/// One rank's endpoint.
+pub struct ThreadComm {
+    rank: usize,
+    world: Arc<WorldInner>,
+    /// `receivers[src]` yields messages sent by `src` to this rank.
+    receivers: Vec<Receiver<Payload>>,
+}
+
+impl ThreadComm {
+    /// Create a world of `n` ranks; returns one endpoint per rank.
+    pub fn world(n: usize) -> Vec<ThreadComm> {
+        assert!(n > 0);
+        let mut senders = vec![Vec::with_capacity(n); n];
+        let mut receivers: Vec<Vec<Receiver<Payload>>> = (0..n).map(|_| Vec::new()).collect();
+        for dst in 0..n {
+            for _src in 0..n {
+                let (tx, rx) = unbounded();
+                senders[dst].push(tx);
+                receivers[dst].push(rx);
+            }
+        }
+        let inner = Arc::new(WorldInner {
+            n,
+            senders,
+            sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            received: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            barrier: Barrier::new(n),
+        });
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rxs)| ThreadComm {
+                rank,
+                world: inner.clone(),
+                receivers: rxs,
+            })
+            .collect()
+    }
+
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.world.n
+    }
+
+    /// Point-to-point send (non-blocking). Self-sends are allowed and do
+    /// not count toward network bytes.
+    pub fn send(&self, dst: usize, tag: u64, data: Vec<Complex64>) {
+        let bytes = data.len() as u64 * ELEM_BYTES;
+        if dst != self.rank {
+            self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
+            self.world.received[dst].fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.world.senders[dst][self.rank]
+            .send((tag, data))
+            .expect("receiver alive");
+    }
+
+    /// Blocking receive of the next message from `src`; asserts the tag
+    /// matches (protocols here are deterministic).
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<Complex64> {
+        let (got_tag, data) = self.receivers[src].recv().expect("sender alive");
+        assert_eq!(
+            got_tag, tag,
+            "rank {} expected tag {tag} from {src}, got {got_tag}",
+            self.rank
+        );
+        data
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.world.barrier.wait();
+    }
+
+    /// Broadcast from `root`: returns the payload on every rank.
+    pub fn bcast(&self, root: usize, data: Option<Vec<Complex64>>, tag: u64) -> Vec<Complex64> {
+        if self.rank == root {
+            let data = data.expect("root must provide data");
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send(dst, tag, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// All-to-all with variable counts: `sendbufs[dst]` goes to `dst`;
+    /// returns `recvbufs[src]`.
+    pub fn alltoallv(&self, sendbufs: Vec<Vec<Complex64>>, tag: u64) -> Vec<Vec<Complex64>> {
+        assert_eq!(sendbufs.len(), self.size());
+        for (dst, buf) in sendbufs.into_iter().enumerate() {
+            self.send(dst, tag, buf);
+        }
+        (0..self.size()).map(|src| self.recv(src, tag)).collect()
+    }
+
+    /// Element-wise sum-reduction to `root`; returns `Some(total)` on root.
+    pub fn reduce_sum(&self, root: usize, mut data: Vec<Complex64>, tag: u64) -> Option<Vec<Complex64>> {
+        if self.rank == root {
+            for src in 0..self.size() {
+                if src == root {
+                    continue;
+                }
+                let part = self.recv(src, tag);
+                assert_eq!(part.len(), data.len());
+                for (d, p) in data.iter_mut().zip(part) {
+                    *d += p;
+                }
+            }
+            Some(data)
+        } else {
+            self.send(root, tag, data);
+            None
+        }
+    }
+
+    /// Element-wise sum-reduction, result on every rank.
+    pub fn allreduce_sum(&self, data: Vec<Complex64>, tag: u64) -> Vec<Complex64> {
+        let n = data.len();
+        match self.reduce_sum(0, data, tag) {
+            Some(total) => self.bcast(0, Some(total), tag.wrapping_add(1)),
+            None => {
+                let out = self.bcast(0, None, tag.wrapping_add(1));
+                assert_eq!(out.len(), n);
+                out
+            }
+        }
+    }
+
+    /// Total bytes this rank has sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.world.sent[self.rank].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes this rank has received so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.world.received[self.rank].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes moved across the whole world (sum of sends).
+    pub fn world_bytes(&self) -> u64 {
+        self.world.sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Run `f` on `n` ranks (one OS thread each) and collect the results in
+/// rank order.
+pub fn run_world<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(ThreadComm) -> T + Sync,
+{
+    let comms = ThreadComm::world(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|comm| scope.spawn(|| f(comm)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_linalg::c64;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let out = run_world(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![c64(1.0, 2.0), c64(3.0, 4.0)]);
+                0.0
+            } else {
+                let data = comm.recv(0, 7);
+                data[1].re
+            }
+        });
+        assert_eq!(out[1], 3.0);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let out = run_world(3, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![Complex64::ZERO; 10]);
+                comm.send(2, 0, vec![Complex64::ZERO; 5]);
+            } else {
+                comm.recv(0, 0);
+            }
+            comm.barrier();
+            (comm.bytes_sent(), comm.bytes_received(), comm.world_bytes())
+        });
+        assert_eq!(out[0].0, 15 * 16);
+        assert_eq!(out[1].1, 10 * 16);
+        assert_eq!(out[2].1, 5 * 16);
+        assert!(out.iter().all(|&(_, _, w)| w == 15 * 16));
+    }
+
+    #[test]
+    fn self_send_is_free() {
+        let out = run_world(1, |comm| {
+            comm.send(0, 3, vec![Complex64::ZERO; 100]);
+            let d = comm.recv(0, 3);
+            (d.len(), comm.world_bytes())
+        });
+        assert_eq!(out[0], (100, 0));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let out = run_world(4, |comm| {
+            let data = if comm.rank() == 2 {
+                Some(vec![c64(9.0, 0.0); 8])
+            } else {
+                None
+            };
+            let got = comm.bcast(2, data, 11);
+            got[0].re
+        });
+        assert!(out.iter().all(|&v| v == 9.0));
+    }
+
+    #[test]
+    fn alltoallv_exchanges_rank_stamped_buffers() {
+        let out = run_world(3, |comm| {
+            let sendbufs: Vec<Vec<Complex64>> = (0..3)
+                .map(|dst| vec![c64(comm.rank() as f64, dst as f64); comm.rank() + 1])
+                .collect();
+            let recv = comm.alltoallv(sendbufs, 21);
+            // recv[src] came from src, stamped (src, my_rank), len src+1.
+            (0..3).all(|src| {
+                recv[src].len() == src + 1
+                    && recv[src][0] == c64(src as f64, comm.rank() as f64)
+            })
+        });
+        assert!(out.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn reductions_sum() {
+        let out = run_world(4, |comm| {
+            let data = vec![c64(1.0, comm.rank() as f64); 2];
+            let total = comm.allreduce_sum(data, 31);
+            total[0]
+        });
+        for v in out {
+            assert_eq!(v, c64(4.0, 6.0)); // 1+1+1+1, 0+1+2+3
+        }
+    }
+
+    #[test]
+    fn ring_pipeline() {
+        // Each rank forwards an accumulating token around the ring twice —
+        // exercises interleaved send/recv across many ranks.
+        let n = 8;
+        let out = run_world(n, |comm| {
+            let rank = comm.rank();
+            let next = (rank + 1) % n;
+            let prev = (rank + n - 1) % n;
+            let mut value = 0.0;
+            for lap in 0..2u64 {
+                if rank == 0 {
+                    comm.send(next, lap, vec![c64(value + 1.0, 0.0)]);
+                    value = comm.recv(prev, lap)[0].re;
+                } else {
+                    let got = comm.recv(prev, lap)[0].re;
+                    value = got;
+                    comm.send(next, lap, vec![c64(got + 1.0, 0.0)]);
+                }
+            }
+            value
+        });
+        // After two laps the token has been incremented 2n times; rank 0
+        // sees the full count.
+        assert_eq!(out[0], (2 * n) as f64);
+    }
+
+    #[test]
+    fn world_of_one_runs_collectives() {
+        let out = run_world(1, |comm| {
+            let b = comm.bcast(0, Some(vec![c64(5.0, 0.0)]), 1);
+            let r = comm.allreduce_sum(vec![c64(2.0, 0.0)], 2);
+            let a = comm.alltoallv(vec![vec![c64(3.0, 0.0)]], 3);
+            comm.barrier();
+            b[0].re + r[0].re + a[0][0].re
+        });
+        assert_eq!(out[0], 10.0);
+        // No network bytes for a single rank.
+    }
+
+    #[test]
+    fn ordered_delivery_per_pair() {
+        let out = run_world(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..50u64 {
+                    comm.send(1, i, vec![c64(i as f64, 0.0)]);
+                }
+                true
+            } else {
+                (0..50u64).all(|i| comm.recv(0, i)[0].re == i as f64)
+            }
+        });
+        assert!(out[1]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Data decompositions: OMEN's momentum×energy split and DaCe's
+//! energy×atom tiling (§4.1).
+
+use qt_core::params::SimParams;
+use std::ops::Range;
+
+/// Balanced contiguous 1-D block partition of `total` items into `parts`.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockPartition {
+    pub total: usize,
+    pub parts: usize,
+}
+
+impl BlockPartition {
+    pub fn new(total: usize, parts: usize) -> Self {
+        assert!(parts > 0 && parts <= total, "need 1..=total parts");
+        BlockPartition { total, parts }
+    }
+
+    /// Half-open index range of part `i`. The first `total % parts` parts
+    /// get one extra element.
+    pub fn range(&self, i: usize) -> Range<usize> {
+        assert!(i < self.parts);
+        let base = self.total / self.parts;
+        let extra = self.total % self.parts;
+        let start = i * base + i.min(extra);
+        let len = base + usize::from(i < extra);
+        start..start + len
+    }
+
+    /// Which part owns global index `idx`.
+    pub fn owner(&self, idx: usize) -> usize {
+        assert!(idx < self.total);
+        let base = self.total / self.parts;
+        let extra = self.total % self.parts;
+        let fat = (base + 1) * extra; // indices covered by the fat parts
+        if idx < fat {
+            idx / (base + 1)
+        } else {
+            extra + (idx - fat) / base.max(1)
+        }
+    }
+
+    pub fn len(&self, i: usize) -> usize {
+        self.range(i).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// OMEN's natural decomposition: processes split the energy axis
+/// (momentum kept whole per process at this granularity).
+#[derive(Clone, Copy, Debug)]
+pub struct OmenDecomp {
+    pub energy: BlockPartition,
+}
+
+impl OmenDecomp {
+    pub fn new(p: &SimParams, procs: usize) -> Self {
+        OmenDecomp {
+            energy: BlockPartition::new(p.ne, procs),
+        }
+    }
+
+    /// Owner rank of the `(qz, ω)` phonon point (round-robin).
+    pub fn d_owner(&self, p: &SimParams, q: usize, w: usize) -> usize {
+        (q * p.nw + w) % self.energy.parts
+    }
+}
+
+/// OMEN's full three-level MPI distribution (§2.1): momentum groups ×
+/// energy chunks × spatial (RGF block) ranks. The paper's production runs
+/// validated this layout up to 95k cores; the communication analysis of
+/// §4.1 collapses the momentum and spatial levels and keeps the energy
+/// split, which is what [`OmenDecomp`] models.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreeLevelDecomp {
+    /// Partition of the `Nkz` momentum points.
+    pub momentum: BlockPartition,
+    /// Partition of the `NE` energies within one momentum group.
+    pub energy: BlockPartition,
+    /// Spatial ranks sharing one `(kz, E)` RGF solve.
+    pub spatial: usize,
+}
+
+impl ThreeLevelDecomp {
+    pub fn new(p: &SimParams, k_groups: usize, e_groups: usize, spatial: usize) -> Self {
+        assert!(spatial >= 1);
+        ThreeLevelDecomp {
+            momentum: BlockPartition::new(p.nkz, k_groups),
+            energy: BlockPartition::new(p.ne, e_groups),
+            spatial,
+        }
+    }
+
+    /// Total rank count.
+    pub fn procs(&self) -> usize {
+        self.momentum.parts * self.energy.parts * self.spatial
+    }
+
+    /// Rank of `(momentum group, energy group, spatial index)`.
+    pub fn rank(&self, kg: usize, eg: usize, s: usize) -> usize {
+        (kg * self.energy.parts + eg) * self.spatial + s
+    }
+
+    /// Inverse of [`ThreeLevelDecomp::rank`].
+    pub fn coords(&self, rank: usize) -> (usize, usize, usize) {
+        let s = rank % self.spatial;
+        let rest = rank / self.spatial;
+        (rest / self.energy.parts, rest % self.energy.parts, s)
+    }
+
+    /// The spatial group of ranks that collectively own the `(kz, E)` point.
+    pub fn owners_of_point(&self, kz: usize, e: usize) -> std::ops::Range<usize> {
+        let base = self.rank(self.momentum.owner(kz), self.energy.owner(e), 0);
+        base..base + self.spatial
+    }
+}
+
+/// DaCe's communication-avoiding tiling: `TE` energy × `TA` atom tiles.
+#[derive(Clone, Copy, Debug)]
+pub struct DaceDecomp {
+    pub te: usize,
+    pub ta: usize,
+    pub energy: BlockPartition,
+    pub atoms: BlockPartition,
+}
+
+impl DaceDecomp {
+    pub fn new(p: &SimParams, te: usize, ta: usize) -> Self {
+        DaceDecomp {
+            te,
+            ta,
+            energy: BlockPartition::new(p.ne, te),
+            atoms: BlockPartition::new(p.na, ta),
+        }
+    }
+
+    pub fn procs(&self) -> usize {
+        self.te * self.ta
+    }
+
+    /// Rank of tile `(i, j)`.
+    pub fn rank(&self, i: usize, j: usize) -> usize {
+        i * self.ta + j
+    }
+
+    /// Tile coordinates of `rank`.
+    pub fn coords(&self, rank: usize) -> (usize, usize) {
+        (rank / self.ta, rank % self.ta)
+    }
+
+    /// Energies needed by energy-tile `i`, including the `Nω` halo on both
+    /// sides (for the `E ∓ ω` emission/absorption reads — the `2Nω` term of
+    /// the volume formula), clamped to the grid.
+    pub fn energy_halo(&self, i: usize, nw: usize) -> Range<usize> {
+        let r = self.energy.range(i);
+        r.start.saturating_sub(nw)..(r.end + nw).min(self.energy.total)
+    }
+
+    /// Atoms needed by atom-tile `j`: the tile widened by the neighbor
+    /// window `NB/2` on each side (the paper's indirection model), clamped.
+    pub fn atom_window(&self, j: usize, nb: usize, na: usize) -> Range<usize> {
+        let r = self.atoms.range(j);
+        r.start.saturating_sub(nb / 2 + nb % 2)..(r.end + nb / 2 + nb % 2).min(na)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly() {
+        for (total, parts) in [(10, 3), (16, 4), (7, 7), (100, 9)] {
+            let bp = BlockPartition::new(total, parts);
+            let mut covered = vec![false; total];
+            for i in 0..parts {
+                for idx in bp.range(i) {
+                    assert!(!covered[idx], "overlap at {idx}");
+                    covered[idx] = true;
+                    assert_eq!(bp.owner(idx), i, "owner({idx})");
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "gap in cover");
+            // Balanced: sizes differ by at most one.
+            let sizes: Vec<usize> = (0..parts).map(|i| bp.len(i)).collect();
+            let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(mx - mn <= 1);
+        }
+    }
+
+    #[test]
+    fn dace_grid_roundtrip() {
+        let p = SimParams::test_small();
+        let d = DaceDecomp::new(&p, 3, 4);
+        assert_eq!(d.procs(), 12);
+        for r in 0..12 {
+            let (i, j) = d.coords(r);
+            assert_eq!(d.rank(i, j), r);
+        }
+    }
+
+    #[test]
+    fn halos_clamp_at_boundaries() {
+        let p = SimParams::test_small(); // ne=12, na=16, nw=3, nb=4
+        let d = DaceDecomp::new(&p, 3, 4);
+        let h0 = d.energy_halo(0, p.nw);
+        assert_eq!(h0.start, 0);
+        let h1 = d.energy_halo(1, p.nw);
+        assert_eq!(h1.start, d.energy.range(1).start - p.nw);
+        assert_eq!(h1.end, d.energy.range(1).end + p.nw);
+        let hlast = d.energy_halo(2, p.nw);
+        assert_eq!(hlast.end, p.ne, "upper halo clamps at the grid end");
+        let w0 = d.atom_window(0, p.nb, p.na);
+        assert_eq!(w0.start, 0);
+        let w3 = d.atom_window(3, p.nb, p.na);
+        assert_eq!(w3.end, p.na);
+        let w1 = d.atom_window(1, p.nb, p.na);
+        assert_eq!(w1.start, d.atoms.range(1).start - 2);
+        assert_eq!(w1.end, d.atoms.range(1).end + 2);
+    }
+
+    #[test]
+    fn three_level_rank_bijection() {
+        let p = SimParams::test_small(); // nkz=3, ne=12
+        let d = ThreeLevelDecomp::new(&p, 3, 4, 2);
+        assert_eq!(d.procs(), 24);
+        for r in 0..d.procs() {
+            let (kg, eg, s) = d.coords(r);
+            assert_eq!(d.rank(kg, eg, s), r);
+        }
+        // Every (kz, E) point has exactly `spatial` owners, and all points
+        // are covered.
+        let mut owned = vec![0usize; d.procs()];
+        for kz in 0..p.nkz {
+            for e in 0..p.ne {
+                let o = d.owners_of_point(kz, e);
+                assert_eq!(o.len(), 2);
+                for r in o {
+                    owned[r] += 1;
+                }
+            }
+        }
+        // Balanced: every rank owns the same number of points (dims divide).
+        assert!(owned.iter().all(|&c| c == owned[0]), "{owned:?}");
+    }
+
+    #[test]
+    fn omen_d_owner_round_robin() {
+        let p = SimParams::test_small();
+        let d = OmenDecomp::new(&p, 4);
+        let owners: Vec<usize> = (0..p.nqz)
+            .flat_map(|q| (0..p.nw).map(move |w| (q, w)))
+            .map(|(q, w)| d.d_owner(&p, q, w))
+            .collect();
+        assert!(owners.iter().all(|&o| o < 4));
+        for r in 0..4 {
+            assert!(owners.contains(&r));
+        }
+    }
+}

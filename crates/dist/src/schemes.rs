@@ -1,0 +1,944 @@
+//! Runnable SSE communication schemes (§4.1), executed on the thread world.
+//!
+//! Both schemes compute the *same* Σ≷ as the serial kernels in
+//! `qt_core::sse` (unit tests enforce it); they differ only in data
+//! movement:
+//!
+//! * [`omen_scheme`] — `Nqz·Nω` rounds; each round broadcasts `D̃≷(qz, ω)`
+//!   to every process and replicates the needed `G≷(E−ω, ·)` slices by
+//!   point-to-point messages. The `G` traffic repeats every round — the
+//!   `2·Nqz·Nω` replication factor of §4.1.
+//! * [`dace_scheme`] — one all-to-all redistribution from the GF layout
+//!   (energy-split) to the `(TE, TA)` energy×atom tiling with an `Nω`
+//!   energy halo and a neighbor-window atom halo; the SSE is then entirely
+//!   local.
+//!
+//! The measured byte counts follow the closed forms in [`crate::volume`].
+
+use crate::comm::{run_world, ThreadComm};
+use crate::decomp::{DaceDecomp, OmenDecomp};
+use qt_core::device::Device;
+use qt_core::gf::{ElectronSelfEnergy, PhononSelfEnergy};
+use qt_core::grids::Grids;
+use qt_core::params::{SimParams, N3D};
+use qt_core::sse;
+use qt_linalg::{c64, gemm, Complex64, Tensor};
+
+/// Read-only global inputs; each rank touches only the slices its initial
+/// data distribution owns (the world is simulated, the discipline is real).
+pub struct SseDistContext<'a> {
+    pub p: &'a SimParams,
+    pub dev: &'a Device,
+    pub grids: &'a Grids,
+    pub dh: &'a Tensor,
+    pub g_lesser: &'a Tensor,
+    pub g_greater: &'a Tensor,
+    pub d_lesser_pre: &'a Tensor,
+    pub d_greater_pre: &'a Tensor,
+}
+
+/// Measured communication of a distributed run.
+#[derive(Clone, Copy, Debug)]
+pub struct CommStats {
+    /// Total bytes moved across the network (sum over ranks of sends).
+    pub world_bytes: u64,
+    /// Largest per-rank receive volume.
+    pub max_rank_recv: u64,
+}
+
+/// Pack `G[:, e, a_range, :, :]` (all kz) into a flat buffer.
+fn pack_g_slice(
+    g: &Tensor,
+    nkz: usize,
+    e: usize,
+    atoms: std::ops::Range<usize>,
+    nn: usize,
+) -> Vec<Complex64> {
+    let mut out = Vec::with_capacity(nkz * atoms.len() * nn);
+    for k in 0..nkz {
+        for a in atoms.clone() {
+            out.extend_from_slice(g.inner(&[k, e, a]));
+        }
+    }
+    out
+}
+
+/// The Σ contribution of one `(qz, ω)` round for one owned energy, shared by
+/// the OMEN scheme. `g_slice` holds `G≷[:, e∓(ω+1), :, :]` packed as
+/// `[kz][a][Norb²]`; output accumulates into `sig[k][a]` blocks.
+/// `absorption` selects the `E + ħω` sideband, which weights with the
+/// bosonic image `conj D̃≶ᵀ` (the caller passes the *other* D̃ tensor).
+#[allow(clippy::too_many_arguments)]
+fn sigma_round_increment(
+    ctx: &SseDistContext<'_>,
+    q: usize,
+    _w: usize,
+    g_slice: &[Complex64],
+    d_slice: &[Complex64], // D̃[q, w, :, :, :, :] packed [a][slot][3][3]
+    absorption: bool,
+    k_out: usize,
+    sig_out: &mut [Complex64], // [na][Norb²] for this (k, e)
+    scale: Complex64,
+) {
+    let p = ctx.p;
+    let no = p.norb;
+    let nn = no * no;
+    let kq = ctx.grids.k_minus_q(k_out, q);
+    let mut dhg = vec![Complex64::ZERO; nn];
+    let mut dhd = vec![Complex64::ZERO; nn];
+    let mut prod = vec![Complex64::ZERO; nn];
+    for a in 0..p.na {
+        for slot in 0..p.nb {
+            let Some(f) = ctx.dev.neighbor(a, slot) else {
+                continue;
+            };
+            let gblk = &g_slice[(kq * p.na + f) * nn..(kq * p.na + f + 1) * nn];
+            for i in 0..N3D {
+                let dh_i = ctx.dh.inner(&[a, slot, i]);
+                dhg.fill(Complex64::ZERO);
+                gemm::gemm_raw_acc(no, no, no, gblk, dh_i, &mut dhg);
+                dhd.fill(Complex64::ZERO);
+                for j in 0..N3D {
+                    let dval = if absorption {
+                        d_slice[((a * p.nb + slot) * N3D + j) * N3D + i].conj()
+                    } else {
+                        d_slice[((a * p.nb + slot) * N3D + i) * N3D + j]
+                    };
+                    if dval == Complex64::ZERO {
+                        continue;
+                    }
+                    let dh_j = ctx.dh.inner(&[a, slot, j]);
+                    for (t, &s) in dhd.iter_mut().zip(dh_j) {
+                        *t += s * dval;
+                    }
+                }
+                prod.fill(Complex64::ZERO);
+                gemm::gemm_raw_acc(no, no, no, &dhg, &dhd, &mut prod);
+                let dst = &mut sig_out[a * nn..(a + 1) * nn];
+                for (o, v) in dst.iter_mut().zip(prod.iter()) {
+                    *o += *v * scale;
+                }
+            }
+        }
+    }
+}
+
+
+/// `∇H_ba,i` via the reverse neighbor slot, falling back to the
+/// antisymmetry `∇H_ba = −(∇H_ab,i)†` (same convention as the serial
+/// kernels).
+fn dh_reverse(ctx: &SseDistContext<'_>, a: usize, slot: usize, b: usize, i: usize) -> Vec<Complex64> {
+    let no = ctx.p.norb;
+    match (0..ctx.p.nb).find(|&s| ctx.dev.neighbor(b, s) == Some(a)) {
+        Some(s) => ctx.dh.inner(&[b, s, i]).to_vec(),
+        None => {
+            let m = qt_linalg::Matrix::from_vec(no, no, ctx.dh.inner(&[a, slot, i]).to_vec());
+            m.dagger().scale(c64(-1.0, 0.0)).as_slice().to_vec()
+        }
+    }
+}
+
+/// Trace `tr(M1 · G1 · M2 · G2)` over `no × no` row-major blocks.
+fn trace4(no: usize, m1: &[Complex64], g1: &[Complex64], m2: &[Complex64], g2: &[Complex64]) -> Complex64 {
+    // P = M1·G1, Q = M2·G2, tr(P·Q).
+    let mut p_ = vec![Complex64::ZERO; no * no];
+    let mut q_ = vec![Complex64::ZERO; no * no];
+    gemm::gemm_raw_acc(no, no, no, m1, g1, &mut p_);
+    gemm::gemm_raw_acc(no, no, no, m2, g2, &mut q_);
+    let mut tr = Complex64::ZERO;
+    for m in 0..no {
+        for n in 0..no {
+            tr = tr.mul_add(p_[m * no + n], q_[n * no + m]);
+        }
+    }
+    tr
+}
+
+/// Accumulate one energy's contribution to the Π≷(q, ω) partial:
+/// `T_ab,ij += Σ_k tr{∇H_ba,i · G≷_hi[k+q, E+ω, a] · ∇H_ab,j · G≶_lo[k, E, b]}`
+/// with `+T` on the neighbor slot and `−T` on the diagonal slot (Eqs. 4–5).
+/// `g_hi` is packed `[kz][a][Norb²]` for energy `E+ω+1`; `g_lo_at` fetches
+/// the local `G≶[k, E, b]` block.
+#[allow(clippy::too_many_arguments)]
+fn pi_round_accumulate(
+    ctx: &SseDistContext<'_>,
+    q: usize,
+    atoms: std::ops::Range<usize>,
+    g_hi: &dyn Fn(usize, usize) -> Vec<Complex64>,   // (kq, a) -> block
+    g_lo: &dyn Fn(usize, usize) -> Vec<Complex64>,   // (k, b) -> block
+    out: &mut [Complex64], // [na][nb+1][9]
+) {
+    let p = ctx.p;
+    let no = p.norb;
+    let d_len = (p.nb + 1) * N3D * N3D;
+    for k in 0..p.nkz {
+        let kq = ctx.grids.k_plus_q(k, q);
+        for a in atoms.clone() {
+            let g1 = g_hi(kq, a);
+            for slot in 0..p.nb {
+                let Some(b) = ctx.dev.neighbor(a, slot) else { continue };
+                let g2 = g_lo(k, b);
+                for i in 0..N3D {
+                    let m1 = dh_reverse(ctx, a, slot, b, i);
+                    for j in 0..N3D {
+                        let m2 = ctx.dh.inner(&[a, slot, j]);
+                        let tr = trace4(no, &m1, &g1, m2, &g2);
+                        out[a * d_len + (slot * N3D + i) * N3D + j] += tr;
+                        out[a * d_len + (p.nb * N3D + i) * N3D + j] -= tr;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run the OMEN communication scheme on `procs` ranks. Returns the
+/// assembled Σ≷ (identical to the serial kernels) and the measured traffic.
+pub fn omen_scheme(
+    ctx: &SseDistContext<'_>,
+    procs: usize,
+) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats) {
+    let p = ctx.p;
+    let nn = p.norb * p.norb;
+    let scale = c64(sse::sigma_scale(p, ctx.grids), 0.0);
+    let results = run_world(procs, |comm: ThreadComm| {
+        let rank = comm.rank();
+        let dec = OmenDecomp::new(p, procs);
+        let my_e = dec.energy.range(rank);
+        let ne_local = my_e.len();
+        // Local Σ accumulators: [tensor][k][e_local][a][nn].
+        let mut sig = [
+            vec![Complex64::ZERO; p.nkz * ne_local * p.na * nn],
+            vec![Complex64::ZERO; p.nkz * ne_local * p.na * nn],
+        ];
+        // Owned Π≷(q, ω) slices (this rank is the round-robin owner of a
+        // subset of phonon points): [owned slice idx][na·(nb+1)·9].
+        let d_len = (p.nb + 1) * qt_core::params::N3D * qt_core::params::N3D;
+        let mut pi_owned: Vec<((usize, usize), Vec<Complex64>, Vec<Complex64>)> = Vec::new();
+        let pi_scale = c64(sse::pi_scale(p, ctx.grids), 0.0);
+        for q in 0..p.nqz {
+            for w in 0..p.nw {
+                let round = (q * p.nw + w) as u64;
+                let owner = dec.d_owner(p, q, w);
+                // Broadcast both D̃ tensors for this round.
+                let d_slices: Vec<Vec<Complex64>> = [ctx.d_lesser_pre, ctx.d_greater_pre]
+                    .iter()
+                    .enumerate()
+                    .map(|(t, d)| {
+                        comm.bcast(
+                            owner,
+                            (rank == owner).then(|| d.inner(&[q, w]).to_vec()),
+                            (1 << 40) | (round * 2 + t as u64),
+                        )
+                    })
+                    .collect();
+                // Send my G slices to whoever consumes them this round —
+                // each consumer energy e needs the emission sideband
+                // e − ω − 1 and the absorption sideband e + ω + 1 (the
+                // "G≷(E ± ħω)" exchange of §4.1). Iterate in the consumer's
+                // order so per-pair FIFO delivery matches the receive loop.
+                for e_dst in 0..p.ne {
+                    for side in 0u64..2 {
+                        let e_src = if side == 0 {
+                            e_dst.checked_sub(w + 1)
+                        } else {
+                            let up = e_dst + w + 1;
+                            (up < p.ne).then_some(up)
+                        };
+                        let Some(e_src) = e_src else { continue };
+                        if !my_e.contains(&e_src) {
+                            continue;
+                        }
+                        let dst = dec.energy.owner(e_dst);
+                        for (t, g) in [ctx.g_lesser, ctx.g_greater].iter().enumerate() {
+                            let buf = pack_g_slice(g, p.nkz, e_src, 0..p.na, nn);
+                            let tag =
+                                ((round * p.ne as u64 + e_dst as u64) * 2 + side) * 2 + t as u64;
+                            comm.send(dst, tag, buf);
+                        }
+                    }
+                }
+                // Receive and consume the slices for my energies; keep the
+                // absorption-side (E+ω) slices — they double as the
+                // G≷(E+ω, k+q) inputs of the Π kernel (Eqs. 4–5).
+                let mut hi_slices: Vec<(usize, Vec<Complex64>, Vec<Complex64>)> = Vec::new();
+                for e in my_e.clone() {
+                    for side in 0u64..2 {
+                        let e_src = if side == 0 {
+                            e.checked_sub(w + 1)
+                        } else {
+                            let up = e + w + 1;
+                            (up < p.ne).then_some(up)
+                        };
+                        let Some(e_src) = e_src else { continue };
+                        let src = dec.energy.owner(e_src);
+                        let tag = ((round * p.ne as u64 + e as u64) * 2 + side) * 2;
+                        let gl = comm.recv(src, tag);
+                        let gg = comm.recv(src, tag + 1);
+                        if side == 1 {
+                            hi_slices.push((e, gl.clone(), gg.clone()));
+                        }
+                        let e_local = e - my_e.start;
+                        for (tensor, g_slice) in [(0usize, &gl), (1, &gg)] {
+                            // Absorption weights with the other D̃ tensor.
+                            let d_idx = if side == 0 { tensor } else { 1 - tensor };
+                            for k in 0..p.nkz {
+                                let off = (k * ne_local + e_local) * p.na * nn;
+                                sigma_round_increment(
+                                    ctx,
+                                    q,
+                                    w,
+                                    g_slice,
+                                    &d_slices[d_idx],
+                                    side == 1,
+                                    k,
+                                    &mut sig[tensor][off..off + p.na * nn],
+                                    scale,
+                                );
+                            }
+                        }
+                    }
+                }
+                // Partial Π≷(q, ω) over the rank's energies, reduced to the
+                // round owner ("the partial phonon self-energies produced by
+                // each process are reduced", §4.1).
+                let mut part_l = vec![Complex64::ZERO; p.na * d_len];
+                let mut part_g = vec![Complex64::ZERO; p.na * d_len];
+                for (e, hi_l, hi_g) in &hi_slices {
+                    let lo_block = |g: &qt_linalg::Tensor, k: usize, b: usize| {
+                        g.inner(&[k, *e, b]).to_vec()
+                    };
+                    let hi_block = |buf: &Vec<Complex64>, kq: usize, a: usize| {
+                        buf[(kq * p.na + a) * nn..(kq * p.na + a + 1) * nn].to_vec()
+                    };
+                    // Π<: G<(E+ω) × G>(E); Π>: G>(E+ω) × G<(E).
+                    pi_round_accumulate(
+                        ctx, q, 0..p.na,
+                        &|kq, a| hi_block(hi_l, kq, a),
+                        &|k, b| lo_block(ctx.g_greater, k, b),
+                        &mut part_l,
+                    );
+                    pi_round_accumulate(
+                        ctx, q, 0..p.na,
+                        &|kq, a| hi_block(hi_g, kq, a),
+                        &|k, b| lo_block(ctx.g_lesser, k, b),
+                        &mut part_g,
+                    );
+                }
+                let tag = (1 << 45) | (round * 2);
+                let red_l = comm.reduce_sum(owner, part_l, tag);
+                let red_g = comm.reduce_sum(owner, part_g, tag + 1);
+                if rank == owner {
+                    let fin = |mut v: Vec<Complex64>| {
+                        for z in v.iter_mut() {
+                            *z *= pi_scale;
+                        }
+                        v
+                    };
+                    pi_owned.push(((q, w), fin(red_l.unwrap()), fin(red_g.unwrap())));
+                }
+            }
+        }
+        comm.barrier();
+        // Capture SSE-phase traffic before the result gather adds its own
+        // bytes; the second barrier keeps the snapshot consistent.
+        let stats = (comm.world_bytes(), comm.bytes_received());
+        comm.barrier();
+        // Gather Σ and Π to root.
+        if rank == 0 {
+            let mut out = ElectronSelfEnergy::zeros(p);
+            for src in 0..procs {
+                let src_e = dec.energy.range(src);
+                let bufs = if src == 0 {
+                    [sig[0].clone(), sig[1].clone()]
+                } else {
+                    [comm.recv(src, 1 << 50), comm.recv(src, (1 << 50) + 1)]
+                };
+                for (t, buf) in bufs.iter().enumerate() {
+                    let tensor = if t == 0 { &mut out.lesser } else { &mut out.greater };
+                    for k in 0..p.nkz {
+                        for (e_local, e) in src_e.clone().enumerate() {
+                            for a in 0..p.na {
+                                let off = ((k * src_e.len() + e_local) * p.na + a) * nn;
+                                tensor
+                                    .inner_mut(&[k, e, a])
+                                    .copy_from_slice(&buf[off..off + nn]);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut pi_out = PhononSelfEnergy::zeros(p);
+            let store = |pi_out: &mut PhononSelfEnergy, (qw, l, g): ((usize, usize), Vec<Complex64>, Vec<Complex64>)| {
+                let (q, w) = qw;
+                pi_out.lesser.inner_mut(&[q, w]).copy_from_slice(&l);
+                pi_out.greater.inner_mut(&[q, w]).copy_from_slice(&g);
+            };
+            for entry in pi_owned {
+                store(&mut pi_out, entry);
+            }
+            for src in 1..procs {
+                let count = comm.recv(src, 1 << 52)[0].re as usize;
+                for _ in 0..count {
+                    let head = comm.recv(src, (1 << 52) + 1);
+                    let (q, w) = (head[0].re as usize, head[1].re as usize);
+                    let l = comm.recv(src, (1 << 52) + 2);
+                    let g = comm.recv(src, (1 << 52) + 3);
+                    store(&mut pi_out, ((q, w), l, g));
+                }
+            }
+            (Some((out, pi_out)), stats)
+        } else {
+            comm.send(0, 1 << 50, sig[0].clone());
+            comm.send(0, (1 << 50) + 1, sig[1].clone());
+            comm.send(0, 1 << 52, vec![c64(pi_owned.len() as f64, 0.0)]);
+            for ((q, w), l, g) in pi_owned {
+                comm.send(0, (1 << 52) + 1, vec![c64(q as f64, 0.0), c64(w as f64, 0.0)]);
+                comm.send(0, (1 << 52) + 2, l);
+                comm.send(0, (1 << 52) + 3, g);
+            }
+            (None, stats)
+        }
+    });
+    collect_results(results)
+}
+
+/// Run the DaCe communication-avoiding scheme on a `(TE, TA)` grid.
+pub fn dace_scheme(
+    ctx: &SseDistContext<'_>,
+    te: usize,
+    ta: usize,
+) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats) {
+    let p = ctx.p;
+    let nn = p.norb * p.norb;
+    let scale = c64(sse::sigma_scale(p, ctx.grids), 0.0);
+    let procs = te * ta;
+    let halo = ctx.dev.max_neighbor_index_distance();
+    let results = run_world(procs, |comm: ThreadComm| {
+        let rank = comm.rank();
+        let dec = DaceDecomp::new(p, te, ta);
+        let gf_dec = OmenDecomp::new(p, procs); // initial GF-phase layout
+        let my_gf_e = gf_dec.energy.range(rank);
+        let (ti, tj) = dec.coords(rank);
+        let e_halo = dec.energy_halo(ti, p.nw);
+        let a_win = atom_window_exact(&dec, tj, halo, p.na);
+        // ---- All-to-all #1: G≷ tiles with halos. ----
+        let mut sendbufs: Vec<Vec<Complex64>> = Vec::with_capacity(procs);
+        for dst in 0..procs {
+            let (di, dj) = dec.coords(dst);
+            let dst_e = dec.energy_halo(di, p.nw);
+            let dst_a = atom_window_exact(&dec, dj, halo, p.na);
+            let mut buf = Vec::new();
+            for g in [ctx.g_lesser, ctx.g_greater] {
+                for e in my_gf_e.clone() {
+                    if !dst_e.contains(&e) {
+                        continue;
+                    }
+                    buf.extend(pack_g_slice(g, p.nkz, e, dst_a.clone(), nn));
+                }
+            }
+            sendbufs.push(buf);
+        }
+        let recvd = comm.alltoallv(sendbufs, 1);
+        // Assemble local halo arrays [tensor][k][e_halo][a_win][nn].
+        let eh_len = e_halo.len();
+        let aw_len = a_win.len();
+        let mut g_local = [
+            vec![Complex64::ZERO; p.nkz * eh_len * aw_len * nn],
+            vec![Complex64::ZERO; p.nkz * eh_len * aw_len * nn],
+        ];
+        for (src, buf) in recvd.iter().enumerate() {
+            let src_e = gf_dec.energy.range(src);
+            let es: Vec<usize> = src_e.filter(|e| e_halo.contains(e)).collect();
+            let mut pos = 0;
+            for tensor in &mut g_local {
+                for &e in &es {
+                    let el = e - e_halo.start;
+                    for k in 0..p.nkz {
+                        for al in 0..aw_len {
+                            let off = ((k * eh_len + el) * aw_len + al) * nn;
+                            tensor[off..off + nn]
+                                .copy_from_slice(&buf[pos..pos + nn]);
+                            pos += nn;
+                        }
+                    }
+                }
+            }
+            assert_eq!(pos, buf.len(), "unpack must consume the message");
+        }
+        // ---- All-to-all #2: D̃≷ for my atom window. ----
+        let mut sendbufs: Vec<Vec<Complex64>> = Vec::with_capacity(procs);
+        for dst in 0..procs {
+            let (_, dj) = dec.coords(dst);
+            let dst_a = atom_window_exact(&dec, dj, halo, p.na);
+            let mut buf = Vec::new();
+            for d in [ctx.d_lesser_pre, ctx.d_greater_pre] {
+                for q in 0..p.nqz {
+                    for w in 0..p.nw {
+                        if gf_dec.d_owner(p, q, w) != rank {
+                            continue;
+                        }
+                        for a in dst_a.clone() {
+                            buf.extend_from_slice(d.inner(&[q, w, a]));
+                        }
+                    }
+                }
+            }
+            sendbufs.push(buf);
+        }
+        let recvd = comm.alltoallv(sendbufs, 2);
+        let d_len = p.nb * N3D * N3D;
+        let mut d_local = [
+            vec![Complex64::ZERO; p.nqz * p.nw * aw_len * d_len],
+            vec![Complex64::ZERO; p.nqz * p.nw * aw_len * d_len],
+        ];
+        for (src, buf) in recvd.iter().enumerate() {
+            let mut pos = 0;
+            for tensor in &mut d_local {
+                for q in 0..p.nqz {
+                    for w in 0..p.nw {
+                        if gf_dec.d_owner(p, q, w) != src {
+                            continue;
+                        }
+                        for al in 0..aw_len {
+                            let off = ((q * p.nw + w) * aw_len + al) * d_len;
+                            tensor[off..off + d_len]
+                                .copy_from_slice(&buf[pos..pos + d_len]);
+                            pos += d_len;
+                        }
+                    }
+                }
+            }
+            assert_eq!(pos, buf.len());
+        }
+        // ---- Local SSE over my (energy tile × atom tile). ----
+        let my_e = dec.energy.range(ti);
+        let my_a = dec.atoms.range(tj);
+        let mut sig = [
+            vec![Complex64::ZERO; p.nkz * my_e.len() * my_a.len() * nn],
+            vec![Complex64::ZERO; p.nkz * my_e.len() * my_a.len() * nn],
+        ];
+        let no = p.norb;
+        let mut dhg = vec![Complex64::ZERO; nn];
+        let mut dhd = vec![Complex64::ZERO; nn];
+        let mut prod = vec![Complex64::ZERO; nn];
+        for tensor in 0..2 {
+            let g_loc = &g_local[tensor];
+            let d_em = &d_local[tensor];
+            let d_ab = &d_local[1 - tensor]; // bosonic image for absorption
+            for k in 0..p.nkz {
+                for q in 0..p.nqz {
+                    let kq = ctx.grids.k_minus_q(k, q);
+                    for (el_out, e) in my_e.clone().enumerate() {
+                        for w in 0..p.nw {
+                            // Emission (E − ω − 1) and absorption (E + ω + 1).
+                            let sidebands = [
+                                e.checked_sub(w + 1),
+                                (e + w + 1 < p.ne).then_some(e + w + 1),
+                            ];
+                            for (side, es) in sidebands.iter().enumerate() {
+                                let Some(es) = *es else { continue };
+                                debug_assert!(e_halo.contains(&es));
+                                let ehl = es - e_halo.start;
+                                for (al_out, a) in my_a.clone().enumerate() {
+                                    let awl_a = a - a_win.start;
+                                    for slot in 0..p.nb {
+                                        let Some(f) = ctx.dev.neighbor(a, slot) else {
+                                            continue;
+                                        };
+                                        debug_assert!(a_win.contains(&f));
+                                        let fl = f - a_win.start;
+                                        let goff = ((kq * eh_len + ehl) * aw_len + fl) * nn;
+                                        let gblk = &g_loc[goff..goff + nn];
+                                        for i in 0..N3D {
+                                            let dh_i = ctx.dh.inner(&[a, slot, i]);
+                                            dhg.fill(Complex64::ZERO);
+                                            gemm::gemm_raw_acc(no, no, no, gblk, dh_i, &mut dhg);
+                                            dhd.fill(Complex64::ZERO);
+                                            for j in 0..N3D {
+                                                let dval = if side == 0 {
+                                                    let doff = ((q * p.nw + w) * aw_len + awl_a)
+                                                        * d_len
+                                                        + (slot * N3D + i) * N3D
+                                                        + j;
+                                                    d_em[doff]
+                                                } else {
+                                                    let doff = ((q * p.nw + w) * aw_len + awl_a)
+                                                        * d_len
+                                                        + (slot * N3D + j) * N3D
+                                                        + i;
+                                                    d_ab[doff].conj()
+                                                };
+                                                if dval == Complex64::ZERO {
+                                                    continue;
+                                                }
+                                                let dh_j = ctx.dh.inner(&[a, slot, j]);
+                                                for (t, &s) in dhd.iter_mut().zip(dh_j) {
+                                                    *t += s * dval;
+                                                }
+                                            }
+                                            prod.fill(Complex64::ZERO);
+                                            gemm::gemm_raw_acc(no, no, no, &dhg, &dhd, &mut prod);
+                                            let soff = ((k * my_e.len() + el_out) * my_a.len()
+                                                + al_out)
+                                                * nn;
+                                            let dst = &mut sig[tensor][soff..soff + nn];
+                                            for (o, v) in dst.iter_mut().zip(prod.iter()) {
+                                                *o += *v * scale;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Partial Π≷ over this rank's (energy tile × atom tile), reduced to
+        // the (q, ω) owners. All inputs are already local: the E+ω reads sit
+        // in the upper energy halo and the neighbor atoms in the window.
+        let d_len = (p.nb + 1) * N3D * N3D;
+        let pi_scale = c64(sse::pi_scale(p, ctx.grids), 0.0);
+        let mut pi_owned: Vec<((usize, usize), Vec<Complex64>, Vec<Complex64>)> = Vec::new();
+        for q in 0..p.nqz {
+            for w in 0..p.nw {
+                // Tile-local partials: contributions exist only for the
+                // rank's own atom tile, so only that slice travels — the
+                // (NA/TA + NB)·NB·N3D² term of §4.1's DaCe formula.
+                let mut part_l = vec![Complex64::ZERO; p.na * d_len];
+                let mut part_g = vec![Complex64::ZERO; p.na * d_len];
+                for e in my_e.clone() {
+                    let Some(ep) = (e + w + 1 < p.ne).then_some(e + w + 1) else {
+                        continue;
+                    };
+                    debug_assert!(e_halo.contains(&ep));
+                    let (ehl, el) = (ep - e_halo.start, e - e_halo.start);
+                    let g_local_ref = &g_local;
+                    let a_win_ref = &a_win;
+                    let hi = move |tensor: usize| {
+                        move |kq: usize, a: usize| -> Vec<Complex64> {
+                            debug_assert!(a_win_ref.contains(&a));
+                            let al = a - a_win_ref.start;
+                            let off = ((kq * eh_len + ehl) * aw_len + al) * nn;
+                            g_local_ref[tensor][off..off + nn].to_vec()
+                        }
+                    };
+                    let lo = move |tensor: usize| {
+                        move |k: usize, b: usize| -> Vec<Complex64> {
+                            debug_assert!(a_win_ref.contains(&b));
+                            let bl = b - a_win_ref.start;
+                            let off = ((k * eh_len + el) * aw_len + bl) * nn;
+                            g_local_ref[tensor][off..off + nn].to_vec()
+                        }
+                    };
+                    // Π<: G<(E+ω) × G>(E); Π>: G>(E+ω) × G<(E).
+                    pi_round_accumulate(ctx, q, my_a.clone(), &hi(0), &lo(1), &mut part_l);
+                    pi_round_accumulate(ctx, q, my_a.clone(), &hi(1), &lo(0), &mut part_g);
+                }
+                let owner = gf_dec.d_owner(p, q, w);
+                let tag = (1 << 45) | ((q * p.nw + w) as u64 * 2);
+                // Send only the tile slice to the owner.
+                let slice = |buf: &[Complex64]| {
+                    buf[my_a.start * d_len..my_a.end * d_len].to_vec()
+                };
+                comm.send(owner, tag, slice(&part_l));
+                comm.send(owner, tag + 1, slice(&part_g));
+                if rank == owner {
+                    let mut tot_l = vec![Complex64::ZERO; p.na * d_len];
+                    let mut tot_g = vec![Complex64::ZERO; p.na * d_len];
+                    for src in 0..dec.procs() {
+                        let (_, sj) = dec.coords(src);
+                        let src_a = dec.atoms.range(sj);
+                        let rl = comm.recv(src, tag);
+                        let rg = comm.recv(src, tag + 1);
+                        for (dst, part) in [(&mut tot_l, rl), (&mut tot_g, rg)] {
+                            for (o, v) in dst[src_a.start * d_len..src_a.end * d_len]
+                                .iter_mut()
+                                .zip(part)
+                            {
+                                *o += v;
+                            }
+                        }
+                    }
+                    let fin = |mut v: Vec<Complex64>| {
+                        for z in v.iter_mut() {
+                            *z *= pi_scale;
+                        }
+                        v
+                    };
+                    pi_owned.push(((q, w), fin(tot_l), fin(tot_g)));
+                }
+            }
+        }
+        comm.barrier();
+        // Capture SSE-phase traffic before the result gather adds its own
+        // bytes; the second barrier keeps the snapshot consistent.
+        let stats = (comm.world_bytes(), comm.bytes_received());
+        comm.barrier();
+        // Gather tiles to root.
+        if rank == 0 {
+            let mut out = ElectronSelfEnergy::zeros(p);
+            for src in 0..procs {
+                let (si, sj) = dec.coords(src);
+                let src_e = dec.energy.range(si);
+                let src_a = dec.atoms.range(sj);
+                let bufs = if src == 0 {
+                    [sig[0].clone(), sig[1].clone()]
+                } else {
+                    [comm.recv(src, 1 << 50), comm.recv(src, (1 << 50) + 1)]
+                };
+                for (t, buf) in bufs.iter().enumerate() {
+                    let tensor = if t == 0 { &mut out.lesser } else { &mut out.greater };
+                    for k in 0..p.nkz {
+                        for (el, e) in src_e.clone().enumerate() {
+                            for (al, a) in src_a.clone().enumerate() {
+                                let off = ((k * src_e.len() + el) * src_a.len() + al) * nn;
+                                tensor
+                                    .inner_mut(&[k, e, a])
+                                    .copy_from_slice(&buf[off..off + nn]);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut pi_out = PhononSelfEnergy::zeros(p);
+            let store = |pi_out: &mut PhononSelfEnergy, (qw, l, g): ((usize, usize), Vec<Complex64>, Vec<Complex64>)| {
+                let (q, w) = qw;
+                pi_out.lesser.inner_mut(&[q, w]).copy_from_slice(&l);
+                pi_out.greater.inner_mut(&[q, w]).copy_from_slice(&g);
+            };
+            for entry in pi_owned {
+                store(&mut pi_out, entry);
+            }
+            for src in 1..procs {
+                let count = comm.recv(src, 1 << 52)[0].re as usize;
+                for _ in 0..count {
+                    let head = comm.recv(src, (1 << 52) + 1);
+                    let (q, w) = (head[0].re as usize, head[1].re as usize);
+                    let l = comm.recv(src, (1 << 52) + 2);
+                    let g = comm.recv(src, (1 << 52) + 3);
+                    store(&mut pi_out, ((q, w), l, g));
+                }
+            }
+            (Some((out, pi_out)), stats)
+        } else {
+            comm.send(0, 1 << 50, sig[0].clone());
+            comm.send(0, (1 << 50) + 1, sig[1].clone());
+            comm.send(0, 1 << 52, vec![c64(pi_owned.len() as f64, 0.0)]);
+            for ((q, w), l, g) in pi_owned {
+                comm.send(0, (1 << 52) + 1, vec![c64(q as f64, 0.0), c64(w as f64, 0.0)]);
+                comm.send(0, (1 << 52) + 2, l);
+                comm.send(0, (1 << 52) + 3, g);
+            }
+            (None, stats)
+        }
+    });
+    collect_results(results)
+}
+
+/// Atom window using the device's exact neighbor-index halo.
+fn atom_window_exact(
+    dec: &DaceDecomp,
+    j: usize,
+    halo: usize,
+    na: usize,
+) -> std::ops::Range<usize> {
+    let r = dec.atoms.range(j);
+    r.start.saturating_sub(halo)..(r.end + halo).min(na)
+}
+
+type RankResult = (Option<(ElectronSelfEnergy, PhononSelfEnergy)>, (u64, u64));
+
+fn collect_results(results: Vec<RankResult>) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats) {
+    let world_bytes = results[0].1 .0;
+    let max_rank_recv = results.iter().map(|r| r.1 .1).max().unwrap_or(0);
+    let (sigma, pi) = results
+        .into_iter()
+        .find_map(|(s, _)| s)
+        .expect("root produced the assembled Σ and Π");
+    (
+        sigma,
+        pi,
+        CommStats {
+            world_bytes,
+            max_rank_recv,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_core::gf::{self, GfConfig};
+    use qt_core::hamiltonian::{ElectronModel, PhononModel};
+    use qt_core::sse::SseVariant;
+
+    struct Fx {
+        p: SimParams,
+        dev: Device,
+        grids: Grids,
+        dh: Tensor,
+        gl: Tensor,
+        gg: Tensor,
+        dl: Tensor,
+        dg: Tensor,
+    }
+
+    fn fixture() -> Fx {
+        let p = SimParams {
+            nkz: 2,
+            nqz: 2,
+            ne: 12,
+            nw: 2,
+            na: 12,
+            nb: 3,
+            norb: 2,
+            bnum: 4,
+        };
+        let dev = Device::new(&p);
+        let em = ElectronModel::for_params(&p);
+        let pm = PhononModel::default();
+        let grids = Grids::new(&p, -1.2, 1.2);
+        let cfg = GfConfig::default();
+        let egf = gf::electron_gf_phase(
+            &dev,
+            &em,
+            &p,
+            &grids,
+            &gf::ElectronSelfEnergy::zeros(&p),
+            &cfg,
+        )
+        .unwrap();
+        let pgf = gf::phonon_gf_phase(
+            &dev,
+            &pm,
+            &p,
+            &grids,
+            &gf::PhononSelfEnergy::zeros(&p),
+            &cfg,
+        )
+        .unwrap();
+        let (dl, dg) = sse::preprocess_d(&dev, &p, &pgf);
+        Fx {
+            dh: em.dh_tensor(&dev),
+            gl: egf.g_lesser,
+            gg: egf.g_greater,
+            dl,
+            dg,
+            p,
+            dev,
+            grids,
+        }
+    }
+
+    fn ctx(fx: &Fx) -> SseDistContext<'_> {
+        SseDistContext {
+            p: &fx.p,
+            dev: &fx.dev,
+            grids: &fx.grids,
+            dh: &fx.dh,
+            g_lesser: &fx.gl,
+            g_greater: &fx.gg,
+            d_lesser_pre: &fx.dl,
+            d_greater_pre: &fx.dg,
+        }
+    }
+
+    fn serial_results(fx: &Fx) -> (ElectronSelfEnergy, PhononSelfEnergy) {
+        let inputs = sse::SseInputs {
+            dev: &fx.dev,
+            p: &fx.p,
+            grids: &fx.grids,
+            dh: &fx.dh,
+            g_lesser: &fx.gl,
+            g_greater: &fx.gg,
+            d_lesser_pre: &fx.dl,
+            d_greater_pre: &fx.dg,
+        };
+        (
+            sse::sigma(&inputs, SseVariant::Omen),
+            sse::pi(&inputs, SseVariant::Reference),
+        )
+    }
+
+    fn assert_close(
+        name: &str,
+        serial: &qt_linalg::Tensor,
+        dist: &qt_linalg::Tensor,
+    ) {
+        let rel = serial.max_abs_diff(dist) / serial.norm().max(1e-30);
+        assert!(rel < 1e-10, "{name}: rel {rel}");
+    }
+
+    #[test]
+    fn omen_scheme_matches_serial() {
+        let fx = fixture();
+        let (serial, serial_pi) = serial_results(&fx);
+        for procs in [1usize, 2, 4] {
+            let (dist, dist_pi, stats) = omen_scheme(&ctx(&fx), procs);
+            assert_close("sigma lesser", &serial.lesser, &dist.lesser);
+            assert_close("sigma greater", &serial.greater, &dist.greater);
+            assert_close("pi lesser", &serial_pi.lesser, &dist_pi.lesser);
+            assert_close("pi greater", &serial_pi.greater, &dist_pi.greater);
+            if procs > 1 {
+                assert!(stats.world_bytes > 0, "must actually communicate");
+            }
+        }
+    }
+
+    #[test]
+    fn dace_scheme_matches_serial() {
+        let fx = fixture();
+        let (serial, serial_pi) = serial_results(&fx);
+        for (te, ta) in [(1usize, 2usize), (2, 2), (3, 2), (2, 3)] {
+            let (dist, dist_pi, stats) = dace_scheme(&ctx(&fx), te, ta);
+            assert_close("sigma lesser", &serial.lesser, &dist.lesser);
+            assert_close("sigma greater", &serial.greater, &dist.greater);
+            assert_close("pi lesser", &serial_pi.lesser, &dist_pi.lesser);
+            assert_close("pi greater", &serial_pi.greater, &dist_pi.greater);
+            assert!(stats.world_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn dace_moves_less_data() {
+        let fx = fixture();
+        let (_, _, omen_stats) = omen_scheme(&ctx(&fx), 4);
+        let (_, _, dace_stats) = dace_scheme(&ctx(&fx), 2, 2);
+        // Even at this tiny scale the all-to-all redistribution must beat
+        // the per-round replication of G.
+        assert!(
+            dace_stats.world_bytes < omen_stats.world_bytes,
+            "dace {} vs omen {}",
+            dace_stats.world_bytes,
+            omen_stats.world_bytes
+        );
+    }
+
+    #[test]
+    fn measured_omen_bytes_track_formula_shape() {
+        // The G-replication term scales with Nqz·Nω: doubling the rounds
+        // must roughly double the measured traffic.
+        let fx = fixture();
+        let mut p2 = fx.p;
+        p2.nw = 4; // double the frequency count
+        let fx2 = Fx {
+            p: p2,
+            dev: Device::new(&p2),
+            grids: Grids::new(&p2, -1.2, 1.2),
+            dh: fx.dh.clone(),
+            gl: fx.gl.clone(),
+            gg: fx.gg.clone(),
+            dl: Tensor::zeros(&[p2.nqz, p2.nw, p2.na, p2.nb, N3D, N3D]),
+            dg: Tensor::zeros(&[p2.nqz, p2.nw, p2.na, p2.nb, N3D, N3D]),
+        };
+        let (_, _, s1) = omen_scheme(&ctx(&fx), 4);
+        let (_, _, s2) = omen_scheme(&ctx(&fx2), 4);
+        let ratio = s2.world_bytes as f64 / s1.world_bytes as f64;
+        assert!(
+            ratio > 1.5 && ratio < 2.5,
+            "doubling Nω should ~double OMEN traffic: {ratio}"
+        );
+    }
+}

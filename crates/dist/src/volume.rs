@@ -1,0 +1,219 @@
+//! Closed-form SSE communication volumes (§4.1).
+//!
+//! Per process and per GF→SSE exchange, the paper derives:
+//!
+//! * **OMEN** (momentum×energy decomposition, `P` processes):
+//!   `64·Nkz·(NE/P)·Nqz·Nω·NA·Norb²` bytes for `G≷`, plus
+//!   `64·Nqz·Nω·NA·NB·N3D²` bytes for `D≷`/`Π≷`.
+//! * **DaCe** (energy×atom tiling, `P = TE·TA`):
+//!   `64·Nkz·(NE/TE + 2Nω)·(NA/TA + NB)·Norb²` for `G≷`/`Σ≷`, plus
+//!   `64·Nqz·Nω·(NA/TA + NB)·NB·N3D²` for `D≷`/`Π≷`.
+//!
+//! Totals (× `P`) reproduce Tables 4 and 5 to the printed precision — the
+//! unit tests below check every cell.
+
+use qt_core::params::{SimParams, N3D};
+
+const TIB: f64 = (1u64 << 40) as f64;
+
+/// Per-process OMEN bytes for the electron Green's functions.
+pub fn omen_g_bytes_per_proc(p: &SimParams, procs: usize) -> f64 {
+    64.0 * p.nkz as f64 * (p.ne as f64 / procs as f64)
+        * (p.nqz * p.nw) as f64
+        * p.na as f64
+        * (p.norb * p.norb) as f64
+}
+
+/// Per-process OMEN bytes for the phonon Green's functions/self-energies.
+pub fn omen_d_bytes_per_proc(p: &SimParams) -> f64 {
+    64.0 * (p.nqz * p.nw) as f64 * (p.na * p.nb) as f64 * (N3D * N3D) as f64
+}
+
+/// Total OMEN SSE communication volume across `procs` processes (bytes).
+pub fn omen_total_bytes(p: &SimParams, procs: usize) -> f64 {
+    procs as f64 * (omen_g_bytes_per_proc(p, procs) + omen_d_bytes_per_proc(p))
+}
+
+/// Per-process DaCe bytes for `G≷`/`Σ≷` under a `(TE, TA)` tiling.
+pub fn dace_g_bytes_per_proc(p: &SimParams, te: usize, ta: usize) -> f64 {
+    64.0 * p.nkz as f64
+        * (p.ne as f64 / te as f64 + 2.0 * p.nw as f64)
+        * (p.na as f64 / ta as f64 + p.nb as f64)
+        * (p.norb * p.norb) as f64
+}
+
+/// Per-process DaCe bytes for `D≷`/`Π≷`.
+pub fn dace_d_bytes_per_proc(p: &SimParams, ta: usize) -> f64 {
+    64.0 * (p.nqz * p.nw) as f64
+        * (p.na as f64 / ta as f64 + p.nb as f64)
+        * p.nb as f64
+        * (N3D * N3D) as f64
+}
+
+/// Total DaCe SSE communication volume across `TE·TA` processes (bytes).
+pub fn dace_total_bytes(p: &SimParams, te: usize, ta: usize) -> f64 {
+    (te * ta) as f64 * (dace_g_bytes_per_proc(p, te, ta) + dace_d_bytes_per_proc(p, ta))
+}
+
+/// Per-process DaCe bytes for `G≷`/`Σ≷` under a full 3-D
+/// `(Tkz, TE, TA)` tiling — an extension of §4.1's analysis: tiling the
+/// momentum dimension too gives each process a `kz` window of
+/// `min(Nkz, Nkz/Tkz + Nqz − 1)` points (the periodic `kz − qz` halo of
+/// Fig. 7, clamped at full coverage).
+pub fn dace3_g_bytes_per_proc(p: &SimParams, tk: usize, te: usize, ta: usize) -> f64 {
+    let kz_window = (p.nkz as f64 / tk as f64 + p.nqz as f64 - 1.0).min(p.nkz as f64);
+    64.0 * kz_window
+        * (p.ne as f64 / te as f64 + 2.0 * p.nw as f64)
+        * (p.na as f64 / ta as f64 + p.nb as f64)
+        * (p.norb * p.norb) as f64
+}
+
+/// Total 3-D-tiled DaCe volume across `Tkz·TE·TA` processes (bytes).
+pub fn dace3_total_bytes(p: &SimParams, tk: usize, te: usize, ta: usize) -> f64 {
+    (tk * te * ta) as f64
+        * (dace3_g_bytes_per_proc(p, tk, te, ta) + dace_d_bytes_per_proc(p, ta))
+}
+
+/// Convert bytes to TiB (the unit of Tables 4–5).
+pub fn to_tib(bytes: f64) -> f64 {
+    bytes / TIB
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 4: weak scaling, processes grow with Nkz (`P = 256·Nkz`,
+    /// tiling `TE = Nkz`, `TA = 256`).
+    #[test]
+    fn table4_weak_scaling_volumes() {
+        let rows = [
+            (3usize, 768usize, 32.11, 0.54),
+            (5, 1280, 89.18, 1.22),
+            (7, 1792, 174.80, 2.17),
+            (9, 2304, 288.95, 3.38),
+            (11, 2816, 431.65, 4.86),
+        ];
+        for (nkz, procs, omen_tib, dace_tib) in rows {
+            let p = SimParams::paper_si_4864(nkz);
+            let omen = to_tib(omen_total_bytes(&p, procs));
+            assert!(
+                (omen - omen_tib).abs() / omen_tib < 0.005,
+                "OMEN Nkz={nkz}: got {omen:.2}, paper {omen_tib}"
+            );
+            let (te, ta) = (nkz, procs / nkz);
+            assert_eq!(te * ta, procs);
+            let dace = to_tib(dace_total_bytes(&p, te, ta));
+            assert!(
+                (dace - dace_tib).abs() / dace_tib < 0.02,
+                "DaCe Nkz={nkz}: got {dace:.3}, paper {dace_tib}"
+            );
+        }
+    }
+
+    /// Table 5: strong scaling at `Nkz = 7` (`TE = 7`, `TA = P/7`).
+    #[test]
+    fn table5_strong_scaling_volumes() {
+        let rows = [
+            (224usize, 108.24, 0.95),
+            (448, 117.75, 1.13),
+            (896, 136.76, 1.48),
+            (1792, 174.80, 2.17),
+            (2688, 212.84, 2.87),
+        ];
+        let p = SimParams::paper_si_4864(7);
+        for (procs, omen_tib, dace_tib) in rows {
+            let omen = to_tib(omen_total_bytes(&p, procs));
+            assert!(
+                (omen - omen_tib).abs() / omen_tib < 0.005,
+                "OMEN P={procs}: got {omen:.2}, paper {omen_tib}"
+            );
+            let (te, ta) = (7, procs / 7);
+            let dace = to_tib(dace_total_bytes(&p, te, ta));
+            assert!(
+                (dace - dace_tib).abs() / dace_tib < 0.02,
+                "DaCe P={procs}: got {dace:.3}, paper {dace_tib}"
+            );
+        }
+    }
+
+    /// The 3-D tiling reduces to the paper's 2-D formula at Tkz = 1.
+    #[test]
+    fn dace3_reduces_to_dace2_at_tk1() {
+        let p = SimParams::paper_si_4864(7);
+        for (te, ta) in [(7usize, 256usize), (7, 64), (14, 128)] {
+            let v2 = dace_total_bytes(&p, te, ta);
+            let v3 = dace3_total_bytes(&p, 1, te, ta);
+            assert!((v2 - v3).abs() / v2 < 1e-12);
+        }
+    }
+
+    /// Why the paper does NOT tile momentum: with `Nqz = Nkz` (its runs),
+    /// the periodic `kz − qz` halo spans the whole momentum axis
+    /// (`Nkz/Tkz + Nqz − 1 ≥ Nkz` for every `Tkz`), so momentum tiling
+    /// only multiplies the process count without shrinking anyone's
+    /// working set.
+    #[test]
+    fn momentum_tiling_cannot_help_when_nqz_equals_nkz() {
+        let p = SimParams::paper_si_4864(21); // Nqz = Nkz = 21
+        for tk in [3usize, 7, 21] {
+            let per_3d = dace3_g_bytes_per_proc(&p, tk, 21, 32);
+            let per_2d = dace_g_bytes_per_proc(&p, 21, 32);
+            assert!(
+                (per_3d - per_2d).abs() / per_2d < 1e-12,
+                "Tkz={tk}: per-process G volume must be unchanged"
+            );
+        }
+    }
+
+    /// …but with few phonon momentum points (`Nqz ≪ Nkz`), the halo is
+    /// narrow and momentum tiling shrinks the per-process working set —
+    /// the kind of extension §6 anticipates.
+    #[test]
+    fn momentum_tiling_helps_when_nqz_is_small() {
+        let mut p = SimParams::paper_si_4864(21);
+        p.nqz = 3;
+        // Same process count: 2-D (te=21·4, ta=256) vs 3-D (tk=21, te=4, ta=256).
+        let v2 = dace_total_bytes(&p, 84, 256);
+        let v3 = dace3_total_bytes(&p, 21, 4, 256);
+        assert!(
+            v3 < v2,
+            "momentum tiling should win at Nqz=3: 3D {v3:.3e} vs 2D {v2:.3e}"
+        );
+    }
+
+    /// "Up to two orders of magnitude" reduction (§5.1.1).
+    #[test]
+    fn reduction_factor_scale() {
+        let p = SimParams::paper_si_4864(11);
+        let ratio = omen_total_bytes(&p, 2816) / dace_total_bytes(&p, 11, 256);
+        assert!(ratio > 80.0 && ratio < 120.0, "ratio {ratio:.1}");
+    }
+
+    /// OMEN's G-volume is quadratic in momentum points; DaCe's is linear
+    /// (the `Nqz·Nω` replication factor is eliminated).
+    #[test]
+    fn momentum_scaling_shapes() {
+        let procs_per_kz = 256;
+        let vol = |nkz: usize| {
+            let p = SimParams::paper_si_4864(nkz);
+            (
+                omen_total_bytes(&p, procs_per_kz * nkz),
+                dace_total_bytes(&p, nkz, procs_per_kz),
+            )
+        };
+        let (o3, d3) = vol(3);
+        let (o12, d12) = vol(12);
+        // OMEN grows ~quadratically with Nkz (=Nqz): expect ~16x at 4x kz.
+        let omen_growth = o12 / o3;
+        assert!(omen_growth > 12.0 && omen_growth < 20.0, "{omen_growth}");
+        // DaCe grows sub-quadratically (linear volume term plus the 2Nω
+        // energy halo, which also scales with the kz-proportional process
+        // count) — strictly slower than OMEN.
+        let dace_growth = d12 / d3;
+        assert!(
+            dace_growth < 0.75 * omen_growth && dace_growth > 4.0,
+            "dace {dace_growth} vs omen {omen_growth}"
+        );
+    }
+}

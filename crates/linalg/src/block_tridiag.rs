@@ -1,0 +1,230 @@
+//! Block tri-diagonal matrices.
+//!
+//! `H`, `S` and `Φ` "typically exhibit a block tri-diagonal structure" (§2):
+//! the 2-D device slice is cut into `bnum` slabs of `NA/bnum` atoms, and only
+//! adjacent slabs couple. RGF exploits exactly this structure, so the type
+//! stores only the three block diagonals.
+
+use crate::complex::Complex64;
+use crate::dense::Matrix;
+
+/// Uniform block tri-diagonal matrix: `nb` diagonal blocks of order `bs`.
+#[derive(Clone, Debug)]
+pub struct BlockTridiag {
+    bs: usize,
+    diag: Vec<Matrix>,
+    /// `upper[n]` couples block `n` to block `n+1` (i.e. `A[n, n+1]`).
+    upper: Vec<Matrix>,
+    /// `lower[n]` couples block `n+1` to block `n` (i.e. `A[n+1, n]`).
+    lower: Vec<Matrix>,
+}
+
+impl BlockTridiag {
+    /// All-zero block tri-diagonal with `nb` diagonal blocks of order `bs`.
+    pub fn zeros(nb: usize, bs: usize) -> Self {
+        assert!(nb > 0, "need at least one block");
+        BlockTridiag {
+            bs,
+            diag: vec![Matrix::zeros(bs, bs); nb],
+            upper: vec![Matrix::zeros(bs, bs); nb - 1],
+            lower: vec![Matrix::zeros(bs, bs); nb - 1],
+        }
+    }
+
+    /// Build from explicit block lists (`lower`/`upper` must be one shorter).
+    pub fn from_blocks(diag: Vec<Matrix>, upper: Vec<Matrix>, lower: Vec<Matrix>) -> Self {
+        assert!(!diag.is_empty());
+        assert_eq!(upper.len(), diag.len() - 1);
+        assert_eq!(lower.len(), diag.len() - 1);
+        let bs = diag[0].rows();
+        for m in diag.iter().chain(&upper).chain(&lower) {
+            assert_eq!(m.shape(), (bs, bs), "all blocks must be square of equal order");
+        }
+        BlockTridiag {
+            bs,
+            diag,
+            upper,
+            lower,
+        }
+    }
+
+    /// Number of diagonal blocks (`bnum`).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Order of each block.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.bs
+    }
+
+    /// Total matrix order.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.bs * self.diag.len()
+    }
+
+    #[inline]
+    pub fn diag(&self, n: usize) -> &Matrix {
+        &self.diag[n]
+    }
+
+    #[inline]
+    pub fn diag_mut(&mut self, n: usize) -> &mut Matrix {
+        &mut self.diag[n]
+    }
+
+    /// Block `A[n, n+1]`.
+    #[inline]
+    pub fn upper(&self, n: usize) -> &Matrix {
+        &self.upper[n]
+    }
+
+    #[inline]
+    pub fn upper_mut(&mut self, n: usize) -> &mut Matrix {
+        &mut self.upper[n]
+    }
+
+    /// Block `A[n+1, n]`.
+    #[inline]
+    pub fn lower(&self, n: usize) -> &Matrix {
+        &self.lower[n]
+    }
+
+    #[inline]
+    pub fn lower_mut(&mut self, n: usize) -> &mut Matrix {
+        &mut self.lower[n]
+    }
+
+    /// Assemble the full dense matrix (validation / small problems only).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.order();
+        let mut m = Matrix::zeros(n, n);
+        for (b, d) in self.diag.iter().enumerate() {
+            m.set_submatrix(b * self.bs, b * self.bs, d);
+        }
+        for (b, u) in self.upper.iter().enumerate() {
+            m.set_submatrix(b * self.bs, (b + 1) * self.bs, u);
+        }
+        for (b, l) in self.lower.iter().enumerate() {
+            m.set_submatrix((b + 1) * self.bs, b * self.bs, l);
+        }
+        m
+    }
+
+    /// `A - B` blockwise.
+    pub fn sub(&self, other: &BlockTridiag) -> BlockTridiag {
+        assert_eq!(self.num_blocks(), other.num_blocks());
+        assert_eq!(self.bs, other.bs);
+        BlockTridiag {
+            bs: self.bs,
+            diag: self.diag.iter().zip(&other.diag).map(|(a, b)| a - b).collect(),
+            upper: self.upper.iter().zip(&other.upper).map(|(a, b)| a - b).collect(),
+            lower: self.lower.iter().zip(&other.lower).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    /// Scale all blocks by `z`.
+    pub fn scale(&self, z: Complex64) -> BlockTridiag {
+        BlockTridiag {
+            bs: self.bs,
+            diag: self.diag.iter().map(|m| m.scale(z)).collect(),
+            upper: self.upper.iter().map(|m| m.scale(z)).collect(),
+            lower: self.lower.iter().map(|m| m.scale(z)).collect(),
+        }
+    }
+
+    /// True if the assembled matrix is Hermitian: diagonal blocks Hermitian
+    /// and `lower[n] == upper[n]^dagger`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.diag.iter().all(|d| d.is_hermitian(tol))
+            && self
+                .upper
+                .iter()
+                .zip(&self.lower)
+                .all(|(u, l)| l.max_abs_diff(&u.dagger()) <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    fn random_bt(nb: usize, bs: usize, r: &mut impl rand::Rng) -> BlockTridiag {
+        let mut bt = BlockTridiag::zeros(nb, bs);
+        for n in 0..nb {
+            *bt.diag_mut(n) = Matrix::random(bs, bs, r);
+        }
+        for n in 0..nb - 1 {
+            *bt.upper_mut(n) = Matrix::random(bs, bs, r);
+            *bt.lower_mut(n) = Matrix::random(bs, bs, r);
+        }
+        bt
+    }
+
+    #[test]
+    fn dense_assembly_shape_and_content() {
+        let mut r = rng();
+        let bt = random_bt(4, 3, &mut r);
+        let d = bt.to_dense();
+        assert_eq!(d.shape(), (12, 12));
+        // Off-tridiagonal blocks are zero.
+        for i in 0..12 {
+            for j in 0..12 {
+                let (bi, bj) = (i / 3, j / 3);
+                if (bi as isize - bj as isize).abs() > 1 {
+                    assert_eq!(d[(i, j)], Complex64::ZERO);
+                }
+            }
+        }
+        assert_eq!(d[(0, 0)], bt.diag(0)[(0, 0)]);
+        assert_eq!(d[(0, 3)], bt.upper(0)[(0, 0)]);
+        assert_eq!(d[(3, 0)], bt.lower(0)[(0, 0)]);
+    }
+
+    #[test]
+    fn hermitian_construction_detected() {
+        let mut r = rng();
+        let mut bt = BlockTridiag::zeros(3, 4);
+        for n in 0..3 {
+            *bt.diag_mut(n) = Matrix::random_hermitian(4, &mut r);
+        }
+        for n in 0..2 {
+            let u = Matrix::random(4, 4, &mut r);
+            *bt.lower_mut(n) = u.dagger();
+            *bt.upper_mut(n) = u;
+        }
+        assert!(bt.is_hermitian(1e-12));
+        assert!(bt.to_dense().is_hermitian(1e-12));
+        // Break it.
+        bt.upper_mut(0)[(0, 0)] += Complex64::ONE;
+        assert!(!bt.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn sub_and_scale_match_dense() {
+        let mut r = rng();
+        let a = random_bt(3, 2, &mut r);
+        let b = random_bt(3, 2, &mut r);
+        let d = a.sub(&b).to_dense();
+        let expect = &a.to_dense() - &b.to_dense();
+        assert!(d.max_abs_diff(&expect) < 1e-14);
+        let s = a.scale(crate::complex::c64(0.0, 2.0)).to_dense();
+        let expect = a.to_dense().scale(crate::complex::c64(0.0, 2.0));
+        assert!(s.max_abs_diff(&expect) < 1e-14);
+    }
+
+    #[test]
+    fn single_block_edge_case() {
+        let bt = BlockTridiag::zeros(1, 5);
+        assert_eq!(bt.order(), 5);
+        assert_eq!(bt.to_dense().shape(), (5, 5));
+    }
+}

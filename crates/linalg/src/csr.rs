@@ -1,0 +1,390 @@
+//! Compressed-sparse-row complex matrices.
+//!
+//! The Hamiltonian blocks produced by a localized-basis DFT code are sparse
+//! (each orbital couples to a few dozen neighbors), so the RGF triple
+//! products `F[n] @ gR[n+1] @ E[n+1]` can be evaluated along three routes
+//! (§5.1.2 / Table 6): densify-then-GEMM, CSR×dense (CSRMM), or fully sparse
+//! CSR×CSR (CSRGEMM). All three are implemented here.
+
+use crate::complex::Complex64;
+use crate::dense::Matrix;
+use crate::flops;
+
+/// CSR sparse matrix over [`Complex64`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<Complex64>,
+}
+
+impl CsrMatrix {
+    /// Empty (all-zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Identity of order `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            data: vec![Complex64::ONE; n],
+        }
+    }
+
+    /// Build from triplets `(row, col, value)`; duplicate entries are summed.
+    pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(usize, usize, Complex64)>) -> Self {
+        triplets.sort_by_key(|&(r, c, _)| (r, c));
+        let mut indptr = vec![0usize; rows + 1];
+        let mut indices: Vec<usize> = Vec::with_capacity(triplets.len());
+        let mut data: Vec<Complex64> = Vec::with_capacity(triplets.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet out of bounds");
+            if last == Some((r, c)) {
+                *data.last_mut().unwrap() += v;
+            } else {
+                indices.push(c);
+                data.push(v);
+                indptr[r + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for r in 0..rows {
+            indptr[r + 1] += indptr[r];
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Convert from dense, dropping entries with modulus `<= tol`.
+    pub fn from_dense(m: &Matrix, tol: f64) -> Self {
+        let (rows, cols) = m.shape();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = m[(i, j)];
+                if v.abs() > tol {
+                    indices.push(j);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Convert to dense. Counted as the memory traffic of a densification.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for idx in self.indptr[i]..self.indptr[i + 1] {
+                m[(i, self.indices[idx])] = self.data[idx];
+            }
+        }
+        m
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Fraction of non-zero entries.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Iterate `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Complex64)> + '_ {
+        (0..self.rows).flat_map(move |i| {
+            (self.indptr[i]..self.indptr[i + 1]).map(move |idx| (i, self.indices[idx], self.data[idx]))
+        })
+    }
+
+    /// Sparse × dense → dense (`CSRMM` forward form).
+    pub fn mul_dense(&self, b: &Matrix) -> Matrix {
+        assert_eq!(self.cols, b.rows(), "inner dimension mismatch");
+        let n = b.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        flops::add_flops(8 * self.nnz() as u64 * n as u64);
+        for i in 0..self.rows {
+            for idx in self.indptr[i]..self.indptr[i + 1] {
+                let a = self.data[idx];
+                let k = self.indices[idx];
+                let b_row = b.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o = o.mul_add(a, bv);
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense × sparse → dense (the "transposed dense-CSR" form of CSRMM).
+    pub fn rmul_dense(&self, a: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), self.rows, "inner dimension mismatch");
+        let m = a.rows();
+        let mut out = Matrix::zeros(m, self.cols);
+        flops::add_flops(8 * self.nnz() as u64 * m as u64);
+        for i in 0..m {
+            for k in 0..self.rows {
+                let av = a[(i, k)];
+                if av == Complex64::ZERO {
+                    continue;
+                }
+                for idx in self.indptr[k]..self.indptr[k + 1] {
+                    let j = self.indices[idx];
+                    out[(i, j)] = out[(i, j)].mul_add(av, self.data[idx]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse × sparse → sparse (Gustavson's algorithm, `CSRGEMM`).
+    pub fn mul_csr(&self, b: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.cols, b.rows, "inner dimension mismatch");
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        // Dense accumulator row with occupancy markers.
+        let mut acc = vec![Complex64::ZERO; b.cols];
+        let mut marker = vec![usize::MAX; b.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        let mut muladds: u64 = 0;
+        for i in 0..self.rows {
+            touched.clear();
+            for idx in self.indptr[i]..self.indptr[i + 1] {
+                let a = self.data[idx];
+                let k = self.indices[idx];
+                for bidx in b.indptr[k]..b.indptr[k + 1] {
+                    let j = b.indices[bidx];
+                    muladds += 1;
+                    if marker[j] != i {
+                        marker[j] = i;
+                        acc[j] = a * b.data[bidx];
+                        touched.push(j);
+                    } else {
+                        acc[j] = acc[j].mul_add(a, b.data[bidx]);
+                    }
+                }
+            }
+            touched.sort_unstable();
+            for &j in &touched {
+                indices.push(j);
+                data.push(acc[j]);
+            }
+            indptr.push(indices.len());
+        }
+        flops::add_flops(8 * muladds);
+        CsrMatrix {
+            rows: self.rows,
+            cols: b.cols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &j in &self.indices {
+            counts[j + 1] += 1;
+        }
+        for j in 0..self.cols {
+            counts[j + 1] += counts[j];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut data = vec![Complex64::ZERO; self.nnz()];
+        let mut next = counts;
+        for (i, j, v) in self.iter() {
+            let pos = next[j];
+            indices[pos] = i;
+            data[pos] = v;
+            next[j] += 1;
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Sparse matrix-vector product.
+    pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.cols);
+        flops::add_flops(8 * self.nnz() as u64);
+        let mut y = vec![Complex64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex64::ZERO;
+            for idx in self.indptr[i]..self.indptr[i + 1] {
+                acc = acc.mul_add(self.data[idx], x[self.indices[idx]]);
+            }
+            y[i] = acc;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use rand::{Rng, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    fn random_sparse(rows: usize, cols: usize, density: f64, r: &mut impl Rng) -> CsrMatrix {
+        let dense = Matrix::from_fn(rows, cols, |_, _| {
+            if r.random_range(0.0..1.0) < density {
+                c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0))
+            } else {
+                Complex64::ZERO
+            }
+        });
+        CsrMatrix::from_dense(&dense, 0.0)
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut r = rng();
+        let s = random_sparse(9, 7, 0.3, &mut r);
+        let back = CsrMatrix::from_dense(&s.to_dense(), 0.0);
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let mut r = rng();
+        let s = random_sparse(8, 6, 0.4, &mut r);
+        let b = Matrix::random(6, 5, &mut r);
+        let got = s.mul_dense(&b);
+        let expect = s.to_dense().matmul(&b);
+        assert!(got.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn rmul_matches_dense() {
+        let mut r = rng();
+        let s = random_sparse(6, 8, 0.4, &mut r);
+        let a = Matrix::random(5, 6, &mut r);
+        let got = s.rmul_dense(&a);
+        let expect = a.matmul(&s.to_dense());
+        assert!(got.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn spgemm_matches_dense() {
+        let mut r = rng();
+        let a = random_sparse(7, 9, 0.35, &mut r);
+        let b = random_sparse(9, 4, 0.35, &mut r);
+        let got = a.mul_csr(&b).to_dense();
+        let expect = a.to_dense().matmul(&b.to_dense());
+        assert!(got.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let mut r = rng();
+        let s = random_sparse(6, 9, 0.3, &mut r);
+        let got = s.transpose().to_dense();
+        let expect = s.to_dense().transpose();
+        assert!(got.max_abs_diff(&expect) < 1e-14);
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let mut r = rng();
+        let s = random_sparse(5, 5, 0.5, &mut r);
+        let i = CsrMatrix::identity(5);
+        assert!(i.mul_csr(&s).to_dense().max_abs_diff(&s.to_dense()) < 1e-15);
+        assert!(s.mul_csr(&i).to_dense().max_abs_diff(&s.to_dense()) < 1e-15);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut r = rng();
+        let s = random_sparse(6, 6, 0.5, &mut r);
+        let x: Vec<_> = (0..6).map(|_| c64(r.random_range(-1.0..1.0), 0.3)).collect();
+        let y = s.matvec(&x);
+        let d = s.to_dense();
+        for i in 0..6 {
+            let expect: Complex64 = (0..6).map(|j| d[(i, j)] * x[j]).sum();
+            assert!((y[i] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triplets_sum_duplicates() {
+        let t = vec![
+            (0, 0, c64(1.0, 0.0)),
+            (0, 0, c64(2.0, 0.0)),
+            (1, 1, c64(3.0, 0.0)),
+        ];
+        let s = CsrMatrix::from_triplets(2, 2, t);
+        let d = s.to_dense();
+        assert!((d[(0, 0)] - c64(3.0, 0.0)).abs() < 1e-15);
+        assert!((d[(1, 1)] - c64(3.0, 0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let t = vec![(3, 1, c64(1.0, 0.0))];
+        let s = CsrMatrix::from_triplets(5, 3, t);
+        assert_eq!(s.nnz(), 1);
+        let d = s.to_dense();
+        assert_eq!(d[(3, 1)], c64(1.0, 0.0));
+    }
+
+    #[test]
+    fn density_and_nnz() {
+        let s = CsrMatrix::identity(10);
+        assert_eq!(s.nnz(), 10);
+        assert!((s.density() - 0.1).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,188 @@
+//! Hermitian eigendecomposition (cyclic Jacobi with complex rotations).
+//!
+//! Needed to enforce the positivity structure of the scattering
+//! self-energies (`−iΣ< ⪰ 0`, `iΣ> ⪰ 0`) that keeps the self-consistent
+//! Born iteration dissipative, and generally useful for spectra of small
+//! blocks (`Norb ≤ 30`, Table 1).
+
+use crate::complex::c64;
+use crate::dense::Matrix;
+
+/// Eigendecomposition `A = V · diag(λ) · V†` of a Hermitian matrix.
+#[derive(Clone, Debug)]
+pub struct Eigh {
+    /// Eigenvalues in ascending order (real for Hermitian input).
+    pub values: Vec<f64>,
+    /// Unitary matrix of eigenvectors (columns).
+    pub vectors: Matrix,
+}
+
+/// Compute the eigendecomposition of a Hermitian matrix by cyclic Jacobi.
+/// The strict upper triangle drives the rotations; the input is implicitly
+/// hermitized (`(A + A†)/2`).
+pub fn eigh(a: &Matrix) -> Eigh {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    let n = a.rows();
+    // Hermitize.
+    let mut m = Matrix::from_fn(n, n, |i, j| (a[(i, j)] + a[(j, i)].conj()).scale(0.5));
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 60;
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += m[(i, j)].norm_sqr();
+            }
+        }
+        if off.sqrt() < 1e-14 * (1.0 + m.norm()) {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                // Complex Jacobi rotation zeroing m[p][q]:
+                // phase factor removes the complex part, then a real
+                // rotation zeroes the symmetric problem.
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                let abs_apq = apq.abs();
+                let phase = apq.scale(1.0 / abs_apq); // e^{iφ}
+                let tau = (aqq - app) / (2.0 * abs_apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Rotation: [c, s·e^{iφ}; −s·e^{−iφ}, c] applied on (p, q).
+                let spq = phase.scale(s);
+                // Update rows/columns of m: m ← R† m R.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = mkp * c64(c, 0.0) - mkq * spq.conj();
+                    m[(k, q)] = mkq * c64(c, 0.0) + mkp * spq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = mpk * c64(c, 0.0) - mqk * spq;
+                    m[(q, k)] = mqk * c64(c, 0.0) + mpk * spq.conj();
+                }
+                // Accumulate eigenvectors: V ← V R.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * c64(c, 0.0) - vkq * spq.conj();
+                    v[(k, q)] = vkq * c64(c, 0.0) + vkp * spq;
+                }
+            }
+        }
+    }
+    // Extract eigenvalues and sort ascending, permuting the vectors.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let values: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, pairs[j].1)]);
+    Eigh { values, vectors }
+}
+
+/// Project a (nearly) Hermitian matrix onto the cone of positive
+/// semidefinite matrices: hermitize, eigendecompose, clip negative
+/// eigenvalues to zero, and reassemble.
+pub fn psd_projection(a: &Matrix) -> Matrix {
+    let n = a.rows();
+    let e = eigh(a);
+    let mut out = Matrix::zeros(n, n);
+    for (idx, &lambda) in e.values.iter().enumerate() {
+        if lambda <= 0.0 {
+            continue;
+        }
+        // out += λ · v v†
+        for i in 0..n {
+            for j in 0..n {
+                let vi = e.vectors[(i, idx)];
+                let vj = e.vectors[(j, idx)];
+                out[(i, j)] += (vi * vj.conj()).scale(lambda);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn reconstruction() {
+        let mut r = rng();
+        for n in [1usize, 2, 3, 5, 8] {
+            let h = Matrix::random_hermitian(n, &mut r);
+            let e = eigh(&h);
+            // A·V = V·diag(λ)
+            let av = h.matmul(&e.vectors);
+            let vl = Matrix::from_fn(n, n, |i, j| e.vectors[(i, j)].scale(e.values[j]));
+            assert!(av.max_abs_diff(&vl) < 1e-10, "n={n}");
+            // V unitary.
+            let vtv = e.vectors.dagger().matmul(&e.vectors);
+            assert!(vtv.max_abs_diff(&Matrix::identity(n)) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_and_real_trace_preserved() {
+        let mut r = rng();
+        let h = Matrix::random_hermitian(6, &mut r);
+        let e = eigh(&h);
+        assert!(e.values.windows(2).all(|w| w[0] <= w[1]));
+        let sum: f64 = e.values.iter().sum();
+        assert!((sum - h.trace().re).abs() < 1e-10);
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let d = Matrix::from_diag(&[c64(3.0, 0.0), c64(-1.0, 0.0), c64(2.0, 0.0)]);
+        let e = eigh(&d);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psd_projection_properties() {
+        let mut r = rng();
+        let h = Matrix::random_hermitian(5, &mut r);
+        let p = psd_projection(&h);
+        // PSD: all eigenvalues non-negative.
+        let e = eigh(&p);
+        assert!(e.values.iter().all(|&l| l >= -1e-12));
+        // Idempotent on already-PSD matrices.
+        let p2 = psd_projection(&p);
+        assert!(p.max_abs_diff(&p2) < 1e-9);
+        // Projection of a PSD matrix is itself.
+        let a = Matrix::random(4, 5, &mut r);
+        let psd = a.matmul(&a.dagger());
+        let proj = psd_projection(&psd);
+        assert!(proj.max_abs_diff(&psd) < 1e-9);
+    }
+
+    #[test]
+    fn psd_projection_distance_optimality_on_diagonal() {
+        // For a diagonal matrix the projection just clips negatives.
+        let d = Matrix::from_diag(&[c64(-2.0, 0.0), c64(0.5, 0.0)]);
+        let p = psd_projection(&d);
+        assert!((p[(0, 0)]).abs() < 1e-12);
+        assert!((p[(1, 1)] - c64(0.5, 0.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,64 @@
+//! Global floating-point-operation accounting.
+//!
+//! The paper counts flop with `nvprof` on the GPU (§4.3); our substitute is a
+//! process-wide atomic counter that every kernel in this crate feeds. One
+//! atomic add per kernel call keeps the overhead negligible while giving the
+//! exact complex-arithmetic flop totals needed to regenerate Table 3.
+//!
+//! Convention: one complex multiply = 6 real flop, one complex add = 2 real
+//! flop, so a complex fused multiply-accumulate costs 8 — the same convention
+//! the paper's `64·N·...·Norb^3` byte/flop formulas use (8 flop × 8 bytes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Add `n` real floating point operations to the global counter.
+#[inline]
+pub fn add_flops(n: u64) {
+    FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Record the cost of a complex GEMM of shape `m x k x n`
+/// (8 real flop per complex multiply-accumulate).
+#[inline]
+pub fn add_gemm_flops(m: usize, k: usize, n: usize) {
+    add_flops(8 * m as u64 * k as u64 * n as u64);
+}
+
+/// Current global flop count.
+pub fn flop_count() -> u64 {
+    FLOPS.load(Ordering::Relaxed)
+}
+
+/// Reset the global counter to zero (tests / per-phase measurement).
+pub fn reset_flops() {
+    FLOPS.store(0, Ordering::Relaxed);
+}
+
+/// Measure the flop executed by `f`, without disturbing the global counter
+/// semantics for concurrent readers (the counter keeps increasing; we report
+/// the delta).
+pub fn count_flops<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = flop_count();
+    let out = f();
+    (out, flop_count() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_flops_formula() {
+        let (_, d) = count_flops(|| add_gemm_flops(2, 3, 4));
+        assert_eq!(d, 8 * 2 * 3 * 4);
+    }
+
+    #[test]
+    fn count_is_monotone_delta() {
+        add_flops(10);
+        let (_, d) = count_flops(|| add_flops(32));
+        assert_eq!(d, 32);
+    }
+}

@@ -1,0 +1,225 @@
+//! Complex GEMM kernels.
+//!
+//! Three entry points matter for the simulator:
+//! * [`gemm`] / [`gemm_acc`] — general dense products for the RGF blocks;
+//! * [`gemm_raw_acc`] — slice-level kernel so the SSE tensor code can multiply
+//!   sub-views of large batched layouts without copying;
+//! * [`batched_gemm_acc`] — many small `Norb x Norb` products, the hot loop of
+//!   the *un*-transformed SSE kernel (the DaCe variant replaces it with one
+//!   wide GEMM, cf. Fig. 10d/11c).
+//!
+//! The kernel is an `i-k-j` loop over row slices: the innermost loop streams
+//! both `B`'s row and `C`'s row, which vectorizes well and avoids bounds
+//! checks via slice iteration. Large products are parallelized with rayon
+//! over row bands.
+
+use crate::complex::Complex64;
+use crate::dense::Matrix;
+use crate::flops;
+use rayon::prelude::*;
+
+/// Below this many complex multiply-adds the product stays single-threaded.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `out = a @ b` (out must be zero- or garbage-initialized; it is overwritten).
+pub fn gemm(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    out.fill_zero();
+    gemm_acc(a, b, out);
+}
+
+/// `out += a @ b`.
+pub fn gemm_acc(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let (m, k) = a.shape();
+    let (k2, n) = b.shape();
+    assert_eq!(k, k2, "inner dimension mismatch");
+    assert_eq!(out.shape(), (m, n), "output shape mismatch");
+    gemm_raw_acc(m, k, n, a.as_slice(), b.as_slice(), out.as_mut_slice());
+}
+
+/// Slice-level `out[m x n] += a[m x k] @ b[k x n]`, all row-major.
+pub fn gemm_raw_acc(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], out: &mut [Complex64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    flops::add_gemm_flops(m, k, n);
+    if m * k * n >= PAR_THRESHOLD && m > 1 {
+        // Parallelize across row bands of the output.
+        let band = (m / rayon::current_num_threads().max(1)).max(1);
+        out.par_chunks_mut(band * n)
+            .enumerate()
+            .for_each(|(band_idx, out_band)| {
+                let i0 = band_idx * band;
+                let rows = out_band.len() / n;
+                gemm_serial(rows, k, n, &a[i0 * k..(i0 + rows) * k], b, out_band);
+            });
+    } else {
+        gemm_serial(m, k, n, a, b, out);
+    }
+}
+
+#[inline]
+fn gemm_serial(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], out: &mut [Complex64]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == Complex64::ZERO {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o = o.mul_add(a_ip, b_pj);
+            }
+        }
+    }
+}
+
+/// `out[idx] += a[idx] @ b[idx]` for a batch of equally-shaped small
+/// matrices packed contiguously (each `m x k`, `k x n`, `m x n`).
+pub fn batched_gemm_acc(
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    out: &mut [Complex64],
+) {
+    assert_eq!(a.len(), batch * m * k);
+    assert_eq!(b.len(), batch * k * n);
+    assert_eq!(out.len(), batch * m * n);
+    flops::add_flops(8 * (batch * m * k * n) as u64);
+    if batch * m * k * n >= PAR_THRESHOLD && batch > 1 {
+        out.par_chunks_mut(m * n).enumerate().for_each(|(t, o)| {
+            gemm_serial(m, k, n, &a[t * m * k..(t + 1) * m * k], &b[t * k * n..(t + 1) * k * n], o);
+        });
+    } else {
+        for t in 0..batch {
+            gemm_serial(
+                m,
+                k,
+                n,
+                &a[t * m * k..(t + 1) * m * k],
+                &b[t * k * n..(t + 1) * k * n],
+                &mut out[t * m * n..(t + 1) * m * n],
+            );
+        }
+    }
+}
+
+/// `out += a @ b` where `b` is conjugate-transposed on the fly
+/// (`out[m x n] += a[m x k] @ b^H`, with `b` stored row-major as `n x k`).
+/// Avoids materializing `B^H` in the SSE Π kernel.
+pub fn gemm_bdagger_acc(m: usize, k: usize, n: usize, a: &[Complex64], b: &[Complex64], out: &mut [Complex64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    flops::add_gemm_flops(m, k, n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = Complex64::ZERO;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc = acc.mul_add(x, y.conj());
+            }
+            out[i * n + j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use rand::{Rng as _, SeedableRng};
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let (m, k) = a.shape();
+        let n = b.cols();
+        Matrix::from_fn(m, n, |i, j| {
+            (0..k).map(|p| a[(i, p)] * b[(p, j)]).sum()
+        })
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        let mut r = rng();
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (7, 5, 6), (16, 16, 16), (33, 17, 9)] {
+            let a = Matrix::random(m, k, &mut r);
+            let b = Matrix::random(k, n, &mut r);
+            let mut out = Matrix::zeros(m, n);
+            gemm(&a, &b, &mut out);
+            assert!(out.max_abs_diff(&naive(&a, &b)) < 1e-12, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_parallel_path_matches() {
+        let mut r = rng();
+        let a = Matrix::random(80, 70, &mut r);
+        let b = Matrix::random(70, 90, &mut r);
+        let mut out = Matrix::zeros(80, 90);
+        gemm(&a, &b, &mut out);
+        assert!(out.max_abs_diff(&naive(&a, &b)) < 1e-10);
+    }
+
+    #[test]
+    fn gemm_acc_accumulates() {
+        let mut r = rng();
+        let a = Matrix::random(4, 4, &mut r);
+        let b = Matrix::random(4, 4, &mut r);
+        let mut out = Matrix::identity(4);
+        gemm_acc(&a, &b, &mut out);
+        let expect = &Matrix::identity(4) + &naive(&a, &b);
+        assert!(out.max_abs_diff(&expect) < 1e-13);
+    }
+
+    #[test]
+    fn batched_matches_loop_of_gemms() {
+        let mut r = rng();
+        let (m, k, n, batch) = (3, 4, 2, 5);
+        let a: Vec<_> = (0..batch * m * k)
+            .map(|_| c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0)))
+            .collect();
+        let b: Vec<_> = (0..batch * k * n)
+            .map(|_| c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0)))
+            .collect();
+        let mut out = vec![Complex64::ZERO; batch * m * n];
+        batched_gemm_acc(m, k, n, batch, &a, &b, &mut out);
+        for t in 0..batch {
+            let am = Matrix::from_vec(m, k, a[t * m * k..(t + 1) * m * k].to_vec());
+            let bm = Matrix::from_vec(k, n, b[t * k * n..(t + 1) * k * n].to_vec());
+            let expect = naive(&am, &bm);
+            let got = Matrix::from_vec(m, n, out[t * m * n..(t + 1) * m * n].to_vec());
+            assert!(got.max_abs_diff(&expect) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bdagger_matches_explicit_dagger() {
+        let mut r = rng();
+        let a = Matrix::random(3, 5, &mut r);
+        let b = Matrix::random(4, 5, &mut r); // b^H is 5x4
+        let mut out = vec![Complex64::ZERO; 3 * 4];
+        gemm_bdagger_acc(3, 5, 4, a.as_slice(), b.as_slice(), &mut out);
+        let expect = a.matmul(&b.dagger());
+        let got = Matrix::from_vec(3, 4, out);
+        assert!(got.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let (_, d) = crate::flops::count_flops(|| {
+            let a = Matrix::zeros(2, 3);
+            let b = Matrix::zeros(3, 4);
+            let mut out = Matrix::zeros(2, 4);
+            gemm(&a, &b, &mut out);
+        });
+        assert_eq!(d, 8 * 2 * 3 * 4);
+    }
+}

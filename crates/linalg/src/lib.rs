@@ -1,0 +1,27 @@
+//! # qt-linalg — numeric substrate for the quantum-transport simulator
+//!
+//! From-scratch complex linear algebra tailored to what the NEGF solver
+//! needs: dense row-major matrices with blocked/parallel GEMM, batched small
+//! GEMMs (the SSE hot loop), LU factorization (RGF block inverses), CSR
+//! sparse kernels (the Table 6 design space), block tri-diagonal containers,
+//! N-D tensors with layout permutation, and global flop accounting (our
+//! substitute for the paper's `nvprof` counts).
+
+pub mod block_tridiag;
+pub mod complex;
+pub mod csr;
+pub mod dense;
+pub mod eig;
+pub mod flops;
+pub mod gemm;
+pub mod lu;
+pub mod tensor;
+
+pub use block_tridiag::BlockTridiag;
+pub use complex::{c64, Complex64};
+pub use csr::CsrMatrix;
+pub use dense::Matrix;
+pub use eig::{eigh, psd_projection, Eigh};
+pub use flops::{add_flops, count_flops, flop_count, reset_flops};
+pub use lu::{invert, solve, Lu, SingularMatrix};
+pub use tensor::Tensor;

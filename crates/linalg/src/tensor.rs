@@ -1,0 +1,241 @@
+//! N-dimensional row-major complex tensors.
+//!
+//! The SSE phase manipulates 5-D/6-D tensors (`G≷[Nkz,NE,NA,Norb,Norb]`,
+//! `D≷[Nqz,Nω,NA,NB,3,3]`, §2). The data-layout transformation of Fig. 10c
+//! permutes dimensions so that the batched GEMM streams contiguous memory —
+//! this type provides exactly the operations needed for that: shape/stride
+//! bookkeeping, contiguous inner-slice views, and permuted copies.
+
+use crate::complex::Complex64;
+
+/// Dense row-major N-dimensional tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<Complex64>,
+}
+
+fn compute_strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; shape.len()];
+    for d in (0..shape.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * shape[d + 1];
+    }
+    strides
+}
+
+impl Tensor {
+    /// Zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = shape.iter().product();
+        Tensor {
+            shape: shape.to_vec(),
+            strides: compute_strides(shape),
+            data: vec![Complex64::ZERO; len],
+        }
+    }
+
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Linear offset of a multi-index.
+    #[inline]
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.shape.len());
+        idx.iter().zip(&self.strides).map(|(&i, &s)| i * s).sum()
+    }
+
+    #[inline]
+    pub fn get(&self, idx: &[usize]) -> Complex64 {
+        self.data[self.offset(idx)]
+    }
+
+    #[inline]
+    pub fn set(&mut self, idx: &[usize], v: Complex64) {
+        let o = self.offset(idx);
+        self.data[o] = v;
+    }
+
+    #[inline]
+    pub fn add_assign_at(&mut self, idx: &[usize], v: Complex64) {
+        let o = self.offset(idx);
+        self.data[o] += v;
+    }
+
+    /// Borrow the contiguous inner block starting at `prefix` and spanning
+    /// the remaining dimensions (e.g. the `Norb x Norb` matrix at
+    /// `G[kz, E, a, :, :]`).
+    pub fn inner(&self, prefix: &[usize]) -> &[Complex64] {
+        let span: usize = self.shape[prefix.len()..].iter().product();
+        let off: usize = prefix
+            .iter()
+            .zip(&self.strides)
+            .map(|(&i, &s)| i * s)
+            .sum();
+        &self.data[off..off + span]
+    }
+
+    /// Mutable variant of [`Tensor::inner`].
+    pub fn inner_mut(&mut self, prefix: &[usize]) -> &mut [Complex64] {
+        let span: usize = self.shape[prefix.len()..].iter().product();
+        let off: usize = prefix
+            .iter()
+            .zip(&self.strides)
+            .map(|(&i, &s)| i * s)
+            .sum();
+        &mut self.data[off..off + span]
+    }
+
+    /// Return a copy with dimensions permuted so that output dimension `d`
+    /// is input dimension `perm[d]` (numpy's `transpose(perm)` followed by
+    /// `ascontiguousarray` — the data-layout transformation of Fig. 10c).
+    pub fn permuted(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(perm.len(), self.shape.len());
+        let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let mut out = Tensor::zeros(&new_shape);
+        let ndim = perm.len();
+        let mut idx = vec![0usize; ndim]; // output index odometer
+        let mut src = vec![0usize; ndim];
+        for _ in 0..self.len() {
+            for (d, &p) in perm.iter().enumerate() {
+                src[p] = idx[d];
+            }
+            let v = self.get(&src);
+            out.set(&idx, v);
+            for d in (0..ndim).rev() {
+                idx[d] += 1;
+                if idx[d] < new_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm over all entries.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry-wise difference with another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Set all entries to zero keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(Complex64::ZERO);
+    }
+
+    /// Memory footprint in bytes.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Complex64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn strides_row_major() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.strides(), &[12, 4, 1]);
+        assert_eq!(t.len(), 24);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        t.set(&[1, 2, 3], c64(5.0, -1.0));
+        assert_eq!(t.get(&[1, 2, 3]), c64(5.0, -1.0));
+        assert_eq!(t.as_slice()[12 + 2 * 4 + 3], c64(5.0, -1.0));
+    }
+
+    #[test]
+    fn inner_views_matrix_block() {
+        let mut t = Tensor::zeros(&[2, 2, 3, 3]);
+        for i in 0..3 {
+            for j in 0..3 {
+                t.set(&[1, 0, i, j], c64((i * 3 + j) as f64, 0.0));
+            }
+        }
+        let block = t.inner(&[1, 0]);
+        assert_eq!(block.len(), 9);
+        for (n, z) in block.iter().enumerate() {
+            assert_eq!(*z, c64(n as f64, 0.0));
+        }
+    }
+
+    #[test]
+    fn permuted_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    t.set(&[i, j, k], c64((100 * i + 10 * j + k) as f64, 0.0));
+                }
+            }
+        }
+        let p = t.permuted(&[2, 0, 1]); // out[k,i,j] = in[i,j,k]
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    assert_eq!(p.get(&[k, i, j]), t.get(&[i, j, k]));
+                }
+            }
+        }
+        // Permuting back restores the original.
+        let back = p.permuted(&[1, 2, 0]);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        t.add_assign_at(&[0, 1], c64(1.0, 0.0));
+        t.add_assign_at(&[0, 1], c64(2.0, 0.5));
+        assert_eq!(t.get(&[0, 1]), c64(3.0, 0.5));
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let t = Tensor::zeros(&[3, 5]);
+        assert_eq!(t.bytes(), 15 * 16);
+    }
+}

@@ -1,0 +1,14 @@
+//! # qt-model — performance and communication modeling
+//!
+//! Machine models for Piz Daint and Summit, the exhaustive tile-size
+//! search of §4.1, and α–β runtime predictions that regenerate the shapes
+//! of Fig. 13 and Table 8.
+
+pub mod machine;
+pub mod memory;
+pub mod scaling;
+pub mod tilesearch;
+
+pub use machine::{Machine, PIZ_DAINT, SUMMIT};
+pub use scaling::{predict, strong_scaling, weak_scaling, PhaseTimes, Variant};
+pub use tilesearch::{optimal_tiling, optimal_tiling3, Tiling, Tiling3};

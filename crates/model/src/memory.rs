@@ -1,0 +1,150 @@
+//! Per-process memory-footprint model.
+//!
+//! §5.2.1: the 10,240-atom run "is not possible on the original OMEN, due
+//! to infeasible memory requirements of the algorithm". This module models
+//! the per-rank working set of both variants so that claim is checkable:
+//!
+//! * **OMEN** keeps its energy slice of `G≷` (all kz, all atoms) *plus* the
+//!   gathered `G≷(E ± ħω)` sideband working set spanning *all* atoms (no
+//!   atom partitioning) and the broadcast phonon round slice.
+//! * **DaCe** keeps one `(TE, TA)` tile of `G≷`/`Σ≷` with its `2Nω` energy
+//!   halo and neighbor-window atom halo, the matching `D̃≷` window, and the
+//!   per-pair rank-3 transients of the fused kernel (Fig. 12) — tensor-free
+//!   with respect to the global 5-D/6-D objects.
+
+use crate::machine::Machine;
+use qt_core::params::{SimParams, N3D};
+
+const C128: f64 = 16.0;
+
+/// Bytes of one `G`-like tensor slice: `nkz · ne · na · norb²` complex.
+fn g_bytes(p: &SimParams, ne: f64, na: f64) -> f64 {
+    C128 * p.nkz as f64 * ne * na * (p.norb * p.norb) as f64
+}
+
+/// Bytes of one `D`-like tensor slice: `nqz · nω · na · (nb+1) · 9` complex.
+fn d_bytes(p: &SimParams, na: f64) -> f64 {
+    C128 * (p.nqz * p.nw) as f64 * na * (p.nb + 1) as f64 * (N3D * N3D) as f64
+}
+
+/// Per-rank working set of the original OMEN algorithm at `procs` ranks.
+///
+/// The dominant term is the gathered `G≷(E ± ħω, kz − qz)` working set for
+/// the rank's energies: because OMEN does not partition the atom dimension,
+/// every gathered slice spans all `NA` atoms — the DaCe tile formula with
+/// `TA = 1`. This is exactly the "infeasible memory requirements" that
+/// blocked the 10,240-atom run (§5.2.1).
+pub fn omen_bytes_per_rank(p: &SimParams, procs: usize) -> f64 {
+    let ne_local = p.ne as f64 / procs as f64;
+    // Owned G≷ and Σ≷ slices (lesser + greater each).
+    let owned = 2.0 * 2.0 * g_bytes(p, ne_local, p.na as f64);
+    // Gathered sideband working set: (NE/P + 2Nω) energies × all atoms,
+    // both tensors.
+    let gathered = 2.0 * g_bytes(p, ne_local + 2.0 * p.nw as f64, p.na as f64);
+    // One broadcast (qz, ω) round slice of D̃≷ plus the rank's owned share
+    // of the Π≷ output.
+    let d_round = 2.0 * C128 * p.na as f64 * (p.nb + 1) as f64 * (N3D * N3D) as f64;
+    let pi_owned = 2.0 * d_bytes(p, p.na as f64) / procs as f64;
+    // Hamiltonian derivative blocks (replicated static data).
+    let dh = C128 * (p.na * p.nb * N3D) as f64 * (p.norb * p.norb) as f64;
+    owned + gathered + d_round + pi_owned + dh
+}
+
+/// Per-rank working set of the DaCe variant at a `(TE, TA)` tiling.
+pub fn dace_bytes_per_rank(p: &SimParams, te: usize, ta: usize) -> f64 {
+    let ne_tile = p.ne as f64 / te as f64 + 2.0 * p.nw as f64;
+    let na_tile = p.na as f64 / ta as f64 + p.nb as f64;
+    // G≷ halo tile + Σ≷ tile (lesser + greater each).
+    let g_tile = 2.0 * g_bytes(p, ne_tile, na_tile);
+    let sigma_tile = 2.0 * g_bytes(p, p.ne as f64 / te as f64, p.na as f64 / ta as f64);
+    // D̃≷ window for the atom tile.
+    let d_tile = 2.0 * d_bytes(p, na_tile);
+    // Fused-kernel transients (Fig. 12): 3 directions × (kz·NE window + ω
+    // window) — rank-3, negligible but counted.
+    let transients = 2.0
+        * C128
+        * (N3D as f64)
+        * ((p.nkz * p.ne) as f64 + (p.nqz * p.nw) as f64)
+        * (p.norb * p.norb) as f64;
+    let dh = C128 * (p.na * p.nb * N3D) as f64 * (p.norb * p.norb) as f64;
+    g_tile + sigma_tile + d_tile + transients + dh
+}
+
+/// Can the variant fit in the machine's per-rank memory at this scale?
+pub fn fits(bytes_per_rank: f64, m: &Machine, mem_per_node_bytes: f64) -> bool {
+    bytes_per_rank * m.procs_per_node as f64 <= mem_per_node_bytes
+}
+
+/// Memory per node of the two evaluation systems (bytes).
+pub fn node_memory(m: &Machine) -> f64 {
+    match m.name {
+        "Piz Daint" => 64.0 * 1e9,
+        "Summit" => 512.0 * 1e9,
+        _ => 128.0 * 1e9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SUMMIT;
+    use crate::tilesearch;
+
+    /// §5.2.1's claim: the 10,240-atom, Nkz=21 configuration is memory-
+    /// infeasible for OMEN but fits under the DaCe tiling on Summit.
+    #[test]
+    fn extreme_run_memory_feasibility() {
+        let p = SimParams::paper_si_10240(21);
+        let nodes = 3525;
+        let procs = nodes * SUMMIT.procs_per_node;
+        let omen = omen_bytes_per_rank(&p, procs);
+        assert!(
+            !fits(omen, &SUMMIT, node_memory(&SUMMIT)),
+            "OMEN per-rank {:.1} GB × {} ranks/node must exceed 512 GB",
+            omen / 1e9,
+            SUMMIT.procs_per_node
+        );
+        let t = tilesearch::optimal_tiling(&p, procs).expect("feasible tiling");
+        let dace = dace_bytes_per_rank(&p, t.te, t.ta);
+        assert!(
+            fits(dace, &SUMMIT, node_memory(&SUMMIT)),
+            "DaCe per-rank {:.1} GB must fit",
+            dace / 1e9
+        );
+    }
+
+    /// The 4,864-atom, Nkz=7 configuration (which OMEN *did* run in the
+    /// paper) must be feasible for both variants at the paper's node count.
+    #[test]
+    fn comparison_config_fits_both() {
+        let p = SimParams::paper_si_4864(7);
+        let procs = 224; // 112 Piz Daint nodes × 2 ranks
+        let omen = omen_bytes_per_rank(&p, procs);
+        let m = &crate::machine::PIZ_DAINT;
+        assert!(
+            fits(omen, m, node_memory(m)),
+            "OMEN at the paper's smallest config must fit: {:.1} GB/rank",
+            omen / 1e9
+        );
+        let t = tilesearch::optimal_tiling(&p, procs).unwrap();
+        assert!(fits(dace_bytes_per_rank(&p, t.te, t.ta), m, node_memory(m)));
+    }
+
+    /// DaCe's footprint shrinks with more processes; OMEN's phonon term
+    /// does not (the full D≷ broadcast is the floor).
+    #[test]
+    fn scaling_behavior() {
+        let p = SimParams::paper_si_10240(21);
+        let omen_small = omen_bytes_per_rank(&p, 1000);
+        let omen_large = omen_bytes_per_rank(&p, 20000);
+        // The gathered 2Nω×NA sideband working set is the floor — it does
+        // not shrink with more processes.
+        let floor = 2.0 * g_bytes(&p, 2.0 * p.nw as f64, p.na as f64);
+        assert!(omen_large >= floor, "gathered working-set floor");
+        assert!(omen_small > omen_large);
+        let dace_small = dace_bytes_per_rank(&p, 7, 100);
+        let dace_large = dace_bytes_per_rank(&p, 21, 1000);
+        assert!(dace_large < dace_small);
+        assert!(dace_large < omen_large / 10.0, "order-of-magnitude gap");
+    }
+}

@@ -1,0 +1,311 @@
+//! Runtime predictions: strong/weak scaling (Fig. 13) and the
+//! extreme-scale run (Table 8).
+//!
+//! An α–β-style model over the calibrated [`crate::machine`] rates:
+//! `T_phase = flops / (nodes·rate_phase)`, `T_comm = volume / (nodes·BW)`,
+//! with OMEN's scattered rounds paying the machine's bandwidth penalty.
+
+use crate::machine::Machine;
+use crate::tilesearch;
+use qt_core::flops;
+use qt_core::params::SimParams;
+use qt_dist::volume;
+
+/// Which algorithm variant is being modeled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    Omen,
+    Dace,
+}
+
+/// Predicted times for one GF+SSE iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseTimes {
+    /// GF state (contour integral + RGF) seconds.
+    pub t_gf: f64,
+    /// SSE computation seconds.
+    pub t_sse: f64,
+    /// SSE communication seconds.
+    pub t_comm: f64,
+    /// Tiling used (DaCe) — `(TE, TA)`.
+    pub tiling: Option<(usize, usize)>,
+    /// Total communication volume (bytes).
+    pub comm_bytes: f64,
+}
+
+impl PhaseTimes {
+    pub fn total(&self) -> f64 {
+        self.t_gf + self.t_sse + self.t_comm
+    }
+
+    pub fn compute(&self) -> f64 {
+        self.t_gf + self.t_sse
+    }
+}
+
+/// Predict one iteration of the simulation on `nodes` nodes.
+pub fn predict(p: &SimParams, m: &Machine, nodes: usize, variant: Variant) -> PhaseTimes {
+    let procs = nodes * m.procs_per_node;
+    let gf_flops = flops::contour_flops(p) + flops::rgf_flops(p);
+    let t_gf = gf_flops / m.compute_rate(nodes, m.eff_gf);
+    match variant {
+        Variant::Omen => {
+            let t_sse = flops::sse_omen_flops(p) / m.compute_rate(nodes, m.eff_sse_omen);
+            let comm_bytes = volume::omen_total_bytes(p, procs);
+            let t_comm = comm_bytes / (m.network_rate(nodes) / m.omen_bw_penalty);
+            PhaseTimes {
+                t_gf,
+                t_sse,
+                t_comm,
+                tiling: None,
+                comm_bytes,
+            }
+        }
+        Variant::Dace => {
+            let t_sse = flops::sse_dace_flops(p) / m.compute_rate(nodes, m.eff_sse);
+            let tiling = tilesearch::optimal_tiling(p, procs)
+                .unwrap_or(tilesearch::Tiling {
+                    te: 1,
+                    ta: 1,
+                    total_bytes: volume::dace_total_bytes(p, 1, 1),
+                });
+            let t_comm = tiling.total_bytes / m.network_rate(nodes);
+            PhaseTimes {
+                t_gf,
+                t_sse,
+                t_comm,
+                tiling: Some((tiling.te, tiling.ta)),
+                comm_bytes: tiling.total_bytes,
+            }
+        }
+    }
+}
+
+/// One point of a scaling series.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    pub nodes: usize,
+    pub gpus: usize,
+    pub times: PhaseTimes,
+}
+
+/// Strong scaling: fixed problem, growing node counts (Fig. 13 left).
+pub fn strong_scaling(
+    p: &SimParams,
+    m: &Machine,
+    node_counts: &[usize],
+    variant: Variant,
+) -> Vec<ScalingPoint> {
+    node_counts
+        .iter()
+        .map(|&nodes| ScalingPoint {
+            nodes,
+            gpus: m.gpus(nodes),
+            times: predict(p, m, nodes, variant),
+        })
+        .collect()
+}
+
+/// Weak scaling: `Nkz` grows proportionally with nodes (Fig. 13 right).
+/// `nodes_per_kz` fixes the proportionality.
+pub fn weak_scaling(
+    base: &SimParams,
+    m: &Machine,
+    nkz_list: &[usize],
+    nodes_per_kz: usize,
+    variant: Variant,
+) -> Vec<(usize, ScalingPoint)> {
+    nkz_list
+        .iter()
+        .map(|&nkz| {
+            let mut p = *base;
+            p.nkz = nkz;
+            p.nqz = nkz;
+            let nodes = nodes_per_kz * nkz;
+            (
+                nkz,
+                ScalingPoint {
+                    nodes,
+                    gpus: m.gpus(nodes),
+                    times: predict(&p, m, nodes, variant),
+                },
+            )
+        })
+        .collect()
+}
+
+/// A Table 8 row: extreme-scale 10,240-atom run on Summit.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtremeRow {
+    pub nkz: usize,
+    pub nodes: usize,
+    pub gf_pflop: f64,
+    pub gf_time: f64,
+    pub sse_pflop: f64,
+    pub sse_time: f64,
+    pub comm_time: f64,
+}
+
+/// Model the Table 8 configuration.
+pub fn extreme_run(nkz: usize, nodes: usize, m: &Machine) -> ExtremeRow {
+    let p = SimParams::paper_si_10240(nkz);
+    let t = predict(&p, m, nodes, Variant::Dace);
+    ExtremeRow {
+        nkz,
+        nodes,
+        gf_pflop: (flops::contour_flops(&p) + flops::rgf_flops(&p)) / 1e15,
+        gf_time: t.t_gf,
+        sse_pflop: flops::sse_dace_flops(&p) / 1e15,
+        sse_time: t.t_sse,
+        comm_time: t.t_comm,
+    }
+}
+
+/// Parallel efficiency of a strong-scaling series (first point = 100%).
+pub fn parallel_efficiency(series: &[ScalingPoint]) -> Vec<f64> {
+    let Some(first) = series.first() else {
+        return Vec::new();
+    };
+    let base = first.times.total() * first.nodes as f64;
+    series
+        .iter()
+        .map(|pt| base / (pt.times.total() * pt.nodes as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{PIZ_DAINT, SUMMIT};
+
+    #[test]
+    fn daint_strong_scaling_speedup_matches_paper_band() {
+        // §5.2: "the total runtime of the reduced-communication variant
+        // outperforms OMEN … up to a factor of 16.3×" on Piz Daint
+        // (4,864 atoms, Nkz = 7, 112–5,400 nodes).
+        let p = SimParams::paper_si_4864(7);
+        let nodes = [112usize, 224, 448, 896, 1792, 2700, 5400];
+        let omen = strong_scaling(&p, &PIZ_DAINT, &nodes, Variant::Omen);
+        let dace = strong_scaling(&p, &PIZ_DAINT, &nodes, Variant::Dace);
+        // At the matched small-node configuration (where both codes ran in
+        // the paper) the total speedup brackets the reported 16.3×; it only
+        // grows with node count since OMEN is communication-bound.
+        let matched = omen[0].times.total() / dace[0].times.total();
+        assert!(
+            matched > 10.0 && matched < 40.0,
+            "total speedup {matched:.1} should bracket the paper's 16.3x"
+        );
+        let speedups: Vec<f64> = omen
+            .iter()
+            .zip(&dace)
+            .map(|(o, d)| o.times.total() / d.times.total())
+            .collect();
+        assert!(
+            speedups.windows(2).all(|w| w[1] >= w[0] * 0.8),
+            "speedup should not collapse with node count: {speedups:?}"
+        );
+        // Communication-only speedup: paper reports up to 417×.
+        let comm_speedup = omen
+            .iter()
+            .zip(&dace)
+            .map(|(o, d)| o.times.t_comm / d.times.t_comm)
+            .fold(0.0, f64::max);
+        assert!(
+            comm_speedup > 150.0 && comm_speedup < 900.0,
+            "comm speedup {comm_speedup:.0} should be O(paper's 417x)"
+        );
+    }
+
+    #[test]
+    fn summit_speedup_larger_than_daint() {
+        // §5.2: 24.5× on Summit vs 16.3× on Piz Daint (OMEN's kernels are
+        // less optimized for POWER9 — modeled by the lower eff_sse_omen).
+        let p = SimParams::paper_si_4864(7);
+        let nodes = [19usize, 38, 76, 152, 228];
+        let sp = |m: &Machine| {
+            let omen = strong_scaling(&p, m, &nodes, Variant::Omen);
+            let dace = strong_scaling(&p, m, &nodes, Variant::Dace);
+            omen.iter()
+                .zip(&dace)
+                .map(|(o, d)| o.times.total() / d.times.total())
+                .fold(0.0, f64::max)
+        };
+        let daint = sp(&PIZ_DAINT);
+        let summit = sp(&SUMMIT);
+        assert!(
+            summit > daint,
+            "Summit speedup {summit:.1} must exceed Piz Daint's {daint:.1}"
+        );
+    }
+
+    #[test]
+    fn dace_strong_scaling_efficiency_shape() {
+        // Fig. 13(a): DaCe scales from 112 to 5,400 nodes with ~10.7×
+        // total speedup over the 48× node growth... the paper reports
+        // 10.69× over a 48.2× node range (74% efficiency at mid-range).
+        let p = SimParams::paper_si_4864(7);
+        let nodes = [112usize, 5400];
+        let dace = strong_scaling(&p, &PIZ_DAINT, &nodes, Variant::Dace);
+        let speedup = dace[0].times.total() / dace[1].times.total();
+        assert!(
+            speedup > 6.0 && speedup < 48.0,
+            "strong-scaling speedup {speedup:.1} must be sublinear but large"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_dace_grows_slower_than_omen() {
+        let base = SimParams::paper_si_4864(3);
+        let kz = [3usize, 5, 7, 9, 11];
+        let omen = weak_scaling(&base, &PIZ_DAINT, &kz, 128, Variant::Omen);
+        let dace = weak_scaling(&base, &PIZ_DAINT, &kz, 128, Variant::Dace);
+        // Ideal weak scaling for SSE is ∝ Nkz·Nqz per node count ∝ Nkz:
+        // time grows ∝ Nkz. OMEN's communication grows faster.
+        let growth = |s: &[(usize, ScalingPoint)]| {
+            s.last().unwrap().1.times.t_comm / s.first().unwrap().1.times.t_comm
+        };
+        assert!(growth(&omen) > growth(&dace));
+    }
+
+    #[test]
+    fn table8_pflop_magnitudes() {
+        // Paper: Nkz=11 → GF 2,922 Pflop, SSE 490 Pflop;
+        // Nkz=21 → GF 5,579 Pflop, SSE 1,784 Pflop.
+        let r11 = extreme_run(11, 1852, &SUMMIT);
+        // GF flop model is calibrated on the 4,864-atom device; at 10,240
+        // atoms the paper's bnum/basis details differ, so require the
+        // magnitude (factor ~2) not the digit.
+        assert!(
+            r11.gf_pflop > 1000.0 && r11.gf_pflop < 6000.0,
+            "GF {:.0} Pflop",
+            r11.gf_pflop
+        );
+        // SSE model is exact in its inputs: 11²/70-point grid.
+        let r21 = extreme_run(21, 3525, &SUMMIT);
+        assert!(
+            r21.sse_pflop / r11.sse_pflop > 3.0 && r21.sse_pflop / r11.sse_pflop < 4.0,
+            "SSE scales ~(21/11)² = 3.6×: {:.2}",
+            r21.sse_pflop / r11.sse_pflop
+        );
+    }
+
+    #[test]
+    fn table8_time_magnitudes() {
+        // "under 7 minutes per iteration" at full scale.
+        let r = extreme_run(21, 3525, &SUMMIT);
+        let total = r.gf_time + r.sse_time + r.comm_time;
+        assert!(
+            total > 60.0 && total < 900.0,
+            "iteration time {total:.0}s should be minutes-scale"
+        );
+    }
+
+    #[test]
+    fn efficiency_starts_at_one() {
+        let p = SimParams::paper_si_4864(7);
+        let series = strong_scaling(&p, &SUMMIT, &[19, 38, 76], Variant::Dace);
+        let eff = parallel_efficiency(&series);
+        assert!((eff[0] - 1.0).abs() < 1e-12);
+        assert!(eff.iter().all(|&e| e <= 1.0 + 1e-9));
+    }
+}

@@ -1,0 +1,205 @@
+//! Exhaustive tile-size search (§4.1).
+//!
+//! "An optimal communication scheme can subsequently be found by minimizing
+//! these expressions. For this work, we perform exhaustive search over the
+//! feasible tile sizes. Since the combinations … are in the order of 10⁶ …
+//! the search completes in just a few seconds."
+//!
+//! Feasible tilings split `P = TE·TA` with `TE ≤ NE` and `TA ≤ NA`; the
+//! objective is the closed-form total SSE volume.
+
+use qt_core::params::SimParams;
+use qt_dist::volume;
+
+/// Result of the tiling search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tiling {
+    pub te: usize,
+    pub ta: usize,
+    /// Total communication volume in bytes at this tiling.
+    pub total_bytes: f64,
+}
+
+/// All factorizations `te·ta = procs`.
+fn factorizations(procs: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut d = 1;
+    while d * d <= procs {
+        if procs.is_multiple_of(d) {
+            out.push((d, procs / d));
+            if d != procs / d {
+                out.push((procs / d, d));
+            }
+        }
+        d += 1;
+    }
+    out
+}
+
+/// Exhaustively search all feasible `(TE, TA)` factorizations of `procs`
+/// and return the volume-minimizing tiling.
+pub fn optimal_tiling(p: &SimParams, procs: usize) -> Option<Tiling> {
+    let mut best: Option<Tiling> = None;
+    for (te, ta) in factorizations(procs) {
+        if te > p.ne || ta > p.na {
+            continue;
+        }
+        let total_bytes = volume::dace_total_bytes(p, te, ta);
+        let cand = Tiling { te, ta, total_bytes };
+        if best.is_none_or(|b| cand.total_bytes < b.total_bytes) {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+/// Search over every process count `1..=max_procs` (the planning sweep a
+/// performance engineer runs before submitting a job).
+pub fn tiling_sweep(p: &SimParams, max_procs: usize) -> Vec<Tiling> {
+    (1..=max_procs)
+        .filter_map(|procs| optimal_tiling(p, procs))
+        .collect()
+}
+
+/// A 3-D tiling `(Tkz, TE, TA)` — the momentum-tiling extension.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tiling3 {
+    pub tk: usize,
+    pub te: usize,
+    pub ta: usize,
+    pub total_bytes: f64,
+}
+
+/// Exhaustive search over all 3-factor decompositions `tk·te·ta = procs`
+/// with `tk ≤ Nkz`, `te ≤ NE`, `ta ≤ NA`. Still "a few seconds" at the
+/// paper's scales (the combination count grows only with the divisor
+/// structure of `procs`).
+pub fn optimal_tiling3(p: &SimParams, procs: usize) -> Option<Tiling3> {
+    let mut best: Option<Tiling3> = None;
+    let mut tk = 1;
+    while tk <= p.nkz.min(procs) {
+        if procs.is_multiple_of(tk) {
+            let rest = procs / tk;
+            for (te, ta) in factorizations(rest) {
+                if te > p.ne || ta > p.na {
+                    continue;
+                }
+                let total_bytes = volume::dace3_total_bytes(p, tk, te, ta);
+                let cand = Tiling3 {
+                    tk,
+                    te,
+                    ta,
+                    total_bytes,
+                };
+                if best.is_none_or(|b| cand.total_bytes < b.total_bytes) {
+                    best = Some(cand);
+                }
+            }
+        }
+        tk += 1;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_complete() {
+        let f = factorizations(12);
+        assert_eq!(f.len(), 6); // 1,2,3,4,6,12
+        assert!(f.contains(&(3, 4)) && f.contains(&(4, 3)));
+        for (a, b) in f {
+            assert_eq!(a * b, 12);
+        }
+    }
+
+    #[test]
+    fn optimum_beats_all_alternatives() {
+        let p = SimParams::paper_si_4864(7);
+        let procs = 1792;
+        let best = optimal_tiling(&p, procs).unwrap();
+        for (te, ta) in factorizations(procs) {
+            if te > p.ne || ta > p.na {
+                continue;
+            }
+            assert!(best.total_bytes <= volume::dace_total_bytes(&p, te, ta) + 1.0);
+        }
+    }
+
+    #[test]
+    fn paper_tiling_close_to_optimal() {
+        // Table 5 uses TE = 7 at Nkz = 7; the searched optimum must not be
+        // far below it (the paper chose near-optimal tilings).
+        let p = SimParams::paper_si_4864(7);
+        let best = optimal_tiling(&p, 1792).unwrap();
+        let paper = volume::dace_total_bytes(&p, 7, 256);
+        assert!(
+            paper / best.total_bytes < 1.6,
+            "paper tiling within 60% of optimum: paper {paper:.3e} vs best {:.3e} (TE={}, TA={})",
+            best.total_bytes,
+            best.te,
+            best.ta
+        );
+    }
+
+    #[test]
+    fn degenerate_tilings_rejected() {
+        // A process count exceeding NE·NA has no feasible tiling.
+        let mut p = SimParams::test_small();
+        p.ne = 4;
+        p.na = 4;
+        p.bnum = 2;
+        p.nb = 2;
+        p.nw = 2;
+        assert!(optimal_tiling(&p, 17).is_none()); // 17 prime > 4, ta=17 > na
+        assert!(optimal_tiling(&p, 16).is_some()); // 4×4 works
+    }
+
+    #[test]
+    fn tiling3_never_worse_than_2d() {
+        // The 3-D search space contains Tkz = 1, so its optimum can only
+        // improve on the 2-D one.
+        for nkz in [3usize, 7, 21] {
+            let p = SimParams::paper_si_4864(nkz);
+            let procs = 256 * nkz;
+            let t2 = optimal_tiling(&p, procs).unwrap();
+            let t3 = optimal_tiling3(&p, procs).unwrap();
+            assert!(
+                t3.total_bytes <= t2.total_bytes + 1.0,
+                "Nkz={nkz}: 3D {:.3e} vs 2D {:.3e}",
+                t3.total_bytes,
+                t2.total_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn tiling3_uses_momentum_only_when_the_halo_allows() {
+        // With Nqz = Nkz the kz−qz halo spans everything: the searched
+        // optimum must coincide with a 2-D tiling's volume.
+        let p = SimParams::paper_si_4864(21);
+        let t3 = optimal_tiling3(&p, 256 * 21).unwrap();
+        let t2 = optimal_tiling(&p, 256 * 21).unwrap();
+        assert!((t3.total_bytes - t2.total_bytes).abs() / t2.total_bytes < 0.05);
+        // With Nqz ≪ Nkz the optimizer picks momentum tiles.
+        let mut p = SimParams::paper_si_4864(21);
+        p.nqz = 3;
+        let t3 = optimal_tiling3(&p, 256 * 21).unwrap();
+        assert!(t3.tk > 1, "expected momentum tiling at Nqz=3, got {t3:?}");
+        let t2 = optimal_tiling(&p, 256 * 21).unwrap();
+        assert!(t3.total_bytes < t2.total_bytes);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_coverage() {
+        let p = SimParams::test_small();
+        let sweep = tiling_sweep(&p, 12);
+        assert!(!sweep.is_empty());
+        // Every entry factorizes its process count within bounds.
+        for t in &sweep {
+            assert!(t.te <= p.ne && t.ta <= p.na);
+        }
+    }
+}

@@ -1,0 +1,660 @@
+//! High-level frontend: parse Fig. 5-style programs into scope trees.
+//!
+//! The paper's workflow starts from Python: "the domain scientist designs an
+//! algorithm and implements it as linear algebra operations … this
+//! implementation is then parsed into an SDFG" (§3). This module is that
+//! frontend for a small, line-oriented DSL mirroring the `dace.map` syntax
+//! of Fig. 5:
+//!
+//! ```text
+//! program sse_sigma
+//! array G[Nkz, NE, NA, Norb, Norb]
+//! array dH[NA, NB, N3D, Norb, Norb]
+//! array D[Nqz, Nw, NA, NB, N3D, N3D]
+//! array Sigma[Nkz, NE, NA, Norb, Norb]
+//! transient dHG[Nkz, NE, Nqz, Nw, N3D, NA, NB, Norb, Norb]
+//! transient dHD[Nqz, Nw, N3D, NA, NB, Norb, Norb]
+//! indirection f
+//!
+//! map k=0:Nkz, E=0:NE, q=0:Nqz, w=0:Nw, i=0:N3D, j=0:N3D, a=0:NA, b=0:NB {
+//!     dHG[k, E, q, w, i, a, b, :, :] = G[k - q, E - w, f(a, b), :, :] @ dH[a, b, i, :, :]
+//!     dHD[q, w, i, a, b, :, :] += dH[a, b, j, :, :] * D[q, w, a, b, i, j]
+//!     Sigma[k, E, a, :, :] += dHG[k, E, q, w, i, a, b, :, :] @ dHD[q, w, i, a, b, :, :]
+//! }
+//! ```
+//!
+//! Grammar (line-oriented):
+//! * `program NAME`
+//! * `array NAME[dim, …]` / `transient NAME[dim, …]` — complex128 containers
+//! * `indirection NAME` — registers a lookup table usable as `NAME(args…)`
+//! * `map p=lo:hi, … {` … `}` — map scopes (nestable)
+//! * `OUT[subset] = A[subset] @ B[subset]` — matrix multiply
+//! * `OUT[subset] (+)= A[subset] * B[subset]` — scalar × matrix
+//! * `OUT[subset] (+)= A[subset]` — copy/accumulate tasklet
+//! * index entries: affine expressions over symbols and integers, `:`
+//!   (full range inferred from the array), `lo:hi` ranges, or
+//!   `table(arg, …)` indirections.
+//!
+//! Matrix-shaped operands contribute `8·Norb³`-style flop counts derived
+//! from their trailing range dimensions, matching the hand-built library
+//! trees (the equivalence is unit-tested).
+
+use crate::propagate::ParamRange;
+use crate::stree::{Access, ArrayDesc, Dtype, Node, OpKind, ScopeTree};
+use crate::subset::{Dim, Range, Subset};
+use crate::symexpr::SymExpr;
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+// ---------------- symbolic expression parsing ----------------
+
+/// Recursive-descent parser for affine expressions: `+`, `-`, `*`, parens,
+/// integers, identifiers.
+struct ExprParser<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn new(src: &'a str, line: usize) -> Self {
+        ExprParser { src, pos: 0, line }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<SymExpr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('+') => {
+                    self.pos += 1;
+                    lhs = lhs + self.parse_term()?;
+                }
+                Some('-') => {
+                    self.pos += 1;
+                    lhs = lhs - self.parse_term()?;
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<SymExpr, ParseError> {
+        let mut lhs = self.parse_atom()?;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('*') {
+                self.pos += 1;
+                lhs = lhs * self.parse_atom()?;
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<SymExpr, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('(') => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                if !self.eat(')') {
+                    return err(self.line, "expected `)`");
+                }
+                Ok(e)
+            }
+            Some('-') => {
+                self.pos += 1;
+                Ok(-self.parse_atom()?)
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                let v: i64 = self.src[start..self.pos]
+                    .parse()
+                    .map_err(|_| ParseError {
+                        line: self.line,
+                        message: "bad integer".into(),
+                    })?;
+                Ok(SymExpr::int(v))
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+                    self.pos += 1;
+                }
+                Ok(SymExpr::sym(&self.src[start..self.pos]))
+            }
+            other => err(self.line, format!("unexpected token {other:?} in expression")),
+        }
+    }
+
+    fn finished(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.src.len()
+    }
+}
+
+/// Parse one expression occupying the entire string.
+fn parse_expr_all(src: &str, line: usize) -> Result<SymExpr, ParseError> {
+    let mut p = ExprParser::new(src, line);
+    let e = p.parse_expr()?;
+    if !p.finished() {
+        return err(line, format!("trailing input in expression `{src}`"));
+    }
+    Ok(e)
+}
+
+// ---------------- access parsing ----------------
+
+/// Split a top-level comma list, respecting parentheses.
+fn split_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() || !out.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+/// One operand: `NAME[dim, dim, …]`.
+struct ParsedAccess {
+    array: String,
+    subset: Subset,
+}
+
+fn parse_access(
+    src: &str,
+    line: usize,
+    arrays: &std::collections::BTreeMap<String, ArrayDesc>,
+    indirections: &[String],
+) -> Result<ParsedAccess, ParseError> {
+    let src = src.trim();
+    let open = src
+        .find('[')
+        .ok_or(ParseError {
+            line,
+            message: format!("expected `name[...]`, got `{src}`"),
+        })?;
+    if !src.ends_with(']') {
+        return err(line, format!("unterminated subset in `{src}`"));
+    }
+    let name = src[..open].trim().to_string();
+    let desc = arrays.get(&name).ok_or(ParseError {
+        line,
+        message: format!("unknown array `{name}`"),
+    })?;
+    let inner = &src[open + 1..src.len() - 1];
+    let entries = split_commas(inner);
+    if entries.len() != desc.shape.len() {
+        return err(
+            line,
+            format!(
+                "array `{name}` has {} dims, subset has {}",
+                desc.shape.len(),
+                entries.len()
+            ),
+        );
+    }
+    let mut dims = Vec::with_capacity(entries.len());
+    for (d, entry) in entries.iter().enumerate() {
+        let entry = entry.trim();
+        if entry == ":" {
+            dims.push(Dim::Range(Range::full(desc.shape[d].clone())));
+            continue;
+        }
+        // Indirection call `table(args…)`?
+        if let Some(paren) = entry.find('(') {
+            let head = entry[..paren].trim();
+            if indirections.iter().any(|t| t == head) && entry.ends_with(')') {
+                let args = split_commas(&entry[paren + 1..entry.len() - 1])
+                    .into_iter()
+                    .map(|a| parse_expr_all(a, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                dims.push(Dim::Indirect {
+                    table: head.to_string(),
+                    args,
+                });
+                continue;
+            }
+        }
+        // Range `lo:hi`?
+        if let Some(colon) = top_level_colon(entry) {
+            let lo = parse_expr_all(&entry[..colon], line)?;
+            let hi = parse_expr_all(&entry[colon + 1..], line)?;
+            dims.push(Dim::Range(Range::new(lo, hi)));
+            continue;
+        }
+        dims.push(Dim::Index(parse_expr_all(entry, line)?.simplified()));
+    }
+    Ok(ParsedAccess {
+        array: name,
+        subset: Subset::new(dims),
+    })
+}
+
+/// Position of a `:` outside parentheses, if any.
+fn top_level_colon(s: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ':' if depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Number of matrix-range dimensions at the end of a subset (0, 1 or 2) —
+/// determines the flop model of a statement.
+fn trailing_ranges(subset: &Subset) -> usize {
+    subset
+        .0
+        .iter()
+        .rev()
+        .take_while(|d| matches!(d, Dim::Range(_)))
+        .count()
+        .min(2)
+}
+
+/// Length of the last range dimension (the matrix order `Norb`).
+fn last_range_len(subset: &Subset) -> Option<SymExpr> {
+    subset.0.iter().rev().find_map(|d| match d {
+        Dim::Range(r) => Some(r.length()),
+        _ => None,
+    })
+}
+
+// ---------------- program parsing ----------------
+
+/// Parse a full program into a [`ScopeTree`].
+pub fn parse_program(src: &str) -> Result<ScopeTree, ParseError> {
+    let mut tree = ScopeTree::new("program");
+    let mut indirections: Vec<String> = Vec::new();
+    // Stack of open map scopes: (label, params, body).
+    let mut stack: Vec<(String, Vec<ParamRange>, Vec<Node>)> = Vec::new();
+    let mut stmt_counter = 0usize;
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(name) = text.strip_prefix("program ") {
+            tree.name = name.trim().to_string();
+        } else if let Some(rest) = text
+            .strip_prefix("array ")
+            .map(|r| (r, false))
+            .or_else(|| text.strip_prefix("transient ").map(|r| (r, true)))
+        {
+            let (decl, transient) = rest;
+            let open = decl.find('[').ok_or(ParseError {
+                line,
+                message: "array declaration needs `[dims]`".into(),
+            })?;
+            if !decl.trim_end().ends_with(']') {
+                return err(line, "unterminated array declaration");
+            }
+            let name = decl[..open].trim().to_string();
+            let dims = split_commas(&decl.trim_end()[open + 1..decl.trim_end().len() - 1])
+                .into_iter()
+                .map(|d| parse_expr_all(d, line))
+                .collect::<Result<Vec<_>, _>>()?;
+            tree.add_array(name, ArrayDesc::new(dims, Dtype::Complex128, transient));
+        } else if let Some(table) = text.strip_prefix("indirection ") {
+            indirections.push(table.trim().to_string());
+            tree.indirection_tables.push(table.trim().to_string());
+        } else if let Some(rest) = text.strip_prefix("map ") {
+            let rest = rest.trim_end();
+            let rest = rest.strip_suffix('{').ok_or(ParseError {
+                line,
+                message: "map line must end with `{`".into(),
+            })?;
+            let mut params = Vec::new();
+            for part in split_commas(rest) {
+                let eq = part.find('=').ok_or(ParseError {
+                    line,
+                    message: format!("map parameter `{part}` needs `name=lo:hi`"),
+                })?;
+                let name = part[..eq].trim();
+                let range = &part[eq + 1..];
+                let colon = top_level_colon(range).ok_or(ParseError {
+                    line,
+                    message: format!("map range `{range}` needs `lo:hi`"),
+                })?;
+                params.push(ParamRange::new(
+                    name,
+                    parse_expr_all(&range[..colon], line)?,
+                    parse_expr_all(&range[colon + 1..], line)?,
+                ));
+            }
+            let label = format!("map{}", stack.len());
+            stack.push((label, params, Vec::new()));
+        } else if text == "}" {
+            let (label, params, body) = stack.pop().ok_or(ParseError {
+                line,
+                message: "unmatched `}`".into(),
+            })?;
+            let node = Node::map(label, params, body);
+            match stack.last_mut() {
+                Some((_, _, parent)) => parent.push(node),
+                None => tree.roots.push(node),
+            }
+        } else {
+            // Statement: OUT (+)= A [op B]
+            let (lhs, rhs, accumulate) = if let Some(pos) = text.find("+=") {
+                (&text[..pos], &text[pos + 2..], true)
+            } else if let Some(pos) = text.find('=') {
+                (&text[..pos], &text[pos + 1..], false)
+            } else {
+                return err(line, format!("unrecognized statement `{text}`"));
+            };
+            let out = parse_access(lhs, line, &tree.arrays, &indirections)?;
+            // Operator: top-level `@` or `*` splits the rhs.
+            let (op, parts) = if let Some(pos) = top_level_op(rhs, '@') {
+                (OpKind::MatMul, vec![&rhs[..pos], &rhs[pos + 1..]])
+            } else if let Some(pos) = top_level_op(rhs, '*') {
+                (OpKind::ScalarMul, vec![&rhs[..pos], &rhs[pos + 1..]])
+            } else {
+                (OpKind::Tasklet, vec![rhs])
+            };
+            let inputs = parts
+                .into_iter()
+                .map(|p| parse_access(p, line, &tree.arrays, &indirections))
+                .collect::<Result<Vec<_>, _>>()?;
+            // Flop model from the matrix structure of the output/input.
+            let n = last_range_len(&out.subset)
+                .or_else(|| inputs.iter().find_map(|a| last_range_len(&a.subset)))
+                .unwrap_or(SymExpr::int(1));
+            let flops = match (&op, trailing_ranges(&out.subset)) {
+                (OpKind::MatMul, _) => SymExpr::int(8) * n.clone() * n.clone() * n,
+                (OpKind::ScalarMul, 2) => SymExpr::int(8) * n.clone() * n,
+                (OpKind::ScalarMul, _) => SymExpr::int(8) * n,
+                (_, 2) => SymExpr::int(2) * n.clone() * n,
+                (_, 1) => SymExpr::int(2) * n,
+                _ => SymExpr::int(2),
+            };
+            stmt_counter += 1;
+            let node = Node::compute(
+                format!("stmt{stmt_counter}"),
+                op,
+                inputs
+                    .into_iter()
+                    .map(|a| Access::read(a.array, a.subset))
+                    .collect(),
+                vec![if accumulate {
+                    Access::accumulate(out.array, out.subset)
+                } else {
+                    Access::write(out.array, out.subset)
+                }],
+                flops,
+            );
+            match stack.last_mut() {
+                Some((_, _, body)) => body.push(node),
+                None => tree.roots.push(node),
+            }
+        }
+    }
+    if !stack.is_empty() {
+        return err(src.lines().count(), "unclosed map scope");
+    }
+    tree.validate().map_err(|m| ParseError {
+        line: 0,
+        message: format!("validation: {m}"),
+    })?;
+    Ok(tree)
+}
+
+/// Position of a single-char operator at paren/bracket depth 0.
+fn top_level_op(s: &str, op: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth = depth.saturating_sub(1),
+            c if c == op && depth == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The Fig. 5 program in the DSL (used by tests and examples).
+pub const FIG5_SSE_SIGMA: &str = r#"
+program sse_sigma
+array G[Nkz, NE, NA, Norb, Norb]
+array dH[NA, NB, N3D, Norb, Norb]
+array D[Nqz, Nw, NA, NB, N3D, N3D]
+array Sigma[Nkz, NE, NA, Norb, Norb]
+transient dHG[Nkz, NE, Nqz, Nw, N3D, NA, NB, Norb, Norb]
+transient dHD[Nqz, Nw, N3D, NA, NB, Norb, Norb]
+indirection f
+
+map kz=0:Nkz, E=0:NE, qz=0:Nqz, w=0:Nw, i=0:N3D, j=0:N3D, a=0:NA, b=0:NB {
+    dHG[kz, E, qz, w, i, a, b, :, :] = G[kz - qz, E - w, f(a, b), :, :] @ dH[a, b, i, :, :]
+    dHD[qz, w, i, a, b, :, :] += dH[a, b, j, :, :] * D[qz, w, a, b, i, j]
+    Sigma[kz, E, a, :, :] += dHG[kz, E, qz, w, i, a, b, :, :] @ dHD[qz, w, i, a, b, :, :]
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::symexpr::Bindings;
+
+    fn bindings() -> Bindings {
+        [
+            ("Nkz", 2i64),
+            ("NE", 8),
+            ("Nqz", 2),
+            ("Nw", 2),
+            ("N3D", 3),
+            ("NA", 8),
+            ("NB", 3),
+            ("Norb", 2),
+            ("M", 4),
+            ("N", 5),
+            ("K", 6),
+        ]
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v))
+        .collect()
+    }
+
+    #[test]
+    fn expression_parser() {
+        let b = bindings();
+        for (src, expect) in [
+            ("3", 3i64),
+            ("Nkz + 1", 3),
+            ("2 * Nkz - 1", 3),
+            ("(Nkz + NE) * 2", 20),
+            ("-Nkz", -2),
+            ("NE - Nw - 1", 5),
+        ] {
+            let e = parse_expr_all(src, 1).unwrap();
+            assert_eq!(e.eval(&b).unwrap(), expect, "{src}");
+        }
+        assert!(parse_expr_all("1 +", 1).is_err());
+        assert!(parse_expr_all("(1", 1).is_err());
+        assert!(parse_expr_all("1 2", 1).is_err());
+    }
+
+    #[test]
+    fn fig5_program_parses_and_validates() {
+        let tree = parse_program(FIG5_SSE_SIGMA).expect("parse");
+        assert_eq!(tree.name, "sse_sigma");
+        assert_eq!(tree.num_maps(), 1);
+        assert_eq!(tree.arrays.len(), 6);
+        assert!(tree.arrays["dHG"].transient);
+        assert!(!tree.arrays["G"].transient);
+    }
+
+    /// The parsed Fig. 5 program has *identical* movement and flop
+    /// statistics to the hand-built library tree — the frontend and the
+    /// builder agree on the SDFG.
+    #[test]
+    fn parsed_fig5_matches_library_tree() {
+        let b = bindings();
+        let models = [library::neighbor_model()];
+        let parsed = parse_program(FIG5_SSE_SIGMA).unwrap();
+        let built = library::sse_sigma_tree();
+        let sp = parsed.stats(&b, &models);
+        let sb = built.stats(&b, &models);
+        assert_eq!(sp.accesses, sb.accesses);
+        assert_eq!(sp.unique, sb.unique);
+        assert_eq!(sp.flops, sb.flops);
+        assert_eq!(sp.transient_bytes, sb.transient_bytes);
+    }
+
+    /// The parsed program admits the same transformation pipeline.
+    #[test]
+    fn parsed_fig5_transforms() {
+        let b = bindings();
+        let mut tree = parse_program(FIG5_SSE_SIGMA).unwrap();
+        // The library pipeline expects its own node labels; apply the
+        // transformations directly instead.
+        crate::transforms::map_fission(&mut tree, "map0").unwrap();
+        crate::transforms::redundancy_removal(
+            &mut tree,
+            "map_stmt1",
+            &[("kz".into(), "qz".into()), ("E".into(), "w".into())],
+        )
+        .unwrap();
+        assert!(tree.validate().is_ok());
+        let stats = tree.stats(&b, &[library::neighbor_model()]);
+        let before = parse_program(FIG5_SSE_SIGMA).unwrap().stats(&b, &[library::neighbor_model()]);
+        assert!(stats.flops < before.flops);
+    }
+
+    #[test]
+    fn matmul_program_matches_library() {
+        let src = r#"
+program matmul
+array A[M, K]
+array B[K, N]
+array C[M, N]
+map i=0:M, j=0:N, k=0:K {
+    C[i, j] += A[i, k] * B[k, j]
+}
+"#;
+        let tree = parse_program(src).unwrap();
+        let b = bindings();
+        let built = library::matmul_tree();
+        let sp = tree.stats(&b, &[]);
+        let sb = built.stats(&b, &[]);
+        assert_eq!(sp.accesses, sb.accesses);
+        assert_eq!(sp.unique, sb.unique);
+    }
+
+    #[test]
+    fn nested_maps_parse() {
+        let src = r#"
+program nested
+array X[M, N]
+array Y[M, N]
+map i=0:M {
+    map j=0:N {
+        Y[i, j] = X[i, j]
+    }
+}
+"#;
+        let tree = parse_program(src).unwrap();
+        assert_eq!(tree.num_maps(), 2);
+        let b = bindings();
+        let stats = tree.stats(&b, &[]);
+        assert_eq!(stats.accesses["X"], 4 * 5);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        let bad = "program p\narray A[M\n";
+        let e = parse_program(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        let bad = "map i=0:M {\n";
+        assert!(parse_program(bad).is_err());
+        let bad = "program p\narray A[M]\nmap i=0:M {\n  B[i] = A[i]\n}\n";
+        let e = parse_program(bad).unwrap_err();
+        assert!(e.message.contains("unknown array"));
+        let bad = "program p\narray A[M, N]\nmap i=0:M {\n  A[i] = A[i]\n}\n";
+        let e = parse_program(bad).unwrap_err();
+        assert!(e.message.contains("dims"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "
+# a comment
+program p
+
+array A[M]   # trailing comment
+array B[M]
+map i=0:M {
+    B[i] = A[i]  # copy
+}
+";
+        assert!(parse_program(src).is_ok());
+    }
+}

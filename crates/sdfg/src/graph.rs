@@ -1,0 +1,227 @@
+//! Flat multigraph view of an SDFG and GraphViz export.
+//!
+//! The scope tree ([`crate::stree`]) is the transformable representation;
+//! this module lowers it to the node/edge form of the paper's figures
+//! (access nodes, tasklets, map entry/exit pairs, memlet edges) so the
+//! transformed SSE kernels can be rendered as DOT files — our reproduction
+//! of Figs. 4, 6 and 8–12.
+
+use crate::stree::{Node, OpKind, ScopeTree};
+use std::fmt::Write as _;
+
+/// Node kinds of the flat SDFG view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphNode {
+    /// Array container access node (oval in the figures).
+    Access(String),
+    /// Fine-grained computation (octagon).
+    Tasklet(String),
+    /// Map entry with its parameter list (trapezoid).
+    MapEntry(String),
+    /// Matching map exit.
+    MapExit(String),
+}
+
+/// Directed edge carrying an optional memlet annotation.
+#[derive(Clone, Debug)]
+pub struct GraphEdge {
+    pub src: usize,
+    pub dst: usize,
+    pub label: String,
+    pub wcr: bool,
+}
+
+/// Flat SDFG state graph.
+#[derive(Clone, Debug, Default)]
+pub struct StateGraph {
+    pub name: String,
+    pub nodes: Vec<GraphNode>,
+    pub edges: Vec<GraphEdge>,
+}
+
+impl StateGraph {
+    fn add_node(&mut self, n: GraphNode) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    fn add_edge(&mut self, src: usize, dst: usize, label: String, wcr: bool) {
+        self.edges.push(GraphEdge { src, dst, label, wcr });
+    }
+
+    /// Lower a scope tree into the flat graph.
+    pub fn from_tree(tree: &ScopeTree) -> StateGraph {
+        let mut g = StateGraph {
+            name: tree.name.clone(),
+            ..Default::default()
+        };
+        for root in &tree.roots {
+            g.lower(root, None, None);
+        }
+        g
+    }
+
+    /// Recursively lower `node`; `entry`/`exit` are the enclosing map's
+    /// entry/exit node ids.
+    fn lower(&mut self, node: &Node, entry: Option<usize>, exit: Option<usize>) {
+        match node {
+            Node::Map { label, params, body } => {
+                let ps: Vec<String> = params
+                    .iter()
+                    .map(|p| format!("{}={}", p.name, p.range))
+                    .collect();
+                let me = self.add_node(GraphNode::MapEntry(format!("{label} [{}]", ps.join(", "))));
+                let mx = self.add_node(GraphNode::MapExit(label.clone()));
+                if let (Some(e), Some(x)) = (entry, exit) {
+                    self.add_edge(e, me, String::new(), false);
+                    self.add_edge(mx, x, String::new(), false);
+                }
+                for child in body {
+                    self.lower(child, Some(me), Some(mx));
+                }
+            }
+            Node::Compute {
+                label,
+                op,
+                inputs,
+                outputs,
+                ..
+            } => {
+                let opname = match op {
+                    OpKind::MatMul => "@",
+                    OpKind::ScalarMul => "*",
+                    OpKind::BatchedGemm { .. } => "@ (batched)",
+                    OpKind::Tasklet => "tasklet",
+                };
+                let t = self.add_node(GraphNode::Tasklet(format!("{label} {opname}")));
+                for acc in inputs {
+                    let a = self.add_node(GraphNode::Access(acc.array.clone()));
+                    let label = format!("{}{}", acc.array, acc.subset);
+                    if let Some(e) = entry {
+                        self.add_edge(a, e, label.clone(), false);
+                        self.add_edge(e, t, label, false);
+                    } else {
+                        self.add_edge(a, t, label, false);
+                    }
+                }
+                for acc in outputs {
+                    let a = self.add_node(GraphNode::Access(acc.array.clone()));
+                    let label = format!("{}{}", acc.array, acc.subset);
+                    if let Some(x) = exit {
+                        self.add_edge(t, x, label.clone(), acc.wcr_sum);
+                        self.add_edge(x, a, label, acc.wcr_sum);
+                    } else {
+                        self.add_edge(t, a, label, acc.wcr_sum);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render as GraphViz DOT.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  rankdir=TB;");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (shape, label) = match n {
+                GraphNode::Access(a) => ("ellipse", a.clone()),
+                GraphNode::Tasklet(t) => ("octagon", t.clone()),
+                GraphNode::MapEntry(m) => ("trapezium", m.clone()),
+                GraphNode::MapExit(m) => ("invtrapezium", format!("{m} (exit)")),
+            };
+            let _ = writeln!(
+                out,
+                "  n{i} [shape={shape}, label=\"{}\"];",
+                label.replace('"', "'")
+            );
+        }
+        for e in &self.edges {
+            let style = if e.wcr { ", style=dashed, color=red" } else { "" };
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\"{}];",
+                e.src,
+                e.dst,
+                e.label.replace('"', "'"),
+                style
+            );
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate::ParamRange;
+    use crate::stree::{Access, ArrayDesc, Dtype};
+    use crate::subset::{Dim, Subset};
+    use crate::symexpr::SymExpr;
+
+    fn tiny_tree() -> ScopeTree {
+        let mut t = ScopeTree::new("tiny");
+        t.add_array("A", ArrayDesc::new(vec![SymExpr::sym("N")], Dtype::Complex128, false));
+        t.add_array("B", ArrayDesc::new(vec![SymExpr::sym("N")], Dtype::Complex128, false));
+        t.roots.push(Node::map(
+            "m",
+            vec![ParamRange::new("i", 0, SymExpr::sym("N"))],
+            vec![Node::compute(
+                "copy",
+                OpKind::Tasklet,
+                vec![Access::read("A", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
+                vec![Access::accumulate("B", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
+                SymExpr::int(1),
+            )],
+        ));
+        t
+    }
+
+    #[test]
+    fn lowering_produces_entry_exit_pairs() {
+        let g = StateGraph::from_tree(&tiny_tree());
+        let entries = g.nodes.iter().filter(|n| matches!(n, GraphNode::MapEntry(_))).count();
+        let exits = g.nodes.iter().filter(|n| matches!(n, GraphNode::MapExit(_))).count();
+        assert_eq!(entries, 1);
+        assert_eq!(exits, 1);
+        let tasklets = g.nodes.iter().filter(|n| matches!(n, GraphNode::Tasklet(_))).count();
+        assert_eq!(tasklets, 1);
+    }
+
+    #[test]
+    fn dot_contains_wcr_styling_and_labels() {
+        let g = StateGraph::from_tree(&tiny_tree());
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("style=dashed"), "CR edges render dashed");
+        assert!(dot.contains("A[i]"));
+        assert!(dot.contains("trapezium"));
+    }
+
+    #[test]
+    fn nested_maps_connect_through_scopes() {
+        let mut t = tiny_tree();
+        crate::transforms::map_tiling(
+            &mut t,
+            "m",
+            &[crate::transforms::TileSpec::new("i", SymExpr::sym("T"), SymExpr::sym("s"))],
+        )
+        .unwrap();
+        let g = StateGraph::from_tree(&t);
+        let entries = g.nodes.iter().filter(|n| matches!(n, GraphNode::MapEntry(_))).count();
+        assert_eq!(entries, 2);
+        // There must be an edge between the two map entries.
+        let entry_ids: Vec<usize> = g
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, GraphNode::MapEntry(_)))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(g
+            .edges
+            .iter()
+            .any(|e| entry_ids.contains(&e.src) && entry_ids.contains(&e.dst)));
+    }
+}

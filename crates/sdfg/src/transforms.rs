@@ -1,0 +1,1089 @@
+//! Graph transformations on the scope tree (§4, Figs. 7–12).
+//!
+//! Each function is one of the paper's rewrites. They validate their
+//! pattern's preconditions and return an error string when the tree does not
+//! match, mirroring how DaCe transformations check applicability before
+//! mutating the graph.
+
+use crate::propagate::ParamRange;
+use crate::stree::{Access, Node, OpKind, ScopeTree};
+use crate::subset::{Dim, Subset};
+use crate::symexpr::SymExpr;
+
+/// Tiling specification for one map parameter.
+#[derive(Clone, Debug)]
+pub struct TileSpec {
+    /// Parameter to tile (e.g. `kz`).
+    pub param: String,
+    /// Number of tiles (`n_kz`); becomes the outer parameter's range.
+    pub num_tiles: SymExpr,
+    /// Tile size (`s_kz`).
+    pub tile_size: SymExpr,
+}
+
+impl TileSpec {
+    pub fn new(param: impl Into<String>, num_tiles: impl Into<SymExpr>, tile_size: impl Into<SymExpr>) -> Self {
+        TileSpec {
+            param: param.into(),
+            num_tiles: num_tiles.into(),
+            tile_size: tile_size.into(),
+        }
+    }
+}
+
+/// **Map tiling** (Fig. 7): split each listed parameter `p` of the map into
+/// an outer `t_p ∈ [0, n_p)` and an inner `p ∈ [t_p·s_p, (t_p+1)·s_p)`.
+/// Unlisted parameters stay in the inner map. The outer map models the
+/// distribution across processes; propagating memlets through the inner map
+/// then yields per-process communication volumes (§4.1).
+pub fn map_tiling(tree: &mut ScopeTree, map_label: &str, tiles: &[TileSpec]) -> Result<(), String> {
+    let node = tree
+        .find_map_mut(map_label)
+        .ok_or_else(|| format!("no map labeled `{map_label}`"))?;
+    let Node::Map { label, params, body } = node else {
+        unreachable!()
+    };
+    for t in tiles {
+        if !params.iter().any(|p| p.name == t.param) {
+            return Err(format!("map `{map_label}` has no parameter `{}`", t.param));
+        }
+    }
+    let mut outer_params = Vec::new();
+    let mut inner_params = Vec::new();
+    for p in params.iter() {
+        if let Some(t) = tiles.iter().find(|t| t.param == p.name) {
+            let tp = format!("t{}", p.name);
+            outer_params.push(ParamRange::new(tp.clone(), SymExpr::int(0), t.num_tiles.clone()));
+            let tsym = SymExpr::sym(tp);
+            inner_params.push(ParamRange::new(
+                p.name.clone(),
+                tsym.clone() * t.tile_size.clone(),
+                (tsym + SymExpr::int(1)) * t.tile_size.clone(),
+            ));
+        } else {
+            inner_params.push(p.clone());
+        }
+    }
+    let inner = Node::map(format!("{label}_tile"), inner_params, std::mem::take(body));
+    *node = Node::map(label.clone(), outer_params, vec![inner]);
+    Ok(())
+}
+
+fn subset_params(subset: &Subset) -> Vec<String> {
+    let mut out = Vec::new();
+    for dim in &subset.0 {
+        match dim {
+            Dim::Index(e) => out.extend(e.symbols()),
+            Dim::Range(r) => {
+                out.extend(r.begin.symbols());
+                out.extend(r.end.symbols());
+            }
+            Dim::Indirect { args, .. } => {
+                for a in args {
+                    out.extend(a.symbols());
+                }
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn compute_params(inputs: &[Access], outputs: &[Access]) -> Vec<String> {
+    let mut out = Vec::new();
+    for acc in inputs.iter().chain(outputs) {
+        out.extend(subset_params(&acc.subset));
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// **Map fission** (Fig. 9): split a map whose body is several compute nodes
+/// into one map per compute. Each resulting map keeps only the parameters
+/// its compute actually uses (the transformation "automatically detects that
+/// the top-left and bottom maps are independent of the `j` symbol, and
+/// removes it").
+///
+/// Transient arrays exchanged between the fissioned computes must already be
+/// declared (and indexed) at full tensor rank — the builder in
+/// [`crate::library`] constructs them that way, matching the paper's
+/// statement that fission "substitutes the temporary matrices with
+/// multi-dimensional tensors".
+pub fn map_fission(tree: &mut ScopeTree, map_label: &str) -> Result<(), String> {
+    // Locate the map's position among its siblings.
+    let node = tree
+        .find_map_mut(map_label)
+        .ok_or_else(|| format!("no map labeled `{map_label}`"))?;
+    let Node::Map { params, body, .. } = node else {
+        unreachable!()
+    };
+    if body.len() < 2 {
+        return Err("map fission requires at least two compute nodes in the body".into());
+    }
+    if body.iter().any(|n| matches!(n, Node::Map { .. })) {
+        return Err("map fission over nested maps is not supported".into());
+    }
+    let params = params.clone();
+    let computes = std::mem::take(body);
+    let mut new_maps = Vec::new();
+    for compute in computes {
+        let Node::Compute {
+            label,
+            op,
+            inputs,
+            outputs,
+            flops,
+        } = compute
+        else {
+            unreachable!()
+        };
+        let used = compute_params(&inputs, &outputs);
+        let kept: Vec<ParamRange> = params
+            .iter()
+            .filter(|p| used.contains(&p.name))
+            .cloned()
+            .collect();
+        new_maps.push(Node::map(
+            format!("map_{label}"),
+            kept,
+            vec![Node::Compute {
+                label,
+                op,
+                inputs,
+                outputs,
+                flops,
+            }],
+        ));
+    }
+    // Replace the original map node with the first new map and append the
+    // rest as siblings. Simplest correct approach: rebuild at the tree
+    // level — the fissioned map must be a root or a direct child of a map.
+    replace_with_many(&mut tree.roots, map_label, new_maps)
+}
+
+fn replace_with_many(nodes: &mut Vec<Node>, label: &str, replacements: Vec<Node>) -> Result<(), String> {
+    if let Some(pos) = nodes.iter().position(|n| n.label() == label) {
+        nodes.splice(pos..pos + 1, replacements);
+        return Ok(());
+    }
+    for node in nodes.iter_mut() {
+        if let Node::Map { body, .. } = node {
+            if replace_with_many(body, label, replacements.clone()).is_ok() {
+                return Ok(());
+            }
+        }
+    }
+    Err(format!("node `{label}` not found for replacement"))
+}
+
+/// **Redundancy removal** (Fig. 10b): remove parameters that enter a map's
+/// computation only as offsets `kept − removed` where `kept` already spans
+/// the full dimension. `pairs` lists `(kept, removed)` parameter names.
+///
+/// Preconditions checked:
+/// 1. every *input* subset of the map's computes depends on `kept`/`removed`
+///    only through the affine combination `kept − removed`;
+/// 2. the output arrays are transient (we are free to re-shape them).
+///
+/// Effect: the `removed` parameters disappear from the map; input index
+/// expressions `kept − removed` are rewritten to `kept`; output dimensions
+/// indexed by pure `removed` are dropped from the array and its accesses.
+/// Downstream consumers of the re-shaped arrays have their reads rewritten
+/// from `[… kept_dim=kept, …, removed_dim=removed …]` to
+/// `[… kept_dim = kept − removed …]`.
+pub fn redundancy_removal(
+    tree: &mut ScopeTree,
+    map_label: &str,
+    pairs: &[(String, String)],
+) -> Result<(), String> {
+    let node = tree
+        .find_map_mut(map_label)
+        .ok_or_else(|| format!("no map labeled `{map_label}`"))?;
+    let Node::Map { params, body, .. } = node else {
+        unreachable!()
+    };
+    // Collect output arrays and their dims indexed by removed params.
+    let mut reshaped: Vec<(String, Vec<usize>)> = Vec::new(); // (array, dropped dims)
+    for n in body.iter() {
+        let Node::Compute { inputs, outputs, .. } = n else {
+            return Err("redundancy removal expects compute-only bodies".into());
+        };
+        for acc in inputs {
+            for dim in &acc.subset.0 {
+                check_offset_only(dim, pairs)?;
+            }
+        }
+        for acc in outputs {
+            let mut dropped = Vec::new();
+            for (d, dim) in acc.subset.0.iter().enumerate() {
+                if let Dim::Index(e) = dim {
+                    if let Some((_, removed)) = pairs
+                        .iter()
+                        .find(|(_, r)| e == &SymExpr::sym(r.clone()))
+                    {
+                        let _ = removed;
+                        dropped.push(d);
+                    }
+                }
+            }
+            reshaped.push((acc.array.clone(), dropped));
+        }
+    }
+    // Rewrite the map body.
+    for n in body.iter_mut() {
+        let Node::Compute { inputs, outputs, .. } = n else {
+            unreachable!()
+        };
+        for acc in inputs.iter_mut() {
+            for dim in acc.subset.0.iter_mut() {
+                rewrite_offset_to_kept(dim, pairs);
+            }
+        }
+        for acc in outputs.iter_mut() {
+            let (_, dropped) = reshaped
+                .iter()
+                .find(|(a, _)| a == &acc.array)
+                .expect("collected above");
+            let dims: Vec<Dim> = acc
+                .subset
+                .0
+                .iter()
+                .enumerate()
+                .filter(|(d, _)| !dropped.contains(d))
+                .map(|(_, dim)| dim.clone())
+                .collect();
+            acc.subset = Subset::new(dims);
+        }
+    }
+    // Remove the parameters from the map.
+    params.retain(|p| !pairs.iter().any(|(_, r)| r == &p.name));
+    // Re-shape the transient arrays and rewrite all other accesses in the tree.
+    for (array, dropped) in &reshaped {
+        if dropped.is_empty() {
+            continue;
+        }
+        let desc = tree
+            .arrays
+            .get_mut(array)
+            .ok_or_else(|| format!("unknown array `{array}`"))?;
+        if !desc.transient {
+            return Err(format!("cannot re-shape non-transient array `{array}`"));
+        }
+        desc.shape = desc
+            .shape
+            .iter()
+            .enumerate()
+            .filter(|(d, _)| !dropped.contains(d))
+            .map(|(_, s)| s.clone())
+            .collect();
+        rewrite_consumers(&mut tree.roots, map_label, array, dropped, pairs);
+    }
+    Ok(())
+}
+
+/// Check a dimension depends on the pair params only via `kept - removed`.
+fn check_offset_only(dim: &Dim, pairs: &[(String, String)]) -> Result<(), String> {
+    let exprs: Vec<&SymExpr> = match dim {
+        Dim::Index(e) => vec![e],
+        Dim::Range(r) => vec![&r.begin, &r.end],
+        Dim::Indirect { args, .. } => args.iter().collect(),
+    };
+    for e in exprs {
+        let syms = e.symbols();
+        for (kept, removed) in pairs {
+            let has_k = syms.contains(kept);
+            let has_r = syms.contains(removed);
+            if !has_k && !has_r {
+                continue;
+            }
+            let Some((coeffs, _)) = e.as_affine() else {
+                return Err(format!("non-affine dependence on `{kept}`/`{removed}`"));
+            };
+            let ck = coeffs.get(kept).copied().unwrap_or(0);
+            let cr = coeffs.get(removed).copied().unwrap_or(0);
+            if !(ck == 1 && cr == -1) {
+                return Err(format!(
+                    "input depends on `{kept}`,`{removed}` with coefficients ({ck},{cr}), not (1,-1)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rewrite `kept - removed` to `kept` in a dimension.
+fn rewrite_offset_to_kept(dim: &mut Dim, pairs: &[(String, String)]) {
+    let rewrite = |e: &SymExpr| -> SymExpr {
+        let mut out = e.clone();
+        for (_, removed) in pairs {
+            out = out.subs(removed, &SymExpr::int(0));
+        }
+        out
+    };
+    match dim {
+        Dim::Index(e) => *e = rewrite(e),
+        Dim::Range(r) => {
+            r.begin = rewrite(&r.begin);
+            r.end = rewrite(&r.end);
+        }
+        Dim::Indirect { args, .. } => {
+            for a in args.iter_mut() {
+                *a = rewrite(a);
+            }
+        }
+    }
+}
+
+/// Rewrite consumers of a re-shaped transient: reads that indexed the
+/// dropped `removed` dims now fold the offset into the kept dims
+/// (`[kz, E, qz, w, …] → [kz − qz, E − w, …]`).
+fn rewrite_consumers(
+    nodes: &mut [Node],
+    skip_map: &str,
+    array: &str,
+    dropped: &[usize],
+    pairs: &[(String, String)],
+) {
+    for node in nodes {
+        match node {
+            Node::Map { label, body, .. } => {
+                if label != skip_map {
+                    rewrite_consumers(body, skip_map, array, dropped, pairs);
+                }
+            }
+            Node::Compute { inputs, outputs, .. } => {
+                for acc in inputs.iter_mut().chain(outputs.iter_mut()) {
+                    if acc.array != array {
+                        continue;
+                    }
+                    // Fold each dropped dim's removed param into the
+                    // matching kept dim, then drop the dim.
+                    let mut dims = acc.subset.0.clone();
+                    for &d in dropped {
+                        if let Dim::Index(removed_expr) = &dims[d] {
+                            // Identify which removed param this dim holds.
+                            if let Some((kept, removed)) = pairs.iter().find(|(_, r)| {
+                                removed_expr == &SymExpr::sym(r.clone())
+                            }) {
+                                // Substitute kept -> kept - removed in all dims.
+                                for dim in dims.iter_mut() {
+                                    subtract_in_dim(dim, kept, removed);
+                                }
+                            }
+                        }
+                    }
+                    let dims: Vec<Dim> = dims
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(d, _)| !dropped.contains(d))
+                        .map(|(_, dim)| dim)
+                        .collect();
+                    acc.subset = Subset::new(dims);
+                }
+            }
+        }
+    }
+}
+
+fn subtract_in_dim(dim: &mut Dim, kept: &str, removed: &str) {
+    let sub = |e: &SymExpr| -> SymExpr {
+        e.subs(kept, &(SymExpr::sym(kept) - SymExpr::sym(removed)))
+    };
+    match dim {
+        Dim::Index(e) => {
+            if e.symbols().contains(&kept.to_string()) {
+                *e = sub(e);
+            }
+        }
+        Dim::Range(r) => {
+            if r.begin.symbols().contains(&kept.to_string()) {
+                r.begin = sub(&r.begin);
+            }
+            if r.end.symbols().contains(&kept.to_string()) {
+                r.end = sub(&r.end);
+            }
+        }
+        Dim::Indirect { .. } => {}
+    }
+}
+
+/// **Data-layout transformation** (Fig. 10c): permute the dimensions of an
+/// array so that batched operations access contiguous memory. Rewrites the
+/// array descriptor and every access in the tree: output dimension `d` is
+/// old dimension `perm[d]`.
+pub fn data_layout(tree: &mut ScopeTree, array: &str, perm: &[usize]) -> Result<(), String> {
+    let desc = tree
+        .arrays
+        .get_mut(array)
+        .ok_or_else(|| format!("unknown array `{array}`"))?;
+    if perm.len() != desc.shape.len() {
+        return Err(format!(
+            "permutation rank {} does not match array rank {}",
+            perm.len(),
+            desc.shape.len()
+        ));
+    }
+    let mut seen = vec![false; perm.len()];
+    for &p in perm {
+        if p >= perm.len() || seen[p] {
+            return Err("invalid permutation".into());
+        }
+        seen[p] = true;
+    }
+    desc.shape = perm.iter().map(|&p| desc.shape[p].clone()).collect();
+    fn rewrite(nodes: &mut [Node], array: &str, perm: &[usize]) {
+        for node in nodes {
+            match node {
+                Node::Map { body, .. } => rewrite(body, array, perm),
+                Node::Compute { inputs, outputs, .. } => {
+                    for acc in inputs.iter_mut().chain(outputs.iter_mut()) {
+                        if acc.array == array {
+                            acc.subset =
+                                Subset::new(perm.iter().map(|&p| acc.subset.0[p].clone()).collect());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    rewrite(&mut tree.roots, array, perm);
+    Ok(())
+}
+
+/// **Map expansion** (Fig. 11b): split one map into two nested maps, the
+/// outer holding `outer_params` (in their original order) and the inner the
+/// rest.
+pub fn map_expansion(tree: &mut ScopeTree, map_label: &str, inner_params: &[&str]) -> Result<(), String> {
+    let node = tree
+        .find_map_mut(map_label)
+        .ok_or_else(|| format!("no map labeled `{map_label}`"))?;
+    let Node::Map { label, params, body } = node else {
+        unreachable!()
+    };
+    for ip in inner_params {
+        if !params.iter().any(|p| &p.name == ip) {
+            return Err(format!("map `{map_label}` has no parameter `{ip}`"));
+        }
+    }
+    let (inner, outer): (Vec<ParamRange>, Vec<ParamRange>) = params
+        .clone()
+        .into_iter()
+        .partition(|p| inner_params.contains(&p.name.as_str()));
+    let inner_map = Node::map(format!("{label}_inner"), inner, std::mem::take(body));
+    *node = Node::map(label.clone(), outer, vec![inner_map]);
+    Ok(())
+}
+
+/// **Multiplication fusion** (Fig. 10d / 11c): absorb the listed map
+/// parameters into a single wide GEMM. The parameters are removed from the
+/// map; every access dimension that indexed them pointwise becomes a full
+/// range, and the compute node becomes [`OpKind::BatchedGemm`] with the
+/// absorbed batch volume (per-invocation flops scale by the same factor —
+/// the total flop count is unchanged, only the operation granularity).
+pub fn multiplication_fusion(
+    tree: &mut ScopeTree,
+    map_label: &str,
+    contract: &[&str],
+) -> Result<(), String> {
+    let node = tree
+        .find_map_mut(map_label)
+        .ok_or_else(|| format!("no map labeled `{map_label}`"))?;
+    let Node::Map { params, body, .. } = node else {
+        unreachable!()
+    };
+    if body.len() != 1 {
+        return Err("multiplication fusion expects a single compute in the map".into());
+    }
+    let mut contracted: Vec<ParamRange> = Vec::new();
+    for c in contract {
+        let Some(p) = params.iter().find(|p| &p.name == c) else {
+            return Err(format!("map `{map_label}` has no parameter `{c}`"));
+        };
+        contracted.push(p.clone());
+    }
+    params.retain(|p| !contract.contains(&p.name.as_str()));
+    let batch = contracted
+        .iter()
+        .fold(SymExpr::int(1), |a, p| a * p.range.length());
+    let Node::Compute {
+        op,
+        inputs,
+        outputs,
+        flops,
+        ..
+    } = &mut body[0]
+    else {
+        return Err("multiplication fusion expects a compute node".into());
+    };
+    if !matches!(op, OpKind::MatMul | OpKind::BatchedGemm { .. }) {
+        return Err("multiplication fusion applies to matrix-multiply computes".into());
+    }
+    for acc in inputs.iter_mut().chain(outputs.iter_mut()) {
+        for d in acc.subset.0.iter_mut() {
+            if let Dim::Index(e) = d {
+                let syms = e.symbols();
+                if contracted.iter().any(|p| syms.contains(&p.name)) {
+                    // Propagate the index over the contracted parameters
+                    // (Fig. 11b: `E − ω` over ω ∈ [0, Nω) becomes the
+                    // range `E − Nω + 1 : E + 1`).
+                    *d = Dim::Range(crate::propagate::propagate_index(e, &contracted));
+                }
+            }
+        }
+    }
+    *flops = (flops.clone() * batch.clone()).simplified();
+    *op = OpKind::BatchedGemm { batch };
+    Ok(())
+}
+
+/// **Map fusion** (Fig. 12): fuse sibling maps with identical leading
+/// parameters into one map over those parameters, nesting each original
+/// body under the remaining parameters. Transient arrays whose dimensions
+/// are indexed pointwise by the fused parameters lose those dimensions —
+/// this is the memory-footprint reduction the paper closes §4.2 with.
+pub fn map_fusion(
+    tree: &mut ScopeTree,
+    labels: &[&str],
+    fused_params: &[&str],
+    fused_label: &str,
+) -> Result<(), String> {
+    // Extract the maps (must all be roots or siblings under one parent —
+    // we support roots, which is where fission left them).
+    let mut extracted: Vec<Node> = Vec::new();
+    for &l in labels {
+        let pos = tree
+            .roots
+            .iter()
+            .position(|n| n.label() == l)
+            .ok_or_else(|| format!("map `{l}` is not a root of the tree"))?;
+        extracted.push(tree.roots.remove(pos));
+    }
+    // Verify each contains the fused params and build its residual map.
+    let mut fused_ranges: Option<Vec<ParamRange>> = None;
+    let mut new_body: Vec<Node> = Vec::new();
+    for node in extracted {
+        let Node::Map { label, params, body } = node else {
+            return Err("map fusion applies to map nodes".into());
+        };
+        let (shared, residual): (Vec<ParamRange>, Vec<ParamRange>) = params
+            .into_iter()
+            .partition(|p| fused_params.contains(&p.name.as_str()));
+        if shared.len() != fused_params.len() {
+            return Err(format!("map `{label}` lacks some fused parameters"));
+        }
+        match &fused_ranges {
+            None => fused_ranges = Some(shared),
+            Some(existing) => {
+                for (a, b) in existing.iter().zip(&shared) {
+                    if a.name != b.name || a.range != b.range {
+                        return Err("fused parameter ranges differ between maps".into());
+                    }
+                }
+            }
+        }
+        if residual.is_empty() {
+            new_body.extend(body);
+        } else {
+            new_body.push(Node::map(format!("{label}_rest"), residual, body));
+        }
+    }
+    let fused = Node::map(
+        fused_label,
+        fused_ranges.expect("at least one map"),
+        new_body,
+    );
+    tree.roots.push(fused);
+    // Shrink transients: drop dims indexed pointwise by fused params
+    // everywhere they appear.
+    let transient_names: Vec<String> = tree
+        .arrays
+        .iter()
+        .filter(|(_, d)| d.transient)
+        .map(|(n, _)| n.clone())
+        .collect();
+    for name in transient_names {
+        shrink_transient(tree, &name, fused_params)?;
+    }
+    Ok(())
+}
+
+/// Drop the dimensions of `array` that every access indexes with exactly one
+/// of `params` (pointwise). No-op if accesses disagree.
+fn shrink_transient(tree: &mut ScopeTree, array: &str, params: &[&str]) -> Result<(), String> {
+    // Gather all accesses' subsets.
+    let mut subsets: Vec<Subset> = Vec::new();
+    fn gather(nodes: &[Node], array: &str, out: &mut Vec<Subset>) {
+        for n in nodes {
+            match n {
+                Node::Map { body, .. } => gather(body, array, out),
+                Node::Compute { inputs, outputs, .. } => {
+                    for acc in inputs.iter().chain(outputs) {
+                        if acc.array == array {
+                            out.push(acc.subset.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gather(&tree.roots, array, &mut subsets);
+    if subsets.is_empty() {
+        return Ok(());
+    }
+    let ndim = subsets[0].ndim();
+    let mut droppable: Vec<usize> = Vec::new();
+    for d in 0..ndim {
+        let all_param_indexed = subsets.iter().all(|s| {
+            matches!(&s.0[d], Dim::Index(e)
+                if params.iter().any(|p| e == &SymExpr::sym(p.to_string())))
+        });
+        if all_param_indexed {
+            droppable.push(d);
+        }
+    }
+    if droppable.is_empty() {
+        return Ok(());
+    }
+    let desc = tree.arrays.get_mut(array).expect("exists");
+    desc.shape = desc
+        .shape
+        .iter()
+        .enumerate()
+        .filter(|(d, _)| !droppable.contains(d))
+        .map(|(_, s)| s.clone())
+        .collect();
+    fn rewrite(nodes: &mut [Node], array: &str, droppable: &[usize]) {
+        for n in nodes {
+            match n {
+                Node::Map { body, .. } => rewrite(body, array, droppable),
+                Node::Compute { inputs, outputs, .. } => {
+                    for acc in inputs.iter_mut().chain(outputs.iter_mut()) {
+                        if acc.array == array {
+                            acc.subset = Subset::new(
+                                acc.subset
+                                    .0
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(d, _)| !droppable.contains(d))
+                                    .map(|(_, dim)| dim.clone())
+                                    .collect(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    rewrite(&mut tree.roots, array, &droppable);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stree::{ArrayDesc, Dtype};
+    use crate::symexpr::Bindings;
+
+    fn bind(pairs: &[(&str, i64)]) -> Bindings {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v)).collect()
+    }
+
+    /// map [i=0:M]: B[i] = f(A[i]) — tile i by 4 tiles of size s.
+    #[test]
+    fn tiling_splits_ranges() {
+        let mut t = ScopeTree::new("t");
+        let m = SymExpr::sym("M");
+        t.add_array("A", ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false));
+        t.add_array("B", ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false));
+        t.roots.push(Node::map(
+            "work",
+            vec![ParamRange::new("i", 0, m.clone())],
+            vec![Node::compute(
+                "f",
+                OpKind::Tasklet,
+                vec![Access::read("A", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
+                vec![Access::write("B", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
+                SymExpr::int(1),
+            )],
+        ));
+        map_tiling(
+            &mut t,
+            "work",
+            &[TileSpec::new("i", SymExpr::sym("Ti"), SymExpr::sym("si"))],
+        )
+        .unwrap();
+        assert!(t.validate().is_ok());
+        assert_eq!(t.num_maps(), 2);
+        // Outer map runs over ti ∈ [0, Ti); inner over [ti*si, (ti+1)*si).
+        let Node::Map { params, body, .. } = t.find_map("work").unwrap() else {
+            panic!()
+        };
+        assert_eq!(params[0].name, "ti");
+        let Node::Map { params: inner, .. } = &body[0] else {
+            panic!()
+        };
+        let b = bind(&[("ti", 2), ("si", 10), ("M", 40), ("Ti", 4)]);
+        assert_eq!(inner[0].range.begin.eval(&b).unwrap(), 20);
+        assert_eq!(inner[0].range.end.eval(&b).unwrap(), 30);
+        // Total accesses unchanged: Ti*si iterations.
+        let stats = t.stats(&b, &[]);
+        assert_eq!(stats.accesses["A"], 40);
+    }
+
+    fn fission_fixture() -> ScopeTree {
+        // map [i=0:M, j=0:N]:
+        //   tmp[i, j] = A[i] * W[j]        (uses i, j)
+        //   OUT[i] += tmp[i, j]            (uses i, j)
+        //   AUX[j] = W[j] * W[j]           (uses j only)
+        let mut t = ScopeTree::new("fiss");
+        let m = SymExpr::sym("M");
+        let n = SymExpr::sym("N");
+        t.add_array("A", ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false));
+        t.add_array("W", ArrayDesc::new(vec![n.clone()], Dtype::Complex128, false));
+        t.add_array("OUT", ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false));
+        t.add_array("AUX", ArrayDesc::new(vec![n.clone()], Dtype::Complex128, false));
+        t.add_array("tmp", ArrayDesc::new(vec![m.clone(), n.clone()], Dtype::Complex128, true));
+        let i = SymExpr::sym("i");
+        let j = SymExpr::sym("j");
+        t.roots.push(Node::map(
+            "big",
+            vec![ParamRange::new("i", 0, m), ParamRange::new("j", 0, n)],
+            vec![
+                Node::compute(
+                    "mul",
+                    OpKind::Tasklet,
+                    vec![
+                        Access::read("A", Subset::new(vec![Dim::idx(i.clone())])),
+                        Access::read("W", Subset::new(vec![Dim::idx(j.clone())])),
+                    ],
+                    vec![Access::write(
+                        "tmp",
+                        Subset::new(vec![Dim::idx(i.clone()), Dim::idx(j.clone())]),
+                    )],
+                    SymExpr::int(6),
+                ),
+                Node::compute(
+                    "reduce",
+                    OpKind::Tasklet,
+                    vec![Access::read(
+                        "tmp",
+                        Subset::new(vec![Dim::idx(i.clone()), Dim::idx(j.clone())]),
+                    )],
+                    vec![Access::accumulate("OUT", Subset::new(vec![Dim::idx(i.clone())]))],
+                    SymExpr::int(2),
+                ),
+                Node::compute(
+                    "aux",
+                    OpKind::Tasklet,
+                    vec![Access::read("W", Subset::new(vec![Dim::idx(j.clone())]))],
+                    vec![Access::write("AUX", Subset::new(vec![Dim::idx(j.clone())]))],
+                    SymExpr::int(6),
+                ),
+            ],
+        ));
+        t
+    }
+
+    #[test]
+    fn fission_prunes_unused_params() {
+        let mut t = fission_fixture();
+        let b = bind(&[("M", 8), ("N", 3)]);
+        let before = t.stats(&b, &[]);
+        map_fission(&mut t, "big").unwrap();
+        assert!(t.validate().is_ok());
+        assert_eq!(t.roots.len(), 3);
+        // `aux` map must have dropped `i`: its W accesses fall from M*N to N.
+        let Node::Map { params, .. } = t.find_map("map_aux").unwrap() else {
+            panic!()
+        };
+        assert_eq!(params.len(), 1);
+        assert_eq!(params[0].name, "j");
+        let after = t.stats(&b, &[]);
+        // W read by `mul` (M*N) + `aux` (now N instead of M*N).
+        assert_eq!(before.accesses["W"], 8 * 3 + 8 * 3);
+        assert_eq!(after.accesses["W"], 8 * 3 + 3);
+        // aux flops shrink by factor M.
+        assert_eq!(before.flops - after.flops, 6 * (8 * 3 - 3));
+    }
+
+    #[test]
+    fn redundancy_removal_drops_offset_params() {
+        // map [k=0:K, q=0:Q]: T[k, q] = G[k - q]  →  map [k=0:K]: T[k] = G[k]
+        let mut t = ScopeTree::new("rr");
+        let kk = SymExpr::sym("K");
+        let qq = SymExpr::sym("Q");
+        t.add_array("G", ArrayDesc::new(vec![kk.clone()], Dtype::Complex128, false));
+        t.add_array("T", ArrayDesc::new(vec![kk.clone(), qq.clone()], Dtype::Complex128, true));
+        t.add_array("OUT", ArrayDesc::new(vec![kk.clone(), qq.clone()], Dtype::Complex128, false));
+        let k = SymExpr::sym("k");
+        let q = SymExpr::sym("q");
+        t.roots.push(Node::map(
+            "produce",
+            vec![
+                ParamRange::new("k", 0, kk.clone()),
+                ParamRange::new("q", 0, qq.clone()),
+            ],
+            vec![Node::compute(
+                "copy",
+                OpKind::Tasklet,
+                vec![Access::read(
+                    "G",
+                    Subset::new(vec![Dim::idx(k.clone() - q.clone())]),
+                )],
+                vec![Access::write(
+                    "T",
+                    Subset::new(vec![Dim::idx(k.clone()), Dim::idx(q.clone())]),
+                )],
+                SymExpr::int(1),
+            )],
+        ));
+        // A consumer reading T[k, q].
+        t.roots.push(Node::map(
+            "consume",
+            vec![
+                ParamRange::new("k", 0, kk.clone()),
+                ParamRange::new("q", 0, qq.clone()),
+            ],
+            vec![Node::compute(
+                "use",
+                OpKind::Tasklet,
+                vec![Access::read(
+                    "T",
+                    Subset::new(vec![Dim::idx(k.clone()), Dim::idx(q.clone())]),
+                )],
+                vec![Access::write(
+                    "OUT",
+                    Subset::new(vec![Dim::idx(k.clone()), Dim::idx(q.clone())]),
+                )],
+                SymExpr::int(1),
+            )],
+        ));
+        redundancy_removal(&mut t, "produce", &[("k".to_string(), "q".to_string())]).unwrap();
+        assert!(t.validate().is_ok());
+        // Producer lost q.
+        let Node::Map { params, .. } = t.find_map("produce").unwrap() else {
+            panic!()
+        };
+        assert_eq!(params.len(), 1);
+        // T is now 1-D.
+        assert_eq!(t.arrays["T"].shape.len(), 1);
+        // Consumer reads T[k - q].
+        let Node::Map { body, .. } = t.find_map("consume").unwrap() else {
+            panic!()
+        };
+        let Node::Compute { inputs, .. } = &body[0] else {
+            panic!()
+        };
+        assert_eq!(inputs[0].subset.0.len(), 1);
+        let Dim::Index(e) = &inputs[0].subset.0[0] else {
+            panic!()
+        };
+        assert_eq!(e, &(k.clone() - q.clone()));
+        // Producer flop volume drops by factor Q.
+        let b = bind(&[("K", 10), ("Q", 4)]);
+        let stats = t.stats(&b, &[]);
+        assert_eq!(stats.accesses["G"], 10);
+    }
+
+    #[test]
+    fn redundancy_removal_rejects_wrong_pattern() {
+        // G[k + q] has coefficients (1, 1): not removable.
+        let mut t = ScopeTree::new("rr2");
+        let kk = SymExpr::sym("K");
+        t.add_array("G", ArrayDesc::new(vec![kk.clone()], Dtype::Complex128, false));
+        t.add_array("T", ArrayDesc::new(vec![kk.clone()], Dtype::Complex128, true));
+        let k = SymExpr::sym("k");
+        let q = SymExpr::sym("q");
+        t.roots.push(Node::map(
+            "produce",
+            vec![
+                ParamRange::new("k", 0, kk.clone()),
+                ParamRange::new("q", 0, 4),
+            ],
+            vec![Node::compute(
+                "copy",
+                OpKind::Tasklet,
+                vec![Access::read("G", Subset::new(vec![Dim::idx(k.clone() + q.clone())]))],
+                vec![Access::write("T", Subset::new(vec![Dim::idx(k.clone())]))],
+                SymExpr::int(1),
+            )],
+        ));
+        assert!(redundancy_removal(&mut t, "produce", &[("k".to_string(), "q".to_string())]).is_err());
+    }
+
+    #[test]
+    fn data_layout_permutes_shapes_and_accesses() {
+        let mut t = ScopeTree::new("dl");
+        t.add_array(
+            "X",
+            ArrayDesc::new(
+                vec![SymExpr::sym("A"), SymExpr::sym("B"), SymExpr::sym("C")],
+                Dtype::Complex128,
+                false,
+            ),
+        );
+        t.roots.push(Node::map(
+            "m",
+            vec![ParamRange::new("a", 0, SymExpr::sym("A"))],
+            vec![Node::compute(
+                "c",
+                OpKind::Tasklet,
+                vec![Access::read(
+                    "X",
+                    Subset::new(vec![
+                        Dim::idx(SymExpr::sym("a")),
+                        Dim::full(SymExpr::sym("B")),
+                        Dim::full(SymExpr::sym("C")),
+                    ]),
+                )],
+                vec![],
+                SymExpr::int(1),
+            )],
+        ));
+        data_layout(&mut t, "X", &[1, 2, 0]).unwrap();
+        assert_eq!(t.arrays["X"].shape[0], SymExpr::sym("B"));
+        assert_eq!(t.arrays["X"].shape[2], SymExpr::sym("A"));
+        let Node::Map { body, .. } = t.find_map("m").unwrap() else {
+            panic!()
+        };
+        let Node::Compute { inputs, .. } = &body[0] else {
+            panic!()
+        };
+        assert!(matches!(&inputs[0].subset.0[2], Dim::Index(e) if e == &SymExpr::sym("a")));
+        // Bad permutation rejected.
+        assert!(data_layout(&mut t, "X", &[0, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn expansion_nests_params() {
+        let mut t = ScopeTree::new("ex");
+        t.add_array("A", ArrayDesc::new(vec![SymExpr::sym("N")], Dtype::Complex128, false));
+        t.roots.push(Node::map(
+            "m",
+            vec![
+                ParamRange::new("i", 0, SymExpr::sym("N")),
+                ParamRange::new("w", 0, SymExpr::sym("W")),
+            ],
+            vec![Node::compute(
+                "c",
+                OpKind::Tasklet,
+                vec![Access::read("A", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
+                vec![],
+                SymExpr::int(1),
+            )],
+        ));
+        map_expansion(&mut t, "m", &["w"]).unwrap();
+        assert_eq!(t.num_maps(), 2);
+        let Node::Map { params, body, .. } = t.find_map("m").unwrap() else {
+            panic!()
+        };
+        assert_eq!(params.len(), 1);
+        assert_eq!(params[0].name, "i");
+        let Node::Map { params: inner, .. } = &body[0] else {
+            panic!()
+        };
+        assert_eq!(inner[0].name, "w");
+    }
+
+    #[test]
+    fn fusion_contracts_batch_into_gemm() {
+        // map [a=0:NA, e=0:NE]: OUT[a, e] = M1[a, e] @ M2  (Norb^3 matmul)
+        let mut t = ScopeTree::new("mf");
+        let na = SymExpr::sym("NA");
+        let ne = SymExpr::sym("NE");
+        t.add_array("M1", ArrayDesc::new(vec![na.clone(), ne.clone()], Dtype::Complex128, false));
+        t.add_array("OUT", ArrayDesc::new(vec![na.clone(), ne.clone()], Dtype::Complex128, false));
+        t.roots.push(Node::map(
+            "m",
+            vec![
+                ParamRange::new("a", 0, na.clone()),
+                ParamRange::new("e", 0, ne.clone()),
+            ],
+            vec![Node::compute(
+                "mm",
+                OpKind::MatMul,
+                vec![Access::read(
+                    "M1",
+                    Subset::new(vec![Dim::idx(SymExpr::sym("a")), Dim::idx(SymExpr::sym("e"))]),
+                )],
+                vec![Access::write(
+                    "OUT",
+                    Subset::new(vec![Dim::idx(SymExpr::sym("a")), Dim::idx(SymExpr::sym("e"))]),
+                )],
+                SymExpr::int(100),
+            )],
+        ));
+        let b = bind(&[("NA", 4), ("NE", 6)]);
+        let before = t.stats(&b, &[]);
+        multiplication_fusion(&mut t, "m", &["e"]).unwrap();
+        assert!(t.validate().is_ok());
+        let after = t.stats(&b, &[]);
+        // Same total flop, fewer larger invocations.
+        assert_eq!(before.flops, after.flops);
+        let Node::Map { params, body, .. } = t.find_map("m").unwrap() else {
+            panic!()
+        };
+        assert_eq!(params.len(), 1);
+        let Node::Compute { op, inputs, .. } = &body[0] else {
+            panic!()
+        };
+        assert!(matches!(op, OpKind::BatchedGemm { .. }));
+        assert!(matches!(&inputs[0].subset.0[1], Dim::Range(_)));
+    }
+
+    #[test]
+    fn map_fusion_shrinks_transients() {
+        // Two root maps over (a), exchanging transient T[a, x].
+        let mut t = ScopeTree::new("fuse");
+        let na = SymExpr::sym("NA");
+        let nx = SymExpr::sym("NX");
+        t.add_array("IN", ArrayDesc::new(vec![na.clone(), nx.clone()], Dtype::Complex128, false));
+        t.add_array("T", ArrayDesc::new(vec![na.clone(), nx.clone()], Dtype::Complex128, true));
+        t.add_array("OUT", ArrayDesc::new(vec![na.clone(), nx.clone()], Dtype::Complex128, false));
+        let a = SymExpr::sym("a");
+        let x = SymExpr::sym("x");
+        t.roots.push(Node::map(
+            "p1",
+            vec![
+                ParamRange::new("a", 0, na.clone()),
+                ParamRange::new("x", 0, nx.clone()),
+            ],
+            vec![Node::compute(
+                "w",
+                OpKind::Tasklet,
+                vec![Access::read("IN", Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]))],
+                vec![Access::write("T", Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]))],
+                SymExpr::int(1),
+            )],
+        ));
+        t.roots.push(Node::map(
+            "p2",
+            vec![
+                ParamRange::new("a", 0, na.clone()),
+                ParamRange::new("x", 0, nx.clone()),
+            ],
+            vec![Node::compute(
+                "r",
+                OpKind::Tasklet,
+                vec![Access::read("T", Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]))],
+                vec![Access::write("OUT", Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]))],
+                SymExpr::int(1),
+            )],
+        ));
+        let b = bind(&[("NA", 10), ("NX", 7)]);
+        let before = t.stats(&b, &[]);
+        assert_eq!(before.transient_bytes, 10 * 7 * 16);
+        map_fusion(&mut t, &["p1", "p2"], &["a"], "fused").unwrap();
+        assert!(t.validate().is_ok());
+        // T lost the `a` dimension: footprint / NA.
+        let after = t.stats(&b, &[]);
+        assert_eq!(after.transient_bytes, 7 * 16);
+        assert_eq!(t.arrays["T"].shape.len(), 1);
+        assert_eq!(t.roots.len(), 1);
+        // Semantics-preserving for movement on non-transients.
+        assert_eq!(before.accesses["IN"], after.accesses["IN"]);
+        assert_eq!(before.accesses["OUT"], after.accesses["OUT"]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Communication planner: given a device and a cluster, compare the OMEN
+//! and DaCe (communication-avoiding) SSE exchange volumes and search the
+//! optimal `(TE, TA)` tiling (§4.1 / Tables 4–5) — the planning workflow a
+//! performance engineer runs before submitting a job.
+//!
+//! ```sh
+//! cargo run --release --example comm_planner [nkz] [procs]
+//! ```
+
+use dace_omen::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nkz: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let procs: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1792);
+
+    let p = SimParams::paper_si_4864(nkz);
+    println!("== SSE communication planner ==");
+    println!(
+        "device: NA={}, NB={}, Norb={}, NE={}, Nw={}, Nkz=Nqz={}",
+        p.na, p.nb, p.norb, p.ne, p.nw, p.nkz
+    );
+    println!("processes: {procs}\n");
+
+    let tib = |b: f64| b / (1u64 << 40) as f64;
+
+    let omen = volume::omen_total_bytes(&p, procs);
+    println!("OMEN (momentum x energy decomposition):");
+    println!(
+        "  G replication : {:8.2} TiB",
+        tib(volume::omen_g_bytes_per_proc(&p, procs) * procs as f64)
+    );
+    println!(
+        "  D / Pi rounds : {:8.2} TiB",
+        tib(volume::omen_d_bytes_per_proc(&p) * procs as f64)
+    );
+    println!("  total         : {:8.2} TiB\n", tib(omen));
+
+    match optimal_tiling(&p, procs) {
+        Some(t) => {
+            println!("DaCe (energy x atom tiling, exhaustive search):");
+            println!("  optimal tiling: TE = {}, TA = {}", t.te, t.ta);
+            println!("  total         : {:8.3} TiB", tib(t.total_bytes));
+            println!("  reduction     : {:8.1}x\n", omen / t.total_bytes);
+            // Show the neighborhood of the optimum.
+            println!("  {:>6} {:>6} {:>12}", "TE", "TA", "TiB");
+            let mut shown = 0;
+            for te in 1..=p.nkz.max(64) {
+                if !procs.is_multiple_of(te) {
+                    continue;
+                }
+                let ta = procs / te;
+                if ta > p.na || te > p.ne {
+                    continue;
+                }
+                println!(
+                    "  {te:>6} {ta:>6} {:>12.3}{}",
+                    tib(volume::dace_total_bytes(&p, te, ta)),
+                    if (te, ta) == (t.te, t.ta) { "  <- optimal" } else { "" }
+                );
+                shown += 1;
+                if shown > 12 {
+                    break;
+                }
+            }
+        }
+        None => println!("no feasible (TE, TA) tiling for {procs} processes"),
+    }
+
+    // Memory feasibility on both machines (§5.2.1).
+    println!("\nper-rank memory feasibility:");
+    use dace_omen::model::memory;
+    for m in [&PIZ_DAINT, &SUMMIT] {
+        let omen_gb = memory::omen_bytes_per_rank(&p, procs) / 1e9;
+        let fits_omen = memory::fits(omen_gb * 1e9, m, memory::node_memory(m));
+        let dace_gb = optimal_tiling(&p, procs)
+            .map(|t| memory::dace_bytes_per_rank(&p, t.te, t.ta) / 1e9)
+            .unwrap_or(f64::NAN);
+        let fits_dace = memory::fits(dace_gb * 1e9, m, memory::node_memory(m));
+        println!(
+            "  {:<10}: OMEN {omen_gb:7.1} GB/rank [{}] | DaCe {dace_gb:7.2} GB/rank [{}]",
+            m.name,
+            if fits_omen { "fits" } else { "DOES NOT FIT" },
+            if fits_dace { "fits" } else { "DOES NOT FIT" },
+        );
+    }
+
+    // Predicted iteration times on both machines.
+    println!("\npredicted time per GF+SSE iteration (alpha-beta model):");
+    for m in [&PIZ_DAINT, &SUMMIT] {
+        let nodes = (procs / m.procs_per_node).max(1);
+        let omen_t = predict(&p, m, nodes, Variant::Omen);
+        let dace_t = predict(&p, m, nodes, Variant::Dace);
+        println!(
+            "  {:<10} ({} nodes): OMEN {:9.1} s | DaCe {:8.1} s | speedup {:5.1}x",
+            m.name,
+            nodes,
+            omen_t.total(),
+            dace_t.total(),
+            omen_t.total() / dace_t.total()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: run a small dissipative quantum-transport simulation
+//! end-to-end — build a device, iterate the GF ↔ SSE loop to convergence
+//! (Fig. 2), and print current and convergence history.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dace_omen::prelude::*;
+
+fn main() {
+    // A small FinFET slice: 32 atoms in 8 transport slabs, 2 orbitals per
+    // atom, 3 momentum points, 24 energies, 4 phonon frequencies.
+    let params = SimParams {
+        nkz: 3,
+        nqz: 3,
+        ne: 24,
+        nw: 4,
+        na: 32,
+        nb: 4,
+        norb: 2,
+        bnum: 8,
+    };
+    params.validate().expect("parameters consistent");
+    println!("== dissipative NEGF quickstart ==");
+    println!(
+        "device: NA={} atoms, {} slabs, Norb={}, grid {}x{} (kz x E), {} phonon frequencies",
+        params.na, params.bnum, params.norb, params.nkz, params.ne, params.nw
+    );
+
+    let sim = Simulation::new(params, -1.2, 1.2);
+    let mut cfg = ScfConfig {
+        max_iterations: 35,
+        tolerance: 1e-6,
+        variant: SseVariant::Dace,
+        ..Default::default()
+    };
+    cfg.gf.contacts = Contacts {
+        mu_left: 0.25,
+        mu_right: -0.25,
+        temperature: 300.0,
+    };
+
+    let (result, flop) = qt_linalg::count_flops(|| run_scf(&sim, &cfg).expect("SCF solve"));
+
+    println!("\nself-consistent Born loop ({:?} SSE kernel):", cfg.variant);
+    println!(
+        "  converged: {} after {} iterations ({:.2} Gflop total)",
+        result.converged,
+        result.iterations,
+        flop as f64 / 1e9
+    );
+    for (i, (res, cur)) in result
+        .residuals
+        .iter()
+        .zip(result.current_history.iter().skip(1))
+        .enumerate()
+    {
+        println!("  iter {:>2}: |dG|/|G| = {res:9.3e}   I = {cur:.6}", i + 2);
+    }
+    println!(
+        "\nballistic current (iter 1): {:.6}",
+        result.current_history[0]
+    );
+    println!(
+        "dissipative current:        {:.6}",
+        result.current_history.last().unwrap()
+    );
+
+    // Observables.
+    let power =
+        observables::dissipated_power_per_atom(&sim.p, &sim.grids, &result.sigma, &result.electron);
+    let total: f64 = power.iter().sum();
+    println!("total dissipated power: {total:.3e} (arb. units)");
+    let dens = observables::electron_density(&sim.p, &sim.grids, &result.electron);
+    println!(
+        "electron density range: [{:.4}, {:.4}]",
+        dens.iter().cloned().fold(f64::INFINITY, f64::min),
+        dens.iter().cloned().fold(0.0, f64::max)
+    );
+}

@@ -1,0 +1,151 @@
+//! Property-based integration tests (proptest) over the core numerical
+//! invariants: linear algebra, symbolic propagation, partitions, and the
+//! physics identities that must hold for *any* valid configuration.
+
+use dace_omen::linalg::{c64, eigh, invert, CsrMatrix, Lu, Matrix};
+use dace_omen::sdfg::{propagate_index, ParamRange, SymExpr};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn seeded_matrix(n: usize, seed: u64) -> Matrix {
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    Matrix::random(n, n, &mut r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)·C == A·(B·C) for random complex matrices.
+    #[test]
+    fn gemm_associative(seed in 0u64..5000, n in 1usize..12) {
+        let a = seeded_matrix(n, seed);
+        let b = seeded_matrix(n, seed ^ 1);
+        let c = seeded_matrix(n, seed ^ 2);
+        let lhs = a.matmul(&b).matmul(&c);
+        let rhs = a.matmul(&b.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9 * (1.0 + lhs.max_abs()));
+    }
+
+    /// LU solves reproduce the right-hand side.
+    #[test]
+    fn lu_residual_small(seed in 0u64..5000, n in 1usize..10) {
+        let mut a = seeded_matrix(n, seed);
+        for i in 0..n {
+            a[(i, i)] += c64(3.0, 0.5); // keep well-conditioned
+        }
+        let b = seeded_matrix(n, seed ^ 7);
+        let x = Lu::factor(&a).unwrap().solve(&b);
+        let resid = &a.matmul(&x) - &b;
+        prop_assert!(resid.max_abs() < 1e-9);
+    }
+
+    /// Inverse of the inverse is the original.
+    #[test]
+    fn double_inverse(seed in 0u64..5000, n in 1usize..9) {
+        let mut a = seeded_matrix(n, seed);
+        for i in 0..n {
+            a[(i, i)] += c64(4.0, 1.0);
+        }
+        let back = invert(&invert(&a).unwrap()).unwrap();
+        prop_assert!(back.max_abs_diff(&a) < 1e-8);
+    }
+
+    /// Sparse×dense equals densified product for any sparsity pattern.
+    #[test]
+    fn csr_matches_dense(seed in 0u64..5000, m in 1usize..8, k in 1usize..8, n in 1usize..8, density in 0.05f64..0.9) {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng as _;
+        let dense_a = Matrix::from_fn(m, k, |_, _| {
+            if r.random_range(0.0..1.0) < density {
+                c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0))
+            } else {
+                dace_omen::linalg::Complex64::ZERO
+            }
+        });
+        let sp = CsrMatrix::from_dense(&dense_a, 0.0);
+        let b = Matrix::random(k, n, &mut r);
+        let got = sp.mul_dense(&b);
+        let expect = dense_a.matmul(&b);
+        prop_assert!(got.max_abs_diff(&expect) < 1e-10);
+    }
+
+    /// Hermitian eigendecomposition: reconstruction and unitarity.
+    #[test]
+    fn eigh_reconstructs(seed in 0u64..5000, n in 1usize..8) {
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        let h = Matrix::random_hermitian(n, &mut r);
+        let e = eigh(&h);
+        let av = h.matmul(&e.vectors);
+        let vl = Matrix::from_fn(n, n, |i, j| e.vectors[(i, j)].scale(e.values[j]));
+        prop_assert!(av.max_abs_diff(&vl) < 1e-8);
+    }
+
+    /// Symbolic index propagation bounds every concrete access: for any
+    /// affine expression c1·x + c2·y + c0 over box ranges, each concrete
+    /// value lies in the propagated interval.
+    #[test]
+    fn propagation_bounds_concrete_accesses(
+        c1 in -4i64..5, c2 in -4i64..5, c0 in -10i64..10,
+        x_lo in 0i64..6, x_len in 1i64..6,
+        y_lo in 0i64..6, y_len in 1i64..6,
+    ) {
+        let e = SymExpr::int(c1) * SymExpr::sym("x")
+            + SymExpr::int(c2) * SymExpr::sym("y")
+            + SymExpr::int(c0);
+        let params = vec![
+            ParamRange::new("x", x_lo, x_lo + x_len),
+            ParamRange::new("y", y_lo, y_lo + y_len),
+        ];
+        let r = propagate_index(&e, &params);
+        let empty: dace_omen::sdfg::Bindings = Default::default();
+        let lo = r.begin.eval(&empty).unwrap();
+        let hi = r.end.eval(&empty).unwrap();
+        for x in x_lo..x_lo + x_len {
+            for y in y_lo..y_lo + y_len {
+                let v = c1 * x + c2 * y + c0;
+                prop_assert!(lo <= v && v < hi, "{v} outside [{lo}, {hi})");
+            }
+        }
+    }
+
+    /// Simplification preserves the value of symbolic expressions.
+    #[test]
+    fn simplification_preserves_value(a in -20i64..20, b in -20i64..20, x in -50i64..50) {
+        let e = (SymExpr::sym("x") + SymExpr::int(a)) - SymExpr::sym("x")
+            + SymExpr::int(b) * (SymExpr::sym("x") - SymExpr::sym("x"))
+            + SymExpr::int(2) * SymExpr::sym("x");
+        let bind: dace_omen::sdfg::Bindings =
+            [("x".to_string(), x)].into_iter().collect();
+        let direct = e.eval(&bind).unwrap();
+        let simplified = e.simplified().eval(&bind).unwrap();
+        prop_assert_eq!(direct, simplified);
+        prop_assert_eq!(direct, a + 2 * x);
+    }
+
+    /// Block partitions cover exactly without overlap for any sizes.
+    #[test]
+    fn partition_exactness(total in 1usize..200, parts_seed in 1usize..50) {
+        let parts = parts_seed.min(total);
+        let bp = dace_omen::dist::decomp::BlockPartition::new(total, parts);
+        let mut count = 0;
+        for i in 0..parts {
+            let r = bp.range(i);
+            for idx in r {
+                prop_assert_eq!(bp.owner(idx), i);
+                count += 1;
+            }
+        }
+        prop_assert_eq!(count, total);
+    }
+
+    /// DaCe volume formula is monotone: more atoms per tile (smaller TA)
+    /// never decreases per-process G traffic.
+    #[test]
+    fn dace_volume_monotone_in_tile_size(nkz in 1usize..22, ta_small in 1usize..16) {
+        let p = dace_omen::core::params::SimParams::paper_si_4864(nkz.max(1));
+        let ta_large = ta_small * 2;
+        let per_small = dace_omen::dist::volume::dace_g_bytes_per_proc(&p, nkz, ta_large);
+        let per_large = dace_omen::dist::volume::dace_g_bytes_per_proc(&p, nkz, ta_small);
+        prop_assert!(per_large >= per_small);
+    }
+}

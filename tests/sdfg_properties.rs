@@ -1,0 +1,129 @@
+//! Property-based tests of the SDFG transformation pipeline: for *any*
+//! valid (small) parameter binding, the §4.2 rewrites must apply cleanly,
+//! preserve the observable coverage of non-transient arrays, and strictly
+//! improve flop count and transient footprint.
+
+use dace_omen::sdfg::library;
+use dace_omen::sdfg::{transforms, Bindings, SymExpr, TileSpec};
+use proptest::prelude::*;
+
+fn bindings(nkz: i64, ne: i64, nqz: i64, nw: i64, na: i64, nb: i64, norb: i64) -> Bindings {
+    [
+        ("Nkz", nkz),
+        ("NE", ne),
+        ("Nqz", nqz),
+        ("Nw", nw),
+        ("N3D", 3),
+        ("NA", na),
+        ("NB", nb),
+        ("Norb", norb),
+    ]
+    .iter()
+    .map(|&(k, v)| (k.to_string(), v))
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full pipeline applies and improves for arbitrary valid dims.
+    #[test]
+    fn pipeline_improves_for_any_dims(
+        nkz in 1i64..5, ne in 4i64..17, nqz in 1i64..5, nw in 1i64..5,
+        na in 2i64..13, nb in 1i64..5, norb in 1i64..5,
+    ) {
+        let b = bindings(nkz, ne, nqz, nw, na, nb, norb);
+        let mut tree = library::sse_sigma_tree();
+        let steps = library::transform_sse_sigma(&mut tree, &b).expect("pipeline applies");
+        let first = &steps[0].stats;
+        let last = &steps.last().unwrap().stats;
+        prop_assert!(last.flops < first.flops);
+        prop_assert!(last.transient_bytes <= first.transient_bytes);
+        prop_assert!(tree.validate().is_ok());
+        // Unique coverage of the non-transient output is invariant: Σ
+        // covers its full tensor before and after.
+        let sigma_full = nkz * ne * na * norb * norb;
+        prop_assert_eq!(first.unique["Sigma"], sigma_full);
+        prop_assert_eq!(last.unique["Sigma"], sigma_full);
+        // Input coverage of G likewise (clamped to the array).
+        let g_full = nkz * ne * na * norb * norb;
+        prop_assert_eq!(first.unique["G"], g_full);
+        prop_assert_eq!(last.unique["G"], g_full);
+    }
+
+    /// Map tiling never changes total access counts — it only reorganizes
+    /// the iteration space (Fig. 7).
+    #[test]
+    fn tiling_preserves_access_counts(
+        m in 1i64..30, tiles in 1i64..6,
+    ) {
+        // Only exact tilings (m divisible) keep the space identical.
+        let m = m * tiles;
+        let mut t = library::matmul_tree();
+        let b: Bindings = [("M", m), ("N", 6), ("K", 4)]
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v))
+            .collect();
+        let before = t.stats(&b, &[]);
+        transforms::map_tiling(
+            &mut t,
+            "mm",
+            &[TileSpec::new("i", SymExpr::int(tiles), SymExpr::int(m / tiles))],
+        )
+        .unwrap();
+        prop_assert!(t.validate().is_ok());
+        let mut b2 = b.clone();
+        // Outer tile symbol ranges are concrete; no extra bindings needed.
+        b2.insert("unused".into(), 0);
+        let after = t.stats(&b2, &[]);
+        prop_assert_eq!(before.accesses, after.accesses);
+        prop_assert_eq!(before.flops, after.flops);
+    }
+
+    /// Data-layout transformation is semantics-preserving: every statistic
+    /// is invariant under any permutation of G's dimensions.
+    #[test]
+    fn data_layout_is_movement_invariant(perm_seed in 0usize..120) {
+        // All permutations of the 5 dims of G, enumerated via Lehmer code.
+        let mut items: Vec<usize> = (0..5).collect();
+        let mut perm = Vec::with_capacity(5);
+        let mut code = perm_seed;
+        for radix in (1..=5).rev() {
+            let idx = code % radix;
+            code /= radix;
+            perm.push(items.remove(idx));
+        }
+        let b = bindings(2, 8, 2, 2, 6, 3, 2);
+        let models = [library::neighbor_model()];
+        let mut tree = library::sse_sigma_tree();
+        let before = tree.stats(&b, &models);
+        transforms::data_layout(&mut tree, "G", &perm).unwrap();
+        prop_assert!(tree.validate().is_ok());
+        let after = tree.stats(&b, &models);
+        prop_assert_eq!(before.flops, after.flops);
+        prop_assert_eq!(before.accesses, after.accesses);
+        prop_assert_eq!(before.transient_bytes, after.transient_bytes);
+    }
+
+    /// Tensor layout permutation round-trips through its inverse.
+    #[test]
+    fn tensor_permutation_roundtrip(
+        d0 in 1usize..4, d1 in 1usize..4, d2 in 1usize..4, perm_seed in 0usize..6,
+    ) {
+        use dace_omen::linalg::{c64, Tensor};
+        let perms = [[0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perm = perms[perm_seed];
+        let mut t = Tensor::zeros(&[d0, d1, d2]);
+        for (i, z) in t.as_mut_slice().iter_mut().enumerate() {
+            *z = c64(i as f64, -(i as f64));
+        }
+        let p = t.permuted(&perm);
+        // Inverse permutation.
+        let mut inv = [0usize; 3];
+        for (out_dim, &src_dim) in perm.iter().enumerate() {
+            inv[src_dim] = out_dim;
+        }
+        let back = p.permuted(&inv);
+        prop_assert_eq!(back, t);
+    }
+}
