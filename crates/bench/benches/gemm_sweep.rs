@@ -1,0 +1,96 @@
+//! GEMM throughput sweep over the shape classes the simulator produces.
+//!
+//! Three families dominate the flop budget (§4.2 / Table 3):
+//!
+//! * `rgf_block` — the dense `bs × bs` block products of the RGF recursions
+//!   (Table 6's triple products, the 512³ acceptance shape);
+//! * `sse_batch` — the untransformed-SSE hot loop: thousands of tiny
+//!   `Norb × Norb` products, served by `batched_gemm_acc`;
+//! * `dace_wide` — the fused Fig. 11c window GEMM: `Norb × (Nω·Norb) × Norb`.
+//!
+//! Throughput is reported via `Throughput::Elements` with one element per
+//! real flop (8 per complex MAC), so criterion's `elem/s` column reads
+//! directly as flop/s. Each blocked measurement is paired with the
+//! `gemm_naive_*` seed kernel on the same operands, so `BENCH_*.json`
+//! tracks the blocked-vs-seed speedup across PRs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qt_linalg::{c64, gemm, Complex64};
+use rand::{Rng as _, SeedableRng};
+
+fn cvec(r: &mut rand::rngs::StdRng, len: usize) -> Vec<Complex64> {
+    (0..len)
+        .map(|_| c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0)))
+        .collect()
+}
+
+fn flops(m: usize, k: usize, n: usize, batch: usize) -> u64 {
+    8 * (m * k * n * batch) as u64
+}
+
+/// RGF block products: square GEMMs at the block sizes the solver hits.
+fn bench_rgf_block(c: &mut Criterion) {
+    let mut r = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("gemm/rgf_block");
+    group.sample_size(10);
+    for n in [64usize, 128, 256, 512] {
+        let a = cvec(&mut r, n * n);
+        let b = cvec(&mut r, n * n);
+        let mut out = vec![Complex64::ZERO; n * n];
+        group.throughput(Throughput::Elements(flops(n, n, n, 1)));
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, &n| {
+            bench.iter(|| gemm::gemm_raw_acc(n, n, n, &a, &b, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_seed", n), &n, |bench, &n| {
+            bench.iter(|| gemm::gemm_naive_acc(n, n, n, &a, &b, &mut out))
+        });
+    }
+    group.finish();
+}
+
+/// Untransformed-SSE batches: 1000 tiny Norb-cubed products per pass.
+fn bench_sse_batch(c: &mut Criterion) {
+    let mut r = rand::rngs::StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("gemm/sse_batch");
+    group.sample_size(10);
+    let batch = 1000usize;
+    for no in [4usize, 8, 16, 32] {
+        let a = cvec(&mut r, batch * no * no);
+        let b = cvec(&mut r, batch * no * no);
+        let mut out = vec![Complex64::ZERO; batch * no * no];
+        group.throughput(Throughput::Elements(flops(no, no, no, batch)));
+        group.bench_with_input(BenchmarkId::new("batched", no), &no, |bench, &no| {
+            bench.iter(|| gemm::batched_gemm_acc(no, no, no, batch, &a, &b, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_seed", no), &no, |bench, &no| {
+            bench.iter(|| gemm::gemm_naive_batched_acc(no, no, no, batch, &a, &b, &mut out))
+        });
+    }
+    group.finish();
+}
+
+/// The fused DaCe window GEMM: small output, wide inner dimension.
+fn bench_dace_wide(c: &mut Criterion) {
+    let mut r = rand::rngs::StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("gemm/dace_wide");
+    group.sample_size(10);
+    for (no, win) in [(4usize, 30usize), (8, 30), (16, 30), (8, 128)] {
+        let nn = no * no;
+        let a = cvec(&mut r, win * nn);
+        let b = cvec(&mut r, win * nn);
+        let mut out = vec![Complex64::ZERO; nn];
+        let scale = c64(0.5, -0.25);
+        let id = format!("{no}x{}x{no}", win * no);
+        group.throughput(Throughput::Elements(flops(no, win * no, no, 1)));
+        group.bench_with_input(BenchmarkId::new("window", &id), &no, |bench, _| {
+            bench.iter(|| gemm::gemm_window_acc(no, win, &a, &b, &mut out, scale))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_seed", &id), &no, |bench, _| {
+            bench.iter(|| gemm::gemm_naive_window_acc(no, win, &a, &b, &mut out, scale))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rgf_block, bench_sse_batch, bench_dace_wide);
+criterion_main!(benches);

@@ -51,9 +51,7 @@ fn bench_table7(c: &mut Criterion) {
         ("sse_dace_row", SseVariant::Dace),
     ] {
         let inputs = fx.sse_inputs();
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(sse::sigma(&inputs, variant)))
-        });
+        group.bench_function(name, |b| b.iter(|| black_box(sse::sigma(&inputs, variant))));
     }
     group.finish();
 }

@@ -9,7 +9,9 @@
 //! parameters; timed kernel results run at a reduced scale (documented per
 //! section) and report the *shape* (ratios, orderings, crossovers).
 
-use qt_bench::{bench_params, table6_csrgemm, table6_csrmm, table6_dense_mm, table6_operands, BenchFixture};
+use qt_bench::{
+    bench_params, table6_csrgemm, table6_csrmm, table6_dense_mm, table6_operands, BenchFixture,
+};
 use qt_core::flops;
 use qt_core::params::SimParams;
 use qt_core::sse::{self, SseVariant};
@@ -54,6 +56,44 @@ fn main() {
     if all || which == "sdfg" {
         sdfg_figs();
     }
+    if all || which == "calibrate" {
+        calibrate();
+    }
+}
+
+fn calibrate() {
+    println!("== GEMM calibration: achieved throughput per shape class ==");
+    let cal = qt_model::calibrate();
+    println!(
+        "  {:<10} {:>16} | {:>10} {:>10} | {:>8}",
+        "class", "shape", "blocked", "naive", "speedup"
+    );
+    for c in &cal.classes {
+        let s = &c.class;
+        println!(
+            "  {:<10} {:>4}x{:<4}x{:<4}x{:<3} | {:>7.2} GF {:>7.2} GF | {:>7.2}x",
+            s.name,
+            s.m,
+            s.k,
+            s.n,
+            s.batch,
+            c.blocked_flops / 1e9,
+            c.naive_flops / 1e9,
+            c.speedup()
+        );
+    }
+    // Fold the measurements into an α–β machine model for this host. The
+    // peak is a placeholder single-core FP64 estimate; what matters for
+    // qt_model::predict is the product peak·eff, which is the measurement.
+    let peak = 5.0e10;
+    let m = cal.host_machine(peak, &PIZ_DAINT);
+    println!(
+        "  host machine: eff_gf={:.3} eff_sse={:.3} eff_sse_omen={:.3} (of {:.0} GF/s peak)\n",
+        m.eff_gf,
+        m.eff_sse,
+        m.eff_sse_omen,
+        peak / 1e9
+    );
 }
 
 fn table1() {
@@ -176,10 +216,28 @@ fn table6() {
     let dense = time_ms(5, || table6_dense_mm(&ops));
     let csrmm = time_ms(5, || table6_csrmm(&ops));
     let csrgemm = time_ms(5, || table6_csrgemm(&ops));
-    println!("  {:<10} {:>10} {:>14} {:>14}", "approach", "ms", "vs CSRMM", "paper vs CSRMM");
-    println!("  {:<10} {:>10.2} {:>13.2}x {:>13.2}x", "Dense-MM", dense, dense / csrmm, 203.59 / 47.06);
-    println!("  {:<10} {:>10.2} {:>13.2}x {:>13.2}x", "CSRMM", csrmm, 1.0, 1.0);
-    println!("  {:<10} {:>10.2} {:>13.2}x {:>13.2}x", "CSRGEMM", csrgemm, csrgemm / csrmm, 93.02 / 47.06);
+    println!(
+        "  {:<10} {:>10} {:>14} {:>14}",
+        "approach", "ms", "vs CSRMM", "paper vs CSRMM"
+    );
+    println!(
+        "  {:<10} {:>10.2} {:>13.2}x {:>13.2}x",
+        "Dense-MM",
+        dense,
+        dense / csrmm,
+        203.59 / 47.06
+    );
+    println!(
+        "  {:<10} {:>10.2} {:>13.2}x {:>13.2}x",
+        "CSRMM", csrmm, 1.0, 1.0
+    );
+    println!(
+        "  {:<10} {:>10.2} {:>13.2}x {:>13.2}x",
+        "CSRGEMM",
+        csrgemm,
+        csrgemm / csrmm,
+        93.02 / 47.06
+    );
     println!("  (expected ordering: CSRMM fastest, Dense-MM slowest — paper 1.98-4.33x)\n");
 }
 
@@ -206,8 +264,18 @@ fn table7() {
     let t_dace = time_ms(3, || sse::sigma(&inputs, SseVariant::Dace));
     println!("  {:<22} {:>10} {:>12}", "phase/variant", "ms", "vs DaCe");
     println!("  {:<22} {:>10.1} {:>12}", "GF (RGF+boundary)", gf_ms, "-");
-    println!("  {:<22} {:>10.1} {:>11.1}x", "SSE reference (Python)", t_ref, t_ref / t_dace);
-    println!("  {:<22} {:>10.1} {:>11.1}x", "SSE OMEN", t_omen, t_omen / t_dace);
+    println!(
+        "  {:<22} {:>10.1} {:>11.1}x",
+        "SSE reference (Python)",
+        t_ref,
+        t_ref / t_dace
+    );
+    println!(
+        "  {:<22} {:>10.1} {:>11.1}x",
+        "SSE OMEN",
+        t_omen,
+        t_omen / t_dace
+    );
     println!("  {:<22} {:>10.1} {:>11.1}x", "SSE DaCe", t_dace, 1.0);
     println!(
         "  paper ratios (vs DaCe): Python 315.7x, OMEN 9.97x — the compiled-vs-\n  \
@@ -230,7 +298,16 @@ fn table8() {
         let r = scaling::extreme_run(nkz, nodes, &SUMMIT);
         println!(
             "  {:<4} {:>6} | {:>8.0} {:>8.0} {:>8.1} | {:>8.0} {:>8.0} {:>8.1} | {:>8.1} {:>8.2}",
-            nkz, nodes, r.gf_pflop, gf_pf, r.gf_time, r.sse_pflop, sse_pf, r.sse_time, r.comm_time, comm_t
+            nkz,
+            nodes,
+            r.gf_pflop,
+            gf_pf,
+            r.gf_time,
+            r.sse_pflop,
+            sse_pf,
+            r.sse_time,
+            r.comm_time,
+            comm_t
         );
         let _ = (gf_t, sse_t);
     }
@@ -317,7 +394,10 @@ fn fig1d() {
     cfg.gf.contacts.mu_right = -0.35;
     let out = run_scf(&sim, &cfg).expect("SCF");
     let power = qt_core::observables::dissipated_power_per_atom(
-        &sim.p, &sim.grids, &out.sigma, &out.electron,
+        &sim.p,
+        &sim.grids,
+        &out.sigma,
+        &out.electron,
     );
     let temp = qt_core::observables::temperature_map(&power, 300.0, 100.0);
     let apb = sim.dev.atoms_per_slab;

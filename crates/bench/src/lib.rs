@@ -55,9 +55,15 @@ impl BenchFixture {
             &cfg,
         )
         .expect("electron GF");
-        let pgf =
-            gf::phonon_gf_phase(&dev, &pm, &p, &grids, &gf::PhononSelfEnergy::zeros(&p), &cfg)
-                .expect("phonon GF");
+        let pgf = gf::phonon_gf_phase(
+            &dev,
+            &pm,
+            &p,
+            &grids,
+            &gf::PhononSelfEnergy::zeros(&p),
+            &cfg,
+        )
+        .expect("phonon GF");
         let (dl, dg) = sse::preprocess_d(&dev, &p, &pgf);
         BenchFixture {
             dh: em.dh_tensor(&dev),

@@ -193,8 +193,7 @@ mod tests {
             gs = invert(&m).unwrap();
         }
         let sigma_fp = beta0.matmul(&gs).matmul(&alpha0);
-        let sigma_sr =
-            surface_self_energy(z, &h00, &h01, &s00, &s01, Side::Left, &cfg).unwrap();
+        let sigma_sr = surface_self_energy(z, &h00, &h01, &s00, &s01, Side::Left, &cfg).unwrap();
         let rel = sigma_fp.max_abs_diff(&sigma_sr) / sigma_sr.max_abs().max(1e-30);
         assert!(rel < 1e-6, "decimation vs fixed point rel err {rel}");
     }
@@ -203,9 +202,8 @@ mod tests {
     fn electron_occupations_bracket() {
         let (h00, h01, s00, s01) = electron_setup();
         let cfg = BoundaryConfig::default();
-        let sig =
-            surface_self_energy(c64(0.2, cfg.eta), &h00, &h01, &s00, &s01, Side::Right, &cfg)
-                .unwrap();
+        let sig = surface_self_energy(c64(0.2, cfg.eta), &h00, &h01, &s00, &s01, Side::Right, &cfg)
+            .unwrap();
         let (l_full, g_full) = electron_lesser_greater(&sig, 1.0);
         let (l_empty, g_empty) = electron_lesser_greater(&sig, 0.0);
         // f = 1: Σ> = 0; f = 0: Σ< = 0.

@@ -71,7 +71,13 @@ mod tests {
     #[test]
     fn table3_sse_omen_exact() {
         // Paper: NA=4,864, NB=34, NE=706, Nω=70, Norb=12.
-        for (nkz, expect) in [(3, 24.41), (5, 67.80), (7, 132.89), (9, 219.67), (11, 328.15)] {
+        for (nkz, expect) in [
+            (3, 24.41),
+            (5, 67.80),
+            (7, 132.89),
+            (9, 219.67),
+            (11, 328.15),
+        ] {
             let p = SimParams::paper_si_4864(nkz);
             let got = sse_omen_flops(&p) / PFLOP;
             assert!(
@@ -86,7 +92,13 @@ mod tests {
         // The paper's printed values deviate <2% from its own closed form
         // (extra bookkeeping in the measured kernel); we reproduce the
         // closed form.
-        for (nkz, expect) in [(3, 12.38), (5, 34.19), (7, 66.85), (9, 110.36), (11, 164.71)] {
+        for (nkz, expect) in [
+            (3, 12.38),
+            (5, 34.19),
+            (7, 66.85),
+            (9, 110.36),
+            (11, 164.71),
+        ] {
             let p = SimParams::paper_si_4864(nkz);
             let got = sse_dace_flops(&p) / PFLOP;
             assert!(

@@ -190,100 +190,99 @@ pub fn electron_gf_phase(
         .flat_map(|k| (0..p.ne).map(move |e| (k, e)))
         .collect();
     type EPoint = (usize, usize, Vec<Complex64>, Vec<Complex64>, f64, Vec<f64>);
-    let results: Vec<Result<EPoint, SingularMatrix>> =
-        points
-            .par_iter()
-            .map(|&(k, e)| {
-                let (h, s) = &hs[k];
-                let energy = grids.energies[e];
-                // Lead surface GF at finite broadening; device interior at
-                // (near-)real energy so contacts are the only implicit bath.
-                let z = c64(energy, cfg.eta);
-                let z_dev = c64(energy, cfg.device_eta);
-                let mut a = assemble_a(z_dev, s, h);
-                // Boundary self-energies.
-                let nbk = a.num_blocks();
-                let sig_l = boundary::surface_self_energy(
-                    z,
-                    h.diag(0),
-                    h.upper(0),
-                    s.diag(0),
-                    s.upper(0),
-                    Side::Left,
-                    &cfg.boundary,
-                )?;
-                let sig_r = boundary::surface_self_energy(
-                    z,
-                    h.diag(nbk - 1),
-                    h.upper(nbk - 2),
-                    s.diag(nbk - 1),
-                    s.upper(nbk - 2),
-                    Side::Right,
-                    &cfg.boundary,
-                )?;
-                *a.diag_mut(0) -= &sig_l;
-                *a.diag_mut(nbk - 1) -= &sig_r;
-                let f_l = fermi(energy, cfg.contacts.mu_left, cfg.contacts.temperature);
-                let f_r = fermi(energy, cfg.contacts.mu_right, cfg.contacts.temperature);
-                let (bl_l, bg_l) = boundary::electron_lesser_greater(&sig_l, f_l);
-                let (bl_r, _) = boundary::electron_lesser_greater(&sig_r, f_r);
-                let bs = a.block_size();
-                let mut sig_lesser = vec![Matrix::zeros(bs, bs); nbk];
-                sig_lesser[0] += &bl_l;
-                sig_lesser[nbk - 1] += &bl_r;
-                // Scattering self-energies (diagonal atom blocks).
-                for atom in 0..p.na {
-                    let slab = dev.slab_of(atom);
-                    let row = (atom % apb) * no;
-                    let sr = sse.retarded_block(&[k, e, atom], no);
-                    let sl = Matrix::from_vec(no, no, sse.lesser.inner(&[k, e, atom]).to_vec());
-                    // A -= Σᴿ_scatt
-                    for i in 0..no {
-                        for j in 0..no {
-                            let cur = a.diag(slab)[(row + i, row + j)];
-                            a.diag_mut(slab)[(row + i, row + j)] = cur - sr[(i, j)];
-                        }
-                    }
-                    for i in 0..no {
-                        for j in 0..no {
-                            let cur = sig_lesser[slab][(row + i, row + j)];
-                            sig_lesser[slab][(row + i, row + j)] = cur + sl[(i, j)];
-                        }
+    let results: Vec<Result<EPoint, SingularMatrix>> = points
+        .par_iter()
+        .map(|&(k, e)| {
+            let (h, s) = &hs[k];
+            let energy = grids.energies[e];
+            // Lead surface GF at finite broadening; device interior at
+            // (near-)real energy so contacts are the only implicit bath.
+            let z = c64(energy, cfg.eta);
+            let z_dev = c64(energy, cfg.device_eta);
+            let mut a = assemble_a(z_dev, s, h);
+            // Boundary self-energies.
+            let nbk = a.num_blocks();
+            let sig_l = boundary::surface_self_energy(
+                z,
+                h.diag(0),
+                h.upper(0),
+                s.diag(0),
+                s.upper(0),
+                Side::Left,
+                &cfg.boundary,
+            )?;
+            let sig_r = boundary::surface_self_energy(
+                z,
+                h.diag(nbk - 1),
+                h.upper(nbk - 2),
+                s.diag(nbk - 1),
+                s.upper(nbk - 2),
+                Side::Right,
+                &cfg.boundary,
+            )?;
+            *a.diag_mut(0) -= &sig_l;
+            *a.diag_mut(nbk - 1) -= &sig_r;
+            let f_l = fermi(energy, cfg.contacts.mu_left, cfg.contacts.temperature);
+            let f_r = fermi(energy, cfg.contacts.mu_right, cfg.contacts.temperature);
+            let (bl_l, bg_l) = boundary::electron_lesser_greater(&sig_l, f_l);
+            let (bl_r, _) = boundary::electron_lesser_greater(&sig_r, f_r);
+            let bs = a.block_size();
+            let mut sig_lesser = vec![Matrix::zeros(bs, bs); nbk];
+            sig_lesser[0] += &bl_l;
+            sig_lesser[nbk - 1] += &bl_r;
+            // Scattering self-energies (diagonal atom blocks).
+            for atom in 0..p.na {
+                let slab = dev.slab_of(atom);
+                let row = (atom % apb) * no;
+                let sr = sse.retarded_block(&[k, e, atom], no);
+                let sl = Matrix::from_vec(no, no, sse.lesser.inner(&[k, e, atom]).to_vec());
+                // A -= Σᴿ_scatt
+                for i in 0..no {
+                    for j in 0..no {
+                        let cur = a.diag(slab)[(row + i, row + j)];
+                        a.diag_mut(slab)[(row + i, row + j)] = cur - sr[(i, j)];
                     }
                 }
-                let out = rgf::rgf(&a, &sig_lesser)?;
-                // Gather per-atom diagonal blocks.
-                let mut gl = Vec::with_capacity(p.na * no * no);
-                let mut gg = Vec::with_capacity(p.na * no * no);
-                for atom in 0..p.na {
-                    let slab = dev.slab_of(atom);
-                    let row = (atom % apb) * no;
-                    for i in 0..no {
-                        for j in 0..no {
-                            gl.push(out.gl_diag[slab][(row + i, row + j)]);
-                            gg.push(out.gg_diag[slab][(row + i, row + j)]);
-                        }
+                for i in 0..no {
+                    for j in 0..no {
+                        let cur = sig_lesser[slab][(row + i, row + j)];
+                        sig_lesser[slab][(row + i, row + j)] = cur + sl[(i, j)];
                     }
                 }
-                // Meir–Wingreen current trace at the left contact:
-                // i(E) = Re tr[Σ<_L G> − Σ>_L G<].
-                let t1 = bl_l.matmul(&out.gg_diag[0]).trace();
-                let t2 = bg_l.matmul(&out.gl_diag[0]).trace();
-                let ispec = (t1 - t2).re;
-                // Bond currents through every slab interface.
-                let bonds: Vec<f64> = (0..nbk - 1)
-                    .map(|n| {
-                        2.0 * a
-                            .upper(n)
-                            .scale(c64(-1.0, 0.0))
-                            .matmul(&out.gl_lower[n])
-                            .trace()
-                            .re
-                    })
-                    .collect();
-                Ok((k, e, gl, gg, ispec, bonds))
-            })
-            .collect();
+            }
+            let out = rgf::rgf(&a, &sig_lesser)?;
+            // Gather per-atom diagonal blocks.
+            let mut gl = Vec::with_capacity(p.na * no * no);
+            let mut gg = Vec::with_capacity(p.na * no * no);
+            for atom in 0..p.na {
+                let slab = dev.slab_of(atom);
+                let row = (atom % apb) * no;
+                for i in 0..no {
+                    for j in 0..no {
+                        gl.push(out.gl_diag[slab][(row + i, row + j)]);
+                        gg.push(out.gg_diag[slab][(row + i, row + j)]);
+                    }
+                }
+            }
+            // Meir–Wingreen current trace at the left contact:
+            // i(E) = Re tr[Σ<_L G> − Σ>_L G<].
+            let t1 = bl_l.matmul(&out.gg_diag[0]).trace();
+            let t2 = bg_l.matmul(&out.gl_diag[0]).trace();
+            let ispec = (t1 - t2).re;
+            // Bond currents through every slab interface.
+            let bonds: Vec<f64> = (0..nbk - 1)
+                .map(|n| {
+                    2.0 * a
+                        .upper(n)
+                        .scale(c64(-1.0, 0.0))
+                        .matmul(&out.gl_lower[n])
+                        .trace()
+                        .re
+                })
+                .collect();
+            Ok((k, e, gl, gg, ispec, bonds))
+        })
+        .collect();
     let mut g_lesser = Tensor::zeros(&[p.nkz, p.ne, p.na, no, no]);
     let mut g_greater = Tensor::zeros(&[p.nkz, p.ne, p.na, no, no]);
     let mut current_spectrum = vec![0.0; p.nkz * p.ne];
@@ -383,11 +382,7 @@ pub fn phonon_gf_phase(
                         a.diag_mut(sa)[(ra + i, ra + j)] = cur - pr[(i, j)];
                     }
                 }
-                let pl = Matrix::from_vec(
-                    N3D,
-                    N3D,
-                    sse.lesser.inner(&[q, w, atom, p.nb]).to_vec(),
-                );
+                let pl = Matrix::from_vec(N3D, N3D, sse.lesser.inner(&[q, w, atom, p.nb]).to_vec());
                 for i in 0..N3D {
                     for j in 0..N3D {
                         let cur = sig_lesser[sa][(ra + i, ra + j)];
@@ -434,34 +429,37 @@ pub fn phonon_gf_phase(
             let block_len = (p.nb + 1) * N3D * N3D;
             let mut dl = vec![Complex64::ZERO; p.na * block_len];
             let mut dg = vec![Complex64::ZERO; p.na * block_len];
-            let write_pair =
-                |dst_l: &mut [Complex64], dst_g: &mut [Complex64], atom: usize, slot: usize, b: usize| {
-                    let sa = dev.slab_of(atom);
-                    let sb = dev.slab_of(b);
-                    let ra = (atom % apb) * N3D;
-                    let rb = (b % apb) * N3D;
-                    let base = atom * block_len + slot * N3D * N3D;
-                    // Select the matrices holding rows of slab sa, cols sb.
-                    let (l_m, g_m, roff, coff): (Matrix, Matrix, usize, usize) = if sb == sa {
-                        (out.gl_diag[sa].clone(), out.gg_diag[sa].clone(), ra, rb)
-                    } else if sb == sa + 1 {
-                        let gl = out.gl_upper(sa);
-                        let mut gg = gl.clone();
-                        gg += &out.gr_upper[sa];
-                        gg -= &out.gr_lower[sa].dagger();
-                        (gl, gg, ra, rb)
-                    } else {
-                        let gl = out.gl_lower[sb].clone();
-                        let gg = out.gg_lower(sb);
-                        (gl, gg, ra, rb)
-                    };
-                    for i in 0..N3D {
-                        for j in 0..N3D {
-                            dst_l[base + i * N3D + j] = l_m[(roff + i, coff + j)];
-                            dst_g[base + i * N3D + j] = g_m[(roff + i, coff + j)];
-                        }
-                    }
+            let write_pair = |dst_l: &mut [Complex64],
+                              dst_g: &mut [Complex64],
+                              atom: usize,
+                              slot: usize,
+                              b: usize| {
+                let sa = dev.slab_of(atom);
+                let sb = dev.slab_of(b);
+                let ra = (atom % apb) * N3D;
+                let rb = (b % apb) * N3D;
+                let base = atom * block_len + slot * N3D * N3D;
+                // Select the matrices holding rows of slab sa, cols sb.
+                let (l_m, g_m, roff, coff): (Matrix, Matrix, usize, usize) = if sb == sa {
+                    (out.gl_diag[sa].clone(), out.gg_diag[sa].clone(), ra, rb)
+                } else if sb == sa + 1 {
+                    let gl = out.gl_upper(sa);
+                    let mut gg = gl.clone();
+                    gg += &out.gr_upper[sa];
+                    gg -= &out.gr_lower[sa].dagger();
+                    (gl, gg, ra, rb)
+                } else {
+                    let gl = out.gl_lower[sb].clone();
+                    let gg = out.gg_lower(sb);
+                    (gl, gg, ra, rb)
                 };
+                for i in 0..N3D {
+                    for j in 0..N3D {
+                        dst_l[base + i * N3D + j] = l_m[(roff + i, coff + j)];
+                        dst_g[base + i * N3D + j] = g_m[(roff + i, coff + j)];
+                    }
+                }
+            };
             for atom in 0..p.na {
                 write_pair(&mut dl, &mut dg, atom, p.nb, atom);
                 for slot in 0..p.nb {

@@ -198,7 +198,9 @@ impl ElectronModel {
                     let im = if o1 == o2 {
                         0.0
                     } else {
-                        0.06 * self.hopping * uniform(key ^ 0xF00D) * if o1 < o2 { 1.0 } else { -1.0 }
+                        0.06 * self.hopping
+                            * uniform(key ^ 0xF00D)
+                            * if o1 < o2 { 1.0 } else { -1.0 }
                     };
                     c64(re, im)
                 });
@@ -265,8 +267,8 @@ impl PhononModel {
             let (sa, sb) = (dev.slab_of(a), dev.slab_of(b));
             let (ra, rb) = (a % apb, b % apb);
             let blk = self.pair_block(dev, a, b); // real symmetric
-            // Acoustic sum rule: each atom's onsite subtracts its incident
-            // pair blocks.
+                                                  // Acoustic sum rule: each atom's onsite subtracts its incident
+                                                  // pair blocks.
             onsite[a] -= &blk;
             onsite[b] -= &blk;
             if sb == sa {
@@ -365,10 +367,7 @@ mod tests {
                     let fwd = Matrix::from_vec(em.norb, em.norb, dh.inner(&[a, slot, i]).to_vec());
                     let rev = Matrix::from_vec(em.norb, em.norb, dh.inner(&[b, back, i]).to_vec());
                     let expect = fwd.dagger().scale(c64(-1.0, 0.0));
-                    assert!(
-                        rev.max_abs_diff(&expect) < 1e-12,
-                        "pair ({a},{b}) dir {i}"
-                    );
+                    assert!(rev.max_abs_diff(&expect) < 1e-12, "pair ({a},{b}) dir {i}");
                 }
             }
         }

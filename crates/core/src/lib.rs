@@ -1,7 +1,7 @@
 //! # qt-core — dissipative quantum transport (NEGF) core
 pub mod boundary;
-pub mod flops;
 pub mod device;
+pub mod flops;
 pub mod gf;
 pub mod grids;
 pub mod hamiltonian;

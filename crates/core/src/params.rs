@@ -155,7 +155,9 @@ mod tests {
     fn presets_validate() {
         assert!(SimParams::test_small().validate().is_ok());
         assert!(SimParams::paper_si_4864(7).validate_paper_ranges().is_ok());
-        assert!(SimParams::paper_si_10240(21).validate_paper_ranges().is_ok());
+        assert!(SimParams::paper_si_10240(21)
+            .validate_paper_ranges()
+            .is_ok());
     }
 
     #[test]

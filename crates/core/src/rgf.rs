@@ -96,8 +96,12 @@ pub fn rgf_with_strategy(
     let sparse_couplings: Option<(Vec<CsrMatrix>, Vec<CsrMatrix>)> = match strategy {
         MultiplyStrategy::Dense => None,
         MultiplyStrategy::Csrmm { threshold } => Some((
-            (0..nb - 1).map(|n| CsrMatrix::from_dense(a.lower(n), threshold)).collect(),
-            (0..nb - 1).map(|n| CsrMatrix::from_dense(a.upper(n), threshold)).collect(),
+            (0..nb - 1)
+                .map(|n| CsrMatrix::from_dense(a.lower(n), threshold))
+                .collect(),
+            (0..nb - 1)
+                .map(|n| CsrMatrix::from_dense(a.upper(n), threshold))
+                .collect(),
         )),
     };
     // Forward pass: left-connected g's.
@@ -115,7 +119,7 @@ pub fn rgf_with_strategy(
             match &sparse_couplings {
                 None => {
                     m -= &tau.matmul(&g_r[n - 1]).matmul(a.upper(n - 1));
-                    sig += &tau.matmul(&g_l[n - 1]).matmul(&tau.dagger());
+                    sig += &tau.matmul(&g_l[n - 1]).matmul_dagger(tau);
                 }
                 Some((lowers, uppers)) => {
                     // CSRMM: sparse × dense, then dense × sparse.
@@ -124,13 +128,13 @@ pub fn rgf_with_strategy(
                     let tg = lo_sp.mul_dense(&g_r[n - 1]);
                     m -= &up_sp.rmul_dense(&tg);
                     let tl = lo_sp.mul_dense(&g_l[n - 1]);
-                    sig += &tl.matmul(&tau.dagger());
+                    sig += &tl.matmul_dagger(tau);
                 }
             }
             (m, sig)
         };
         let gr = invert(&m)?;
-        let gl = gr.matmul(&sig_eff).matmul(&gr.dagger());
+        let gl = gr.matmul(&sig_eff).matmul_dagger(&gr);
         g_r.push(gr);
         g_l.push(gl);
     }
@@ -156,13 +160,13 @@ pub fn rgf_with_strategy(
         grd += &t1.matmul(&gr_next).matmul(lo).matmul(gr_n);
         // G<_nn — four terms.
         let mut gld = gl_n.clone();
-        gld += &t1.matmul(&gl_next).matmul(&up.dagger()).matmul(&gr_n_dag);
+        gld += &t1.matmul(&gl_next).matmul_dagger(up).matmul(&gr_n_dag);
         let t2 = t1.matmul(&gr_next).matmul(lo).matmul(gl_n);
         gld += &t2;
         gld += &gl_n
-            .matmul(&lo.dagger())
-            .matmul(&gr_next.dagger())
-            .matmul(&up.dagger())
+            .matmul_dagger(lo)
+            .matmul_dagger(&gr_next)
+            .matmul_dagger(up)
             .matmul(&gr_n_dag);
         // Off-diagonal blocks.
         let mut grl = gr_next.matmul(lo).matmul(gr_n);
@@ -172,7 +176,7 @@ pub fn rgf_with_strategy(
             .matmul(&gr_next)
             .scale(qt_linalg::c64(-1.0, 0.0));
         let mut gll = gr_next.matmul(lo).matmul(gl_n);
-        gll += &gl_next.matmul(&up.dagger()).matmul(&gr_n_dag);
+        gll += &gl_next.matmul_dagger(up).matmul(&gr_n_dag);
         gll = gll.scale(qt_linalg::c64(-1.0, 0.0));
         gr_diag[n] = grd;
         gl_diag[n] = gld;
@@ -214,7 +218,7 @@ pub fn dense_reference(
     for (n, s) in sigma_lesser.iter().enumerate() {
         sig.set_submatrix(n * bs, n * bs, s);
     }
-    let gl = gr.matmul(&sig).matmul(&gr.dagger());
+    let gl = gr.matmul(&sig).matmul_dagger(&gr);
     Ok((gr, gl))
 }
 
@@ -372,8 +376,9 @@ mod tests {
         let sig: Vec<Matrix> = (0..nb)
             .map(|_| Matrix::random_hermitian(bs, &mut r).scale(Complex64::I))
             .collect();
-        let (dense, f_dense) =
-            qt_linalg::count_flops(|| rgf_with_strategy(&a, &sig, MultiplyStrategy::Dense).unwrap());
+        let (dense, f_dense) = qt_linalg::count_flops(|| {
+            rgf_with_strategy(&a, &sig, MultiplyStrategy::Dense).unwrap()
+        });
         let (sparse, f_sparse) = qt_linalg::count_flops(|| {
             rgf_with_strategy(&a, &sig, MultiplyStrategy::Csrmm { threshold: 0.0 }).unwrap()
         });

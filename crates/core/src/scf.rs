@@ -8,9 +8,7 @@
 //! Linear mixing of the self-energies damps the Born iteration.
 
 use crate::device::Device;
-use crate::gf::{
-    self, ElectronGf, ElectronSelfEnergy, GfConfig, PhononGf, PhononSelfEnergy,
-};
+use crate::gf::{self, ElectronGf, ElectronSelfEnergy, GfConfig, PhononGf, PhononSelfEnergy};
 use crate::grids::Grids;
 use crate::hamiltonian::{ElectronModel, PhononModel};
 use crate::params::SimParams;
@@ -240,6 +238,9 @@ mod tests {
         let dace = run_scf(&sim, &cfg).unwrap();
         let rel = omen.electron.g_lesser.max_abs_diff(&dace.electron.g_lesser)
             / omen.electron.g_lesser.norm().max(1e-30);
-        assert!(rel < 1e-10, "SCF fixed point must not depend on variant: {rel}");
+        assert!(
+            rel < 1e-10,
+            "SCF fixed point must not depend on variant: {rel}"
+        );
     }
 }

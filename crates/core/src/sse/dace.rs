@@ -110,7 +110,7 @@ pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
                                         // with reversed-ω blocks.
                                         let a_off = (kq * p.ne + e - win) * nn;
                                         let b_off = (q * p.nw + p.nw - win) * nn;
-                                        window_gemm_acc(
+                                        gemm::gemm_window_acc(
                                             no,
                                             win,
                                             &dhg_i[a_off..a_off + win * nn],
@@ -128,7 +128,7 @@ pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
                                         // with ascending-ω blocks.
                                         let a_off = (kq * p.ne + e + 1) * nn;
                                         let b_off = (q * p.nw) * nn;
-                                        window_gemm_acc(
+                                        gemm::gemm_window_acc(
                                             no,
                                             win,
                                             &dhg_i[a_off..a_off + win * nn],
@@ -164,35 +164,6 @@ pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
     out
 }
 
-/// Windowed batched product: `out += scale · Σ_w A_w @ B_w` over `win`
-/// contiguous `no × no` blocks — the CPU analogue of the paper's single
-/// `Norb × Norb·Nω × Norb` GEMM (Fig. 11c).
-#[inline]
-fn window_gemm_acc(
-    no: usize,
-    win: usize,
-    a_blocks: &[Complex64],
-    b_blocks: &[Complex64],
-    out: &mut [Complex64],
-    scale: Complex64,
-) {
-    let nn = no * no;
-    let mut acc = vec![Complex64::ZERO; nn];
-    for w in 0..win {
-        gemm::gemm_raw_acc(
-            no,
-            no,
-            no,
-            &a_blocks[w * nn..(w + 1) * nn],
-            &b_blocks[w * nn..(w + 1) * nn],
-            &mut acc,
-        );
-    }
-    for (o, v) in out.iter_mut().zip(acc.iter()) {
-        *o += *v * scale;
-    }
-}
-
 /// Π≷ via the transformed kernel: same contraction as
 /// [`super::reference::pi`], restructured so the `∇H·G` products are hoisted
 /// out of the `(i, j)` loops and all work buffers are preallocated.
@@ -219,9 +190,7 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
                 .map(|i| super::reference::dh_reverse(inputs, a, slot, b, i))
                 .collect();
             let dh_ab: Vec<Matrix> = (0..N3D)
-                .map(|j| {
-                    Matrix::from_vec(no, no, inputs.dh.inner(&[a, slot, j]).to_vec())
-                })
+                .map(|j| Matrix::from_vec(no, no, inputs.dh.inner(&[a, slot, j]).to_vec()))
                 .collect();
             let mut t_l = Matrix::zeros(N3D * p.nqz, N3D * p.nw); // (i·q, j·w) layout
             let mut t_g = Matrix::zeros(N3D * p.nqz, N3D * p.nw);
@@ -250,8 +219,7 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
                                         let mut tr = Complex64::ZERO;
                                         for m in 0..no {
                                             for n in 0..no {
-                                                tr = tr
-                                                    .mul_add(p1[(m, n)], q2[(n, m)]);
+                                                tr = tr.mul_add(p1[(m, n)], q2[(n, m)]);
                                             }
                                         }
                                         qt_linalg::add_flops(8 * (no * no) as u64);
@@ -268,10 +236,7 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
         .collect();
     for r in results.into_iter().flatten() {
         let (a, slot, t_l, t_g) = r;
-        for (t, tensor_pair) in [
-            (&t_l, &mut out.lesser),
-            (&t_g, &mut out.greater),
-        ] {
+        for (t, tensor_pair) in [(&t_l, &mut out.lesser), (&t_g, &mut out.greater)] {
             for q in 0..p.nqz {
                 for w in 0..p.nw {
                     for i in 0..N3D {

@@ -146,8 +146,7 @@ pub fn stabilize_pi(pi: &mut PhononSelfEnergy, p: &SimParams) {
             for w in 0..p.nw {
                 for a in 0..p.na {
                     let blk = t.inner_mut(&[q, w, a, p.nb]);
-                    let m = Matrix::from_vec(N3D, N3D, blk.to_vec())
-                        .scale(Complex64::I.conj());
+                    let m = Matrix::from_vec(N3D, N3D, blk.to_vec()).scale(Complex64::I.conj());
                     let proj = psd_projection(&m).scale(Complex64::I);
                     blk.copy_from_slice(proj.as_slice());
                 }
@@ -321,11 +320,8 @@ mod tests {
         for k in 0..fx.p.nkz {
             for e in 0..fx.p.ne {
                 for a in 0..fx.p.na {
-                    let blk = Matrix::from_vec(
-                        fx.p.norb,
-                        fx.p.norb,
-                        s.lesser.inner(&[k, e, a]).to_vec(),
-                    );
+                    let blk =
+                        Matrix::from_vec(fx.p.norb, fx.p.norb, s.lesser.inner(&[k, e, a]).to_vec());
                     let mut sum = blk.clone();
                     sum += &blk.dagger();
                     assert!(sum.max_abs() < 1e-14);

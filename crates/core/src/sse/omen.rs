@@ -45,8 +45,7 @@ pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
                     let kq = inputs.grids.k_minus_q(k, q);
                     for e in 0..p.ne {
                         // Emission and absorption sidebands (G≷(E ∓ ħω)).
-                        let sidebands =
-                            [inputs.grids.e_minus_w(e, w), inputs.grids.e_plus_w(e, w)];
+                        let sidebands = [inputs.grids.e_minus_w(e, w), inputs.grids.e_plus_w(e, w)];
                         for a in 0..p.na {
                             let dst = sig.inner_mut(&[k, e, a]);
                             for slot in 0..p.nb {

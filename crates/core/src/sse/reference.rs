@@ -67,8 +67,7 @@ pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
                         // (E + ħω, weight conj D̃≶(ω) with (i, j) swapped —
                         // the bosonic identity D≷(−ω) = D≶(ω)ᵀ*): the
                         // "G≷(E ± ħω)" the production code communicates.
-                        let sidebands =
-                            [inputs.grids.e_minus_w(e, w), inputs.grids.e_plus_w(e, w)];
+                        let sidebands = [inputs.grids.e_minus_w(e, w), inputs.grids.e_plus_w(e, w)];
                         for i in 0..N3D {
                             for j in 0..N3D {
                                 for a in 0..p.na {
@@ -144,11 +143,8 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
                                     let dh_ba = dh_reverse(inputs, a, slot, b, i);
                                     for j in 0..N3D {
                                         let dh_ab = dh_block(inputs.dh, a, slot, j, no);
-                                        let tr = dh_ba
-                                            .matmul(&g1)
-                                            .matmul(&dh_ab)
-                                            .matmul(&g2)
-                                            .trace();
+                                        let tr =
+                                            dh_ba.matmul(&g1).matmul(&dh_ab).matmul(&g2).trace();
                                         t_ij[(i, j)] += tr;
                                     }
                                 }

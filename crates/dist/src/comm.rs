@@ -136,7 +136,12 @@ impl ThreadComm {
     }
 
     /// Element-wise sum-reduction to `root`; returns `Some(total)` on root.
-    pub fn reduce_sum(&self, root: usize, mut data: Vec<Complex64>, tag: u64) -> Option<Vec<Complex64>> {
+    pub fn reduce_sum(
+        &self,
+        root: usize,
+        mut data: Vec<Complex64>,
+        tag: u64,
+    ) -> Option<Vec<Complex64>> {
         if self.rank == root {
             for src in 0..self.size() {
                 if src == root {
@@ -180,7 +185,11 @@ impl ThreadComm {
 
     /// Total bytes moved across the whole world (sum of sends).
     pub fn world_bytes(&self) -> u64 {
-        self.world.sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+        self.world
+            .sent
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .sum()
     }
 }
 
@@ -197,7 +206,10 @@ where
             .into_iter()
             .map(|comm| scope.spawn(|| f(comm)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -271,8 +283,7 @@ mod tests {
             let recv = comm.alltoallv(sendbufs, 21);
             // recv[src] came from src, stamped (src, my_rank), len src+1.
             (0..3).all(|src| {
-                recv[src].len() == src + 1
-                    && recv[src][0] == c64(src as f64, comm.rank() as f64)
+                recv[src].len() == src + 1 && recv[src][0] == c64(src as f64, comm.rank() as f64)
             })
         });
         assert!(out.iter().all(|&ok| ok));

@@ -134,18 +134,11 @@ mod tests {
         let grids = Grids::new(&p, -1.2, 1.2);
         let cfg = GfConfig::default();
         // Serial reference: one GF phase + serial SSE.
-        let egf = gf::electron_gf_phase(
-            &dev,
-            &em,
-            &p,
-            &grids,
-            &ElectronSelfEnergy::zeros(&p),
-            &cfg,
-        )
-        .unwrap();
-        let pgf =
-            gf::phonon_gf_phase(&dev, &pm, &p, &grids, &PhononSelfEnergy::zeros(&p), &cfg)
+        let egf =
+            gf::electron_gf_phase(&dev, &em, &p, &grids, &ElectronSelfEnergy::zeros(&p), &cfg)
                 .unwrap();
+        let pgf =
+            gf::phonon_gf_phase(&dev, &pm, &p, &grids, &PhononSelfEnergy::zeros(&p), &cfg).unwrap();
         let (dl, dg) = sse::preprocess_d(&dev, &p, &pgf);
         let dh = em.dh_tensor(&dev);
         let inputs = sse::SseInputs {
@@ -195,8 +188,7 @@ mod tests {
         let cfg = GfConfig::default();
         let a = distributed_iteration(&p, &dev, &em, &pm, &grids, &cfg, 1, 2).unwrap();
         let b = distributed_iteration(&p, &dev, &em, &pm, &grids, &cfg, 5, 2).unwrap();
-        let rel =
-            a.sigma.lesser.max_abs_diff(&b.sigma.lesser) / a.sigma.lesser.norm().max(1e-30);
+        let rel = a.sigma.lesser.max_abs_diff(&b.sigma.lesser) / a.sigma.lesser.norm().max(1e-30);
         assert!(rel < 1e-10, "chunking must not change results: {rel}");
     }
 }

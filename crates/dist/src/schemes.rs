@@ -123,11 +123,16 @@ fn sigma_round_increment(
     }
 }
 
-
 /// `∇H_ba,i` via the reverse neighbor slot, falling back to the
 /// antisymmetry `∇H_ba = −(∇H_ab,i)†` (same convention as the serial
 /// kernels).
-fn dh_reverse(ctx: &SseDistContext<'_>, a: usize, slot: usize, b: usize, i: usize) -> Vec<Complex64> {
+fn dh_reverse(
+    ctx: &SseDistContext<'_>,
+    a: usize,
+    slot: usize,
+    b: usize,
+    i: usize,
+) -> Vec<Complex64> {
     let no = ctx.p.norb;
     match (0..ctx.p.nb).find(|&s| ctx.dev.neighbor(b, s) == Some(a)) {
         Some(s) => ctx.dh.inner(&[b, s, i]).to_vec(),
@@ -139,7 +144,13 @@ fn dh_reverse(ctx: &SseDistContext<'_>, a: usize, slot: usize, b: usize, i: usiz
 }
 
 /// Trace `tr(M1 · G1 · M2 · G2)` over `no × no` row-major blocks.
-fn trace4(no: usize, m1: &[Complex64], g1: &[Complex64], m2: &[Complex64], g2: &[Complex64]) -> Complex64 {
+fn trace4(
+    no: usize,
+    m1: &[Complex64],
+    g1: &[Complex64],
+    m2: &[Complex64],
+    g2: &[Complex64],
+) -> Complex64 {
     // P = M1·G1, Q = M2·G2, tr(P·Q).
     let mut p_ = vec![Complex64::ZERO; no * no];
     let mut q_ = vec![Complex64::ZERO; no * no];
@@ -164,9 +175,9 @@ fn pi_round_accumulate(
     ctx: &SseDistContext<'_>,
     q: usize,
     atoms: std::ops::Range<usize>,
-    g_hi: &dyn Fn(usize, usize) -> Vec<Complex64>,   // (kq, a) -> block
-    g_lo: &dyn Fn(usize, usize) -> Vec<Complex64>,   // (k, b) -> block
-    out: &mut [Complex64], // [na][nb+1][9]
+    g_hi: &dyn Fn(usize, usize) -> Vec<Complex64>, // (kq, a) -> block
+    g_lo: &dyn Fn(usize, usize) -> Vec<Complex64>, // (k, b) -> block
+    out: &mut [Complex64],                         // [na][nb+1][9]
 ) {
     let p = ctx.p;
     let no = p.norb;
@@ -176,7 +187,9 @@ fn pi_round_accumulate(
         for a in atoms.clone() {
             let g1 = g_hi(kq, a);
             for slot in 0..p.nb {
-                let Some(b) = ctx.dev.neighbor(a, slot) else { continue };
+                let Some(b) = ctx.dev.neighbor(a, slot) else {
+                    continue;
+                };
                 let g2 = g_lo(k, b);
                 for i in 0..N3D {
                     let m1 = dh_reverse(ctx, a, slot, b, i);
@@ -305,21 +318,24 @@ pub fn omen_scheme(
                 let mut part_l = vec![Complex64::ZERO; p.na * d_len];
                 let mut part_g = vec![Complex64::ZERO; p.na * d_len];
                 for (e, hi_l, hi_g) in &hi_slices {
-                    let lo_block = |g: &qt_linalg::Tensor, k: usize, b: usize| {
-                        g.inner(&[k, *e, b]).to_vec()
-                    };
+                    let lo_block =
+                        |g: &qt_linalg::Tensor, k: usize, b: usize| g.inner(&[k, *e, b]).to_vec();
                     let hi_block = |buf: &Vec<Complex64>, kq: usize, a: usize| {
                         buf[(kq * p.na + a) * nn..(kq * p.na + a + 1) * nn].to_vec()
                     };
                     // Π<: G<(E+ω) × G>(E); Π>: G>(E+ω) × G<(E).
                     pi_round_accumulate(
-                        ctx, q, 0..p.na,
+                        ctx,
+                        q,
+                        0..p.na,
                         &|kq, a| hi_block(hi_l, kq, a),
                         &|k, b| lo_block(ctx.g_greater, k, b),
                         &mut part_l,
                     );
                     pi_round_accumulate(
-                        ctx, q, 0..p.na,
+                        ctx,
+                        q,
+                        0..p.na,
                         &|kq, a| hi_block(hi_g, kq, a),
                         &|k, b| lo_block(ctx.g_lesser, k, b),
                         &mut part_g,
@@ -355,7 +371,11 @@ pub fn omen_scheme(
                     [comm.recv(src, 1 << 50), comm.recv(src, (1 << 50) + 1)]
                 };
                 for (t, buf) in bufs.iter().enumerate() {
-                    let tensor = if t == 0 { &mut out.lesser } else { &mut out.greater };
+                    let tensor = if t == 0 {
+                        &mut out.lesser
+                    } else {
+                        &mut out.greater
+                    };
                     for k in 0..p.nkz {
                         for (e_local, e) in src_e.clone().enumerate() {
                             for a in 0..p.na {
@@ -369,11 +389,13 @@ pub fn omen_scheme(
                 }
             }
             let mut pi_out = PhononSelfEnergy::zeros(p);
-            let store = |pi_out: &mut PhononSelfEnergy, (qw, l, g): ((usize, usize), Vec<Complex64>, Vec<Complex64>)| {
-                let (q, w) = qw;
-                pi_out.lesser.inner_mut(&[q, w]).copy_from_slice(&l);
-                pi_out.greater.inner_mut(&[q, w]).copy_from_slice(&g);
-            };
+            let store =
+                |pi_out: &mut PhononSelfEnergy,
+                 (qw, l, g): ((usize, usize), Vec<Complex64>, Vec<Complex64>)| {
+                    let (q, w) = qw;
+                    pi_out.lesser.inner_mut(&[q, w]).copy_from_slice(&l);
+                    pi_out.greater.inner_mut(&[q, w]).copy_from_slice(&g);
+                };
             for entry in pi_owned {
                 store(&mut pi_out, entry);
             }
@@ -393,7 +415,11 @@ pub fn omen_scheme(
             comm.send(0, (1 << 50) + 1, sig[1].clone());
             comm.send(0, 1 << 52, vec![c64(pi_owned.len() as f64, 0.0)]);
             for ((q, w), l, g) in pi_owned {
-                comm.send(0, (1 << 52) + 1, vec![c64(q as f64, 0.0), c64(w as f64, 0.0)]);
+                comm.send(
+                    0,
+                    (1 << 52) + 1,
+                    vec![c64(q as f64, 0.0), c64(w as f64, 0.0)],
+                );
                 comm.send(0, (1 << 52) + 2, l);
                 comm.send(0, (1 << 52) + 3, g);
             }
@@ -457,8 +483,7 @@ pub fn dace_scheme(
                     for k in 0..p.nkz {
                         for al in 0..aw_len {
                             let off = ((k * eh_len + el) * aw_len + al) * nn;
-                            tensor[off..off + nn]
-                                .copy_from_slice(&buf[pos..pos + nn]);
+                            tensor[off..off + nn].copy_from_slice(&buf[pos..pos + nn]);
                             pos += nn;
                         }
                     }
@@ -502,8 +527,7 @@ pub fn dace_scheme(
                         }
                         for al in 0..aw_len {
                             let off = ((q * p.nw + w) * aw_len + al) * d_len;
-                            tensor[off..off + d_len]
-                                .copy_from_slice(&buf[pos..pos + d_len]);
+                            tensor[off..off + d_len].copy_from_slice(&buf[pos..pos + d_len]);
                             pos += d_len;
                         }
                     }
@@ -639,9 +663,7 @@ pub fn dace_scheme(
                 let owner = gf_dec.d_owner(p, q, w);
                 let tag = (1 << 45) | ((q * p.nw + w) as u64 * 2);
                 // Send only the tile slice to the owner.
-                let slice = |buf: &[Complex64]| {
-                    buf[my_a.start * d_len..my_a.end * d_len].to_vec()
-                };
+                let slice = |buf: &[Complex64]| buf[my_a.start * d_len..my_a.end * d_len].to_vec();
                 comm.send(owner, tag, slice(&part_l));
                 comm.send(owner, tag + 1, slice(&part_g));
                 if rank == owner {
@@ -689,7 +711,11 @@ pub fn dace_scheme(
                     [comm.recv(src, 1 << 50), comm.recv(src, (1 << 50) + 1)]
                 };
                 for (t, buf) in bufs.iter().enumerate() {
-                    let tensor = if t == 0 { &mut out.lesser } else { &mut out.greater };
+                    let tensor = if t == 0 {
+                        &mut out.lesser
+                    } else {
+                        &mut out.greater
+                    };
                     for k in 0..p.nkz {
                         for (el, e) in src_e.clone().enumerate() {
                             for (al, a) in src_a.clone().enumerate() {
@@ -703,11 +729,13 @@ pub fn dace_scheme(
                 }
             }
             let mut pi_out = PhononSelfEnergy::zeros(p);
-            let store = |pi_out: &mut PhononSelfEnergy, (qw, l, g): ((usize, usize), Vec<Complex64>, Vec<Complex64>)| {
-                let (q, w) = qw;
-                pi_out.lesser.inner_mut(&[q, w]).copy_from_slice(&l);
-                pi_out.greater.inner_mut(&[q, w]).copy_from_slice(&g);
-            };
+            let store =
+                |pi_out: &mut PhononSelfEnergy,
+                 (qw, l, g): ((usize, usize), Vec<Complex64>, Vec<Complex64>)| {
+                    let (q, w) = qw;
+                    pi_out.lesser.inner_mut(&[q, w]).copy_from_slice(&l);
+                    pi_out.greater.inner_mut(&[q, w]).copy_from_slice(&g);
+                };
             for entry in pi_owned {
                 store(&mut pi_out, entry);
             }
@@ -727,7 +755,11 @@ pub fn dace_scheme(
             comm.send(0, (1 << 50) + 1, sig[1].clone());
             comm.send(0, 1 << 52, vec![c64(pi_owned.len() as f64, 0.0)]);
             for ((q, w), l, g) in pi_owned {
-                comm.send(0, (1 << 52) + 1, vec![c64(q as f64, 0.0), c64(w as f64, 0.0)]);
+                comm.send(
+                    0,
+                    (1 << 52) + 1,
+                    vec![c64(q as f64, 0.0), c64(w as f64, 0.0)],
+                );
                 comm.send(0, (1 << 52) + 2, l);
                 comm.send(0, (1 << 52) + 3, g);
             }
@@ -738,12 +770,7 @@ pub fn dace_scheme(
 }
 
 /// Atom window using the device's exact neighbor-index halo.
-fn atom_window_exact(
-    dec: &DaceDecomp,
-    j: usize,
-    halo: usize,
-    na: usize,
-) -> std::ops::Range<usize> {
+fn atom_window_exact(dec: &DaceDecomp, j: usize, halo: usize, na: usize) -> std::ops::Range<usize> {
     let r = dec.atoms.range(j);
     r.start.saturating_sub(halo)..(r.end + halo).min(na)
 }
@@ -862,11 +889,7 @@ mod tests {
         )
     }
 
-    fn assert_close(
-        name: &str,
-        serial: &qt_linalg::Tensor,
-        dist: &qt_linalg::Tensor,
-    ) {
+    fn assert_close(name: &str, serial: &qt_linalg::Tensor, dist: &qt_linalg::Tensor) {
         let rel = serial.max_abs_diff(dist) / serial.norm().max(1e-30);
         assert!(rel < 1e-10, "{name}: rel {rel}");
     }

@@ -18,7 +18,8 @@ const TIB: f64 = (1u64 << 40) as f64;
 
 /// Per-process OMEN bytes for the electron Green's functions.
 pub fn omen_g_bytes_per_proc(p: &SimParams, procs: usize) -> f64 {
-    64.0 * p.nkz as f64 * (p.ne as f64 / procs as f64)
+    64.0 * p.nkz as f64
+        * (p.ne as f64 / procs as f64)
         * (p.nqz * p.nw) as f64
         * p.na as f64
         * (p.norb * p.norb) as f64
@@ -70,8 +71,7 @@ pub fn dace3_g_bytes_per_proc(p: &SimParams, tk: usize, te: usize, ta: usize) ->
 
 /// Total 3-D-tiled DaCe volume across `Tkz·TE·TA` processes (bytes).
 pub fn dace3_total_bytes(p: &SimParams, tk: usize, te: usize, ta: usize) -> f64 {
-    (tk * te * ta) as f64
-        * (dace3_g_bytes_per_proc(p, tk, te, ta) + dace_d_bytes_per_proc(p, ta))
+    (tk * te * ta) as f64 * (dace3_g_bytes_per_proc(p, tk, te, ta) + dace_d_bytes_per_proc(p, ta))
 }
 
 /// Convert bytes to TiB (the unit of Tables 4–5).

@@ -38,7 +38,11 @@ impl BlockTridiag {
         assert_eq!(lower.len(), diag.len() - 1);
         let bs = diag[0].rows();
         for m in diag.iter().chain(&upper).chain(&lower) {
-            assert_eq!(m.shape(), (bs, bs), "all blocks must be square of equal order");
+            assert_eq!(
+                m.shape(),
+                (bs, bs),
+                "all blocks must be square of equal order"
+            );
         }
         BlockTridiag {
             bs,
@@ -120,9 +124,24 @@ impl BlockTridiag {
         assert_eq!(self.bs, other.bs);
         BlockTridiag {
             bs: self.bs,
-            diag: self.diag.iter().zip(&other.diag).map(|(a, b)| a - b).collect(),
-            upper: self.upper.iter().zip(&other.upper).map(|(a, b)| a - b).collect(),
-            lower: self.lower.iter().zip(&other.lower).map(|(a, b)| a - b).collect(),
+            diag: self
+                .diag
+                .iter()
+                .zip(&other.diag)
+                .map(|(a, b)| a - b)
+                .collect(),
+            upper: self
+                .upper
+                .iter()
+                .zip(&other.upper)
+                .map(|(a, b)| a - b)
+                .collect(),
+            lower: self
+                .lower
+                .iter()
+                .zip(&other.lower)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 

@@ -44,7 +44,11 @@ impl CsrMatrix {
     }
 
     /// Build from triplets `(row, col, value)`; duplicate entries are summed.
-    pub fn from_triplets(rows: usize, cols: usize, mut triplets: Vec<(usize, usize, Complex64)>) -> Self {
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        mut triplets: Vec<(usize, usize, Complex64)>,
+    ) -> Self {
         triplets.sort_by_key(|&(r, c, _)| (r, c));
         let mut indptr = vec![0usize; rows + 1];
         let mut indices: Vec<usize> = Vec::with_capacity(triplets.len());
@@ -134,7 +138,8 @@ impl CsrMatrix {
     /// Iterate `(row, col, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Complex64)> + '_ {
         (0..self.rows).flat_map(move |i| {
-            (self.indptr[i]..self.indptr[i + 1]).map(move |idx| (i, self.indices[idx], self.data[idx]))
+            (self.indptr[i]..self.indptr[i + 1])
+                .map(move |idx| (i, self.indices[idx], self.data[idx]))
         })
     }
 
@@ -350,7 +355,9 @@ mod tests {
     fn matvec_matches_dense() {
         let mut r = rng();
         let s = random_sparse(6, 6, 0.5, &mut r);
-        let x: Vec<_> = (0..6).map(|_| c64(r.random_range(-1.0..1.0), 0.3)).collect();
+        let x: Vec<_> = (0..6)
+            .map(|_| c64(r.random_range(-1.0..1.0), 0.3))
+            .collect();
         let y = s.matvec(&x);
         let d = s.to_dense();
         for i in 0..6 {

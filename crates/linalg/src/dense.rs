@@ -196,6 +196,23 @@ impl Matrix {
         gemm::gemm_acc(self, rhs, out);
     }
 
+    /// `self @ rhs^dagger` without materializing the conjugate transpose:
+    /// the GEMM packing step reads `rhs` column-wise and conjugates in
+    /// flight, so `X · Y†` costs the same as `X · Y`.
+    pub fn matmul_dagger(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        gemm::gemm_bdagger_acc(
+            self.rows,
+            self.cols,
+            rhs.rows,
+            self.as_slice(),
+            rhs.as_slice(),
+            out.as_mut_slice(),
+        );
+        out
+    }
+
     /// True if `‖A − A^dagger‖_max < tol`.
     pub fn is_hermitian(&self, tol: f64) -> bool {
         if !self.is_square() {
@@ -365,6 +382,18 @@ mod tests {
         let lhs = a.matmul(&b).dagger();
         let rhs = b.dagger().matmul(&a.dagger());
         assert!(lhs.max_abs_diff(&rhs) < 1e-13);
+    }
+
+    #[test]
+    fn matmul_dagger_matches_materialized_dagger() {
+        let mut r = rng();
+        for (m, k, n) in [(4, 6, 3), (1, 5, 1), (17, 9, 23), (40, 40, 40)] {
+            let a = Matrix::random(m, k, &mut r);
+            let b = Matrix::random(n, k, &mut r);
+            let fused = a.matmul_dagger(&b);
+            let explicit = a.matmul(&b.dagger());
+            assert!(fused.max_abs_diff(&explicit) < 1e-12, "{m}x{k}x{n}");
+        }
     }
 
     #[test]

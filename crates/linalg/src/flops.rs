@@ -23,7 +23,15 @@ pub fn add_flops(n: u64) {
 /// (8 real flop per complex multiply-accumulate).
 #[inline]
 pub fn add_gemm_flops(m: usize, k: usize, n: usize) {
-    add_flops(8 * m as u64 * k as u64 * n as u64);
+    add_gemm_flops_batched(m, k, n, 1);
+}
+
+/// Record the cost of `batch` complex GEMMs of shape `m x k x n` — the one
+/// accounting helper every GEMM variant routes through, so the Table 3
+/// model-vs-measured comparison can't drift between kernels.
+#[inline]
+pub fn add_gemm_flops_batched(m: usize, k: usize, n: usize, batch: usize) {
+    add_flops(8 * m as u64 * k as u64 * n as u64 * batch as u64);
 }
 
 /// Current global flop count.
@@ -53,6 +61,12 @@ mod tests {
     fn gemm_flops_formula() {
         let (_, d) = count_flops(|| add_gemm_flops(2, 3, 4));
         assert_eq!(d, 8 * 2 * 3 * 4);
+    }
+
+    #[test]
+    fn batched_gemm_flops_formula() {
+        let (_, d) = count_flops(|| add_gemm_flops_batched(2, 3, 4, 7));
+        assert_eq!(d, 8 * 2 * 3 * 4 * 7);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! # qt-linalg — numeric substrate for the quantum-transport simulator
 //!
 //! From-scratch complex linear algebra tailored to what the NEGF solver
-//! needs: dense row-major matrices with blocked/parallel GEMM, batched small
-//! GEMMs (the SSE hot loop), LU factorization (RGF block inverses), CSR
+//! needs: dense row-major matrices on a BLIS-style packed, cache-blocked,
+//! register-tiled GEMM (see [`gemm`] and DESIGN.md "GEMM substrate"), batched
+//! small GEMMs (the SSE hot loop), LU factorization (RGF block inverses), CSR
 //! sparse kernels (the Table 6 design space), block tri-diagonal containers,
 //! N-D tensors with layout permutation, and global flop accounting (our
 //! substitute for the paper's `nvprof` counts).

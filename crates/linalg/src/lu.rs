@@ -209,7 +209,10 @@ mod tests {
         a[(0, 1)] = Complex64::ONE;
         a[(1, 0)] = Complex64::ONE;
         let inv = invert(&a).unwrap();
-        assert!(inv.max_abs_diff(&a) < 1e-14, "permutation is its own inverse");
+        assert!(
+            inv.max_abs_diff(&a) < 1e-14,
+            "permutation is its own inverse"
+        );
     }
 
     #[test]

@@ -94,22 +94,14 @@ impl Tensor {
     /// `G[kz, E, a, :, :]`).
     pub fn inner(&self, prefix: &[usize]) -> &[Complex64] {
         let span: usize = self.shape[prefix.len()..].iter().product();
-        let off: usize = prefix
-            .iter()
-            .zip(&self.strides)
-            .map(|(&i, &s)| i * s)
-            .sum();
+        let off: usize = prefix.iter().zip(&self.strides).map(|(&i, &s)| i * s).sum();
         &self.data[off..off + span]
     }
 
     /// Mutable variant of [`Tensor::inner`].
     pub fn inner_mut(&mut self, prefix: &[usize]) -> &mut [Complex64] {
         let span: usize = self.shape[prefix.len()..].iter().product();
-        let off: usize = prefix
-            .iter()
-            .zip(&self.strides)
-            .map(|(&i, &s)| i * s)
-            .sum();
+        let off: usize = prefix.iter().zip(&self.strides).map(|(&i, &s)| i * s).sum();
         &mut self.data[off..off + span]
     }
 

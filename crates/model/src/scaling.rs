@@ -63,12 +63,11 @@ pub fn predict(p: &SimParams, m: &Machine, nodes: usize, variant: Variant) -> Ph
         }
         Variant::Dace => {
             let t_sse = flops::sse_dace_flops(p) / m.compute_rate(nodes, m.eff_sse);
-            let tiling = tilesearch::optimal_tiling(p, procs)
-                .unwrap_or(tilesearch::Tiling {
-                    te: 1,
-                    ta: 1,
-                    total_bytes: volume::dace_total_bytes(p, 1, 1),
-                });
+            let tiling = tilesearch::optimal_tiling(p, procs).unwrap_or(tilesearch::Tiling {
+                te: 1,
+                ta: 1,
+                total_bytes: volume::dace_total_bytes(p, 1, 1),
+            });
             let t_comm = tiling.total_bytes / m.network_rate(nodes);
             PhaseTimes {
                 t_gf,

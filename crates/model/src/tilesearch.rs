@@ -45,7 +45,11 @@ pub fn optimal_tiling(p: &SimParams, procs: usize) -> Option<Tiling> {
             continue;
         }
         let total_bytes = volume::dace_total_bytes(p, te, ta);
-        let cand = Tiling { te, ta, total_bytes };
+        let cand = Tiling {
+            te,
+            ta,
+            total_bytes,
+        };
         if best.is_none_or(|b| cand.total_bytes < b.total_bytes) {
             best = Some(cand);
         }

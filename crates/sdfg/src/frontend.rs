@@ -156,12 +156,10 @@ impl<'a> ExprParser<'a> {
                 while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                     self.pos += 1;
                 }
-                let v: i64 = self.src[start..self.pos]
-                    .parse()
-                    .map_err(|_| ParseError {
-                        line: self.line,
-                        message: "bad integer".into(),
-                    })?;
+                let v: i64 = self.src[start..self.pos].parse().map_err(|_| ParseError {
+                    line: self.line,
+                    message: "bad integer".into(),
+                })?;
                 Ok(SymExpr::int(v))
             }
             Some(c) if c.is_alphabetic() || c == '_' => {
@@ -171,7 +169,10 @@ impl<'a> ExprParser<'a> {
                 }
                 Ok(SymExpr::sym(&self.src[start..self.pos]))
             }
-            other => err(self.line, format!("unexpected token {other:?} in expression")),
+            other => err(
+                self.line,
+                format!("unexpected token {other:?} in expression"),
+            ),
         }
     }
 
@@ -229,12 +230,10 @@ fn parse_access(
     indirections: &[String],
 ) -> Result<ParsedAccess, ParseError> {
     let src = src.trim();
-    let open = src
-        .find('[')
-        .ok_or(ParseError {
-            line,
-            message: format!("expected `name[...]`, got `{src}`"),
-        })?;
+    let open = src.find('[').ok_or(ParseError {
+        line,
+        message: format!("expected `name[...]`, got `{src}`"),
+    })?;
     if !src.ends_with(']') {
         return err(line, format!("unterminated subset in `{src}`"));
     }
@@ -585,7 +584,9 @@ mod tests {
         .unwrap();
         assert!(tree.validate().is_ok());
         let stats = tree.stats(&b, &[library::neighbor_model()]);
-        let before = parse_program(FIG5_SSE_SIGMA).unwrap().stats(&b, &[library::neighbor_model()]);
+        let before = parse_program(FIG5_SSE_SIGMA)
+            .unwrap()
+            .stats(&b, &[library::neighbor_model()]);
         assert!(stats.flops < before.flops);
     }
 

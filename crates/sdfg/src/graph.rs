@@ -46,7 +46,12 @@ impl StateGraph {
     }
 
     fn add_edge(&mut self, src: usize, dst: usize, label: String, wcr: bool) {
-        self.edges.push(GraphEdge { src, dst, label, wcr });
+        self.edges.push(GraphEdge {
+            src,
+            dst,
+            label,
+            wcr,
+        });
     }
 
     /// Lower a scope tree into the flat graph.
@@ -65,7 +70,11 @@ impl StateGraph {
     /// entry/exit node ids.
     fn lower(&mut self, node: &Node, entry: Option<usize>, exit: Option<usize>) {
         match node {
-            Node::Map { label, params, body } => {
+            Node::Map {
+                label,
+                params,
+                body,
+            } => {
                 let ps: Vec<String> = params
                     .iter()
                     .map(|p| format!("{}={}", p.name, p.range))
@@ -137,7 +146,11 @@ impl StateGraph {
             );
         }
         for e in &self.edges {
-            let style = if e.wcr { ", style=dashed, color=red" } else { "" };
+            let style = if e.wcr {
+                ", style=dashed, color=red"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  n{} -> n{} [label=\"{}\"{}];",
@@ -162,16 +175,28 @@ mod tests {
 
     fn tiny_tree() -> ScopeTree {
         let mut t = ScopeTree::new("tiny");
-        t.add_array("A", ArrayDesc::new(vec![SymExpr::sym("N")], Dtype::Complex128, false));
-        t.add_array("B", ArrayDesc::new(vec![SymExpr::sym("N")], Dtype::Complex128, false));
+        t.add_array(
+            "A",
+            ArrayDesc::new(vec![SymExpr::sym("N")], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "B",
+            ArrayDesc::new(vec![SymExpr::sym("N")], Dtype::Complex128, false),
+        );
         t.roots.push(Node::map(
             "m",
             vec![ParamRange::new("i", 0, SymExpr::sym("N"))],
             vec![Node::compute(
                 "copy",
                 OpKind::Tasklet,
-                vec![Access::read("A", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
-                vec![Access::accumulate("B", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
+                vec![Access::read(
+                    "A",
+                    Subset::new(vec![Dim::idx(SymExpr::sym("i"))]),
+                )],
+                vec![Access::accumulate(
+                    "B",
+                    Subset::new(vec![Dim::idx(SymExpr::sym("i"))]),
+                )],
                 SymExpr::int(1),
             )],
         ));
@@ -181,11 +206,23 @@ mod tests {
     #[test]
     fn lowering_produces_entry_exit_pairs() {
         let g = StateGraph::from_tree(&tiny_tree());
-        let entries = g.nodes.iter().filter(|n| matches!(n, GraphNode::MapEntry(_))).count();
-        let exits = g.nodes.iter().filter(|n| matches!(n, GraphNode::MapExit(_))).count();
+        let entries = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, GraphNode::MapEntry(_)))
+            .count();
+        let exits = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, GraphNode::MapExit(_)))
+            .count();
         assert_eq!(entries, 1);
         assert_eq!(exits, 1);
-        let tasklets = g.nodes.iter().filter(|n| matches!(n, GraphNode::Tasklet(_))).count();
+        let tasklets = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, GraphNode::Tasklet(_)))
+            .count();
         assert_eq!(tasklets, 1);
     }
 
@@ -205,11 +242,19 @@ mod tests {
         crate::transforms::map_tiling(
             &mut t,
             "m",
-            &[crate::transforms::TileSpec::new("i", SymExpr::sym("T"), SymExpr::sym("s"))],
+            &[crate::transforms::TileSpec::new(
+                "i",
+                SymExpr::sym("T"),
+                SymExpr::sym("s"),
+            )],
         )
         .unwrap();
         let g = StateGraph::from_tree(&t);
-        let entries = g.nodes.iter().filter(|n| matches!(n, GraphNode::MapEntry(_))).count();
+        let entries = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, GraphNode::MapEntry(_)))
+            .count();
         assert_eq!(entries, 2);
         // There must be an edge between the two map entries.
         let entry_ids: Vec<usize> = g

@@ -21,8 +21,8 @@ pub mod transforms;
 
 pub use frontend::{parse_program, ParseError, FIG5_SSE_SIGMA};
 pub use graph::StateGraph;
-pub use sdfg::{qt_simulation_sdfg, InterstateEdge, Sdfg};
 pub use propagate::{propagate_index, propagate_subset, IndirectionModel, ParamRange};
+pub use sdfg::{qt_simulation_sdfg, InterstateEdge, Sdfg};
 pub use stree::{Access, ArrayDesc, Dtype, Node, OpKind, ScopeTree, TreeStats};
 pub use subset::{Dim, Range, Subset};
 pub use symexpr::{Bindings, SymExpr};

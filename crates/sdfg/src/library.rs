@@ -23,9 +23,18 @@ fn s(name: &str) -> SymExpr {
 /// multiply tasklet and sum-conflict-resolution into `C`.
 pub fn matmul_tree() -> ScopeTree {
     let mut t = ScopeTree::new("matmul");
-    t.add_array("A", ArrayDesc::new(vec![s("M"), s("K")], Dtype::Complex128, false));
-    t.add_array("B", ArrayDesc::new(vec![s("K"), s("N")], Dtype::Complex128, false));
-    t.add_array("C", ArrayDesc::new(vec![s("M"), s("N")], Dtype::Complex128, false));
+    t.add_array(
+        "A",
+        ArrayDesc::new(vec![s("M"), s("K")], Dtype::Complex128, false),
+    );
+    t.add_array(
+        "B",
+        ArrayDesc::new(vec![s("K"), s("N")], Dtype::Complex128, false),
+    );
+    t.add_array(
+        "C",
+        ArrayDesc::new(vec![s("M"), s("N")], Dtype::Complex128, false),
+    );
     t.roots.push(Node::map(
         "mm",
         vec![
@@ -106,7 +115,17 @@ pub fn sse_sigma_tree() -> ScopeTree {
     t.add_array(
         "dHG",
         ArrayDesc::new(
-            vec![s("Nkz"), s("NE"), s("Nqz"), s("Nw"), s("N3D"), s("NA"), s("NB"), s("Norb"), s("Norb")],
+            vec![
+                s("Nkz"),
+                s("NE"),
+                s("Nqz"),
+                s("Nw"),
+                s("N3D"),
+                s("NA"),
+                s("NB"),
+                s("Norb"),
+                s("Norb"),
+            ],
             Dtype::Complex128,
             true,
         ),
@@ -114,7 +133,15 @@ pub fn sse_sigma_tree() -> ScopeTree {
     t.add_array(
         "dHD",
         ArrayDesc::new(
-            vec![s("Nqz"), s("Nw"), s("N3D"), s("NA"), s("NB"), s("Norb"), s("Norb")],
+            vec![
+                s("Nqz"),
+                s("Nw"),
+                s("N3D"),
+                s("NA"),
+                s("NB"),
+                s("Norb"),
+                s("Norb"),
+            ],
             Dtype::Complex128,
             true,
         ),
@@ -258,7 +285,11 @@ pub fn transform_sse_sigma(
     transforms::map_expansion(tree, "map_sigma_mm", &["w"])?;
     transforms::multiplication_fusion(tree, "map_sigma_mm_inner", &["w"])?;
     tree.validate()?;
-    record("map expansion + GEMM substitution (Fig. 11)", tree, &mut steps);
+    record(
+        "map expansion + GEMM substitution (Fig. 11)",
+        tree,
+        &mut steps,
+    );
 
     transforms::map_fusion(
         tree,
@@ -277,26 +308,58 @@ pub fn transform_sse_sigma(
 /// self-energy map. Returned as one scope tree per state.
 pub fn qt_toplevel() -> Vec<ScopeTree> {
     let mut gf = ScopeTree::new("GF");
-    gf.add_array("H", ArrayDesc::new(vec![s("Nkz"), s("NAorb"), s("NAorb")], Dtype::Complex128, false));
-    gf.add_array("Phi", ArrayDesc::new(vec![s("Nqz"), s("NA3"), s("NA3")], Dtype::Complex128, false));
+    gf.add_array(
+        "H",
+        ArrayDesc::new(
+            vec![s("Nkz"), s("NAorb"), s("NAorb")],
+            Dtype::Complex128,
+            false,
+        ),
+    );
+    gf.add_array(
+        "Phi",
+        ArrayDesc::new(vec![s("Nqz"), s("NA3"), s("NA3")], Dtype::Complex128, false),
+    );
     gf.add_array(
         "SigmaIn",
-        ArrayDesc::new(vec![s("Nkz"), s("NE"), s("NA"), s("Norb"), s("Norb")], Dtype::Complex128, false),
+        ArrayDesc::new(
+            vec![s("Nkz"), s("NE"), s("NA"), s("Norb"), s("Norb")],
+            Dtype::Complex128,
+            false,
+        ),
     );
     gf.add_array(
         "PiIn",
-        ArrayDesc::new(vec![s("Nqz"), s("Nw"), s("NA"), s("NB1"), s("N3D"), s("N3D")], Dtype::Complex128, false),
+        ArrayDesc::new(
+            vec![s("Nqz"), s("Nw"), s("NA"), s("NB1"), s("N3D"), s("N3D")],
+            Dtype::Complex128,
+            false,
+        ),
     );
     gf.add_array(
         "G",
-        ArrayDesc::new(vec![s("Nkz"), s("NE"), s("NA"), s("Norb"), s("Norb")], Dtype::Complex128, false),
+        ArrayDesc::new(
+            vec![s("Nkz"), s("NE"), s("NA"), s("Norb"), s("Norb")],
+            Dtype::Complex128,
+            false,
+        ),
     );
     gf.add_array(
         "Dph",
-        ArrayDesc::new(vec![s("Nqz"), s("Nw"), s("NA"), s("NB1"), s("N3D"), s("N3D")], Dtype::Complex128, false),
+        ArrayDesc::new(
+            vec![s("Nqz"), s("Nw"), s("NA"), s("NB1"), s("N3D"), s("N3D")],
+            Dtype::Complex128,
+            false,
+        ),
     );
-    gf.add_array("Ie", ArrayDesc::new(vec![SymExpr::int(1)], Dtype::Float64, false));
-    gf.add_array("Iph", ArrayDesc::new(vec![SymExpr::int(1)], Dtype::Float64, false));
+    gf.add_array(
+        "Ie",
+        ArrayDesc::new(vec![SymExpr::int(1)], Dtype::Float64, false),
+    );
+    gf.add_array(
+        "Iph",
+        ArrayDesc::new(vec![SymExpr::int(1)], Dtype::Float64, false),
+    );
     let naorb2 = s("NAorb") * s("NAorb");
     gf.roots.push(Node::map(
         "electrons",
@@ -310,12 +373,30 @@ pub fn qt_toplevel() -> Vec<ScopeTree> {
             vec![
                 Access::read(
                     "H",
-                    Subset::new(vec![Dim::idx(s("kz")), Dim::full(s("NAorb")), Dim::full(s("NAorb"))]),
+                    Subset::new(vec![
+                        Dim::idx(s("kz")),
+                        Dim::full(s("NAorb")),
+                        Dim::full(s("NAorb")),
+                    ]),
                 ),
-                Access::read("SigmaIn", orb_block(vec![Dim::idx(s("kz")), Dim::idx(s("E")), Dim::full(s("NA"))])),
+                Access::read(
+                    "SigmaIn",
+                    orb_block(vec![
+                        Dim::idx(s("kz")),
+                        Dim::idx(s("E")),
+                        Dim::full(s("NA")),
+                    ]),
+                ),
             ],
             vec![
-                Access::write("G", orb_block(vec![Dim::idx(s("kz")), Dim::idx(s("E")), Dim::full(s("NA"))])),
+                Access::write(
+                    "G",
+                    orb_block(vec![
+                        Dim::idx(s("kz")),
+                        Dim::idx(s("E")),
+                        Dim::full(s("NA")),
+                    ]),
+                ),
                 Access::accumulate("Ie", Subset::new(vec![Dim::idx(SymExpr::int(0))])),
             ],
             SymExpr::int(8) * naorb2.clone() * s("NAorb"),
@@ -334,7 +415,11 @@ pub fn qt_toplevel() -> Vec<ScopeTree> {
             vec![
                 Access::read(
                     "Phi",
-                    Subset::new(vec![Dim::idx(s("qz")), Dim::full(s("NA3")), Dim::full(s("NA3"))]),
+                    Subset::new(vec![
+                        Dim::idx(s("qz")),
+                        Dim::full(s("NA3")),
+                        Dim::full(s("NA3")),
+                    ]),
                 ),
                 Access::read(
                     "PiIn",
@@ -502,7 +587,12 @@ mod tests {
         let Node::Map { body, .. } = t.find_map("sse").unwrap() else {
             panic!()
         };
-        let Node::Map { params, body: inner_body, .. } = &body[0] else {
+        let Node::Map {
+            params,
+            body: inner_body,
+            ..
+        } = &body[0]
+        else {
             panic!()
         };
         let Node::Compute { inputs, .. } = &inner_body[0] else {

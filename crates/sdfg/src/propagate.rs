@@ -20,7 +20,11 @@ pub struct ParamRange {
 }
 
 impl ParamRange {
-    pub fn new(name: impl Into<String>, begin: impl Into<SymExpr>, end: impl Into<SymExpr>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        begin: impl Into<SymExpr>,
+        end: impl Into<SymExpr>,
+    ) -> Self {
         ParamRange {
             name: name.into(),
             range: Range::new(begin, end),
@@ -223,10 +227,7 @@ mod tests {
     #[test]
     fn constant_coefficient_direction() {
         // e = 2*i - 3*j over i ∈ [0, 4), j ∈ [0, 5)
-        let params = vec![
-            ParamRange::new("i", 0, 4),
-            ParamRange::new("j", 0, 5),
-        ];
+        let params = vec![ParamRange::new("i", 0, 4), ParamRange::new("j", 0, 5)];
         let e = SymExpr::int(2) * SymExpr::sym("i") - SymExpr::int(3) * SymExpr::sym("j");
         let r = propagate_index(&e, &params);
         let bind = b(&[]);

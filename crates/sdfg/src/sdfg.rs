@@ -77,7 +77,8 @@ impl Sdfg {
             }
         }
         for st in &self.states {
-            st.validate().map_err(|m| format!("state `{}`: {m}", st.name))?;
+            st.validate()
+                .map_err(|m| format!("state `{}`: {m}", st.name))?;
         }
         // Reachability from start.
         let mut reach = vec![false; self.states.len()];
@@ -94,7 +95,10 @@ impl Sdfg {
             }
         }
         if let Some(unreached) = reach.iter().position(|&r| !r) {
-            return Err(format!("state `{}` unreachable", self.states[unreached].name));
+            return Err(format!(
+                "state `{}` unreachable",
+                self.states[unreached].name
+            ));
         }
         Ok(())
     }
@@ -203,10 +207,7 @@ mod tests {
         assert_eq!(back.edges.len(), sdfg.edges.len());
         assert!(back.validate().is_ok());
         // The GF state's arrays survive the round trip.
-        assert_eq!(
-            back.states[1].arrays.len(),
-            sdfg.states[1].arrays.len()
-        );
+        assert_eq!(back.states[1].arrays.len(), sdfg.states[1].arrays.len());
         // Deep check: re-serialization is stable.
         assert_eq!(back.to_json(), json);
     }

@@ -227,7 +227,11 @@ impl ScopeTree {
             mut path_params: Vec<String>,
         ) -> Result<(), String> {
             match node {
-                Node::Map { params, body, label } => {
+                Node::Map {
+                    params,
+                    body,
+                    label,
+                } => {
                     for p in params {
                         if path_params.contains(&p.name) {
                             return Err(format!("map `{label}`: duplicate parameter `{}`", p.name));
@@ -246,10 +250,9 @@ impl ScopeTree {
                     ..
                 } => {
                     for acc in inputs.iter().chain(outputs) {
-                        let desc = tree
-                            .arrays
-                            .get(&acc.array)
-                            .ok_or_else(|| format!("compute `{label}`: unknown array `{}`", acc.array))?;
+                        let desc = tree.arrays.get(&acc.array).ok_or_else(|| {
+                            format!("compute `{label}`: unknown array `{}`", acc.array)
+                        })?;
                         if acc.subset.ndim() != desc.shape.len() {
                             return Err(format!(
                                 "compute `{label}`: array `{}` has {} dims but subset has {}",
@@ -412,7 +415,11 @@ impl fmt::Display for ScopeTree {
         fn show(node: &Node, indent: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             let pad = "  ".repeat(indent);
             match node {
-                Node::Map { label, params, body } => {
+                Node::Map {
+                    label,
+                    params,
+                    body,
+                } => {
                     let ps: Vec<String> = params
                         .iter()
                         .map(|p| format!("{}={}", p.name, p.range))
@@ -467,28 +474,43 @@ mod tests {
         let m = SymExpr::sym("M");
         let n = SymExpr::sym("N");
         let k = SymExpr::sym("K");
-        t.add_array("A", ArrayDesc::new(vec![m.clone(), k.clone()], Dtype::Complex128, false));
-        t.add_array("B", ArrayDesc::new(vec![k.clone(), n.clone()], Dtype::Complex128, false));
-        t.add_array("C", ArrayDesc::new(vec![m.clone(), n.clone()], Dtype::Complex128, false));
+        t.add_array(
+            "A",
+            ArrayDesc::new(vec![m.clone(), k.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "B",
+            ArrayDesc::new(vec![k.clone(), n.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "C",
+            ArrayDesc::new(vec![m.clone(), n.clone()], Dtype::Complex128, false),
+        );
         let body = Node::compute(
             "dot",
             OpKind::Tasklet,
             vec![
-                Access::read("A", Subset::new(vec![Dim::idx(SymExpr::sym("i")), Dim::full(k.clone())])),
-                Access::read("B", Subset::new(vec![Dim::full(k.clone()), Dim::idx(SymExpr::sym("j"))])),
+                Access::read(
+                    "A",
+                    Subset::new(vec![Dim::idx(SymExpr::sym("i")), Dim::full(k.clone())]),
+                ),
+                Access::read(
+                    "B",
+                    Subset::new(vec![Dim::full(k.clone()), Dim::idx(SymExpr::sym("j"))]),
+                ),
             ],
             vec![Access::accumulate(
                 "C",
-                Subset::new(vec![Dim::idx(SymExpr::sym("i")), Dim::idx(SymExpr::sym("j"))]),
+                Subset::new(vec![
+                    Dim::idx(SymExpr::sym("i")),
+                    Dim::idx(SymExpr::sym("j")),
+                ]),
             )],
             SymExpr::int(8) * k.clone(),
         );
         t.roots.push(Node::map(
             "mm",
-            vec![
-                ParamRange::new("i", 0, m),
-                ParamRange::new("j", 0, n),
-            ],
+            vec![ParamRange::new("i", 0, m), ParamRange::new("j", 0, n)],
             vec![body],
         ));
         t
@@ -531,11 +553,7 @@ mod tests {
         let mut t = simple_tree();
         // Nest a map with a clashing parameter name.
         if let Node::Map { body, .. } = &mut t.roots[0] {
-            let inner = Node::map(
-                "clash",
-                vec![ParamRange::new("i", 0, 4)],
-                vec![],
-            );
+            let inner = Node::map("clash", vec![ParamRange::new("i", 0, 4)], vec![]);
             body.push(inner);
         }
         assert!(t.validate().is_err());
@@ -555,7 +573,11 @@ mod tests {
         let mut t = simple_tree();
         t.add_array(
             "tmp",
-            ArrayDesc::new(vec![SymExpr::sym("M"), SymExpr::sym("K")], Dtype::Complex128, true),
+            ArrayDesc::new(
+                vec![SymExpr::sym("M"), SymExpr::sym("K")],
+                Dtype::Complex128,
+                true,
+            ),
         );
         let b = bind(&[("M", 4), ("N", 5), ("K", 6)]);
         let stats = t.stats(&b, &[]);

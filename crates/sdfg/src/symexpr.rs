@@ -114,12 +114,24 @@ impl SymExpr {
                     SymExpr::Sym(s.clone())
                 }
             }
-            SymExpr::Add(l, r) => SymExpr::Add(Box::new(l.subs(name, value)), Box::new(r.subs(name, value))),
-            SymExpr::Sub(l, r) => SymExpr::Sub(Box::new(l.subs(name, value)), Box::new(r.subs(name, value))),
-            SymExpr::Mul(l, r) => SymExpr::Mul(Box::new(l.subs(name, value)), Box::new(r.subs(name, value))),
-            SymExpr::Div(l, r) => SymExpr::Div(Box::new(l.subs(name, value)), Box::new(r.subs(name, value))),
-            SymExpr::Min(l, r) => SymExpr::Min(Box::new(l.subs(name, value)), Box::new(r.subs(name, value))),
-            SymExpr::Max(l, r) => SymExpr::Max(Box::new(l.subs(name, value)), Box::new(r.subs(name, value))),
+            SymExpr::Add(l, r) => {
+                SymExpr::Add(Box::new(l.subs(name, value)), Box::new(r.subs(name, value)))
+            }
+            SymExpr::Sub(l, r) => {
+                SymExpr::Sub(Box::new(l.subs(name, value)), Box::new(r.subs(name, value)))
+            }
+            SymExpr::Mul(l, r) => {
+                SymExpr::Mul(Box::new(l.subs(name, value)), Box::new(r.subs(name, value)))
+            }
+            SymExpr::Div(l, r) => {
+                SymExpr::Div(Box::new(l.subs(name, value)), Box::new(r.subs(name, value)))
+            }
+            SymExpr::Min(l, r) => {
+                SymExpr::Min(Box::new(l.subs(name, value)), Box::new(r.subs(name, value)))
+            }
+            SymExpr::Max(l, r) => {
+                SymExpr::Max(Box::new(l.subs(name, value)), Box::new(r.subs(name, value)))
+            }
         }
         .simplified()
     }
@@ -383,16 +395,14 @@ mod tests {
         // (k - q) with k := tk*sk  ->  tk*sk - q
         let e = SymExpr::sym("k") - SymExpr::sym("q");
         let s = e.subs("k", &(SymExpr::sym("tk") * SymExpr::sym("sk")));
-        assert_eq!(
-            s.eval(&b(&[("tk", 2), ("sk", 10), ("q", 3)])).unwrap(),
-            17
-        );
+        assert_eq!(s.eval(&b(&[("tk", 2), ("sk", 10), ("q", 3)])).unwrap(), 17);
     }
 
     #[test]
     fn affine_decomposition() {
         // 2x - 3y + 7
-        let e = SymExpr::int(2) * SymExpr::sym("x") - SymExpr::int(3) * SymExpr::sym("y") + SymExpr::int(7);
+        let e = SymExpr::int(2) * SymExpr::sym("x") - SymExpr::int(3) * SymExpr::sym("y")
+            + SymExpr::int(7);
         let (coeffs, c) = e.as_affine().unwrap();
         assert_eq!(c, 7);
         assert_eq!(coeffs.get("x"), Some(&2));

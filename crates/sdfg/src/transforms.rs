@@ -22,7 +22,11 @@ pub struct TileSpec {
 }
 
 impl TileSpec {
-    pub fn new(param: impl Into<String>, num_tiles: impl Into<SymExpr>, tile_size: impl Into<SymExpr>) -> Self {
+    pub fn new(
+        param: impl Into<String>,
+        num_tiles: impl Into<SymExpr>,
+        tile_size: impl Into<SymExpr>,
+    ) -> Self {
         TileSpec {
             param: param.into(),
             num_tiles: num_tiles.into(),
@@ -40,7 +44,12 @@ pub fn map_tiling(tree: &mut ScopeTree, map_label: &str, tiles: &[TileSpec]) -> 
     let node = tree
         .find_map_mut(map_label)
         .ok_or_else(|| format!("no map labeled `{map_label}`"))?;
-    let Node::Map { label, params, body } = node else {
+    let Node::Map {
+        label,
+        params,
+        body,
+    } = node
+    else {
         unreachable!()
     };
     for t in tiles {
@@ -53,7 +62,11 @@ pub fn map_tiling(tree: &mut ScopeTree, map_label: &str, tiles: &[TileSpec]) -> 
     for p in params.iter() {
         if let Some(t) = tiles.iter().find(|t| t.param == p.name) {
             let tp = format!("t{}", p.name);
-            outer_params.push(ParamRange::new(tp.clone(), SymExpr::int(0), t.num_tiles.clone()));
+            outer_params.push(ParamRange::new(
+                tp.clone(),
+                SymExpr::int(0),
+                t.num_tiles.clone(),
+            ));
             let tsym = SymExpr::sym(tp);
             inner_params.push(ParamRange::new(
                 p.name.clone(),
@@ -163,7 +176,11 @@ pub fn map_fission(tree: &mut ScopeTree, map_label: &str) -> Result<(), String> 
     replace_with_many(&mut tree.roots, map_label, new_maps)
 }
 
-fn replace_with_many(nodes: &mut Vec<Node>, label: &str, replacements: Vec<Node>) -> Result<(), String> {
+fn replace_with_many(
+    nodes: &mut Vec<Node>,
+    label: &str,
+    replacements: Vec<Node>,
+) -> Result<(), String> {
     if let Some(pos) = nodes.iter().position(|n| n.label() == label) {
         nodes.splice(pos..pos + 1, replacements);
         return Ok(());
@@ -207,7 +224,10 @@ pub fn redundancy_removal(
     // Collect output arrays and their dims indexed by removed params.
     let mut reshaped: Vec<(String, Vec<usize>)> = Vec::new(); // (array, dropped dims)
     for n in body.iter() {
-        let Node::Compute { inputs, outputs, .. } = n else {
+        let Node::Compute {
+            inputs, outputs, ..
+        } = n
+        else {
             return Err("redundancy removal expects compute-only bodies".into());
         };
         for acc in inputs {
@@ -219,9 +239,8 @@ pub fn redundancy_removal(
             let mut dropped = Vec::new();
             for (d, dim) in acc.subset.0.iter().enumerate() {
                 if let Dim::Index(e) = dim {
-                    if let Some((_, removed)) = pairs
-                        .iter()
-                        .find(|(_, r)| e == &SymExpr::sym(r.clone()))
+                    if let Some((_, removed)) =
+                        pairs.iter().find(|(_, r)| e == &SymExpr::sym(r.clone()))
                     {
                         let _ = removed;
                         dropped.push(d);
@@ -233,7 +252,10 @@ pub fn redundancy_removal(
     }
     // Rewrite the map body.
     for n in body.iter_mut() {
-        let Node::Compute { inputs, outputs, .. } = n else {
+        let Node::Compute {
+            inputs, outputs, ..
+        } = n
+        else {
             unreachable!()
         };
         for acc in inputs.iter_mut() {
@@ -353,7 +375,9 @@ fn rewrite_consumers(
                     rewrite_consumers(body, skip_map, array, dropped, pairs);
                 }
             }
-            Node::Compute { inputs, outputs, .. } => {
+            Node::Compute {
+                inputs, outputs, ..
+            } => {
                 for acc in inputs.iter_mut().chain(outputs.iter_mut()) {
                     if acc.array != array {
                         continue;
@@ -364,9 +388,10 @@ fn rewrite_consumers(
                     for &d in dropped {
                         if let Dim::Index(removed_expr) = &dims[d] {
                             // Identify which removed param this dim holds.
-                            if let Some((kept, removed)) = pairs.iter().find(|(_, r)| {
-                                removed_expr == &SymExpr::sym(r.clone())
-                            }) {
+                            if let Some((kept, removed)) = pairs
+                                .iter()
+                                .find(|(_, r)| removed_expr == &SymExpr::sym(r.clone()))
+                            {
                                 // Substitute kept -> kept - removed in all dims.
                                 for dim in dims.iter_mut() {
                                     subtract_in_dim(dim, kept, removed);
@@ -388,9 +413,8 @@ fn rewrite_consumers(
 }
 
 fn subtract_in_dim(dim: &mut Dim, kept: &str, removed: &str) {
-    let sub = |e: &SymExpr| -> SymExpr {
-        e.subs(kept, &(SymExpr::sym(kept) - SymExpr::sym(removed)))
-    };
+    let sub =
+        |e: &SymExpr| -> SymExpr { e.subs(kept, &(SymExpr::sym(kept) - SymExpr::sym(removed))) };
     match dim {
         Dim::Index(e) => {
             if e.symbols().contains(&kept.to_string()) {
@@ -437,11 +461,14 @@ pub fn data_layout(tree: &mut ScopeTree, array: &str, perm: &[usize]) -> Result<
         for node in nodes {
             match node {
                 Node::Map { body, .. } => rewrite(body, array, perm),
-                Node::Compute { inputs, outputs, .. } => {
+                Node::Compute {
+                    inputs, outputs, ..
+                } => {
                     for acc in inputs.iter_mut().chain(outputs.iter_mut()) {
                         if acc.array == array {
-                            acc.subset =
-                                Subset::new(perm.iter().map(|&p| acc.subset.0[p].clone()).collect());
+                            acc.subset = Subset::new(
+                                perm.iter().map(|&p| acc.subset.0[p].clone()).collect(),
+                            );
                         }
                     }
                 }
@@ -455,11 +482,20 @@ pub fn data_layout(tree: &mut ScopeTree, array: &str, perm: &[usize]) -> Result<
 /// **Map expansion** (Fig. 11b): split one map into two nested maps, the
 /// outer holding `outer_params` (in their original order) and the inner the
 /// rest.
-pub fn map_expansion(tree: &mut ScopeTree, map_label: &str, inner_params: &[&str]) -> Result<(), String> {
+pub fn map_expansion(
+    tree: &mut ScopeTree,
+    map_label: &str,
+    inner_params: &[&str],
+) -> Result<(), String> {
     let node = tree
         .find_map_mut(map_label)
         .ok_or_else(|| format!("no map labeled `{map_label}`"))?;
-    let Node::Map { label, params, body } = node else {
+    let Node::Map {
+        label,
+        params,
+        body,
+    } = node
+    else {
         unreachable!()
     };
     for ip in inner_params {
@@ -564,7 +600,12 @@ pub fn map_fusion(
     let mut fused_ranges: Option<Vec<ParamRange>> = None;
     let mut new_body: Vec<Node> = Vec::new();
     for node in extracted {
-        let Node::Map { label, params, body } = node else {
+        let Node::Map {
+            label,
+            params,
+            body,
+        } = node
+        else {
             return Err("map fusion applies to map nodes".into());
         };
         let (shared, residual): (Vec<ParamRange>, Vec<ParamRange>) = params
@@ -618,7 +659,9 @@ fn shrink_transient(tree: &mut ScopeTree, array: &str, params: &[&str]) -> Resul
         for n in nodes {
             match n {
                 Node::Map { body, .. } => gather(body, array, out),
-                Node::Compute { inputs, outputs, .. } => {
+                Node::Compute {
+                    inputs, outputs, ..
+                } => {
                     for acc in inputs.iter().chain(outputs) {
                         if acc.array == array {
                             out.push(acc.subset.clone());
@@ -658,7 +701,9 @@ fn shrink_transient(tree: &mut ScopeTree, array: &str, params: &[&str]) -> Resul
         for n in nodes {
             match n {
                 Node::Map { body, .. } => rewrite(body, array, droppable),
-                Node::Compute { inputs, outputs, .. } => {
+                Node::Compute {
+                    inputs, outputs, ..
+                } => {
                     for acc in inputs.iter_mut().chain(outputs.iter_mut()) {
                         if acc.array == array {
                             acc.subset = Subset::new(
@@ -695,16 +740,28 @@ mod tests {
     fn tiling_splits_ranges() {
         let mut t = ScopeTree::new("t");
         let m = SymExpr::sym("M");
-        t.add_array("A", ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false));
-        t.add_array("B", ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false));
+        t.add_array(
+            "A",
+            ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "B",
+            ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false),
+        );
         t.roots.push(Node::map(
             "work",
             vec![ParamRange::new("i", 0, m.clone())],
             vec![Node::compute(
                 "f",
                 OpKind::Tasklet,
-                vec![Access::read("A", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
-                vec![Access::write("B", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
+                vec![Access::read(
+                    "A",
+                    Subset::new(vec![Dim::idx(SymExpr::sym("i"))]),
+                )],
+                vec![Access::write(
+                    "B",
+                    Subset::new(vec![Dim::idx(SymExpr::sym("i"))]),
+                )],
                 SymExpr::int(1),
             )],
         ));
@@ -740,11 +797,26 @@ mod tests {
         let mut t = ScopeTree::new("fiss");
         let m = SymExpr::sym("M");
         let n = SymExpr::sym("N");
-        t.add_array("A", ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false));
-        t.add_array("W", ArrayDesc::new(vec![n.clone()], Dtype::Complex128, false));
-        t.add_array("OUT", ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false));
-        t.add_array("AUX", ArrayDesc::new(vec![n.clone()], Dtype::Complex128, false));
-        t.add_array("tmp", ArrayDesc::new(vec![m.clone(), n.clone()], Dtype::Complex128, true));
+        t.add_array(
+            "A",
+            ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "W",
+            ArrayDesc::new(vec![n.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "OUT",
+            ArrayDesc::new(vec![m.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "AUX",
+            ArrayDesc::new(vec![n.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "tmp",
+            ArrayDesc::new(vec![m.clone(), n.clone()], Dtype::Complex128, true),
+        );
         let i = SymExpr::sym("i");
         let j = SymExpr::sym("j");
         t.roots.push(Node::map(
@@ -771,7 +843,10 @@ mod tests {
                         "tmp",
                         Subset::new(vec![Dim::idx(i.clone()), Dim::idx(j.clone())]),
                     )],
-                    vec![Access::accumulate("OUT", Subset::new(vec![Dim::idx(i.clone())]))],
+                    vec![Access::accumulate(
+                        "OUT",
+                        Subset::new(vec![Dim::idx(i.clone())]),
+                    )],
                     SymExpr::int(2),
                 ),
                 Node::compute(
@@ -814,9 +889,18 @@ mod tests {
         let mut t = ScopeTree::new("rr");
         let kk = SymExpr::sym("K");
         let qq = SymExpr::sym("Q");
-        t.add_array("G", ArrayDesc::new(vec![kk.clone()], Dtype::Complex128, false));
-        t.add_array("T", ArrayDesc::new(vec![kk.clone(), qq.clone()], Dtype::Complex128, true));
-        t.add_array("OUT", ArrayDesc::new(vec![kk.clone(), qq.clone()], Dtype::Complex128, false));
+        t.add_array(
+            "G",
+            ArrayDesc::new(vec![kk.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "T",
+            ArrayDesc::new(vec![kk.clone(), qq.clone()], Dtype::Complex128, true),
+        );
+        t.add_array(
+            "OUT",
+            ArrayDesc::new(vec![kk.clone(), qq.clone()], Dtype::Complex128, false),
+        );
         let k = SymExpr::sym("k");
         let q = SymExpr::sym("q");
         t.roots.push(Node::map(
@@ -892,8 +976,14 @@ mod tests {
         // G[k + q] has coefficients (1, 1): not removable.
         let mut t = ScopeTree::new("rr2");
         let kk = SymExpr::sym("K");
-        t.add_array("G", ArrayDesc::new(vec![kk.clone()], Dtype::Complex128, false));
-        t.add_array("T", ArrayDesc::new(vec![kk.clone()], Dtype::Complex128, true));
+        t.add_array(
+            "G",
+            ArrayDesc::new(vec![kk.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "T",
+            ArrayDesc::new(vec![kk.clone()], Dtype::Complex128, true),
+        );
         let k = SymExpr::sym("k");
         let q = SymExpr::sym("q");
         t.roots.push(Node::map(
@@ -905,12 +995,17 @@ mod tests {
             vec![Node::compute(
                 "copy",
                 OpKind::Tasklet,
-                vec![Access::read("G", Subset::new(vec![Dim::idx(k.clone() + q.clone())]))],
+                vec![Access::read(
+                    "G",
+                    Subset::new(vec![Dim::idx(k.clone() + q.clone())]),
+                )],
                 vec![Access::write("T", Subset::new(vec![Dim::idx(k.clone())]))],
                 SymExpr::int(1),
             )],
         ));
-        assert!(redundancy_removal(&mut t, "produce", &[("k".to_string(), "q".to_string())]).is_err());
+        assert!(
+            redundancy_removal(&mut t, "produce", &[("k".to_string(), "q".to_string())]).is_err()
+        );
     }
 
     #[test]
@@ -959,7 +1054,10 @@ mod tests {
     #[test]
     fn expansion_nests_params() {
         let mut t = ScopeTree::new("ex");
-        t.add_array("A", ArrayDesc::new(vec![SymExpr::sym("N")], Dtype::Complex128, false));
+        t.add_array(
+            "A",
+            ArrayDesc::new(vec![SymExpr::sym("N")], Dtype::Complex128, false),
+        );
         t.roots.push(Node::map(
             "m",
             vec![
@@ -969,7 +1067,10 @@ mod tests {
             vec![Node::compute(
                 "c",
                 OpKind::Tasklet,
-                vec![Access::read("A", Subset::new(vec![Dim::idx(SymExpr::sym("i"))]))],
+                vec![Access::read(
+                    "A",
+                    Subset::new(vec![Dim::idx(SymExpr::sym("i"))]),
+                )],
                 vec![],
                 SymExpr::int(1),
             )],
@@ -993,8 +1094,14 @@ mod tests {
         let mut t = ScopeTree::new("mf");
         let na = SymExpr::sym("NA");
         let ne = SymExpr::sym("NE");
-        t.add_array("M1", ArrayDesc::new(vec![na.clone(), ne.clone()], Dtype::Complex128, false));
-        t.add_array("OUT", ArrayDesc::new(vec![na.clone(), ne.clone()], Dtype::Complex128, false));
+        t.add_array(
+            "M1",
+            ArrayDesc::new(vec![na.clone(), ne.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "OUT",
+            ArrayDesc::new(vec![na.clone(), ne.clone()], Dtype::Complex128, false),
+        );
         t.roots.push(Node::map(
             "m",
             vec![
@@ -1006,11 +1113,17 @@ mod tests {
                 OpKind::MatMul,
                 vec![Access::read(
                     "M1",
-                    Subset::new(vec![Dim::idx(SymExpr::sym("a")), Dim::idx(SymExpr::sym("e"))]),
+                    Subset::new(vec![
+                        Dim::idx(SymExpr::sym("a")),
+                        Dim::idx(SymExpr::sym("e")),
+                    ]),
                 )],
                 vec![Access::write(
                     "OUT",
-                    Subset::new(vec![Dim::idx(SymExpr::sym("a")), Dim::idx(SymExpr::sym("e"))]),
+                    Subset::new(vec![
+                        Dim::idx(SymExpr::sym("a")),
+                        Dim::idx(SymExpr::sym("e")),
+                    ]),
                 )],
                 SymExpr::int(100),
             )],
@@ -1039,9 +1152,18 @@ mod tests {
         let mut t = ScopeTree::new("fuse");
         let na = SymExpr::sym("NA");
         let nx = SymExpr::sym("NX");
-        t.add_array("IN", ArrayDesc::new(vec![na.clone(), nx.clone()], Dtype::Complex128, false));
-        t.add_array("T", ArrayDesc::new(vec![na.clone(), nx.clone()], Dtype::Complex128, true));
-        t.add_array("OUT", ArrayDesc::new(vec![na.clone(), nx.clone()], Dtype::Complex128, false));
+        t.add_array(
+            "IN",
+            ArrayDesc::new(vec![na.clone(), nx.clone()], Dtype::Complex128, false),
+        );
+        t.add_array(
+            "T",
+            ArrayDesc::new(vec![na.clone(), nx.clone()], Dtype::Complex128, true),
+        );
+        t.add_array(
+            "OUT",
+            ArrayDesc::new(vec![na.clone(), nx.clone()], Dtype::Complex128, false),
+        );
         let a = SymExpr::sym("a");
         let x = SymExpr::sym("x");
         t.roots.push(Node::map(
@@ -1053,8 +1175,14 @@ mod tests {
             vec![Node::compute(
                 "w",
                 OpKind::Tasklet,
-                vec![Access::read("IN", Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]))],
-                vec![Access::write("T", Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]))],
+                vec![Access::read(
+                    "IN",
+                    Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]),
+                )],
+                vec![Access::write(
+                    "T",
+                    Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]),
+                )],
                 SymExpr::int(1),
             )],
         ));
@@ -1067,8 +1195,14 @@ mod tests {
             vec![Node::compute(
                 "r",
                 OpKind::Tasklet,
-                vec![Access::read("T", Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]))],
-                vec![Access::write("OUT", Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]))],
+                vec![Access::read(
+                    "T",
+                    Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]),
+                )],
+                vec![Access::write(
+                    "OUT",
+                    Subset::new(vec![Dim::idx(a.clone()), Dim::idx(x.clone())]),
+                )],
                 SymExpr::int(1),
             )],
         ));
