@@ -92,5 +92,37 @@ fn bench_dace_wide(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rgf_block, bench_sse_batch, bench_dace_wide);
+/// Telemetry overhead: the instrumented blocked path with telemetry
+/// *disabled* against the `INSTRUMENT = false` monomorphization with
+/// telemetry *absent*, on identical operands. The acceptance bound for
+/// this group is a <2% gap — the disabled path pays only a relaxed atomic
+/// load per GEMM plus the sharded flop-counter add.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    qt_telemetry::set_enabled(false);
+    let mut r = rand::rngs::StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("gemm/telemetry_overhead");
+    group.sample_size(20);
+    for n in [64usize, 256] {
+        let a = cvec(&mut r, n * n);
+        let b = cvec(&mut r, n * n);
+        let mut out = vec![Complex64::ZERO; n * n];
+        group.throughput(Throughput::Elements(flops(n, n, n, 1)));
+        group.bench_with_input(BenchmarkId::new("disabled", n), &n, |bench, &n| {
+            bench.iter(|| gemm::gemm_blocked_acc(n, n, n, &a, &b, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("uninstrumented", n), &n, |bench, &n| {
+            bench.iter(|| gemm::gemm_blocked_acc_uninstrumented(n, n, n, &a, &b, &mut out))
+        });
+    }
+    group.finish();
+    qt_telemetry::set_enabled(true);
+}
+
+criterion_group!(
+    benches,
+    bench_rgf_block,
+    bench_sse_batch,
+    bench_dace_wide,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

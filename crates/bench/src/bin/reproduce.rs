@@ -3,11 +3,21 @@
 //! ```sh
 //! cargo run --release -p qt-bench --bin reproduce -- all
 //! cargo run --release -p qt-bench --bin reproduce -- table4
+//! cargo run --release -p qt-bench --bin reproduce -- profile \
+//!     --trace out.trace.json --report out.report.json
+//! cargo run --release -p qt-bench --bin reproduce -- check-report out.report.json
 //! ```
 //!
 //! Closed-form and model results are produced at the paper's full
 //! parameters; timed kernel results run at a reduced scale (documented per
 //! section) and report the *shape* (ratios, orderings, crossovers).
+//!
+//! `profile` runs an instrumented end-to-end pipeline (SCF loop, all three
+//! SSE variants, both distributed communication schemes) with telemetry
+//! enabled, compares the measured flop and byte counts against the
+//! closed-form models, and optionally writes a Chrome/Perfetto trace and a
+//! JSON [`qt_telemetry::TelemetryReport`]. `check-report` re-parses and
+//! re-validates a previously written report (used by CI).
 
 use qt_bench::{
     bench_params, table6_csrgemm, table6_csrmm, table6_dense_mm, table6_operands, BenchFixture,
@@ -24,7 +34,37 @@ const TIB: f64 = (1u64 << 40) as f64;
 const PF: f64 = 1e15;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().cloned().unwrap_or_else(|| "all".into());
+    if which == "profile" {
+        profile(&args[1..]);
+        return;
+    }
+    if which == "check-report" {
+        check_report(&args[1..]);
+        return;
+    }
+    let known = [
+        "all",
+        "table1",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table7",
+        "table8",
+        "fig13",
+        "fig1d",
+        "sdfg",
+        "calibrate",
+    ];
+    if !known.contains(&which.as_str()) {
+        eprintln!(
+            "unknown subcommand {which:?} (expected one of: profile, check-report, {})",
+            known.join(", ")
+        );
+        std::process::exit(2);
+    }
     let all = which == "all";
     if all || which == "table1" {
         table1();
@@ -411,6 +451,271 @@ fn fig1d() {
         out.converged,
         out.iterations,
         out.current_history.last().unwrap()
+    );
+}
+
+/// End-to-end instrumented run: SCF with the DaCe SSE kernel, one pass of
+/// the OMEN and reference kernels, and both distributed communication
+/// schemes — all with telemetry enabled — followed by a
+/// measured-vs-model reconciliation (Tables 3–5) and optional trace/report
+/// export.
+fn profile(flags: &[String]) {
+    use qt_core::scf::{run_scf, ScfConfig, Simulation};
+    use qt_telemetry::report::{ConvergencePoint, ModelResidual, RankComm};
+
+    let mut trace_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        let need = |what: &str| {
+            flags.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a file path");
+                std::process::exit(2);
+            })
+        };
+        match flags[i].as_str() {
+            "--trace" => trace_path = Some(need("--trace")),
+            "--report" => report_path = Some(need("--report")),
+            other => {
+                eprintln!("unknown profile flag {other:?} (expected --trace/--report)");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!("== profile: instrumented end-to-end pipeline ==");
+    qt_telemetry::reset_all();
+    qt_telemetry::set_enabled(true);
+    qt_telemetry::set_tracing(trace_path.is_some());
+
+    // Laptop-sized structure-preserving configuration: every phase of the
+    // full pipeline runs, every closed-form model stays exact.
+    let p = SimParams {
+        nkz: 2,
+        nqz: 2,
+        ne: 24,
+        nw: 3,
+        na: 12,
+        nb: 3,
+        norb: 2,
+        bnum: 4,
+    };
+    let sim = Simulation::new(p, -1.2, 1.2);
+    let cfg = ScfConfig {
+        max_iterations: 4,
+        ..Default::default()
+    };
+    let out = run_scf(&sim, &cfg).expect("SCF");
+    println!(
+        "  SCF: {} iterations, converged={}, I={:.4e}",
+        out.iterations,
+        out.converged,
+        out.current_history.last().copied().unwrap_or(0.0)
+    );
+
+    // One pass of the other two SSE variants so all three kernels appear
+    // in the phase table and the OMEN flop model can be reconciled.
+    let (dl, dg) = qt_core::sse::preprocess_d(&sim.dev, &p, &out.phonon);
+    let inputs = sse::SseInputs {
+        dev: &sim.dev,
+        p: &p,
+        grids: &sim.grids,
+        dh: &sim.dh,
+        g_lesser: &out.electron.g_lesser,
+        g_greater: &out.electron.g_greater,
+        d_lesser_pre: &dl,
+        d_greater_pre: &dg,
+    };
+    let _ = sse::sigma(&inputs, SseVariant::Omen);
+    let _ = sse::sigma(&inputs, SseVariant::Reference);
+
+    // Both distributed SSE schemes, with per-rank byte accounting.
+    let ctx = qt_dist::schemes::SseDistContext {
+        p: &p,
+        dev: &sim.dev,
+        grids: &sim.grids,
+        dh: &sim.dh,
+        g_lesser: &out.electron.g_lesser,
+        g_greater: &out.electron.g_greater,
+        d_lesser_pre: &dl,
+        d_greater_pre: &dg,
+    };
+    let omen_procs = 4;
+    let (_, _, omen_stats) = qt_dist::schemes::omen_scheme(&ctx, omen_procs);
+    let (te, ta) = (2usize, 2usize);
+    let dist = qt_dist::runner::distributed_iteration(
+        &p, &sim.dev, &sim.em, &sim.pm, &sim.grids, &cfg.gf, te, ta,
+    )
+    .expect("distributed iteration");
+
+    // ---- Reconcile measurements against the models. ----
+    let mut rep = qt_telemetry::TelemetryReport::from_current();
+    let stat = |path: &str| qt_telemetry::registry::phase(path).unwrap_or_default();
+
+    // Flops: implementation-exact forms (residual must vanish) and the
+    // paper's Table 3 asymptotics (informational at reduced scale).
+    let dace_stat = stat("sse/sigma/dace");
+    let omen_stat = stat("sse/sigma/omen");
+    let dace_exact = flops::sse_dace_flops_exact(&p, &sim.dev) as f64;
+    let omen_exact = flops::sse_omen_flops_exact(&p, &sim.dev) as f64;
+    rep.residuals.push(ModelResidual::new(
+        "sse_dace_flops_vs_exact",
+        dace_stat.flops as f64,
+        dace_stat.calls as f64 * dace_exact,
+        true,
+    ));
+    rep.residuals.push(ModelResidual::new(
+        "sse_omen_flops_vs_exact",
+        omen_stat.flops as f64,
+        omen_stat.calls as f64 * omen_exact,
+        true,
+    ));
+    rep.residuals.push(ModelResidual::new(
+        "sse_dace_flops_vs_table3",
+        dace_stat.flops as f64 / dace_stat.calls.max(1) as f64,
+        flops::sse_dace_flops(&p),
+        false,
+    ));
+    rep.residuals.push(ModelResidual::new(
+        "sse_omen_flops_vs_table3",
+        omen_stat.flops as f64 / omen_stat.calls.max(1) as f64,
+        flops::sse_omen_flops(&p),
+        false,
+    ));
+
+    // Communication volume: the per-scheme exact closed forms (Table 4/5
+    // machinery evaluated on the real decomposition) and the asymptotics.
+    let halo = sim.dev.max_neighbor_index_distance();
+    rep.residuals.push(ModelResidual::new(
+        "omen_comm_bytes_vs_exact",
+        omen_stats.world_bytes as f64,
+        volume::omen_measured_bytes(&p, omen_procs) as f64,
+        true,
+    ));
+    rep.residuals.push(ModelResidual::new(
+        "dace_comm_bytes_vs_exact",
+        dist.sse_bytes as f64,
+        volume::dace_measured_bytes(&p, te, ta, halo) as f64,
+        true,
+    ));
+    rep.residuals.push(ModelResidual::new(
+        "omen_comm_bytes_vs_table45",
+        omen_stats.world_bytes as f64,
+        volume::omen_total_bytes(&p, omen_procs),
+        false,
+    ));
+    rep.residuals.push(ModelResidual::new(
+        "dace_comm_bytes_vs_table45",
+        dist.sse_bytes as f64,
+        volume::dace_total_bytes(&p, te, ta),
+        false,
+    ));
+
+    // Convergence trajectory and per-rank communication volumes.
+    for r in &out.trajectory {
+        rep.convergence.push(ConvergencePoint {
+            iteration: r.iteration,
+            residual: r.residual,
+            mixing: r.mixing,
+            wall_ms: r.wall_seconds * 1e3,
+            current: r.current,
+        });
+    }
+    for (rank, (&sent, &recv)) in dist
+        .comm
+        .rank_sent
+        .iter()
+        .zip(&dist.comm.rank_recv)
+        .enumerate()
+    {
+        rep.comm.push(RankComm {
+            rank,
+            sent_bytes: sent,
+            recv_bytes: recv,
+        });
+    }
+
+    if let Err(e) = rep.validate() {
+        eprintln!("profile report FAILED validation: {e}");
+        std::process::exit(1);
+    }
+
+    // ---- Human-readable summary. ----
+    println!(
+        "  {:<22} {:>6} {:>10} {:>10} {:>9} {:>12}",
+        "phase", "calls", "wall ms", "Gflop", "GF/s", "bytes"
+    );
+    let mut phases = rep.phases.clone();
+    phases.sort_by(|a, b| b.wall_ms.partial_cmp(&a.wall_ms).unwrap());
+    for ph in &phases {
+        println!(
+            "  {:<22} {:>6} {:>10.2} {:>10.3} {:>9.2} {:>12}",
+            ph.path, ph.calls, ph.wall_ms, ph.gflop, ph.gflop_per_s, ph.bytes
+        );
+    }
+    println!(
+        "  {:<28} {:>14} {:>14} {:>11}",
+        "residual", "measured", "model", "rel err"
+    );
+    for r in &rep.residuals {
+        println!(
+            "  {:<28} {:>14.4e} {:>14.4e} {:>10.2e}{}",
+            r.name,
+            r.measured,
+            r.model,
+            r.rel_error,
+            if r.exact { " (exact)" } else { "" }
+        );
+    }
+    println!(
+        "  totals: {:.3} Gflop counted, {} bytes communicated",
+        rep.total_flops as f64 / 1e9,
+        rep.total_bytes
+    );
+
+    if let Some(path) = &report_path {
+        std::fs::write(path, rep.to_json()).expect("write report");
+        println!("  report written to {path}");
+    }
+    if let Some(path) = &trace_path {
+        let trace = qt_telemetry::export_chrome_trace();
+        let events = qt_telemetry::trace::validate_chrome_trace(&trace).expect("trace is valid");
+        std::fs::write(path, trace).expect("write trace");
+        println!("  trace written to {path} ({events} events)");
+    }
+    println!();
+}
+
+/// Re-parse and re-validate a report written by `profile` (CI smoke).
+fn check_report(flags: &[String]) {
+    let Some(path) = flags.first() else {
+        eprintln!("check-report needs a file path");
+        std::process::exit(2);
+    };
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let rep = match qt_telemetry::TelemetryReport::from_json(&json) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = rep.validate() {
+        eprintln!("report FAILED validation: {e}");
+        std::process::exit(1);
+    }
+    let exact = rep.residuals.iter().filter(|r| r.exact).count();
+    println!(
+        "report OK: {} phases, {} residuals ({} exact, all vanishing), {} convergence points, {} ranks",
+        rep.phases.len(),
+        rep.residuals.len(),
+        exact,
+        rep.convergence.len(),
+        rep.comm.len()
     );
 }
 

@@ -56,6 +56,9 @@ pub fn surface_self_energy(
     side: Side,
     cfg: &BoundaryConfig,
 ) -> Result<Matrix, SingularMatrix> {
+    // Thread-local attribution (called from inside the GF-phase workers);
+    // "contour" is the paper's name for the boundary-condition stage.
+    let _span = qt_telemetry::Span::enter("contour");
     let zs = |s: &Matrix, h: &Matrix| -> Matrix {
         let mut m = s.scale(z);
         m -= h;

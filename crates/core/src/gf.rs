@@ -178,6 +178,7 @@ pub fn electron_gf_phase(
     sse: &ElectronSelfEnergy,
     cfg: &GfConfig,
 ) -> Result<ElectronGf, SingularMatrix> {
+    let _span = qt_telemetry::Span::enter_global("gf/electron");
     let no = p.norb;
     let apb = dev.atoms_per_slab;
     // Hoist H(kz), S(kz) per momentum point.
@@ -316,6 +317,7 @@ pub fn phonon_gf_phase(
     sse: &PhononSelfEnergy,
     cfg: &GfConfig,
 ) -> Result<PhononGf, SingularMatrix> {
+    let _span = qt_telemetry::Span::enter_global("gf/phonon");
     let apb = dev.atoms_per_slab;
     let phis: Vec<BlockTridiag> = grids.qz.iter().map(|&qz| pm.dynamical(dev, qz)).collect();
     let bs = phis[0].block_size();

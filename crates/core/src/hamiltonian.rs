@@ -206,8 +206,8 @@ impl ElectronModel {
                 });
                 // The antisymmetric bond direction carries the sign of the
                 // derivative convention ∇H_ba = −(∇H_ab)†.
-                for i in 0..N3D {
-                    let block = k.scale(c64(dir[i], 0.0));
+                for (i, &d) in dir.iter().enumerate() {
+                    let block = k.scale(c64(d, 0.0));
                     let dst = t.inner_mut(&[a, slot, i]);
                     dst.copy_from_slice(block.as_slice());
                 }

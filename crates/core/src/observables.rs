@@ -24,7 +24,7 @@ pub fn dissipated_power_per_atom(
     for k in 0..p.nkz {
         for e in 0..p.ne {
             let energy = grids.energies[e];
-            for a in 0..p.na {
+            for (a, pw) in power.iter_mut().enumerate() {
                 let sl = sigma.lesser.inner(&[k, e, a]);
                 let sg = sigma.greater.inner(&[k, e, a]);
                 let gl = egf.g_lesser.inner(&[k, e, a]);
@@ -37,7 +37,7 @@ pub fn dissipated_power_per_atom(
                         tr -= sl[i * no + j] * gg[j * no + i];
                     }
                 }
-                power[a] += energy * tr.re * weight;
+                *pw += energy * tr.re * weight;
             }
         }
     }
@@ -66,13 +66,13 @@ pub fn electron_density(p: &SimParams, grids: &Grids, egf: &ElectronGf) -> Vec<f
     let mut dens = vec![0.0; p.na];
     for k in 0..p.nkz {
         for e in 0..p.ne {
-            for a in 0..p.na {
+            for (a, d) in dens.iter_mut().enumerate() {
                 let gl = egf.g_lesser.inner(&[k, e, a]);
                 let mut tr = Complex64::ZERO;
                 for o in 0..no {
                     tr += gl[o * no + o];
                 }
-                dens[a] += (-Complex64::I * tr).re * weight;
+                *d += (-Complex64::I * tr).re * weight;
             }
         }
     }
@@ -88,14 +88,14 @@ pub fn local_dos(p: &SimParams, egf: &ElectronGf) -> Vec<Vec<f64>> {
     let weight = 1.0 / (2.0 * std::f64::consts::PI * p.nkz as f64);
     for k in 0..p.nkz {
         for e in 0..p.ne {
-            for a in 0..p.na {
+            for (a, row) in ldos.iter_mut().enumerate() {
                 let gl = egf.g_lesser.inner(&[k, e, a]);
                 let gg = egf.g_greater.inner(&[k, e, a]);
                 let mut tr = Complex64::ZERO;
                 for o in 0..no {
                     tr += gg[o * no + o] - gl[o * no + o];
                 }
-                ldos[a][e] += (Complex64::I * tr).re * weight;
+                row[e] += (Complex64::I * tr).re * weight;
             }
         }
     }
@@ -143,8 +143,8 @@ pub fn transmission_spectrum(
 pub fn current_spectrum_by_energy(p: &SimParams, egf: &ElectronGf) -> Vec<f64> {
     let mut spec = vec![0.0; p.ne];
     for k in 0..p.nkz {
-        for e in 0..p.ne {
-            spec[e] += egf.current_spectrum[k * p.ne + e] / p.nkz as f64;
+        for (e, s) in spec.iter_mut().enumerate() {
+            *s += egf.current_spectrum[k * p.ne + e] / p.nkz as f64;
         }
     }
     spec

@@ -90,6 +90,9 @@ pub fn rgf_with_strategy(
     sigma_lesser: &[Matrix],
     strategy: MultiplyStrategy,
 ) -> Result<RgfOutput, SingularMatrix> {
+    // Thread-local attribution: RGF runs inside the per-(kz, E) rayon
+    // workers, so the phase aggregates busy time across workers.
+    let _span = qt_telemetry::Span::enter("rgf");
     let nb = a.num_blocks();
     assert_eq!(sigma_lesser.len(), nb, "one Σ< block per RGF block");
     // CSR images of the coupling blocks for the CSRMM route.

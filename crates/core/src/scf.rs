@@ -71,6 +71,23 @@ impl Default for ScfConfig {
     }
 }
 
+/// One Born iteration of the convergence trajectory (telemetry report,
+/// "convergence" section).
+#[derive(Clone, Copy, Debug)]
+pub struct IterationRecord {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// Relative `G<` change vs the previous iterate; `None` on the first
+    /// iteration (no previous iterate to compare against).
+    pub residual: Option<f64>,
+    /// Mixing factor applied to the new self-energies this iteration.
+    pub mixing: f64,
+    /// Wall-clock time of the iteration (GF + SSE phases), in seconds.
+    pub wall_seconds: f64,
+    /// Electrical current after this iteration.
+    pub current: f64,
+}
+
 /// Outcome of the self-consistent loop.
 pub struct ScfResult {
     pub converged: bool,
@@ -79,6 +96,9 @@ pub struct ScfResult {
     pub residuals: Vec<f64>,
     /// Electrical current after each iteration.
     pub current_history: Vec<f64>,
+    /// Per-iteration convergence trajectory (residual, mixing, wall time,
+    /// current) — one record per Born iteration, including the first.
+    pub trajectory: Vec<IterationRecord>,
     pub electron: ElectronGf,
     pub phonon: PhononGf,
     pub sigma: ElectronSelfEnergy,
@@ -94,17 +114,21 @@ fn mix_tensor(old: &mut Tensor, new: &Tensor, mix: f64) {
 
 /// Run the GF ↔ SSE loop to convergence.
 pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularMatrix> {
+    let _scf_span = qt_telemetry::Span::enter_global("scf");
     let p = &sim.p;
     let mut sigma = ElectronSelfEnergy::zeros(p);
     let mut pi = PhononSelfEnergy::zeros(p);
     let mut residuals = Vec::new();
     let mut current_history = Vec::new();
+    let mut trajectory = Vec::new();
     let mut prev_gl: Option<Tensor> = None;
     let mut converged = false;
     let mut electron = None;
     let mut phonon = None;
     let mut iterations = 0;
-    for _ in 0..cfg.max_iterations {
+    for iter in 0..cfg.max_iterations {
+        let _iter_span = qt_telemetry::Span::enter_global("scf_iter");
+        let iter_t0 = std::time::Instant::now();
         iterations += 1;
         // GF phase (both carriers).
         let egf = gf::electron_gf_phase(&sim.dev, &sim.em, p, &sim.grids, &sigma, &cfg.gf)?;
@@ -128,6 +152,13 @@ pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularM
         prev_gl = Some(egf.g_lesser.clone());
         if res < cfg.tolerance {
             converged = true;
+            trajectory.push(IterationRecord {
+                iteration: iter,
+                residual: res.is_finite().then_some(res),
+                mixing: cfg.mixing,
+                wall_seconds: iter_t0.elapsed().as_secs_f64(),
+                current: egf.current,
+            });
             electron = Some(egf);
             phonon = Some(pgf);
             break;
@@ -152,6 +183,13 @@ pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularM
         mix_tensor(&mut sigma.greater, &new_sigma.greater, cfg.mixing);
         mix_tensor(&mut pi.lesser, &new_pi.lesser, cfg.mixing);
         mix_tensor(&mut pi.greater, &new_pi.greater, cfg.mixing);
+        trajectory.push(IterationRecord {
+            iteration: iter,
+            residual: res.is_finite().then_some(res),
+            mixing: cfg.mixing,
+            wall_seconds: iter_t0.elapsed().as_secs_f64(),
+            current: egf.current,
+        });
         electron = Some(egf);
         phonon = Some(pgf);
     }
@@ -160,6 +198,7 @@ pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularM
         iterations,
         residuals,
         current_history,
+        trajectory,
         electron: electron.expect("at least one iteration"),
         phonon: phonon.expect("at least one iteration"),
         sigma,
@@ -222,6 +261,29 @@ mod tests {
             (first - last).abs() > 1e-12,
             "electron-phonon scattering must alter the current ({first} vs {last})"
         );
+    }
+
+    #[test]
+    fn trajectory_records_every_iteration() {
+        let sim = sim();
+        let cfg = ScfConfig {
+            max_iterations: 5,
+            tolerance: 1e-12, // force full iterations
+            ..Default::default()
+        };
+        let out = run_scf(&sim, &cfg).unwrap();
+        assert_eq!(out.trajectory.len(), out.iterations);
+        // First iteration has no previous iterate → no residual.
+        assert!(out.trajectory[0].residual.is_none());
+        for (i, rec) in out.trajectory.iter().enumerate() {
+            assert_eq!(rec.iteration, i);
+            assert!(rec.wall_seconds >= 0.0);
+            assert_eq!(rec.mixing, cfg.mixing);
+            assert_eq!(rec.current, out.current_history[i]);
+        }
+        // The trajectory's finite residuals are exactly `residuals`.
+        let finite: Vec<f64> = out.trajectory.iter().filter_map(|r| r.residual).collect();
+        assert_eq!(finite, out.residuals);
     }
 
     #[test]

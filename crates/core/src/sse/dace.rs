@@ -174,12 +174,7 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
     let mut out = PhononSelfEnergy::zeros(p);
     // Per (a, slot) pair, computed in parallel and scattered.
     let pairs: Vec<(usize, usize, usize)> = (0..p.na)
-        .flat_map(|a| {
-            (0..p.nb).filter_map(move |s| {
-                // Device borrow is fine: closure captures &inputs.
-                Some((a, s, 0usize))
-            })
-        })
+        .flat_map(|a| (0..p.nb).map(move |s| (a, s, 0usize)))
         .collect();
     let results: Vec<Option<(usize, usize, Matrix, Matrix)>> = pairs
         .par_iter()

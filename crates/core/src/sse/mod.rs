@@ -69,6 +69,7 @@ pub fn pi_scale(p: &SimParams, grids: &Grids) -> f64 {
 /// for every neighbor slot. Pairs whose reverse slot is missing use the
 /// anti-Hermitian image `D_ba = −(D_ab)†`.
 pub fn preprocess_d(dev: &Device, p: &SimParams, ph: &PhononGf) -> (Tensor, Tensor) {
+    let _span = qt_telemetry::Span::enter_global("sse/preprocess_d");
     let shape = [p.nqz, p.nw, p.na, p.nb, N3D, N3D];
     let mut out_l = Tensor::zeros(&shape);
     let mut out_g = Tensor::zeros(&shape);
@@ -157,6 +158,11 @@ pub fn stabilize_pi(pi: &mut PhononSelfEnergy, p: &SimParams) {
 
 /// Compute Σ≷ with the selected variant.
 pub fn sigma(inputs: &SseInputs<'_>, variant: SseVariant) -> ElectronSelfEnergy {
+    let _span = qt_telemetry::Span::enter_global(match variant {
+        SseVariant::Reference => "sse/sigma/reference",
+        SseVariant::Omen => "sse/sigma/omen",
+        SseVariant::Dace => "sse/sigma/dace",
+    });
     match variant {
         SseVariant::Reference => reference::sigma(inputs),
         SseVariant::Omen => omen::sigma(inputs),
@@ -168,6 +174,10 @@ pub fn sigma(inputs: &SseInputs<'_>, variant: SseVariant) -> ElectronSelfEnergy 
 /// paper's production code restructures only its communication, which lives
 /// in `qt-dist`).
 pub fn pi(inputs: &SseInputs<'_>, variant: SseVariant) -> PhononSelfEnergy {
+    let _span = qt_telemetry::Span::enter_global(match variant {
+        SseVariant::Reference | SseVariant::Omen => "sse/pi/reference",
+        SseVariant::Dace => "sse/pi/dace",
+    });
     match variant {
         SseVariant::Reference | SseVariant::Omen => reference::pi(inputs),
         SseVariant::Dace => dace::pi(inputs),

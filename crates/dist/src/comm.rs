@@ -87,6 +87,10 @@ impl ThreadComm {
         if dst != self.rank {
             self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
             self.world.received[dst].fetch_add(bytes, Ordering::Relaxed);
+            // Single accounting point for network traffic: phase spans and
+            // the telemetry report read the same byte stream the
+            // per-rank counters feed.
+            qt_telemetry::counters::add_bytes(bytes);
         }
         self.world.senders[dst][self.rank]
             .send((tag, data))

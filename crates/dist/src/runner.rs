@@ -11,7 +11,7 @@
 
 use crate::comm::run_world;
 use crate::decomp::OmenDecomp;
-use crate::schemes::{dace_scheme, SseDistContext};
+use crate::schemes::{dace_scheme, CommStats, SseDistContext};
 use qt_core::device::Device;
 use qt_core::gf::{self, ElectronSelfEnergy, GfConfig, PhononSelfEnergy};
 use qt_core::grids::Grids;
@@ -28,6 +28,8 @@ pub struct DistIterationResult {
     pub current: f64,
     /// Total bytes moved in the SSE exchange.
     pub sse_bytes: u64,
+    /// Full per-rank communication statistics of the SSE exchange.
+    pub comm: CommStats,
 }
 
 /// Run one GF+SSE iteration distributed over `te × ta` ranks.
@@ -35,6 +37,7 @@ pub struct DistIterationResult {
 /// The GF phase is computed rank-locally: rank `r` solves RGF for its
 /// energy chunk (all kz), exactly the paper's momentum+energy
 /// decomposition. The SSE phase uses the communication-avoiding scheme.
+#[allow(clippy::too_many_arguments)]
 pub fn distributed_iteration(
     p: &SimParams,
     dev: &Device,
@@ -45,6 +48,7 @@ pub fn distributed_iteration(
     te: usize,
     ta: usize,
 ) -> Result<DistIterationResult, SingularMatrix> {
+    let _span = qt_telemetry::Span::enter_global("dist/iteration");
     let procs = te * ta;
     let dh = em.dh_tensor(dev);
     // ---- GF phase: each rank computes its energy chunk. ----
@@ -109,6 +113,7 @@ pub fn distributed_iteration(
         pi,
         current,
         sse_bytes: stats.world_bytes,
+        comm: stats,
     })
 }
 
@@ -165,6 +170,34 @@ mod tests {
             egf.current
         );
         assert!(dist.sse_bytes > 0);
+    }
+
+    #[test]
+    fn runner_reports_per_rank_volumes_matching_model() {
+        let p = SimParams {
+            nkz: 2,
+            nqz: 2,
+            ne: 12,
+            nw: 2,
+            na: 12,
+            nb: 3,
+            norb: 2,
+            bnum: 4,
+        };
+        let dev = Device::new(&p);
+        let em = ElectronModel::for_params(&p);
+        let pm = PhononModel::default();
+        let grids = Grids::new(&p, -1.2, 1.2);
+        let cfg = GfConfig::default();
+        let (te, ta) = (2, 2);
+        let dist = distributed_iteration(&p, &dev, &em, &pm, &grids, &cfg, te, ta).unwrap();
+        assert_eq!(dist.comm.rank_sent.len(), te * ta);
+        assert_eq!(dist.comm.rank_sent.iter().sum::<u64>(), dist.sse_bytes);
+        assert_eq!(dist.comm.world_bytes, dist.sse_bytes);
+        // The per-rank sends match the exact closed form of the scheme.
+        let halo = dev.max_neighbor_index_distance();
+        let model = crate::volume::dace_rank_sent_bytes(&p, te, ta, halo);
+        assert_eq!(dist.comm.rank_sent, model);
     }
 
     #[test]

@@ -24,6 +24,9 @@ use qt_core::params::{SimParams, N3D};
 use qt_core::sse;
 use qt_linalg::{c64, gemm, Complex64, Tensor};
 
+/// Π≷ slices a rank owns round-robin: `((q, ω), lesser, greater)` buffers.
+type PiOwned = Vec<((usize, usize), Vec<Complex64>, Vec<Complex64>)>;
+
 /// Read-only global inputs; each rank touches only the slices its initial
 /// data distribution owns (the world is simulated, the discipline is real).
 pub struct SseDistContext<'a> {
@@ -38,12 +41,16 @@ pub struct SseDistContext<'a> {
 }
 
 /// Measured communication of a distributed run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CommStats {
     /// Total bytes moved across the network (sum over ranks of sends).
     pub world_bytes: u64,
     /// Largest per-rank receive volume.
     pub max_rank_recv: u64,
+    /// Bytes sent by each rank during the SSE exchange (self-sends free).
+    pub rank_sent: Vec<u64>,
+    /// Bytes received by each rank during the SSE exchange.
+    pub rank_recv: Vec<u64>,
 }
 
 /// Pack `G[:, e, a_range, :, :]` (all kz) into a flat buffer.
@@ -211,6 +218,7 @@ pub fn omen_scheme(
     ctx: &SseDistContext<'_>,
     procs: usize,
 ) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats) {
+    let _span = qt_telemetry::Span::enter_global("comm/omen_scheme");
     let p = ctx.p;
     let nn = p.norb * p.norb;
     let scale = c64(sse::sigma_scale(p, ctx.grids), 0.0);
@@ -227,7 +235,7 @@ pub fn omen_scheme(
         // Owned Π≷(q, ω) slices (this rank is the round-robin owner of a
         // subset of phonon points): [owned slice idx][na·(nb+1)·9].
         let d_len = (p.nb + 1) * qt_core::params::N3D * qt_core::params::N3D;
-        let mut pi_owned: Vec<((usize, usize), Vec<Complex64>, Vec<Complex64>)> = Vec::new();
+        let mut pi_owned: PiOwned = Vec::new();
         let pi_scale = c64(sse::pi_scale(p, ctx.grids), 0.0);
         for q in 0..p.nqz {
             for w in 0..p.nw {
@@ -358,7 +366,7 @@ pub fn omen_scheme(
         comm.barrier();
         // Capture SSE-phase traffic before the result gather adds its own
         // bytes; the second barrier keeps the snapshot consistent.
-        let stats = (comm.world_bytes(), comm.bytes_received());
+        let stats = (comm.bytes_sent(), comm.bytes_received());
         comm.barrier();
         // Gather Σ and Π to root.
         if rank == 0 {
@@ -435,6 +443,7 @@ pub fn dace_scheme(
     te: usize,
     ta: usize,
 ) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats) {
+    let _span = qt_telemetry::Span::enter_global("comm/dace_scheme");
     let p = ctx.p;
     let nn = p.norb * p.norb;
     let scale = c64(sse::sigma_scale(p, ctx.grids), 0.0);
@@ -624,7 +633,7 @@ pub fn dace_scheme(
         // in the upper energy halo and the neighbor atoms in the window.
         let d_len = (p.nb + 1) * N3D * N3D;
         let pi_scale = c64(sse::pi_scale(p, ctx.grids), 0.0);
-        let mut pi_owned: Vec<((usize, usize), Vec<Complex64>, Vec<Complex64>)> = Vec::new();
+        let mut pi_owned: PiOwned = Vec::new();
         for q in 0..p.nqz {
             for w in 0..p.nw {
                 // Tile-local partials: contributions exist only for the
@@ -696,7 +705,7 @@ pub fn dace_scheme(
         comm.barrier();
         // Capture SSE-phase traffic before the result gather adds its own
         // bytes; the second barrier keeps the snapshot consistent.
-        let stats = (comm.world_bytes(), comm.bytes_received());
+        let stats = (comm.bytes_sent(), comm.bytes_received());
         comm.barrier();
         // Gather tiles to root.
         if rank == 0 {
@@ -778,8 +787,10 @@ fn atom_window_exact(dec: &DaceDecomp, j: usize, halo: usize, na: usize) -> std:
 type RankResult = (Option<(ElectronSelfEnergy, PhononSelfEnergy)>, (u64, u64));
 
 fn collect_results(results: Vec<RankResult>) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats) {
-    let world_bytes = results[0].1 .0;
-    let max_rank_recv = results.iter().map(|r| r.1 .1).max().unwrap_or(0);
+    let rank_sent: Vec<u64> = results.iter().map(|r| r.1 .0).collect();
+    let rank_recv: Vec<u64> = results.iter().map(|r| r.1 .1).collect();
+    let world_bytes = rank_sent.iter().sum();
+    let max_rank_recv = rank_recv.iter().copied().max().unwrap_or(0);
     let (sigma, pi) = results
         .into_iter()
         .find_map(|(s, _)| s)
@@ -790,6 +801,8 @@ fn collect_results(results: Vec<RankResult>) -> (ElectronSelfEnergy, PhononSelfE
         CommStats {
             world_bytes,
             max_rank_recv,
+            rank_sent,
+            rank_recv,
         },
     )
 }
@@ -937,6 +950,43 @@ mod tests {
             dace_stats.world_bytes,
             omen_stats.world_bytes
         );
+    }
+
+    #[test]
+    fn omen_rank_volumes_match_closed_form_exactly() {
+        // The per-rank byte model in `volume` must reproduce the measured
+        // sends *to the byte* for every world size.
+        let fx = fixture();
+        for procs in [2usize, 3, 4, 6] {
+            let (_, _, stats) = omen_scheme(&ctx(&fx), procs);
+            let model = crate::volume::omen_rank_sent_bytes(&fx.p, procs);
+            assert_eq!(stats.rank_sent, model, "procs={procs}");
+            assert_eq!(
+                stats.rank_sent.iter().sum::<u64>(),
+                stats.world_bytes,
+                "world total must be the sum of per-rank sends"
+            );
+            assert_eq!(
+                stats.world_bytes,
+                crate::volume::omen_measured_bytes(&fx.p, procs)
+            );
+        }
+    }
+
+    #[test]
+    fn dace_rank_volumes_match_closed_form_exactly() {
+        let fx = fixture();
+        let halo = fx.dev.max_neighbor_index_distance();
+        for (te, ta) in [(1usize, 2usize), (2, 2), (3, 2), (2, 3)] {
+            let (_, _, stats) = dace_scheme(&ctx(&fx), te, ta);
+            let model = crate::volume::dace_rank_sent_bytes(&fx.p, te, ta, halo);
+            assert_eq!(stats.rank_sent, model, "te={te} ta={ta}");
+            assert_eq!(stats.rank_sent.iter().sum::<u64>(), stats.world_bytes);
+            assert_eq!(
+                stats.world_bytes,
+                crate::volume::dace_measured_bytes(&fx.p, te, ta, halo)
+            );
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! Totals (× `P`) reproduce Tables 4 and 5 to the printed precision — the
 //! unit tests below check every cell.
 
+use crate::comm::ELEM_BYTES;
+use crate::decomp::{DaceDecomp, OmenDecomp};
 use qt_core::params::{SimParams, N3D};
 
 const TIB: f64 = (1u64 << 40) as f64;
@@ -77,6 +79,120 @@ pub fn dace3_total_bytes(p: &SimParams, tk: usize, te: usize, ta: usize) -> f64 
 /// Convert bytes to TiB (the unit of Tables 4–5).
 pub fn to_tib(bytes: f64) -> f64 {
     bytes / TIB
+}
+
+// ---------------------------------------------------------------------------
+// Exact per-rank models of the *implemented* schemes
+// ---------------------------------------------------------------------------
+//
+// The Table 4/5 formulas above are the paper's asymptotic per-process forms
+// (uniform `NE/P` chunks, unclamped halos, no ownership detail). The
+// functions below model the byte streams of [`crate::schemes`] *exactly* —
+// same decomposition, same grid clamping, same self-send exemption — so the
+// telemetry report can assert measured == model to the byte.
+
+/// Exact bytes each rank sends during [`crate::schemes::omen_scheme`]'s SSE
+/// exchange (before the result gather): per `(qz, ω)` round, the round owner
+/// broadcasts both `D̃≷` tensors, every rank ships its owned `G≷` sideband
+/// slices to the consumer's energy owner, and all non-owners reduce their
+/// `Π≷` partials to the owner.
+pub fn omen_rank_sent_bytes(p: &SimParams, procs: usize) -> Vec<u64> {
+    let dec = OmenDecomp::new(p, procs);
+    let nn = (p.norb * p.norb) as u64;
+    let d_elems = (p.na * p.nb * N3D * N3D) as u64;
+    let pi_elems = (p.na * (p.nb + 1) * N3D * N3D) as u64;
+    let g_elems = (p.nkz * p.na) as u64 * nn;
+    let mut sent = vec![0u64; procs];
+    for q in 0..p.nqz {
+        for w in 0..p.nw {
+            let owner = dec.d_owner(p, q, w);
+            // D̃≷ broadcast: both tensors to every other rank.
+            sent[owner] += 2 * d_elems * (procs as u64 - 1);
+            // G≷ sideband replication (emission e−ω−1, absorption e+ω+1).
+            for e_dst in 0..p.ne {
+                for side in 0..2 {
+                    let e_src = if side == 0 {
+                        e_dst.checked_sub(w + 1)
+                    } else {
+                        (e_dst + w + 1 < p.ne).then_some(e_dst + w + 1)
+                    };
+                    let Some(e_src) = e_src else { continue };
+                    let src = dec.energy.owner(e_src);
+                    if src != dec.energy.owner(e_dst) {
+                        sent[src] += 2 * g_elems;
+                    }
+                }
+            }
+            // Π≷ partial reduction to the round owner.
+            for (r, s) in sent.iter_mut().enumerate() {
+                if r != owner {
+                    *s += 2 * pi_elems;
+                }
+            }
+        }
+    }
+    for b in &mut sent {
+        *b *= ELEM_BYTES;
+    }
+    sent
+}
+
+/// Total OMEN SSE bytes actually moved (sum of [`omen_rank_sent_bytes`]).
+pub fn omen_measured_bytes(p: &SimParams, procs: usize) -> u64 {
+    omen_rank_sent_bytes(p, procs).iter().sum()
+}
+
+/// Exact bytes each rank sends during [`crate::schemes::dace_scheme`]'s SSE
+/// exchange: the `G≷` all-to-all (energy-halo ∩ owned-energies overlap ×
+/// destination atom window), the `D̃≷` all-to-all (owned `(qz, ω)` points ×
+/// destination atom window), and the per-round `Π≷` tile-slice reduction.
+/// `halo` is the device's exact neighbor-index distance
+/// (`Device::max_neighbor_index_distance`).
+pub fn dace_rank_sent_bytes(p: &SimParams, te: usize, ta: usize, halo: usize) -> Vec<u64> {
+    let procs = te * ta;
+    let dec = DaceDecomp::new(p, te, ta);
+    let gf = OmenDecomp::new(p, procs);
+    let nn = (p.norb * p.norb) as u64;
+    let d_len = (p.nb * N3D * N3D) as u64;
+    let pi_len = ((p.nb + 1) * N3D * N3D) as u64;
+    let a_win = |j: usize| {
+        let r = dec.atoms.range(j);
+        r.start.saturating_sub(halo)..(r.end + halo).min(p.na)
+    };
+    let mut sent = vec![0u64; procs];
+    for (r, s) in sent.iter_mut().enumerate() {
+        let my_e = gf.energy.range(r);
+        let owned_qw = (0..p.nqz * p.nw)
+            .filter(|&i| gf.d_owner(p, i / p.nw, i % p.nw) == r)
+            .count() as u64;
+        for dst in 0..procs {
+            if dst == r {
+                continue;
+            }
+            let (di, dj) = dec.coords(dst);
+            let dst_e = dec.energy_halo(di, p.nw);
+            let overlap = my_e.clone().filter(|e| dst_e.contains(e)).count() as u64;
+            let aw = a_win(dj).len() as u64;
+            // All-to-all #1: G≷ tiles with halos.
+            *s += 2 * overlap * p.nkz as u64 * aw * nn;
+            // All-to-all #2: D̃≷ for the destination's atom window.
+            *s += 2 * owned_qw * aw * d_len;
+        }
+        // Π≷ tile-slice reduction: one slice per non-owned (qz, ω) round.
+        let (_, rj) = dec.coords(r);
+        let tile = dec.atoms.range(rj).len() as u64;
+        let not_owned = (p.nqz * p.nw) as u64 - owned_qw;
+        *s += 2 * not_owned * tile * pi_len;
+    }
+    for b in &mut sent {
+        *b *= ELEM_BYTES;
+    }
+    sent
+}
+
+/// Total DaCe SSE bytes actually moved (sum of [`dace_rank_sent_bytes`]).
+pub fn dace_measured_bytes(p: &SimParams, te: usize, ta: usize, halo: usize) -> u64 {
+    dace_rank_sent_bytes(p, te, ta, halo).iter().sum()
 }
 
 #[cfg(test)]
@@ -179,6 +295,46 @@ mod tests {
         assert!(
             v3 < v2,
             "momentum tiling should win at Nqz=3: 3D {v3:.3e} vs 2D {v2:.3e}"
+        );
+    }
+
+    /// The exact OMEN model approaches the Table 4/5 closed form at paper
+    /// scale: the asymptotic form counts both sidebands at every `(E, ω)`
+    /// point, while the grid clamps `NE·Nω → Nω·(2NE−Nω−1)/2` per side and
+    /// intra-rank slices travel for free.
+    #[test]
+    fn exact_omen_model_approaches_asymptotic_form() {
+        let p = SimParams::paper_si_4864(3);
+        // Table 4 pairs Nkz=3 with P=768, but the energy split caps the
+        // rank count at NE=706; 256 ranks keeps the same volume regime.
+        let procs = 256;
+        let measured = omen_measured_bytes(&p, procs) as f64;
+        let asymptotic = omen_total_bytes(&p, procs);
+        let ratio = measured / asymptotic;
+        assert!(
+            ratio > 0.85 && ratio < 1.05,
+            "OMEN exact/asymptotic ratio {ratio}"
+        );
+    }
+
+    /// Same for DaCe: the implemented scheme ships the `D̃` windows and
+    /// tile-sliced `Π` partials, roughly half the asymptotic form's dense
+    /// `D≷`/`Π≷` term, while the `G` halo term matches closely; the total
+    /// stays within a factor-2 band of Table 4/5.
+    #[test]
+    fn exact_dace_model_tracks_asymptotic_form() {
+        let p = SimParams::paper_si_4864(3);
+        // TE·TA must stay within the NE=706 energy chunks of the initial
+        // GF layout.
+        let (te, ta) = (3, 64);
+        // Paper device: nearest-neighbor slabs → halo of about NB/2 atoms;
+        // use NB as a conservative window.
+        let measured = dace_measured_bytes(&p, te, ta, p.nb) as f64;
+        let asymptotic = dace_total_bytes(&p, te, ta);
+        let ratio = measured / asymptotic;
+        assert!(
+            ratio > 0.4 && ratio < 1.1,
+            "DaCe exact/asymptotic ratio {ratio}"
         );
     }
 

@@ -263,12 +263,12 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.cols);
         flops::add_flops(8 * self.nnz() as u64);
         let mut y = vec![Complex64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = Complex64::ZERO;
             for idx in self.indptr[i]..self.indptr[i + 1] {
                 acc = acc.mul_add(self.data[idx], x[self.indices[idx]]);
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }

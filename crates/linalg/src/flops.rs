@@ -1,29 +1,28 @@
 //! Global floating-point-operation accounting.
 //!
-//! The paper counts flop with `nvprof` on the GPU (§4.3); our substitute is a
-//! process-wide atomic counter that every kernel in this crate feeds. One
-//! atomic add per kernel call keeps the overhead negligible while giving the
-//! exact complex-arithmetic flop totals needed to regenerate Table 3.
+//! The paper counts flop with `nvprof` on the GPU (§4.3); our substitute
+//! is a process-wide counter that every kernel in this crate feeds. Since
+//! the telemetry PR the backing store is `qt_telemetry::counters` — the
+//! same per-thread shards the phase spans read — so kernel accounting,
+//! phase attribution and the Table 3 model-vs-measured comparison all see
+//! one number. This module keeps the historical `qt_linalg::flops` API as
+//! a thin façade over that registry.
 //!
 //! Convention: one complex multiply = 6 real flop, one complex add = 2 real
 //! flop, so a complex fused multiply-accumulate costs 8 — the same convention
 //! the paper's `64·N·...·Norb^3` byte/flop formulas use (8 flop × 8 bytes).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-static FLOPS: AtomicU64 = AtomicU64::new(0);
-
 /// Add `n` real floating point operations to the global counter.
 #[inline]
 pub fn add_flops(n: u64) {
-    FLOPS.fetch_add(n, Ordering::Relaxed);
+    qt_telemetry::counters::add_flops(n);
 }
 
 /// Record the cost of a complex GEMM of shape `m x k x n`
 /// (8 real flop per complex multiply-accumulate).
 #[inline]
 pub fn add_gemm_flops(m: usize, k: usize, n: usize) {
-    add_gemm_flops_batched(m, k, n, 1);
+    qt_telemetry::counters::add_gemm_flops(m, k, n);
 }
 
 /// Record the cost of `batch` complex GEMMs of shape `m x k x n` — the one
@@ -31,17 +30,17 @@ pub fn add_gemm_flops(m: usize, k: usize, n: usize) {
 /// model-vs-measured comparison can't drift between kernels.
 #[inline]
 pub fn add_gemm_flops_batched(m: usize, k: usize, n: usize, batch: usize) {
-    add_flops(8 * m as u64 * k as u64 * n as u64 * batch as u64);
+    qt_telemetry::counters::add_gemm_flops_batched(m, k, n, batch);
 }
 
-/// Current global flop count.
+/// Current global flop count (summed across all threads).
 pub fn flop_count() -> u64 {
-    FLOPS.load(Ordering::Relaxed)
+    qt_telemetry::counters::total_flops()
 }
 
 /// Reset the global counter to zero (tests / per-phase measurement).
 pub fn reset_flops() {
-    FLOPS.store(0, Ordering::Relaxed);
+    qt_telemetry::counters::reset_flops();
 }
 
 /// Measure the flop executed by `f`, without disturbing the global counter
@@ -74,5 +73,13 @@ mod tests {
         add_flops(10);
         let (_, d) = count_flops(|| add_flops(32));
         assert_eq!(d, 32);
+    }
+
+    #[test]
+    fn facade_and_telemetry_agree() {
+        let (_, d) = count_flops(|| add_gemm_flops_batched(3, 4, 5, 2));
+        assert_eq!(d, 8 * 3 * 4 * 5 * 2);
+        // The façade and the telemetry registry read the same counter.
+        assert_eq!(flop_count(), qt_telemetry::counters::total_flops());
     }
 }

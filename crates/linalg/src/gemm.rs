@@ -98,7 +98,7 @@ pub fn gemm_raw_acc(
     if work < NAIVE_THRESHOLD || m < MR || n < NR {
         gemm_naive_acc(m, k, n, a, b, out);
     } else {
-        gemm_blocked(
+        gemm_blocked::<true>(
             m,
             k,
             n,
@@ -130,7 +130,38 @@ pub fn gemm_blocked_acc(
     if m == 0 || k == 0 || n == 0 {
         return;
     }
-    gemm_blocked(
+    gemm_blocked::<true>(
+        m,
+        k,
+        n,
+        PanelA::Rows { a, ld: k },
+        PanelB::Rows { b, ld: n },
+        out,
+        Complex64::ONE,
+        m * k * n >= PAR_THRESHOLD,
+    );
+}
+
+/// `out += a @ b` through the blocked/packed path with the telemetry
+/// hot-section timers compiled out (`INSTRUMENT = false`) and no flop
+/// accounting. This is the honest baseline for the telemetry-overhead
+/// comparison: `gemm_blocked_acc` with telemetry *disabled* must stay
+/// within noise of this monomorphization with telemetry *absent*.
+pub fn gemm_blocked_acc_uninstrumented(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    out: &mut [Complex64],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    gemm_blocked::<false>(
         m,
         k,
         n,
@@ -168,7 +199,7 @@ pub fn batched_gemm_acc(
     let use_blocked = m >= MR && n >= NR && per >= NAIVE_THRESHOLD;
     let item = |at: &[Complex64], bt: &[Complex64], ot: &mut [Complex64]| {
         if use_blocked {
-            gemm_blocked(
+            gemm_blocked::<true>(
                 m,
                 k,
                 n,
@@ -235,7 +266,7 @@ pub fn gemm_bdagger_acc(
     if work < NAIVE_THRESHOLD || m < MR || n < NR {
         gemm_naive_bdagger_acc(m, k, n, a, b, out);
     } else {
-        gemm_blocked(
+        gemm_blocked::<true>(
             m,
             k,
             n,
@@ -316,7 +347,7 @@ fn gemm_window_blocked_acc_inner(
     scale: Complex64,
     parallel: bool,
 ) {
-    gemm_blocked(
+    gemm_blocked::<true>(
         no,
         win * no,
         no,
@@ -577,10 +608,26 @@ mod pack_pool {
 // Macro-kernel and microkernel
 // ---------------------------------------------------------------------------
 
+/// Time `f` under the given telemetry hot section when `INSTRUMENT` holds;
+/// call it directly otherwise. The `INSTRUMENT = false` instantiation is the
+/// uninstrumented twin the telemetry-overhead comparison runs against.
+#[inline(always)]
+fn maybe_timed<const INSTRUMENT: bool, R>(
+    section: qt_telemetry::counters::HotSection,
+    f: impl FnOnce() -> R,
+) -> R {
+    if INSTRUMENT {
+        qt_telemetry::counters::timed(section, f)
+    } else {
+        f()
+    }
+}
+
 /// Blocked driver: `out[m x n] += scale · A @ B` with A/B read through their
 /// packing adapters. `parallel` distributes MC-aligned row bands of C over
 /// the rayon pool; the packed B-panel is shared read-only.
-fn gemm_blocked(
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked<const INSTRUMENT: bool>(
     m: usize,
     k: usize,
     n: usize,
@@ -606,7 +653,9 @@ fn gemm_blocked(
         while pc < k {
             let kc = (k - pc).min(KC);
             let mut b_buf = pack_pool::take(nc_pad * kc * 2);
-            pack_b(b, pc, kc, jc, nc, &mut b_buf);
+            maybe_timed::<INSTRUMENT, _>(qt_telemetry::counters::HotSection::GemmPack, || {
+                pack_b(b, pc, kc, jc, nc, &mut b_buf)
+            });
             let b_pack: &[f64] = &b_buf;
             if parallel && m > band_rows {
                 out.par_chunks_mut(band_rows * n)
@@ -614,13 +663,24 @@ fn gemm_blocked(
                     .for_each(|(t, band)| {
                         let ic = t * band_rows;
                         let mc = band.len() / n;
-                        process_band(a, ic, mc, pc, kc, nc, b_pack, &mut band[jc..], n, scale);
+                        process_band::<INSTRUMENT>(
+                            a,
+                            ic,
+                            mc,
+                            pc,
+                            kc,
+                            nc,
+                            b_pack,
+                            &mut band[jc..],
+                            n,
+                            scale,
+                        );
                     });
             } else {
                 let mut ic = 0;
                 while ic < m {
                     let mc = (m - ic).min(MC);
-                    process_band(
+                    process_band::<INSTRUMENT>(
                         a,
                         ic,
                         mc,
@@ -645,7 +705,7 @@ fn gemm_blocked(
 /// Pack one A row band and sweep the microkernel over its `(ir, jr)` tiles.
 /// `c` starts at the band's `(0, jc)` entry with row stride `ldc`.
 #[allow(clippy::too_many_arguments)]
-fn process_band(
+fn process_band<const INSTRUMENT: bool>(
     a: PanelA<'_>,
     ic: usize,
     mc: usize,
@@ -657,10 +717,15 @@ fn process_band(
     ldc: usize,
     scale: Complex64,
 ) {
+    use qt_telemetry::counters::HotSection;
     let mc_pad = mc.next_multiple_of(MR);
     let mut a_buf = pack_pool::take(mc_pad * kc * 2);
-    pack_a(a, ic, mc, pc, kc, &mut a_buf);
-    macro_tile(mc, kc, nc, &a_buf, b_pack, c, ldc, scale);
+    maybe_timed::<INSTRUMENT, _>(HotSection::GemmPack, || {
+        pack_a(a, ic, mc, pc, kc, &mut a_buf)
+    });
+    maybe_timed::<INSTRUMENT, _>(HotSection::GemmKernel, || {
+        macro_tile(mc, kc, nc, &a_buf, b_pack, c, ldc, scale)
+    });
     pack_pool::give(a_buf);
 }
 

@@ -44,6 +44,7 @@ pub struct IndirectionModel {
     pub table: String,
     /// Given the propagated ranges of the indirection arguments, produce the
     /// propagated output range.
+    #[allow(clippy::type_complexity)]
     pub propagate: Box<dyn Fn(&[Range]) -> Range>,
 }
 

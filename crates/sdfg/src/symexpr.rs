@@ -59,7 +59,10 @@ impl SymExpr {
         SymExpr::Max(Box::new(self), Box::new(other)).simplified()
     }
 
-    /// Floor division (rhs must evaluate positive).
+    /// Floor division (rhs must evaluate positive). Not `std::ops::Div`:
+    /// this is flooring integer division on symbolic expressions, and the
+    /// builder methods keep a uniform `min/max/div` naming.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: SymExpr) -> SymExpr {
         SymExpr::Div(Box::new(self), Box::new(other)).simplified()
     }

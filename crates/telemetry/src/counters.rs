@@ -1,0 +1,213 @@
+//! Per-thread sharded counters.
+//!
+//! Every thread that bumps a counter gets its own cache line of atomics,
+//! registered once in a global cell list. Totals are the sum over cells;
+//! the `Arc`s in the list keep a cell's counts alive after its thread
+//! exits (the `qt_dist` thread worlds spawn and join short-lived OS
+//! threads whose traffic must survive into the report).
+//!
+//! The flop counters here are the backing store for
+//! `qt_linalg::flops::{add_flops, add_gemm_flops_batched, …}` — there is a
+//! single source of truth for flop accounting across the workspace.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const FLOPS: usize = 0;
+const BYTES: usize = 1;
+const PACK_NS: usize = 2;
+const PACK_CALLS: usize = 3;
+const KERNEL_NS: usize = 4;
+const KERNEL_CALLS: usize = 5;
+const N_COUNTERS: usize = 6;
+
+#[derive(Default)]
+struct Cell {
+    v: [AtomicU64; N_COUNTERS],
+}
+
+static CELLS: Mutex<Vec<Arc<Cell>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static CELL: Arc<Cell> = {
+        let cell = Arc::new(Cell::default());
+        CELLS.lock().unwrap().push(cell.clone());
+        cell
+    };
+}
+
+#[inline]
+fn bump(idx: usize, n: u64) {
+    CELL.with(|c| c.v[idx].fetch_add(n, Relaxed));
+}
+
+#[inline]
+fn local(idx: usize) -> u64 {
+    CELL.with(|c| c.v[idx].load(Relaxed))
+}
+
+fn total(idx: usize) -> u64 {
+    CELLS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| c.v[idx].load(Relaxed))
+        .sum()
+}
+
+/// Add `n` real floating-point operations to the calling thread's shard.
+#[inline]
+pub fn add_flops(n: u64) {
+    bump(FLOPS, n);
+}
+
+/// Account a complex `m × k × n` GEMM (8 real flops per complex MAC).
+#[inline]
+pub fn add_gemm_flops(m: usize, k: usize, n: usize) {
+    add_gemm_flops_batched(m, k, n, 1);
+}
+
+/// Account `batch` complex `m × k × n` GEMMs.
+#[inline]
+pub fn add_gemm_flops_batched(m: usize, k: usize, n: usize, batch: usize) {
+    bump(FLOPS, 8 * (m * k * n * batch) as u64);
+}
+
+/// Add `n` communicated bytes to the calling thread's shard.
+#[inline]
+pub fn add_bytes(n: u64) {
+    bump(BYTES, n);
+}
+
+/// Total flops across all threads (alive or exited) since the last reset.
+pub fn total_flops() -> u64 {
+    total(FLOPS)
+}
+
+/// Total communicated bytes across all threads since the last reset.
+pub fn total_bytes() -> u64 {
+    total(BYTES)
+}
+
+/// Flops accumulated by the calling thread since the last reset.
+#[inline]
+pub fn local_flops() -> u64 {
+    local(FLOPS)
+}
+
+/// Bytes accumulated by the calling thread since the last reset.
+#[inline]
+pub fn local_bytes() -> u64 {
+    local(BYTES)
+}
+
+/// Zero every counter on every registered cell.
+pub fn reset_counters() {
+    for cell in CELLS.lock().unwrap().iter() {
+        for a in &cell.v {
+            a.store(0, Relaxed);
+        }
+    }
+}
+
+/// Zero only the flop counters (the historical `reset_flops` semantics of
+/// `qt_linalg::flops`).
+pub fn reset_flops() {
+    for cell in CELLS.lock().unwrap().iter() {
+        cell.v[FLOPS].store(0, Relaxed);
+    }
+}
+
+/// Hot sections timed with dedicated per-thread counters instead of
+/// registry spans, so the blocked-GEMM inner loops never touch a lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HotSection {
+    /// Operand packing (`pack_a` / `pack_b`) in the blocked GEMM.
+    GemmPack,
+    /// The register-tiled macro kernel of the blocked GEMM.
+    GemmKernel,
+}
+
+/// Run `f`, attributing its wall-time to `section` when telemetry is
+/// enabled. Disabled cost is one relaxed atomic load.
+#[inline]
+pub fn timed<R>(section: HotSection, f: impl FnOnce() -> R) -> R {
+    if !crate::span::enabled() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let out = f();
+    let ns = t0.elapsed().as_nanos() as u64;
+    let (ns_idx, calls_idx) = match section {
+        HotSection::GemmPack => (PACK_NS, PACK_CALLS),
+        HotSection::GemmKernel => (KERNEL_NS, KERNEL_CALLS),
+    };
+    CELL.with(|c| {
+        c.v[ns_idx].fetch_add(ns, Relaxed);
+        c.v[calls_idx].fetch_add(1, Relaxed);
+    });
+    out
+}
+
+/// Aggregated pack-vs-microkernel timing for the blocked GEMM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GemmSplit {
+    /// Summed busy nanoseconds in operand packing, across threads.
+    pub pack_ns: u64,
+    /// Number of timed packing sections.
+    pub pack_calls: u64,
+    /// Summed busy nanoseconds in the macro kernel, across threads.
+    pub kernel_ns: u64,
+    /// Number of timed macro-kernel sections.
+    pub kernel_calls: u64,
+}
+
+/// Snapshot the pack/kernel hot-section counters.
+pub fn gemm_split() -> GemmSplit {
+    GemmSplit {
+        pack_ns: total(PACK_NS),
+        pack_calls: total(PACK_CALLS),
+        kernel_ns: total(KERNEL_NS),
+        kernel_calls: total(KERNEL_CALLS),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_counts_feed_totals() {
+        let f0 = total_flops();
+        let l0 = local_flops();
+        add_gemm_flops_batched(2, 3, 4, 5);
+        assert_eq!(local_flops() - l0, 8 * 2 * 3 * 4 * 5);
+        assert!(total_flops() - f0 >= 8 * 2 * 3 * 4 * 5);
+    }
+
+    #[test]
+    fn byte_counts_accumulate() {
+        let b0 = total_bytes();
+        add_bytes(1024);
+        assert!(total_bytes() - b0 >= 1024);
+    }
+
+    #[test]
+    fn cross_thread_counts_survive_thread_exit() {
+        let before = total_flops();
+        std::thread::spawn(|| add_flops(77)).join().unwrap();
+        assert!(total_flops() - before >= 77);
+    }
+
+    #[test]
+    fn timed_is_transparent_when_disabled() {
+        let split0 = gemm_split();
+        let v = timed(HotSection::GemmPack, || 41 + 1);
+        assert_eq!(v, 42);
+        if !crate::span::enabled() {
+            let split1 = gemm_split();
+            assert_eq!(split0.pack_calls, split1.pack_calls);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! `qt-telemetry` — phase-scoped tracing, sharded counters, and
+//! model-vs-measured reporting for the quantum-transport pipeline.
+//!
+//! The paper's evaluation (§4.3, §5) compares *measured* flops, bytes and
+//! runtimes against closed-form models (Tables 3–5). This crate is the one
+//! source of truth those comparisons flow through:
+//!
+//! * [`counters`] — per-thread sharded flop/byte counters (rayon-safe, no
+//!   cross-thread cache-line contention on the hot path) plus dedicated
+//!   hot-section timers for the blocked-GEMM pack/microkernel split.
+//! * [`span`] — hierarchical phase spans (`scf` → `scf_iter` →
+//!   `gf/electron` → `rgf` / `contour` → …). A span snapshots the counters
+//!   on entry and attributes the delta to its phase on drop. Spans are
+//!   inert (a single relaxed atomic load) while telemetry is disabled.
+//! * [`registry`] — the global phase table spans record into.
+//! * [`trace`] — a Chrome/Perfetto `trace_event` exporter so a full SCF
+//!   run can be opened in a trace viewer.
+//! * [`report`] — the serialisable [`report::TelemetryReport`]: per-phase
+//!   time/flops/GF·s/bytes plus model residuals (measured vs Table 3 flop
+//!   models, measured vs Table 4/5 communication-volume models) and the
+//!   SCF convergence trajectory.
+//!
+//! Attribution modes: [`span::Span::enter_global`] measures deltas of the
+//! *summed* counters and is correct for sequential orchestration phases
+//! (the SCF loop body), even when the phase fans out over rayon
+//! internally. [`span::Span::enter`] measures deltas of the *calling
+//! thread's* counters and is the right tool inside parallel worker bodies
+//! (per-energy-point `rgf`/`contour`), where it reports aggregate busy
+//! time across workers rather than wall-clock.
+
+pub mod counters;
+pub mod json;
+pub mod registry;
+pub mod report;
+pub mod span;
+pub mod trace;
+
+pub use registry::PhaseStat;
+pub use report::TelemetryReport;
+pub use span::{enabled, set_enabled, Span};
+pub use trace::{export_chrome_trace, set_tracing, tracing_enabled};
+
+/// Reset every piece of global telemetry state: counters, the phase
+/// registry, and any buffered trace events. Enable/trace flags keep their
+/// values.
+pub fn reset_all() {
+    counters::reset_counters();
+    registry::reset_phases();
+    trace::clear_trace();
+}

@@ -1,0 +1,69 @@
+//! The global phase table spans record into.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Accumulated statistics for one phase path (e.g. `"sse/sigma/dace"`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Number of spans closed on this path.
+    pub calls: u64,
+    /// Summed span duration in nanoseconds. For `enter_global` spans on
+    /// sequential orchestration code this is wall-time; for worker-thread
+    /// spans it is aggregate busy time across threads.
+    pub wall_ns: u64,
+    /// Real flops attributed to this phase (nested phases double-count by
+    /// design — the table is hierarchical, not a partition).
+    pub flops: u64,
+    /// Communicated bytes attributed to this phase.
+    pub bytes: u64,
+}
+
+static PHASES: Mutex<BTreeMap<&'static str, PhaseStat>> = Mutex::new(BTreeMap::new());
+
+/// Fold one closed span into the table.
+pub fn record(path: &'static str, wall_ns: u64, flops: u64, bytes: u64) {
+    let mut map = PHASES.lock().unwrap();
+    let stat = map.entry(path).or_default();
+    stat.calls += 1;
+    stat.wall_ns += wall_ns;
+    stat.flops += flops;
+    stat.bytes += bytes;
+}
+
+/// Copy of the full phase table, keyed by path.
+pub fn snapshot() -> BTreeMap<String, PhaseStat> {
+    PHASES
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (k.to_string(), *v))
+        .collect()
+}
+
+/// Statistics for a single phase, if any span closed on it.
+pub fn phase(path: &str) -> Option<PhaseStat> {
+    PHASES.lock().unwrap().get(path).copied()
+}
+
+/// Clear the phase table.
+pub fn reset_phases() {
+    PHASES.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_per_path() {
+        record("test/registry/a", 10, 100, 1);
+        record("test/registry/a", 20, 200, 2);
+        let s = phase("test/registry/a").unwrap();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.wall_ns, 30);
+        assert_eq!(s.flops, 300);
+        assert_eq!(s.bytes, 3);
+        assert!(snapshot().contains_key("test/registry/a"));
+    }
+}

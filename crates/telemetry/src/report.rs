@@ -1,0 +1,405 @@
+//! The structured JSON report: per-phase statistics, model residuals,
+//! convergence trajectory, and per-rank communication volumes.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::{counters, registry, registry::PhaseStat};
+
+/// Per-phase entry of the report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseReport {
+    /// Phase path, e.g. `"sse/sigma/dace"`.
+    pub path: String,
+    /// Number of spans closed on this path.
+    pub calls: u64,
+    /// Summed span duration in milliseconds (wall-time for sequential
+    /// phases, aggregate busy time for worker-thread phases).
+    pub wall_ms: f64,
+    /// Real flops attributed to the phase, in Gflop.
+    pub gflop: f64,
+    /// Throughput over the summed duration, in Gflop/s.
+    pub gflop_per_s: f64,
+    /// Communicated bytes attributed to the phase.
+    pub bytes: u64,
+}
+
+/// One measured-vs-model comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelResidual {
+    /// What is being compared, e.g. `"sse_dace_flops_vs_exact"`.
+    pub name: String,
+    /// The instrumented measurement.
+    pub measured: f64,
+    /// The closed-form model value.
+    pub model: f64,
+    /// `(measured - model) / model`.
+    pub rel_error: f64,
+    /// Whether the model is implementation-exact (residual must vanish)
+    /// or an asymptotic paper form (informational).
+    pub exact: bool,
+}
+
+impl ModelResidual {
+    /// Build a residual entry, computing the relative error.
+    pub fn new(name: impl Into<String>, measured: f64, model: f64, exact: bool) -> Self {
+        let rel_error = if model != 0.0 {
+            (measured - model) / model
+        } else if measured == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        ModelResidual {
+            name: name.into(),
+            measured,
+            model,
+            rel_error,
+            exact,
+        }
+    }
+}
+
+/// One SCF iteration of the convergence trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvergencePoint {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Current residual; `None` on the first iteration (no previous
+    /// Green's function to difference against).
+    pub residual: Option<f64>,
+    /// Mixing factor applied to the self-energies this iteration.
+    pub mixing: f64,
+    /// Wall-time of the iteration in milliseconds.
+    pub wall_ms: f64,
+    /// Terminal current after the iteration.
+    pub current: f64,
+}
+
+/// Per-rank communication volume of a distributed phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankComm {
+    /// Rank index within the thread world.
+    pub rank: usize,
+    /// Bytes this rank pushed to other ranks (self-sends are free).
+    pub sent_bytes: u64,
+    /// Bytes this rank received from other ranks.
+    pub recv_bytes: u64,
+}
+
+/// The full telemetry report emitted by `reproduce profile`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Per-phase statistics, sorted by path.
+    pub phases: Vec<PhaseReport>,
+    /// Measured-vs-model comparisons (Tables 3–5).
+    pub residuals: Vec<ModelResidual>,
+    /// SCF convergence trajectory.
+    pub convergence: Vec<ConvergencePoint>,
+    /// Per-rank communication volumes of the distributed iteration.
+    pub comm: Vec<RankComm>,
+    /// Total flops counted since the last reset.
+    pub total_flops: u64,
+    /// Total communicated bytes counted since the last reset.
+    pub total_bytes: u64,
+}
+
+fn phase_report(path: &str, s: &PhaseStat) -> PhaseReport {
+    let wall_s = s.wall_ns as f64 / 1e9;
+    let gflop = s.flops as f64 / 1e9;
+    PhaseReport {
+        path: path.to_string(),
+        calls: s.calls,
+        wall_ms: s.wall_ns as f64 / 1e6,
+        gflop,
+        gflop_per_s: if wall_s > 0.0 { gflop / wall_s } else { 0.0 },
+        bytes: s.bytes,
+    }
+}
+
+impl TelemetryReport {
+    /// Build a report from the current global telemetry state: the phase
+    /// registry, the GEMM pack/kernel hot sections, and the counter
+    /// totals. Residuals, convergence and per-rank comm sections start
+    /// empty — the caller fills them in.
+    pub fn from_current() -> Self {
+        let mut phases: BTreeMap<String, PhaseStat> = registry::snapshot();
+        let split = counters::gemm_split();
+        if split.pack_calls > 0 {
+            phases.insert(
+                "gemm.pack".to_string(),
+                PhaseStat {
+                    calls: split.pack_calls,
+                    wall_ns: split.pack_ns,
+                    flops: 0,
+                    bytes: 0,
+                },
+            );
+        }
+        if split.kernel_calls > 0 {
+            phases.insert(
+                "gemm.kernel".to_string(),
+                PhaseStat {
+                    calls: split.kernel_calls,
+                    wall_ns: split.kernel_ns,
+                    flops: 0,
+                    bytes: 0,
+                },
+            );
+        }
+        TelemetryReport {
+            phases: phases.iter().map(|(p, s)| phase_report(p, s)).collect(),
+            residuals: Vec::new(),
+            convergence: Vec::new(),
+            comm: Vec::new(),
+            total_flops: counters::total_flops(),
+            total_bytes: counters::total_bytes(),
+        }
+    }
+
+    /// Serialise as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| {
+                Json::Obj(vec![
+                    ("path".to_string(), Json::Str(p.path.clone())),
+                    ("calls".to_string(), Json::Num(p.calls as f64)),
+                    ("wall_ms".to_string(), Json::Num(p.wall_ms)),
+                    ("gflop".to_string(), Json::Num(p.gflop)),
+                    ("gflop_per_s".to_string(), Json::Num(p.gflop_per_s)),
+                    ("bytes".to_string(), Json::Num(p.bytes as f64)),
+                ])
+            })
+            .collect();
+        let residuals = self
+            .residuals
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("name".to_string(), Json::Str(r.name.clone())),
+                    ("measured".to_string(), Json::Num(r.measured)),
+                    ("model".to_string(), Json::Num(r.model)),
+                    ("rel_error".to_string(), Json::Num(r.rel_error)),
+                    ("exact".to_string(), Json::Bool(r.exact)),
+                ])
+            })
+            .collect();
+        let convergence = self
+            .convergence
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("iteration".to_string(), Json::Num(c.iteration as f64)),
+                    (
+                        "residual".to_string(),
+                        c.residual.map_or(Json::Null, Json::Num),
+                    ),
+                    ("mixing".to_string(), Json::Num(c.mixing)),
+                    ("wall_ms".to_string(), Json::Num(c.wall_ms)),
+                    ("current".to_string(), Json::Num(c.current)),
+                ])
+            })
+            .collect();
+        let comm = self
+            .comm
+            .iter()
+            .map(|c| {
+                Json::Obj(vec![
+                    ("rank".to_string(), Json::Num(c.rank as f64)),
+                    ("sent_bytes".to_string(), Json::Num(c.sent_bytes as f64)),
+                    ("recv_bytes".to_string(), Json::Num(c.recv_bytes as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("phases".to_string(), Json::Arr(phases)),
+            ("residuals".to_string(), Json::Arr(residuals)),
+            ("convergence".to_string(), Json::Arr(convergence)),
+            ("comm".to_string(), Json::Arr(comm)),
+            (
+                "total_flops".to_string(),
+                Json::Num(self.total_flops as f64),
+            ),
+            (
+                "total_bytes".to_string(),
+                Json::Num(self.total_bytes as f64),
+            ),
+        ])
+        .dump()
+    }
+
+    /// Parse a report back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let root = Json::parse(json).map_err(|e| format!("report does not parse: {e}"))?;
+        let arr = |key: &str| -> Result<&[Json], String> {
+            root.get(key)
+                .and_then(Json::as_array)
+                .ok_or(format!("report lacks {key:?} array"))
+        };
+        let str_field = |v: &Json, key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("entry lacks string {key:?}"))?
+                .to_string())
+        };
+        let num_field = |v: &Json, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("entry lacks number {key:?}"))
+        };
+        let int_field = |v: &Json, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or(format!("entry lacks integer {key:?}"))
+        };
+
+        let mut report = TelemetryReport {
+            total_flops: int_field(&root, "total_flops")?,
+            total_bytes: int_field(&root, "total_bytes")?,
+            ..TelemetryReport::default()
+        };
+        for p in arr("phases")? {
+            report.phases.push(PhaseReport {
+                path: str_field(p, "path")?,
+                calls: int_field(p, "calls")?,
+                wall_ms: num_field(p, "wall_ms")?,
+                gflop: num_field(p, "gflop")?,
+                gflop_per_s: num_field(p, "gflop_per_s")?,
+                bytes: int_field(p, "bytes")?,
+            });
+        }
+        for r in arr("residuals")? {
+            report.residuals.push(ModelResidual {
+                name: str_field(r, "name")?,
+                measured: num_field(r, "measured")?,
+                model: num_field(r, "model")?,
+                rel_error: num_field(r, "rel_error")?,
+                exact: r
+                    .get("exact")
+                    .and_then(Json::as_bool)
+                    .ok_or("residual lacks bool \"exact\"")?,
+            });
+        }
+        for c in arr("convergence")? {
+            report.convergence.push(ConvergencePoint {
+                iteration: int_field(c, "iteration")? as usize,
+                residual: match c.get("residual") {
+                    Some(Json::Null) | None => None,
+                    Some(v) => Some(v.as_f64().ok_or("bad residual value")?),
+                },
+                mixing: num_field(c, "mixing")?,
+                wall_ms: num_field(c, "wall_ms")?,
+                current: num_field(c, "current")?,
+            });
+        }
+        for c in arr("comm")? {
+            report.comm.push(RankComm {
+                rank: int_field(c, "rank")? as usize,
+                sent_bytes: int_field(c, "sent_bytes")?,
+                recv_bytes: int_field(c, "recv_bytes")?,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Schema validation: every numeric field finite and non-negative
+    /// where it must be, at least one phase present, and every residual
+    /// marked `exact` actually vanishing.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err("report has no phases".into());
+        }
+        for p in &self.phases {
+            if p.path.is_empty() {
+                return Err("phase with empty path".into());
+            }
+            if !(p.wall_ms.is_finite() && p.wall_ms >= 0.0) {
+                return Err(format!("phase {:?} has bad wall_ms {}", p.path, p.wall_ms));
+            }
+            if !p.gflop.is_finite() || p.gflop < 0.0 || !p.gflop_per_s.is_finite() {
+                return Err(format!("phase {:?} has bad flop stats", p.path));
+            }
+            if p.calls == 0 {
+                return Err(format!("phase {:?} reported with zero calls", p.path));
+            }
+        }
+        for r in &self.residuals {
+            if !(r.measured.is_finite() && r.model.is_finite() && r.rel_error.is_finite()) {
+                return Err(format!("residual {:?} is not finite", r.name));
+            }
+            if r.exact && r.rel_error.abs() > 1e-9 {
+                return Err(format!(
+                    "exact residual {:?} does not vanish: measured {} vs model {} (rel {})",
+                    r.name, r.measured, r.model, r.rel_error
+                ));
+            }
+        }
+        for c in &self.convergence {
+            if let Some(res) = c.residual {
+                if !(res.is_finite() && res >= 0.0) {
+                    return Err(format!("iteration {} has bad residual", c.iteration));
+                }
+            }
+            if !c.wall_ms.is_finite() || !c.current.is_finite() || !c.mixing.is_finite() {
+                return Err(format!("iteration {} has non-finite fields", c.iteration));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_and_validates() {
+        registry::record("test/report/phase", 1_000_000, 8_000, 64);
+        let mut rep = TelemetryReport::from_current();
+        rep.residuals
+            .push(ModelResidual::new("flops_vs_exact", 8000.0, 8000.0, true));
+        rep.residuals
+            .push(ModelResidual::new("flops_vs_table3", 8000.0, 9000.0, false));
+        rep.convergence.push(ConvergencePoint {
+            iteration: 0,
+            residual: None,
+            mixing: 0.5,
+            wall_ms: 1.0,
+            current: 1e-6,
+        });
+        rep.convergence.push(ConvergencePoint {
+            iteration: 1,
+            residual: Some(0.25),
+            mixing: 0.5,
+            wall_ms: 1.5,
+            current: 2e-6,
+        });
+        rep.comm.push(RankComm {
+            rank: 0,
+            sent_bytes: 100,
+            recv_bytes: 50,
+        });
+        rep.validate().unwrap();
+        let back = TelemetryReport::from_json(&rep.to_json()).unwrap();
+        assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn validation_rejects_failed_exact_residual() {
+        registry::record("test/report/phase2", 1, 1, 0);
+        let mut rep = TelemetryReport::from_current();
+        rep.residuals
+            .push(ModelResidual::new("bad_exact", 100.0, 99.0, true));
+        assert!(rep.validate().is_err());
+    }
+
+    #[test]
+    fn residual_handles_zero_model() {
+        let r = ModelResidual::new("zero", 0.0, 0.0, true);
+        assert_eq!(r.rel_error, 0.0);
+        let r = ModelResidual::new("div", 1.0, 0.0, false);
+        assert!(r.rel_error.is_infinite());
+    }
+}

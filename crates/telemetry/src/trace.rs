@@ -1,0 +1,167 @@
+//! Chrome/Perfetto `trace_event` export.
+//!
+//! Every closed span becomes one complete ("X") event; nesting is
+//! reconstructed by the viewer from timestamps and durations per thread
+//! track. Load the emitted file in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static EVENTS: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Relaxed);
+}
+
+struct Event {
+    name: &'static str,
+    ts_us: f64,
+    dur_us: f64,
+    tid: u64,
+}
+
+/// Turn trace-event buffering on or off. Turning it on pins the trace
+/// epoch (timestamp zero) if not already set.
+pub fn set_tracing(on: bool) {
+    if on {
+        let _ = EPOCH.set(Instant::now());
+    }
+    TRACING.store(on, Relaxed);
+}
+
+/// Is trace-event buffering enabled?
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Relaxed)
+}
+
+/// Append one complete event for a span that started at `t0` and ran for
+/// `dur_ns`. No-op unless tracing is enabled.
+pub fn record_event(name: &'static str, t0: Instant, dur_ns: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    let ts_us = t0.saturating_duration_since(epoch).as_nanos() as f64 / 1e3;
+    EVENTS.lock().unwrap().push(Event {
+        name,
+        ts_us,
+        dur_us: dur_ns as f64 / 1e3,
+        tid: TID.with(|t| *t),
+    });
+}
+
+/// Discard all buffered events.
+pub fn clear_trace() {
+    EVENTS.lock().unwrap().clear();
+}
+
+/// Number of buffered events.
+pub fn event_count() -> usize {
+    EVENTS.lock().unwrap().len()
+}
+
+/// Serialise the buffered events as Chrome `trace_event` JSON (object
+/// format, complete events).
+pub fn export_chrome_trace() -> String {
+    let events = EVENTS.lock().unwrap();
+    let items: Vec<Json> = events
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(e.name.to_string())),
+                (
+                    "cat".to_string(),
+                    Json::Str(category_of(e.name).to_string()),
+                ),
+                ("ph".to_string(), Json::Str("X".to_string())),
+                ("ts".to_string(), Json::Num(e.ts_us)),
+                ("dur".to_string(), Json::Num(e.dur_us)),
+                ("pid".to_string(), Json::Num(1.0)),
+                ("tid".to_string(), Json::Num(e.tid as f64)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(items)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ])
+    .dump()
+}
+
+/// Check that `json` parses as a Chrome trace with at least one complete
+/// event, returning the event count. Used by the CI smoke job.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let trace = Json::parse(json).map_err(|e| format!("trace does not parse: {e}"))?;
+    let events = trace
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("trace has no traceEvents array")?;
+    if events.is_empty() {
+        return Err("trace has no events".into());
+    }
+    for ev in events {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("event without name")?;
+        if ev.get("ph").and_then(Json::as_str) != Some("X") {
+            return Err(format!("event {name:?} is not a complete event"));
+        }
+        for field in ["ts", "dur"] {
+            let v = ev
+                .get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {name:?} lacks {field}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("event {name:?} has bad {field} {v}"));
+            }
+        }
+        if ev.get("tid").and_then(Json::as_u64).is_none() {
+            return Err(format!("event {name:?} lacks tid"));
+        }
+    }
+    Ok(events.len())
+}
+
+/// First path segment, used as the event category (`sse/sigma/dace` →
+/// `sse`).
+fn category_of(name: &str) -> &str {
+    name.split(['/', '.']).next().unwrap_or(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_roundtrips_through_validation() {
+        set_tracing(true);
+        record_event("test/trace/a", Instant::now(), 1_500);
+        record_event("test/trace/b", Instant::now(), 2_500);
+        set_tracing(false);
+        let json = export_chrome_trace();
+        let n = validate_chrome_trace(&json).unwrap();
+        assert!(n >= 2);
+    }
+
+    #[test]
+    fn categories_split_on_both_separators() {
+        assert_eq!(category_of("sse/sigma/dace"), "sse");
+        assert_eq!(category_of("gemm.pack"), "gemm");
+        assert_eq!(category_of("scf"), "scf");
+    }
+
+    #[test]
+    fn validation_rejects_eventless_trace() {
+        assert!(validate_chrome_trace(r#"{"traceEvents": []}"#).is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+}

@@ -56,7 +56,11 @@ fn main() {
                 println!(
                     "  {te:>6} {ta:>6} {:>12.3}{}",
                     tib(volume::dace_total_bytes(&p, te, ta)),
-                    if (te, ta) == (t.te, t.ta) { "  <- optimal" } else { "" }
+                    if (te, ta) == (t.te, t.ta) {
+                        "  <- optimal"
+                    } else {
+                        ""
+                    }
                 );
                 shown += 1;
                 if shown > 12 {

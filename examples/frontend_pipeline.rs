@@ -66,8 +66,11 @@ fn main() {
         before.total_accesses() as f64 / after.total_accesses() as f64
     );
 
-    std::fs::write("fig5_parsed_transformed.dot", StateGraph::from_tree(&tree).to_dot())
-        .expect("write dot");
+    std::fs::write(
+        "fig5_parsed_transformed.dot",
+        StateGraph::from_tree(&tree).to_dot(),
+    )
+    .expect("write dot");
     println!("\nwrote fig5_parsed_transformed.dot");
     println!("\ntransformed tree:\n{tree}");
 }

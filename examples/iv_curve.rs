@@ -21,7 +21,10 @@ fn main() {
         bnum: 6,
     };
     let sim = Simulation::new(params, -1.2, 1.2);
-    println!("== I-V sweep (NA={}, dissipative vs ballistic) ==", params.na);
+    println!(
+        "== I-V sweep (NA={}, dissipative vs ballistic) ==",
+        params.na
+    );
     println!(
         "  {:>8} | {:>12} | {:>12} | {:>8} | {:>6}",
         "V [eV]", "I ballistic", "I scattered", "dI/I [%]", "iters"

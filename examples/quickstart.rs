@@ -43,7 +43,10 @@ fn main() {
 
     let (result, flop) = qt_linalg::count_flops(|| run_scf(&sim, &cfg).expect("SCF solve"));
 
-    println!("\nself-consistent Born loop ({:?} SSE kernel):", cfg.variant);
+    println!(
+        "\nself-consistent Born loop ({:?} SSE kernel):",
+        cfg.variant
+    );
     println!(
         "  converged: {} after {} iterations ({:.2} Gflop total)",
         result.converged,

@@ -83,10 +83,24 @@ fn main() {
     let pm = PhononModel::default();
     let grids = Grids::new(&p, -1.2, 1.2);
     let cfg = GfConfig::default();
-    let egf = gf::electron_gf_phase(&dev, &em, &p, &grids, &gf::ElectronSelfEnergy::zeros(&p), &cfg)
-        .expect("electron GF");
-    let pgf = gf::phonon_gf_phase(&dev, &pm, &p, &grids, &gf::PhononSelfEnergy::zeros(&p), &cfg)
-        .expect("phonon GF");
+    let egf = gf::electron_gf_phase(
+        &dev,
+        &em,
+        &p,
+        &grids,
+        &gf::ElectronSelfEnergy::zeros(&p),
+        &cfg,
+    )
+    .expect("electron GF");
+    let pgf = gf::phonon_gf_phase(
+        &dev,
+        &pm,
+        &p,
+        &grids,
+        &gf::PhononSelfEnergy::zeros(&p),
+        &cfg,
+    )
+    .expect("phonon GF");
     let (dl, dg) = sse::preprocess_d(&dev, &p, &pgf);
     let dh = em.dh_tensor(&dev);
     let ctx = SseDistContext {
@@ -114,7 +128,9 @@ fn main() {
         let agree = sig_o.lesser.max_abs_diff(&sig_d.lesser) / sig_o.lesser.norm().max(1e-30);
         println!(
             "  {:>6} | {:>12} | {:>12} | {:>7.1}x   (results agree to {agree:.1e})",
-            procs, so.world_bytes, sd.world_bytes,
+            procs,
+            so.world_bytes,
+            sd.world_bytes,
             so.world_bytes as f64 / sd.world_bytes.max(1) as f64
         );
     }

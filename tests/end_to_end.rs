@@ -136,10 +136,14 @@ fn observables_behave_physically() {
         temperature: 300.0,
     };
     let out = run_scf(&sim, &cfg).unwrap();
-    let power = observables::dissipated_power_per_atom(&sim.p, &sim.grids, &out.sigma, &out.electron);
+    let power =
+        observables::dissipated_power_per_atom(&sim.p, &sim.grids, &out.sigma, &out.electron);
     // Under bias, net dissipation is positive (Joule heating).
     let total: f64 = power.iter().sum();
-    assert!(total > 0.0, "net dissipated power must be positive: {total}");
+    assert!(
+        total > 0.0,
+        "net dissipated power must be positive: {total}"
+    );
     // Density non-negative and current positive along the bias.
     let dens = observables::electron_density(&sim.p, &sim.grids, &out.electron);
     assert!(dens.iter().all(|&d| d > -1e-9));
@@ -160,16 +164,15 @@ fn current_is_odd_under_bias_reversal() {
             mu_right: -mu,
             temperature: 300.0,
         };
-        *run_scf(&sim, &cfg)
-            .unwrap()
-            .current_history
-            .last()
-            .unwrap()
+        *run_scf(&sim, &cfg).unwrap().current_history.last().unwrap()
     };
     let fwd = run(0.2);
     let rev = run(-0.2);
     assert!(fwd > 0.0 && rev < 0.0);
     // The synthetic device is not perfectly symmetric, but the magnitudes
     // should be comparable.
-    assert!((fwd.abs() / rev.abs()).ln().abs() < 0.7, "fwd {fwd} rev {rev}");
+    assert!(
+        (fwd.abs() / rev.abs()).ln().abs() < 0.7,
+        "fwd {fwd} rev {rev}"
+    );
 }

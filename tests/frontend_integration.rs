@@ -59,9 +59,9 @@ fn dsl_to_transformed_sdfg_to_json() {
 #[test]
 fn frontend_rejects_malformed_programs_cleanly() {
     for bad in [
-        "map i=0:M {",                       // unclosed scope
-        "array A[",                          // unterminated decl
-        "program p\nQ[i] = R[i]",            // unknown arrays
+        "map i=0:M {",                          // unclosed scope
+        "array A[",                             // unterminated decl
+        "program p\nQ[i] = R[i]",               // unknown arrays
         "program p\narray A[N]\nA[x y] = A[x]", // bad expression
     ] {
         assert!(parse_program(bad).is_err(), "should reject: {bad}");

@@ -22,8 +22,14 @@ fn table3_flop_counts() {
     for (nkz, ci, rgf, sse_omen, sse_dace) in rows {
         let p = SimParams::paper_si_4864(nkz);
         let pf = 1e15;
-        assert!((flops::contour_flops(&p) / pf - ci).abs() / ci < 0.02, "CI Nkz={nkz}");
-        assert!((flops::rgf_flops(&p) / pf - rgf).abs() / rgf < 0.02, "RGF Nkz={nkz}");
+        assert!(
+            (flops::contour_flops(&p) / pf - ci).abs() / ci < 0.02,
+            "CI Nkz={nkz}"
+        );
+        assert!(
+            (flops::rgf_flops(&p) / pf - rgf).abs() / rgf < 0.02,
+            "RGF Nkz={nkz}"
+        );
         assert!(
             (flops::sse_omen_flops(&p) / pf - sse_omen).abs() / sse_omen < 0.005,
             "SSE-OMEN Nkz={nkz}"
@@ -48,8 +54,14 @@ fn table4_and_5_communication_volumes() {
         let p = SimParams::paper_si_4864(nkz);
         let omen = volume::omen_total_bytes(&p, procs) / TIB;
         let dace = volume::dace_total_bytes(&p, nkz, procs / nkz) / TIB;
-        assert!((omen - omen_t).abs() / omen_t < 0.005, "T4 OMEN Nkz={nkz}: {omen:.2}");
-        assert!((dace - dace_t).abs() / dace_t < 0.02, "T4 DaCe Nkz={nkz}: {dace:.3}");
+        assert!(
+            (omen - omen_t).abs() / omen_t < 0.005,
+            "T4 OMEN Nkz={nkz}: {omen:.2}"
+        );
+        assert!(
+            (dace - dace_t).abs() / dace_t < 0.02,
+            "T4 DaCe Nkz={nkz}: {dace:.3}"
+        );
     }
     // Strong scaling (Table 5).
     let p = SimParams::paper_si_4864(7);
