@@ -30,6 +30,13 @@ use qt_model::scaling::{self, Variant};
 use qt_model::{optimal_tiling, PIZ_DAINT, SUMMIT};
 use std::time::Instant;
 
+/// With `count-alloc`, every heap allocation of this binary flows into the
+/// `alloc.bytes` / `alloc.count` telemetry counters, so `profile` can show
+/// the cold-vs-warm allocator gap per SCF iteration.
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static ALLOC: qt_bench::alloc::CountingAllocator = qt_bench::alloc::CountingAllocator;
+
 const TIB: f64 = (1u64 << 40) as f64;
 const PF: f64 = 1e15;
 
@@ -620,8 +627,10 @@ fn profile(flags: &[String]) {
             mixing: r.mixing,
             wall_ms: r.wall_seconds * 1e3,
             current: r.current,
+            alloc_bytes: r.alloc_bytes,
         });
     }
+    rep.warmup = qt_telemetry::report::WarmupStats::from_convergence(&rep.convergence);
     for (rank, (&sent, &recv)) in dist
         .comm
         .rank_sent
@@ -668,6 +677,37 @@ fn profile(flags: &[String]) {
             if r.exact { " (exact)" } else { "" }
         );
     }
+    // Per-iteration allocator traffic: the cold-vs-warm gap is the payoff
+    // of the workspace arenas and the boundary cache.
+    println!(
+        "  {:<6} {:>10} {:>14} {:>10} {:>10}",
+        "iter", "wall ms", "alloc bytes", "ws miss", "bc miss"
+    );
+    for r in &out.trajectory {
+        println!(
+            "  {:<6} {:>10.2} {:>14} {:>10} {:>10}",
+            r.iteration,
+            r.wall_seconds * 1e3,
+            r.alloc_bytes,
+            r.ws_fresh,
+            r.boundary_misses
+        );
+    }
+    if let Some(w) = &rep.warmup {
+        println!(
+            "  warmup: cold {:.2} ms / warm {:.2} ms ({:.2}x), alloc {} -> {} bytes ({:.1}% reduction)",
+            w.cold_wall_ms,
+            w.warm_wall_ms,
+            w.wall_speedup,
+            w.cold_alloc_bytes,
+            w.warm_alloc_bytes,
+            100.0 * w.alloc_reduction
+        );
+    }
+    println!(
+        "  boundary cache: {} hits, {} misses",
+        rep.boundary_cache_hits, rep.boundary_cache_misses
+    );
     println!(
         "  totals: {:.3} Gflop counted, {} bytes communicated",
         rep.total_flops as f64 / 1e9,
@@ -689,7 +729,8 @@ fn profile(flags: &[String]) {
 
 /// Re-parse and re-validate a report written by `profile` (CI smoke).
 fn check_report(flags: &[String]) {
-    let Some(path) = flags.first() else {
+    let require_boundary_hits = flags.iter().any(|f| f == "--require-boundary-hits");
+    let Some(path) = flags.iter().find(|f| !f.starts_with("--")) else {
         eprintln!("check-report needs a file path");
         std::process::exit(2);
     };
@@ -706,6 +747,13 @@ fn check_report(flags: &[String]) {
     };
     if let Err(e) = rep.validate() {
         eprintln!("report FAILED validation: {e}");
+        std::process::exit(1);
+    }
+    if require_boundary_hits && rep.boundary_cache_hits == 0 {
+        eprintln!(
+            "report FAILED: boundary_cache_hits is 0 — warm SCF iterations \
+             did not reuse memoized contact self-energies"
+        );
         std::process::exit(1);
     }
     let exact = rep.residuals.iter().filter(|r| r.exact).count();

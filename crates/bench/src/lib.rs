@@ -1,6 +1,9 @@
 //! Shared fixtures for the benchmark harness: reduced-scale devices whose
 //! structure matches the paper's evaluation configurations.
 
+#[cfg(feature = "count-alloc")]
+pub mod alloc;
+
 use qt_core::device::Device;
 use qt_core::gf::{self, GfConfig};
 use qt_core::grids::Grids;

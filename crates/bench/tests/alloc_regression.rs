@@ -1,0 +1,75 @@
+//! Allocation-regression smoke (feature `count-alloc`): steady-state SCF
+//! iterations must stay off the allocator's hot path.
+//!
+//! This lives in its own test binary with a single `#[test]` because the
+//! telemetry counters are process-global — concurrent tests would pollute
+//! the per-iteration deltas. The SCF runs inside a 1-thread rayon pool so
+//! every workspace arena warms up on one deterministic worker.
+#![cfg(feature = "count-alloc")]
+
+use qt_core::params::SimParams;
+use qt_core::scf::{run_scf, ScfConfig, Simulation};
+
+#[global_allocator]
+static ALLOC: qt_bench::alloc::CountingAllocator = qt_bench::alloc::CountingAllocator;
+
+#[test]
+fn warm_scf_iterations_are_allocation_free_on_the_hot_path() {
+    let p = SimParams {
+        nkz: 2,
+        nqz: 2,
+        ne: 16,
+        nw: 3,
+        na: 8,
+        nb: 3,
+        norb: 2,
+        bnum: 4,
+    };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("rayon pool");
+    let out = pool.install(|| {
+        let sim = Simulation::new(p, -1.2, 1.2);
+        let cfg = ScfConfig {
+            max_iterations: 4,
+            tolerance: 0.0, // force every iteration
+            ..Default::default()
+        };
+        run_scf(&sim, &cfg).expect("SCF")
+    });
+    assert_eq!(out.iterations, 4);
+    let cold = &out.trajectory[0];
+    assert!(
+        cold.alloc_bytes > 0,
+        "counting allocator must be active under --features count-alloc"
+    );
+    assert!(
+        cold.boundary_misses > 0,
+        "iteration 0 must compute the contact self-energies"
+    );
+    for warm in &out.trajectory[1..] {
+        // Zero hot-path allocations: every pooled buffer is served from
+        // the arenas and every contact Σ from the boundary cache.
+        assert_eq!(
+            warm.ws_fresh, 0,
+            "iteration {}: workspace pool misses",
+            warm.iteration
+        );
+        assert_eq!(
+            warm.boundary_misses, 0,
+            "iteration {}: Sancho-Rubio decimation recomputed",
+            warm.iteration
+        );
+        // The residual traffic (escaping spectral tensors, per-atom SSE
+        // partial sums) must stay far below the cold iteration, which pays
+        // the decimation loops and arena warm-up on top.
+        assert!(
+            warm.alloc_bytes < cold.alloc_bytes / 2,
+            "iteration {}: {} bytes allocated vs cold {} — hot path regressed",
+            warm.iteration,
+            warm.alloc_bytes,
+            cold.alloc_bytes
+        );
+    }
+}

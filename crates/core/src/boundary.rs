@@ -13,6 +13,7 @@
 //! with `Γ = i(Σᴿ − Σᴿ†)`, which guarantees `Σ> − Σ< = Σᴿ − Σᴬ`.
 
 use qt_linalg::{c64, invert, Complex64, Matrix, SingularMatrix};
+use std::sync::{OnceLock, RwLock, RwLockReadGuard};
 
 /// Which contact a self-energy belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +105,164 @@ pub fn surface_self_energy(
         Side::Left => beta0.matmul(&gs).matmul(&alpha0),
         Side::Right => alpha0.matmul(&gs).matmul(&beta0),
     })
+}
+
+/// FNV-1a accumulator over raw `f64` bit patterns — the identity key used
+/// to decide whether a [`BoundaryCache`] binding is still valid. Hashing
+/// the boundary Hamiltonian/overlap blocks, the energy grid and the
+/// broadening configuration captures everything the retarded contact
+/// self-energy depends on; bit-level equality means the memoized Σᴿ is
+/// exact, not approximate.
+pub struct KeyHasher(u64);
+
+impl KeyHasher {
+    pub fn new() -> Self {
+        KeyHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    pub fn matrix(&mut self, m: &Matrix) -> &mut Self {
+        self.u64(m.rows() as u64);
+        for z in m.as_slice() {
+            self.f64(z.re).f64(z.im);
+        }
+        self
+    }
+
+    /// Finished key; never 0, so 0 can mean "unbound".
+    pub fn finish(&self) -> u64 {
+        self.0.max(1)
+    }
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        KeyHasher::new()
+    }
+}
+
+struct CacheInner {
+    electron_key: u64,
+    electron: Vec<OnceLock<(Matrix, Matrix)>>,
+    phonon_key: u64,
+    phonon: Vec<OnceLock<(Matrix, Matrix)>>,
+}
+
+/// Memoized retarded contact self-energies `(Σᴿ_left, Σᴿ_right)` per grid
+/// point. The Sancho–Rubio decimation (up to `max_iter` invert + 6-GEMM
+/// rounds per point and side) depends only on the lead blocks, the grid
+/// and the broadening — none of which change across Born iterations — so
+/// iteration 1 pays for it once and every later iteration replays the
+/// stored Σᴿ. Occupation-dependent lesser/greater parts are formed
+/// *outside* the cache from the memoized Σᴿ, so contacts at any bias reuse
+/// the same entries.
+///
+/// The cache is internally synchronized: a phase `bind_*`s its section
+/// with the current identity key (write lock, invalidating stale entries),
+/// then the per-point rayon workers fill/read slots through a shared
+/// [`BoundaryCacheView`] (read lock + per-slot `OnceLock`).
+#[derive(Default)]
+pub struct BoundaryCache {
+    inner: RwLock<CacheInner>,
+}
+
+impl Default for CacheInner {
+    fn default() -> Self {
+        CacheInner {
+            electron_key: 0,
+            electron: Vec::new(),
+            phonon_key: 0,
+            phonon: Vec::new(),
+        }
+    }
+}
+
+impl BoundaryCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind the electron section to `key` with `n` grid points. A key or
+    /// size mismatch drops every stored electron entry.
+    pub fn bind_electron(&self, key: u64, n: usize) {
+        let mut inner = self.inner.write().expect("boundary cache poisoned");
+        if inner.electron_key != key || inner.electron.len() != n {
+            inner.electron_key = key;
+            inner.electron = (0..n).map(|_| OnceLock::new()).collect();
+        }
+    }
+
+    /// Bind the phonon section to `key` with `n` grid points.
+    pub fn bind_phonon(&self, key: u64, n: usize) {
+        let mut inner = self.inner.write().expect("boundary cache poisoned");
+        if inner.phonon_key != key || inner.phonon.len() != n {
+            inner.phonon_key = key;
+            inner.phonon = (0..n).map(|_| OnceLock::new()).collect();
+        }
+    }
+
+    /// Drop every stored entry (e.g. after mutating the Hamiltonian in
+    /// place). Binding with the correct key makes this automatic; the
+    /// explicit hook exists for callers that know they invalidated state.
+    pub fn invalidate(&self) {
+        let mut inner = self.inner.write().expect("boundary cache poisoned");
+        *inner = CacheInner::default();
+    }
+
+    /// Shared read view for the duration of a phase's parallel loop.
+    pub fn view(&self) -> BoundaryCacheView<'_> {
+        BoundaryCacheView(self.inner.read().expect("boundary cache poisoned"))
+    }
+}
+
+/// Read-locked access to a [`BoundaryCache`]; clonable across rayon
+/// workers by taking one view per worker closure invocation.
+pub struct BoundaryCacheView<'a>(RwLockReadGuard<'a, CacheInner>);
+
+impl BoundaryCacheView<'_> {
+    fn slot<'s>(
+        slot: &'s OnceLock<(Matrix, Matrix)>,
+        compute: impl FnOnce() -> Result<(Matrix, Matrix), SingularMatrix>,
+    ) -> Result<&'s (Matrix, Matrix), SingularMatrix> {
+        if let Some(pair) = slot.get() {
+            qt_telemetry::counters::add_boundary_hit();
+            return Ok(pair);
+        }
+        let pair = compute()?;
+        qt_telemetry::counters::add_boundary_miss();
+        Ok(slot.get_or_init(|| pair))
+    }
+
+    /// `(Σᴿ_left, Σᴿ_right)` for electron grid point `idx`, computing and
+    /// storing it on first access. The section must have been bound via
+    /// [`BoundaryCache::bind_electron`] with at least `idx + 1` points.
+    pub fn electron(
+        &self,
+        idx: usize,
+        compute: impl FnOnce() -> Result<(Matrix, Matrix), SingularMatrix>,
+    ) -> Result<&(Matrix, Matrix), SingularMatrix> {
+        Self::slot(&self.0.electron[idx], compute)
+    }
+
+    /// `(Πᴿ_left, Πᴿ_right)` for phonon grid point `idx`.
+    pub fn phonon(
+        &self,
+        idx: usize,
+        compute: impl FnOnce() -> Result<(Matrix, Matrix), SingularMatrix>,
+    ) -> Result<&(Matrix, Matrix), SingularMatrix> {
+        Self::slot(&self.0.phonon[idx], compute)
+    }
 }
 
 /// Broadening matrix `Γ = i(Σᴿ − Σᴿ†)`.
@@ -220,6 +379,75 @@ mod tests {
             rhs -= &sig.dagger();
             assert!(lhs.max_abs_diff(&rhs) < 1e-10);
         }
+    }
+
+    #[test]
+    fn boundary_cache_memoizes_and_invalidates() {
+        let cache = BoundaryCache::new();
+        cache.bind_electron(42, 3);
+        let mk = || {
+            Ok((
+                Matrix::identity(2),
+                Matrix::identity(2).scale(c64(2.0, 0.0)),
+            ))
+        };
+        {
+            let v = cache.view();
+            let first = v.electron(1, mk).unwrap();
+            assert_eq!(first.1[(0, 0)], c64(2.0, 0.0));
+            // Second access must replay the stored pair, not recompute.
+            let again = v
+                .electron(1, || panic!("cached slot must not recompute"))
+                .unwrap();
+            assert_eq!(again.0.as_slice(), Matrix::identity(2).as_slice());
+        }
+        // Re-binding with the same key keeps entries.
+        cache.bind_electron(42, 3);
+        cache
+            .view()
+            .electron(1, || panic!("same-key rebind must keep entries"))
+            .unwrap();
+        // A different key (H/grid changed) drops them.
+        cache.bind_electron(43, 3);
+        let mut recomputed = false;
+        cache
+            .view()
+            .electron(1, || {
+                recomputed = true;
+                mk()
+            })
+            .unwrap();
+        assert!(recomputed, "key change must invalidate");
+        // Explicit invalidation hook.
+        cache.bind_phonon(7, 2);
+        cache.view().phonon(0, mk).unwrap();
+        cache.invalidate();
+        cache.bind_phonon(7, 2);
+        let mut recomputed = false;
+        cache
+            .view()
+            .phonon(0, || {
+                recomputed = true;
+                mk()
+            })
+            .unwrap();
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn key_hasher_separates_inputs() {
+        let (h00, h01, _, _) = electron_setup();
+        let mut a = KeyHasher::new();
+        a.matrix(&h00).matrix(&h01).f64(1e-3);
+        let mut b = KeyHasher::new();
+        b.matrix(&h00).matrix(&h01).f64(1e-3);
+        assert_eq!(a.finish(), b.finish(), "identical inputs -> identical key");
+        let mut c = KeyHasher::new();
+        let mut h00b = h00.clone();
+        h00b[(0, 0)] += c64(1e-15, 0.0);
+        c.matrix(&h00b).matrix(&h01).f64(1e-3);
+        assert_ne!(a.finish(), c.finish(), "bit-level change -> new key");
+        assert_ne!(a.finish(), 0, "finished keys are never the unbound value");
     }
 
     #[test]

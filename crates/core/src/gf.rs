@@ -7,13 +7,13 @@
 //! `G≷[Nkz, NE, NA, Norb, Norb]` and `D≷[Nqz, Nω, NA, NB+1, 3, 3]`
 //! (slot `NB` holds the diagonal `D_aa`, slots `0..NB` the neighbor pairs).
 
-use crate::boundary::{self, BoundaryConfig, Side};
+use crate::boundary::{self, BoundaryCache, BoundaryConfig, KeyHasher, Side};
 use crate::device::Device;
 use crate::grids::{bose, fermi, Grids};
 use crate::hamiltonian::{ElectronModel, PhononModel};
 use crate::params::{SimParams, N3D};
 use crate::rgf;
-use qt_linalg::{c64, BlockTridiag, Complex64, Matrix, SingularMatrix, Tensor};
+use qt_linalg::{c64, workspace, BlockTridiag, Complex64, Matrix, SingularMatrix, Tensor};
 use rayon::prelude::*;
 
 /// Contact electrochemical potentials and temperature.
@@ -163,10 +163,103 @@ pub struct PhononGf {
     pub energy_current: f64,
 }
 
-/// Assemble `A = z·S − H` for one energy.
-fn assemble_a(z: Complex64, s: &BlockTridiag, h: &BlockTridiag) -> BlockTridiag {
-    let zs = s.scale(z);
-    zs.sub(h)
+/// `tr(A·B)` without forming the product: `Σ_i Σ_j A[i,j]·B[j,i]`. The
+/// Meir–Wingreen and bond-current traces only need the product's diagonal,
+/// so this replaces an `O(n³)` GEMM (plus its temporary) with an `O(n²)`
+/// reduction.
+fn trace_of_product(a: &Matrix, b: &Matrix) -> Complex64 {
+    let n = a.rows();
+    let k = a.cols();
+    debug_assert_eq!(b.rows(), k);
+    debug_assert_eq!(b.cols(), n);
+    qt_linalg::add_flops(8 * (n * k) as u64);
+    let mut acc = Complex64::ZERO;
+    for i in 0..n {
+        for j in 0..k {
+            acc = acc.mul_add(a[(i, j)], b[(j, i)]);
+        }
+    }
+    acc
+}
+
+/// `out ← i·(sig − sig†)` — [`boundary::gamma`] into an existing buffer.
+fn gamma_into(sig: &Matrix, out: &mut Matrix) {
+    let n = sig.rows();
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = (sig[(i, j)] - sig[(j, i)].conj()) * Complex64::I;
+        }
+    }
+}
+
+/// `out ← src · z` elementwise, overwriting `out`.
+fn scale_into(src: &Matrix, z: Complex64, out: &mut Matrix) {
+    for (o, s) in out.as_mut_slice().iter_mut().zip(src.as_slice()) {
+        *o = *s * z;
+    }
+}
+
+/// Recycle a block tri-diagonal whose blocks came from the workspace pool.
+fn recycle_tridiag(a: BlockTridiag) {
+    let (d, u, l) = a.into_parts();
+    for m in d.into_iter().chain(u).chain(l) {
+        workspace::give(m);
+    }
+}
+
+/// Identity key of everything the electron contact self-energies depend
+/// on: the lead blocks of `H(kz)`/`S(kz)`, the energy grid and the
+/// broadening configuration.
+fn electron_boundary_key(
+    hs: &[(BlockTridiag, BlockTridiag)],
+    grids: &Grids,
+    cfg: &GfConfig,
+) -> u64 {
+    let mut kh = KeyHasher::new();
+    kh.u64(0xe1ec);
+    for (h, s) in hs {
+        let nbk = h.num_blocks();
+        kh.matrix(h.diag(0))
+            .matrix(h.upper(0))
+            .matrix(s.diag(0))
+            .matrix(s.upper(0))
+            .matrix(h.diag(nbk - 1))
+            .matrix(h.upper(nbk - 2))
+            .matrix(s.diag(nbk - 1))
+            .matrix(s.upper(nbk - 2));
+    }
+    for &e in &grids.energies {
+        kh.f64(e);
+    }
+    kh.f64(cfg.eta)
+        .f64(cfg.boundary.eta)
+        .u64(cfg.boundary.max_iter as u64)
+        .f64(cfg.boundary.tol);
+    kh.finish()
+}
+
+/// Identity key of the phonon contact self-energies: lead blocks of
+/// `Φ(qz)`, the frequency grid (and its spacing, which enters the
+/// broadening) and the configuration.
+fn phonon_boundary_key(phis: &[BlockTridiag], grids: &Grids, cfg: &GfConfig) -> u64 {
+    let mut kh = KeyHasher::new();
+    kh.u64(0x9409);
+    for phi in phis {
+        let nbk = phi.num_blocks();
+        kh.matrix(phi.diag(0))
+            .matrix(phi.upper(0))
+            .matrix(phi.diag(nbk - 1))
+            .matrix(phi.upper(nbk - 2));
+    }
+    for &w in &grids.omegas {
+        kh.f64(w);
+    }
+    kh.f64(grids.de)
+        .f64(cfg.eta)
+        .f64(cfg.boundary.eta)
+        .u64(cfg.boundary.max_iter as u64)
+        .f64(cfg.boundary.tol);
+    kh.finish()
 }
 
 /// Solve the electron Green's functions for every `(kz, E)` point.
@@ -178,6 +271,22 @@ pub fn electron_gf_phase(
     sse: &ElectronSelfEnergy,
     cfg: &GfConfig,
 ) -> Result<ElectronGf, SingularMatrix> {
+    electron_gf_phase_cached(dev, em, p, grids, sse, cfg, None)
+}
+
+/// [`electron_gf_phase`] with optional contact self-energy memoization:
+/// when `cache` is given it is (re-)bound to the current `H`/`S`/grid
+/// identity and the Sancho–Rubio decimation runs at most once per
+/// `(kz, E)` point across every Born iteration.
+pub fn electron_gf_phase_cached(
+    dev: &Device,
+    em: &ElectronModel,
+    p: &SimParams,
+    grids: &Grids,
+    sse: &ElectronSelfEnergy,
+    cfg: &GfConfig,
+    cache: Option<&BoundaryCache>,
+) -> Result<ElectronGf, SingularMatrix> {
     let _span = qt_telemetry::Span::enter_global("gf/electron");
     let no = p.norb;
     let apb = dev.atoms_per_slab;
@@ -187,6 +296,9 @@ pub fn electron_gf_phase(
         .iter()
         .map(|&kz| (em.hamiltonian(dev, kz), em.overlap_matrix(dev, kz)))
         .collect();
+    if let Some(c) = cache {
+        c.bind_electron(electron_boundary_key(&hs, grids, cfg), p.nkz * p.ne);
+    }
     let points: Vec<(usize, usize)> = (0..p.nkz)
         .flat_map(|k| (0..p.ne).map(move |e| (k, e)))
         .collect();
@@ -200,59 +312,117 @@ pub fn electron_gf_phase(
             // (near-)real energy so contacts are the only implicit bath.
             let z = c64(energy, cfg.eta);
             let z_dev = c64(energy, cfg.device_eta);
-            let mut a = assemble_a(z_dev, s, h);
-            // Boundary self-energies.
-            let nbk = a.num_blocks();
-            let sig_l = boundary::surface_self_energy(
-                z,
-                h.diag(0),
-                h.upper(0),
-                s.diag(0),
-                s.upper(0),
-                Side::Left,
-                &cfg.boundary,
-            )?;
-            let sig_r = boundary::surface_self_energy(
-                z,
-                h.diag(nbk - 1),
-                h.upper(nbk - 2),
-                s.diag(nbk - 1),
-                s.upper(nbk - 2),
-                Side::Right,
-                &cfg.boundary,
-            )?;
-            *a.diag_mut(0) -= &sig_l;
-            *a.diag_mut(nbk - 1) -= &sig_r;
+            let nbk = h.num_blocks();
+            let bs = h.block_size();
+            // A = z·S − H assembled into workspace-pooled blocks.
+            let mut a_diag: Vec<Matrix> = Vec::with_capacity(nbk);
+            for n in 0..nbk {
+                let mut d = workspace::take(bs, bs);
+                for (o, (sv, hv)) in d
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(s.diag(n).as_slice().iter().zip(h.diag(n).as_slice()))
+                {
+                    *o = *sv * z_dev - *hv;
+                }
+                a_diag.push(d);
+            }
+            let fill_off = |sb: &Matrix, hb: &Matrix| {
+                let mut m = workspace::take(bs, bs);
+                for (o, (sv, hv)) in m
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(sb.as_slice().iter().zip(hb.as_slice()))
+                {
+                    *o = *sv * z_dev - *hv;
+                }
+                m
+            };
+            let a_upper: Vec<Matrix> = (0..nbk - 1)
+                .map(|n| fill_off(s.upper(n), h.upper(n)))
+                .collect();
+            let a_lower: Vec<Matrix> = (0..nbk - 1)
+                .map(|n| fill_off(s.lower(n), h.lower(n)))
+                .collect();
+            let mut a = BlockTridiag::from_blocks(a_diag, a_upper, a_lower);
+            // Boundary self-energies: memoized per point when cached — the
+            // decimation depends on neither the occupations nor the Born
+            // iterate, so iteration 2+ replays the stored Σᴿ.
+            let compute_pair = || -> Result<(Matrix, Matrix), SingularMatrix> {
+                let sig_l = boundary::surface_self_energy(
+                    z,
+                    h.diag(0),
+                    h.upper(0),
+                    s.diag(0),
+                    s.upper(0),
+                    Side::Left,
+                    &cfg.boundary,
+                )?;
+                let sig_r = boundary::surface_self_energy(
+                    z,
+                    h.diag(nbk - 1),
+                    h.upper(nbk - 2),
+                    s.diag(nbk - 1),
+                    s.upper(nbk - 2),
+                    Side::Right,
+                    &cfg.boundary,
+                )?;
+                Ok((sig_l, sig_r))
+            };
+            let view = cache.map(|c| c.view());
+            let pair_storage;
+            let (sig_l, sig_r): (&Matrix, &Matrix) = match &view {
+                Some(v) => {
+                    let pair = v.electron(k * p.ne + e, compute_pair)?;
+                    (&pair.0, &pair.1)
+                }
+                None => {
+                    pair_storage = compute_pair()?;
+                    (&pair_storage.0, &pair_storage.1)
+                }
+            };
+            *a.diag_mut(0) -= sig_l;
+            *a.diag_mut(nbk - 1) -= sig_r;
             let f_l = fermi(energy, cfg.contacts.mu_left, cfg.contacts.temperature);
             let f_r = fermi(energy, cfg.contacts.mu_right, cfg.contacts.temperature);
-            let (bl_l, bg_l) = boundary::electron_lesser_greater(&sig_l, f_l);
-            let (bl_r, _) = boundary::electron_lesser_greater(&sig_r, f_r);
-            let bs = a.block_size();
-            let mut sig_lesser = vec![Matrix::zeros(bs, bs); nbk];
+            // Γ and the occupation-scaled boundary Σ≷ in pooled buffers
+            // (the occupations are applied outside the cache, so the same
+            // memoized Σᴿ serves any bias).
+            let mut gam = workspace::take(bs, bs);
+            gamma_into(sig_l, &mut gam);
+            let mut bl_l = workspace::take(bs, bs);
+            scale_into(&gam, c64(0.0, f_l), &mut bl_l);
+            let mut bg_l = workspace::take(bs, bs);
+            scale_into(&gam, c64(0.0, f_l - 1.0), &mut bg_l);
+            gamma_into(sig_r, &mut gam);
+            let mut bl_r = workspace::take(bs, bs);
+            scale_into(&gam, c64(0.0, f_r), &mut bl_r);
+            workspace::give(gam);
+            drop(view);
+            let mut sig_lesser: Vec<Matrix> = (0..nbk).map(|_| workspace::take(bs, bs)).collect();
             sig_lesser[0] += &bl_l;
             sig_lesser[nbk - 1] += &bl_r;
-            // Scattering self-energies (diagonal atom blocks).
+            // Scattering self-energies (diagonal atom blocks), injected
+            // straight from the SSE tensors — no temporaries.
             for atom in 0..p.na {
                 let slab = dev.slab_of(atom);
                 let row = (atom % apb) * no;
-                let sr = sse.retarded_block(&[k, e, atom], no);
-                let sl = Matrix::from_vec(no, no, sse.lesser.inner(&[k, e, atom]).to_vec());
-                // A -= Σᴿ_scatt
+                let g_blk = sse.greater.inner(&[k, e, atom]);
+                let l_blk = sse.lesser.inner(&[k, e, atom]);
                 for i in 0..no {
                     for j in 0..no {
+                        // Σᴿ ≈ (Σ> − Σ<)/2; A -= Σᴿ_scatt.
+                        let sr = (g_blk[i * no + j] - l_blk[i * no + j]).scale(0.5);
                         let cur = a.diag(slab)[(row + i, row + j)];
-                        a.diag_mut(slab)[(row + i, row + j)] = cur - sr[(i, j)];
-                    }
-                }
-                for i in 0..no {
-                    for j in 0..no {
+                        a.diag_mut(slab)[(row + i, row + j)] = cur - sr;
                         let cur = sig_lesser[slab][(row + i, row + j)];
-                        sig_lesser[slab][(row + i, row + j)] = cur + sl[(i, j)];
+                        sig_lesser[slab][(row + i, row + j)] = cur + l_blk[i * no + j];
                     }
                 }
             }
             let out = rgf::rgf(&a, &sig_lesser)?;
-            // Gather per-atom diagonal blocks.
+            // Gather per-atom diagonal blocks (these escape the worker, so
+            // they stay on the regular heap).
             let mut gl = Vec::with_capacity(p.na * no * no);
             let mut gg = Vec::with_capacity(p.na * no * no);
             for atom in 0..p.na {
@@ -267,20 +437,21 @@ pub fn electron_gf_phase(
             }
             // Meir–Wingreen current trace at the left contact:
             // i(E) = Re tr[Σ<_L G> − Σ>_L G<].
-            let t1 = bl_l.matmul(&out.gg_diag[0]).trace();
-            let t2 = bg_l.matmul(&out.gl_diag[0]).trace();
+            let t1 = trace_of_product(&bl_l, &out.gg_diag[0]);
+            let t2 = trace_of_product(&bg_l, &out.gl_diag[0]);
             let ispec = (t1 - t2).re;
             // Bond currents through every slab interface.
             let bonds: Vec<f64> = (0..nbk - 1)
-                .map(|n| {
-                    2.0 * a
-                        .upper(n)
-                        .scale(c64(-1.0, 0.0))
-                        .matmul(&out.gl_lower[n])
-                        .trace()
-                        .re
-                })
+                .map(|n| -2.0 * trace_of_product(a.upper(n), &out.gl_lower[n]).re)
                 .collect();
+            for m in [bl_l, bg_l, bl_r] {
+                workspace::give(m);
+            }
+            for m in sig_lesser {
+                workspace::give(m);
+            }
+            out.recycle();
+            recycle_tridiag(a);
             Ok((k, e, gl, gg, ispec, bonds))
         })
         .collect();
@@ -317,12 +488,28 @@ pub fn phonon_gf_phase(
     sse: &PhononSelfEnergy,
     cfg: &GfConfig,
 ) -> Result<PhononGf, SingularMatrix> {
+    phonon_gf_phase_cached(dev, pm, p, grids, sse, cfg, None)
+}
+
+/// [`phonon_gf_phase`] with optional contact self-energy memoization.
+pub fn phonon_gf_phase_cached(
+    dev: &Device,
+    pm: &PhononModel,
+    p: &SimParams,
+    grids: &Grids,
+    sse: &PhononSelfEnergy,
+    cfg: &GfConfig,
+    cache: Option<&BoundaryCache>,
+) -> Result<PhononGf, SingularMatrix> {
     let _span = qt_telemetry::Span::enter_global("gf/phonon");
     let apb = dev.atoms_per_slab;
     let phis: Vec<BlockTridiag> = grids.qz.iter().map(|&qz| pm.dynamical(dev, qz)).collect();
     let bs = phis[0].block_size();
     let eye = Matrix::identity(bs);
     let zero = Matrix::zeros(bs, bs);
+    if let Some(c) = cache {
+        c.bind_phonon(phonon_boundary_key(&phis, grids, cfg), p.nqz * p.nw);
+    }
     let points: Vec<(usize, usize)> = (0..p.nqz)
         .flat_map(|q| (0..p.nw).map(move |w| (q, w)))
         .collect();
@@ -334,61 +521,105 @@ pub fn phonon_gf_phase(
             let omega = grids.omegas[w];
             let z = c64(omega * omega, cfg.eta * omega.max(grids.de));
             let z_dev = c64(omega * omega, cfg.phonon_device_eta * omega.max(grids.de));
-            // A = ω²·I − Φ − Πᴿ.
-            let mut a = BlockTridiag::zeros(phi.num_blocks(), bs);
+            // A = ω²·I − Φ − Πᴿ in workspace-pooled blocks.
             let nbk = phi.num_blocks();
+            let mut a_diag: Vec<Matrix> = Vec::with_capacity(nbk);
             for n in 0..nbk {
-                let mut d = Matrix::scaled_identity(bs, z_dev);
-                d -= phi.diag(n);
-                *a.diag_mut(n) = d;
+                let mut d = workspace::take(bs, bs);
+                let pd = phi.diag(n).as_slice();
+                let ds = d.as_mut_slice();
+                for (o, pv) in ds.iter_mut().zip(pd) {
+                    *o = Complex64::ZERO - *pv;
+                }
+                for i in 0..bs {
+                    ds[i * bs + i] = z_dev - pd[i * bs + i];
+                }
+                a_diag.push(d);
             }
-            for n in 0..nbk - 1 {
-                *a.upper_mut(n) = -phi.upper(n);
-                *a.lower_mut(n) = -phi.lower(n);
-            }
-            // Boundary (equilibrium phonon baths at both contacts).
-            let pi_l = boundary::surface_self_energy(
-                z,
-                phi.diag(0),
-                phi.upper(0),
-                &eye,
-                &zero,
-                Side::Left,
-                &cfg.boundary,
-            )?;
-            let pi_r = boundary::surface_self_energy(
-                z,
-                phi.diag(nbk - 1),
-                phi.upper(nbk - 2),
-                &eye,
-                &zero,
-                Side::Right,
-                &cfg.boundary,
-            )?;
-            *a.diag_mut(0) -= &pi_l;
-            *a.diag_mut(nbk - 1) -= &pi_r;
+            let fill_neg = |src: &Matrix| {
+                let mut m = workspace::take(bs, bs);
+                for (o, pv) in m.as_mut_slice().iter_mut().zip(src.as_slice()) {
+                    *o = -*pv;
+                }
+                m
+            };
+            let a_upper: Vec<Matrix> = (0..nbk - 1).map(|n| fill_neg(phi.upper(n))).collect();
+            let a_lower: Vec<Matrix> = (0..nbk - 1).map(|n| fill_neg(phi.lower(n))).collect();
+            let mut a = BlockTridiag::from_blocks(a_diag, a_upper, a_lower);
+            // Boundary (equilibrium phonon baths at both contacts),
+            // memoized per (qz, ω) point when cached.
+            let compute_pair = || -> Result<(Matrix, Matrix), SingularMatrix> {
+                let pi_l = boundary::surface_self_energy(
+                    z,
+                    phi.diag(0),
+                    phi.upper(0),
+                    &eye,
+                    &zero,
+                    Side::Left,
+                    &cfg.boundary,
+                )?;
+                let pi_r = boundary::surface_self_energy(
+                    z,
+                    phi.diag(nbk - 1),
+                    phi.upper(nbk - 2),
+                    &eye,
+                    &zero,
+                    Side::Right,
+                    &cfg.boundary,
+                )?;
+                Ok((pi_l, pi_r))
+            };
+            let view = cache.map(|c| c.view());
+            let pair_storage;
+            let (pi_l, pi_r): (&Matrix, &Matrix) = match &view {
+                Some(v) => {
+                    let pair = v.phonon(q * p.nw + w, compute_pair)?;
+                    (&pair.0, &pair.1)
+                }
+                None => {
+                    pair_storage = compute_pair()?;
+                    (&pair_storage.0, &pair_storage.1)
+                }
+            };
+            *a.diag_mut(0) -= pi_l;
+            *a.diag_mut(nbk - 1) -= pi_r;
             let n_occ = bose(omega, cfg.contacts.temperature);
-            let (bl_l, bg_l) = boundary::phonon_lesser_greater(&pi_l, n_occ);
-            let (bl_r, _) = boundary::phonon_lesser_greater(&pi_r, n_occ);
-            let mut sig_lesser = vec![Matrix::zeros(bs, bs); nbk];
+            // Π≷ at the bath occupation, in pooled buffers.
+            let mut gam = workspace::take(bs, bs);
+            gamma_into(pi_l, &mut gam);
+            let mut bl_l = workspace::take(bs, bs);
+            scale_into(&gam, c64(0.0, -n_occ), &mut bl_l);
+            let mut bg_l = workspace::take(bs, bs);
+            scale_into(&gam, c64(0.0, -(n_occ + 1.0)), &mut bg_l);
+            gamma_into(pi_r, &mut gam);
+            let mut bl_r = workspace::take(bs, bs);
+            scale_into(&gam, c64(0.0, -n_occ), &mut bl_r);
+            workspace::give(gam);
+            drop(view);
+            let mut sig_lesser: Vec<Matrix> = (0..nbk).map(|_| workspace::take(bs, bs)).collect();
             sig_lesser[0] += &bl_l;
             sig_lesser[nbk - 1] += &bl_r;
-            // Scattering Πᴿ: diagonal blocks plus neighbor connections.
+            // Scattering Πᴿ: diagonal blocks plus neighbor connections,
+            // injected straight from the SSE tensors — no temporaries.
+            let inject_retarded = |dst: &mut Matrix, ra: usize, rb: usize, idx: &[usize; 4]| {
+                let g_blk = sse.greater.inner(&idx[..]);
+                let l_blk = sse.lesser.inner(&idx[..]);
+                for i in 0..N3D {
+                    for j in 0..N3D {
+                        let pr = (g_blk[i * N3D + j] - l_blk[i * N3D + j]).scale(0.5);
+                        dst[(ra + i, rb + j)] = dst[(ra + i, rb + j)] - pr;
+                    }
+                }
+            };
             for atom in 0..p.na {
                 let sa = dev.slab_of(atom);
                 let ra = (atom % apb) * N3D;
-                let pr = sse.retarded_block(&[q, w, atom, p.nb]);
-                for i in 0..N3D {
-                    for j in 0..N3D {
-                        let cur = a.diag(sa)[(ra + i, ra + j)];
-                        a.diag_mut(sa)[(ra + i, ra + j)] = cur - pr[(i, j)];
-                    }
-                }
-                let pl = Matrix::from_vec(N3D, N3D, sse.lesser.inner(&[q, w, atom, p.nb]).to_vec());
+                inject_retarded(a.diag_mut(sa), ra, ra, &[q, w, atom, p.nb]);
+                let l_blk = sse.lesser.inner(&[q, w, atom, p.nb]);
                 for i in 0..N3D {
                     for j in 0..N3D {
                         let cur = sig_lesser[sa][(ra + i, ra + j)];
-                        sig_lesser[sa][(ra + i, ra + j)] = cur + pl[(i, j)];
+                        sig_lesser[sa][(ra + i, ra + j)] = cur + l_blk[i * N3D + j];
                     }
                 }
                 // Neighbor connections of Πᴿ (off-diagonal, §2). Lesser
@@ -401,32 +632,42 @@ pub fn phonon_gf_phase(
                     };
                     let sb = dev.slab_of(b);
                     let rb = (b % apb) * N3D;
-                    let prn = sse.retarded_block(&[q, w, atom, slot]);
                     if sb == sa {
-                        for i in 0..N3D {
-                            for j in 0..N3D {
-                                let cur = a.diag(sa)[(ra + i, rb + j)];
-                                a.diag_mut(sa)[(ra + i, rb + j)] = cur - prn[(i, j)];
-                            }
-                        }
+                        inject_retarded(a.diag_mut(sa), ra, rb, &[q, w, atom, slot]);
                     } else if sb == sa + 1 {
-                        for i in 0..N3D {
-                            for j in 0..N3D {
-                                let cur = a.upper(sa)[(ra + i, rb + j)];
-                                a.upper_mut(sa)[(ra + i, rb + j)] = cur - prn[(i, j)];
-                            }
-                        }
+                        inject_retarded(a.upper_mut(sa), ra, rb, &[q, w, atom, slot]);
                     } else if sb + 1 == sa {
-                        for i in 0..N3D {
-                            for j in 0..N3D {
-                                let cur = a.lower(sb)[(ra + i, rb + j)];
-                                a.lower_mut(sb)[(ra + i, rb + j)] = cur - prn[(i, j)];
-                            }
-                        }
+                        inject_retarded(a.lower_mut(sb), ra, rb, &[q, w, atom, slot]);
                     }
                 }
             }
             let out = rgf::rgf(&a, &sig_lesser)?;
+            // Off-diagonal D images, once per point into pooled buffers
+            // (the old path re-derived them per atom pair):
+            // G<_{n,n+1} = −(G<_{n+1,n})†, G>_{n,n+1} and G>_{n+1,n}.
+            let mut gl_up: Vec<Matrix> = Vec::with_capacity(nbk - 1);
+            let mut gg_up: Vec<Matrix> = Vec::with_capacity(nbk - 1);
+            let mut gg_lo: Vec<Matrix> = Vec::with_capacity(nbk - 1);
+            for n in 0..nbk - 1 {
+                let mut lu_m = workspace::take(bs, bs);
+                let src = &out.gl_lower[n];
+                for i in 0..bs {
+                    for j in 0..bs {
+                        lu_m[(i, j)] = src[(j, i)].conj() * c64(-1.0, 0.0);
+                    }
+                }
+                let mut gu = workspace::take(bs, bs);
+                gu.copy_from(&lu_m);
+                gu += &out.gr_upper[n];
+                gu.sub_dagger_assign(&out.gr_lower[n]);
+                let mut glo = workspace::take(bs, bs);
+                glo.copy_from(&out.gl_lower[n]);
+                glo += &out.gr_lower[n];
+                glo.sub_dagger_assign(&out.gr_upper[n]);
+                gl_up.push(lu_m);
+                gg_up.push(gu);
+                gg_lo.push(glo);
+            }
             // Gather D pairs: slots 0..NB neighbors, slot NB diagonal.
             let block_len = (p.nb + 1) * N3D * N3D;
             let mut dl = vec![Complex64::ZERO; p.na * block_len];
@@ -442,23 +683,17 @@ pub fn phonon_gf_phase(
                 let rb = (b % apb) * N3D;
                 let base = atom * block_len + slot * N3D * N3D;
                 // Select the matrices holding rows of slab sa, cols sb.
-                let (l_m, g_m, roff, coff): (Matrix, Matrix, usize, usize) = if sb == sa {
-                    (out.gl_diag[sa].clone(), out.gg_diag[sa].clone(), ra, rb)
+                let (l_m, g_m): (&Matrix, &Matrix) = if sb == sa {
+                    (&out.gl_diag[sa], &out.gg_diag[sa])
                 } else if sb == sa + 1 {
-                    let gl = out.gl_upper(sa);
-                    let mut gg = gl.clone();
-                    gg += &out.gr_upper[sa];
-                    gg -= &out.gr_lower[sa].dagger();
-                    (gl, gg, ra, rb)
+                    (&gl_up[sa], &gg_up[sa])
                 } else {
-                    let gl = out.gl_lower[sb].clone();
-                    let gg = out.gg_lower(sb);
-                    (gl, gg, ra, rb)
+                    (&out.gl_lower[sb], &gg_lo[sb])
                 };
                 for i in 0..N3D {
                     for j in 0..N3D {
-                        dst_l[base + i * N3D + j] = l_m[(roff + i, coff + j)];
-                        dst_g[base + i * N3D + j] = g_m[(roff + i, coff + j)];
+                        dst_l[base + i * N3D + j] = l_m[(ra + i, rb + j)];
+                        dst_g[base + i * N3D + j] = g_m[(ra + i, rb + j)];
                     }
                 }
             };
@@ -470,9 +705,20 @@ pub fn phonon_gf_phase(
                     }
                 }
             }
-            let t1 = bl_l.matmul(&out.gg_diag[0]).trace();
-            let t2 = bg_l.matmul(&out.gl_diag[0]).trace();
+            let t1 = trace_of_product(&bl_l, &out.gg_diag[0]);
+            let t2 = trace_of_product(&bg_l, &out.gl_diag[0]);
             let espec = (t1 - t2).re * omega;
+            for m in gl_up.into_iter().chain(gg_up).chain(gg_lo) {
+                workspace::give(m);
+            }
+            for m in [bl_l, bg_l, bl_r] {
+                workspace::give(m);
+            }
+            for m in sig_lesser {
+                workspace::give(m);
+            }
+            out.recycle();
+            recycle_tridiag(a);
             Ok((q, w, dl, dg, espec))
         })
         .collect();

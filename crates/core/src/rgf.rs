@@ -23,7 +23,10 @@
 //!           G<_{n+1,n} = −Gᴿ_{n+1,n+1} A_{n+1,n} g<_n − G<_{n+1,n+1} A_{n,n+1}† gᴿ_n†
 //! ```
 
-use qt_linalg::{invert, BlockTridiag, CsrMatrix, Matrix, SingularMatrix};
+use qt_linalg::gemm::{gemm_acc, gemm_bdagger_acc, gemm_bdagger_scaled_acc, gemm_scaled_acc};
+use qt_linalg::{
+    c64, invert, invert_ws, workspace, BlockTridiag, CsrMatrix, Matrix, SingularMatrix,
+};
 
 /// How the off-diagonal triple products of the forward pass are evaluated
 /// (the Table 6 design space, §5.1.2).
@@ -74,6 +77,24 @@ impl RgfOutput {
         gg -= &self.gr_upper[n].dagger();
         gg
     }
+
+    /// Return every block to the calling thread's workspace pool. The
+    /// Green's-function phases call this once a point's output has been
+    /// consumed, so the next (E, kz) point on this worker re-uses the same
+    /// buffers instead of round-tripping through the global allocator.
+    pub fn recycle(self) {
+        for m in self
+            .gr_diag
+            .into_iter()
+            .chain(self.gl_diag)
+            .chain(self.gg_diag)
+            .chain(self.gr_lower)
+            .chain(self.gr_upper)
+            .chain(self.gl_lower)
+        {
+            workspace::give(m);
+        }
+    }
 }
 
 /// Run RGF with the default dense multiply strategy. `a` is the full
@@ -107,22 +128,47 @@ pub fn rgf_with_strategy(
                 .collect(),
         )),
     };
-    // Forward pass: left-connected g's.
+    let bs = a.block_size();
+    let neg = c64(-1.0, 0.0);
+    // Forward pass: left-connected g's. Every temporary (and the retained
+    // g's themselves) is checked out of the per-thread workspace pool, so a
+    // warm SCF iteration performs zero heap allocations here.
     let mut g_r: Vec<Matrix> = Vec::with_capacity(nb);
     let mut g_l: Vec<Matrix> = Vec::with_capacity(nb);
     for n in 0..nb {
-        let (m, sig_eff) = if n == 0 {
-            (a.diag(0).clone(), sigma_lesser[0].clone())
-        } else {
+        let mut m = workspace::take(bs, bs);
+        m.copy_from(a.diag(n));
+        let mut sig = workspace::take(bs, bs);
+        sig.copy_from(&sigma_lesser[n]);
+        if n > 0 {
             // A_{n,n−1} couples block n−1 into n; the triple product
             // `A_{n,n−1} · gᴿ_{n−1} · A_{n−1,n}` is the Table 6 operation.
             let tau = a.lower(n - 1);
-            let mut m = a.diag(n).clone();
-            let mut sig = sigma_lesser[n].clone();
             match &sparse_couplings {
                 None => {
-                    m -= &tau.matmul(&g_r[n - 1]).matmul(a.upper(n - 1));
-                    sig += &tau.matmul(&g_l[n - 1]).matmul_dagger(tau);
+                    let mut tg = workspace::take(bs, bs);
+                    gemm_acc(tau, &g_r[n - 1], &mut tg);
+                    gemm_scaled_acc(
+                        bs,
+                        bs,
+                        bs,
+                        tg.as_slice(),
+                        a.upper(n - 1).as_slice(),
+                        m.as_mut_slice(),
+                        neg,
+                    );
+                    let mut tl = workspace::take(bs, bs);
+                    gemm_acc(tau, &g_l[n - 1], &mut tl);
+                    gemm_bdagger_acc(
+                        bs,
+                        bs,
+                        bs,
+                        tl.as_slice(),
+                        tau.as_slice(),
+                        sig.as_mut_slice(),
+                    );
+                    workspace::give(tg);
+                    workspace::give(tl);
                 }
                 Some((lowers, uppers)) => {
                     // CSRMM: sparse × dense, then dense × sparse.
@@ -134,70 +180,169 @@ pub fn rgf_with_strategy(
                     sig += &tl.matmul_dagger(tau);
                 }
             }
-            (m, sig)
-        };
-        let gr = invert(&m)?;
-        let gl = gr.matmul(&sig_eff).matmul_dagger(&gr);
+        }
+        let gr = invert_ws(&m)?;
+        workspace::give(m);
+        let mut t = workspace::take(bs, bs);
+        gemm_acc(&gr, &sig, &mut t);
+        let mut gl = workspace::take(bs, bs);
+        gemm_bdagger_acc(bs, bs, bs, t.as_slice(), gr.as_slice(), gl.as_mut_slice());
+        workspace::give(t);
+        workspace::give(sig);
         g_r.push(gr);
         g_l.push(gl);
     }
-    // Backward pass.
-    let mut gr_diag = vec![Matrix::zeros(0, 0); nb];
-    let mut gl_diag = vec![Matrix::zeros(0, 0); nb];
-    let mut gr_lower = vec![Matrix::zeros(0, 0); nb.saturating_sub(1)];
-    let mut gr_upper = vec![Matrix::zeros(0, 0); nb.saturating_sub(1)];
-    let mut gl_lower = vec![Matrix::zeros(0, 0); nb.saturating_sub(1)];
-    gr_diag[nb - 1] = g_r[nb - 1].clone();
-    gl_diag[nb - 1] = g_l[nb - 1].clone();
+    // Backward pass. Blocks are produced highest-index first and the
+    // vectors reversed at the end — no `Matrix::zeros(0, 0)` placeholders.
+    let mut gr_diag: Vec<Matrix> = Vec::with_capacity(nb);
+    let mut gl_diag: Vec<Matrix> = Vec::with_capacity(nb);
+    let mut gr_lower: Vec<Matrix> = Vec::with_capacity(nb - 1);
+    let mut gr_upper: Vec<Matrix> = Vec::with_capacity(nb - 1);
+    let mut gl_lower: Vec<Matrix> = Vec::with_capacity(nb - 1);
+    let mut last_gr = workspace::take(bs, bs);
+    last_gr.copy_from(&g_r[nb - 1]);
+    gr_diag.push(last_gr);
+    let mut last_gl = workspace::take(bs, bs);
+    last_gl.copy_from(&g_l[nb - 1]);
+    gl_diag.push(last_gl);
     for n in (0..nb - 1).rev() {
         let up = a.upper(n); // A_{n,n+1}
         let lo = a.lower(n); // A_{n+1,n}
-        let gr_next = gr_diag[n + 1].clone();
-        let gl_next = gl_diag[n + 1].clone();
+        let mut gr_next = workspace::take(bs, bs);
+        gr_next.copy_from(&gr_diag[gr_diag.len() - 1]);
+        let mut gl_next = workspace::take(bs, bs);
+        gl_next.copy_from(&gl_diag[gl_diag.len() - 1]);
         let gr_n = &g_r[n];
         let gl_n = &g_l[n];
-        let gr_n_dag = gr_n.dagger();
-        // Gᴿ_nn
-        let t1 = gr_n.matmul(up); // gᴿ_n A_{n,n+1}
-        let mut grd = gr_n.clone();
-        grd += &t1.matmul(&gr_next).matmul(lo).matmul(gr_n);
-        // G<_nn — four terms.
-        let mut gld = gl_n.clone();
-        gld += &t1.matmul(&gl_next).matmul_dagger(up).matmul(&gr_n_dag);
-        let t2 = t1.matmul(&gr_next).matmul(lo).matmul(gl_n);
-        gld += &t2;
-        gld += &gl_n
-            .matmul_dagger(lo)
-            .matmul_dagger(&gr_next)
-            .matmul_dagger(up)
-            .matmul(&gr_n_dag);
-        // Off-diagonal blocks.
-        let mut grl = gr_next.matmul(lo).matmul(gr_n);
-        grl = grl.scale(qt_linalg::c64(-1.0, 0.0));
-        let gru = gr_n
-            .matmul(up)
-            .matmul(&gr_next)
-            .scale(qt_linalg::c64(-1.0, 0.0));
-        let mut gll = gr_next.matmul(lo).matmul(gl_n);
-        gll += &gl_next.matmul_dagger(up).matmul(&gr_n_dag);
-        gll = gll.scale(qt_linalg::c64(-1.0, 0.0));
-        gr_diag[n] = grd;
-        gl_diag[n] = gld;
-        gr_lower[n] = grl;
-        gr_upper[n] = gru;
-        gl_lower[n] = gll;
+        // Shared prefixes: t1 = gᴿ_n A_{n,n+1}, t1g = t1 Gᴿ_{n+1,n+1},
+        // t2 = t1g A_{n+1,n}.
+        let mut t1 = workspace::take(bs, bs);
+        gemm_acc(gr_n, up, &mut t1);
+        let mut t1g = workspace::take(bs, bs);
+        gemm_acc(&t1, &gr_next, &mut t1g);
+        let mut t2 = workspace::take(bs, bs);
+        gemm_acc(&t1g, lo, &mut t2);
+        // Gᴿ_nn = gᴿ_n + t2 gᴿ_n
+        let mut grd = workspace::take(bs, bs);
+        grd.copy_from(gr_n);
+        gemm_acc(&t2, gr_n, &mut grd);
+        // G<_nn — four terms, sharing t1/t2 instead of recomputing the
+        // triple products.
+        let mut gld = workspace::take(bs, bs);
+        gld.copy_from(gl_n);
+        let mut t3 = workspace::take(bs, bs);
+        gemm_acc(&t1, &gl_next, &mut t3);
+        let mut t4 = workspace::take(bs, bs);
+        gemm_bdagger_acc(bs, bs, bs, t3.as_slice(), up.as_slice(), t4.as_mut_slice());
+        gemm_bdagger_acc(
+            bs,
+            bs,
+            bs,
+            t4.as_slice(),
+            gr_n.as_slice(),
+            gld.as_mut_slice(),
+        );
+        gemm_acc(&t2, gl_n, &mut gld);
+        let mut v1 = workspace::take(bs, bs);
+        gemm_bdagger_acc(
+            bs,
+            bs,
+            bs,
+            gl_n.as_slice(),
+            lo.as_slice(),
+            v1.as_mut_slice(),
+        );
+        let mut v2 = workspace::take(bs, bs);
+        gemm_bdagger_acc(
+            bs,
+            bs,
+            bs,
+            v1.as_slice(),
+            gr_next.as_slice(),
+            v2.as_mut_slice(),
+        );
+        let mut v3 = workspace::take(bs, bs);
+        gemm_bdagger_acc(bs, bs, bs, v2.as_slice(), up.as_slice(), v3.as_mut_slice());
+        gemm_bdagger_acc(
+            bs,
+            bs,
+            bs,
+            v3.as_slice(),
+            gr_n.as_slice(),
+            gld.as_mut_slice(),
+        );
+        // Off-diagonal blocks. w1 = Gᴿ_{n+1,n+1} A_{n+1,n} feeds both
+        // Gᴿ_{n+1,n} and G<_{n+1,n}; Gᴿ_{n,n+1} = −t1g re-uses its buffer.
+        let mut w1 = workspace::take(bs, bs);
+        gemm_acc(&gr_next, lo, &mut w1);
+        let mut grl = workspace::take(bs, bs);
+        gemm_scaled_acc(
+            bs,
+            bs,
+            bs,
+            w1.as_slice(),
+            gr_n.as_slice(),
+            grl.as_mut_slice(),
+            neg,
+        );
+        let mut gru = t1g;
+        for z in gru.as_mut_slice() {
+            *z = -*z;
+        }
+        let mut gll = workspace::take(bs, bs);
+        gemm_scaled_acc(
+            bs,
+            bs,
+            bs,
+            w1.as_slice(),
+            gl_n.as_slice(),
+            gll.as_mut_slice(),
+            neg,
+        );
+        let mut x1 = workspace::take(bs, bs);
+        gemm_bdagger_acc(
+            bs,
+            bs,
+            bs,
+            gl_next.as_slice(),
+            up.as_slice(),
+            x1.as_mut_slice(),
+        );
+        gemm_bdagger_scaled_acc(
+            bs,
+            bs,
+            bs,
+            x1.as_slice(),
+            gr_n.as_slice(),
+            gll.as_mut_slice(),
+            neg,
+        );
+        for tmp in [t1, t2, t3, t4, v1, v2, v3, w1, x1, gr_next, gl_next] {
+            workspace::give(tmp);
+        }
+        gr_diag.push(grd);
+        gl_diag.push(gld);
+        gr_lower.push(grl);
+        gr_upper.push(gru);
+        gl_lower.push(gll);
     }
+    gr_diag.reverse();
+    gl_diag.reverse();
+    gr_lower.reverse();
+    gr_upper.reverse();
+    gl_lower.reverse();
     // G> from the exact identity G> = G< + Gᴿ − Gᴬ.
-    let gg_diag: Vec<Matrix> = gr_diag
-        .iter()
-        .zip(&gl_diag)
-        .map(|(gr, gl)| {
-            let mut gg = gl.clone();
-            gg += gr;
-            gg -= &gr.dagger();
-            gg
-        })
-        .collect();
+    let mut gg_diag: Vec<Matrix> = Vec::with_capacity(nb);
+    for (gr, gl) in gr_diag.iter().zip(&gl_diag) {
+        let mut gg = workspace::take(bs, bs);
+        gg.copy_from(gl);
+        gg += gr;
+        gg.sub_dagger_assign(gr);
+        gg_diag.push(gg);
+    }
+    for m in g_r.into_iter().chain(g_l) {
+        workspace::give(m);
+    }
     Ok(RgfOutput {
         gr_diag,
         gl_diag,
@@ -392,6 +537,21 @@ mod tests {
         assert!(
             f_sparse < f_dense,
             "CSRMM must do less work on sparse couplings: {f_sparse} vs {f_dense}"
+        );
+    }
+
+    #[test]
+    fn warm_rgf_reuses_workspace_buffers() {
+        // After one solve + recycle the thread pool holds the full working
+        // set; a second identical solve must not miss the pool once.
+        let (a, sig) = random_problem(4, 4, 13);
+        rgf(&a, &sig).unwrap().recycle();
+        let before = qt_linalg::workspace::fresh_here();
+        rgf(&a, &sig).unwrap().recycle();
+        assert_eq!(
+            qt_linalg::workspace::fresh_here(),
+            before,
+            "warm RGF must be allocation-free"
         );
     }
 

@@ -7,6 +7,7 @@
 //!
 //! Linear mixing of the self-energies damps the Born iteration.
 
+use crate::boundary::BoundaryCache;
 use crate::device::Device;
 use crate::gf::{self, ElectronGf, ElectronSelfEnergy, GfConfig, PhononGf, PhononSelfEnergy};
 use crate::grids::Grids;
@@ -24,6 +25,12 @@ pub struct Simulation {
     pub grids: Grids,
     /// Hamiltonian derivative tensor `∇H[a, slot, i, :, :]`.
     pub dh: Tensor,
+    /// Memoized contact self-energies, keyed on the Hamiltonian/grid
+    /// identity; iteration 1 of the Born loop fills it, later iterations
+    /// replay it. Call [`BoundaryCache::invalidate`] after mutating the
+    /// models in place (a changed identity key also invalidates it
+    /// automatically at the next GF phase).
+    pub boundary: BoundaryCache,
 }
 
 impl Simulation {
@@ -42,6 +49,7 @@ impl Simulation {
             pm,
             grids,
             dh,
+            boundary: BoundaryCache::new(),
         }
     }
 }
@@ -86,6 +94,15 @@ pub struct IterationRecord {
     pub wall_seconds: f64,
     /// Electrical current after this iteration.
     pub current: f64,
+    /// Bytes obtained from the global allocator during this iteration
+    /// (0 unless a counting allocator is installed, e.g. qt-bench's
+    /// `count-alloc` feature).
+    pub alloc_bytes: u64,
+    /// Workspace-pool misses (fresh buffer allocations) this iteration.
+    pub ws_fresh: u64,
+    /// Contact self-energies recomputed (boundary-cache misses) this
+    /// iteration; 0 from iteration 2 on when the cache is warm.
+    pub boundary_misses: u64,
 }
 
 /// Outcome of the self-consistent loop.
@@ -129,10 +146,38 @@ pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularM
     for iter in 0..cfg.max_iterations {
         let _iter_span = qt_telemetry::Span::enter_global("scf_iter");
         let iter_t0 = std::time::Instant::now();
+        let alloc0 = qt_telemetry::counters::total_alloc_bytes();
+        let fresh0 = qt_telemetry::counters::total_ws_fresh();
+        let miss0 = qt_telemetry::counters::total_boundary_misses();
+        let iter_counters = |t0: std::time::Instant| {
+            (
+                t0.elapsed().as_secs_f64(),
+                qt_telemetry::counters::total_alloc_bytes() - alloc0,
+                qt_telemetry::counters::total_ws_fresh() - fresh0,
+                qt_telemetry::counters::total_boundary_misses() - miss0,
+            )
+        };
         iterations += 1;
-        // GF phase (both carriers).
-        let egf = gf::electron_gf_phase(&sim.dev, &sim.em, p, &sim.grids, &sigma, &cfg.gf)?;
-        let pgf = gf::phonon_gf_phase(&sim.dev, &sim.pm, p, &sim.grids, &pi, &cfg.gf)?;
+        // GF phase (both carriers), replaying memoized contact
+        // self-energies from iteration 2 on.
+        let egf = gf::electron_gf_phase_cached(
+            &sim.dev,
+            &sim.em,
+            p,
+            &sim.grids,
+            &sigma,
+            &cfg.gf,
+            Some(&sim.boundary),
+        )?;
+        let pgf = gf::phonon_gf_phase_cached(
+            &sim.dev,
+            &sim.pm,
+            p,
+            &sim.grids,
+            &pi,
+            &cfg.gf,
+            Some(&sim.boundary),
+        )?;
         current_history.push(egf.current);
         // Convergence on G<.
         let res = match &prev_gl {
@@ -152,12 +197,16 @@ pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularM
         prev_gl = Some(egf.g_lesser.clone());
         if res < cfg.tolerance {
             converged = true;
+            let (wall, alloc_bytes, ws_fresh, boundary_misses) = iter_counters(iter_t0);
             trajectory.push(IterationRecord {
                 iteration: iter,
                 residual: res.is_finite().then_some(res),
                 mixing: cfg.mixing,
-                wall_seconds: iter_t0.elapsed().as_secs_f64(),
+                wall_seconds: wall,
                 current: egf.current,
+                alloc_bytes,
+                ws_fresh,
+                boundary_misses,
             });
             electron = Some(egf);
             phonon = Some(pgf);
@@ -183,12 +232,16 @@ pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularM
         mix_tensor(&mut sigma.greater, &new_sigma.greater, cfg.mixing);
         mix_tensor(&mut pi.lesser, &new_pi.lesser, cfg.mixing);
         mix_tensor(&mut pi.greater, &new_pi.greater, cfg.mixing);
+        let (wall, alloc_bytes, ws_fresh, boundary_misses) = iter_counters(iter_t0);
         trajectory.push(IterationRecord {
             iteration: iter,
             residual: res.is_finite().then_some(res),
             mixing: cfg.mixing,
-            wall_seconds: iter_t0.elapsed().as_secs_f64(),
+            wall_seconds: wall,
             current: egf.current,
+            alloc_bytes,
+            ws_fresh,
+            boundary_misses,
         });
         electron = Some(egf);
         phonon = Some(pgf);
@@ -284,6 +337,33 @@ mod tests {
         // The trajectory's finite residuals are exactly `residuals`.
         let finite: Vec<f64> = out.trajectory.iter().filter_map(|r| r.residual).collect();
         assert_eq!(finite, out.residuals);
+    }
+
+    #[test]
+    fn boundary_cache_populated_and_reused() {
+        let sim = sim();
+        let cfg = ScfConfig {
+            max_iterations: 3,
+            tolerance: 0.0, // force every iteration
+            ..Default::default()
+        };
+        let n_points = (sim.p.nkz * sim.p.ne + sim.p.nqz * sim.p.nw) as u64;
+        let hits0 = qt_telemetry::counters::total_boundary_hits();
+        let out = run_scf(&sim, &cfg).unwrap();
+        assert_eq!(out.iterations, 3);
+        // Iterations 2 and 3 replay every contact self-energy from the
+        // cache (the counter is global, so other tests can only add hits).
+        assert!(
+            qt_telemetry::counters::total_boundary_hits() - hits0 >= 2 * n_points,
+            "warm iterations must hit the boundary cache"
+        );
+        // The cache is populated: replay must not recompute.
+        sim.boundary
+            .view()
+            .electron(0, || panic!("contact Σ must be cached after SCF"))
+            .unwrap();
+        // Trajectory records the cache behaviour per iteration.
+        assert!(out.trajectory[0].boundary_misses >= n_points);
     }
 
     #[test]

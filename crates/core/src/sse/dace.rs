@@ -10,16 +10,20 @@
 //!    the per-atom `(kz, E)` batch is contiguous (Fig. 10c).
 //! 3. **Multiplication fusion** — the `Nkz·NE` small products collapse into
 //!    one wide GEMM per `(a, b, i)` (Fig. 10d).
-//! 4. **GEMM substitution over ω** — the accumulation over the frequency
-//!    window becomes a windowed batched product (Fig. 11).
+//! 4. **Batched GEMM over E** — flipping the `(E, ω)` loops makes every
+//!    energy of a sideband multiply the *same* `D̃(qz, ω)` block, so each
+//!    `(kz, qz, ω)` emits one shared-B batch over the whole contiguous
+//!    energy run instead of `NE` windowed products (Fig. 11).
 //! 5. **Map fusion over `(a, b)`** — all transients are per-`(a, b)` work
-//!    buffers of rank 3, not global 7-D tensors (Fig. 12), and the outer
+//!    buffers of rank 3, not global 7-D tensors (Fig. 12), checked out of
+//!    the per-thread [`workspace`] pool so warm SCF iterations touch the
+//!    allocator only for the escaping per-atom partial sums, and the outer
 //!    atom loop parallelizes over the rayon pool.
 
 use super::SseInputs;
 use crate::gf::{ElectronSelfEnergy, PhononSelfEnergy};
 use crate::params::N3D;
-use qt_linalg::{c64, gemm, Complex64, Matrix, Tensor};
+use qt_linalg::{c64, gemm, workspace, Complex64, Matrix};
 use rayon::prelude::*;
 
 /// Σ≷ via the transformed kernel.
@@ -28,23 +32,31 @@ pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
     let no = p.norb;
     let nn = no * no;
     let scale = c64(super::sigma_scale(p, inputs.grids), 0.0);
-    // Data-layout transformation: G≷ -> [NA, Nkz, NE, No, No].
+    // Data-layout transformation: G≷ -> [NA, Nkz, NE, No, No], staged in
+    // pooled storage and recycled once the partials are in.
     let perm = [2usize, 0, 1, 3, 4];
-    let g_l = inputs.g_lesser.permuted(&perm);
-    let g_g = inputs.g_greater.permuted(&perm);
+    let g_l = inputs.g_lesser.permuted_pooled(&perm);
+    let g_g = inputs.g_greater.permuted_pooled(&perm);
     let ke = p.nkz * p.ne;
+    let qw = p.nqz * p.nw;
 
     // Per-atom partial results, joined at the end (atoms are independent).
+    // The partials escape the worker, so they stay on the regular heap; the
+    // rank-3 transients below are pooled.
     let partials: Vec<(Vec<Complex64>, Vec<Complex64>)> = (0..p.na)
         .into_par_iter()
         .map(|a| {
             let mut sig_l = vec![Complex64::ZERO; ke * nn];
             let mut sig_g = vec![Complex64::ZERO; ke * nn];
             // Rank-3 transients of the fused kernel (Fig. 12): one (kz, E)
-            // batch and one (qz, ω) window per direction i.
-            let mut dhg = vec![vec![Complex64::ZERO; ke * nn]; N3D];
-            let mut dhd_rev = vec![vec![Complex64::ZERO; p.nqz * p.nw * nn]; N3D];
-            let mut dhd_fwd = vec![vec![Complex64::ZERO; p.nqz * p.nw * nn]; N3D];
+            // batch plus emission/absorption (qz, ω) operand stacks per
+            // direction, all from the calling thread's workspace pool.
+            let mut dhg: Vec<Vec<Complex64>> =
+                (0..N3D).map(|_| workspace::take_scratch(ke * nn)).collect();
+            let mut dhd_em: Vec<Vec<Complex64>> =
+                (0..N3D).map(|_| workspace::take_scratch(qw * nn)).collect();
+            let mut dhd_abs: Vec<Vec<Complex64>> =
+                (0..N3D).map(|_| workspace::take_scratch(qw * nn)).collect();
             for slot in 0..p.nb {
                 let Some(f) = inputs.dev.neighbor(a, slot) else {
                     continue;
@@ -61,33 +73,28 @@ pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
                         dhg_i.fill(Complex64::ZERO);
                         gemm::gemm_raw_acc(ke * no, no, no, g_batch, dh_i, dhg_i);
                     }
-                    // ∇H·D̃ windows. Emission blocks are stored ω-reversed
-                    // so the E−ω window is a contiguous ascending-E slice;
-                    // absorption blocks (bosonic image conj D̃≶ᵀ) are stored
-                    // ascending for the E+ω window.
+                    // ∇H·D̃ stacks in natural (qz, ω) order — the batched
+                    // (E, ω) loop flip below removes the need for the old
+                    // ω-reversed emission layout. Emission contracts D̃≶,
+                    // absorption its bosonic image conj D̃≷ᵀ.
                     for i in 0..N3D {
-                        let (dhd_r, dhd_f) = (&mut dhd_rev[i], &mut dhd_fwd[i]);
-                        dhd_r.fill(Complex64::ZERO);
-                        dhd_f.fill(Complex64::ZERO);
+                        let (em, ab) = (&mut dhd_em[i], &mut dhd_abs[i]);
+                        em.fill(Complex64::ZERO);
+                        ab.fill(Complex64::ZERO);
                         for q in 0..p.nqz {
                             for w in 0..p.nw {
-                                let base_r = (q * p.nw + (p.nw - 1 - w)) * nn;
-                                let base_f = (q * p.nw + w) * nn;
+                                let base = (q * p.nw + w) * nn;
                                 for j in 0..N3D {
                                     let dval = d.get(&[q, w, a, slot, i, j]);
                                     let dval_abs = d_other.get(&[q, w, a, slot, j, i]).conj();
                                     let dh_j = inputs.dh.inner(&[a, slot, j]);
                                     if dval != Complex64::ZERO {
-                                        for (t, &s) in
-                                            dhd_r[base_r..base_r + nn].iter_mut().zip(dh_j)
-                                        {
+                                        for (t, &s) in em[base..base + nn].iter_mut().zip(dh_j) {
                                             *t += s * dval;
                                         }
                                     }
                                     if dval_abs != Complex64::ZERO {
-                                        for (t, &s) in
-                                            dhd_f[base_f..base_f + nn].iter_mut().zip(dh_j)
-                                        {
+                                        for (t, &s) in ab[base..base + nn].iter_mut().zip(dh_j) {
                                             *t += s * dval_abs;
                                         }
                                     }
@@ -95,57 +102,64 @@ pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
                             }
                         }
                     }
-                    // Windowed GEMM accumulation (Fig. 11c): for every
-                    // (kz, qz, E), Σ[k, E] += Σ_ω dHG[k−q, E−ω−1] · dHD[q, ω].
+                    // (4) Batched-GEMM schedule (Fig. 11): for every
+                    // (kz, qz, ω) the whole energy run multiplies one
+                    // shared D̃ block —
+                    //   emission    Σ[k, E] += dHG[k−q, E−ω−1] · D̃(q, ω)
+                    //               for E ∈ ω+1..NE,
+                    //   absorption  Σ[k, E] += dHG[k−q, E+ω+1] · D̃*(q, ω)
+                    //               for E ∈ 0..NE−ω−1,
+                    // each a contiguous `cnt`-item shared-B batch.
                     for k in 0..p.nkz {
                         for q in 0..p.nqz {
                             let kq = inputs.grids.k_minus_q(k, q);
-                            for e in 0..p.ne {
-                                let dst = &mut sig[(k * p.ne + e) * nn..(k * p.ne + e + 1) * nn];
-                                // Emission window E−ω.
-                                let win = e.min(p.nw);
-                                if win > 0 {
-                                    for (dhg_i, dhd_i) in dhg.iter().zip(&dhd_rev) {
-                                        // Ascending E' = e−win .. e−1 pairs
-                                        // with reversed-ω blocks.
-                                        let a_off = (kq * p.ne + e - win) * nn;
-                                        let b_off = (q * p.nw + p.nw - win) * nn;
-                                        gemm::gemm_window_acc(
-                                            no,
-                                            win,
-                                            &dhg_i[a_off..a_off + win * nn],
-                                            &dhd_i[b_off..b_off + win * nn],
-                                            dst,
-                                            scale,
-                                        );
-                                    }
+                            for w in 0..p.nw {
+                                let cnt = p.ne.saturating_sub(w + 1);
+                                if cnt == 0 {
+                                    continue;
                                 }
-                                // Absorption window E+ω.
-                                let win = (p.ne - 1 - e).min(p.nw);
-                                if win > 0 {
-                                    for (dhg_i, dhd_i) in dhg.iter().zip(&dhd_fwd) {
-                                        // Ascending E' = e+1 .. e+win pairs
-                                        // with ascending-ω blocks.
-                                        let a_off = (kq * p.ne + e + 1) * nn;
-                                        let b_off = (q * p.nw) * nn;
-                                        gemm::gemm_window_acc(
-                                            no,
-                                            win,
-                                            &dhg_i[a_off..a_off + win * nn],
-                                            &dhd_i[b_off..b_off + win * nn],
-                                            dst,
-                                            scale,
-                                        );
-                                    }
+                                let bbase = (q * p.nw + w) * nn;
+                                for (dhg_i, dhd_i) in dhg.iter().zip(&dhd_em) {
+                                    let a_off = kq * p.ne * nn;
+                                    let o_off = (k * p.ne + w + 1) * nn;
+                                    gemm::batched_gemm_shared_b_scaled_acc(
+                                        no,
+                                        no,
+                                        no,
+                                        cnt,
+                                        &dhg_i[a_off..a_off + cnt * nn],
+                                        &dhd_i[bbase..bbase + nn],
+                                        &mut sig[o_off..o_off + cnt * nn],
+                                        scale,
+                                    );
+                                }
+                                for (dhg_i, dhd_i) in dhg.iter().zip(&dhd_abs) {
+                                    let a_off = (kq * p.ne + w + 1) * nn;
+                                    let o_off = k * p.ne * nn;
+                                    gemm::batched_gemm_shared_b_scaled_acc(
+                                        no,
+                                        no,
+                                        no,
+                                        cnt,
+                                        &dhg_i[a_off..a_off + cnt * nn],
+                                        &dhd_i[bbase..bbase + nn],
+                                        &mut sig[o_off..o_off + cnt * nn],
+                                        scale,
+                                    );
                                 }
                             }
                         }
                     }
                 }
             }
+            for buf in dhg.into_iter().chain(dhd_em).chain(dhd_abs) {
+                workspace::give_scratch(buf);
+            }
             (sig_l, sig_g)
         })
         .collect();
+    g_l.recycle();
+    g_g.recycle();
     // Scatter per-atom results into the output tensors.
     let mut out = ElectronSelfEnergy::zeros(p);
     for (a, (sl, sg)) in partials.into_iter().enumerate() {
@@ -165,34 +179,71 @@ pub fn sigma(inputs: &SseInputs<'_>) -> ElectronSelfEnergy {
 }
 
 /// Π≷ via the transformed kernel: same contraction as
-/// [`super::reference::pi`], restructured so the `∇H·G` products are hoisted
-/// out of the `(i, j)` loops and all work buffers are preallocated.
+/// [`super::reference::pi`], rescheduled through batched GEMM. By the
+/// cyclic trace identity
+/// `tr(∇H_ba,i·G1·∇H_ab,j·G2) = tr((G1·∇H_ab,j)·(G2·∇H_ba,i))`
+/// both factors become *shared-B* products, so the per-point `(i, j)`
+/// matmuls hoist into 12 wide batched GEMMs per `(a, slot)` — one per
+/// direction, operand side and lesser/greater — over the contiguous
+/// permuted `(kz, E)` batch; the inner loops reduce to trace dots.
 pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
     let p = inputs.p;
     let no = p.norb;
+    let nn = no * no;
+    let ke = p.nkz * p.ne;
     let scale = c64(super::pi_scale(p, inputs.grids), 0.0);
+    // Same data-layout transformation as Σ: G≷ -> [NA, Nkz, NE, No, No].
+    let perm = [2usize, 0, 1, 3, 4];
+    let g_l = inputs.g_lesser.permuted_pooled(&perm);
+    let g_g = inputs.g_greater.permuted_pooled(&perm);
     let mut out = PhononSelfEnergy::zeros(p);
     // Per (a, slot) pair, computed in parallel and scattered.
-    let pairs: Vec<(usize, usize, usize)> = (0..p.na)
-        .flat_map(|a| (0..p.nb).map(move |s| (a, s, 0usize)))
+    let pairs: Vec<(usize, usize)> = (0..p.na)
+        .flat_map(|a| (0..p.nb).map(move |s| (a, s)))
         .collect();
     let results: Vec<Option<(usize, usize, Matrix, Matrix)>> = pairs
         .par_iter()
-        .map(|&(a, slot, _)| {
+        .map(|&(a, slot)| {
             let b = inputs.dev.neighbor(a, slot)?;
-            // Precompute ∇H_ba,i and ∇H_ab,j once.
+            // ∇H_ba,i once per pair (tiny, escapes nothing).
             let dh_ba: Vec<Matrix> = (0..N3D)
                 .map(|i| super::reference::dh_reverse(inputs, a, slot, b, i))
                 .collect();
-            let dh_ab: Vec<Matrix> = (0..N3D)
-                .map(|j| Matrix::from_vec(no, no, inputs.dh.inner(&[a, slot, j]).to_vec()))
-                .collect();
             let mut t_l = Matrix::zeros(N3D * p.nqz, N3D * p.nw); // (i·q, j·w) layout
             let mut t_g = Matrix::zeros(N3D * p.nqz, N3D * p.nw);
-            for (g_hi, g_lo, t_out) in [
-                (inputs.g_lesser, inputs.g_greater, &mut t_l),
-                (inputs.g_greater, inputs.g_lesser, &mut t_g),
-            ] {
+            // Pooled hoisted products: U_j[k,e] = G_hi[k,e,a]·∇H_ab,j and
+            // V_i[k,e] = G_lo[k,e,b]·∇H_ba,i over the full grid.
+            let mut u: Vec<Vec<Complex64>> =
+                (0..N3D).map(|_| workspace::take_scratch(ke * nn)).collect();
+            let mut v: Vec<Vec<Complex64>> =
+                (0..N3D).map(|_| workspace::take_scratch(ke * nn)).collect();
+            for (g_hi, g_lo, t_out) in [(&g_l, &g_g, &mut t_l), (&g_g, &g_l, &mut t_g)] {
+                let g_hi_batch = g_hi.inner(&[a]);
+                let g_lo_batch = g_lo.inner(&[b]);
+                for j in 0..N3D {
+                    u[j].fill(Complex64::ZERO);
+                    gemm::batched_gemm_shared_b_acc(
+                        no,
+                        no,
+                        no,
+                        ke,
+                        g_hi_batch,
+                        inputs.dh.inner(&[a, slot, j]),
+                        &mut u[j],
+                    );
+                }
+                for i in 0..N3D {
+                    v[i].fill(Complex64::ZERO);
+                    gemm::batched_gemm_shared_b_acc(
+                        no,
+                        no,
+                        no,
+                        ke,
+                        g_lo_batch,
+                        dh_ba[i].as_slice(),
+                        &mut v[i],
+                    );
+                }
                 for q in 0..p.nqz {
                     for w in 0..p.nw {
                         for k in 0..p.nkz {
@@ -201,23 +252,20 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
                                 let Some(ep) = inputs.grids.e_plus_w(e, w) else {
                                     continue;
                                 };
-                                let g1 = tensor_mat(g_hi, &[kq, ep, a], no);
-                                let g2 = tensor_mat(g_lo, &[k, e, b], no);
-                                // Hoisted products reused across (i, j).
-                                let pg1: Vec<Matrix> =
-                                    dh_ba.iter().map(|m| m.matmul(&g1)).collect();
-                                let qg2: Vec<Matrix> =
-                                    dh_ab.iter().map(|m| m.matmul(&g2)).collect();
-                                for (i, p1) in pg1.iter().enumerate() {
-                                    for (j, q2) in qg2.iter().enumerate() {
-                                        // tr(P·Q) without forming P·Q.
+                                let u_off = (kq * p.ne + ep) * nn;
+                                let v_off = (k * p.ne + e) * nn;
+                                for (i, v_i) in v.iter().enumerate() {
+                                    let vb = &v_i[v_off..v_off + nn];
+                                    for (j, u_j) in u.iter().enumerate() {
+                                        let ub = &u_j[u_off..u_off + nn];
+                                        // tr(U·V) without forming U·V.
                                         let mut tr = Complex64::ZERO;
                                         for m in 0..no {
                                             for n in 0..no {
-                                                tr = tr.mul_add(p1[(m, n)], q2[(n, m)]);
+                                                tr = tr.mul_add(ub[m * no + n], vb[n * no + m]);
                                             }
                                         }
-                                        qt_linalg::add_flops(8 * (no * no) as u64);
+                                        qt_linalg::add_flops(8 * nn as u64);
                                         t_out[(i * p.nqz + q, j * p.nw + w)] += tr;
                                     }
                                 }
@@ -226,9 +274,20 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
                     }
                 }
             }
-            Some((a, slot, t_l.scale(scale), t_g.scale(scale)))
+            for buf in u.into_iter().chain(v) {
+                workspace::give_scratch(buf);
+            }
+            for z in t_l.as_mut_slice() {
+                *z *= scale;
+            }
+            for z in t_g.as_mut_slice() {
+                *z *= scale;
+            }
+            Some((a, slot, t_l, t_g))
         })
         .collect();
+    g_l.recycle();
+    g_g.recycle();
     for r in results.into_iter().flatten() {
         let (a, slot, t_l, t_g) = r;
         for (t, tensor_pair) in [(&t_l, &mut out.lesser), (&t_g, &mut out.greater)] {
@@ -247,9 +306,4 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
         }
     }
     out
-}
-
-#[inline]
-fn tensor_mat(t: &Tensor, idx: &[usize], no: usize) -> Matrix {
-    Matrix::from_vec(no, no, t.inner(idx).to_vec())
 }

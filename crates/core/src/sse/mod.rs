@@ -24,7 +24,7 @@ use crate::device::Device;
 use crate::gf::{ElectronSelfEnergy, PhononGf, PhononSelfEnergy};
 use crate::grids::Grids;
 use crate::params::{SimParams, N3D};
-use qt_linalg::{Complex64, Matrix, Tensor};
+use qt_linalg::{Complex64, Tensor};
 
 /// Which implementation of the SSE kernels to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,13 +85,17 @@ pub fn preprocess_d(dev: &Device, p: &SimParams, ph: &PhononGf) -> (Tensor, Tens
                         let d_aa = src.inner(&[q, w, a, p.nb]);
                         let d_bb = src.inner(&[q, w, b, p.nb]);
                         let back = (0..p.nb).find(|&s| dev.neighbor(b, s) == Some(a));
-                        let d_ba: Vec<Complex64> = match back {
-                            Some(s) => src.inner(&[q, w, b, s]).to_vec(),
+                        let mut d_ba = [Complex64::ZERO; N3D * N3D];
+                        match back {
+                            Some(s) => d_ba.copy_from_slice(src.inner(&[q, w, b, s])),
                             None => {
-                                // Anti-Hermitian image of the pair block.
-                                let m = Matrix::from_vec(N3D, N3D, d_ab.to_vec());
-                                let img = m.dagger().scale(qt_linalg::c64(-1.0, 0.0));
-                                img.as_slice().to_vec()
+                                // Anti-Hermitian image of the pair block:
+                                // −(d_ab)†, built without heap temporaries.
+                                for i in 0..N3D {
+                                    for j in 0..N3D {
+                                        d_ba[i * N3D + j] = -d_ab[j * N3D + i].conj();
+                                    }
+                                }
                             }
                         };
                         let dst_slice = dst.inner_mut(&[q, w, a, slot]);
@@ -115,10 +119,12 @@ pub fn preprocess_d(dev: &Device, p: &SimParams, ph: &PhononGf) -> (Tensor, Tens
 /// projected onto the PSD cone — the standard positivity enforcement of
 /// self-consistent Born solvers.
 pub fn stabilize_sigma(sigma: &mut ElectronSelfEnergy, p: &SimParams) {
-    use qt_linalg::psd_projection;
+    use qt_linalg::psd_project_scaled_in_place;
     let no = p.norb;
     // (tensor, factor ζ): block = ζ · PSD(ζ̄·block) with ζ = i for lesser
-    // (−iΣ< PSD) and ζ = −i for greater (iΣ> PSD).
+    // (−iΣ< PSD) and ζ = −i for greater (iΣ> PSD). The projection runs in
+    // place on each atom block with pooled temporaries, so the stabilizer
+    // stays off the allocator in steady state.
     for (t, zeta) in [
         (&mut sigma.lesser, Complex64::I),
         (&mut sigma.greater, -Complex64::I),
@@ -126,10 +132,7 @@ pub fn stabilize_sigma(sigma: &mut ElectronSelfEnergy, p: &SimParams) {
         for k in 0..p.nkz {
             for e in 0..p.ne {
                 for a in 0..p.na {
-                    let blk = t.inner_mut(&[k, e, a]);
-                    let m = Matrix::from_vec(no, no, blk.to_vec()).scale(zeta.conj());
-                    let proj = psd_projection(&m).scale(zeta);
-                    blk.copy_from_slice(proj.as_slice());
+                    psd_project_scaled_in_place(no, zeta, t.inner_mut(&[k, e, a]));
                 }
             }
         }
@@ -141,15 +144,12 @@ pub fn stabilize_sigma(sigma: &mut ElectronSelfEnergy, p: &SimParams) {
 /// [`crate::boundary::phonon_lesser_greater`]). Applied to the diagonal
 /// slots, the ones injected into the phonon RGF.
 pub fn stabilize_pi(pi: &mut PhononSelfEnergy, p: &SimParams) {
-    use qt_linalg::psd_projection;
+    use qt_linalg::psd_project_scaled_in_place;
     for t in [&mut pi.lesser, &mut pi.greater] {
         for q in 0..p.nqz {
             for w in 0..p.nw {
                 for a in 0..p.na {
-                    let blk = t.inner_mut(&[q, w, a, p.nb]);
-                    let m = Matrix::from_vec(N3D, N3D, blk.to_vec()).scale(Complex64::I.conj());
-                    let proj = psd_projection(&m).scale(Complex64::I);
-                    blk.copy_from_slice(proj.as_slice());
+                    psd_project_scaled_in_place(N3D, Complex64::I, t.inner_mut(&[q, w, a, p.nb]));
                 }
             }
         }
@@ -255,6 +255,7 @@ pub(crate) mod testutil {
 mod tests {
     use super::testutil::fixture;
     use super::*;
+    use qt_linalg::Matrix;
 
     #[test]
     fn variants_agree_on_sigma() {

@@ -52,6 +52,12 @@ impl BlockTridiag {
         }
     }
 
+    /// Decompose into `(diag, upper, lower)` block lists, e.g. to return
+    /// workspace-pooled blocks to their arena after an RGF solve.
+    pub fn into_parts(self) -> (Vec<Matrix>, Vec<Matrix>, Vec<Matrix>) {
+        (self.diag, self.upper, self.lower)
+    }
+
     /// Number of diagonal blocks (`bnum`).
     #[inline]
     pub fn num_blocks(&self) -> usize {

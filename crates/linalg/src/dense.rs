@@ -54,6 +54,30 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
+    /// Consume the matrix, yielding its row-major backing vector (the
+    /// workspace-arena recycling path).
+    pub fn into_vec(self) -> Vec<Complex64> {
+        self.data
+    }
+
+    /// Overwrite `self` with `src` without allocating.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        assert_eq!(self.shape(), src.shape());
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// In-place `self -= other^dagger` without materializing the
+    /// conjugate transpose (the `G> = G< + G^R − (G^R)^dagger` identity).
+    pub fn sub_dagger_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.cols);
+        assert_eq!(self.cols, other.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                self.data[i * self.cols + j] -= other[(j, i)].conj();
+            }
+        }
+    }
+
     /// Diagonal matrix from a slice.
     pub fn from_diag(diag: &[Complex64]) -> Self {
         let n = diag.len();

@@ -5,8 +5,9 @@
 //! Born iteration dissipative, and generally useful for spectra of small
 //! blocks (`Norb ≤ 30`, Table 1).
 
-use crate::complex::c64;
+use crate::complex::{c64, Complex64};
 use crate::dense::Matrix;
+use crate::workspace;
 
 /// Eigendecomposition `A = V · diag(λ) · V†` of a Hermitian matrix.
 #[derive(Clone, Debug)]
@@ -26,6 +27,19 @@ pub fn eigh(a: &Matrix) -> Eigh {
     // Hermitize.
     let mut m = Matrix::from_fn(n, n, |i, j| (a[(i, j)] + a[(j, i)].conj()).scale(0.5));
     let mut v = Matrix::identity(n);
+    jacobi_diagonalize(&mut m, &mut v);
+    // Extract eigenvalues and sort ascending, permuting the vectors.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let values: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, pairs[j].1)]);
+    Eigh { values, vectors }
+}
+
+/// Cyclic Jacobi sweeps: diagonalize Hermitian `m` in place, accumulating
+/// the rotations into `v` (which must start as the identity).
+fn jacobi_diagonalize(m: &mut Matrix, v: &mut Matrix) {
+    let n = m.rows();
     let max_sweeps = 60;
     for _ in 0..max_sweeps {
         // Off-diagonal Frobenius norm.
@@ -84,12 +98,6 @@ pub fn eigh(a: &Matrix) -> Eigh {
             }
         }
     }
-    // Extract eigenvalues and sort ascending, permuting the vectors.
-    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    let values: Vec<f64> = pairs.iter().map(|&(l, _)| l).collect();
-    let vectors = Matrix::from_fn(n, n, |i, j| v[(i, pairs[j].1)]);
-    Eigh { values, vectors }
 }
 
 /// Project a (nearly) Hermitian matrix onto the cone of positive
@@ -113,6 +121,65 @@ pub fn psd_projection(a: &Matrix) -> Matrix {
         }
     }
     out
+}
+
+/// Positivity enforcement on a row-major `n × n` block, in place:
+/// overwrites `blk` with `ζ · PSD(ζ̄ · blk)` (hermitization of `ζ̄ · blk`
+/// is implicit, as in [`eigh`]). Arithmetically identical to composing
+/// `scale(ζ̄)` → [`psd_projection`] → `scale(ζ)`, but every temporary is
+/// checked out of the per-thread [`workspace`] pool so steady-state calls
+/// never touch the allocator.
+pub fn psd_project_scaled_in_place(n: usize, zeta: Complex64, blk: &mut [Complex64]) {
+    assert_eq!(blk.len(), n * n, "block length must be n^2");
+    let zc = zeta.conj();
+    let mut m = workspace::take(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = (blk[i * n + j] * zc + (blk[j * n + i] * zc).conj()).scale(0.5);
+        }
+    }
+    let mut v = workspace::take(n, n);
+    for i in 0..n {
+        v[(i, i)] = c64(1.0, 0.0);
+    }
+    jacobi_diagonalize(&mut m, &mut v);
+    // Stable ascending order of the diagonal eigenvalues — the same
+    // permutation `eigh`'s sort produces — via a pooled index buffer.
+    let mut perm = workspace::take_idx(n);
+    for (i, slot) in perm.iter_mut().enumerate() {
+        *slot = i;
+    }
+    for i in 1..n {
+        let mut j = i;
+        while j > 0 && m[(perm[j - 1], perm[j - 1])].re > m[(perm[j], perm[j])].re {
+            perm.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+    let mut out = workspace::take(n, n);
+    for &col in perm.iter() {
+        let lambda = m[(col, col)].re;
+        if lambda <= 0.0 {
+            continue;
+        }
+        // out += λ · v v†
+        for i in 0..n {
+            for j in 0..n {
+                let vi = v[(i, col)];
+                let vj = v[(j, col)];
+                out[(i, j)] += (vi * vj.conj()).scale(lambda);
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            blk[i * n + j] = out[(i, j)] * zeta;
+        }
+    }
+    workspace::give(m);
+    workspace::give(v);
+    workspace::give(out);
+    workspace::give_idx(perm);
 }
 
 #[cfg(test)]
@@ -175,6 +242,24 @@ mod tests {
         let psd = a.matmul(&a.dagger());
         let proj = psd_projection(&psd);
         assert!(proj.max_abs_diff(&psd) < 1e-9);
+    }
+
+    #[test]
+    fn in_place_projection_matches_out_of_place_bitwise() {
+        let mut r = rng();
+        for n in [1usize, 2, 3, 5] {
+            for zeta in [c64(1.0, 0.0), Complex64::I, -Complex64::I] {
+                let a = Matrix::random(n, n, &mut r);
+                let reference = psd_projection(&a.scale(zeta.conj())).scale(zeta);
+                let mut blk = a.as_slice().to_vec();
+                psd_project_scaled_in_place(n, zeta, &mut blk);
+                // Identical operation sequence ⇒ exact equality, not just
+                // tolerance-level agreement.
+                for (got, want) in blk.iter().zip(reference.as_slice()) {
+                    assert_eq!(got, want, "n={n} zeta={zeta:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -111,6 +111,79 @@ pub fn gemm_raw_acc(
     }
 }
 
+/// `out += scale · (a @ b)`, slice-level and row-major like
+/// [`gemm_raw_acc`]. The scale rides the blocked kernel's existing
+/// accumulate-with-scale epilogue (the same mechanism
+/// [`gemm_window_acc`] uses), so `C −= A·B` chains in RGF cost one GEMM
+/// instead of a product, a temporary and a subtraction.
+pub fn gemm_scaled_acc(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    out: &mut [Complex64],
+    scale: Complex64,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    flops::add_gemm_flops_batched(m, k, n, 1);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let work = m * k * n;
+    if work < NAIVE_THRESHOLD || m < MR || n < NR {
+        gemm_naive_scaled_acc(m, k, n, a, b, out, scale);
+    } else {
+        gemm_blocked::<true>(
+            m,
+            k,
+            n,
+            PanelA::Rows { a, ld: k },
+            PanelB::Rows { b, ld: n },
+            out,
+            scale,
+            work >= PAR_THRESHOLD,
+        );
+    }
+}
+
+/// `out += scale · (a @ b^H)` with `b` stored row-major as `n x k` — the
+/// scaled sibling of [`gemm_bdagger_acc`] for RGF's `−X·G^dagger` terms.
+pub fn gemm_bdagger_scaled_acc(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    out: &mut [Complex64],
+    scale: Complex64,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    flops::add_gemm_flops_batched(m, k, n, 1);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    let work = m * k * n;
+    if work < NAIVE_THRESHOLD || m < MR || n < NR {
+        gemm_naive_bdagger_scaled_acc(m, k, n, a, b, out, scale);
+    } else {
+        gemm_blocked::<true>(
+            m,
+            k,
+            n,
+            PanelA::Rows { a, ld: k },
+            PanelB::Dagger { b, ld: k },
+            out,
+            scale,
+            work >= PAR_THRESHOLD,
+        );
+    }
+}
+
 /// `out += a @ b` through the blocked/packed path unconditionally — the
 /// entry the proptest suite and the `gemm_sweep` bench use so the microkernel
 /// is exercised even at shapes the dispatcher would route to the naive
@@ -241,6 +314,49 @@ pub fn batched_gemm_acc(
             );
         }
     }
+}
+
+/// Batched GEMM with one *shared* right operand: `out[t] += a[t] @ b` for
+/// `batch` stacked row-major `m x k` items against a single `k x n` B.
+///
+/// This is the schedule the SSE σ rescheduling lowers to: after flipping
+/// the (energy, ω) loops, every energy in a window multiplies the *same*
+/// `D(q, ω)` block, so the batch degenerates into one packed
+/// `batch·m x k x n` product — the stacked A items are literally the
+/// row-major left operand. One packing pass serves the whole batch
+/// (cheaper than [`batched_gemm_acc`]'s per-item packing), and the flop
+/// count is identical: `8·batch·m·k·n`.
+pub fn batched_gemm_shared_b_acc(
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    out: &mut [Complex64],
+) {
+    assert_eq!(a.len(), batch * m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), batch * m * n);
+    gemm_raw_acc(batch * m, k, n, a, b, out);
+}
+
+/// [`batched_gemm_shared_b_acc`] with the scale riding the accumulate
+/// epilogue: `out[t] += scale · (a[t] @ b)` for every item of the batch.
+pub fn batched_gemm_shared_b_scaled_acc(
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    out: &mut [Complex64],
+    scale: Complex64,
+) {
+    assert_eq!(a.len(), batch * m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(out.len(), batch * m * n);
+    gemm_scaled_acc(batch * m, k, n, a, b, out, scale);
 }
 
 /// `out += a @ b^H` (`out[m x n] += a[m x k] @ b^H`, with `b` stored
@@ -411,6 +527,53 @@ pub fn gemm_naive_bdagger_acc(
                 acc = acc.mul_add(x, y.conj());
             }
             out[i * n + j] += acc;
+        }
+    }
+}
+
+/// Naive serial reference for [`gemm_scaled_acc`]: per-entry dot product
+/// accumulated unscaled, then folded into `out` with the scale — the same
+/// epilogue order as the blocked kernel.
+pub fn gemm_naive_scaled_acc(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    out: &mut [Complex64],
+    scale: Complex64,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let mut acc = Complex64::ZERO;
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                acc = acc.mul_add(a_ip, b[p * n + j]);
+            }
+            out[i * n + j] += acc * scale;
+        }
+    }
+}
+
+/// Naive serial reference for [`gemm_bdagger_scaled_acc`].
+pub fn gemm_naive_bdagger_scaled_acc(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    b: &[Complex64],
+    out: &mut [Complex64],
+    scale: Complex64,
+) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = Complex64::ZERO;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc = acc.mul_add(x, y.conj());
+            }
+            out[i * n + j] += acc * scale;
         }
     }
 }
@@ -935,6 +1098,72 @@ mod tests {
         gemm_acc(&a, &b, &mut out);
         let expect = &Matrix::identity(4) + &naive(&a, &b);
         assert!(out.max_abs_diff(&expect) < 1e-13);
+    }
+
+    #[test]
+    fn scaled_acc_matches_scale_of_product() {
+        let mut r = rng();
+        for &(m, k, n) in &[(2, 3, 4), (5, 5, 5), (12, 9, 11), (24, 16, 20)] {
+            let a = Matrix::random(m, k, &mut r);
+            let b = Matrix::random(k, n, &mut r);
+            let scale = c64(-1.5, 0.25);
+            let mut out = Matrix::random(m, n, &mut r);
+            let expect = &out + &naive(&a, &b).scale(scale);
+            gemm_scaled_acc(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                out.as_mut_slice(),
+                scale,
+            );
+            assert!(out.max_abs_diff(&expect) < 1e-12, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn bdagger_scaled_acc_matches_explicit() {
+        let mut r = rng();
+        for &(m, k, n) in &[(3, 4, 2), (6, 6, 6), (13, 8, 10)] {
+            let a = Matrix::random(m, k, &mut r);
+            let b = Matrix::random(n, k, &mut r);
+            let scale = c64(0.0, -1.0);
+            let mut out = Matrix::random(m, n, &mut r);
+            let expect = &out + &a.matmul(&b.dagger()).scale(scale);
+            gemm_bdagger_scaled_acc(
+                m,
+                k,
+                n,
+                a.as_slice(),
+                b.as_slice(),
+                out.as_mut_slice(),
+                scale,
+            );
+            assert!(out.max_abs_diff(&expect) < 1e-12, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn shared_b_batch_matches_loop_of_gemms() {
+        let mut r = rng();
+        let (m, k, n, batch) = (2, 3, 3, 7);
+        let a = randv(batch * m * k, &mut r);
+        let bm = Matrix::random(k, n, &mut r);
+        let mut out = vec![Complex64::ZERO; batch * m * n];
+        let f0 = flops::flop_count();
+        batched_gemm_shared_b_acc(m, k, n, batch, &a, bm.as_slice(), &mut out);
+        assert_eq!(
+            flops::flop_count() - f0,
+            (8 * batch * m * k * n) as u64,
+            "shared-B batch must count exactly the per-item flops"
+        );
+        for t in 0..batch {
+            let am = Matrix::from_vec(m, k, a[t * m * k..(t + 1) * m * k].to_vec());
+            let expect = naive(&am, &bm);
+            let got = Matrix::from_vec(m, n, out[t * m * n..(t + 1) * m * n].to_vec());
+            assert!(got.max_abs_diff(&expect) < 1e-13, "item {t}");
+        }
     }
 
     #[test]

@@ -17,12 +17,13 @@ pub mod flops;
 pub mod gemm;
 pub mod lu;
 pub mod tensor;
+pub mod workspace;
 
 pub use block_tridiag::BlockTridiag;
 pub use complex::{c64, Complex64};
 pub use csr::CsrMatrix;
 pub use dense::Matrix;
-pub use eig::{eigh, psd_projection, Eigh};
+pub use eig::{eigh, psd_project_scaled_in_place, psd_projection, Eigh};
 pub use flops::{add_flops, count_flops, flop_count, reset_flops};
-pub use lu::{invert, solve, Lu, SingularMatrix};
+pub use lu::{invert, invert_ws, solve, Lu, SingularMatrix};
 pub use tensor::Tensor;

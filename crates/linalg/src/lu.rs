@@ -28,6 +28,88 @@ pub struct Lu {
     piv: Vec<usize>,
 }
 
+/// Factor `lu` in place with partial pivoting; `piv` must hold the
+/// identity permutation on entry. The shared core of [`Lu::factor`] and
+/// the workspace-pooled [`invert_ws`].
+fn factor_in_place(lu: &mut Matrix, piv: &mut [usize]) -> Result<(), SingularMatrix> {
+    let n = lu.rows();
+    // ~8/3 n^3 real flop for complex LU.
+    flops::add_flops((8 * n as u64 * n as u64 * n as u64) / 3);
+    for col in 0..n {
+        // Pivot search.
+        let mut p = col;
+        let mut best = lu[(col, col)].norm_sqr();
+        for r in col + 1..n {
+            let v = lu[(r, col)].norm_sqr();
+            if v > best {
+                best = v;
+                p = r;
+            }
+        }
+        if best == 0.0 || !best.is_finite() {
+            return Err(SingularMatrix);
+        }
+        if p != col {
+            piv.swap(p, col);
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+        }
+        let pivot_inv = lu[(col, col)].inv();
+        for r in col + 1..n {
+            let factor = lu[(r, col)] * pivot_inv;
+            lu[(r, col)] = factor;
+            if factor == Complex64::ZERO {
+                continue;
+            }
+            for j in col + 1..n {
+                let u = lu[(col, j)];
+                lu[(r, j)] = lu[(r, j)].mul_add(-factor, u);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Forward/backward substitution of the packed factors into `x`, which on
+/// entry holds the row-permuted right-hand side.
+fn substitute_in_place(lu: &Matrix, x: &mut Matrix) {
+    let n = lu.rows();
+    let nrhs = x.cols();
+    // Forward substitution with unit-diagonal L.
+    for i in 1..n {
+        for k in 0..i {
+            let l = lu[(i, k)];
+            if l == Complex64::ZERO {
+                continue;
+            }
+            for j in 0..nrhs {
+                let v = x[(k, j)];
+                x[(i, j)] = x[(i, j)].mul_add(-l, v);
+            }
+        }
+    }
+    // Backward substitution with U.
+    for i in (0..n).rev() {
+        for k in i + 1..n {
+            let u = lu[(i, k)];
+            if u == Complex64::ZERO {
+                continue;
+            }
+            for j in 0..nrhs {
+                let v = x[(k, j)];
+                x[(i, j)] = x[(i, j)].mul_add(-u, v);
+            }
+        }
+        let d = lu[(i, i)].inv();
+        for j in 0..nrhs {
+            x[(i, j)] *= d;
+        }
+    }
+}
+
 impl Lu {
     /// Factor `a` (square) with partial pivoting.
     pub fn factor(a: &Matrix) -> Result<Lu, SingularMatrix> {
@@ -35,43 +117,7 @@ impl Lu {
         let n = a.rows();
         let mut lu = a.clone();
         let mut piv: Vec<usize> = (0..n).collect();
-        // ~8/3 n^3 real flop for complex LU.
-        flops::add_flops((8 * n as u64 * n as u64 * n as u64) / 3);
-        for col in 0..n {
-            // Pivot search.
-            let mut p = col;
-            let mut best = lu[(col, col)].norm_sqr();
-            for r in col + 1..n {
-                let v = lu[(r, col)].norm_sqr();
-                if v > best {
-                    best = v;
-                    p = r;
-                }
-            }
-            if best == 0.0 || !best.is_finite() {
-                return Err(SingularMatrix);
-            }
-            if p != col {
-                piv.swap(p, col);
-                for j in 0..n {
-                    let tmp = lu[(col, j)];
-                    lu[(col, j)] = lu[(p, j)];
-                    lu[(p, j)] = tmp;
-                }
-            }
-            let pivot_inv = lu[(col, col)].inv();
-            for r in col + 1..n {
-                let factor = lu[(r, col)] * pivot_inv;
-                lu[(r, col)] = factor;
-                if factor == Complex64::ZERO {
-                    continue;
-                }
-                for j in col + 1..n {
-                    let u = lu[(col, j)];
-                    lu[(r, j)] = lu[(r, j)].mul_add(-factor, u);
-                }
-            }
-        }
+        factor_in_place(&mut lu, &mut piv)?;
         Ok(Lu { lu, piv })
     }
 
@@ -88,36 +134,7 @@ impl Lu {
         flops::add_flops(8 * (n * n * nrhs) as u64);
         // Apply the row permutation.
         let mut x = Matrix::from_fn(n, nrhs, |i, j| b[(self.piv[i], j)]);
-        // Forward substitution with unit-diagonal L.
-        for i in 1..n {
-            for k in 0..i {
-                let l = self.lu[(i, k)];
-                if l == Complex64::ZERO {
-                    continue;
-                }
-                for j in 0..nrhs {
-                    let v = x[(k, j)];
-                    x[(i, j)] = x[(i, j)].mul_add(-l, v);
-                }
-            }
-        }
-        // Backward substitution with U.
-        for i in (0..n).rev() {
-            for k in i + 1..n {
-                let u = self.lu[(i, k)];
-                if u == Complex64::ZERO {
-                    continue;
-                }
-                for j in 0..nrhs {
-                    let v = x[(k, j)];
-                    x[(i, j)] = x[(i, j)].mul_add(-u, v);
-                }
-            }
-            let d = self.lu[(i, i)].inv();
-            for j in 0..nrhs {
-                x[(i, j)] *= d;
-            }
-        }
+        substitute_in_place(&self.lu, &mut x);
         x
     }
 
@@ -160,6 +177,36 @@ pub fn invert(a: &Matrix) -> Result<Matrix, SingularMatrix> {
 /// Solve `A X = B` in one call.
 pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, SingularMatrix> {
     Ok(Lu::factor(a)?.solve(b))
+}
+
+/// Invert a square matrix into a [`workspace`](crate::workspace)-pooled
+/// result. The LU factors and pivot buffer are themselves checked out of
+/// (and returned to) the calling thread's pool, so warm calls perform no
+/// heap allocation. The caller owns the returned matrix and should
+/// `workspace::give` it back once its contents are consumed. Numerics and
+/// flop accounting are identical to [`invert`].
+pub fn invert_ws(a: &Matrix) -> Result<Matrix, SingularMatrix> {
+    assert!(a.is_square(), "LU requires a square matrix");
+    let n = a.rows();
+    let mut lu = crate::workspace::take(n, n);
+    lu.copy_from(a);
+    let mut piv = crate::workspace::take_idx(n);
+    for (i, p) in piv.iter_mut().enumerate() {
+        *p = i;
+    }
+    let out = factor_in_place(&mut lu, &mut piv).map(|()| {
+        flops::add_flops(8 * (n * n * n) as u64);
+        // Row-permuted identity as the right-hand side.
+        let mut x = crate::workspace::take(n, n);
+        for (i, &p) in piv.iter().enumerate() {
+            x[(i, p)] = Complex64::ONE;
+        }
+        substitute_in_place(&lu, &mut x);
+        x
+    });
+    crate::workspace::give(lu);
+    crate::workspace::give_idx(piv);
+    out
 }
 
 #[cfg(test)]
@@ -242,5 +289,30 @@ mod tests {
     fn identity_inverse_is_identity() {
         let inv = invert(&Matrix::identity(7)).unwrap();
         assert!(inv.max_abs_diff(&Matrix::identity(7)) < 1e-14);
+    }
+
+    #[test]
+    fn invert_ws_is_bit_identical_to_invert() {
+        let mut r = rng();
+        for n in [1usize, 3, 8, 17] {
+            let a = Matrix::random(n, n, &mut r);
+            let heap = invert(&a).unwrap();
+            let pooled = invert_ws(&a).unwrap();
+            assert_eq!(heap.as_slice(), pooled.as_slice(), "n={n}");
+            crate::workspace::give(pooled);
+        }
+        // Singular input still reports the error (and returns its buffers).
+        let z = Matrix::zeros(4, 4);
+        assert_eq!(invert_ws(&z).unwrap_err(), SingularMatrix);
+    }
+
+    #[test]
+    fn invert_ws_counts_the_same_flops_as_invert() {
+        let mut r = rng();
+        let a = Matrix::random(9, 9, &mut r);
+        let (_, heap_flops) = flops::count_flops(|| invert(&a).unwrap());
+        let (pooled, ws_flops) = flops::count_flops(|| invert_ws(&a).unwrap());
+        assert_eq!(heap_flops, ws_flops);
+        crate::workspace::give(pooled);
     }
 }

@@ -112,24 +112,55 @@ impl Tensor {
         assert_eq!(perm.len(), self.shape.len());
         let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
         let mut out = Tensor::zeros(&new_shape);
+        self.permute_copy_into(perm, &mut out);
+        out
+    }
+
+    /// Like [`Tensor::permuted`], but the copy's storage is checked out of
+    /// the per-thread [`crate::workspace`] pool. Hand the tensor back with
+    /// [`Tensor::recycle`] on the same thread when done; dropping it
+    /// instead simply releases the buffer to the heap.
+    pub fn permuted_pooled(&self, perm: &[usize]) -> Tensor {
+        assert_eq!(perm.len(), self.shape.len());
+        let new_shape: Vec<usize> = perm.iter().map(|&p| self.shape[p]).collect();
+        let mut out = Tensor {
+            strides: compute_strides(&new_shape),
+            data: crate::workspace::take_scratch(self.len()),
+            shape: new_shape,
+        };
+        self.permute_copy_into(perm, &mut out);
+        out
+    }
+
+    /// Return this tensor's backing storage to the per-thread workspace
+    /// pool (the counterpart of [`Tensor::permuted_pooled`]).
+    pub fn recycle(self) {
+        crate::workspace::give_scratch(self.data);
+    }
+
+    fn permute_copy_into(&self, perm: &[usize], out: &mut Tensor) {
         let ndim = perm.len();
-        let mut idx = vec![0usize; ndim]; // output index odometer
-        let mut src = vec![0usize; ndim];
-        for _ in 0..self.len() {
-            for (d, &p) in perm.iter().enumerate() {
-                src[p] = idx[d];
-            }
-            let v = self.get(&src);
-            out.set(&idx, v);
-            for d in (0..ndim).rev() {
-                idx[d] += 1;
-                if idx[d] < new_shape[d] {
-                    break;
+        // One pooled buffer holds both the output odometer and the
+        // gathered source index.
+        let mut odo = crate::workspace::take_idx(2 * ndim);
+        {
+            let (idx, src) = odo.split_at_mut(ndim);
+            for _ in 0..self.len() {
+                for (d, &p) in perm.iter().enumerate() {
+                    src[p] = idx[d];
                 }
-                idx[d] = 0;
+                let v = self.get(src);
+                out.set(idx, v);
+                for d in (0..ndim).rev() {
+                    idx[d] += 1;
+                    if idx[d] < out.shape[d] {
+                        break;
+                    }
+                    idx[d] = 0;
+                }
             }
         }
-        out
+        crate::workspace::give_idx(odo);
     }
 
     /// Frobenius norm over all entries.
@@ -215,6 +246,22 @@ mod tests {
         // Permuting back restores the original.
         let back = p.permuted(&[1, 2, 0]);
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn permuted_pooled_matches_permuted() {
+        let mut t = Tensor::zeros(&[2, 3, 4]);
+        for (n, z) in t.as_mut_slice().iter_mut().enumerate() {
+            *z = c64(n as f64, -(n as f64));
+        }
+        let heap = t.permuted(&[2, 0, 1]);
+        let pooled = t.permuted_pooled(&[2, 0, 1]);
+        assert_eq!(heap, pooled);
+        pooled.recycle();
+        // A second checkout of the same size reuses the recycled buffer.
+        let again = t.permuted_pooled(&[2, 0, 1]);
+        assert_eq!(heap, again);
+        again.recycle();
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Per-thread workspace arenas for the allocation-free hot path.
+//!
+//! Every (E, kz) point of the Green's-function phases used to allocate its
+//! RGF temporaries, self-energy blocks and SSE scratch from the global
+//! allocator — the paper's §4 redundancy-removal argument applied to the
+//! *allocator* instead of the dataflow graph: the same buffers are
+//! requested with the same shapes thousands of times per SCF iteration.
+//! This module keeps a thread-local pool of raw `Complex64` buffers (plus
+//! a small index-buffer pool for LU pivots). A `take` is served from the
+//! pool when any buffer with sufficient capacity is free and falls back to
+//! a fresh heap allocation otherwise; fresh fallbacks are counted in the
+//! `ws_fresh` telemetry counter, so the allocation-regression test can
+//! assert that warm SCF iterations (after the pools have grown to the peak
+//! working set) perform zero hot-path allocations.
+//!
+//! Discipline: buffers must be returned (`give*`) on the **same thread**
+//! that took them. Rayon worker bodies satisfy this naturally — a closure
+//! runs start-to-finish on one worker — while data that escapes the worker
+//! (gathered spectral tensors, SSE partial sums) must stay on the regular
+//! heap. Each call acquires and releases the thread-local `RefCell`
+//! immediately, so nested parallelism inside a checkout window (e.g. a
+//! parallel GEMM stealing another point's task onto this thread) cannot
+//! observe a held borrow.
+
+use crate::complex::Complex64;
+use crate::dense::Matrix;
+use std::cell::RefCell;
+
+/// Shape-agnostic pool of complex buffers; the thread-local instance
+/// behind [`take`]/[`give`]. Public for tests and for callers that want an
+/// isolated pool.
+#[derive(Default)]
+pub struct Workspace {
+    /// Free complex buffers, sorted by capacity (ascending) for best-fit
+    /// checkout.
+    bufs: Vec<Vec<Complex64>>,
+    /// Free index buffers (LU pivots), sorted by capacity.
+    idx_bufs: Vec<Vec<usize>>,
+    /// Fresh heap allocations this pool had to perform (pool misses).
+    fresh: u64,
+}
+
+impl Workspace {
+    /// Check out a zeroed buffer of exactly `len` entries.
+    pub fn take_scratch(&mut self, len: usize) -> Vec<Complex64> {
+        let pos = self.bufs.partition_point(|b| b.capacity() < len);
+        if pos < self.bufs.len() {
+            let mut b = self.bufs.remove(pos);
+            b.clear();
+            b.resize(len, Complex64::ZERO);
+            b
+        } else {
+            self.fresh += 1;
+            qt_telemetry::counters::add_ws_fresh();
+            vec![Complex64::ZERO; len]
+        }
+    }
+
+    /// Return a buffer to the pool.
+    pub fn give_scratch(&mut self, buf: Vec<Complex64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let pos = self.bufs.partition_point(|b| b.capacity() < buf.capacity());
+        self.bufs.insert(pos, buf);
+    }
+
+    /// Check out a zeroed `rows x cols` matrix backed by a pooled buffer.
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_scratch(rows * cols))
+    }
+
+    /// Return a matrix's backing buffer to the pool.
+    pub fn give(&mut self, m: Matrix) {
+        self.give_scratch(m.into_vec());
+    }
+
+    /// Check out a zeroed index buffer of exactly `len` entries.
+    pub fn take_idx(&mut self, len: usize) -> Vec<usize> {
+        let pos = self.idx_bufs.partition_point(|b| b.capacity() < len);
+        if pos < self.idx_bufs.len() {
+            let mut b = self.idx_bufs.remove(pos);
+            b.clear();
+            b.resize(len, 0);
+            b
+        } else {
+            self.fresh += 1;
+            qt_telemetry::counters::add_ws_fresh();
+            vec![0; len]
+        }
+    }
+
+    /// Return an index buffer to the pool.
+    pub fn give_idx(&mut self, buf: Vec<usize>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let pos = self
+            .idx_bufs
+            .partition_point(|b| b.capacity() < buf.capacity());
+        self.idx_bufs.insert(pos, buf);
+    }
+
+    /// Number of pool misses (fresh heap allocations) so far.
+    pub fn fresh_count(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn pooled(&self) -> usize {
+        self.bufs.len() + self.idx_bufs.len()
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Workspace> = RefCell::new(Workspace::default());
+}
+
+/// Check out a zeroed `rows x cols` matrix from the calling thread's pool.
+#[inline]
+pub fn take(rows: usize, cols: usize) -> Matrix {
+    POOL.with(|p| p.borrow_mut().take(rows, cols))
+}
+
+/// Return a matrix taken with [`take`] to the calling thread's pool.
+#[inline]
+pub fn give(m: Matrix) {
+    POOL.with(|p| p.borrow_mut().give(m));
+}
+
+/// Check out a zeroed complex buffer from the calling thread's pool.
+#[inline]
+pub fn take_scratch(len: usize) -> Vec<Complex64> {
+    POOL.with(|p| p.borrow_mut().take_scratch(len))
+}
+
+/// Return a buffer taken with [`take_scratch`].
+#[inline]
+pub fn give_scratch(buf: Vec<Complex64>) {
+    POOL.with(|p| p.borrow_mut().give_scratch(buf));
+}
+
+/// Check out a zeroed index buffer from the calling thread's pool.
+#[inline]
+pub fn take_idx(len: usize) -> Vec<usize> {
+    POOL.with(|p| p.borrow_mut().take_idx(len))
+}
+
+/// Return an index buffer taken with [`take_idx`].
+#[inline]
+pub fn give_idx(buf: Vec<usize>) {
+    POOL.with(|p| p.borrow_mut().give_idx(buf));
+}
+
+/// Pool-miss count of the **calling thread's** pool — unlike the global
+/// `ws_fresh` telemetry counter this is immune to concurrent tests, so
+/// warm-path regression tests can assert exact reuse.
+#[inline]
+pub fn fresh_here() -> u64 {
+    POOL.with(|p| p.borrow().fresh_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn take_give_reuses_buffers() {
+        let mut ws = Workspace::default();
+        let m = ws.take(4, 6);
+        assert_eq!(m.shape(), (4, 6));
+        assert_eq!(ws.fresh_count(), 1);
+        ws.give(m);
+        // Same capacity, different shape: still served from the pool.
+        let m2 = ws.take(6, 4);
+        assert_eq!(ws.fresh_count(), 1);
+        assert!(m2.as_slice().iter().all(|z| *z == Complex64::ZERO));
+        ws.give(m2);
+        // Larger request: pool miss.
+        let m3 = ws.take(8, 8);
+        assert_eq!(ws.fresh_count(), 2);
+        ws.give(m3);
+        assert_eq!(ws.pooled(), 2);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::default();
+        let small = ws.take_scratch(16);
+        let big = ws.take_scratch(64);
+        ws.give_scratch(big);
+        ws.give_scratch(small);
+        // A request for 10 must take the 16-buffer, leaving the 64 free.
+        let b = ws.take_scratch(10);
+        assert!(b.capacity() >= 10 && b.capacity() < 64);
+        assert_eq!(ws.fresh_count(), 2);
+        let b2 = ws.take_scratch(50);
+        assert!(b2.capacity() >= 64);
+        assert_eq!(ws.fresh_count(), 2);
+    }
+
+    #[test]
+    fn taken_buffers_are_zeroed_after_reuse() {
+        let mut ws = Workspace::default();
+        let mut m = ws.take(3, 3);
+        m[(1, 1)] = c64(4.0, -2.0);
+        ws.give(m);
+        let m2 = ws.take(3, 3);
+        assert!(m2.as_slice().iter().all(|z| *z == Complex64::ZERO));
+        ws.give(m2);
+    }
+
+    #[test]
+    fn idx_pool_roundtrip() {
+        let mut ws = Workspace::default();
+        let mut p = ws.take_idx(5);
+        p[3] = 7;
+        ws.give_idx(p);
+        let p2 = ws.take_idx(4);
+        assert_eq!(ws.fresh_count(), 1);
+        assert!(p2.iter().all(|&i| i == 0));
+        ws.give_idx(p2);
+    }
+
+    #[test]
+    fn thread_local_pool_roundtrip() {
+        let before = qt_telemetry::counters::total_ws_fresh();
+        let m = take(5, 5);
+        give(m);
+        let m = take(5, 5);
+        give(m);
+        // Second take reuses the first buffer: at most one miss from here.
+        assert!(qt_telemetry::counters::total_ws_fresh() - before <= 1);
+    }
+}

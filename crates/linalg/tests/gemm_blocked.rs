@@ -85,6 +85,61 @@ proptest! {
     }
 
     #[test]
+    fn batched_matches_per_item_naive_tightly(
+        m in 1usize..16,
+        k in 1usize..16,
+        n in 1usize..16,
+        batch in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        // The batched path must agree with an independent per-item naive
+        // triple loop to 1e-12 — at these block sizes the only daylight is
+        // k-loop re-association, so the bound is tight but safe.
+        let a = cvec(seed, batch * m * k);
+        let b = cvec(seed ^ 8, batch * k * n);
+        let base = cvec(seed ^ 9, batch * m * n);
+        let mut got = base.clone();
+        let mut want = base;
+        gemm::batched_gemm_acc(m, k, n, batch, &a, &b, &mut got);
+        for item in 0..batch {
+            gemm::gemm_naive_acc(
+                m, k, n,
+                &a[item * m * k..(item + 1) * m * k],
+                &b[item * k * n..(item + 1) * k * n],
+                &mut want[item * m * n..(item + 1) * m * n],
+            );
+        }
+        prop_assert!(rel_err(&got, &want) < 1e-12, "{m}x{k}x{n} x{batch}");
+    }
+
+    #[test]
+    fn batched_shared_b_scaled_matches_per_item_naive(
+        m in 1usize..16,
+        k in 1usize..16,
+        n in 1usize..16,
+        batch in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        // The SSE reschedule's workhorse: every batch item multiplies the
+        // same right operand, and the scale rides the accumulate epilogue.
+        let a = cvec(seed, batch * m * k);
+        let b = cvec(seed ^ 10, k * n);
+        let base = cvec(seed ^ 11, batch * m * n);
+        let scale = c64(0.3, -0.7);
+        let mut got = base.clone();
+        let mut want = base;
+        gemm::batched_gemm_shared_b_scaled_acc(m, k, n, batch, &a, &b, &mut got, scale);
+        for item in 0..batch {
+            let mut prod = vec![Complex64::ZERO; m * n];
+            gemm::gemm_naive_acc(m, k, n, &a[item * m * k..(item + 1) * m * k], &b, &mut prod);
+            for (w, p) in want[item * m * n..(item + 1) * m * n].iter_mut().zip(&prod) {
+                *w += *p * scale;
+            }
+        }
+        prop_assert!(rel_err(&got, &want) < 1e-12, "{m}x{k}x{n} x{batch}");
+    }
+
+    #[test]
     fn bdagger_matches_naive(
         m in 1usize..40,
         k in 1usize..40,

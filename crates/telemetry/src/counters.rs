@@ -20,7 +20,12 @@ const PACK_NS: usize = 2;
 const PACK_CALLS: usize = 3;
 const KERNEL_NS: usize = 4;
 const KERNEL_CALLS: usize = 5;
-const N_COUNTERS: usize = 6;
+const ALLOC_BYTES: usize = 6;
+const ALLOC_COUNT: usize = 7;
+const WS_FRESH: usize = 8;
+const BOUNDARY_HITS: usize = 9;
+const BOUNDARY_MISSES: usize = 10;
+const N_COUNTERS: usize = 11;
 
 #[derive(Default)]
 struct Cell {
@@ -80,9 +85,69 @@ pub fn add_bytes(n: u64) {
     bump(BYTES, n);
 }
 
+/// Account one heap allocation of `bytes` bytes (`alloc.bytes` /
+/// `alloc.count`). Fed by the counting global allocator in `qt-bench`;
+/// callers must guard against allocator re-entrancy themselves (this
+/// function may allocate on a thread's *first* counter touch, when its
+/// shard cell is registered).
+#[inline]
+pub fn add_alloc(bytes: u64) {
+    CELL.with(|c| {
+        c.v[ALLOC_BYTES].fetch_add(bytes, Relaxed);
+        c.v[ALLOC_COUNT].fetch_add(1, Relaxed);
+    });
+}
+
+/// Account one workspace-arena pool miss: a `take` that had to fall back
+/// to a fresh heap allocation instead of reusing a pooled buffer.
+#[inline]
+pub fn add_ws_fresh() {
+    bump(WS_FRESH, 1);
+}
+
+/// Account one boundary self-energy served from the `BoundaryCache`
+/// (`boundary.cache_hits`).
+#[inline]
+pub fn add_boundary_hit() {
+    bump(BOUNDARY_HITS, 1);
+}
+
+/// Account one boundary self-energy computed by full Sancho-Rubio
+/// decimation (cache miss or cache bypass).
+#[inline]
+pub fn add_boundary_miss() {
+    bump(BOUNDARY_MISSES, 1);
+}
+
 /// Total flops across all threads (alive or exited) since the last reset.
 pub fn total_flops() -> u64 {
     total(FLOPS)
+}
+
+/// Total heap-allocated bytes across all threads since the last reset.
+pub fn total_alloc_bytes() -> u64 {
+    total(ALLOC_BYTES)
+}
+
+/// Total heap allocation count across all threads since the last reset.
+pub fn total_alloc_count() -> u64 {
+    total(ALLOC_COUNT)
+}
+
+/// Total workspace-arena pool misses across all threads since the last
+/// reset.
+pub fn total_ws_fresh() -> u64 {
+    total(WS_FRESH)
+}
+
+/// Total boundary-cache hits across all threads since the last reset.
+pub fn total_boundary_hits() -> u64 {
+    total(BOUNDARY_HITS)
+}
+
+/// Total boundary-cache misses across all threads since the last reset.
+pub fn total_boundary_misses() -> u64 {
+    total(BOUNDARY_MISSES)
 }
 
 /// Total communicated bytes across all threads since the last reset.
@@ -100,6 +165,18 @@ pub fn local_flops() -> u64 {
 #[inline]
 pub fn local_bytes() -> u64 {
     local(BYTES)
+}
+
+/// Heap bytes allocated by the calling thread since the last reset.
+#[inline]
+pub fn local_alloc_bytes() -> u64 {
+    local(ALLOC_BYTES)
+}
+
+/// Heap allocations performed by the calling thread since the last reset.
+#[inline]
+pub fn local_alloc_count() -> u64 {
+    local(ALLOC_COUNT)
 }
 
 /// Zero every counter on every registered cell.
@@ -184,6 +261,29 @@ mod tests {
         add_gemm_flops_batched(2, 3, 4, 5);
         assert_eq!(local_flops() - l0, 8 * 2 * 3 * 4 * 5);
         assert!(total_flops() - f0 >= 8 * 2 * 3 * 4 * 5);
+    }
+
+    #[test]
+    fn alloc_and_boundary_counts_accumulate() {
+        let (b0, c0) = (total_alloc_bytes(), total_alloc_count());
+        add_alloc(256);
+        add_alloc(64);
+        assert!(total_alloc_bytes() - b0 >= 320);
+        assert!(total_alloc_count() - c0 >= 2);
+        assert!(local_alloc_bytes() >= 320);
+        assert!(local_alloc_count() >= 2);
+
+        let (h0, m0, w0) = (
+            total_boundary_hits(),
+            total_boundary_misses(),
+            total_ws_fresh(),
+        );
+        add_boundary_hit();
+        add_boundary_miss();
+        add_ws_fresh();
+        assert!(total_boundary_hits() - h0 >= 1);
+        assert!(total_boundary_misses() - m0 >= 1);
+        assert!(total_ws_fresh() - w0 >= 1);
     }
 
     #[test]

@@ -17,18 +17,32 @@ pub struct PhaseStat {
     pub flops: u64,
     /// Communicated bytes attributed to this phase.
     pub bytes: u64,
+    /// Heap bytes allocated while the phase was open (non-zero only when
+    /// a counting global allocator feeds `counters::add_alloc`).
+    pub alloc_bytes: u64,
+    /// Heap allocations performed while the phase was open.
+    pub alloc_count: u64,
 }
 
 static PHASES: Mutex<BTreeMap<&'static str, PhaseStat>> = Mutex::new(BTreeMap::new());
 
 /// Fold one closed span into the table.
-pub fn record(path: &'static str, wall_ns: u64, flops: u64, bytes: u64) {
+pub fn record(
+    path: &'static str,
+    wall_ns: u64,
+    flops: u64,
+    bytes: u64,
+    alloc_bytes: u64,
+    alloc_count: u64,
+) {
     let mut map = PHASES.lock().unwrap();
     let stat = map.entry(path).or_default();
     stat.calls += 1;
     stat.wall_ns += wall_ns;
     stat.flops += flops;
     stat.bytes += bytes;
+    stat.alloc_bytes += alloc_bytes;
+    stat.alloc_count += alloc_count;
 }
 
 /// Copy of the full phase table, keyed by path.
@@ -57,13 +71,15 @@ mod tests {
 
     #[test]
     fn record_accumulates_per_path() {
-        record("test/registry/a", 10, 100, 1);
-        record("test/registry/a", 20, 200, 2);
+        record("test/registry/a", 10, 100, 1, 1024, 4);
+        record("test/registry/a", 20, 200, 2, 1024, 4);
         let s = phase("test/registry/a").unwrap();
         assert_eq!(s.calls, 2);
         assert_eq!(s.wall_ns, 30);
         assert_eq!(s.flops, 300);
         assert_eq!(s.bytes, 3);
+        assert_eq!(s.alloc_bytes, 2048);
+        assert_eq!(s.alloc_count, 8);
         assert!(snapshot().contains_key("test/registry/a"));
     }
 }

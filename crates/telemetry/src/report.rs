@@ -22,6 +22,12 @@ pub struct PhaseReport {
     pub gflop_per_s: f64,
     /// Communicated bytes attributed to the phase.
     pub bytes: u64,
+    /// Heap bytes allocated while the phase was open (`alloc.bytes`;
+    /// non-zero only under the counting global allocator).
+    pub alloc_bytes: u64,
+    /// Heap allocations performed while the phase was open
+    /// (`alloc.count`).
+    pub alloc_count: u64,
 }
 
 /// One measured-vs-model comparison.
@@ -74,6 +80,59 @@ pub struct ConvergencePoint {
     pub wall_ms: f64,
     /// Terminal current after the iteration.
     pub current: f64,
+    /// Heap bytes allocated during the iteration (non-zero only under
+    /// the counting global allocator). The cold-vs-warm gap of this
+    /// column is the allocator-traffic payoff of the workspace arenas
+    /// and the boundary cache.
+    pub alloc_bytes: u64,
+}
+
+/// Cold-vs-warm SCF iteration comparison: iteration 0 pays Sancho-Rubio
+/// decimation and arena warm-up; later iterations should be served from
+/// the boundary cache and the workspace pools.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WarmupStats {
+    /// Wall-time of iteration 0 in milliseconds.
+    pub cold_wall_ms: f64,
+    /// Mean wall-time of iterations ≥ 1 in milliseconds.
+    pub warm_wall_ms: f64,
+    /// `cold_wall_ms / warm_wall_ms`.
+    pub wall_speedup: f64,
+    /// Heap bytes allocated during iteration 0.
+    pub cold_alloc_bytes: u64,
+    /// Mean heap bytes allocated per iteration ≥ 1.
+    pub warm_alloc_bytes: u64,
+    /// `1 − warm/cold` allocator-byte reduction (0 when cold is 0).
+    pub alloc_reduction: f64,
+}
+
+impl WarmupStats {
+    /// Derive cold-vs-warm statistics from a convergence trajectory.
+    /// Returns `None` with fewer than two iterations (no warm sample).
+    pub fn from_convergence(points: &[ConvergencePoint]) -> Option<WarmupStats> {
+        let (cold, warm) = points.split_first()?;
+        if warm.is_empty() {
+            return None;
+        }
+        let warm_wall_ms = warm.iter().map(|p| p.wall_ms).sum::<f64>() / warm.len() as f64;
+        let warm_alloc_bytes = warm.iter().map(|p| p.alloc_bytes).sum::<u64>() / warm.len() as u64;
+        Some(WarmupStats {
+            cold_wall_ms: cold.wall_ms,
+            warm_wall_ms,
+            wall_speedup: if warm_wall_ms > 0.0 {
+                cold.wall_ms / warm_wall_ms
+            } else {
+                0.0
+            },
+            cold_alloc_bytes: cold.alloc_bytes,
+            warm_alloc_bytes,
+            alloc_reduction: if cold.alloc_bytes > 0 {
+                1.0 - warm_alloc_bytes as f64 / cold.alloc_bytes as f64
+            } else {
+                0.0
+            },
+        })
+    }
 }
 
 /// Per-rank communication volume of a distributed phase.
@@ -102,6 +161,14 @@ pub struct TelemetryReport {
     pub total_flops: u64,
     /// Total communicated bytes counted since the last reset.
     pub total_bytes: u64,
+    /// Contact self-energies served from the `BoundaryCache`
+    /// (`boundary.cache_hits`).
+    pub boundary_cache_hits: u64,
+    /// Contact self-energies recomputed by Sancho-Rubio decimation.
+    pub boundary_cache_misses: u64,
+    /// Cold-vs-warm SCF iteration comparison, when a trajectory with at
+    /// least two iterations was recorded.
+    pub warmup: Option<WarmupStats>,
 }
 
 fn phase_report(path: &str, s: &PhaseStat) -> PhaseReport {
@@ -114,6 +181,8 @@ fn phase_report(path: &str, s: &PhaseStat) -> PhaseReport {
         gflop,
         gflop_per_s: if wall_s > 0.0 { gflop / wall_s } else { 0.0 },
         bytes: s.bytes,
+        alloc_bytes: s.alloc_bytes,
+        alloc_count: s.alloc_count,
     }
 }
 
@@ -131,8 +200,7 @@ impl TelemetryReport {
                 PhaseStat {
                     calls: split.pack_calls,
                     wall_ns: split.pack_ns,
-                    flops: 0,
-                    bytes: 0,
+                    ..PhaseStat::default()
                 },
             );
         }
@@ -142,8 +210,7 @@ impl TelemetryReport {
                 PhaseStat {
                     calls: split.kernel_calls,
                     wall_ns: split.kernel_ns,
-                    flops: 0,
-                    bytes: 0,
+                    ..PhaseStat::default()
                 },
             );
         }
@@ -154,6 +221,9 @@ impl TelemetryReport {
             comm: Vec::new(),
             total_flops: counters::total_flops(),
             total_bytes: counters::total_bytes(),
+            boundary_cache_hits: counters::total_boundary_hits(),
+            boundary_cache_misses: counters::total_boundary_misses(),
+            warmup: None,
         }
     }
 
@@ -170,6 +240,8 @@ impl TelemetryReport {
                     ("gflop".to_string(), Json::Num(p.gflop)),
                     ("gflop_per_s".to_string(), Json::Num(p.gflop_per_s)),
                     ("bytes".to_string(), Json::Num(p.bytes as f64)),
+                    ("alloc_bytes".to_string(), Json::Num(p.alloc_bytes as f64)),
+                    ("alloc_count".to_string(), Json::Num(p.alloc_count as f64)),
                 ])
             })
             .collect();
@@ -199,6 +271,7 @@ impl TelemetryReport {
                     ("mixing".to_string(), Json::Num(c.mixing)),
                     ("wall_ms".to_string(), Json::Num(c.wall_ms)),
                     ("current".to_string(), Json::Num(c.current)),
+                    ("alloc_bytes".to_string(), Json::Num(c.alloc_bytes as f64)),
                 ])
             })
             .collect();
@@ -213,6 +286,23 @@ impl TelemetryReport {
                 ])
             })
             .collect();
+        let warmup = match &self.warmup {
+            None => Json::Null,
+            Some(w) => Json::Obj(vec![
+                ("cold_wall_ms".to_string(), Json::Num(w.cold_wall_ms)),
+                ("warm_wall_ms".to_string(), Json::Num(w.warm_wall_ms)),
+                ("wall_speedup".to_string(), Json::Num(w.wall_speedup)),
+                (
+                    "cold_alloc_bytes".to_string(),
+                    Json::Num(w.cold_alloc_bytes as f64),
+                ),
+                (
+                    "warm_alloc_bytes".to_string(),
+                    Json::Num(w.warm_alloc_bytes as f64),
+                ),
+                ("alloc_reduction".to_string(), Json::Num(w.alloc_reduction)),
+            ]),
+        };
         Json::Obj(vec![
             ("phases".to_string(), Json::Arr(phases)),
             ("residuals".to_string(), Json::Arr(residuals)),
@@ -226,6 +316,15 @@ impl TelemetryReport {
                 "total_bytes".to_string(),
                 Json::Num(self.total_bytes as f64),
             ),
+            (
+                "boundary_cache_hits".to_string(),
+                Json::Num(self.boundary_cache_hits as f64),
+            ),
+            (
+                "boundary_cache_misses".to_string(),
+                Json::Num(self.boundary_cache_misses as f64),
+            ),
+            ("warmup".to_string(), warmup),
         ])
         .dump()
     }
@@ -258,6 +357,19 @@ impl TelemetryReport {
         let mut report = TelemetryReport {
             total_flops: int_field(&root, "total_flops")?,
             total_bytes: int_field(&root, "total_bytes")?,
+            boundary_cache_hits: int_field(&root, "boundary_cache_hits")?,
+            boundary_cache_misses: int_field(&root, "boundary_cache_misses")?,
+            warmup: match root.get("warmup") {
+                Some(Json::Null) | None => None,
+                Some(w) => Some(WarmupStats {
+                    cold_wall_ms: num_field(w, "cold_wall_ms")?,
+                    warm_wall_ms: num_field(w, "warm_wall_ms")?,
+                    wall_speedup: num_field(w, "wall_speedup")?,
+                    cold_alloc_bytes: int_field(w, "cold_alloc_bytes")?,
+                    warm_alloc_bytes: int_field(w, "warm_alloc_bytes")?,
+                    alloc_reduction: num_field(w, "alloc_reduction")?,
+                }),
+            },
             ..TelemetryReport::default()
         };
         for p in arr("phases")? {
@@ -268,6 +380,8 @@ impl TelemetryReport {
                 gflop: num_field(p, "gflop")?,
                 gflop_per_s: num_field(p, "gflop_per_s")?,
                 bytes: int_field(p, "bytes")?,
+                alloc_bytes: int_field(p, "alloc_bytes")?,
+                alloc_count: int_field(p, "alloc_count")?,
             });
         }
         for r in arr("residuals")? {
@@ -292,6 +406,7 @@ impl TelemetryReport {
                 mixing: num_field(c, "mixing")?,
                 wall_ms: num_field(c, "wall_ms")?,
                 current: num_field(c, "current")?,
+                alloc_bytes: int_field(c, "alloc_bytes")?,
             });
         }
         for c in arr("comm")? {
@@ -346,6 +461,20 @@ impl TelemetryReport {
                 return Err(format!("iteration {} has non-finite fields", c.iteration));
             }
         }
+        if let Some(w) = &self.warmup {
+            let nums = [
+                w.cold_wall_ms,
+                w.warm_wall_ms,
+                w.wall_speedup,
+                w.alloc_reduction,
+            ];
+            if nums.iter().any(|x| !x.is_finite()) {
+                return Err("warmup stats contain non-finite fields".into());
+            }
+            if w.cold_wall_ms < 0.0 || w.warm_wall_ms < 0.0 || w.wall_speedup < 0.0 {
+                return Err("warmup stats contain negative timings".into());
+            }
+        }
         Ok(())
     }
 }
@@ -356,7 +485,7 @@ mod tests {
 
     #[test]
     fn report_roundtrips_and_validates() {
-        registry::record("test/report/phase", 1_000_000, 8_000, 64);
+        registry::record("test/report/phase", 1_000_000, 8_000, 64, 4096, 16);
         let mut rep = TelemetryReport::from_current();
         rep.residuals
             .push(ModelResidual::new("flops_vs_exact", 8000.0, 8000.0, true));
@@ -368,6 +497,7 @@ mod tests {
             mixing: 0.5,
             wall_ms: 1.0,
             current: 1e-6,
+            alloc_bytes: 1 << 20,
         });
         rep.convergence.push(ConvergencePoint {
             iteration: 1,
@@ -375,12 +505,14 @@ mod tests {
             mixing: 0.5,
             wall_ms: 1.5,
             current: 2e-6,
+            alloc_bytes: 1 << 10,
         });
         rep.comm.push(RankComm {
             rank: 0,
             sent_bytes: 100,
             recv_bytes: 50,
         });
+        rep.warmup = WarmupStats::from_convergence(&rep.convergence);
         rep.validate().unwrap();
         let back = TelemetryReport::from_json(&rep.to_json()).unwrap();
         assert_eq!(back, rep);
@@ -388,11 +520,32 @@ mod tests {
 
     #[test]
     fn validation_rejects_failed_exact_residual() {
-        registry::record("test/report/phase2", 1, 1, 0);
+        registry::record("test/report/phase2", 1, 1, 0, 0, 0);
         let mut rep = TelemetryReport::from_current();
         rep.residuals
             .push(ModelResidual::new("bad_exact", 100.0, 99.0, true));
         assert!(rep.validate().is_err());
+    }
+
+    #[test]
+    fn warmup_stats_capture_cold_vs_warm_gap() {
+        let mk = |it: usize, wall: f64, alloc: u64| ConvergencePoint {
+            iteration: it,
+            residual: if it == 0 { None } else { Some(0.1) },
+            mixing: 0.5,
+            wall_ms: wall,
+            current: 0.0,
+            alloc_bytes: alloc,
+        };
+        assert_eq!(WarmupStats::from_convergence(&[mk(0, 10.0, 100)]), None);
+        let w = WarmupStats::from_convergence(&[mk(0, 10.0, 1000), mk(1, 2.0, 60), mk(2, 3.0, 40)])
+            .unwrap();
+        assert_eq!(w.cold_wall_ms, 10.0);
+        assert!((w.warm_wall_ms - 2.5).abs() < 1e-12);
+        assert!((w.wall_speedup - 4.0).abs() < 1e-12);
+        assert_eq!(w.cold_alloc_bytes, 1000);
+        assert_eq!(w.warm_alloc_bytes, 50);
+        assert!((w.alloc_reduction - 0.95).abs() < 1e-12);
     }
 
     #[test]

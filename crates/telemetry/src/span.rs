@@ -25,6 +25,8 @@ struct Active {
     t0: Instant,
     flops0: u64,
     bytes0: u64,
+    alloc_bytes0: u64,
+    alloc_count0: u64,
     global: bool,
 }
 
@@ -51,6 +53,8 @@ impl Span {
                 t0: Instant::now(),
                 flops0: counters::local_flops(),
                 bytes0: counters::local_bytes(),
+                alloc_bytes0: counters::local_alloc_bytes(),
+                alloc_count0: counters::local_alloc_count(),
                 global: false,
             }),
         }
@@ -71,6 +75,8 @@ impl Span {
                 t0: Instant::now(),
                 flops0: counters::total_flops(),
                 bytes0: counters::total_bytes(),
+                alloc_bytes0: counters::total_alloc_bytes(),
+                alloc_count0: counters::total_alloc_count(),
                 global: true,
             }),
         }
@@ -83,16 +89,28 @@ impl Drop for Span {
             return;
         };
         let wall_ns = a.t0.elapsed().as_nanos() as u64;
-        let (flops1, bytes1) = if a.global {
-            (counters::total_flops(), counters::total_bytes())
+        let (flops1, bytes1, alloc_bytes1, alloc_count1) = if a.global {
+            (
+                counters::total_flops(),
+                counters::total_bytes(),
+                counters::total_alloc_bytes(),
+                counters::total_alloc_count(),
+            )
         } else {
-            (counters::local_flops(), counters::local_bytes())
+            (
+                counters::local_flops(),
+                counters::local_bytes(),
+                counters::local_alloc_bytes(),
+                counters::local_alloc_count(),
+            )
         };
         registry::record(
             a.path,
             wall_ns,
             flops1.saturating_sub(a.flops0),
             bytes1.saturating_sub(a.bytes0),
+            alloc_bytes1.saturating_sub(a.alloc_bytes0),
+            alloc_count1.saturating_sub(a.alloc_count0),
         );
         trace::record_event(a.path, a.t0, wall_ns);
     }
