@@ -467,11 +467,14 @@ fn fig1d() {
 /// measured-vs-model reconciliation (Tables 3–5) and optional trace/report
 /// export.
 fn profile(flags: &[String]) {
-    use qt_core::scf::{run_scf, ScfConfig, Simulation};
+    use qt_core::checkpoint::{CheckpointConfig, ScfCheckpoint};
+    use qt_core::scf::{run_scf_resumable, ScfConfig, Simulation};
     use qt_telemetry::report::{ConvergencePoint, ModelResidual, RankComm};
 
     let mut trace_path: Option<String> = None;
     let mut report_path: Option<String> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
     let mut i = 0;
     while i < flags.len() {
         let need = |what: &str| {
@@ -483,8 +486,13 @@ fn profile(flags: &[String]) {
         match flags[i].as_str() {
             "--trace" => trace_path = Some(need("--trace")),
             "--report" => report_path = Some(need("--report")),
+            "--checkpoint" => checkpoint_path = Some(need("--checkpoint")),
+            "--resume" => resume_path = Some(need("--resume")),
             other => {
-                eprintln!("unknown profile flag {other:?} (expected --trace/--report)");
+                eprintln!(
+                    "unknown profile flag {other:?} \
+                     (expected --trace/--report/--checkpoint/--resume)"
+                );
                 std::process::exit(2);
             }
         }
@@ -513,13 +521,28 @@ fn profile(flags: &[String]) {
         max_iterations: 4,
         ..Default::default()
     };
-    let out = run_scf(&sim, &cfg).expect("SCF");
+    let ckpt_cfg = checkpoint_path.as_ref().map(|path| CheckpointConfig {
+        path: path.into(),
+        every: 1,
+    });
+    let resume = resume_path.as_ref().map(|path| {
+        let ck = ScfCheckpoint::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot load checkpoint {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("  resuming SCF from {path} at iteration {}", ck.iteration);
+        ck
+    });
+    let out = run_scf_resumable(&sim, &cfg, ckpt_cfg.as_ref(), resume).expect("SCF");
     println!(
         "  SCF: {} iterations, converged={}, I={:.4e}",
         out.iterations,
         out.converged,
         out.current_history.last().copied().unwrap_or(0.0)
     );
+    if let Some(c) = &ckpt_cfg {
+        println!("  checkpoints written to {}", c.path.display());
+    }
 
     // One pass of the other two SSE variants so all three kernels appear
     // in the phase table and the OMEN flop model can be reconciled.
@@ -708,6 +731,17 @@ fn profile(flags: &[String]) {
         "  boundary cache: {} hits, {} misses",
         rep.boundary_cache_hits, rep.boundary_cache_misses
     );
+    if let Some(h) = &rep.health {
+        println!(
+            "  health: {} quarantined, {} eta retries, {} mixing backoffs, \
+             {} comm retries, {} checkpoint writes",
+            h.quarantined_points,
+            h.eta_retries,
+            h.mixing_backoffs,
+            h.comm_retries,
+            h.checkpoint_writes
+        );
+    }
     println!(
         "  totals: {:.3} Gflop counted, {} bytes communicated",
         rep.total_flops as f64 / 1e9,
@@ -730,6 +764,7 @@ fn profile(flags: &[String]) {
 /// Re-parse and re-validate a report written by `profile` (CI smoke).
 fn check_report(flags: &[String]) {
     let require_boundary_hits = flags.iter().any(|f| f == "--require-boundary-hits");
+    let require_health = flags.iter().any(|f| f == "--require-health");
     let Some(path) = flags.iter().find(|f| !f.starts_with("--")) else {
         eprintln!("check-report needs a file path");
         std::process::exit(2);
@@ -753,6 +788,13 @@ fn check_report(flags: &[String]) {
         eprintln!(
             "report FAILED: boundary_cache_hits is 0 — warm SCF iterations \
              did not reuse memoized contact self-energies"
+        );
+        std::process::exit(1);
+    }
+    if require_health && rep.health.is_none() {
+        eprintln!(
+            "report FAILED: no health block — the run predates the \
+             resilience layer or stripped its counters"
         );
         std::process::exit(1);
     }

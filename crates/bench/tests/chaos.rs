@@ -1,0 +1,67 @@
+//! Chaos smoke at the harness level (feature `fault-inject`): a faulty
+//! distributed iteration must survive, match the fault-free answer, and
+//! leave a telemetry report whose health block records the recovery work —
+//! the in-process equivalent of `check-report --require-health`.
+#![cfg(feature = "fault-inject")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use qt_core::device::Device;
+use qt_core::gf::GfConfig;
+use qt_core::grids::Grids;
+use qt_core::hamiltonian::{ElectronModel, PhononModel};
+use qt_core::params::SimParams;
+use qt_dist::runner::{distributed_iteration, distributed_iteration_with_faults};
+use qt_dist::FaultPlan;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn faulty_pipeline_reports_health_and_passes_the_gate() {
+    let _g = lock();
+    qt_telemetry::reset_all();
+    qt_telemetry::set_enabled(true);
+    let p = SimParams {
+        nkz: 2,
+        nqz: 2,
+        ne: 12,
+        nw: 2,
+        na: 12,
+        nb: 3,
+        norb: 2,
+        bnum: 4,
+    };
+    let dev = Device::new(&p);
+    let em = ElectronModel::for_params(&p);
+    let pm = PhononModel::default();
+    let grids = Grids::new(&p, -1.2, 1.2);
+    let cfg = GfConfig::default();
+    let clean = distributed_iteration(&p, &dev, &em, &pm, &grids, &cfg, 2, 2).unwrap();
+    let plan = FaultPlan::new(515)
+        .with_drops(150)
+        .with_corruption(100)
+        .with_stalled_rank(2, Duration::from_millis(10));
+    let faulty =
+        distributed_iteration_with_faults(&p, &dev, &em, &pm, &grids, &cfg, 2, 2, plan).unwrap();
+    let rel = clean.sigma.lesser.max_abs_diff(&faulty.sigma.lesser)
+        / clean.sigma.lesser.norm().max(1e-30);
+    assert!(rel <= 1e-10, "faulty run must match fault-free: rel {rel}");
+
+    // The report's health block carries the recovery counters, and the
+    // --require-health gate (health block present) passes after a
+    // JSON roundtrip.
+    let rep = qt_telemetry::TelemetryReport::from_current();
+    rep.validate().expect("report validates");
+    let h = rep.health.expect("health block present");
+    assert!(
+        h.comm_retries > 0,
+        "chaos plan must be visible as comm retries in the health block"
+    );
+    let back = qt_telemetry::TelemetryReport::from_json(&rep.to_json()).expect("roundtrip");
+    assert_eq!(back.health, rep.health);
+}

@@ -1,0 +1,312 @@
+//! SCF checkpoint/restart.
+//!
+//! At extreme scale (the paper's §5 projection) a Born loop runs for hours;
+//! losing the whole run to a node failure in iteration 14 of 15 is not
+//! acceptable. [`ScfCheckpoint`] serializes everything the loop needs to
+//! continue *bit-exactly*: the mixed self-energies, the previous `G<`
+//! iterate (so the first resumed residual matches the uninterrupted run),
+//! the residual/current histories, and the adaptive-mixing controller
+//! state.
+//!
+//! The format is a deliberately simple little-endian binary layout (magic,
+//! scalar header, then length-prefixed `f64` arrays for each tensor):
+//! raw `f64` bit patterns round-trip exactly, which a text format would
+//! not guarantee, and the writer goes through a temp file + atomic rename
+//! so a crash mid-write can never leave a torn checkpoint behind.
+
+use crate::gf::{ElectronSelfEnergy, PhononSelfEnergy};
+use qt_linalg::{c64, Tensor};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic prefix identifying checkpoint format version 1.
+const MAGIC: &[u8; 8] = b"QTCKPT01";
+
+/// Persistent snapshot of the Born loop between two iterations.
+#[derive(Clone, Debug)]
+pub struct ScfCheckpoint {
+    /// Next iteration to run (iterations `0..iteration` are complete).
+    pub iteration: usize,
+    /// Adaptive-mixing controller state: the effective mixing factor.
+    pub mixing_current: f64,
+    /// Adaptive-mixing controller state: last observed residual.
+    pub prev_residual: Option<f64>,
+    /// Adaptive-mixing controller state: consecutive-decrease streak.
+    pub decrease_streak: u32,
+    /// Finite residuals recorded so far.
+    pub residuals: Vec<f64>,
+    /// Electrical current after each completed iteration.
+    pub current_history: Vec<f64>,
+    /// Mixed electron scattering self-energy Σ≷.
+    pub sigma: ElectronSelfEnergy,
+    /// Mixed phonon scattering self-energy Π≷.
+    pub pi: PhononSelfEnergy,
+    /// `G<` of the last completed iteration (residual continuity).
+    pub prev_gl: Option<Tensor>,
+}
+
+/// When and where [`crate::scf::run_scf_resumable`] writes checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path (overwritten atomically on every write).
+    pub path: std::path::PathBuf,
+    /// Write after every `every` completed iterations (0 disables writes).
+    pub every: usize,
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64_slice(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    put_u64(out, t.shape().len() as u64);
+    for &d in t.shape() {
+        put_u64(out, d as u64);
+    }
+    for z in t.as_slice() {
+        put_f64(out, z.re);
+        put_f64(out, z.im);
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let Some(end) = end else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated checkpoint",
+            ));
+        };
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64_vec(&mut self) -> io::Result<Vec<f64>> {
+        let n = self.len_checked()?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn tensor(&mut self) -> io::Result<Tensor> {
+        let ndim = self.len_checked()?;
+        let shape: Vec<usize> = (0..ndim)
+            .map(|_| self.u64().map(|d| d as usize))
+            .collect::<io::Result<_>>()?;
+        let mut t = Tensor::zeros(&shape);
+        for z in t.as_mut_slice() {
+            let re = self.f64()?;
+            let im = self.f64()?;
+            *z = c64(re, im);
+        }
+        Ok(t)
+    }
+
+    /// A length prefix, rejected before allocation when it cannot possibly
+    /// fit in the remaining bytes (corrupt headers would otherwise ask for
+    /// absurd allocations).
+    fn len_checked(&mut self) -> io::Result<usize> {
+        let n = self.u64()?;
+        if n > (self.buf.len() - self.pos) as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "checkpoint length field exceeds file size",
+            ));
+        }
+        Ok(n as usize)
+    }
+}
+
+impl ScfCheckpoint {
+    /// Serialize to the format described in the module docs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.iteration as u64);
+        put_f64(&mut out, self.mixing_current);
+        put_u64(&mut out, self.prev_residual.is_some() as u64);
+        put_f64(&mut out, self.prev_residual.unwrap_or(0.0));
+        put_u64(&mut out, self.decrease_streak as u64);
+        put_f64_slice(&mut out, &self.residuals);
+        put_f64_slice(&mut out, &self.current_history);
+        put_tensor(&mut out, &self.sigma.lesser);
+        put_tensor(&mut out, &self.sigma.greater);
+        put_tensor(&mut out, &self.pi.lesser);
+        put_tensor(&mut out, &self.pi.greater);
+        put_u64(&mut out, self.prev_gl.is_some() as u64);
+        if let Some(gl) = &self.prev_gl {
+            put_tensor(&mut out, gl);
+        }
+        out
+    }
+
+    /// Parse a serialized checkpoint.
+    pub fn from_bytes(buf: &[u8]) -> io::Result<Self> {
+        let mut c = Cursor { buf, pos: 0 };
+        if c.take(8)? != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a qt checkpoint (bad magic)",
+            ));
+        }
+        let iteration = c.u64()? as usize;
+        let mixing_current = c.f64()?;
+        let has_prev_res = c.u64()? != 0;
+        let prev_res_val = c.f64()?;
+        let decrease_streak = c.u64()? as u32;
+        let residuals = c.f64_vec()?;
+        let current_history = c.f64_vec()?;
+        let sigma = ElectronSelfEnergy {
+            lesser: c.tensor()?,
+            greater: c.tensor()?,
+        };
+        let pi = PhononSelfEnergy {
+            lesser: c.tensor()?,
+            greater: c.tensor()?,
+        };
+        let prev_gl = if c.u64()? != 0 {
+            Some(c.tensor()?)
+        } else {
+            None
+        };
+        Ok(ScfCheckpoint {
+            iteration,
+            mixing_current,
+            prev_residual: has_prev_res.then_some(prev_res_val),
+            decrease_streak,
+            residuals,
+            current_history,
+            sigma,
+            pi,
+            prev_gl,
+        })
+    }
+
+    /// Write atomically: serialize to `<path>.tmp`, then rename over
+    /// `path`, so readers only ever observe complete checkpoints.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        qt_telemetry::counters::add_checkpoint_write();
+        Ok(())
+    }
+
+    /// Load a checkpoint written by [`ScfCheckpoint::save`].
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let mut buf = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut buf)?;
+        Self::from_bytes(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SimParams;
+
+    fn sample() -> ScfCheckpoint {
+        let p = SimParams::test_small();
+        let mut sigma = ElectronSelfEnergy::zeros(&p);
+        sigma.lesser.as_mut_slice()[3] = c64(1.25e-3, -7.5);
+        let mut pi = PhononSelfEnergy::zeros(&p);
+        pi.greater.as_mut_slice()[0] = c64(f64::MIN_POSITIVE, 1.0);
+        let mut gl = Tensor::zeros(&[2, 3]);
+        gl.as_mut_slice()[5] = c64(0.1, 0.2);
+        ScfCheckpoint {
+            iteration: 7,
+            mixing_current: 0.125,
+            prev_residual: Some(3.25e-4),
+            decrease_streak: 2,
+            residuals: vec![0.5, 0.25, 3.25e-4],
+            current_history: vec![1.0, 1.5, 1.25],
+            sigma,
+            pi,
+            prev_gl: Some(gl),
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let ck = sample();
+        let back = ScfCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(back.iteration, ck.iteration);
+        assert_eq!(back.mixing_current.to_bits(), ck.mixing_current.to_bits());
+        assert_eq!(back.prev_residual, ck.prev_residual);
+        assert_eq!(back.decrease_streak, ck.decrease_streak);
+        assert_eq!(back.residuals, ck.residuals);
+        assert_eq!(back.current_history, ck.current_history);
+        assert_eq!(back.sigma.lesser.as_slice(), ck.sigma.lesser.as_slice());
+        assert_eq!(back.sigma.greater.as_slice(), ck.sigma.greater.as_slice());
+        assert_eq!(back.pi.lesser.as_slice(), ck.pi.lesser.as_slice());
+        assert_eq!(back.pi.greater.as_slice(), ck.pi.greater.as_slice());
+        assert_eq!(
+            back.prev_gl.as_ref().unwrap().as_slice(),
+            ck.prev_gl.as_ref().unwrap().as_slice()
+        );
+        assert_eq!(
+            back.prev_gl.as_ref().unwrap().shape(),
+            ck.prev_gl.as_ref().unwrap().shape()
+        );
+    }
+
+    #[test]
+    fn save_load_via_disk_and_atomic_tmp() {
+        let dir = std::env::temp_dir().join("qt-ckpt-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scf.ckpt");
+        let writes0 = qt_telemetry::counters::total_checkpoint_writes();
+        let ck = sample();
+        ck.save(&path).unwrap();
+        assert!(qt_telemetry::counters::total_checkpoint_writes() > writes0);
+        assert!(!path.with_extension("tmp").exists(), "tmp must be renamed");
+        let back = ScfCheckpoint::load(&path).unwrap();
+        assert_eq!(back.residuals, ck.residuals);
+        // Overwrite (second save) must also succeed atomically.
+        ck.save(&path).unwrap();
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(ScfCheckpoint::from_bytes(b"garbage!").is_err());
+        let ck = sample();
+        let mut bytes = ck.to_bytes();
+        bytes.truncate(bytes.len() / 2);
+        assert!(ScfCheckpoint::from_bytes(&bytes).is_err());
+        // Absurd length prefix: flip the residual-count field to u64::MAX.
+        let mut bytes = ck.to_bytes();
+        // magic(8) + iter(8) + mix(8) + flag(8) + prev(8) + streak(8) = 48.
+        bytes[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(ScfCheckpoint::from_bytes(&bytes).is_err());
+    }
+}

@@ -11,9 +11,10 @@ use crate::boundary::{self, BoundaryCache, BoundaryConfig, KeyHasher, Side};
 use crate::device::Device;
 use crate::grids::{bose, fermi, Grids};
 use crate::hamiltonian::{ElectronModel, PhononModel};
+use crate::health::{CoverageReport, HealthPolicy, NumericalError, QuarantinedPoint};
 use crate::params::{SimParams, N3D};
 use crate::rgf;
-use qt_linalg::{c64, workspace, BlockTridiag, Complex64, Matrix, SingularMatrix, Tensor};
+use qt_linalg::{c64, workspace, BlockTridiag, Complex64, Matrix, Tensor};
 use rayon::prelude::*;
 
 /// Contact electrochemical potentials and temperature.
@@ -55,6 +56,9 @@ pub struct GfConfig {
     pub phonon_device_eta: f64,
     pub boundary: BoundaryConfig,
     pub contacts: Contacts,
+    /// Containment policy for per-point numerical failures (quarantine vs
+    /// fail-fast, and the tolerated bad fraction).
+    pub health: HealthPolicy,
 }
 
 impl Default for GfConfig {
@@ -65,6 +69,7 @@ impl Default for GfConfig {
             phonon_device_eta: 5e-2,
             boundary: BoundaryConfig::default(),
             contacts: Contacts::default(),
+            health: HealthPolicy::default(),
         }
     }
 }
@@ -150,6 +155,10 @@ pub struct ElectronGf {
     /// In the ballistic limit these equal the contact current exactly —
     /// the current-conservation check of the whole RGF + boundary stack.
     pub bond_currents: Vec<f64>,
+    /// Which `(kz, E)` points were actually covered; quarantined points
+    /// are zero-filled in `g_lesser`/`g_greater` and excluded from the
+    /// currents.
+    pub coverage: CoverageReport,
 }
 
 /// Output of the phonon GF phase.
@@ -161,6 +170,8 @@ pub struct PhononGf {
     pub d_greater: Tensor,
     /// Integrated phonon energy current at the left contact.
     pub energy_current: f64,
+    /// Which `(qz, ω)` points were actually covered.
+    pub coverage: CoverageReport,
 }
 
 /// `tr(A·B)` without forming the product: `Σ_i Σ_j A[i,j]·B[j,i]`. The
@@ -207,6 +218,41 @@ fn recycle_tridiag(a: BlockTridiag) {
     }
 }
 
+/// Fold per-point worker results into a [`CoverageReport`] under `policy`:
+/// successes flow into `keep`, failures are either fatal (fail-fast mode)
+/// or quarantined — counted, recorded with their flattened `grid_index`,
+/// and simply *absent* from the output tensors (which start zeroed, so a
+/// quarantined point contributes nothing rather than garbage). Exceeding
+/// `max_bad_fraction` makes the whole phase fail with the first recorded
+/// error as the representative root cause.
+fn apply_health_policy<T>(
+    results: Vec<Result<T, NumericalError>>,
+    grid_index: impl Fn(usize) -> usize,
+    policy: &HealthPolicy,
+    mut keep: impl FnMut(T),
+) -> Result<CoverageReport, NumericalError> {
+    let mut coverage = CoverageReport::full(results.len());
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(v) => keep(v),
+            Err(error) => {
+                if !policy.quarantine {
+                    return Err(error);
+                }
+                qt_telemetry::counters::add_quarantined_point();
+                coverage.quarantined.push(QuarantinedPoint {
+                    grid_index: grid_index(i),
+                    error,
+                });
+            }
+        }
+    }
+    if coverage.bad_fraction() > policy.max_bad_fraction {
+        return Err(coverage.quarantined[0].error.clone());
+    }
+    Ok(coverage)
+}
+
 /// Identity key of everything the electron contact self-energies depend
 /// on: the lead blocks of `H(kz)`/`S(kz)`, the energy grid and the
 /// broadening configuration.
@@ -234,7 +280,8 @@ fn electron_boundary_key(
     kh.f64(cfg.eta)
         .f64(cfg.boundary.eta)
         .u64(cfg.boundary.max_iter as u64)
-        .f64(cfg.boundary.tol);
+        .f64(cfg.boundary.tol)
+        .f64(cfg.boundary.eta_bump);
     kh.finish()
 }
 
@@ -258,7 +305,8 @@ fn phonon_boundary_key(phis: &[BlockTridiag], grids: &Grids, cfg: &GfConfig) -> 
         .f64(cfg.eta)
         .f64(cfg.boundary.eta)
         .u64(cfg.boundary.max_iter as u64)
-        .f64(cfg.boundary.tol);
+        .f64(cfg.boundary.tol)
+        .f64(cfg.boundary.eta_bump);
     kh.finish()
 }
 
@@ -270,7 +318,7 @@ pub fn electron_gf_phase(
     grids: &Grids,
     sse: &ElectronSelfEnergy,
     cfg: &GfConfig,
-) -> Result<ElectronGf, SingularMatrix> {
+) -> Result<ElectronGf, NumericalError> {
     electron_gf_phase_cached(dev, em, p, grids, sse, cfg, None)
 }
 
@@ -286,7 +334,7 @@ pub fn electron_gf_phase_cached(
     sse: &ElectronSelfEnergy,
     cfg: &GfConfig,
     cache: Option<&BoundaryCache>,
-) -> Result<ElectronGf, SingularMatrix> {
+) -> Result<ElectronGf, NumericalError> {
     let _span = qt_telemetry::Span::enter_global("gf/electron");
     let no = p.norb;
     let apb = dev.atoms_per_slab;
@@ -303,9 +351,10 @@ pub fn electron_gf_phase_cached(
         .flat_map(|k| (0..p.ne).map(move |e| (k, e)))
         .collect();
     type EPoint = (usize, usize, Vec<Complex64>, Vec<Complex64>, f64, Vec<f64>);
-    let results: Vec<Result<EPoint, SingularMatrix>> = points
+    let results: Vec<Result<EPoint, NumericalError>> = points
         .par_iter()
         .map(|&(k, e)| {
+            let point_idx = k * p.ne + e;
             let (h, s) = &hs[k];
             let energy = grids.energies[e];
             // Lead surface GF at finite broadening; device interior at
@@ -348,7 +397,7 @@ pub fn electron_gf_phase_cached(
             // Boundary self-energies: memoized per point when cached — the
             // decimation depends on neither the occupations nor the Born
             // iterate, so iteration 2+ replays the stored Σᴿ.
-            let compute_pair = || -> Result<(Matrix, Matrix), SingularMatrix> {
+            let compute_pair = || -> Result<(Matrix, Matrix), NumericalError> {
                 let sig_l = boundary::surface_self_energy(
                     z,
                     h.diag(0),
@@ -367,17 +416,20 @@ pub fn electron_gf_phase_cached(
                     Side::Right,
                     &cfg.boundary,
                 )?;
-                Ok((sig_l, sig_r))
+                Ok((sig_l.sigma, sig_r.sigma))
             };
             let view = cache.map(|c| c.view());
             let pair_storage;
             let (sig_l, sig_r): (&Matrix, &Matrix) = match &view {
                 Some(v) => {
-                    let pair = v.electron(k * p.ne + e, compute_pair)?;
+                    let pair = v
+                        .electron(point_idx, compute_pair)
+                        .map_err(|err| err.at("gf/electron", point_idx))?;
                     (&pair.0, &pair.1)
                 }
                 None => {
-                    pair_storage = compute_pair()?;
+                    pair_storage =
+                        compute_pair().map_err(|err| err.at("gf/electron", point_idx))?;
                     (&pair_storage.0, &pair_storage.1)
                 }
             };
@@ -420,7 +472,8 @@ pub fn electron_gf_phase_cached(
                     }
                 }
             }
-            let out = rgf::rgf(&a, &sig_lesser)?;
+            let out = rgf::rgf(&a, &sig_lesser)
+                .map_err(|_| NumericalError::singular("rgf", point_idx))?;
             // Gather per-atom diagonal blocks (these escape the worker, so
             // they stay on the regular heap).
             let mut gl = Vec::with_capacity(p.na * no * no);
@@ -452,6 +505,21 @@ pub fn electron_gf_phase_cached(
             }
             out.recycle();
             recycle_tridiag(a);
+            // Phase-boundary health check: everything escaping the worker
+            // must be finite, or downstream SSE convolutions smear the
+            // poison across the whole spectrum.
+            let finite = gl
+                .iter()
+                .chain(&gg)
+                .all(|v| v.re.is_finite() && v.im.is_finite())
+                && ispec.is_finite()
+                && bonds.iter().all(|j| j.is_finite());
+            if !finite {
+                return Err(NumericalError::NonFiniteTensor {
+                    phase: "gf/electron",
+                    index: point_idx,
+                });
+            }
             Ok((k, e, gl, gg, ispec, bonds))
         })
         .collect();
@@ -460,22 +528,30 @@ pub fn electron_gf_phase_cached(
     let mut current_spectrum = vec![0.0; p.nkz * p.ne];
     let mut current = 0.0;
     let mut bond_currents = vec![0.0; p.bnum - 1];
-    for r in results {
-        let (k, e, gl, gg, ispec, bonds) = r?;
-        g_lesser.inner_mut(&[k, e]).copy_from_slice(&gl);
-        g_greater.inner_mut(&[k, e]).copy_from_slice(&gg);
-        current_spectrum[k * p.ne + e] = ispec;
-        current += ispec * grids.de / p.nkz as f64;
-        for (acc, j) in bond_currents.iter_mut().zip(&bonds) {
-            *acc += j * grids.de / p.nkz as f64;
-        }
-    }
+    let coverage = apply_health_policy(
+        results,
+        |i| {
+            let (k, e) = points[i];
+            k * p.ne + e
+        },
+        &cfg.health,
+        |(k, e, gl, gg, ispec, bonds)| {
+            g_lesser.inner_mut(&[k, e]).copy_from_slice(&gl);
+            g_greater.inner_mut(&[k, e]).copy_from_slice(&gg);
+            current_spectrum[k * p.ne + e] = ispec;
+            current += ispec * grids.de / p.nkz as f64;
+            for (acc, j) in bond_currents.iter_mut().zip(&bonds) {
+                *acc += j * grids.de / p.nkz as f64;
+            }
+        },
+    )?;
     Ok(ElectronGf {
         g_lesser,
         g_greater,
         current_spectrum,
         current,
         bond_currents,
+        coverage,
     })
 }
 
@@ -487,7 +563,7 @@ pub fn phonon_gf_phase(
     grids: &Grids,
     sse: &PhononSelfEnergy,
     cfg: &GfConfig,
-) -> Result<PhononGf, SingularMatrix> {
+) -> Result<PhononGf, NumericalError> {
     phonon_gf_phase_cached(dev, pm, p, grids, sse, cfg, None)
 }
 
@@ -500,7 +576,7 @@ pub fn phonon_gf_phase_cached(
     sse: &PhononSelfEnergy,
     cfg: &GfConfig,
     cache: Option<&BoundaryCache>,
-) -> Result<PhononGf, SingularMatrix> {
+) -> Result<PhononGf, NumericalError> {
     let _span = qt_telemetry::Span::enter_global("gf/phonon");
     let apb = dev.atoms_per_slab;
     let phis: Vec<BlockTridiag> = grids.qz.iter().map(|&qz| pm.dynamical(dev, qz)).collect();
@@ -514,9 +590,10 @@ pub fn phonon_gf_phase_cached(
         .flat_map(|q| (0..p.nw).map(move |w| (q, w)))
         .collect();
     type PhRes = (usize, usize, Vec<Complex64>, Vec<Complex64>, f64);
-    let results: Vec<Result<PhRes, SingularMatrix>> = points
+    let results: Vec<Result<PhRes, NumericalError>> = points
         .par_iter()
         .map(|&(q, w)| {
+            let point_idx = q * p.nw + w;
             let phi = &phis[q];
             let omega = grids.omegas[w];
             let z = c64(omega * omega, cfg.eta * omega.max(grids.de));
@@ -548,7 +625,7 @@ pub fn phonon_gf_phase_cached(
             let mut a = BlockTridiag::from_blocks(a_diag, a_upper, a_lower);
             // Boundary (equilibrium phonon baths at both contacts),
             // memoized per (qz, ω) point when cached.
-            let compute_pair = || -> Result<(Matrix, Matrix), SingularMatrix> {
+            let compute_pair = || -> Result<(Matrix, Matrix), NumericalError> {
                 let pi_l = boundary::surface_self_energy(
                     z,
                     phi.diag(0),
@@ -567,17 +644,19 @@ pub fn phonon_gf_phase_cached(
                     Side::Right,
                     &cfg.boundary,
                 )?;
-                Ok((pi_l, pi_r))
+                Ok((pi_l.sigma, pi_r.sigma))
             };
             let view = cache.map(|c| c.view());
             let pair_storage;
             let (pi_l, pi_r): (&Matrix, &Matrix) = match &view {
                 Some(v) => {
-                    let pair = v.phonon(q * p.nw + w, compute_pair)?;
+                    let pair = v
+                        .phonon(point_idx, compute_pair)
+                        .map_err(|err| err.at("gf/phonon", point_idx))?;
                     (&pair.0, &pair.1)
                 }
                 None => {
-                    pair_storage = compute_pair()?;
+                    pair_storage = compute_pair().map_err(|err| err.at("gf/phonon", point_idx))?;
                     (&pair_storage.0, &pair_storage.1)
                 }
             };
@@ -607,7 +686,7 @@ pub fn phonon_gf_phase_cached(
                 for i in 0..N3D {
                     for j in 0..N3D {
                         let pr = (g_blk[i * N3D + j] - l_blk[i * N3D + j]).scale(0.5);
-                        dst[(ra + i, rb + j)] = dst[(ra + i, rb + j)] - pr;
+                        dst[(ra + i, rb + j)] -= pr;
                     }
                 }
             };
@@ -641,7 +720,8 @@ pub fn phonon_gf_phase_cached(
                     }
                 }
             }
-            let out = rgf::rgf(&a, &sig_lesser)?;
+            let out = rgf::rgf(&a, &sig_lesser)
+                .map_err(|_| NumericalError::singular("rgf", point_idx))?;
             // Off-diagonal D images, once per point into pooled buffers
             // (the old path re-derived them per atom pair):
             // G<_{n,n+1} = −(G<_{n+1,n})†, G>_{n,n+1} and G>_{n+1,n}.
@@ -719,22 +799,42 @@ pub fn phonon_gf_phase_cached(
             }
             out.recycle();
             recycle_tridiag(a);
+            // Phase-boundary health check (see the electron phase).
+            let finite = dl
+                .iter()
+                .chain(&dg)
+                .all(|v| v.re.is_finite() && v.im.is_finite())
+                && espec.is_finite();
+            if !finite {
+                return Err(NumericalError::NonFiniteTensor {
+                    phase: "gf/phonon",
+                    index: point_idx,
+                });
+            }
             Ok((q, w, dl, dg, espec))
         })
         .collect();
     let mut d_lesser = Tensor::zeros(&[p.nqz, p.nw, p.na, p.nb + 1, N3D, N3D]);
     let mut d_greater = Tensor::zeros(&[p.nqz, p.nw, p.na, p.nb + 1, N3D, N3D]);
     let mut energy_current = 0.0;
-    for r in results {
-        let (q, w, dl, dg, espec) = r?;
-        d_lesser.inner_mut(&[q, w]).copy_from_slice(&dl);
-        d_greater.inner_mut(&[q, w]).copy_from_slice(&dg);
-        energy_current += espec * grids.de / p.nqz as f64;
-    }
+    let coverage = apply_health_policy(
+        results,
+        |i| {
+            let (q, w) = points[i];
+            q * p.nw + w
+        },
+        &cfg.health,
+        |(q, w, dl, dg, espec)| {
+            d_lesser.inner_mut(&[q, w]).copy_from_slice(&dl);
+            d_greater.inner_mut(&[q, w]).copy_from_slice(&dg);
+            energy_current += espec * grids.de / p.nqz as f64;
+        },
+    )?;
     Ok(PhononGf {
         d_lesser,
         d_greater,
         energy_current,
+        coverage,
     })
 }
 

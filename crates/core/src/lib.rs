@@ -1,10 +1,12 @@
 //! # qt-core — dissipative quantum transport (NEGF) core
 pub mod boundary;
+pub mod checkpoint;
 pub mod device;
 pub mod flops;
 pub mod gf;
 pub mod grids;
 pub mod hamiltonian;
+pub mod health;
 pub mod observables;
 pub mod params;
 pub mod rgf;

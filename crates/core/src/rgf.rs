@@ -78,6 +78,27 @@ impl RgfOutput {
         gg
     }
 
+    /// True when every output block is finite (no NaN, no ±Inf) — the
+    /// phase-boundary health check the GF phases run before letting RGF
+    /// output flow into the SSE convolutions.
+    pub fn is_finite(&self) -> bool {
+        [
+            &self.gr_diag,
+            &self.gl_diag,
+            &self.gg_diag,
+            &self.gr_lower,
+            &self.gr_upper,
+            &self.gl_lower,
+        ]
+        .into_iter()
+        .flatten()
+        .all(|m| {
+            m.as_slice()
+                .iter()
+                .all(|z| z.re.is_finite() && z.im.is_finite())
+        })
+    }
+
     /// Return every block to the calling thread's workspace pool. The
     /// Green's-function phases call this once a point's output has been
     /// consumed, so the next (E, kz) point on this worker re-uses the same

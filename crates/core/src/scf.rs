@@ -8,13 +8,15 @@
 //! Linear mixing of the self-energies damps the Born iteration.
 
 use crate::boundary::BoundaryCache;
+use crate::checkpoint::{CheckpointConfig, ScfCheckpoint};
 use crate::device::Device;
 use crate::gf::{self, ElectronGf, ElectronSelfEnergy, GfConfig, PhononGf, PhononSelfEnergy};
 use crate::grids::Grids;
 use crate::hamiltonian::{ElectronModel, PhononModel};
+use crate::health::NumericalError;
 use crate::params::SimParams;
 use crate::sse::{self, SseInputs, SseVariant};
-use qt_linalg::{SingularMatrix, Tensor};
+use qt_linalg::Tensor;
 
 /// Everything needed to run a simulation, bundled.
 pub struct Simulation {
@@ -62,6 +64,11 @@ pub struct ScfConfig {
     pub tolerance: f64,
     /// Linear mixing factor in `(0, 1]` applied to new self-energies.
     pub mixing: f64,
+    /// Residual-divergence recovery: when true (default) the effective
+    /// mixing factor is halved whenever the residual grows and cautiously
+    /// restored toward `mixing` on sustained decrease. The per-iteration
+    /// effective factor is recorded in the trajectory.
+    pub adaptive_mixing: bool,
     /// Which SSE kernel implementation to use.
     pub variant: SseVariant,
     pub gf: GfConfig,
@@ -73,9 +80,91 @@ impl Default for ScfConfig {
             max_iterations: 15,
             tolerance: 1e-6,
             mixing: 0.5,
+            adaptive_mixing: true,
             variant: SseVariant::Dace,
             gf: GfConfig::default(),
         }
+    }
+}
+
+/// Residual growth beyond this factor counts as divergence (small slack so
+/// ordinary non-monotonic wiggles near convergence don't trigger backoff).
+const MIXING_GROWTH_TRIGGER: f64 = 1.05;
+/// Consecutive residual decreases required before restoring mixing.
+const MIXING_RESTORE_STREAK: u32 = 2;
+
+/// Adaptive damping of the Born iteration: halve the effective mixing
+/// factor when the `G<` residual grows (the classic signature of an
+/// over-aggressive linear mixing), restore it multiplicatively toward the
+/// configured base after sustained decrease. The controller never exceeds
+/// the base factor and never drops below `base/64` (at that point damping
+/// is no longer the problem).
+#[derive(Clone, Copy, Debug)]
+pub struct MixingController {
+    base: f64,
+    /// Effective mixing factor applied this iteration.
+    pub current: f64,
+    prev: Option<f64>,
+    streak: u32,
+    enabled: bool,
+}
+
+impl MixingController {
+    pub fn new(base: f64, enabled: bool) -> Self {
+        MixingController {
+            base,
+            current: base,
+            prev: None,
+            streak: 0,
+            enabled,
+        }
+    }
+
+    /// Rebuild mid-run state from a checkpoint.
+    pub fn restore(base: f64, enabled: bool, ck: &ScfCheckpoint) -> Self {
+        MixingController {
+            base,
+            current: if enabled { ck.mixing_current } else { base },
+            prev: ck.prev_residual,
+            streak: ck.decrease_streak,
+            enabled,
+        }
+    }
+
+    /// Feed the residual observed *before* this iteration's mixing step;
+    /// adjusts `current` for the upcoming mix. Non-finite residuals (the
+    /// first iteration has none) leave the state untouched.
+    pub fn observe(&mut self, res: f64) {
+        if !self.enabled || !res.is_finite() {
+            return;
+        }
+        if let Some(prev) = self.prev {
+            if res > prev * MIXING_GROWTH_TRIGGER {
+                let floor = self.base / 64.0;
+                if self.current > floor {
+                    self.current = (self.current * 0.5).max(floor);
+                    qt_telemetry::counters::add_mixing_backoff();
+                }
+                self.streak = 0;
+            } else if res < prev {
+                self.streak += 1;
+                if self.streak >= MIXING_RESTORE_STREAK && self.current < self.base {
+                    self.current = (self.current * 1.5).min(self.base);
+                    self.streak = 0;
+                }
+            } else {
+                self.streak = 0;
+            }
+        }
+        self.prev = Some(res);
+    }
+
+    fn prev_residual(&self) -> Option<f64> {
+        self.prev
+    }
+
+    fn streak(&self) -> u32 {
+        self.streak
     }
 }
 
@@ -103,6 +192,9 @@ pub struct IterationRecord {
     /// Contact self-energies recomputed (boundary-cache misses) this
     /// iteration; 0 from iteration 2 on when the cache is warm.
     pub boundary_misses: u64,
+    /// Grid points quarantined by the health guards this iteration
+    /// (electron + phonon phases combined).
+    pub quarantined: u64,
 }
 
 /// Outcome of the self-consistent loop.
@@ -130,7 +222,25 @@ fn mix_tensor(old: &mut Tensor, new: &Tensor, mix: f64) {
 }
 
 /// Run the GF ↔ SSE loop to convergence.
-pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularMatrix> {
+pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, NumericalError> {
+    run_scf_resumable(sim, cfg, None, None)
+}
+
+/// [`run_scf`] with optional checkpointing (write a [`ScfCheckpoint`]
+/// every `ckpt.every` iterations) and optional resume (continue from a
+/// previously saved checkpoint instead of `Σ = Π = 0`).
+///
+/// Resuming restores the mixed self-energies, the previous `G<` iterate,
+/// both histories and the adaptive-mixing state, so a killed-then-resumed
+/// run walks the same residual trajectory as an uninterrupted one.
+/// `ScfResult::iterations` counts only the iterations executed by *this*
+/// call; `residuals`/`current_history` cover the whole run.
+pub fn run_scf_resumable(
+    sim: &Simulation,
+    cfg: &ScfConfig,
+    ckpt: Option<&CheckpointConfig>,
+    resume: Option<ScfCheckpoint>,
+) -> Result<ScfResult, NumericalError> {
     let _scf_span = qt_telemetry::Span::enter_global("scf");
     let p = &sim.p;
     let mut sigma = ElectronSelfEnergy::zeros(p);
@@ -139,22 +249,37 @@ pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularM
     let mut current_history = Vec::new();
     let mut trajectory = Vec::new();
     let mut prev_gl: Option<Tensor> = None;
+    let mut mixer = MixingController::new(cfg.mixing, cfg.adaptive_mixing);
+    let mut start = 0;
+    if let Some(ck) = resume {
+        sigma = ck.sigma.clone();
+        pi = ck.pi.clone();
+        residuals = ck.residuals.clone();
+        current_history = ck.current_history.clone();
+        prev_gl = ck.prev_gl.clone();
+        mixer = MixingController::restore(cfg.mixing, cfg.adaptive_mixing, &ck);
+        // Always run at least one iteration so the result carries GF
+        // tensors, even when the checkpoint already reached max_iterations.
+        start = ck.iteration.min(cfg.max_iterations.saturating_sub(1));
+    }
     let mut converged = false;
     let mut electron = None;
     let mut phonon = None;
     let mut iterations = 0;
-    for iter in 0..cfg.max_iterations {
+    for iter in start..cfg.max_iterations {
         let _iter_span = qt_telemetry::Span::enter_global("scf_iter");
         let iter_t0 = std::time::Instant::now();
         let alloc0 = qt_telemetry::counters::total_alloc_bytes();
         let fresh0 = qt_telemetry::counters::total_ws_fresh();
         let miss0 = qt_telemetry::counters::total_boundary_misses();
+        let quar0 = qt_telemetry::counters::total_quarantined_points();
         let iter_counters = |t0: std::time::Instant| {
             (
                 t0.elapsed().as_secs_f64(),
                 qt_telemetry::counters::total_alloc_bytes() - alloc0,
                 qt_telemetry::counters::total_ws_fresh() - fresh0,
                 qt_telemetry::counters::total_boundary_misses() - miss0,
+                qt_telemetry::counters::total_quarantined_points() - quar0,
             )
         };
         iterations += 1;
@@ -195,18 +320,24 @@ pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularM
             residuals.push(res);
         }
         prev_gl = Some(egf.g_lesser.clone());
+        // Divergence detection: adjust the effective mixing factor *before*
+        // this iteration's mixing step, so a growing residual is damped
+        // immediately rather than one iteration late.
+        mixer.observe(res);
         if res < cfg.tolerance {
             converged = true;
-            let (wall, alloc_bytes, ws_fresh, boundary_misses) = iter_counters(iter_t0);
+            let (wall, alloc_bytes, ws_fresh, boundary_misses, quarantined) =
+                iter_counters(iter_t0);
             trajectory.push(IterationRecord {
                 iteration: iter,
                 residual: res.is_finite().then_some(res),
-                mixing: cfg.mixing,
+                mixing: mixer.current,
                 wall_seconds: wall,
                 current: egf.current,
                 alloc_bytes,
                 ws_fresh,
                 boundary_misses,
+                quarantined,
             });
             electron = Some(egf);
             phonon = Some(pgf);
@@ -228,23 +359,44 @@ pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, SingularM
         sse::stabilize_sigma(&mut new_sigma, p);
         let mut new_pi = sse::pi(&inputs, cfg.variant);
         sse::stabilize_pi(&mut new_pi, p);
-        mix_tensor(&mut sigma.lesser, &new_sigma.lesser, cfg.mixing);
-        mix_tensor(&mut sigma.greater, &new_sigma.greater, cfg.mixing);
-        mix_tensor(&mut pi.lesser, &new_pi.lesser, cfg.mixing);
-        mix_tensor(&mut pi.greater, &new_pi.greater, cfg.mixing);
-        let (wall, alloc_bytes, ws_fresh, boundary_misses) = iter_counters(iter_t0);
+        mix_tensor(&mut sigma.lesser, &new_sigma.lesser, mixer.current);
+        mix_tensor(&mut sigma.greater, &new_sigma.greater, mixer.current);
+        mix_tensor(&mut pi.lesser, &new_pi.lesser, mixer.current);
+        mix_tensor(&mut pi.greater, &new_pi.greater, mixer.current);
+        let (wall, alloc_bytes, ws_fresh, boundary_misses, quarantined) = iter_counters(iter_t0);
         trajectory.push(IterationRecord {
             iteration: iter,
             residual: res.is_finite().then_some(res),
-            mixing: cfg.mixing,
+            mixing: mixer.current,
             wall_seconds: wall,
             current: egf.current,
             alloc_bytes,
             ws_fresh,
             boundary_misses,
+            quarantined,
         });
         electron = Some(egf);
         phonon = Some(pgf);
+        if let Some(c) = ckpt {
+            if c.every > 0 && (iter + 1 - start) % c.every == 0 {
+                let snapshot = ScfCheckpoint {
+                    iteration: iter + 1,
+                    mixing_current: mixer.current,
+                    prev_residual: mixer.prev_residual(),
+                    decrease_streak: mixer.streak(),
+                    residuals: residuals.clone(),
+                    current_history: current_history.clone(),
+                    sigma: sigma.clone(),
+                    pi: pi.clone(),
+                    prev_gl: prev_gl.clone(),
+                };
+                // A failed write must not kill a healthy SCF run; surface
+                // it on stderr and keep iterating.
+                if let Err(err) = snapshot.save(&c.path) {
+                    eprintln!("warning: checkpoint write to {:?} failed: {err}", c.path);
+                }
+            }
+        }
     }
     Ok(ScfResult {
         converged,
@@ -331,7 +483,9 @@ mod tests {
         for (i, rec) in out.trajectory.iter().enumerate() {
             assert_eq!(rec.iteration, i);
             assert!(rec.wall_seconds >= 0.0);
-            assert_eq!(rec.mixing, cfg.mixing);
+            // The adaptive controller may damp below the configured base
+            // but never exceeds it.
+            assert!(rec.mixing > 0.0 && rec.mixing <= cfg.mixing);
             assert_eq!(rec.current, out.current_history[i]);
         }
         // The trajectory's finite residuals are exactly `residuals`.
@@ -364,6 +518,94 @@ mod tests {
             .unwrap();
         // Trajectory records the cache behaviour per iteration.
         assert!(out.trajectory[0].boundary_misses >= n_points);
+    }
+
+    #[test]
+    fn adaptive_mixing_recovers_divergent_full_mixing() {
+        // With the electron-phonon coupling boosted 12x the undamped Born
+        // iteration (mixing = 1.0) oscillates around a residual of ~0.2 and
+        // never converges; the adaptive controller must detect the growing
+        // residual, back off, converge, and record the mixing trajectory.
+        let boosted_sim = || {
+            let mut s = sim();
+            for z in s.dh.as_mut_slice() {
+                *z *= qt_linalg::c64(12.0, 0.0);
+            }
+            s
+        };
+        let mut cfg = ScfConfig {
+            max_iterations: 40,
+            tolerance: 1e-4,
+            mixing: 1.0,
+            adaptive_mixing: false,
+            ..Default::default()
+        };
+        cfg.gf.contacts.mu_left = 0.3;
+        cfg.gf.contacts.mu_right = -0.3;
+        let fixed_diverges = match run_scf(&boosted_sim(), &cfg) {
+            Ok(r) => !r.converged,
+            Err(_) => true,
+        };
+        assert!(
+            fixed_diverges,
+            "undamped Born iteration must diverge for this test to bite"
+        );
+        cfg.adaptive_mixing = true;
+        let backoffs0 = qt_telemetry::counters::total_mixing_backoffs();
+        let adaptive = run_scf(&boosted_sim(), &cfg).unwrap();
+        assert!(
+            adaptive.converged,
+            "adaptive backoff must rescue mixing = 1.0; residuals: {:?}",
+            adaptive.residuals
+        );
+        assert!(
+            adaptive.trajectory.iter().any(|r| r.mixing < cfg.mixing),
+            "trajectory must log the backed-off mixing factors"
+        );
+        assert!(qt_telemetry::counters::total_mixing_backoffs() > backoffs0);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted() {
+        use crate::checkpoint::{CheckpointConfig, ScfCheckpoint};
+        let cfg = ScfConfig {
+            max_iterations: 6,
+            tolerance: 1e-12, // force full iterations in both runs
+            ..Default::default()
+        };
+        let full = run_scf(&sim(), &cfg).unwrap();
+        // "Killed" run: 3 iterations with a checkpoint after each.
+        let dir = std::env::temp_dir().join("qt-scf-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scf.ckpt");
+        let ck_cfg = CheckpointConfig {
+            path: path.clone(),
+            every: 1,
+        };
+        let mut cfg_short = cfg;
+        cfg_short.max_iterations = 3;
+        run_scf_resumable(&sim(), &cfg_short, Some(&ck_cfg), None).unwrap();
+        let ck = ScfCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.iteration, 3);
+        std::fs::remove_file(&path).unwrap();
+        // Resume in a fresh process-equivalent (new Simulation, cold
+        // boundary cache) and finish the remaining iterations.
+        let resumed = run_scf_resumable(&sim(), &cfg, None, Some(ck)).unwrap();
+        assert_eq!(resumed.residuals.len(), full.residuals.len());
+        for (i, (a, b)) in resumed.residuals.iter().zip(&full.residuals).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12 * b.abs().max(1e-30),
+                "residual {i} after resume: {a} vs uninterrupted {b}"
+            );
+        }
+        let (ra, rb) = (
+            resumed.current_history.last().unwrap(),
+            full.current_history.last().unwrap(),
+        );
+        assert!(
+            (ra - rb).abs() <= 1e-12 * rb.abs().max(1e-30),
+            "final current after resume: {ra} vs {rb}"
+        );
     }
 
     #[test]

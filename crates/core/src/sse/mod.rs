@@ -349,6 +349,7 @@ mod tests {
             d_lesser: Tensor::zeros(&[fx.p.nqz, fx.p.nw, fx.p.na, fx.p.nb + 1, N3D, N3D]),
             d_greater: Tensor::zeros(&[fx.p.nqz, fx.p.nw, fx.p.na, fx.p.nb + 1, N3D, N3D]),
             energy_current: 0.0,
+            coverage: crate::health::CoverageReport::full(fx.p.nqz * fx.p.nw),
         };
         // Fill every block with the same anti-Hermitian matrix.
         let blk = [

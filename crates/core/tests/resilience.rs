@@ -1,0 +1,176 @@
+//! Resilience integration tests: quarantine containment and
+//! always-finite SCF trajectories.
+
+use proptest::prelude::*;
+use qt_core::device::Device;
+use qt_core::gf::{self, ElectronSelfEnergy, GfConfig};
+use qt_core::grids::Grids;
+use qt_core::hamiltonian::ElectronModel;
+use qt_core::health::{HealthPolicy, NumericalError};
+use qt_core::params::SimParams;
+
+fn small_params() -> SimParams {
+    SimParams {
+        nkz: 2,
+        nqz: 2,
+        ne: 8,
+        nw: 2,
+        na: 8,
+        nb: 3,
+        norb: 2,
+        bnum: 4,
+    }
+}
+
+/// A NaN seeded into the self-energy of one `(kz, E)` point must
+/// quarantine exactly that point: its `G≷` slices stay zero, every other
+/// point matches the clean run bitwise, and the coverage report names it.
+#[test]
+fn seeded_nan_is_quarantined_without_corrupting_neighbors() {
+    let p = small_params();
+    let dev = Device::new(&p);
+    let em = ElectronModel::for_params(&p);
+    let grids = Grids::new(&p, -1.2, 1.2);
+    let cfg = GfConfig::default();
+    let clean = gf::electron_gf_phase(&dev, &em, &p, &grids, &ElectronSelfEnergy::zeros(&p), &cfg)
+        .expect("clean run");
+    assert!(clean.coverage.is_full());
+
+    let (bad_k, bad_e) = (1usize, 3usize);
+    let mut sigma = ElectronSelfEnergy::zeros(&p);
+    sigma.lesser.inner_mut(&[bad_k, bad_e, 0])[0] = qt_linalg::c64(f64::NAN, 0.0);
+    let poisoned =
+        gf::electron_gf_phase(&dev, &em, &p, &grids, &sigma, &cfg).expect("quarantine absorbs it");
+
+    let bad_idx = bad_k * p.ne + bad_e;
+    assert_eq!(poisoned.coverage.total_points, p.nkz * p.ne);
+    assert_eq!(poisoned.coverage.quarantined.len(), 1);
+    assert_eq!(poisoned.coverage.quarantined[0].grid_index, bad_idx);
+    assert!(!poisoned.coverage.is_full());
+    assert!(poisoned.coverage.bad_fraction() > 0.0);
+
+    for k in 0..p.nkz {
+        for e in 0..p.ne {
+            for a in 0..p.na {
+                let (got_l, want_l) = (
+                    poisoned.g_lesser.inner(&[k, e, a]),
+                    clean.g_lesser.inner(&[k, e, a]),
+                );
+                let (got_g, want_g) = (
+                    poisoned.g_greater.inner(&[k, e, a]),
+                    clean.g_greater.inner(&[k, e, a]),
+                );
+                if (k, e) == (bad_k, bad_e) {
+                    assert!(
+                        got_l
+                            .iter()
+                            .chain(got_g)
+                            .all(|z| z.re == 0.0 && z.im == 0.0),
+                        "quarantined point must be zero-filled"
+                    );
+                } else {
+                    assert_eq!(got_l, want_l, "neighbor ({k},{e},{a}) G< corrupted");
+                    assert_eq!(got_g, want_g, "neighbor ({k},{e},{a}) G> corrupted");
+                }
+            }
+        }
+    }
+    // Every kept value is finite.
+    assert!(poisoned
+        .g_lesser
+        .as_slice()
+        .iter()
+        .all(|z| z.re.is_finite() && z.im.is_finite()));
+}
+
+/// With quarantine disabled the same seed fails fast with a typed error
+/// instead of silently producing garbage.
+#[test]
+fn fail_fast_policy_surfaces_the_error() {
+    let p = small_params();
+    let dev = Device::new(&p);
+    let em = ElectronModel::for_params(&p);
+    let grids = Grids::new(&p, -1.2, 1.2);
+    let cfg = GfConfig {
+        health: HealthPolicy {
+            quarantine: false,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut sigma = ElectronSelfEnergy::zeros(&p);
+    sigma.lesser.inner_mut(&[0, 0, 0])[0] = qt_linalg::c64(f64::NAN, 0.0);
+    let err = gf::electron_gf_phase(&dev, &em, &p, &grids, &sigma, &cfg)
+        .expect_err("fail-fast policy must error");
+    match err {
+        NumericalError::NonFiniteTensor { .. } | NumericalError::SingularBlock { .. } => {}
+        other => panic!("unexpected error kind: {other}"),
+    }
+}
+
+/// A ceiling of zero tolerable bad points turns any quarantine into an
+/// error — the coverage floor of the ISSUE.
+#[test]
+fn bad_fraction_ceiling_is_enforced() {
+    let p = small_params();
+    let dev = Device::new(&p);
+    let em = ElectronModel::for_params(&p);
+    let grids = Grids::new(&p, -1.2, 1.2);
+    let cfg = GfConfig {
+        health: HealthPolicy {
+            quarantine: true,
+            max_bad_fraction: 0.0,
+        },
+        ..Default::default()
+    };
+    let mut sigma = ElectronSelfEnergy::zeros(&p);
+    sigma.lesser.inner_mut(&[0, 0, 0])[0] = qt_linalg::c64(f64::NAN, 0.0);
+    assert!(gf::electron_gf_phase(&dev, &em, &p, &grids, &sigma, &cfg).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever the mixing factor and bias, a short SCF run never records
+    /// a non-finite residual, current, or mixing value in its trajectory —
+    /// the health guards keep the loop's telemetry clean even when the
+    /// fixed-point iteration is stressed.
+    #[test]
+    fn scf_trajectories_stay_finite(
+        mixing in 0.05f64..=1.0,
+        bias in 0.0f64..0.4,
+    ) {
+        let p = SimParams {
+            nkz: 2,
+            nqz: 2,
+            ne: 6,
+            nw: 2,
+            na: 6,
+            nb: 3,
+            norb: 2,
+            bnum: 3,
+        };
+        let sim = qt_core::scf::Simulation::new(p, -1.0, 1.0);
+        let mut cfg = qt_core::scf::ScfConfig {
+            max_iterations: 4,
+            tolerance: 1e-9,
+            mixing,
+            ..Default::default()
+        };
+        cfg.gf.contacts.mu_left = bias;
+        cfg.gf.contacts.mu_right = -bias;
+        let out = qt_core::scf::run_scf(&sim, &cfg).expect("SCF runs");
+        prop_assert_eq!(out.trajectory.len(), out.iterations);
+        for rec in &out.trajectory {
+            if let Some(res) = rec.residual {
+                prop_assert!(res.is_finite() && res >= 0.0,
+                    "iteration {} residual {res}", rec.iteration);
+            }
+            prop_assert!(rec.current.is_finite());
+            prop_assert!(rec.mixing.is_finite() && rec.mixing > 0.0 && rec.mixing <= mixing);
+        }
+        for r in &out.residuals {
+            prop_assert!(r.is_finite());
+        }
+    }
+}

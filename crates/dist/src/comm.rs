@@ -9,16 +9,34 @@
 //! Messages are `Vec<Complex64>` payloads tagged with a `u64`; each ordered
 //! pair of ranks has its own FIFO channel, so point-to-point ordering is
 //! MPI-like. Sends are non-blocking (unbounded channels); receives block.
+//!
+//! With the `fault-inject` feature a world can carry a
+//! [`crate::fault::FaultPlan`]: every remote transmission then goes through
+//! a reliable-delivery protocol (checksummed frames, sender-side
+//! retransmission with exponential backoff, receiver-side timeout and
+//! discard of corrupted frames). Worlds without a plan — including every
+//! world built by [`ThreadComm::world`] — take exactly the fault-free path,
+//! so the byte-accounting model stays exact.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use qt_linalg::Complex64;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
+#[cfg(feature = "fault-inject")]
+use crate::fault::{self, FaultAction, FaultPlan};
+#[cfg(feature = "fault-inject")]
+use std::cell::RefCell;
+
 /// Bytes per payload element.
 pub const ELEM_BYTES: u64 = 16;
 
+#[cfg(not(feature = "fault-inject"))]
 type Payload = (u64, Vec<Complex64>);
+/// `(tag, data, checksum)` — the checksum is 0 and ignored unless the
+/// world carries a fault plan.
+#[cfg(feature = "fault-inject")]
+type Payload = (u64, Vec<Complex64>, u64);
 
 struct WorldInner {
     n: usize,
@@ -29,6 +47,9 @@ struct WorldInner {
     /// Bytes received per rank.
     received: Vec<AtomicU64>,
     barrier: Barrier,
+    /// Installed fault schedule; `None` means the fault-free fast path.
+    #[cfg(feature = "fault-inject")]
+    plan: Option<Arc<FaultPlan>>,
 }
 
 /// One rank's endpoint.
@@ -37,11 +58,32 @@ pub struct ThreadComm {
     world: Arc<WorldInner>,
     /// `receivers[src]` yields messages sent by `src` to this rank.
     receivers: Vec<Receiver<Payload>>,
+    /// Per-destination ordinal of the next logical message, the `msg_idx`
+    /// fed to the deterministic fault schedule. Single-threaded per rank.
+    #[cfg(feature = "fault-inject")]
+    msg_seq: RefCell<Vec<u64>>,
 }
 
 impl ThreadComm {
     /// Create a world of `n` ranks; returns one endpoint per rank.
     pub fn world(n: usize) -> Vec<ThreadComm> {
+        #[cfg(feature = "fault-inject")]
+        return Self::build(n, None);
+        #[cfg(not(feature = "fault-inject"))]
+        Self::build(n)
+    }
+
+    /// Create a world whose remote traffic runs under `plan`'s fault
+    /// schedule and recovery protocol.
+    #[cfg(feature = "fault-inject")]
+    pub fn world_with_faults(n: usize, plan: FaultPlan) -> Vec<ThreadComm> {
+        Self::build(n, Some(Arc::new(plan)))
+    }
+
+    fn build(
+        n: usize,
+        #[cfg(feature = "fault-inject")] plan: Option<Arc<FaultPlan>>,
+    ) -> Vec<ThreadComm> {
         assert!(n > 0);
         let mut senders = vec![Vec::with_capacity(n); n];
         let mut receivers: Vec<Vec<Receiver<Payload>>> = (0..n).map(|_| Vec::new()).collect();
@@ -58,6 +100,8 @@ impl ThreadComm {
             sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
             received: (0..n).map(|_| AtomicU64::new(0)).collect(),
             barrier: Barrier::new(n),
+            #[cfg(feature = "fault-inject")]
+            plan,
         });
         receivers
             .into_iter()
@@ -66,6 +110,8 @@ impl ThreadComm {
                 rank,
                 world: inner.clone(),
                 receivers: rxs,
+                #[cfg(feature = "fault-inject")]
+                msg_seq: RefCell::new(vec![0; n]),
             })
             .collect()
     }
@@ -83,6 +129,12 @@ impl ThreadComm {
     /// Point-to-point send (non-blocking). Self-sends are allowed and do
     /// not count toward network bytes.
     pub fn send(&self, dst: usize, tag: u64, data: Vec<Complex64>) {
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.world.plan {
+            let plan = plan.clone();
+            self.send_with_plan(&plan, dst, tag, data);
+            return;
+        }
         let bytes = data.len() as u64 * ELEM_BYTES;
         if dst != self.rank {
             self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
@@ -93,20 +145,157 @@ impl ThreadComm {
             qt_telemetry::counters::add_bytes(bytes);
         }
         self.world.senders[dst][self.rank]
-            .send((tag, data))
+            .send(Self::frame(tag, data))
             .expect("receiver alive");
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[inline]
+    fn frame(tag: u64, data: Vec<Complex64>) -> Payload {
+        (tag, data)
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[inline]
+    fn frame(tag: u64, data: Vec<Complex64>) -> Payload {
+        (tag, data, 0)
+    }
+
+    /// Reliable send under a fault plan: each wire attempt rolls the
+    /// deterministic schedule; drops and corruptions trigger a
+    /// backed-off retransmission, and (under `guarantee_delivery`) the
+    /// final attempt always carries the clean frame — so the receiver
+    /// obtains the exact payload a fault-free run would.
+    #[cfg(feature = "fault-inject")]
+    fn send_with_plan(&self, plan: &FaultPlan, dst: usize, tag: u64, data: Vec<Complex64>) {
+        if dst == self.rank {
+            // Self-sends never cross the network: no faults, no bytes.
+            self.world.senders[dst][self.rank]
+                .send((tag, data, 0))
+                .expect("receiver alive");
+            return;
+        }
+        let msg_idx = {
+            let mut seq = self.msg_seq.borrow_mut();
+            let idx = seq[dst];
+            seq[dst] += 1;
+            idx
+        };
+        let bytes = data.len() as u64 * ELEM_BYTES;
+        let cksum = fault::checksum(&data);
+        let max = plan.retry.max_attempts.max(1);
+        let mut payload = Some(data);
+        for attempt in 0..max {
+            let is_last = attempt + 1 == max;
+            match plan.decide(self.rank, dst, msg_idx, attempt, is_last) {
+                FaultAction::Drop => {
+                    // The frame left this rank's NIC and vanished: the
+                    // send-side bytes are spent, nothing arrives.
+                    self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
+                    qt_telemetry::counters::add_bytes(bytes);
+                    qt_telemetry::counters::add_comm_retry();
+                    std::thread::sleep(plan.retry.backoff(attempt));
+                }
+                FaultAction::Corrupt => {
+                    // A mangled frame arrives (and costs both sides'
+                    // bytes); its checksum is broken so the receiver is
+                    // guaranteed to discard it and keep waiting.
+                    let garbage =
+                        fault::corrupted_copy(payload.as_deref().unwrap(), plan.seed ^ msg_idx);
+                    self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
+                    self.world.received[dst].fetch_add(bytes, Ordering::Relaxed);
+                    qt_telemetry::counters::add_bytes(bytes);
+                    qt_telemetry::counters::add_comm_retry();
+                    self.world.senders[dst][self.rank]
+                        .send((tag, garbage, cksum ^ fault::BROKEN_CHECKSUM_XOR))
+                        .expect("receiver alive");
+                    std::thread::sleep(plan.retry.backoff(attempt));
+                }
+                action @ (FaultAction::Deliver | FaultAction::Delay) => {
+                    if action == FaultAction::Delay {
+                        std::thread::sleep(plan.delay);
+                    }
+                    self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
+                    self.world.received[dst].fetch_add(bytes, Ordering::Relaxed);
+                    qt_telemetry::counters::add_bytes(bytes);
+                    self.world.senders[dst][self.rank]
+                        .send((tag, payload.take().expect("delivered once"), cksum))
+                        .expect("receiver alive");
+                    return;
+                }
+            }
+        }
+        panic!(
+            "rank {} -> {}: message {} exhausted {} attempts without delivery",
+            self.rank, dst, msg_idx, max
+        );
     }
 
     /// Blocking receive of the next message from `src`; asserts the tag
     /// matches (protocols here are deterministic).
     pub fn recv(&self, src: usize, tag: u64) -> Vec<Complex64> {
-        let (got_tag, data) = self.receivers[src].recv().expect("sender alive");
+        #[cfg(feature = "fault-inject")]
+        if let Some(plan) = &self.world.plan {
+            let plan = plan.clone();
+            return self.recv_with_plan(&plan, src, tag);
+        }
+        let payload = self.receivers[src].recv().expect("sender alive");
+        let (got_tag, data) = Self::unframe(payload);
         assert_eq!(
             got_tag, tag,
             "rank {} expected tag {tag} from {src}, got {got_tag}",
             self.rank
         );
         data
+    }
+
+    #[cfg(not(feature = "fault-inject"))]
+    #[inline]
+    fn unframe(p: Payload) -> (u64, Vec<Complex64>) {
+        p
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[inline]
+    fn unframe(p: Payload) -> (u64, Vec<Complex64>) {
+        (p.0, p.1)
+    }
+
+    /// Receive under a fault plan: validate the checksum, discard
+    /// corrupted frames (the retransmission is already on its way), and
+    /// bound how long a silent channel is tolerated via
+    /// `retry.recv_timeout` × `retry.max_attempts`.
+    #[cfg(feature = "fault-inject")]
+    fn recv_with_plan(&self, plan: &FaultPlan, src: usize, tag: u64) -> Vec<Complex64> {
+        use crossbeam::channel::RecvTimeoutError;
+        let mut timeouts = 0u32;
+        loop {
+            match self.receivers[src].recv_timeout(plan.retry.recv_timeout) {
+                Ok((got_tag, data, cksum)) => {
+                    if src == self.rank || fault::checksum(&data) == cksum {
+                        assert_eq!(
+                            got_tag, tag,
+                            "rank {} expected tag {tag} from {src}, got {got_tag}",
+                            self.rank
+                        );
+                        return data;
+                    }
+                    // Corrupted in transit: discard; the sender counted
+                    // the fault and is retransmitting.
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    timeouts += 1;
+                    qt_telemetry::counters::add_comm_retry();
+                    assert!(
+                        timeouts <= plan.retry.max_attempts,
+                        "rank {} timed out {timeouts} times waiting for tag {tag} from {src}",
+                        self.rank
+                    );
+                    std::thread::sleep(plan.retry.backoff(timeouts));
+                }
+                Err(RecvTimeoutError::Disconnected) => panic!("sender alive"),
+            }
+        }
     }
 
     /// Synchronize all ranks.
@@ -204,7 +393,34 @@ where
     T: Send,
     F: Fn(ThreadComm) -> T + Sync,
 {
-    let comms = ThreadComm::world(n);
+    run_comms(ThreadComm::world(n), f)
+}
+
+/// Run `f` on `n` ranks under `plan`'s deterministic fault schedule. The
+/// stalled rank (if any) sleeps `plan.stall` before starting its work, so
+/// every peer's receive path exercises the timeout/backoff protocol.
+#[cfg(feature = "fault-inject")]
+pub fn run_world_with_faults<T, F>(n: usize, plan: FaultPlan, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(ThreadComm) -> T + Sync,
+{
+    let stalled = plan.stalled_rank;
+    let stall = plan.stall;
+    let comms = ThreadComm::world_with_faults(n, plan);
+    run_comms(comms, move |comm| {
+        if stalled == Some(comm.rank()) {
+            std::thread::sleep(stall);
+        }
+        f(comm)
+    })
+}
+
+fn run_comms<T, F>(comms: Vec<ThreadComm>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(ThreadComm) -> T + Sync,
+{
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()

@@ -7,8 +7,14 @@
 
 pub mod comm;
 pub mod decomp;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod runner;
 pub mod schemes;
 pub mod volume;
 
+#[cfg(feature = "fault-inject")]
+pub use comm::run_world_with_faults;
 pub use comm::{run_world, ThreadComm};
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultAction, FaultPlan, RetryPolicy};

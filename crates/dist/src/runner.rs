@@ -16,9 +16,10 @@ use qt_core::device::Device;
 use qt_core::gf::{self, ElectronSelfEnergy, GfConfig, PhononSelfEnergy};
 use qt_core::grids::Grids;
 use qt_core::hamiltonian::{ElectronModel, PhononModel};
+use qt_core::health::NumericalError;
 use qt_core::params::SimParams;
 use qt_core::sse;
-use qt_linalg::{SingularMatrix, Tensor};
+use qt_linalg::Tensor;
 
 /// Result of one distributed iteration.
 pub struct DistIterationResult {
@@ -47,7 +48,46 @@ pub fn distributed_iteration(
     cfg: &GfConfig,
     te: usize,
     ta: usize,
-) -> Result<DistIterationResult, SingularMatrix> {
+) -> Result<DistIterationResult, NumericalError> {
+    distributed_iteration_impl(p, dev, em, pm, grids, cfg, te, ta, |ctx| {
+        dace_scheme(ctx, te, ta)
+    })
+}
+
+/// [`distributed_iteration`] with the SSE exchange running under a
+/// deterministic fault plan (the GF phase communicates nothing, so it is
+/// unaffected). With `guarantee_delivery` the result matches the
+/// fault-free run bitwise; only traffic and timing differ.
+#[cfg(feature = "fault-inject")]
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_iteration_with_faults(
+    p: &SimParams,
+    dev: &Device,
+    em: &ElectronModel,
+    pm: &PhononModel,
+    grids: &Grids,
+    cfg: &GfConfig,
+    te: usize,
+    ta: usize,
+    plan: crate::fault::FaultPlan,
+) -> Result<DistIterationResult, NumericalError> {
+    distributed_iteration_impl(p, dev, em, pm, grids, cfg, te, ta, move |ctx| {
+        crate::schemes::dace_scheme_with_faults(ctx, te, ta, plan)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn distributed_iteration_impl(
+    p: &SimParams,
+    dev: &Device,
+    em: &ElectronModel,
+    pm: &PhononModel,
+    grids: &Grids,
+    cfg: &GfConfig,
+    te: usize,
+    ta: usize,
+    sse_exchange: impl FnOnce(&SseDistContext<'_>) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats),
+) -> Result<DistIterationResult, NumericalError> {
     let _span = qt_telemetry::Span::enter_global("dist/iteration");
     let procs = te * ta;
     let dh = em.dh_tensor(dev);
@@ -56,7 +96,7 @@ pub fn distributed_iteration(
     // into the global tensors that seed the SSE exchange, mirroring how
     // each MPI rank would hold its slice in place.)
     let dec = OmenDecomp::new(p, procs);
-    let chunks: Vec<Result<(usize, gf::ElectronGf), SingularMatrix>> = run_world(procs, |comm| {
+    let chunks: Vec<Result<(usize, gf::ElectronGf), NumericalError>> = run_world(procs, |comm| {
         let rank = comm.rank();
         let my_e = dec.energy.range(rank);
         // Solve only this rank's energies: narrow the grid.
@@ -107,7 +147,7 @@ pub fn distributed_iteration(
         d_lesser_pre: &dl,
         d_greater_pre: &dg,
     };
-    let (sigma, pi, stats) = dace_scheme(&ctx, te, ta);
+    let (sigma, pi, stats) = sse_exchange(&ctx);
     Ok(DistIterationResult {
         sigma,
         pi,

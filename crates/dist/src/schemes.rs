@@ -444,12 +444,38 @@ pub fn dace_scheme(
     ta: usize,
 ) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats) {
     let _span = qt_telemetry::Span::enter_global("comm/dace_scheme");
+    let results = run_world(te * ta, |comm: ThreadComm| {
+        dace_rank_body(ctx, te, ta, comm)
+    });
+    collect_results(results)
+}
+
+/// [`dace_scheme`] on a world carrying a deterministic fault plan: the
+/// same per-rank protocol, but every remote transmission goes through the
+/// reliable-delivery layer of [`crate::comm`].
+#[cfg(feature = "fault-inject")]
+pub fn dace_scheme_with_faults(
+    ctx: &SseDistContext<'_>,
+    te: usize,
+    ta: usize,
+    plan: crate::fault::FaultPlan,
+) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats) {
+    let _span = qt_telemetry::Span::enter_global("comm/dace_scheme_faulty");
+    let results = crate::comm::run_world_with_faults(te * ta, plan, |comm: ThreadComm| {
+        dace_rank_body(ctx, te, ta, comm)
+    });
+    collect_results(results)
+}
+
+/// One rank's share of the DaCe scheme: the two all-to-alls, the local
+/// SSE, the Π reduction, and the gather to root.
+fn dace_rank_body(ctx: &SseDistContext<'_>, te: usize, ta: usize, comm: ThreadComm) -> RankResult {
     let p = ctx.p;
     let nn = p.norb * p.norb;
     let scale = c64(sse::sigma_scale(p, ctx.grids), 0.0);
     let procs = te * ta;
     let halo = ctx.dev.max_neighbor_index_distance();
-    let results = run_world(procs, |comm: ThreadComm| {
+    {
         let rank = comm.rank();
         let dec = DaceDecomp::new(p, te, ta);
         let gf_dec = OmenDecomp::new(p, procs); // initial GF-phase layout
@@ -774,8 +800,7 @@ pub fn dace_scheme(
             }
             (None, stats)
         }
-    });
-    collect_results(results)
+    }
 }
 
 /// Atom window using the device's exact neighbor-index halo.

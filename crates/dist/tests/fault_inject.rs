@@ -1,0 +1,152 @@
+//! Chaos tests (feature `fault-inject`): the distributed iteration must
+//! survive a seeded schedule of dropped, corrupted, and delayed messages
+//! plus a stalled rank, and still produce the fault-free answer.
+#![cfg(feature = "fault-inject")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use qt_core::device::Device;
+use qt_core::gf::GfConfig;
+use qt_core::grids::Grids;
+use qt_core::hamiltonian::{ElectronModel, PhononModel};
+use qt_core::params::SimParams;
+use qt_dist::runner::{distributed_iteration, distributed_iteration_with_faults};
+use qt_dist::{run_world_with_faults, FaultPlan, RetryPolicy};
+use qt_linalg::c64;
+
+fn fixture() -> (SimParams, Device, ElectronModel, PhononModel, Grids) {
+    let p = SimParams {
+        nkz: 2,
+        nqz: 2,
+        ne: 12,
+        nw: 2,
+        na: 12,
+        nb: 3,
+        norb: 2,
+        bnum: 4,
+    };
+    let dev = Device::new(&p);
+    let em = ElectronModel::for_params(&p);
+    let pm = PhononModel::default();
+    let grids = Grids::new(&p, -1.2, 1.2);
+    (p, dev, em, pm, grids)
+}
+
+/// Drops + corruption + a stalled rank: the ISSUE's headline scenario.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_drops(150)
+        .with_corruption(100)
+        .with_delays(50)
+        .with_stalled_rank(1, Duration::from_millis(20))
+}
+
+#[test]
+fn faulty_iteration_matches_fault_free_run() {
+    let (p, dev, em, pm, grids) = fixture();
+    let cfg = GfConfig::default();
+    let clean = distributed_iteration(&p, &dev, &em, &pm, &grids, &cfg, 2, 2).unwrap();
+    let retries0 = qt_telemetry::counters::total_comm_retries();
+    let faulty =
+        distributed_iteration_with_faults(&p, &dev, &em, &pm, &grids, &cfg, 2, 2, chaos_plan(2024))
+            .unwrap();
+    // guarantee_delivery retransmits the exact payload, so the results are
+    // bitwise identical — well inside the 1e-10 acceptance bound.
+    for (name, a, b) in [
+        ("sigma lesser", &clean.sigma.lesser, &faulty.sigma.lesser),
+        ("sigma greater", &clean.sigma.greater, &faulty.sigma.greater),
+        ("pi lesser", &clean.pi.lesser, &faulty.pi.lesser),
+        ("pi greater", &clean.pi.greater, &faulty.pi.greater),
+    ] {
+        let rel = a.max_abs_diff(b) / a.norm().max(1e-30);
+        assert!(rel <= 1e-10, "{name}: rel {rel}");
+    }
+    // Faults actually fired: the protocol retried, and retransmissions
+    // cost extra wire bytes on top of the clean volume.
+    assert!(
+        qt_telemetry::counters::total_comm_retries() > retries0,
+        "chaos plan must trigger retries"
+    );
+    assert!(
+        faulty.sse_bytes > clean.sse_bytes,
+        "retransmissions must cost bytes: faulty {} vs clean {}",
+        faulty.sse_bytes,
+        clean.sse_bytes
+    );
+}
+
+#[test]
+fn faulty_runs_are_deterministic() {
+    let (p, dev, em, pm, grids) = fixture();
+    let cfg = GfConfig::default();
+    let run = || {
+        distributed_iteration_with_faults(&p, &dev, &em, &pm, &grids, &cfg, 2, 2, chaos_plan(7))
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.sigma.lesser.as_slice(), b.sigma.lesser.as_slice());
+    assert_eq!(a.sigma.greater.as_slice(), b.sigma.greater.as_slice());
+    assert_eq!(
+        a.comm.rank_sent, b.comm.rank_sent,
+        "the fault schedule (and thus the retransmission traffic) is a pure function of the seed"
+    );
+}
+
+#[test]
+fn different_seeds_change_the_traffic() {
+    let (p, dev, em, pm, grids) = fixture();
+    let cfg = GfConfig::default();
+    let bytes = |seed| {
+        distributed_iteration_with_faults(&p, &dev, &em, &pm, &grids, &cfg, 2, 2, chaos_plan(seed))
+            .unwrap()
+            .sse_bytes
+    };
+    assert_ne!(bytes(1), bytes(2));
+}
+
+#[test]
+fn collectives_survive_heavy_faults() {
+    // Broadcast + allreduce + alltoallv under a 30% fault rate still
+    // produce exact results on every rank.
+    let plan = FaultPlan::new(11).with_drops(200).with_corruption(100);
+    let out = run_world_with_faults(4, plan, |comm| {
+        let b = comm.bcast(0, (comm.rank() == 0).then(|| vec![c64(2.5, 0.0); 3]), 1);
+        let r = comm.allreduce_sum(vec![c64(1.0, comm.rank() as f64)], 2);
+        let sendbufs = (0..4)
+            .map(|dst| vec![c64(comm.rank() as f64, dst as f64); 2])
+            .collect();
+        let a = comm.alltoallv(sendbufs, 3);
+        comm.barrier();
+        let a_ok = (0..4).all(|src| a[src][0] == c64(src as f64, comm.rank() as f64));
+        (b[0], r[0], a_ok)
+    });
+    for (b, r, a_ok) in out {
+        assert_eq!(b, c64(2.5, 0.0));
+        assert_eq!(r, c64(4.0, 6.0));
+        assert!(a_ok);
+    }
+}
+
+#[test]
+fn retry_exhaustion_panics_when_delivery_not_guaranteed() {
+    // Everything drops and the sender is only allowed two attempts: the
+    // bounded-retry protocol must give up loudly, not hang.
+    let plan = FaultPlan::new(3).with_drops(1000).with_retry(RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_micros(50),
+        recv_timeout: Duration::from_millis(20),
+        guarantee_delivery: false,
+    });
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_world_with_faults(2, plan, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 9, vec![c64(1.0, 0.0)]);
+            } else {
+                comm.recv(0, 9);
+            }
+        })
+    }));
+    assert!(result.is_err(), "exhausted retries must surface as a panic");
+}

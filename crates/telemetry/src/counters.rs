@@ -25,7 +25,12 @@ const ALLOC_COUNT: usize = 7;
 const WS_FRESH: usize = 8;
 const BOUNDARY_HITS: usize = 9;
 const BOUNDARY_MISSES: usize = 10;
-const N_COUNTERS: usize = 11;
+const HEALTH_QUARANTINED: usize = 11;
+const HEALTH_ETA_RETRIES: usize = 12;
+const HEALTH_MIXING_BACKOFFS: usize = 13;
+const HEALTH_COMM_RETRIES: usize = 14;
+const HEALTH_CKPT_WRITES: usize = 15;
+const N_COUNTERS: usize = 16;
 
 #[derive(Default)]
 struct Cell {
@@ -119,6 +124,42 @@ pub fn add_boundary_miss() {
     bump(BOUNDARY_MISSES, 1);
 }
 
+/// Account one quarantined `(E, kz)` / `(ω, qz)` grid point: a point whose
+/// Green's functions failed a numerical-health check (singular block,
+/// non-convergent boundary, non-finite output) and was excluded from the
+/// iteration instead of poisoning it (`health.quarantined`).
+#[inline]
+pub fn add_quarantined_point() {
+    bump(HEALTH_QUARANTINED, 1);
+}
+
+/// Account one eta-bump regularized retry of the Sancho-Rubio decimation
+/// (`health.eta_retries`).
+#[inline]
+pub fn add_eta_retry() {
+    bump(HEALTH_ETA_RETRIES, 1);
+}
+
+/// Account one adaptive-mixing backoff: the SCF residual grew and the
+/// mixing factor was halved (`health.mixing_backoffs`).
+#[inline]
+pub fn add_mixing_backoff() {
+    bump(HEALTH_MIXING_BACKOFFS, 1);
+}
+
+/// Account one communication retry: a timed-out or corrupt-and-discarded
+/// receive, or a sender-side retransmission (`health.comm_retries`).
+#[inline]
+pub fn add_comm_retry() {
+    bump(HEALTH_COMM_RETRIES, 1);
+}
+
+/// Account one SCF checkpoint written to disk (`health.checkpoint_writes`).
+#[inline]
+pub fn add_checkpoint_write() {
+    bump(HEALTH_CKPT_WRITES, 1);
+}
+
 /// Total flops across all threads (alive or exited) since the last reset.
 pub fn total_flops() -> u64 {
     total(FLOPS)
@@ -148,6 +189,32 @@ pub fn total_boundary_hits() -> u64 {
 /// Total boundary-cache misses across all threads since the last reset.
 pub fn total_boundary_misses() -> u64 {
     total(BOUNDARY_MISSES)
+}
+
+/// Total quarantined grid points across all threads since the last reset.
+pub fn total_quarantined_points() -> u64 {
+    total(HEALTH_QUARANTINED)
+}
+
+/// Total eta-bump decimation retries across all threads since the last
+/// reset.
+pub fn total_eta_retries() -> u64 {
+    total(HEALTH_ETA_RETRIES)
+}
+
+/// Total adaptive-mixing backoffs across all threads since the last reset.
+pub fn total_mixing_backoffs() -> u64 {
+    total(HEALTH_MIXING_BACKOFFS)
+}
+
+/// Total communication retries across all threads since the last reset.
+pub fn total_comm_retries() -> u64 {
+    total(HEALTH_COMM_RETRIES)
+}
+
+/// Total checkpoint writes across all threads since the last reset.
+pub fn total_checkpoint_writes() -> u64 {
+    total(HEALTH_CKPT_WRITES)
 }
 
 /// Total communicated bytes across all threads since the last reset.
@@ -284,6 +351,28 @@ mod tests {
         assert!(total_boundary_hits() - h0 >= 1);
         assert!(total_boundary_misses() - m0 >= 1);
         assert!(total_ws_fresh() - w0 >= 1);
+    }
+
+    #[test]
+    fn health_counts_accumulate() {
+        let (q0, e0, m0, c0, k0) = (
+            total_quarantined_points(),
+            total_eta_retries(),
+            total_mixing_backoffs(),
+            total_comm_retries(),
+            total_checkpoint_writes(),
+        );
+        add_quarantined_point();
+        add_eta_retry();
+        add_mixing_backoff();
+        add_comm_retry();
+        add_comm_retry();
+        add_checkpoint_write();
+        assert!(total_quarantined_points() - q0 >= 1);
+        assert!(total_eta_retries() - e0 >= 1);
+        assert!(total_mixing_backoffs() - m0 >= 1);
+        assert!(total_comm_retries() - c0 >= 2);
+        assert!(total_checkpoint_writes() - k0 >= 1);
     }
 
     #[test]

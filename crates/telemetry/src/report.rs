@@ -135,6 +135,36 @@ impl WarmupStats {
     }
 }
 
+/// Resilience counters: what the numerical health guards caught and what
+/// the recovery machinery (η-bump retries, adaptive mixing, the reliable
+/// comm protocol, checkpointing) did about it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// `(E, kz)` / `(ω, qz)` points quarantined after numerical failures.
+    pub quarantined_points: u64,
+    /// Sancho-Rubio retries at a bumped imaginary broadening.
+    pub eta_retries: u64,
+    /// Times the adaptive SCF controller halved the mixing factor.
+    pub mixing_backoffs: u64,
+    /// Communication retries (retransmissions and receive timeouts).
+    pub comm_retries: u64,
+    /// SCF checkpoints written.
+    pub checkpoint_writes: u64,
+}
+
+impl HealthReport {
+    /// Snapshot the global health counters.
+    pub fn from_counters() -> Self {
+        HealthReport {
+            quarantined_points: counters::total_quarantined_points(),
+            eta_retries: counters::total_eta_retries(),
+            mixing_backoffs: counters::total_mixing_backoffs(),
+            comm_retries: counters::total_comm_retries(),
+            checkpoint_writes: counters::total_checkpoint_writes(),
+        }
+    }
+}
+
 /// Per-rank communication volume of a distributed phase.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RankComm {
@@ -169,6 +199,9 @@ pub struct TelemetryReport {
     /// Cold-vs-warm SCF iteration comparison, when a trajectory with at
     /// least two iterations was recorded.
     pub warmup: Option<WarmupStats>,
+    /// Resilience counters; `None` only for reports predating the health
+    /// guards (`check-report --require-health` rejects those).
+    pub health: Option<HealthReport>,
 }
 
 fn phase_report(path: &str, s: &PhaseStat) -> PhaseReport {
@@ -224,6 +257,7 @@ impl TelemetryReport {
             boundary_cache_hits: counters::total_boundary_hits(),
             boundary_cache_misses: counters::total_boundary_misses(),
             warmup: None,
+            health: Some(HealthReport::from_counters()),
         }
     }
 
@@ -303,6 +337,25 @@ impl TelemetryReport {
                 ("alloc_reduction".to_string(), Json::Num(w.alloc_reduction)),
             ]),
         };
+        let health = match &self.health {
+            None => Json::Null,
+            Some(h) => Json::Obj(vec![
+                (
+                    "quarantined_points".to_string(),
+                    Json::Num(h.quarantined_points as f64),
+                ),
+                ("eta_retries".to_string(), Json::Num(h.eta_retries as f64)),
+                (
+                    "mixing_backoffs".to_string(),
+                    Json::Num(h.mixing_backoffs as f64),
+                ),
+                ("comm_retries".to_string(), Json::Num(h.comm_retries as f64)),
+                (
+                    "checkpoint_writes".to_string(),
+                    Json::Num(h.checkpoint_writes as f64),
+                ),
+            ]),
+        };
         Json::Obj(vec![
             ("phases".to_string(), Json::Arr(phases)),
             ("residuals".to_string(), Json::Arr(residuals)),
@@ -325,6 +378,7 @@ impl TelemetryReport {
                 Json::Num(self.boundary_cache_misses as f64),
             ),
             ("warmup".to_string(), warmup),
+            ("health".to_string(), health),
         ])
         .dump()
     }
@@ -368,6 +422,16 @@ impl TelemetryReport {
                     cold_alloc_bytes: int_field(w, "cold_alloc_bytes")?,
                     warm_alloc_bytes: int_field(w, "warm_alloc_bytes")?,
                     alloc_reduction: num_field(w, "alloc_reduction")?,
+                }),
+            },
+            health: match root.get("health") {
+                Some(Json::Null) | None => None,
+                Some(h) => Some(HealthReport {
+                    quarantined_points: int_field(h, "quarantined_points")?,
+                    eta_retries: int_field(h, "eta_retries")?,
+                    mixing_backoffs: int_field(h, "mixing_backoffs")?,
+                    comm_retries: int_field(h, "comm_retries")?,
+                    checkpoint_writes: int_field(h, "checkpoint_writes")?,
                 }),
             },
             ..TelemetryReport::default()
@@ -513,9 +577,30 @@ mod tests {
             recv_bytes: 50,
         });
         rep.warmup = WarmupStats::from_convergence(&rep.convergence);
+        rep.health = Some(HealthReport {
+            quarantined_points: 3,
+            eta_retries: 1,
+            mixing_backoffs: 2,
+            comm_retries: 7,
+            checkpoint_writes: 4,
+        });
         rep.validate().unwrap();
         let back = TelemetryReport::from_json(&rep.to_json()).unwrap();
         assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn from_current_always_carries_a_health_block() {
+        registry::record("test/report/phase3", 1, 1, 0, 0, 0);
+        let rep = TelemetryReport::from_current();
+        assert!(rep.health.is_some());
+        // A legacy report without the block parses to None and still
+        // validates (the --require-health gate is the caller's policy).
+        let mut legacy = rep.clone();
+        legacy.health = None;
+        let back = TelemetryReport::from_json(&legacy.to_json()).unwrap();
+        assert_eq!(back.health, None);
+        back.validate().unwrap();
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub use qt_sdfg as sdfg;
 
 /// The commonly-used surface of the whole workspace.
 pub mod prelude {
+    pub use qt_core::checkpoint::{CheckpointConfig, ScfCheckpoint};
     pub use qt_core::device::Device;
     pub use qt_core::gf::{
         electron_gf_phase, phonon_gf_phase, Contacts, ElectronSelfEnergy, GfConfig,
@@ -34,9 +35,10 @@ pub mod prelude {
     };
     pub use qt_core::grids::Grids;
     pub use qt_core::hamiltonian::{ElectronModel, PhononModel};
+    pub use qt_core::health::{CoverageReport, HealthPolicy, NumericalError};
     pub use qt_core::observables;
     pub use qt_core::params::SimParams;
-    pub use qt_core::scf::{run_scf, ScfConfig, ScfResult, Simulation};
+    pub use qt_core::scf::{run_scf, run_scf_resumable, ScfConfig, ScfResult, Simulation};
     pub use qt_core::sse::{self, SseVariant};
     pub use qt_dist::schemes::{dace_scheme, omen_scheme, SseDistContext};
     pub use qt_dist::volume;
