@@ -578,6 +578,22 @@ fn profile(flags: &[String]) {
         &p, &sim.dev, &sim.em, &sim.pm, &sim.grids, &cfg.gf, te, ta,
     )
     .expect("distributed iteration");
+    // One fault-free pass through the elastic (heartbeat-supervised)
+    // iteration so the elasticity counters and the elastic volume model
+    // are exercised by every profile run.
+    let elastic = qt_dist::runner::distributed_iteration_elastic(
+        &p,
+        &sim.dev,
+        &sim.em,
+        &sim.pm,
+        &sim.grids,
+        &cfg.gf,
+        te,
+        ta,
+        &qt_dist::runner::ElasticPolicy::default(),
+    )
+    .expect("elastic distributed iteration");
+    assert!(!elastic.degraded, "fault-free elastic run must not degrade");
 
     // ---- Reconcile measurements against the models. ----
     let mut rep = qt_telemetry::TelemetryReport::from_current();
@@ -627,6 +643,13 @@ fn profile(flags: &[String]) {
         "dace_comm_bytes_vs_exact",
         dist.sse_bytes as f64,
         volume::dace_measured_bytes(&p, te, ta, halo) as f64,
+        true,
+    ));
+    rep.residuals.push(ModelResidual::new(
+        "dace_elastic_comm_bytes_vs_exact",
+        elastic.result.sse_bytes as f64,
+        volume::dace_elastic_measured_bytes(&p, halo, &qt_dist::ElasticTiling::new(&p, te, ta))
+            as f64,
         true,
     ));
     rep.residuals.push(ModelResidual::new(
@@ -742,6 +765,13 @@ fn profile(flags: &[String]) {
             h.checkpoint_writes
         );
     }
+    if let Some(e) = &rep.elasticity {
+        println!(
+            "  elasticity: {} rank deaths, {} heartbeat probe timeouts, \
+             {} re-tilings, {} tiles migrated",
+            e.rank_deaths, e.heartbeat_timeouts, e.retile_events, e.migrated_tiles
+        );
+    }
     println!(
         "  totals: {:.3} Gflop counted, {} bytes communicated",
         rep.total_flops as f64 / 1e9,
@@ -795,6 +825,13 @@ fn check_report(flags: &[String]) {
         eprintln!(
             "report FAILED: no health block — the run predates the \
              resilience layer or stripped its counters"
+        );
+        std::process::exit(1);
+    }
+    if require_health && rep.elasticity.is_none() {
+        eprintln!(
+            "report FAILED: no elasticity block — the run predates the \
+             rank-failure recovery layer or stripped its counters"
         );
         std::process::exit(1);
     }

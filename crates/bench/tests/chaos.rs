@@ -1,7 +1,13 @@
-//! Chaos smoke at the harness level (feature `fault-inject`): a faulty
+//! Chaos tests at the harness level (feature `fault-inject`): a faulty
 //! distributed iteration must survive, match the fault-free answer, and
 //! leave a telemetry report whose health block records the recovery work —
-//! the in-process equivalent of `check-report --require-health`.
+//! the in-process equivalent of `check-report --require-health`. The
+//! rank-kill tests go further: a seeded mid-exchange death must either
+//! ride elastic recovery to a bitwise-exact result or complete degraded
+//! with an honest coverage report — never hang, never silently drift.
+//!
+//! The kill tests' tile grid is parameterized by `QT_CHAOS_WORLD`
+//! (2, 4, or 8 ranks; default 4) so CI can sweep world sizes.
 #![cfg(feature = "fault-inject")]
 
 use std::sync::Mutex;
@@ -12,13 +18,44 @@ use qt_core::gf::GfConfig;
 use qt_core::grids::Grids;
 use qt_core::hamiltonian::{ElectronModel, PhononModel};
 use qt_core::params::SimParams;
-use qt_dist::runner::{distributed_iteration, distributed_iteration_with_faults};
+use qt_dist::runner::{
+    distributed_iteration, distributed_iteration_elastic_with_faults,
+    distributed_iteration_with_faults, ElasticPolicy,
+};
 use qt_dist::FaultPlan;
 
 static LOCK: Mutex<()> = Mutex::new(());
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
     LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `(te, ta)` for the world size requested via `QT_CHAOS_WORLD`.
+fn world_shape() -> (usize, usize) {
+    match std::env::var("QT_CHAOS_WORLD").ok().as_deref() {
+        Some("2") => (1, 2),
+        Some("8") => (2, 4),
+        None | Some("4") => (2, 2),
+        Some(other) => panic!("QT_CHAOS_WORLD must be 2, 4, or 8, got {other:?}"),
+    }
+}
+
+fn fixture() -> (SimParams, Device, ElectronModel, PhononModel, Grids) {
+    let p = SimParams {
+        nkz: 2,
+        nqz: 2,
+        ne: 12,
+        nw: 2,
+        na: 12,
+        nb: 3,
+        norb: 2,
+        bnum: 4,
+    };
+    let dev = Device::new(&p);
+    let em = ElectronModel::for_params(&p);
+    let pm = PhononModel::default();
+    let grids = Grids::new(&p, -1.2, 1.2);
+    (p, dev, em, pm, grids)
 }
 
 #[test]
@@ -64,4 +101,163 @@ fn faulty_pipeline_reports_health_and_passes_the_gate() {
     );
     let back = qt_telemetry::TelemetryReport::from_json(&rep.to_json()).expect("roundtrip");
     assert_eq!(back.health, rep.health);
+}
+
+#[test]
+fn killed_rank_recovers_bitwise_exactly() {
+    let _g = lock();
+    qt_telemetry::reset_all();
+    let (p, dev, em, pm, grids) = fixture();
+    let cfg = GfConfig::default();
+    let (te, ta) = world_shape();
+    let procs = te * ta;
+    let victim = procs - 1;
+
+    let clean = distributed_iteration(&p, &dev, &em, &pm, &grids, &cfg, te, ta).unwrap();
+
+    // Seeded, deterministic kill: the victim dies on its third SSE send.
+    // Survivors detect it, re-tile, and retry on the shrunken world. One
+    // rank's death quarantines exactly 1/procs of the electron grid, so
+    // the ceiling is set to admit exactly one loss at any world size.
+    let plan = FaultPlan::new(42).with_kill_at(victim, 3);
+    let policy = ElasticPolicy {
+        max_bad_fraction: 1.0 / procs as f64,
+        ..Default::default()
+    };
+    let el = distributed_iteration_elastic_with_faults(
+        &p, &dev, &em, &pm, &grids, &cfg, te, ta, &policy, plan,
+    )
+    .unwrap();
+
+    assert_eq!(el.deaths, vec![victim], "exactly the scheduled rank dies");
+    assert!(el.retiles >= 1, "the supervisor must have re-tiled");
+    assert!(!el.degraded, "one death out of {procs} must ride recovery");
+    assert!(
+        el.migrated_units >= 1,
+        "only the dead rank's tiles migrate, but they do migrate"
+    );
+    // Recovery recomputes the migrated tiles from supervisor-held GF
+    // state, so the result is bitwise identical to the fault-free run.
+    assert_eq!(
+        el.result.sigma.lesser.as_slice(),
+        clean.sigma.lesser.as_slice()
+    );
+    assert_eq!(
+        el.result.sigma.greater.as_slice(),
+        clean.sigma.greater.as_slice()
+    );
+    assert_eq!(el.result.pi.lesser.as_slice(), clean.pi.lesser.as_slice());
+    assert_eq!(el.result.pi.greater.as_slice(), clean.pi.greater.as_slice());
+    assert_eq!(el.result.current.to_bits(), clean.current.to_bits());
+    // The lost grid points stay on the record even though they recovered,
+    // and the elasticity telemetry block carries the event counts.
+    assert!(!el.coverage.is_full());
+    assert!(el.coverage.bad_fraction() <= policy.max_bad_fraction);
+    let rep = qt_telemetry::TelemetryReport::from_current();
+    let e = rep.elasticity.expect("elasticity block present");
+    assert!(e.rank_deaths >= 1);
+    assert!(e.retile_events >= 1);
+    assert!(e.migrated_tiles as usize >= el.migrated_units);
+}
+
+#[test]
+fn chaos_recovery_is_deterministic() {
+    let _g = lock();
+    let (p, dev, em, pm, grids) = fixture();
+    let cfg = GfConfig::default();
+    let (te, ta) = world_shape();
+    let run = || {
+        distributed_iteration_elastic_with_faults(
+            &p,
+            &dev,
+            &em,
+            &pm,
+            &grids,
+            &cfg,
+            te,
+            ta,
+            &ElasticPolicy::default(),
+            FaultPlan::new(7).with_kill_at(0, 2),
+        )
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.deaths, b.deaths);
+    assert_eq!(a.migrated_units, b.migrated_units);
+    assert_eq!(
+        a.result.sigma.lesser.as_slice(),
+        b.result.sigma.lesser.as_slice()
+    );
+    assert_eq!(
+        a.result.pi.greater.as_slice(),
+        b.result.pi.greater.as_slice()
+    );
+}
+
+#[test]
+fn death_past_bad_fraction_ceiling_degrades_instead_of_hanging() {
+    let _g = lock();
+    let (p, dev, em, pm, grids) = fixture();
+    let cfg = GfConfig::default();
+    let (te, ta) = world_shape();
+    let victim = 0;
+
+    // A zero ceiling makes any loss unrecoverable: the victim's units
+    // must be abandoned and the iteration must still complete.
+    let policy = ElasticPolicy {
+        max_bad_fraction: 0.0,
+        ..Default::default()
+    };
+    let el = distributed_iteration_elastic_with_faults(
+        &p,
+        &dev,
+        &em,
+        &pm,
+        &grids,
+        &cfg,
+        te,
+        ta,
+        &policy,
+        FaultPlan::new(9).with_kill_at(victim, 1),
+    )
+    .unwrap();
+
+    assert!(el.degraded, "an unrecoverable death must degrade, not hang");
+    assert_eq!(el.deaths, vec![victim]);
+    assert_eq!(el.migrated_units, 0, "abandoned units must not migrate");
+    assert!(!el.coverage.is_full());
+    assert!(el.coverage.bad_fraction() > 0.0);
+    for q in &el.coverage.quarantined {
+        assert!(q.grid_index < p.nkz * p.ne);
+        assert!(matches!(
+            q.error,
+            qt_core::health::NumericalError::RankLoss { rank } if rank == victim
+        ));
+    }
+    // Degraded ≠ garbage: the surviving tiles still carry fault-free
+    // values; only the abandoned slices are zero-filled.
+    let clean = distributed_iteration(&p, &dev, &em, &pm, &grids, &cfg, te, ta).unwrap();
+    let nonzero = el
+        .result
+        .sigma
+        .lesser
+        .as_slice()
+        .iter()
+        .filter(|z| z.re != 0.0 || z.im != 0.0)
+        .count();
+    if te * ta > 1 {
+        assert!(nonzero > 0, "survivor tiles must be present");
+    }
+    assert!(
+        nonzero
+            < clean
+                .sigma
+                .lesser
+                .as_slice()
+                .iter()
+                .filter(|z| z.re != 0.0 || z.im != 0.0)
+                .count(),
+        "abandoned tiles must be zero-filled"
+    );
 }

@@ -16,12 +16,82 @@
 
 use crate::gf::{ElectronSelfEnergy, PhononSelfEnergy};
 use qt_linalg::{c64, Tensor};
+use std::fmt;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 /// Magic prefix identifying checkpoint format version 1.
 const MAGIC: &[u8; 8] = b"QTCKPT01";
+
+/// Family prefix shared by every checkpoint format version; the two bytes
+/// after it carry the version digits ("01" today).
+const FAMILY: &[u8; 6] = b"QTCKPT";
+
+/// Why a checkpoint could not be read.
+///
+/// Callers that merely *try* to resume (a missing or stale checkpoint is
+/// routine) can match on the variant to decide between "start fresh" and
+/// "refuse to clobber a file we do not understand": a [`Truncated`] or
+/// [`BadMagic`] file is garbage, while [`UnsupportedVersion`] means the
+/// file is a real checkpoint from an incompatible build and deserves a
+/// loud error rather than a silent cold start.
+///
+/// [`Truncated`]: CheckpointError::Truncated
+/// [`BadMagic`]: CheckpointError::BadMagic
+/// [`UnsupportedVersion`]: CheckpointError::UnsupportedVersion
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be opened or read at all.
+    Io(io::Error),
+    /// The first bytes are not `QTCKPT..` — this is not a checkpoint.
+    BadMagic,
+    /// The `QTCKPT` family prefix matched but the version digits did not;
+    /// `found` is the on-disk version field, `supported` the one this
+    /// build reads.
+    UnsupportedVersion { found: [u8; 2], supported: [u8; 2] },
+    /// The file ended before the structure it promised; `needed` bytes
+    /// were requested with only `available` left.
+    Truncated { needed: usize, available: usize },
+    /// A structurally impossible field (e.g. a length prefix or tensor
+    /// shape that cannot fit in the file).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a qt checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint version `{}` (this build reads `{}`)",
+                String::from_utf8_lossy(found),
+                String::from_utf8_lossy(supported),
+            ),
+            CheckpointError::Truncated { needed, available } => write!(
+                f,
+                "truncated checkpoint: needed {needed} bytes, {available} available"
+            ),
+            CheckpointError::Invalid(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
 
 /// Persistent snapshot of the Born loop between two iterations.
 #[derive(Clone, Debug)]
@@ -87,37 +157,52 @@ struct Cursor<'a> {
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
         let Some(end) = end else {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "truncated checkpoint",
-            ));
+            return Err(CheckpointError::Truncated {
+                needed: n,
+                available: self.buf.len() - self.pos,
+            });
         };
         let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
     }
 
-    fn u64(&mut self) -> io::Result<u64> {
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> io::Result<f64> {
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn f64_vec(&mut self) -> io::Result<Vec<f64>> {
+    fn f64_vec(&mut self) -> Result<Vec<f64>, CheckpointError> {
         let n = self.len_checked()?;
         (0..n).map(|_| self.f64()).collect()
     }
 
-    fn tensor(&mut self) -> io::Result<Tensor> {
+    fn tensor(&mut self) -> Result<Tensor, CheckpointError> {
         let ndim = self.len_checked()?;
         let shape: Vec<usize> = (0..ndim)
             .map(|_| self.u64().map(|d| d as usize))
-            .collect::<io::Result<_>>()?;
+            .collect::<Result<_, _>>()?;
+        // Bound the element count before Tensor::zeros: a corrupt shape
+        // field must not trigger a multi-terabyte allocation. Each element
+        // occupies 16 bytes (re + im) in the file.
+        let elems = shape
+            .iter()
+            .try_fold(1usize, |a, &d| a.checked_mul(d))
+            .ok_or(CheckpointError::Invalid("tensor shape overflows usize"))?;
+        let need = elems
+            .checked_mul(16)
+            .ok_or(CheckpointError::Invalid("tensor shape overflows usize"))?;
+        if need > self.buf.len() - self.pos {
+            return Err(CheckpointError::Invalid(
+                "tensor shape exceeds remaining file size",
+            ));
+        }
         let mut t = Tensor::zeros(&shape);
         for z in t.as_mut_slice() {
             let re = self.f64()?;
@@ -130,12 +215,11 @@ impl<'a> Cursor<'a> {
     /// A length prefix, rejected before allocation when it cannot possibly
     /// fit in the remaining bytes (corrupt headers would otherwise ask for
     /// absurd allocations).
-    fn len_checked(&mut self) -> io::Result<usize> {
+    fn len_checked(&mut self) -> Result<usize, CheckpointError> {
         let n = self.u64()?;
         if n > (self.buf.len() - self.pos) as u64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "checkpoint length field exceeds file size",
+            return Err(CheckpointError::Invalid(
+                "length field exceeds remaining file size",
             ));
         }
         Ok(n as usize)
@@ -166,13 +250,17 @@ impl ScfCheckpoint {
     }
 
     /// Parse a serialized checkpoint.
-    pub fn from_bytes(buf: &[u8]) -> io::Result<Self> {
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CheckpointError> {
         let mut c = Cursor { buf, pos: 0 };
-        if c.take(8)? != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "not a qt checkpoint (bad magic)",
-            ));
+        let magic = c.take(8)?;
+        if magic != MAGIC {
+            if &magic[..6] == FAMILY {
+                return Err(CheckpointError::UnsupportedVersion {
+                    found: magic[6..8].try_into().unwrap(),
+                    supported: MAGIC[6..8].try_into().unwrap(),
+                });
+            }
+            return Err(CheckpointError::BadMagic);
         }
         let iteration = c.u64()? as usize;
         let mixing_current = c.f64()?;
@@ -222,7 +310,7 @@ impl ScfCheckpoint {
     }
 
     /// Load a checkpoint written by [`ScfCheckpoint::save`].
-    pub fn load(path: &Path) -> io::Result<Self> {
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
         let mut buf = Vec::new();
         fs::File::open(path)?.read_to_end(&mut buf)?;
         Self::from_bytes(&buf)
@@ -308,5 +396,72 @@ mod tests {
         // magic(8) + iter(8) + mix(8) + flag(8) + prev(8) + streak(8) = 48.
         bytes[48..56].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(ScfCheckpoint::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn error_variants_classify_the_corruption() {
+        let ck = sample();
+        let good = ck.to_bytes();
+
+        // Wrong family prefix entirely → BadMagic.
+        let mut bytes = good.clone();
+        bytes[..8].copy_from_slice(b"NOTCKPT!");
+        assert!(matches!(
+            ScfCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadMagic)
+        ));
+
+        // Right family, future version digits → UnsupportedVersion that
+        // names both versions, NOT BadMagic.
+        let mut bytes = good.clone();
+        bytes[..8].copy_from_slice(b"QTCKPT99");
+        match ScfCheckpoint::from_bytes(&bytes) {
+            Err(CheckpointError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(&found, b"99");
+                assert_eq!(&supported, b"01");
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+
+        // Mid-scalar-header truncation → Truncated with honest byte counts
+        // (50 bytes ends two bytes into the decrease-streak field).
+        match ScfCheckpoint::from_bytes(&good[..50]) {
+            Err(CheckpointError::Truncated { needed, available }) => {
+                assert_eq!(needed, 8);
+                assert_eq!(available, 2);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // A cut inside a tensor body is caught by the shape-vs-file bound
+        // before any element read.
+        assert!(matches!(
+            ScfCheckpoint::from_bytes(&good[..good.len() - 5]),
+            Err(CheckpointError::Invalid(_))
+        ));
+
+        // A file shorter than the magic itself is also Truncated.
+        assert!(matches!(
+            ScfCheckpoint::from_bytes(b"QTCK"),
+            Err(CheckpointError::Truncated { .. })
+        ));
+
+        // Tensor shape that cannot fit in the file → Invalid before any
+        // allocation is attempted. The sigma tensor header starts after the
+        // scalar block and the two f64 vecs; corrupt its first dim.
+        let mut bytes = good.clone();
+        let sigma_hdr = 48 + 8 + 8 * ck.residuals.len() + 8 + 8 * ck.current_history.len();
+        // ndim stays, first dimension becomes enormous.
+        bytes[sigma_hdr + 8..sigma_hdr + 16].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(matches!(
+            ScfCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::Invalid(_))
+        ));
+
+        // Missing file → Io, and `source()` exposes the underlying error.
+        let err = ScfCheckpoint::load(Path::new("/nonexistent/qt.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        // Every variant renders a human-readable message.
+        assert!(format!("{err}").contains("I/O"));
     }
 }

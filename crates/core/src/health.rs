@@ -28,6 +28,10 @@ pub enum NumericalError {
     /// A produced tensor contained NaN or ±Inf, detected at the boundary
     /// of `phase` for flattened grid point `index`.
     NonFiniteTensor { phase: &'static str, index: usize },
+    /// The distributed state backing a grid point was lost when `rank`
+    /// (an original world identity) died; the point either rode elastic
+    /// recovery or was zero-filled in a degraded-mode completion.
+    RankLoss { rank: usize },
 }
 
 impl NumericalError {
@@ -66,6 +70,9 @@ impl fmt::Display for NumericalError {
                 f,
                 "non-finite tensor produced by phase `{phase}` at grid point {index}"
             ),
+            NumericalError::RankLoss { rank } => {
+                write!(f, "distributed state lost with the death of rank {rank}")
+            }
         }
     }
 }

@@ -17,16 +17,110 @@
 //! discard of corrupted frames). Worlds without a plan — including every
 //! world built by [`ThreadComm::world`] — take exactly the fault-free path,
 //! so the byte-accounting model stays exact.
+//!
+//! ## Liveness and elasticity
+//!
+//! The classic API (`send`/`recv`/`barrier`) assumes every rank outlives
+//! the exchange — a permanently dead rank hangs its peers. The elastic API
+//! (`try_send`/`try_recv`/`try_barrier`) adds a failure detector: every
+//! rank owns a monotone *epoch* counter (bumped on each elastic send,
+//! receive poll, and explicit [`ThreadComm::heartbeat`]); a receiver whose
+//! channel stays silent checks the sender's epoch and, once it has not
+//! moved for [`LivenessConfig::deadline`], files a death certificate and
+//! returns a typed [`CommError::RankDeath`] instead of blocking forever.
+//! Death certificates are shared world state, so one detection aborts
+//! every waiting survivor — the supervision loop in `runner.rs` then
+//! re-tiles over the survivors and retries. Worlds built by
+//! [`ThreadComm::elastic_world`] carry an *identity* map so a shrunken
+//! survivor world keeps reporting the original (pre-shrink) rank ids.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use qt_linalg::Complex64;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 #[cfg(feature = "fault-inject")]
 use crate::fault::{self, FaultAction, FaultPlan};
 #[cfg(feature = "fault-inject")]
 use std::cell::RefCell;
+
+/// Typed failure of an elastic communication primitive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// A peer went silent past the liveness deadline (or its endpoint
+    /// vanished). `rank` is the *original* identity of the dead peer,
+    /// `epoch` the last liveness epoch observed from it.
+    RankDeath { rank: usize, epoch: u64 },
+    /// This rank was killed by the fault plan's `kill_at` schedule; it
+    /// must fall silent and unwind without transmitting anything else.
+    Killed { rank: usize },
+    /// A sender exhausted its retry budget without a clean delivery; the
+    /// destination is the prime suspect for the failure detector.
+    DeliveryFailed {
+        src: usize,
+        dst: usize,
+        msg_idx: u64,
+        attempts: u32,
+    },
+}
+
+impl CommError {
+    /// The original rank id this error implicates as dead.
+    pub fn suspect(&self) -> usize {
+        match self {
+            CommError::RankDeath { rank, .. } => *rank,
+            CommError::Killed { rank } => *rank,
+            CommError::DeliveryFailed { dst, .. } => *dst,
+        }
+    }
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::RankDeath { rank, epoch } => {
+                write!(f, "rank {rank} declared dead (last epoch {epoch})")
+            }
+            CommError::Killed { rank } => write!(f, "rank {rank} killed by fault schedule"),
+            CommError::DeliveryFailed {
+                src,
+                dst,
+                msg_idx,
+                attempts,
+            } => write!(
+                f,
+                "rank {src} -> {dst}: message {msg_idx} exhausted {attempts} attempts \
+                 without delivery"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Failure-detector tuning for the elastic primitives.
+#[derive(Clone, Copy, Debug)]
+pub struct LivenessConfig {
+    /// How often a blocked receiver re-polls its channel (and re-checks
+    /// peer epochs). Each poll also bumps the poller's own epoch, so a
+    /// rank that is merely *waiting* never looks dead.
+    pub poll: Duration,
+    /// How long a peer's epoch may stand still before it is declared
+    /// dead. Must comfortably exceed the longest heartbeat-free compute
+    /// stretch of the scheme.
+    pub deadline: Duration,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig {
+            poll: Duration::from_millis(1),
+            deadline: Duration::from_millis(500),
+        }
+    }
+}
 
 /// Bytes per payload element.
 pub const ELEM_BYTES: u64 = 16;
@@ -47,6 +141,17 @@ struct WorldInner {
     /// Bytes received per rank.
     received: Vec<AtomicU64>,
     barrier: Barrier,
+    /// Liveness epoch per world slot: monotone counter bumped by elastic
+    /// sends, receive polls, and explicit heartbeats.
+    epochs: Vec<AtomicU64>,
+    /// Death certificates per world slot; shared so one detection aborts
+    /// every waiting survivor.
+    dead: Vec<AtomicBool>,
+    /// Arrival generations for the liveness-aware [`ThreadComm::try_barrier`].
+    arrivals: Vec<AtomicU64>,
+    /// Original (pre-shrink) rank identity per world slot; `identity[i]
+    /// == i` for worlds that never lost a rank.
+    identity: Vec<usize>,
     /// Installed fault schedule; `None` means the fault-free fast path.
     #[cfg(feature = "fault-inject")]
     plan: Option<Arc<FaultPlan>>,
@@ -58,32 +163,61 @@ pub struct ThreadComm {
     world: Arc<WorldInner>,
     /// `receivers[src]` yields messages sent by `src` to this rank.
     receivers: Vec<Receiver<Payload>>,
+    /// Generation of the last `try_barrier` this rank entered.
+    barrier_gen: Cell<u64>,
     /// Per-destination ordinal of the next logical message, the `msg_idx`
     /// fed to the deterministic fault schedule. Single-threaded per rank.
     #[cfg(feature = "fault-inject")]
     msg_seq: RefCell<Vec<u64>>,
+    /// Outbound ordinal at which this rank's process dies (from the
+    /// plan's `kill_at` schedule, matched by original identity).
+    #[cfg(feature = "fault-inject")]
+    kill_at: Option<u64>,
+    /// Total elastic sends attempted so far (the kill ordinal clock).
+    #[cfg(feature = "fault-inject")]
+    total_sends: Cell<u64>,
+    /// Set once the kill fired: the rank transmits nothing ever again.
+    #[cfg(feature = "fault-inject")]
+    killed: Cell<bool>,
 }
 
 impl ThreadComm {
     /// Create a world of `n` ranks; returns one endpoint per rank.
     pub fn world(n: usize) -> Vec<ThreadComm> {
         #[cfg(feature = "fault-inject")]
-        return Self::build(n, None);
+        return Self::build((0..n).collect(), None);
         #[cfg(not(feature = "fault-inject"))]
-        Self::build(n)
+        Self::build((0..n).collect())
     }
 
     /// Create a world whose remote traffic runs under `plan`'s fault
     /// schedule and recovery protocol.
     #[cfg(feature = "fault-inject")]
     pub fn world_with_faults(n: usize, plan: FaultPlan) -> Vec<ThreadComm> {
-        Self::build(n, Some(Arc::new(plan)))
+        Self::build((0..n).collect(), Some(Arc::new(plan)))
+    }
+
+    /// Create a survivor world: slot `i` carries the original rank id
+    /// `identity[i]`, so death reports and kill schedules keep referring
+    /// to pre-shrink identities across recovery attempts.
+    pub fn elastic_world(identity: Vec<usize>) -> Vec<ThreadComm> {
+        #[cfg(feature = "fault-inject")]
+        return Self::build(identity, None);
+        #[cfg(not(feature = "fault-inject"))]
+        Self::build(identity)
+    }
+
+    /// A survivor world under `plan` (kills matched by original identity).
+    #[cfg(feature = "fault-inject")]
+    pub fn elastic_world_with_faults(identity: Vec<usize>, plan: FaultPlan) -> Vec<ThreadComm> {
+        Self::build(identity, Some(Arc::new(plan)))
     }
 
     fn build(
-        n: usize,
+        identity: Vec<usize>,
         #[cfg(feature = "fault-inject")] plan: Option<Arc<FaultPlan>>,
     ) -> Vec<ThreadComm> {
+        let n = identity.len();
         assert!(n > 0);
         let mut senders = vec![Vec::with_capacity(n); n];
         let mut receivers: Vec<Vec<Receiver<Payload>>> = (0..n).map(|_| Vec::new()).collect();
@@ -100,18 +234,36 @@ impl ThreadComm {
             sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
             received: (0..n).map(|_| AtomicU64::new(0)).collect(),
             barrier: Barrier::new(n),
+            epochs: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            dead: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            arrivals: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            identity,
             #[cfg(feature = "fault-inject")]
             plan,
         });
         receivers
             .into_iter()
             .enumerate()
-            .map(|(rank, rxs)| ThreadComm {
-                rank,
-                world: inner.clone(),
-                receivers: rxs,
+            .map(|(rank, rxs)| {
                 #[cfg(feature = "fault-inject")]
-                msg_seq: RefCell::new(vec![0; n]),
+                let kill_at = inner
+                    .plan
+                    .as_ref()
+                    .and_then(|p| p.kill_for(inner.identity[rank]));
+                ThreadComm {
+                    rank,
+                    world: inner.clone(),
+                    receivers: rxs,
+                    barrier_gen: Cell::new(0),
+                    #[cfg(feature = "fault-inject")]
+                    msg_seq: RefCell::new(vec![0; n]),
+                    #[cfg(feature = "fault-inject")]
+                    kill_at,
+                    #[cfg(feature = "fault-inject")]
+                    total_sends: Cell::new(0),
+                    #[cfg(feature = "fault-inject")]
+                    killed: Cell::new(false),
+                }
             })
             .collect()
     }
@@ -124,6 +276,42 @@ impl ThreadComm {
     #[inline]
     pub fn size(&self) -> usize {
         self.world.n
+    }
+
+    /// Original (pre-shrink) identity of this rank slot.
+    #[inline]
+    pub fn identity(&self) -> usize {
+        self.world.identity[self.rank]
+    }
+
+    /// Original identity of world slot `slot`.
+    #[inline]
+    pub fn identity_of(&self, slot: usize) -> usize {
+        self.world.identity[slot]
+    }
+
+    /// Announce liveness: bump this rank's epoch. Call from long
+    /// heartbeat-free compute stretches so waiting peers never mistake
+    /// computation for death.
+    #[inline]
+    pub fn heartbeat(&self) {
+        self.world.epochs[self.rank].fetch_add(1, Ordering::Release);
+    }
+
+    /// Last observed liveness epoch of world slot `slot`.
+    #[inline]
+    pub fn epoch_of(&self, slot: usize) -> u64 {
+        self.world.epochs[slot].load(Ordering::Acquire)
+    }
+
+    /// File a death certificate for world slot `slot`.
+    fn declare_dead(&self, slot: usize) {
+        self.world.dead[slot].store(true, Ordering::Release);
+    }
+
+    /// First slot other than `me` with a death certificate on file.
+    fn first_dead_excluding(&self, me: usize) -> Option<usize> {
+        (0..self.world.n).find(|&s| s != me && self.world.dead[s].load(Ordering::Acquire))
     }
 
     /// Point-to-point send (non-blocking). Self-sends are allowed and do
@@ -161,25 +349,53 @@ impl ThreadComm {
         (tag, data, 0)
     }
 
+    /// Classic wrapper over [`ThreadComm::try_send_with_plan`]: the
+    /// static schemes have no recovery story, so a typed delivery failure
+    /// (or a vanished peer) escalates to a panic.
+    #[cfg(feature = "fault-inject")]
+    fn send_with_plan(&self, plan: &FaultPlan, dst: usize, tag: u64, data: Vec<Complex64>) {
+        if let Err(e) = self.try_send_with_plan(plan, dst, tag, data) {
+            panic!("{e}");
+        }
+    }
+
     /// Reliable send under a fault plan: each wire attempt rolls the
     /// deterministic schedule; drops and corruptions trigger a
     /// backed-off retransmission, and (under `guarantee_delivery`) the
     /// final attempt always carries the clean frame — so the receiver
-    /// obtains the exact payload a fault-free run would.
+    /// obtains the exact payload a fault-free run would. The retransmit
+    /// loop is bounded: after `retry.max_attempts` wire attempts the
+    /// sender surfaces [`CommError::DeliveryFailed`] instead of backing
+    /// off forever, and a destination whose endpoint is gone surfaces
+    /// [`CommError::RankDeath`] immediately.
     #[cfg(feature = "fault-inject")]
-    fn send_with_plan(&self, plan: &FaultPlan, dst: usize, tag: u64, data: Vec<Complex64>) {
+    fn try_send_with_plan(
+        &self,
+        plan: &FaultPlan,
+        dst: usize,
+        tag: u64,
+        data: Vec<Complex64>,
+    ) -> Result<(), CommError> {
         if dst == self.rank {
             // Self-sends never cross the network: no faults, no bytes.
             self.world.senders[dst][self.rank]
                 .send((tag, data, 0))
-                .expect("receiver alive");
-            return;
+                .expect("own receiver alive");
+            return Ok(());
         }
+        self.heartbeat();
         let msg_idx = {
             let mut seq = self.msg_seq.borrow_mut();
             let idx = seq[dst];
             seq[dst] += 1;
             idx
+        };
+        let dead_dst = |comm: &Self| {
+            comm.declare_dead(dst);
+            CommError::RankDeath {
+                rank: comm.identity_of(dst),
+                epoch: comm.epoch_of(dst),
+            }
         };
         let bytes = data.len() as u64 * ELEM_BYTES;
         let cksum = fault::checksum(&data);
@@ -187,6 +403,7 @@ impl ThreadComm {
         let mut payload = Some(data);
         for attempt in 0..max {
             let is_last = attempt + 1 == max;
+            self.heartbeat();
             match plan.decide(self.rank, dst, msg_idx, attempt, is_last) {
                 FaultAction::Drop => {
                     // The frame left this rank's NIC and vanished: the
@@ -208,7 +425,7 @@ impl ThreadComm {
                     qt_telemetry::counters::add_comm_retry();
                     self.world.senders[dst][self.rank]
                         .send((tag, garbage, cksum ^ fault::BROKEN_CHECKSUM_XOR))
-                        .expect("receiver alive");
+                        .map_err(|_| dead_dst(self))?;
                     std::thread::sleep(plan.retry.backoff(attempt));
                 }
                 action @ (FaultAction::Deliver | FaultAction::Delay) => {
@@ -220,15 +437,69 @@ impl ThreadComm {
                     qt_telemetry::counters::add_bytes(bytes);
                     self.world.senders[dst][self.rank]
                         .send((tag, payload.take().expect("delivered once"), cksum))
-                        .expect("receiver alive");
-                    return;
+                        .map_err(|_| dead_dst(self))?;
+                    return Ok(());
                 }
             }
         }
-        panic!(
-            "rank {} -> {}: message {} exhausted {} attempts without delivery",
-            self.rank, dst, msg_idx, max
-        );
+        Err(CommError::DeliveryFailed {
+            src: self.identity(),
+            dst: self.identity_of(dst),
+            msg_idx,
+            attempts: max,
+        })
+    }
+
+    /// Elastic point-to-point send. Like [`ThreadComm::send`], but a
+    /// destination whose endpoint has vanished yields a typed
+    /// [`CommError::RankDeath`] instead of a panic, the plan's `kill_at`
+    /// schedule can terminate *this* rank ([`CommError::Killed`]), and a
+    /// bounded retransmit loop surfaces [`CommError::DeliveryFailed`].
+    pub fn try_send(&self, dst: usize, tag: u64, data: Vec<Complex64>) -> Result<(), CommError> {
+        #[cfg(feature = "fault-inject")]
+        {
+            if self.killed.get() {
+                return Err(CommError::Killed {
+                    rank: self.identity(),
+                });
+            }
+            if let Some(kill) = self.kill_at {
+                if self.total_sends.get() >= kill {
+                    // The process dies *before* this frame leaves the
+                    // NIC: file its own death certificate (the closing
+                    // TCP connection a real peer would observe) and fall
+                    // silent for the rest of the world run.
+                    self.killed.set(true);
+                    self.declare_dead(self.rank);
+                    return Err(CommError::Killed {
+                        rank: self.identity(),
+                    });
+                }
+            }
+            self.total_sends.set(self.total_sends.get() + 1);
+            if let Some(plan) = &self.world.plan {
+                let plan = plan.clone();
+                return self.try_send_with_plan(&plan, dst, tag, data);
+            }
+        }
+        self.heartbeat();
+        let bytes = data.len() as u64 * ELEM_BYTES;
+        if dst != self.rank {
+            self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
+            self.world.received[dst].fetch_add(bytes, Ordering::Relaxed);
+            qt_telemetry::counters::add_bytes(bytes);
+        }
+        self.world.senders[dst][self.rank]
+            .send(Self::frame(tag, data))
+            .map_err(|_| {
+                // The destination's receivers were dropped when its
+                // closure unwound: death evidence.
+                self.declare_dead(dst);
+                CommError::RankDeath {
+                    rank: self.identity_of(dst),
+                    epoch: self.epoch_of(dst),
+                }
+            })
     }
 
     /// Blocking receive of the next message from `src`; asserts the tag
@@ -298,9 +569,128 @@ impl ThreadComm {
         }
     }
 
+    /// Elastic blocking receive with a failure detector. Polls the
+    /// channel every `live.poll`; while silent it watches `src`'s
+    /// liveness epoch and the world's death certificates. Once `src`'s
+    /// epoch has not moved for `live.deadline` the peer is declared dead
+    /// and the call returns [`CommError::RankDeath`]; an already-filed
+    /// certificate (for any rank) aborts immediately so one detection
+    /// cascades to every waiting survivor.
+    pub fn try_recv(
+        &self,
+        src: usize,
+        tag: u64,
+        live: &LivenessConfig,
+    ) -> Result<Vec<Complex64>, CommError> {
+        use crossbeam::channel::RecvTimeoutError;
+        let mut last_epoch = self.epoch_of(src);
+        let mut last_progress = Instant::now();
+        loop {
+            match self.receivers[src].recv_timeout(live.poll) {
+                Ok(payload) => {
+                    #[cfg(feature = "fault-inject")]
+                    let payload = {
+                        let (got_tag, data, cksum) = payload;
+                        if self.world.plan.is_some()
+                            && src != self.rank
+                            && fault::checksum(&data) != cksum
+                        {
+                            // Corrupted in transit: discard and keep
+                            // waiting for the retransmission.
+                            continue;
+                        }
+                        (got_tag, data, cksum)
+                    };
+                    let (got_tag, data) = Self::unframe(payload);
+                    assert_eq!(
+                        got_tag, tag,
+                        "rank {} expected tag {tag} from {src}, got {got_tag}",
+                        self.rank
+                    );
+                    return Ok(data);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    qt_telemetry::counters::add_heartbeat_timeout();
+                    // Waiting is progress: keep our own epoch moving so
+                    // peers blocked on *us* don't declare us dead.
+                    self.heartbeat();
+                    if let Some(s) = self.first_dead_excluding(self.rank) {
+                        return Err(CommError::RankDeath {
+                            rank: self.identity_of(s),
+                            epoch: self.epoch_of(s),
+                        });
+                    }
+                    let e = self.epoch_of(src);
+                    if e != last_epoch {
+                        last_epoch = e;
+                        last_progress = Instant::now();
+                    } else if last_progress.elapsed() >= live.deadline {
+                        self.declare_dead(src);
+                        return Err(CommError::RankDeath {
+                            rank: self.identity_of(src),
+                            epoch: e,
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Unreachable today (all Sender clones live in the
+                    // shared world), but a vanished channel is death
+                    // evidence all the same.
+                    self.declare_dead(src);
+                    return Err(CommError::RankDeath {
+                        rank: self.identity_of(src),
+                        epoch: self.epoch_of(src),
+                    });
+                }
+            }
+        }
+    }
+
     /// Synchronize all ranks.
     pub fn barrier(&self) {
         self.world.barrier.wait();
+    }
+
+    /// Liveness-aware barrier. A dead rank never reaches a
+    /// [`ThreadComm::barrier`], which would hang every survivor; this
+    /// variant records per-rank arrival generations and runs the same
+    /// epoch-deadline detector while waiting, so a death surfaces as
+    /// [`CommError::RankDeath`] on every survivor instead.
+    pub fn try_barrier(&self, live: &LivenessConfig) -> Result<(), CommError> {
+        let gen = self.barrier_gen.get() + 1;
+        self.barrier_gen.set(gen);
+        self.world.arrivals[self.rank].store(gen, Ordering::Release);
+        let n = self.world.n;
+        let mut last: Vec<(u64, Instant)> =
+            (0..n).map(|s| (self.epoch_of(s), Instant::now())).collect();
+        loop {
+            if (0..n).all(|s| self.world.arrivals[s].load(Ordering::Acquire) >= gen) {
+                return Ok(());
+            }
+            if let Some(s) = self.first_dead_excluding(self.rank) {
+                return Err(CommError::RankDeath {
+                    rank: self.identity_of(s),
+                    epoch: self.epoch_of(s),
+                });
+            }
+            std::thread::sleep(live.poll);
+            self.heartbeat();
+            for (s, entry) in last.iter_mut().enumerate() {
+                if self.world.arrivals[s].load(Ordering::Acquire) >= gen {
+                    continue;
+                }
+                let e = self.epoch_of(s);
+                if e != entry.0 {
+                    *entry = (e, Instant::now());
+                } else if entry.1.elapsed() >= live.deadline {
+                    self.declare_dead(s);
+                    return Err(CommError::RankDeath {
+                        rank: self.identity_of(s),
+                        epoch: e,
+                    });
+                }
+            }
+        }
     }
 
     /// Broadcast from `root`: returns the payload on every rank.
@@ -410,6 +800,40 @@ where
     let comms = ThreadComm::world_with_faults(n, plan);
     run_comms(comms, move |comm| {
         if stalled == Some(comm.rank()) {
+            std::thread::sleep(stall);
+        }
+        f(comm)
+    })
+}
+
+/// Run a fallible closure on a survivor world (slot `i` has original
+/// identity `identity[i]`) and collect each rank's outcome — typed
+/// errors, not panics, so the supervision loop can inspect deaths.
+pub fn run_elastic_world<T, F>(identity: Vec<usize>, f: F) -> Vec<Result<T, CommError>>
+where
+    T: Send,
+    F: Fn(ThreadComm) -> Result<T, CommError> + Sync,
+{
+    run_comms(ThreadComm::elastic_world(identity), f)
+}
+
+/// [`run_elastic_world`] under a fault plan: kill schedules (matched by
+/// original identity) and the message-level fault protocol both apply.
+#[cfg(feature = "fault-inject")]
+pub fn run_elastic_world_with_faults<T, F>(
+    identity: Vec<usize>,
+    plan: FaultPlan,
+    f: F,
+) -> Vec<Result<T, CommError>>
+where
+    T: Send,
+    F: Fn(ThreadComm) -> Result<T, CommError> + Sync,
+{
+    let stalled = plan.stalled_rank;
+    let stall = plan.stall;
+    let comms = ThreadComm::elastic_world_with_faults(identity, plan);
+    run_comms(comms, move |comm| {
+        if stalled == Some(comm.identity()) {
             std::thread::sleep(stall);
         }
         f(comm)
@@ -559,6 +983,93 @@ mod tests {
         });
         assert_eq!(out[0], 10.0);
         // No network bytes for a single rank.
+    }
+
+    #[test]
+    fn elastic_world_roundtrip_keeps_identities() {
+        // A 2-slot survivor world standing in for original ranks {0, 2}.
+        let live = LivenessConfig::default();
+        let out = run_elastic_world(vec![0, 2], move |comm| {
+            assert_eq!(comm.identity_of(1), 2);
+            if comm.rank() == 0 {
+                comm.try_send(1, 4, vec![c64(8.0, 0.0)])?;
+                comm.try_barrier(&live)?;
+                Ok(comm.identity())
+            } else {
+                let d = comm.try_recv(0, 4, &live)?;
+                comm.try_barrier(&live)?;
+                Ok(d[0].re as usize + comm.identity())
+            }
+        });
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[1], Ok(10)); // 8.0 payload + identity 2
+    }
+
+    #[test]
+    fn silent_peer_is_declared_dead_by_deadline() {
+        let live = LivenessConfig {
+            poll: Duration::from_millis(1),
+            deadline: Duration::from_millis(30),
+        };
+        let out = run_elastic_world(vec![0, 1], move |comm| {
+            if comm.rank() == 0 {
+                // Rank 1 never sends and never heartbeats: the detector
+                // must convert the silence into a typed death.
+                comm.try_recv(1, 9, &live).map(|_| ())
+            } else {
+                std::thread::sleep(Duration::from_millis(120));
+                Ok(())
+            }
+        });
+        assert_eq!(
+            out[0],
+            Err(CommError::RankDeath { rank: 1, epoch: 0 }),
+            "silence past the deadline must surface as RankDeath"
+        );
+        assert_eq!(out[1], Ok(()));
+    }
+
+    #[test]
+    fn death_certificate_cascades_through_try_barrier() {
+        // Rank 2 dies silently; rank 0 detects it in try_recv, and the
+        // shared certificate aborts rank 1's barrier wait too.
+        let live = LivenessConfig {
+            poll: Duration::from_millis(1),
+            deadline: Duration::from_millis(30),
+        };
+        let out = run_elastic_world(vec![0, 1, 2], move |comm| match comm.rank() {
+            0 => comm.try_recv(2, 5, &live).map(|_| ()),
+            1 => comm.try_barrier(&live),
+            _ => {
+                std::thread::sleep(Duration::from_millis(150));
+                Ok(())
+            }
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().suspect(), 2);
+        assert_eq!(out[1].as_ref().unwrap_err().suspect(), 2);
+    }
+
+    #[test]
+    fn heartbeats_keep_a_computing_rank_alive() {
+        let live = LivenessConfig {
+            poll: Duration::from_millis(1),
+            deadline: Duration::from_millis(40),
+        };
+        let out = run_elastic_world(vec![0, 1], move |comm| {
+            if comm.rank() == 0 {
+                comm.try_recv(1, 3, &live).map(|d| d[0].re)
+            } else {
+                // "Compute" well past the deadline, but heartbeat while
+                // doing so — the peer must keep waiting.
+                for _ in 0..10 {
+                    std::thread::sleep(Duration::from_millis(10));
+                    comm.heartbeat();
+                }
+                comm.try_send(0, 3, vec![c64(7.0, 0.0)])?;
+                Ok(0.0)
+            }
+        });
+        assert_eq!(out[0], Ok(7.0));
     }
 
     #[test]

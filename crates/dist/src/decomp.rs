@@ -168,6 +168,130 @@ impl DaceDecomp {
     }
 }
 
+/// Survivor re-tiling of the CA decomposition.
+///
+/// The DaCe tiling assigns one *work unit* per original rank: the tile
+/// `(i, j) = coords(r)`, the GF energy chunk `r` of `OmenDecomp`, and the
+/// `(q, ω)` phonon points with `(q·Nω + ω) mod P == r`. Elasticity keeps
+/// the original `P = TE·TA` unit grid fixed — so halos, volumes, and
+/// results stay comparable across deaths — and maps each unit to a
+/// *surviving* original rank. On a death, only the dead rank's units
+/// migrate (minimal movement), each to the currently least-loaded
+/// survivor (ties broken toward the lowest rank id), so the reassignment
+/// is deterministic and balanced.
+#[derive(Clone, Debug)]
+pub struct ElasticTiling {
+    /// The original (pre-death) tile grid; never shrinks.
+    pub dec: DaceDecomp,
+    /// Sorted original ids of the ranks still alive.
+    pub survivors: Vec<usize>,
+    /// `owner[u]` = original rank id currently responsible for work unit
+    /// `u` (a tile index `i·TA + j`). Meaningless once `survivors` is
+    /// empty — callers must check [`ElasticTiling::world_size`] first.
+    pub owner: Vec<usize>,
+}
+
+impl ElasticTiling {
+    /// The fault-free tiling: every original rank owns its own unit.
+    pub fn new(p: &SimParams, te: usize, ta: usize) -> Self {
+        let dec = DaceDecomp::new(p, te, ta);
+        let procs = dec.procs();
+        ElasticTiling {
+            dec,
+            survivors: (0..procs).collect(),
+            owner: (0..procs).collect(),
+        }
+    }
+
+    /// Number of work units (= original world size `TE·TA`).
+    pub fn procs(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of surviving ranks (= the shrunken world size).
+    pub fn world_size(&self) -> usize {
+        self.survivors.len()
+    }
+
+    /// Is original rank `rank` still alive?
+    pub fn is_survivor(&self, rank: usize) -> bool {
+        self.survivors.binary_search(&rank).is_ok()
+    }
+
+    /// World slot of surviving original rank `rank`.
+    pub fn slot_of(&self, rank: usize) -> usize {
+        self.survivors
+            .binary_search(&rank)
+            .expect("rank is a survivor")
+    }
+
+    /// World slot of the survivor owning work unit `unit`.
+    pub fn owner_slot(&self, unit: usize) -> usize {
+        self.slot_of(self.owner[unit])
+    }
+
+    /// Work units owned by original rank `rank`, ascending.
+    pub fn units_of(&self, rank: usize) -> Vec<usize> {
+        (0..self.owner.len())
+            .filter(|&u| self.owner[u] == rank)
+            .collect()
+    }
+
+    /// Units currently owned by original rank `rank`.
+    pub fn load(&self, rank: usize) -> usize {
+        self.owner.iter().filter(|&&o| o == rank).count()
+    }
+
+    /// Remove a dead rank and migrate *only its* units, each to the
+    /// least-loaded survivor at that moment (ties → lowest rank id).
+    /// Returns the migrated unit ids, ascending. With no survivors left
+    /// the orphan units stay formally assigned to `dead`; the world size
+    /// is then 0 and no work can run.
+    pub fn remove_rank(&mut self, dead: usize) -> Vec<usize> {
+        if let Ok(pos) = self.survivors.binary_search(&dead) {
+            self.survivors.remove(pos);
+        }
+        let orphans = self.units_of(dead);
+        if self.survivors.is_empty() {
+            return orphans;
+        }
+        for &u in &orphans {
+            let new_owner = self
+                .survivors
+                .iter()
+                .copied()
+                .min_by_key(|&r| (self.load(r), r))
+                .expect("nonempty survivors");
+            self.owner[u] = new_owner;
+        }
+        orphans
+    }
+
+    /// Remove a dead rank *without* migrating its units: degraded-mode
+    /// abandonment. The orphans stay mapped to `dead` and report as not
+    /// live; the elastic scheme skips them (their tiles complete as
+    /// zeros). Returns the abandoned unit ids, ascending.
+    pub fn abandon_rank(&mut self, dead: usize) -> Vec<usize> {
+        if let Ok(pos) = self.survivors.binary_search(&dead) {
+            self.survivors.remove(pos);
+        }
+        self.units_of(dead)
+    }
+
+    /// Is work unit `unit` still backed by a surviving rank? Abandoned
+    /// units (degraded mode) report `false`.
+    pub fn is_live_unit(&self, unit: usize) -> bool {
+        self.is_survivor(self.owner[unit])
+    }
+
+    /// Live units, ascending — the units that will actually be computed.
+    pub fn live_units(&self) -> Vec<usize> {
+        (0..self.owner.len())
+            .filter(|&u| self.is_live_unit(u))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +370,43 @@ mod tests {
         }
         // Balanced: every rank owns the same number of points (dims divide).
         assert!(owned.iter().all(|&c| c == owned[0]), "{owned:?}");
+    }
+
+    #[test]
+    fn elastic_tiling_migrates_only_dead_units() {
+        let p = SimParams::test_small();
+        let mut t = ElasticTiling::new(&p, 3, 4);
+        assert_eq!(t.world_size(), 12);
+        let before = t.owner.clone();
+        let moved = t.remove_rank(5);
+        assert_eq!(moved, vec![5], "exactly the dead rank's unit migrates");
+        for u in 0..12 {
+            if u != 5 {
+                assert_eq!(t.owner[u], before[u], "survivor units must not move");
+            }
+        }
+        assert!(!t.is_survivor(5));
+        assert!(t.is_survivor(t.owner[5]));
+        // A second death: the doubly-loaded rank is skipped by the
+        // least-loaded rule.
+        let heavy = t.owner[5];
+        let moved2 = t.remove_rank(7);
+        assert_eq!(moved2, vec![7]);
+        assert_ne!(t.owner[7], heavy, "least-loaded survivor takes the orphan");
+    }
+
+    #[test]
+    fn elastic_tiling_survives_to_the_last_rank() {
+        let p = SimParams::test_small();
+        let mut t = ElasticTiling::new(&p, 2, 2);
+        for dead in [0, 2, 3] {
+            t.remove_rank(dead);
+        }
+        assert_eq!(t.survivors, vec![1]);
+        assert!(t.owner.iter().all(|&o| o == 1), "{:?}", t.owner);
+        let orphans = t.remove_rank(1);
+        assert_eq!(orphans, vec![0, 1, 2, 3]);
+        assert_eq!(t.world_size(), 0);
     }
 
     #[test]

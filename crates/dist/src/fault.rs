@@ -87,6 +87,13 @@ pub struct FaultPlan {
     pub stall: Duration,
     /// Retry/timeout policy for the recovery protocol.
     pub retry: RetryPolicy,
+    /// Kill schedule: `(rank, msg_idx)` pairs. Rank ids are *original*
+    /// (pre-shrink) identities; `msg_idx` counts the rank's outbound
+    /// logical messages within one world run, so "kill rank 2 at its 5th
+    /// send" replays identically on every run. Once killed, a rank
+    /// transmits nothing ever again — the failure detector on the
+    /// survivors has to notice the silence.
+    pub kill_at: Vec<(usize, u64)>,
 }
 
 impl FaultPlan {
@@ -101,6 +108,7 @@ impl FaultPlan {
             stalled_rank: None,
             stall: Duration::from_millis(20),
             retry: RetryPolicy::default(),
+            kill_at: Vec::new(),
         }
     }
 
@@ -133,6 +141,22 @@ impl FaultPlan {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Schedule `rank` (original identity) to die immediately before its
+    /// `msg_idx`-th outbound logical message of a world run.
+    pub fn with_kill_at(mut self, rank: usize, msg_idx: u64) -> Self {
+        self.kill_at.push((rank, msg_idx));
+        self
+    }
+
+    /// The kill ordinal for `rank`, if it is scheduled to die.
+    pub fn kill_for(&self, rank: usize) -> Option<u64> {
+        self.kill_at
+            .iter()
+            .filter(|&&(r, _)| r == rank)
+            .map(|&(_, m)| m)
+            .min()
     }
 
     /// The fault injected into transmission `attempt` of logical message
@@ -281,6 +305,17 @@ mod tests {
         let empty: Vec<Complex64> = Vec::new();
         assert_eq!(corrupted_copy(&empty, 3), empty);
         assert_ne!(checksum(&empty) ^ BROKEN_CHECKSUM_XOR, checksum(&empty));
+    }
+
+    #[test]
+    fn kill_schedule_picks_earliest_ordinal_per_rank() {
+        let plan = FaultPlan::new(0)
+            .with_kill_at(2, 7)
+            .with_kill_at(2, 3)
+            .with_kill_at(5, 0);
+        assert_eq!(plan.kill_for(2), Some(3));
+        assert_eq!(plan.kill_for(5), Some(0));
+        assert_eq!(plan.kill_for(0), None);
     }
 
     #[test]

@@ -15,6 +15,13 @@ pub mod volume;
 
 #[cfg(feature = "fault-inject")]
 pub use comm::run_world_with_faults;
-pub use comm::{run_world, ThreadComm};
+pub use comm::{run_elastic_world, run_world, CommError, LivenessConfig, ThreadComm};
+pub use decomp::ElasticTiling;
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultAction, FaultPlan, RetryPolicy};
+#[cfg(feature = "fault-inject")]
+pub use runner::distributed_iteration_elastic_with_faults;
+pub use runner::{distributed_iteration_elastic, ElasticIterationResult, ElasticPolicy};
+#[cfg(feature = "fault-inject")]
+pub use schemes::elastic_sse_exchange_with_faults;
+pub use schemes::{elastic_sse_exchange, ElasticExchange};

@@ -9,17 +9,20 @@
 //! driver owns the whole pipeline — the distributed analogue of
 //! `qt_core::scf`'s single iteration.
 
-use crate::comm::run_world;
-use crate::decomp::OmenDecomp;
-use crate::schemes::{dace_scheme, CommStats, SseDistContext};
+use crate::comm::{run_world, LivenessConfig};
+use crate::decomp::{ElasticTiling, OmenDecomp};
+use crate::schemes::{
+    dace_scheme, elastic_sse_exchange, CommStats, ElasticExchange, SseDistContext,
+};
 use qt_core::device::Device;
 use qt_core::gf::{self, ElectronSelfEnergy, GfConfig, PhononSelfEnergy};
 use qt_core::grids::Grids;
 use qt_core::hamiltonian::{ElectronModel, PhononModel};
-use qt_core::health::NumericalError;
+use qt_core::health::{CoverageReport, NumericalError, QuarantinedPoint};
 use qt_core::params::SimParams;
 use qt_core::sse;
 use qt_linalg::Tensor;
+use std::collections::BTreeSet;
 
 /// Result of one distributed iteration.
 pub struct DistIterationResult {
@@ -76,25 +79,50 @@ pub fn distributed_iteration_with_faults(
     })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn distributed_iteration_impl(
+/// Everything the GF phase produces: the inputs of the SSE exchange.
+struct GfPhase {
+    dh: Tensor,
+    g_lesser: Tensor,
+    g_greater: Tensor,
+    d_lesser_pre: Tensor,
+    d_greater_pre: Tensor,
+    current: f64,
+}
+
+impl GfPhase {
+    fn ctx<'a>(
+        &'a self,
+        p: &'a SimParams,
+        dev: &'a Device,
+        grids: &'a Grids,
+    ) -> SseDistContext<'a> {
+        SseDistContext {
+            p,
+            dev,
+            grids,
+            dh: &self.dh,
+            g_lesser: &self.g_lesser,
+            g_greater: &self.g_greater,
+            d_lesser_pre: &self.d_lesser_pre,
+            d_greater_pre: &self.d_greater_pre,
+        }
+    }
+}
+
+/// The GF phase: each rank computes its energy chunk. (Thread-world ranks
+/// write disjoint slices; results are assembled into the global tensors
+/// that seed the SSE exchange, mirroring how each MPI rank would hold its
+/// slice in place.)
+fn gf_phase(
     p: &SimParams,
     dev: &Device,
     em: &ElectronModel,
     pm: &PhononModel,
     grids: &Grids,
     cfg: &GfConfig,
-    te: usize,
-    ta: usize,
-    sse_exchange: impl FnOnce(&SseDistContext<'_>) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats),
-) -> Result<DistIterationResult, NumericalError> {
-    let _span = qt_telemetry::Span::enter_global("dist/iteration");
-    let procs = te * ta;
+    procs: usize,
+) -> Result<GfPhase, NumericalError> {
     let dh = em.dh_tensor(dev);
-    // ---- GF phase: each rank computes its energy chunk. ----
-    // (Thread-world ranks write disjoint slices; results are assembled
-    // into the global tensors that seed the SSE exchange, mirroring how
-    // each MPI rank would hold its slice in place.)
     let dec = OmenDecomp::new(p, procs);
     let chunks: Vec<Result<(usize, gf::ElectronGf), NumericalError>> = run_world(procs, |comm| {
         let rank = comm.rank();
@@ -136,25 +164,257 @@ fn distributed_iteration_impl(
     // parallelization is identical in kind).
     let pgf = gf::phonon_gf_phase(dev, pm, p, grids, &PhononSelfEnergy::zeros(p), cfg)?;
     let (dl, dg) = sse::preprocess_d(dev, p, &pgf);
+    Ok(GfPhase {
+        dh,
+        g_lesser,
+        g_greater,
+        d_lesser_pre: dl,
+        d_greater_pre: dg,
+        current,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn distributed_iteration_impl(
+    p: &SimParams,
+    dev: &Device,
+    em: &ElectronModel,
+    pm: &PhononModel,
+    grids: &Grids,
+    cfg: &GfConfig,
+    te: usize,
+    ta: usize,
+    sse_exchange: impl FnOnce(&SseDistContext<'_>) -> (ElectronSelfEnergy, PhononSelfEnergy, CommStats),
+) -> Result<DistIterationResult, NumericalError> {
+    let _span = qt_telemetry::Span::enter_global("dist/iteration");
+    let gfp = gf_phase(p, dev, em, pm, grids, cfg, te * ta)?;
     // ---- SSE phase: communication-avoiding exchange + local compute. ----
-    let ctx = SseDistContext {
-        p,
-        dev,
-        grids,
-        dh: &dh,
-        g_lesser: &g_lesser,
-        g_greater: &g_greater,
-        d_lesser_pre: &dl,
-        d_greater_pre: &dg,
-    };
-    let (sigma, pi, stats) = sse_exchange(&ctx);
+    let (sigma, pi, stats) = sse_exchange(&gfp.ctx(p, dev, grids));
     Ok(DistIterationResult {
         sigma,
         pi,
-        current,
+        current: gfp.current,
         sse_bytes: stats.world_bytes,
         comm: stats,
     })
+}
+
+/// Tuning for the elastic supervision loop.
+#[derive(Clone, Debug)]
+pub struct ElasticPolicy {
+    /// Failure-detector configuration for the survivor worlds.
+    pub live: LivenessConfig,
+    /// Ceiling on [`CoverageReport::bad_fraction`]: the fraction of
+    /// electron grid points whose backing distributed state may ride
+    /// recovery. A death that would push past it is *not* recovered — its
+    /// units are abandoned and the iteration completes degraded, with the
+    /// abandoned tiles zero-filled.
+    pub max_bad_fraction: f64,
+    /// Hard bound on detect→retile→retry rounds (hang-proofing; a world
+    /// can die at most once per original rank, so the default is ample).
+    pub max_retiles: usize,
+}
+
+impl Default for ElasticPolicy {
+    fn default() -> Self {
+        ElasticPolicy {
+            live: LivenessConfig::default(),
+            max_bad_fraction: qt_core::health::HealthPolicy::default().max_bad_fraction,
+            max_retiles: 64,
+        }
+    }
+}
+
+/// Result of one elastic distributed iteration.
+pub struct ElasticIterationResult {
+    pub result: DistIterationResult,
+    /// Electron-grid coverage. Quarantined entries mark the `(kz, E)`
+    /// points whose backing GF-chunk state sat on a rank that died —
+    /// whether the point then rode recovery (recomputed on a survivor,
+    /// bitwise exact) or was zero-filled in a degraded completion.
+    pub coverage: CoverageReport,
+    /// True when the run completed with abandoned tiles (zero-filled
+    /// Σ≷/Π≷ slices) instead of full recovery.
+    pub degraded: bool,
+    /// Original ids of the ranks that died, in detection order.
+    pub deaths: Vec<usize>,
+    /// Number of detect→retile→retry rounds the supervisor ran.
+    pub retiles: usize,
+    /// Work units migrated onto survivors across all retiles.
+    pub migrated_units: usize,
+}
+
+/// Run one GF+SSE iteration with elastic rank-failure recovery.
+///
+/// The GF phase runs on the full original world (it communicates nothing).
+/// The SSE exchange runs under supervision: each attempt executes the
+/// elastic CA scheme over the current survivor set; a detected death
+/// shrinks the tiling (only the dead rank's units migrate) and the
+/// exchange retries on a fresh survivor world. A successful recovery is
+/// *bitwise identical* to the fault-free run. When a death would push the
+/// quarantined fraction past [`ElasticPolicy::max_bad_fraction`], its
+/// units are abandoned instead and the iteration completes in degraded
+/// mode with those tiles zero-filled and reported in the coverage.
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_iteration_elastic(
+    p: &SimParams,
+    dev: &Device,
+    em: &ElectronModel,
+    pm: &PhononModel,
+    grids: &Grids,
+    cfg: &GfConfig,
+    te: usize,
+    ta: usize,
+    policy: &ElasticPolicy,
+) -> Result<ElasticIterationResult, NumericalError> {
+    distributed_iteration_elastic_impl(p, dev, em, pm, grids, cfg, te, ta, policy, |ctx, tiling| {
+        elastic_sse_exchange(ctx, tiling, &policy.live)
+    })
+}
+
+/// [`distributed_iteration_elastic`] with the SSE exchange running under a
+/// deterministic fault plan, including `kill_at` schedules. Kills are
+/// matched by original identity, so a rank dies at most once across the
+/// retries and the recovery sequence replays identically on every run.
+#[cfg(feature = "fault-inject")]
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_iteration_elastic_with_faults(
+    p: &SimParams,
+    dev: &Device,
+    em: &ElectronModel,
+    pm: &PhononModel,
+    grids: &Grids,
+    cfg: &GfConfig,
+    te: usize,
+    ta: usize,
+    policy: &ElasticPolicy,
+    plan: crate::fault::FaultPlan,
+) -> Result<ElasticIterationResult, NumericalError> {
+    distributed_iteration_elastic_impl(p, dev, em, pm, grids, cfg, te, ta, policy, |ctx, tiling| {
+        crate::schemes::elastic_sse_exchange_with_faults(ctx, tiling, &policy.live, plan.clone())
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn distributed_iteration_elastic_impl(
+    p: &SimParams,
+    dev: &Device,
+    em: &ElectronModel,
+    pm: &PhononModel,
+    grids: &Grids,
+    cfg: &GfConfig,
+    te: usize,
+    ta: usize,
+    policy: &ElasticPolicy,
+    exchange: impl Fn(&SseDistContext<'_>, &ElasticTiling) -> ElasticExchange,
+) -> Result<ElasticIterationResult, NumericalError> {
+    let _span = qt_telemetry::Span::enter_global("dist/iteration_elastic");
+    let procs = te * ta;
+    let gfp = gf_phase(p, dev, em, pm, grids, cfg, procs)?;
+    let ctx = gfp.ctx(p, dev, grids);
+    let gf_dec = OmenDecomp::new(p, procs);
+    let mut tiling = ElasticTiling::new(p, te, ta);
+    let mut coverage = CoverageReport::full(p.nkz * p.ne);
+    let mut quarantined_idx: BTreeSet<usize> = BTreeSet::new();
+    let mut deaths: Vec<usize> = Vec::new();
+    let mut retiles = 0usize;
+    let mut migrated_units = 0usize;
+    let finish = |result: DistIterationResult,
+                  coverage: CoverageReport,
+                  degraded: bool,
+                  deaths: Vec<usize>,
+                  retiles: usize,
+                  migrated_units: usize| ElasticIterationResult {
+        result,
+        coverage,
+        degraded,
+        deaths,
+        retiles,
+        migrated_units,
+    };
+    loop {
+        if tiling.world_size() == 0 || retiles > policy.max_retiles {
+            // Nobody left to compute (or the supervisor hit its retry
+            // bound): complete fully degraded with all-zero Σ≷/Π≷.
+            let empty = CommStats {
+                world_bytes: 0,
+                max_rank_recv: 0,
+                rank_sent: Vec::new(),
+                rank_recv: Vec::new(),
+            };
+            let result = DistIterationResult {
+                sigma: ElectronSelfEnergy::zeros(p),
+                pi: PhononSelfEnergy::zeros(p),
+                current: gfp.current,
+                sse_bytes: 0,
+                comm: empty,
+            };
+            return Ok(finish(
+                result,
+                coverage,
+                true,
+                deaths,
+                retiles,
+                migrated_units,
+            ));
+        }
+        match exchange(&ctx, &tiling) {
+            Ok((sigma, pi, stats)) => {
+                let degraded = tiling.live_units().len() < procs;
+                let result = DistIterationResult {
+                    sigma,
+                    pi,
+                    current: gfp.current,
+                    sse_bytes: stats.world_bytes,
+                    comm: stats,
+                };
+                return Ok(finish(
+                    result,
+                    coverage,
+                    degraded,
+                    deaths,
+                    retiles,
+                    migrated_units,
+                ));
+            }
+            Err(suspects) => {
+                retiles += 1;
+                qt_telemetry::counters::add_retile_event();
+                for dead in suspects {
+                    if !tiling.is_survivor(dead) {
+                        continue; // already handled in an earlier round
+                    }
+                    deaths.push(dead);
+                    qt_telemetry::counters::add_rank_death();
+                    // Quarantine the electron grid points whose GF-chunk
+                    // state sat on the dead rank (deduplicated: a unit that
+                    // migrates and loses its new host again counts once).
+                    for u in tiling.units_of(dead) {
+                        for e in gf_dec.energy.range(u) {
+                            for k in 0..p.nkz {
+                                let grid_index = k * p.ne + e;
+                                if quarantined_idx.insert(grid_index) {
+                                    coverage.quarantined.push(QuarantinedPoint {
+                                        grid_index,
+                                        error: NumericalError::RankLoss { rank: dead },
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    if coverage.bad_fraction() <= policy.max_bad_fraction {
+                        let moved = tiling.remove_rank(dead).len();
+                        migrated_units += moved;
+                        qt_telemetry::counters::add_migrated_tiles(moved as u64);
+                    } else {
+                        // Too much of the grid would ride recovery: give
+                        // the units up instead of migrating them.
+                        tiling.abandon_rank(dead);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -238,6 +498,44 @@ mod tests {
         let halo = dev.max_neighbor_index_distance();
         let model = crate::volume::dace_rank_sent_bytes(&p, te, ta, halo);
         assert_eq!(dist.comm.rank_sent, model);
+    }
+
+    #[test]
+    fn elastic_iteration_without_faults_matches_classic_bitwise() {
+        let p = SimParams {
+            nkz: 2,
+            nqz: 2,
+            ne: 12,
+            nw: 2,
+            na: 12,
+            nb: 3,
+            norb: 2,
+            bnum: 4,
+        };
+        let dev = Device::new(&p);
+        let em = ElectronModel::for_params(&p);
+        let pm = PhononModel::default();
+        let grids = Grids::new(&p, -1.2, 1.2);
+        let cfg = GfConfig::default();
+        let classic = distributed_iteration(&p, &dev, &em, &pm, &grids, &cfg, 2, 2).unwrap();
+        let policy = ElasticPolicy::default();
+        let el =
+            distributed_iteration_elastic(&p, &dev, &em, &pm, &grids, &cfg, 2, 2, &policy).unwrap();
+        assert!(!el.degraded);
+        assert!(el.deaths.is_empty());
+        assert_eq!(el.retiles, 0);
+        assert_eq!(el.migrated_units, 0);
+        assert!(el.coverage.is_full());
+        assert_eq!(el.result.current, classic.current);
+        assert_eq!(
+            el.result.sigma.lesser.as_slice(),
+            classic.sigma.lesser.as_slice()
+        );
+        assert_eq!(
+            el.result.pi.greater.as_slice(),
+            classic.pi.greater.as_slice()
+        );
+        assert_eq!(el.result.comm.rank_sent, classic.comm.rank_sent);
     }
 
     #[test]

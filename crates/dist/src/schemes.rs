@@ -15,8 +15,8 @@
 //!
 //! The measured byte counts follow the closed forms in [`crate::volume`].
 
-use crate::comm::{run_world, ThreadComm};
-use crate::decomp::{DaceDecomp, OmenDecomp};
+use crate::comm::{run_elastic_world, run_world, CommError, LivenessConfig, ThreadComm};
+use crate::decomp::{DaceDecomp, ElasticTiling, OmenDecomp};
 use qt_core::device::Device;
 use qt_core::gf::{ElectronSelfEnergy, PhononSelfEnergy};
 use qt_core::grids::Grids;
@@ -480,51 +480,22 @@ fn dace_rank_body(ctx: &SseDistContext<'_>, te: usize, ta: usize, comm: ThreadCo
         let dec = DaceDecomp::new(p, te, ta);
         let gf_dec = OmenDecomp::new(p, procs); // initial GF-phase layout
         let my_gf_e = gf_dec.energy.range(rank);
-        let (ti, tj) = dec.coords(rank);
-        let e_halo = dec.energy_halo(ti, p.nw);
-        let a_win = atom_window_exact(&dec, tj, halo, p.na);
+        let geom = tile_geom(&dec, p, halo, rank);
         // ---- All-to-all #1: G≷ tiles with halos. ----
         let mut sendbufs: Vec<Vec<Complex64>> = Vec::with_capacity(procs);
         for dst in 0..procs {
-            let (di, dj) = dec.coords(dst);
-            let dst_e = dec.energy_halo(di, p.nw);
-            let dst_a = atom_window_exact(&dec, dj, halo, p.na);
-            let mut buf = Vec::new();
-            for g in [ctx.g_lesser, ctx.g_greater] {
-                for e in my_gf_e.clone() {
-                    if !dst_e.contains(&e) {
-                        continue;
-                    }
-                    buf.extend(pack_g_slice(g, p.nkz, e, dst_a.clone(), nn));
-                }
-            }
-            sendbufs.push(buf);
+            let dst_geom = tile_geom(&dec, p, halo, dst);
+            sendbufs.push(pack_g_halo(ctx, my_gf_e.clone(), &dst_geom, nn));
         }
         let recvd = comm.alltoallv(sendbufs, 1);
         // Assemble local halo arrays [tensor][k][e_halo][a_win][nn].
-        let eh_len = e_halo.len();
-        let aw_len = a_win.len();
+        let aw_len = geom.a_win.len();
         let mut g_local = [
-            vec![Complex64::ZERO; p.nkz * eh_len * aw_len * nn],
-            vec![Complex64::ZERO; p.nkz * eh_len * aw_len * nn],
+            vec![Complex64::ZERO; p.nkz * geom.e_halo.len() * aw_len * nn],
+            vec![Complex64::ZERO; p.nkz * geom.e_halo.len() * aw_len * nn],
         ];
         for (src, buf) in recvd.iter().enumerate() {
-            let src_e = gf_dec.energy.range(src);
-            let es: Vec<usize> = src_e.filter(|e| e_halo.contains(e)).collect();
-            let mut pos = 0;
-            for tensor in &mut g_local {
-                for &e in &es {
-                    let el = e - e_halo.start;
-                    for k in 0..p.nkz {
-                        for al in 0..aw_len {
-                            let off = ((k * eh_len + el) * aw_len + al) * nn;
-                            tensor[off..off + nn].copy_from_slice(&buf[pos..pos + nn]);
-                            pos += nn;
-                        }
-                    }
-                }
-            }
-            assert_eq!(pos, buf.len(), "unpack must consume the message");
+            unpack_g_halo(p, gf_dec.energy.range(src), &geom, buf, &mut g_local, nn);
         }
         // ---- All-to-all #2: D̃≷ for my atom window. ----
         let mut sendbufs: Vec<Vec<Complex64>> = Vec::with_capacity(procs);
@@ -571,130 +542,20 @@ fn dace_rank_body(ctx: &SseDistContext<'_>, te: usize, ta: usize, comm: ThreadCo
             assert_eq!(pos, buf.len());
         }
         // ---- Local SSE over my (energy tile × atom tile). ----
-        let my_e = dec.energy.range(ti);
-        let my_a = dec.atoms.range(tj);
-        let mut sig = [
-            vec![Complex64::ZERO; p.nkz * my_e.len() * my_a.len() * nn],
-            vec![Complex64::ZERO; p.nkz * my_e.len() * my_a.len() * nn],
-        ];
-        let no = p.norb;
-        let mut dhg = vec![Complex64::ZERO; nn];
-        let mut dhd = vec![Complex64::ZERO; nn];
-        let mut prod = vec![Complex64::ZERO; nn];
-        for tensor in 0..2 {
-            let g_loc = &g_local[tensor];
-            let d_em = &d_local[tensor];
-            let d_ab = &d_local[1 - tensor]; // bosonic image for absorption
-            for k in 0..p.nkz {
-                for q in 0..p.nqz {
-                    let kq = ctx.grids.k_minus_q(k, q);
-                    for (el_out, e) in my_e.clone().enumerate() {
-                        for w in 0..p.nw {
-                            // Emission (E − ω − 1) and absorption (E + ω + 1).
-                            let sidebands = [
-                                e.checked_sub(w + 1),
-                                (e + w + 1 < p.ne).then_some(e + w + 1),
-                            ];
-                            for (side, es) in sidebands.iter().enumerate() {
-                                let Some(es) = *es else { continue };
-                                debug_assert!(e_halo.contains(&es));
-                                let ehl = es - e_halo.start;
-                                for (al_out, a) in my_a.clone().enumerate() {
-                                    let awl_a = a - a_win.start;
-                                    for slot in 0..p.nb {
-                                        let Some(f) = ctx.dev.neighbor(a, slot) else {
-                                            continue;
-                                        };
-                                        debug_assert!(a_win.contains(&f));
-                                        let fl = f - a_win.start;
-                                        let goff = ((kq * eh_len + ehl) * aw_len + fl) * nn;
-                                        let gblk = &g_loc[goff..goff + nn];
-                                        for i in 0..N3D {
-                                            let dh_i = ctx.dh.inner(&[a, slot, i]);
-                                            dhg.fill(Complex64::ZERO);
-                                            gemm::gemm_raw_acc(no, no, no, gblk, dh_i, &mut dhg);
-                                            dhd.fill(Complex64::ZERO);
-                                            for j in 0..N3D {
-                                                let dval = if side == 0 {
-                                                    let doff = ((q * p.nw + w) * aw_len + awl_a)
-                                                        * d_len
-                                                        + (slot * N3D + i) * N3D
-                                                        + j;
-                                                    d_em[doff]
-                                                } else {
-                                                    let doff = ((q * p.nw + w) * aw_len + awl_a)
-                                                        * d_len
-                                                        + (slot * N3D + j) * N3D
-                                                        + i;
-                                                    d_ab[doff].conj()
-                                                };
-                                                if dval == Complex64::ZERO {
-                                                    continue;
-                                                }
-                                                let dh_j = ctx.dh.inner(&[a, slot, j]);
-                                                for (t, &s) in dhd.iter_mut().zip(dh_j) {
-                                                    *t += s * dval;
-                                                }
-                                            }
-                                            prod.fill(Complex64::ZERO);
-                                            gemm::gemm_raw_acc(no, no, no, &dhg, &dhd, &mut prod);
-                                            let soff = ((k * my_e.len() + el_out) * my_a.len()
-                                                + al_out)
-                                                * nn;
-                                            let dst = &mut sig[tensor][soff..soff + nn];
-                                            for (o, v) in dst.iter_mut().zip(prod.iter()) {
-                                                *o += *v * scale;
-                                            }
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let sig = local_sse_tile(ctx, &geom, &g_local, &d_local, scale, &|| {});
         // Partial Π≷ over this rank's (energy tile × atom tile), reduced to
         // the (q, ω) owners. All inputs are already local: the E+ω reads sit
         // in the upper energy halo and the neighbor atoms in the window.
         let d_len = (p.nb + 1) * N3D * N3D;
         let pi_scale = c64(sse::pi_scale(p, ctx.grids), 0.0);
+        let my_a = geom.my_a.clone();
         let mut pi_owned: PiOwned = Vec::new();
         for q in 0..p.nqz {
             for w in 0..p.nw {
                 // Tile-local partials: contributions exist only for the
                 // rank's own atom tile, so only that slice travels — the
                 // (NA/TA + NB)·NB·N3D² term of §4.1's DaCe formula.
-                let mut part_l = vec![Complex64::ZERO; p.na * d_len];
-                let mut part_g = vec![Complex64::ZERO; p.na * d_len];
-                for e in my_e.clone() {
-                    let Some(ep) = (e + w + 1 < p.ne).then_some(e + w + 1) else {
-                        continue;
-                    };
-                    debug_assert!(e_halo.contains(&ep));
-                    let (ehl, el) = (ep - e_halo.start, e - e_halo.start);
-                    let g_local_ref = &g_local;
-                    let a_win_ref = &a_win;
-                    let hi = move |tensor: usize| {
-                        move |kq: usize, a: usize| -> Vec<Complex64> {
-                            debug_assert!(a_win_ref.contains(&a));
-                            let al = a - a_win_ref.start;
-                            let off = ((kq * eh_len + ehl) * aw_len + al) * nn;
-                            g_local_ref[tensor][off..off + nn].to_vec()
-                        }
-                    };
-                    let lo = move |tensor: usize| {
-                        move |k: usize, b: usize| -> Vec<Complex64> {
-                            debug_assert!(a_win_ref.contains(&b));
-                            let bl = b - a_win_ref.start;
-                            let off = ((k * eh_len + el) * aw_len + bl) * nn;
-                            g_local_ref[tensor][off..off + nn].to_vec()
-                        }
-                    };
-                    // Π<: G<(E+ω) × G>(E); Π>: G>(E+ω) × G<(E).
-                    pi_round_accumulate(ctx, q, my_a.clone(), &hi(0), &lo(1), &mut part_l);
-                    pi_round_accumulate(ctx, q, my_a.clone(), &hi(1), &lo(0), &mut part_g);
-                }
+                let (part_l, part_g) = pi_tile_partials(ctx, &geom, &g_local, q, w, &|| {});
                 let owner = gf_dec.d_owner(p, q, w);
                 let tag = (1 << 45) | ((q * p.nw + w) as u64 * 2);
                 // Send only the tile slice to the owner.
@@ -807,6 +668,564 @@ fn dace_rank_body(ctx: &SseDistContext<'_>, te: usize, ta: usize, comm: ThreadCo
 fn atom_window_exact(dec: &DaceDecomp, j: usize, halo: usize, na: usize) -> std::ops::Range<usize> {
     let r = dec.atoms.range(j);
     r.start.saturating_sub(halo)..(r.end + halo).min(na)
+}
+
+/// The geometry of one `(TE, TA)` tile — the shared vocabulary of the
+/// classic and elastic DaCe paths, so both compute bitwise-identical tiles.
+#[derive(Clone)]
+struct TileGeom {
+    /// Energy rows including the ±Nω sideband halo.
+    e_halo: std::ops::Range<usize>,
+    /// Atom columns including the neighbor-index window.
+    a_win: std::ops::Range<usize>,
+    /// Owned energy rows (no halo).
+    my_e: std::ops::Range<usize>,
+    /// Owned atom columns (no halo).
+    my_a: std::ops::Range<usize>,
+}
+
+fn tile_geom(dec: &DaceDecomp, p: &SimParams, halo: usize, unit: usize) -> TileGeom {
+    let (ti, tj) = dec.coords(unit);
+    TileGeom {
+        e_halo: dec.energy_halo(ti, p.nw),
+        a_win: atom_window_exact(dec, tj, halo, p.na),
+        my_e: dec.energy.range(ti),
+        my_a: dec.atoms.range(tj),
+    }
+}
+
+/// Pack the part of a GF-layout energy chunk that falls inside a tile's
+/// energy halo, over the tile's atom window: `[tensor][e][kz][a][nn]`.
+fn pack_g_halo(
+    ctx: &SseDistContext<'_>,
+    chunk: std::ops::Range<usize>,
+    dst: &TileGeom,
+    nn: usize,
+) -> Vec<Complex64> {
+    let mut buf = Vec::new();
+    for g in [ctx.g_lesser, ctx.g_greater] {
+        for e in chunk.clone() {
+            if !dst.e_halo.contains(&e) {
+                continue;
+            }
+            buf.extend(pack_g_slice(g, ctx.p.nkz, e, dst.a_win.clone(), nn));
+        }
+    }
+    buf
+}
+
+/// Unpack one [`pack_g_halo`] message into the tile's halo arrays
+/// `[tensor][k][e_halo][a_win][nn]`.
+fn unpack_g_halo(
+    p: &SimParams,
+    chunk: std::ops::Range<usize>,
+    geom: &TileGeom,
+    buf: &[Complex64],
+    g_local: &mut [Vec<Complex64>; 2],
+    nn: usize,
+) {
+    let eh_len = geom.e_halo.len();
+    let aw_len = geom.a_win.len();
+    let es: Vec<usize> = chunk.filter(|e| geom.e_halo.contains(e)).collect();
+    let mut pos = 0;
+    for tensor in g_local.iter_mut() {
+        for &e in &es {
+            let el = e - geom.e_halo.start;
+            for k in 0..p.nkz {
+                for al in 0..aw_len {
+                    let off = ((k * eh_len + el) * aw_len + al) * nn;
+                    tensor[off..off + nn].copy_from_slice(&buf[pos..pos + nn]);
+                    pos += nn;
+                }
+            }
+        }
+    }
+    assert_eq!(pos, buf.len(), "unpack must consume the message");
+}
+
+/// The local SSE over one tile once its halos are resident: reads
+/// `g_local`/`d_local` in the tile's window layout and returns
+/// `sig[tensor][k][e_local][a_local][nn]`. `hb` is invoked per outer
+/// iteration so a long compute keeps announcing liveness to the failure
+/// detector (the classic path passes a no-op).
+fn local_sse_tile(
+    ctx: &SseDistContext<'_>,
+    geom: &TileGeom,
+    g_local: &[Vec<Complex64>; 2],
+    d_local: &[Vec<Complex64>; 2],
+    scale: Complex64,
+    hb: &dyn Fn(),
+) -> [Vec<Complex64>; 2] {
+    let p = ctx.p;
+    let nn = p.norb * p.norb;
+    let d_len = p.nb * N3D * N3D;
+    let (e_halo, a_win) = (&geom.e_halo, &geom.a_win);
+    let (my_e, my_a) = (&geom.my_e, &geom.my_a);
+    let (eh_len, aw_len) = (e_halo.len(), a_win.len());
+    let mut sig = [
+        vec![Complex64::ZERO; p.nkz * my_e.len() * my_a.len() * nn],
+        vec![Complex64::ZERO; p.nkz * my_e.len() * my_a.len() * nn],
+    ];
+    let no = p.norb;
+    let mut dhg = vec![Complex64::ZERO; nn];
+    let mut dhd = vec![Complex64::ZERO; nn];
+    let mut prod = vec![Complex64::ZERO; nn];
+    for tensor in 0..2 {
+        let g_loc = &g_local[tensor];
+        let d_em = &d_local[tensor];
+        let d_ab = &d_local[1 - tensor]; // bosonic image for absorption
+        for k in 0..p.nkz {
+            for q in 0..p.nqz {
+                hb();
+                let kq = ctx.grids.k_minus_q(k, q);
+                for (el_out, e) in my_e.clone().enumerate() {
+                    for w in 0..p.nw {
+                        // Emission (E − ω − 1) and absorption (E + ω + 1).
+                        let sidebands = [
+                            e.checked_sub(w + 1),
+                            (e + w + 1 < p.ne).then_some(e + w + 1),
+                        ];
+                        for (side, es) in sidebands.iter().enumerate() {
+                            let Some(es) = *es else { continue };
+                            debug_assert!(e_halo.contains(&es));
+                            let ehl = es - e_halo.start;
+                            for (al_out, a) in my_a.clone().enumerate() {
+                                let awl_a = a - a_win.start;
+                                for slot in 0..p.nb {
+                                    let Some(f) = ctx.dev.neighbor(a, slot) else {
+                                        continue;
+                                    };
+                                    debug_assert!(a_win.contains(&f));
+                                    let fl = f - a_win.start;
+                                    let goff = ((kq * eh_len + ehl) * aw_len + fl) * nn;
+                                    let gblk = &g_loc[goff..goff + nn];
+                                    for i in 0..N3D {
+                                        let dh_i = ctx.dh.inner(&[a, slot, i]);
+                                        dhg.fill(Complex64::ZERO);
+                                        gemm::gemm_raw_acc(no, no, no, gblk, dh_i, &mut dhg);
+                                        dhd.fill(Complex64::ZERO);
+                                        for j in 0..N3D {
+                                            let dval = if side == 0 {
+                                                let doff = ((q * p.nw + w) * aw_len + awl_a)
+                                                    * d_len
+                                                    + (slot * N3D + i) * N3D
+                                                    + j;
+                                                d_em[doff]
+                                            } else {
+                                                let doff = ((q * p.nw + w) * aw_len + awl_a)
+                                                    * d_len
+                                                    + (slot * N3D + j) * N3D
+                                                    + i;
+                                                d_ab[doff].conj()
+                                            };
+                                            if dval == Complex64::ZERO {
+                                                continue;
+                                            }
+                                            let dh_j = ctx.dh.inner(&[a, slot, j]);
+                                            for (t, &s) in dhd.iter_mut().zip(dh_j) {
+                                                *t += s * dval;
+                                            }
+                                        }
+                                        prod.fill(Complex64::ZERO);
+                                        gemm::gemm_raw_acc(no, no, no, &dhg, &dhd, &mut prod);
+                                        let soff =
+                                            ((k * my_e.len() + el_out) * my_a.len() + al_out) * nn;
+                                        let dst = &mut sig[tensor][soff..soff + nn];
+                                        for (o, v) in dst.iter_mut().zip(prod.iter()) {
+                                            *o += *v * scale;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sig
+}
+
+/// Tile-local Π≷(q, ω) partials over one tile's energies and atoms, sized
+/// `[na][(nb+1)·9]`; contributions exist only inside `geom.my_a`, so only
+/// that slice needs to travel to the round owner.
+fn pi_tile_partials(
+    ctx: &SseDistContext<'_>,
+    geom: &TileGeom,
+    g_local: &[Vec<Complex64>; 2],
+    q: usize,
+    w: usize,
+    hb: &dyn Fn(),
+) -> (Vec<Complex64>, Vec<Complex64>) {
+    let p = ctx.p;
+    let nn = p.norb * p.norb;
+    let d_len = (p.nb + 1) * N3D * N3D;
+    let (e_halo, a_win) = (&geom.e_halo, &geom.a_win);
+    let (eh_len, aw_len) = (e_halo.len(), a_win.len());
+    let mut part_l = vec![Complex64::ZERO; p.na * d_len];
+    let mut part_g = vec![Complex64::ZERO; p.na * d_len];
+    for e in geom.my_e.clone() {
+        let Some(ep) = (e + w + 1 < p.ne).then_some(e + w + 1) else {
+            continue;
+        };
+        hb();
+        debug_assert!(e_halo.contains(&ep));
+        let (ehl, el) = (ep - e_halo.start, e - e_halo.start);
+        let g_local_ref = &g_local;
+        let a_win_ref = &a_win;
+        let hi = move |tensor: usize| {
+            move |kq: usize, a: usize| -> Vec<Complex64> {
+                debug_assert!(a_win_ref.contains(&a));
+                let al = a - a_win_ref.start;
+                let off = ((kq * eh_len + ehl) * aw_len + al) * nn;
+                g_local_ref[tensor][off..off + nn].to_vec()
+            }
+        };
+        let lo = move |tensor: usize| {
+            move |k: usize, b: usize| -> Vec<Complex64> {
+                debug_assert!(a_win_ref.contains(&b));
+                let bl = b - a_win_ref.start;
+                let off = ((k * eh_len + el) * aw_len + bl) * nn;
+                g_local_ref[tensor][off..off + nn].to_vec()
+            }
+        };
+        // Π<: G<(E+ω) × G>(E); Π>: G>(E+ω) × G<(E).
+        pi_round_accumulate(ctx, q, geom.my_a.clone(), &hi(0), &lo(1), &mut part_l);
+        pi_round_accumulate(ctx, q, geom.my_a.clone(), &hi(1), &lo(0), &mut part_g);
+    }
+    (part_l, part_g)
+}
+
+// ---------------------------------------------------------------------------
+// Elastic DaCe scheme: the CA tiling over an arbitrary survivor set.
+// ---------------------------------------------------------------------------
+
+/// Message tags for the unrolled elastic collectives. Each logical channel
+/// gets its own tag namespace so the strict tag-equality assert in
+/// [`crate::comm`] doubles as a protocol-order checker.
+fn tag_a2a1(procs: usize, u_src: usize, u_dst: usize) -> u64 {
+    (1 << 34) | (u_src * procs + u_dst) as u64
+}
+fn tag_a2a2(u_dst: usize) -> u64 {
+    (1 << 35) | u_dst as u64
+}
+fn tag_pi(procs: usize, qw: usize, u: usize) -> u64 {
+    (1 << 45) | ((qw * procs + u) as u64 * 2)
+}
+fn tag_gather(u: usize) -> u64 {
+    (1 << 50) | (u as u64 * 2)
+}
+
+/// Success: the assembled Σ≷/Π≷ plus the survivor world's measured traffic
+/// (indexed by survivor slot). Failure: the *original* ids of ranks newly
+/// confirmed dead — the supervisor re-tiles around them and retries. The
+/// list can be empty when every accusation was exonerated (survivors that
+/// exited early after detecting a death look dead to peers mid-send); the
+/// supervisor then simply retries on the unchanged tiling.
+pub type ElasticExchange = Result<(ElectronSelfEnergy, PhononSelfEnergy, CommStats), Vec<usize>>;
+
+/// Run the DaCe CA scheme over the survivors of `tiling`. With the full
+/// tiling this produces *bitwise identical* Σ≷/Π≷ to [`dace_scheme`]; after
+/// deaths, each survivor executes every work unit the tiling assigns to it,
+/// so the answer stays bitwise stable across any survivor set.
+pub fn elastic_sse_exchange(
+    ctx: &SseDistContext<'_>,
+    tiling: &ElasticTiling,
+    live: &LivenessConfig,
+) -> ElasticExchange {
+    let _span = qt_telemetry::Span::enter_global("comm/elastic_scheme");
+    let results = run_elastic_world(tiling.survivors.clone(), |comm: ThreadComm| {
+        elastic_rank_body(ctx, tiling, live, comm)
+    });
+    collect_elastic(&tiling.survivors, results)
+}
+
+/// [`elastic_sse_exchange`] on a world carrying a deterministic fault plan
+/// (drops/corruption/delays *and* kill schedules).
+#[cfg(feature = "fault-inject")]
+pub fn elastic_sse_exchange_with_faults(
+    ctx: &SseDistContext<'_>,
+    tiling: &ElasticTiling,
+    live: &LivenessConfig,
+    plan: crate::fault::FaultPlan,
+) -> ElasticExchange {
+    let _span = qt_telemetry::Span::enter_global("comm/elastic_scheme_faulty");
+    let results =
+        crate::comm::run_elastic_world_with_faults(tiling.survivors.clone(), plan, |comm| {
+            elastic_rank_body(ctx, tiling, live, comm)
+        });
+    collect_elastic(&tiling.survivors, results)
+}
+
+fn collect_elastic(
+    survivors: &[usize],
+    results: Vec<Result<RankResult, CommError>>,
+) -> ElasticExchange {
+    if results.iter().all(|r| r.is_ok()) {
+        let ok: Vec<RankResult> = results.into_iter().map(|r| r.expect("no errors")).collect();
+        return Ok(collect_results(ok));
+    }
+    // Cross-check the accusations against who actually reported back. A
+    // slot that returned at all — Ok or a typed detection error — is
+    // alive: its endpoint may have vanished because it *exited early*
+    // after detecting a death, and peers' failed sends to it must not
+    // convict it. Only a rank silenced by the fault schedule (`Killed`)
+    // is really gone. An all-exonerated round yields an empty suspect
+    // list: the supervisor retries on the unchanged tiling (bounded by
+    // its retile budget).
+    let exonerated: Vec<usize> = survivors
+        .iter()
+        .zip(&results)
+        .filter(|(_, r)| !matches!(r, Err(CommError::Killed { .. })))
+        .map(|(&id, _)| id)
+        .collect();
+    let mut suspects: Vec<usize> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err().map(|e| e.suspect()))
+        .filter(|s| !exonerated.contains(s))
+        .collect();
+    suspects.sort_unstable();
+    suspects.dedup();
+    Err(suspects)
+}
+
+/// One survivor's share of the elastic DaCe scheme. The rank executes every
+/// work unit `tiling` assigns to its original identity, replaying the
+/// classic per-tile protocol per unit; the collectives are unrolled into
+/// explicit point-to-point messages walked in one canonical global order
+/// (lexicographic in the unit ids), so any subset of survivors agrees on
+/// per-pair FIFO delivery and the strict tag asserts hold. Every wait goes
+/// through the `try_*` primitives: a dead peer surfaces as a typed
+/// [`CommError`] instead of a hang.
+fn elastic_rank_body(
+    ctx: &SseDistContext<'_>,
+    tiling: &ElasticTiling,
+    live: &LivenessConfig,
+    comm: ThreadComm,
+) -> Result<RankResult, CommError> {
+    let p = ctx.p;
+    let nn = p.norb * p.norb;
+    let scale = c64(sse::sigma_scale(p, ctx.grids), 0.0);
+    let dec = &tiling.dec;
+    let procs = tiling.procs();
+    let halo = ctx.dev.max_neighbor_index_distance();
+    let gf_dec = OmenDecomp::new(p, procs); // initial GF-phase layout (per unit)
+    let me = comm.identity();
+    let my_units = tiling.units_of(me);
+    let slot = |u: usize| tiling.owner_slot(u);
+    let geoms: Vec<TileGeom> = (0..procs).map(|u| tile_geom(dec, p, halo, u)).collect();
+    let hb = || comm.heartbeat();
+    // ---- Exchange #1 (unrolled all-to-all): G≷ halos per (src GF chunk,
+    // dst tile) pair. Self-sends ride the self-channel for free, exactly
+    // like the classic alltoallv.
+    for &u_src in &my_units {
+        let chunk = gf_dec.energy.range(u_src);
+        for u_dst in 0..procs {
+            if !tiling.is_live_unit(u_dst) {
+                continue; // degraded mode: the tile is abandoned
+            }
+            let buf = pack_g_halo(ctx, chunk.clone(), &geoms[u_dst], nn);
+            comm.try_send(slot(u_dst), tag_a2a1(procs, u_src, u_dst), buf)?;
+        }
+    }
+    let mut g_local: Vec<[Vec<Complex64>; 2]> = my_units
+        .iter()
+        .map(|&u| {
+            let len = p.nkz * geoms[u].e_halo.len() * geoms[u].a_win.len() * nn;
+            [vec![Complex64::ZERO; len], vec![Complex64::ZERO; len]]
+        })
+        .collect();
+    for u_src in 0..procs {
+        if !tiling.is_live_unit(u_src) {
+            continue; // its GF chunk died with its owner: halo stays zero
+        }
+        let chunk = gf_dec.energy.range(u_src);
+        for (mi, &u_dst) in my_units.iter().enumerate() {
+            let buf = comm.try_recv(slot(u_src), tag_a2a1(procs, u_src, u_dst), live)?;
+            unpack_g_halo(p, chunk.clone(), &geoms[u_dst], &buf, &mut g_local[mi], nn);
+        }
+    }
+    // ---- Exchange #2: D̃≷ windows. One message per (src slot, dst tile):
+    // all the (q, ω) points whose owning unit belongs to the source, over
+    // the destination tile's atom window, in ascending (q, ω) order.
+    let d_len = p.nb * N3D * N3D;
+    let my_qw: Vec<(usize, usize)> = (0..p.nqz)
+        .flat_map(|q| (0..p.nw).map(move |w| (q, w)))
+        .filter(|&(q, w)| tiling.owner[(q * p.nw + w) % procs] == me)
+        .collect();
+    for u_dst in 0..procs {
+        if !tiling.is_live_unit(u_dst) {
+            continue;
+        }
+        let aw = geoms[u_dst].a_win.clone();
+        let mut buf = Vec::new();
+        for d in [ctx.d_lesser_pre, ctx.d_greater_pre] {
+            for &(q, w) in &my_qw {
+                for a in aw.clone() {
+                    buf.extend_from_slice(d.inner(&[q, w, a]));
+                }
+            }
+        }
+        comm.try_send(slot(u_dst), tag_a2a2(u_dst), buf)?;
+    }
+    let mut d_local: Vec<[Vec<Complex64>; 2]> = my_units
+        .iter()
+        .map(|&u| {
+            let len = p.nqz * p.nw * geoms[u].a_win.len() * d_len;
+            [vec![Complex64::ZERO; len], vec![Complex64::ZERO; len]]
+        })
+        .collect();
+    for (mi, &u_dst) in my_units.iter().enumerate() {
+        let aw_len = geoms[u_dst].a_win.len();
+        for src_slot in 0..comm.size() {
+            let buf = comm.try_recv(src_slot, tag_a2a2(u_dst), live)?;
+            let src_id = comm.identity_of(src_slot);
+            let mut pos = 0;
+            for tensor in d_local[mi].iter_mut() {
+                for q in 0..p.nqz {
+                    for w in 0..p.nw {
+                        if tiling.owner[(q * p.nw + w) % procs] != src_id {
+                            continue;
+                        }
+                        for al in 0..aw_len {
+                            let off = ((q * p.nw + w) * aw_len + al) * d_len;
+                            tensor[off..off + d_len].copy_from_slice(&buf[pos..pos + d_len]);
+                            pos += d_len;
+                        }
+                    }
+                }
+            }
+            assert_eq!(pos, buf.len());
+        }
+    }
+    // ---- Local SSE, one tile per owned unit. ----
+    let sig: Vec<[Vec<Complex64>; 2]> = my_units
+        .iter()
+        .enumerate()
+        .map(|(mi, &u)| local_sse_tile(ctx, &geoms[u], &g_local[mi], &d_local[mi], scale, &hb))
+        .collect();
+    // ---- Π≷ partials, reduced to each (q, ω) owner. The owner accumulates
+    // in ascending *unit* order — the same order the classic scheme uses
+    // for its ascending ranks, so the totals are bitwise identical. ----
+    let pi_len = (p.nb + 1) * N3D * N3D;
+    let pi_scale = c64(sse::pi_scale(p, ctx.grids), 0.0);
+    let mut pi_owned: PiOwned = Vec::new();
+    for q in 0..p.nqz {
+        for w in 0..p.nw {
+            let qw = q * p.nw + w;
+            let owner_id = tiling.owner[qw % procs];
+            if !tiling.is_survivor(owner_id) {
+                continue; // the round's owner unit was abandoned: Π≷ stays zero
+            }
+            for (mi, &u) in my_units.iter().enumerate() {
+                let (part_l, part_g) = pi_tile_partials(ctx, &geoms[u], &g_local[mi], q, w, &hb);
+                let my_a = geoms[u].my_a.clone();
+                let sl = |buf: &[Complex64]| buf[my_a.start * pi_len..my_a.end * pi_len].to_vec();
+                let tag = tag_pi(procs, qw, u);
+                comm.try_send(tiling.slot_of(owner_id), tag, sl(&part_l))?;
+                comm.try_send(tiling.slot_of(owner_id), tag + 1, sl(&part_g))?;
+            }
+            if owner_id == me {
+                let mut tot_l = vec![Complex64::ZERO; p.na * pi_len];
+                let mut tot_g = vec![Complex64::ZERO; p.na * pi_len];
+                for u in 0..procs {
+                    if !tiling.is_live_unit(u) {
+                        continue; // an abandoned tile contributes nothing
+                    }
+                    let src_a = dec.atoms.range(dec.coords(u).1);
+                    let tag = tag_pi(procs, qw, u);
+                    let rl = comm.try_recv(slot(u), tag, live)?;
+                    let rg = comm.try_recv(slot(u), tag + 1, live)?;
+                    for (dst, part) in [(&mut tot_l, rl), (&mut tot_g, rg)] {
+                        for (o, v) in dst[src_a.start * pi_len..src_a.end * pi_len]
+                            .iter_mut()
+                            .zip(part)
+                        {
+                            *o += v;
+                        }
+                    }
+                }
+                let fin = |mut v: Vec<Complex64>| {
+                    for z in v.iter_mut() {
+                        *z *= pi_scale;
+                    }
+                    v
+                };
+                pi_owned.push(((q, w), fin(tot_l), fin(tot_g)));
+            }
+        }
+    }
+    comm.try_barrier(live)?;
+    // Capture SSE-phase traffic before the result gather adds its own
+    // bytes; the second barrier keeps the snapshot consistent.
+    let stats = (comm.bytes_sent(), comm.bytes_received());
+    comm.try_barrier(live)?;
+    // ---- Gather tiles to the root (survivor slot 0). ----
+    for (mi, &u) in my_units.iter().enumerate() {
+        comm.try_send(0, tag_gather(u), sig[mi][0].clone())?;
+        comm.try_send(0, tag_gather(u) + 1, sig[mi][1].clone())?;
+    }
+    if comm.rank() == 0 {
+        let mut out = ElectronSelfEnergy::zeros(p);
+        for u in 0..procs {
+            if !tiling.is_live_unit(u) {
+                continue; // abandoned tile: its Σ≷ slice stays zero
+            }
+            let geom = &geoms[u];
+            let bufs = [
+                comm.try_recv(slot(u), tag_gather(u), live)?,
+                comm.try_recv(slot(u), tag_gather(u) + 1, live)?,
+            ];
+            for (t, buf) in bufs.iter().enumerate() {
+                let tensor = if t == 0 {
+                    &mut out.lesser
+                } else {
+                    &mut out.greater
+                };
+                for k in 0..p.nkz {
+                    for (el, e) in geom.my_e.clone().enumerate() {
+                        for (al, a) in geom.my_a.clone().enumerate() {
+                            let off = ((k * geom.my_e.len() + el) * geom.my_a.len() + al) * nn;
+                            tensor
+                                .inner_mut(&[k, e, a])
+                                .copy_from_slice(&buf[off..off + nn]);
+                        }
+                    }
+                }
+            }
+        }
+        let mut pi_out = PhononSelfEnergy::zeros(p);
+        let mut store = |(q, w): (usize, usize), l: Vec<Complex64>, g: Vec<Complex64>| {
+            pi_out.lesser.inner_mut(&[q, w]).copy_from_slice(&l);
+            pi_out.greater.inner_mut(&[q, w]).copy_from_slice(&g);
+        };
+        for ((q, w), l, g) in pi_owned {
+            store((q, w), l, g);
+        }
+        for src in 1..comm.size() {
+            let count = comm.try_recv(src, 1 << 52, live)?[0].re as usize;
+            for _ in 0..count {
+                let head = comm.try_recv(src, (1 << 52) + 1, live)?;
+                let (q, w) = (head[0].re as usize, head[1].re as usize);
+                let l = comm.try_recv(src, (1 << 52) + 2, live)?;
+                let g = comm.try_recv(src, (1 << 52) + 3, live)?;
+                store((q, w), l, g);
+            }
+        }
+        Ok((Some((out, pi_out)), stats))
+    } else {
+        comm.try_send(0, 1 << 52, vec![c64(pi_owned.len() as f64, 0.0)])?;
+        for ((q, w), l, g) in pi_owned {
+            comm.try_send(
+                0,
+                (1 << 52) + 1,
+                vec![c64(q as f64, 0.0), c64(w as f64, 0.0)],
+            )?;
+            comm.try_send(0, (1 << 52) + 2, l)?;
+            comm.try_send(0, (1 << 52) + 3, g)?;
+        }
+        Ok((None, stats))
+    }
 }
 
 type RankResult = (Option<(ElectronSelfEnergy, PhononSelfEnergy)>, (u64, u64));
@@ -1011,6 +1430,71 @@ mod tests {
                 stats.world_bytes,
                 crate::volume::dace_measured_bytes(&fx.p, te, ta, halo)
             );
+        }
+    }
+
+    fn assert_bitwise(name: &str, a: &qt_linalg::Tensor, b: &qt_linalg::Tensor) {
+        assert_eq!(a.as_slice().len(), b.as_slice().len(), "{name}: shape");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "{name}: element {i} differs: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn elastic_full_world_is_bitwise_equal_to_classic_dace() {
+        let fx = fixture();
+        let live = LivenessConfig::default();
+        for (te, ta) in [(2usize, 2usize), (3, 2)] {
+            let (classic, classic_pi, classic_stats) = dace_scheme(&ctx(&fx), te, ta);
+            let tiling = ElasticTiling::new(&fx.p, te, ta);
+            let (dist, dist_pi, stats) =
+                elastic_sse_exchange(&ctx(&fx), &tiling, &live).expect("fault-free run succeeds");
+            assert_bitwise("sigma lesser", &classic.lesser, &dist.lesser);
+            assert_bitwise("sigma greater", &classic.greater, &dist.greater);
+            assert_bitwise("pi lesser", &classic_pi.lesser, &dist_pi.lesser);
+            assert_bitwise("pi greater", &classic_pi.greater, &dist_pi.greater);
+            assert_eq!(stats.rank_sent, classic_stats.rank_sent, "te={te} ta={ta}");
+        }
+    }
+
+    #[test]
+    fn elastic_shrunken_worlds_still_match_serial() {
+        let fx = fixture();
+        let (serial, serial_pi) = serial_results(&fx);
+        let live = LivenessConfig::default();
+        // Kill ranks out of a 2×2 tiling and re-run on the survivors: the
+        // answer must not move, all the way down to a single survivor.
+        let mut tiling = ElasticTiling::new(&fx.p, 2, 2);
+        let full = elastic_sse_exchange(&ctx(&fx), &tiling, &live).unwrap();
+        for dead in [1usize, 3, 0] {
+            tiling.remove_rank(dead);
+            let (dist, dist_pi, _) = elastic_sse_exchange(&ctx(&fx), &tiling, &live).unwrap();
+            assert_close("sigma lesser", &serial.lesser, &dist.lesser);
+            assert_close("sigma greater", &serial.greater, &dist.greater);
+            assert_close("pi lesser", &serial_pi.lesser, &dist_pi.lesser);
+            assert_close("pi greater", &serial_pi.greater, &dist_pi.greater);
+            // Stronger: shrinking the world must not perturb a single bit.
+            assert_bitwise("sigma lesser", &full.0.lesser, &dist.lesser);
+            assert_bitwise("pi greater", &full.1.greater, &dist_pi.greater);
+        }
+        assert_eq!(tiling.world_size(), 1);
+    }
+
+    #[test]
+    fn elastic_measured_bytes_match_elastic_model_exactly() {
+        let fx = fixture();
+        let halo = fx.dev.max_neighbor_index_distance();
+        let live = LivenessConfig::default();
+        let mut tiling = ElasticTiling::new(&fx.p, 2, 2);
+        for dead in [2usize, 0] {
+            tiling.remove_rank(dead);
+            let (_, _, stats) = elastic_sse_exchange(&ctx(&fx), &tiling, &live).unwrap();
+            let model = crate::volume::dace_elastic_rank_sent_bytes(&fx.p, halo, &tiling);
+            assert_eq!(stats.rank_sent, model, "dead={dead}");
+            assert_eq!(stats.rank_sent.iter().sum::<u64>(), stats.world_bytes);
         }
     }
 

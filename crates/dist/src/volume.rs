@@ -195,6 +195,80 @@ pub fn dace_measured_bytes(p: &SimParams, te: usize, ta: usize, halo: usize) -> 
     dace_rank_sent_bytes(p, te, ta, halo).iter().sum()
 }
 
+/// Exact bytes each *survivor slot* sends during
+/// [`crate::schemes::elastic_sse_exchange`] over an arbitrary
+/// [`ElasticTiling`]. The elastic scheme replays the classic per-unit
+/// protocol with the collectives unrolled to point-to-point messages, so
+/// the model is the classic per-unit accounting re-keyed by *owning slot*:
+/// a message is free exactly when the source and destination units live on
+/// the same survivor. With the full tiling this reduces to
+/// [`dace_rank_sent_bytes`].
+pub fn dace_elastic_rank_sent_bytes(
+    p: &SimParams,
+    halo: usize,
+    tiling: &crate::decomp::ElasticTiling,
+) -> Vec<u64> {
+    let dec = &tiling.dec;
+    let procs = tiling.procs();
+    let gf = OmenDecomp::new(p, procs);
+    let nn = (p.norb * p.norb) as u64;
+    let d_len = (p.nb * N3D * N3D) as u64;
+    let pi_len = ((p.nb + 1) * N3D * N3D) as u64;
+    let a_win = |j: usize| {
+        let r = dec.atoms.range(j);
+        r.start.saturating_sub(halo)..(r.end + halo).min(p.na)
+    };
+    let mut sent = vec![0u64; tiling.world_size()];
+    for (s, bytes) in sent.iter_mut().enumerate() {
+        let me = tiling.survivors[s];
+        let my_units = tiling.units_of(me);
+        let owned_qw = (0..p.nqz * p.nw)
+            .filter(|&i| tiling.owner[i % procs] == me)
+            .count() as u64;
+        for u_dst in 0..procs {
+            if !tiling.is_live_unit(u_dst) || tiling.owner_slot(u_dst) == s {
+                continue;
+            }
+            let (di, dj) = dec.coords(u_dst);
+            let dst_e = dec.energy_halo(di, p.nw);
+            let aw = a_win(dj).len() as u64;
+            // Exchange #1: one G≷ halo message per (owned chunk, dst tile).
+            for &u_src in &my_units {
+                let overlap = gf.energy.range(u_src).filter(|e| dst_e.contains(e)).count() as u64;
+                *bytes += 2 * overlap * p.nkz as u64 * aw * nn;
+            }
+            // Exchange #2: owned (qz, ω) points over the dst atom window.
+            *bytes += 2 * owned_qw * aw * d_len;
+        }
+        // Π≷ tile-slice reduction: every owned unit ships its slice for
+        // each (qz, ω) round owned by a *different* survivor (rounds whose
+        // owning unit was abandoned are skipped entirely).
+        for i in 0..p.nqz * p.nw {
+            let owner = tiling.owner[i % procs];
+            if owner == me || !tiling.is_survivor(owner) {
+                continue;
+            }
+            for &u in &my_units {
+                let tile = dec.atoms.range(dec.coords(u).1).len() as u64;
+                *bytes += 2 * tile * pi_len;
+            }
+        }
+    }
+    for b in &mut sent {
+        *b *= ELEM_BYTES;
+    }
+    sent
+}
+
+/// Total elastic SSE bytes (sum of [`dace_elastic_rank_sent_bytes`]).
+pub fn dace_elastic_measured_bytes(
+    p: &SimParams,
+    halo: usize,
+    tiling: &crate::decomp::ElasticTiling,
+) -> u64 {
+    dace_elastic_rank_sent_bytes(p, halo, tiling).iter().sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +410,40 @@ mod tests {
             ratio > 0.4 && ratio < 1.1,
             "DaCe exact/asymptotic ratio {ratio}"
         );
+    }
+
+    /// With every rank alive the elastic model must agree with the classic
+    /// per-rank model byte-for-byte, for every tiling shape.
+    #[test]
+    fn elastic_model_reduces_to_classic_at_full_world() {
+        let p = SimParams::paper_si_4864(3);
+        for (te, ta) in [(3usize, 16usize), (3, 64), (6, 32)] {
+            let tiling = crate::decomp::ElasticTiling::new(&p, te, ta);
+            assert_eq!(
+                dace_elastic_rank_sent_bytes(&p, p.nb, &tiling),
+                dace_rank_sent_bytes(&p, te, ta, p.nb),
+                "te={te} ta={ta}"
+            );
+        }
+    }
+
+    /// Killing a rank moves its units' traffic onto survivors without
+    /// changing what the *unit-level* protocol ships: the world total can
+    /// only shrink (migrated co-located units stop paying for each other).
+    #[test]
+    fn elastic_model_total_never_grows_as_ranks_die() {
+        let p = SimParams::paper_si_4864(3);
+        let mut tiling = crate::decomp::ElasticTiling::new(&p, 3, 16);
+        let mut prev = dace_elastic_measured_bytes(&p, p.nb, &tiling);
+        for dead in [5usize, 17, 0, 41] {
+            tiling.remove_rank(dead);
+            let now = dace_elastic_measured_bytes(&p, p.nb, &tiling);
+            assert!(
+                now <= prev,
+                "bytes grew after killing {dead}: {now} > {prev}"
+            );
+            prev = now;
+        }
     }
 
     /// "Up to two orders of magnitude" reduction (§5.1.1).

@@ -30,7 +30,11 @@ const HEALTH_ETA_RETRIES: usize = 12;
 const HEALTH_MIXING_BACKOFFS: usize = 13;
 const HEALTH_COMM_RETRIES: usize = 14;
 const HEALTH_CKPT_WRITES: usize = 15;
-const N_COUNTERS: usize = 16;
+const ELASTIC_RANK_DEATHS: usize = 16;
+const ELASTIC_HEARTBEAT_TIMEOUTS: usize = 17;
+const ELASTIC_RETILE_EVENTS: usize = 18;
+const ELASTIC_MIGRATED_TILES: usize = 19;
+const N_COUNTERS: usize = 20;
 
 #[derive(Default)]
 struct Cell {
@@ -160,6 +164,34 @@ pub fn add_checkpoint_write() {
     bump(HEALTH_CKPT_WRITES, 1);
 }
 
+/// Account one rank declared permanently dead by the failure detector or
+/// the kill schedule (`elastic.rank_deaths`).
+#[inline]
+pub fn add_rank_death() {
+    bump(ELASTIC_RANK_DEATHS, 1);
+}
+
+/// Account one receive poll that expired without data while the failure
+/// detector watched a peer's liveness epoch (`elastic.heartbeat_timeouts`).
+#[inline]
+pub fn add_heartbeat_timeout() {
+    bump(ELASTIC_HEARTBEAT_TIMEOUTS, 1);
+}
+
+/// Account one survivor re-tiling pass of the CA decomposition
+/// (`elastic.retile_events`).
+#[inline]
+pub fn add_retile_event() {
+    bump(ELASTIC_RETILE_EVENTS, 1);
+}
+
+/// Account `n` tiles migrated off a dead rank during a re-tiling pass
+/// (`elastic.migrated_tiles`).
+#[inline]
+pub fn add_migrated_tiles(n: u64) {
+    bump(ELASTIC_MIGRATED_TILES, n);
+}
+
 /// Total flops across all threads (alive or exited) since the last reset.
 pub fn total_flops() -> u64 {
     total(FLOPS)
@@ -215,6 +247,27 @@ pub fn total_comm_retries() -> u64 {
 /// Total checkpoint writes across all threads since the last reset.
 pub fn total_checkpoint_writes() -> u64 {
     total(HEALTH_CKPT_WRITES)
+}
+
+/// Total rank deaths across all threads since the last reset.
+pub fn total_rank_deaths() -> u64 {
+    total(ELASTIC_RANK_DEATHS)
+}
+
+/// Total heartbeat-timeout polls across all threads since the last reset.
+pub fn total_heartbeat_timeouts() -> u64 {
+    total(ELASTIC_HEARTBEAT_TIMEOUTS)
+}
+
+/// Total survivor re-tiling passes across all threads since the last
+/// reset.
+pub fn total_retile_events() -> u64 {
+    total(ELASTIC_RETILE_EVENTS)
+}
+
+/// Total migrated tiles across all threads since the last reset.
+pub fn total_migrated_tiles() -> u64 {
+    total(ELASTIC_MIGRATED_TILES)
 }
 
 /// Total communicated bytes across all threads since the last reset.
@@ -373,6 +426,25 @@ mod tests {
         assert!(total_mixing_backoffs() - m0 >= 1);
         assert!(total_comm_retries() - c0 >= 2);
         assert!(total_checkpoint_writes() - k0 >= 1);
+    }
+
+    #[test]
+    fn elasticity_counts_accumulate() {
+        let (d0, t0, r0, m0) = (
+            total_rank_deaths(),
+            total_heartbeat_timeouts(),
+            total_retile_events(),
+            total_migrated_tiles(),
+        );
+        add_rank_death();
+        add_heartbeat_timeout();
+        add_heartbeat_timeout();
+        add_retile_event();
+        add_migrated_tiles(3);
+        assert!(total_rank_deaths() - d0 >= 1);
+        assert!(total_heartbeat_timeouts() - t0 >= 2);
+        assert!(total_retile_events() - r0 >= 1);
+        assert!(total_migrated_tiles() - m0 >= 3);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod span;
 pub mod trace;
 
 pub use registry::PhaseStat;
-pub use report::TelemetryReport;
+pub use report::{ElasticityReport, TelemetryReport};
 pub use span::{enabled, set_enabled, Span};
 pub use trace::{export_chrome_trace, set_tracing, tracing_enabled};
 

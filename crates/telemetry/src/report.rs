@@ -165,6 +165,35 @@ impl HealthReport {
     }
 }
 
+/// Elastic-recovery counters: rank deaths detected by the liveness layer
+/// and what the survivor re-tiling did about them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ElasticityReport {
+    /// Ranks declared dead (heartbeat expiry, dead-flag cascade, or a
+    /// failed send implicating them).
+    pub rank_deaths: u64,
+    /// Receive-poll timeouts: each is one liveness probe of the sender's
+    /// heartbeat epoch (benign while the peer still makes progress; the
+    /// probe that finds a stalled epoch past its deadline declares death).
+    pub heartbeat_timeouts: u64,
+    /// Survivor re-tiling rounds (one per failed exchange attempt).
+    pub retile_events: u64,
+    /// Work-unit tiles migrated from dead ranks onto survivors.
+    pub migrated_tiles: u64,
+}
+
+impl ElasticityReport {
+    /// Snapshot the global elasticity counters.
+    pub fn from_counters() -> Self {
+        ElasticityReport {
+            rank_deaths: counters::total_rank_deaths(),
+            heartbeat_timeouts: counters::total_heartbeat_timeouts(),
+            retile_events: counters::total_retile_events(),
+            migrated_tiles: counters::total_migrated_tiles(),
+        }
+    }
+}
+
 /// Per-rank communication volume of a distributed phase.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RankComm {
@@ -202,6 +231,10 @@ pub struct TelemetryReport {
     /// Resilience counters; `None` only for reports predating the health
     /// guards (`check-report --require-health` rejects those).
     pub health: Option<HealthReport>,
+    /// Elastic-recovery counters; `None` only for reports predating the
+    /// rank-failure recovery machinery (also rejected under
+    /// `check-report --require-health`).
+    pub elasticity: Option<ElasticityReport>,
 }
 
 fn phase_report(path: &str, s: &PhaseStat) -> PhaseReport {
@@ -258,6 +291,7 @@ impl TelemetryReport {
             boundary_cache_misses: counters::total_boundary_misses(),
             warmup: None,
             health: Some(HealthReport::from_counters()),
+            elasticity: Some(ElasticityReport::from_counters()),
         }
     }
 
@@ -356,6 +390,24 @@ impl TelemetryReport {
                 ),
             ]),
         };
+        let elasticity = match &self.elasticity {
+            None => Json::Null,
+            Some(e) => Json::Obj(vec![
+                ("rank_deaths".to_string(), Json::Num(e.rank_deaths as f64)),
+                (
+                    "heartbeat_timeouts".to_string(),
+                    Json::Num(e.heartbeat_timeouts as f64),
+                ),
+                (
+                    "retile_events".to_string(),
+                    Json::Num(e.retile_events as f64),
+                ),
+                (
+                    "migrated_tiles".to_string(),
+                    Json::Num(e.migrated_tiles as f64),
+                ),
+            ]),
+        };
         Json::Obj(vec![
             ("phases".to_string(), Json::Arr(phases)),
             ("residuals".to_string(), Json::Arr(residuals)),
@@ -379,6 +431,7 @@ impl TelemetryReport {
             ),
             ("warmup".to_string(), warmup),
             ("health".to_string(), health),
+            ("elasticity".to_string(), elasticity),
         ])
         .dump()
     }
@@ -432,6 +485,15 @@ impl TelemetryReport {
                     mixing_backoffs: int_field(h, "mixing_backoffs")?,
                     comm_retries: int_field(h, "comm_retries")?,
                     checkpoint_writes: int_field(h, "checkpoint_writes")?,
+                }),
+            },
+            elasticity: match root.get("elasticity") {
+                Some(Json::Null) | None => None,
+                Some(e) => Some(ElasticityReport {
+                    rank_deaths: int_field(e, "rank_deaths")?,
+                    heartbeat_timeouts: int_field(e, "heartbeat_timeouts")?,
+                    retile_events: int_field(e, "retile_events")?,
+                    migrated_tiles: int_field(e, "migrated_tiles")?,
                 }),
             },
             ..TelemetryReport::default()
@@ -584,22 +646,31 @@ mod tests {
             comm_retries: 7,
             checkpoint_writes: 4,
         });
+        rep.elasticity = Some(ElasticityReport {
+            rank_deaths: 2,
+            heartbeat_timeouts: 1,
+            retile_events: 2,
+            migrated_tiles: 6,
+        });
         rep.validate().unwrap();
         let back = TelemetryReport::from_json(&rep.to_json()).unwrap();
         assert_eq!(back, rep);
     }
 
     #[test]
-    fn from_current_always_carries_a_health_block() {
+    fn from_current_always_carries_health_and_elasticity_blocks() {
         registry::record("test/report/phase3", 1, 1, 0, 0, 0);
         let rep = TelemetryReport::from_current();
         assert!(rep.health.is_some());
-        // A legacy report without the block parses to None and still
+        assert!(rep.elasticity.is_some());
+        // A legacy report without the blocks parses to None and still
         // validates (the --require-health gate is the caller's policy).
         let mut legacy = rep.clone();
         legacy.health = None;
+        legacy.elasticity = None;
         let back = TelemetryReport::from_json(&legacy.to_json()).unwrap();
         assert_eq!(back.health, None);
+        assert_eq!(back.elasticity, None);
         back.validate().unwrap();
     }
 
