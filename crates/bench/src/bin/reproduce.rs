@@ -51,6 +51,10 @@ fn main() {
         check_report(&args[1..]);
         return;
     }
+    if which == "balance" {
+        balance(&args[1..]);
+        return;
+    }
     let known = [
         "all",
         "table1",
@@ -67,7 +71,7 @@ fn main() {
     ];
     if !known.contains(&which.as_str()) {
         eprintln!(
-            "unknown subcommand {which:?} (expected one of: profile, check-report, {})",
+            "unknown subcommand {which:?} (expected one of: profile, check-report, balance, {})",
             known.join(", ")
         );
         std::process::exit(2);
@@ -690,6 +694,18 @@ fn profile(flags: &[String]) {
             recv_bytes: recv,
         });
     }
+    // Per-rank busy times of the elastic iteration → the report's balance
+    // block (`check-report --require-balance` gates on its ratio).
+    let busy = elastic
+        .result
+        .comm
+        .balance
+        .as_ref()
+        .expect("elastic exchange measures balance");
+    rep.balance = Some(qt_telemetry::BalanceReport::from_busy_times(
+        busy.rank_busy_secs.iter().map(|s| s * 1e3).collect(),
+        busy.imbalance_ratio(),
+    ));
 
     if let Err(e) = rep.validate() {
         eprintln!("profile report FAILED validation: {e}");
@@ -772,6 +788,17 @@ fn profile(flags: &[String]) {
             e.rank_deaths, e.heartbeat_timeouts, e.retile_events, e.migrated_tiles
         );
     }
+    if let Some(b) = &rep.balance {
+        println!("  {:<6} {:>14}", "rank", "busy ms");
+        for (rank, ms) in b.rank_busy_ms.iter().enumerate() {
+            println!("  {rank:<6} {ms:>14.3}");
+        }
+        println!(
+            "  imbalance ratio (max/mean busy): {:.3} — {} steal requests, \
+             {} units stolen, {} re-tilings ({} units moved)",
+            b.imbalance_ratio, b.steal_requests, b.stolen_units, b.rebalance_events, b.moved_units
+        );
+    }
     println!(
         "  totals: {:.3} Gflop counted, {} bytes communicated",
         rep.total_flops as f64 / 1e9,
@@ -791,14 +818,360 @@ fn profile(flags: &[String]) {
     println!();
 }
 
+/// One world size of the skewed-device balance scenario.
+struct WorldBalance {
+    world: usize,
+    units: usize,
+    static_cold_ms: f64,
+    static_warm_ms: f64,
+    adaptive_cold_ms: f64,
+    adaptive_warm_ms: f64,
+    /// Warm critical path (max per-rank busy time) — the distributed
+    /// iteration's wall time on a world with real cores. On an
+    /// oversubscribed host the process wall-clock measures *total* CPU,
+    /// not the parallel wall, so the SCF-wall gate runs on this.
+    static_path_ms: f64,
+    adaptive_path_ms: f64,
+    imbalance_before: f64,
+    imbalance_after: f64,
+    stolen_units: u64,
+    moved_units: usize,
+}
+
+impl WorldBalance {
+    fn improvement(&self) -> f64 {
+        self.imbalance_before / self.imbalance_after.max(1.0)
+    }
+}
+
+/// Run the skewed scenario at one world size: `4·world` work units on
+/// `world` ranks, all the heavy atom tiles packed into rank 0's uniform
+/// block. Static uniform vs adaptive (cost-model-seeded weighted tiling +
+/// work stealing + measured re-tiling), with every iteration's observables
+/// checked bitwise against the static baseline.
+fn balance_world(world: usize, iters: usize) -> WorldBalance {
+    use qt_core::device::Device;
+    use qt_core::gf::GfConfig;
+    use qt_core::grids::Grids;
+    use qt_core::hamiltonian::{ElectronModel, PhononModel};
+    use qt_dist::runner::{distributed_iteration_tiled, maybe_rebalance, ElasticPolicy};
+    use qt_dist::ElasticTiling;
+    use qt_model::CostMap;
+
+    // One-slab atom tiles; the first `4·bnum/world` slabs keep all NB
+    // neighbor slots while the rest are pruned bare, so exactly rank 0's
+    // uniform block of 4 tiles carries essentially all SSE work.
+    let (te, ta) = (1usize, 4 * world);
+    let p = SimParams {
+        nkz: 2,
+        nqz: 2,
+        ne: 2 * ta,
+        nw: 2,
+        na: 2 * ta,
+        nb: 4,
+        norb: 2,
+        bnum: ta,
+    };
+    let dev = Device::skewed(&p, 4, 0);
+    let em = ElectronModel::for_params(&p);
+    let pm = PhononModel::default();
+    let grids = Grids::new(&p, -1.2, 1.2);
+    let cfg = GfConfig::default();
+    let policy = ElasticPolicy::default();
+    let units = te * ta;
+
+    let warm = |walls: &[f64]| {
+        let mut w: Vec<f64> = walls[1..].to_vec();
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        w[w.len() / 2]
+    };
+
+    let max_busy_ms = |busy: &[f64]| busy.iter().cloned().fold(0.0, f64::max) * 1e3;
+
+    // ---- Static uniform baseline. ----
+    let mut static_tiling = ElasticTiling::uniform(&p, te, ta, world);
+    let mut static_walls = Vec::new();
+    let mut static_paths = Vec::new();
+    let mut static_ratios = Vec::new();
+    let mut reference = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = distributed_iteration_tiled(
+            &p,
+            &dev,
+            &em,
+            &pm,
+            &grids,
+            &cfg,
+            &mut static_tiling,
+            &policy,
+            false,
+        )
+        .expect("static iteration");
+        static_walls.push(t0.elapsed().as_secs_f64() * 1e3);
+        let bal = r.result.comm.balance.as_ref().expect("balance measured");
+        static_paths.push(max_busy_ms(&bal.rank_busy_secs));
+        static_ratios.push(bal.imbalance_ratio());
+        if reference.is_none() {
+            reference = Some((r.result.sigma, r.result.pi));
+        }
+    }
+    let (ref_sigma, ref_pi) = reference.expect("at least one iteration");
+
+    // ---- Adaptive: predicted weighted start, stealing, measured re-tile. ----
+    let mut cm = CostMap::predict(&p, &dev, te, ta);
+    let mut tiling = ElasticTiling::weighted(&p, te, ta, world, &cm.weights());
+    let mut adaptive_walls = Vec::new();
+    let mut adaptive_paths = Vec::new();
+    let mut adaptive_ratios = Vec::new();
+    let mut stolen = 0u64;
+    let mut moved_units = 0usize;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = distributed_iteration_tiled(
+            &p,
+            &dev,
+            &em,
+            &pm,
+            &grids,
+            &cfg,
+            &mut tiling,
+            &policy,
+            true,
+        )
+        .expect("adaptive iteration");
+        adaptive_walls.push(t0.elapsed().as_secs_f64() * 1e3);
+        // The whole point of the bitwise-safe migration path: the tiling
+        // may move and ranks may steal, the observables may not.
+        for (name, a, b) in [
+            ("sigma.lesser", &r.result.sigma.lesser, &ref_sigma.lesser),
+            ("sigma.greater", &r.result.sigma.greater, &ref_sigma.greater),
+            ("pi.lesser", &r.result.pi.lesser, &ref_pi.lesser),
+            ("pi.greater", &r.result.pi.greater, &ref_pi.greater),
+        ] {
+            if a.as_slice() != b.as_slice() {
+                eprintln!("balance FAILED: adaptive {name} diverged from static tiling bitwise");
+                std::process::exit(1);
+            }
+        }
+        let bal = r.result.comm.balance.as_ref().expect("balance measured");
+        adaptive_paths.push(max_busy_ms(&bal.rank_busy_secs));
+        adaptive_ratios.push(bal.imbalance_ratio());
+        stolen += bal.stolen_units;
+        cm.observe_all(&bal.unit_secs);
+        moved_units += maybe_rebalance(&mut tiling, bal, 1.5).len();
+    }
+
+    WorldBalance {
+        world,
+        units,
+        static_cold_ms: static_walls[0],
+        static_warm_ms: warm(&static_walls),
+        adaptive_cold_ms: adaptive_walls[0],
+        adaptive_warm_ms: warm(&adaptive_walls),
+        static_path_ms: warm(&static_paths),
+        adaptive_path_ms: warm(&adaptive_paths),
+        // Before: the static tiling's steady-state imbalance. After: the
+        // adaptive loop's steady state (last iteration, post re-tiling).
+        imbalance_before: warm(&static_ratios),
+        imbalance_after: *adaptive_ratios.last().expect("at least one iteration"),
+        stolen_units: stolen,
+        moved_units,
+    }
+}
+
+/// Skewed-device load-balance scenario (CI `balance-regression` job):
+/// compare static uniform tiling against cost-model-driven adaptive
+/// tiling + intra-iteration work stealing, gate the imbalance-ratio
+/// improvement, and optionally emit a `BENCH_balance.json`.
+fn balance(flags: &[String]) {
+    use qt_telemetry::json::Json;
+
+    let mut out_path: Option<String> = None;
+    let mut min_improvement = 2.0f64;
+    let mut iters = 4usize;
+    let mut i = 0;
+    while i < flags.len() {
+        let need = |what: &str| {
+            flags.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flags[i].as_str() {
+            "--out" => out_path = Some(need("--out")),
+            "--min-improvement" => {
+                min_improvement = need("--min-improvement").parse().unwrap_or_else(|_| {
+                    eprintln!("--min-improvement needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--iters" => {
+                iters = need("--iters").parse().unwrap_or_else(|_| {
+                    eprintln!("--iters needs an integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!(
+                    "unknown balance flag {other:?} (expected --out/--min-improvement/--iters)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let iters = iters.max(2);
+
+    println!("== balance: adaptive tiling + work stealing on a skewed device ==");
+    qt_telemetry::reset_all();
+    qt_telemetry::set_enabled(true);
+    let runs: Vec<WorldBalance> = [4usize, 8]
+        .iter()
+        .map(|&w| balance_world(w, iters))
+        .collect();
+
+    println!(
+        "  {:<6} {:>6} | {:>10} {:>10} | {:>10} {:>10} | {:>9} {:>9} | {:>8} {:>8} {:>8} | {:>7} {:>6}",
+        "world",
+        "units",
+        "stat cold",
+        "stat warm",
+        "adpt cold",
+        "adpt warm",
+        "stat path",
+        "adpt path",
+        "imb pre",
+        "imb post",
+        "improve",
+        "stolen",
+        "moved"
+    );
+    let mut failures = Vec::new();
+    for r in &runs {
+        println!(
+            "  {:<6} {:>6} | {:>8.1}ms {:>8.1}ms | {:>8.1}ms {:>8.1}ms | {:>7.1}ms {:>7.1}ms | {:>8.2} {:>8.2} {:>7.2}x | {:>7} {:>6}",
+            r.world,
+            r.units,
+            r.static_cold_ms,
+            r.static_warm_ms,
+            r.adaptive_cold_ms,
+            r.adaptive_warm_ms,
+            r.static_path_ms,
+            r.adaptive_path_ms,
+            r.imbalance_before,
+            r.imbalance_after,
+            r.improvement(),
+            r.stolen_units,
+            r.moved_units
+        );
+        if r.improvement() < min_improvement {
+            failures.push(format!(
+                "world {}: imbalance improvement {:.2}x < required {min_improvement:.2}x",
+                r.world,
+                r.improvement()
+            ));
+        }
+        if r.adaptive_path_ms >= r.static_path_ms {
+            failures.push(format!(
+                "world {}: adaptive critical path {:.1} ms did not beat static {:.1} ms",
+                r.world, r.adaptive_path_ms, r.static_path_ms
+            ));
+        }
+    }
+    println!(
+        "  (path = max per-rank busy time, the iteration wall on a world with real cores; \
+         the cold/warm columns are host wall-clock and include the shared GF phase)"
+    );
+
+    if let Some(path) = &out_path {
+        let worlds: Vec<Json> = runs
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("world".to_string(), Json::Num(r.world as f64)),
+                    ("units".to_string(), Json::Num(r.units as f64)),
+                    ("static_cold_ms".to_string(), Json::Num(r.static_cold_ms)),
+                    ("static_warm_ms".to_string(), Json::Num(r.static_warm_ms)),
+                    (
+                        "adaptive_cold_ms".to_string(),
+                        Json::Num(r.adaptive_cold_ms),
+                    ),
+                    (
+                        "adaptive_warm_ms".to_string(),
+                        Json::Num(r.adaptive_warm_ms),
+                    ),
+                    ("static_path_ms".to_string(), Json::Num(r.static_path_ms)),
+                    (
+                        "adaptive_path_ms".to_string(),
+                        Json::Num(r.adaptive_path_ms),
+                    ),
+                    (
+                        "imbalance_before".to_string(),
+                        Json::Num(r.imbalance_before),
+                    ),
+                    ("imbalance_after".to_string(), Json::Num(r.imbalance_after)),
+                    ("improvement".to_string(), Json::Num(r.improvement())),
+                    ("stolen_units".to_string(), Json::Num(r.stolen_units as f64)),
+                    ("moved_units".to_string(), Json::Num(r.moved_units as f64)),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("min_improvement".to_string(), Json::Num(min_improvement)),
+            ("worlds".to_string(), Json::Arr(worlds)),
+        ]);
+        std::fs::write(path, doc.dump()).expect("write balance json");
+        println!("  results written to {path}");
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("balance FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "  gate OK: imbalance improvement >= {min_improvement:.2}x and adaptive critical \
+         path below static at both world sizes\n"
+    );
+}
+
 /// Re-parse and re-validate a report written by `profile` (CI smoke).
 fn check_report(flags: &[String]) {
-    let require_boundary_hits = flags.iter().any(|f| f == "--require-boundary-hits");
-    let require_health = flags.iter().any(|f| f == "--require-health");
-    let Some(path) = flags.iter().find(|f| !f.starts_with("--")) else {
+    let mut require_boundary_hits = false;
+    let mut require_health = false;
+    let mut require_balance: Option<f64> = None;
+    let mut path: Option<String> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--require-boundary-hits" => require_boundary_hits = true,
+            "--require-health" => require_health = true,
+            "--require-balance" => {
+                let v = flags.get(i + 1).and_then(|v| v.parse().ok());
+                require_balance = Some(v.unwrap_or_else(|| {
+                    eprintln!("--require-balance needs a max imbalance ratio");
+                    std::process::exit(2);
+                }));
+                i += 1;
+            }
+            f if !f.starts_with("--") => path = Some(f.to_string()),
+            other => {
+                eprintln!(
+                    "unknown check-report flag {other:?} (expected --require-boundary-hits/\
+                     --require-health/--require-balance <ratio>)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
         eprintln!("check-report needs a file path");
         std::process::exit(2);
     };
+    let path = &path;
     let json = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
         std::process::exit(1);
@@ -834,6 +1207,22 @@ fn check_report(flags: &[String]) {
              rank-failure recovery layer or stripped its counters"
         );
         std::process::exit(1);
+    }
+    if let Some(max_ratio) = require_balance {
+        let Some(b) = &rep.balance else {
+            eprintln!(
+                "report FAILED: no balance block — the run did not measure \
+                 per-rank busy times"
+            );
+            std::process::exit(1);
+        };
+        if b.imbalance_ratio > max_ratio {
+            eprintln!(
+                "report FAILED: imbalance ratio {:.3} exceeds the required ceiling {max_ratio:.3}",
+                b.imbalance_ratio
+            );
+            std::process::exit(1);
+        }
     }
     let exact = rep.residuals.iter().filter(|r| r.exact).count();
     println!(

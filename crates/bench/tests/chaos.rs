@@ -20,9 +20,9 @@ use qt_core::hamiltonian::{ElectronModel, PhononModel};
 use qt_core::params::SimParams;
 use qt_dist::runner::{
     distributed_iteration, distributed_iteration_elastic_with_faults,
-    distributed_iteration_with_faults, ElasticPolicy,
+    distributed_iteration_tiled_with_faults, distributed_iteration_with_faults, ElasticPolicy,
 };
-use qt_dist::FaultPlan;
+use qt_dist::{ElasticTiling, FaultPlan};
 
 static LOCK: Mutex<()> = Mutex::new(());
 
@@ -193,6 +193,68 @@ fn chaos_recovery_is_deterministic() {
         a.result.pi.greater.as_slice(),
         b.result.pi.greater.as_slice()
     );
+}
+
+#[test]
+fn killed_steal_participant_falls_back_to_elastic_recovery() {
+    let _g = lock();
+    qt_telemetry::reset_all();
+    let (p, dev, em, pm, grids) = fixture();
+    let cfg = GfConfig::default();
+    let (te, ta) = world_shape();
+    let procs = te * ta;
+    let clean = distributed_iteration(&p, &dev, &em, &pm, &grids, &cfg, te, ta).unwrap();
+
+    // Collapse every unit onto rank 0: all other ranks enter the steal
+    // protocol immediately and rank 0's only cross-rank traffic is steal
+    // frames, so its scheduled death lands squarely inside the protocol.
+    // Thieves must detect the dead victim, surface a typed death, and the
+    // supervisor must finish the iteration on the elastic path.
+    let mut tiling = ElasticTiling::weighted(&p, te, ta, procs, &vec![0.0; procs]);
+    assert_eq!(tiling.units_of(0).len(), procs);
+    // Rank 0 owns all units, so its loss quarantines the whole grid —
+    // admit that so it rides recovery instead of degrading.
+    let policy = ElasticPolicy {
+        max_bad_fraction: 1.0,
+        ..Default::default()
+    };
+    let el = distributed_iteration_tiled_with_faults(
+        &p,
+        &dev,
+        &em,
+        &pm,
+        &grids,
+        &cfg,
+        &mut tiling,
+        &policy,
+        true,
+        FaultPlan::new(13).with_kill_at(0, 1),
+    )
+    .unwrap();
+
+    assert_eq!(el.deaths, vec![0], "the steal victim dies, nobody else");
+    assert!(el.retiles >= 1, "its death must force a re-tile");
+    assert!(!el.degraded, "recovery must complete undegraded");
+    assert_eq!(
+        el.migrated_units, procs,
+        "all of the victim's units migrate to survivors"
+    );
+    // The retry (stealing still on, over the survivor set) reproduces the
+    // fault-free observables bit for bit.
+    assert_eq!(
+        el.result.sigma.lesser.as_slice(),
+        clean.sigma.lesser.as_slice()
+    );
+    assert_eq!(
+        el.result.sigma.greater.as_slice(),
+        clean.sigma.greater.as_slice()
+    );
+    assert_eq!(el.result.pi.lesser.as_slice(), clean.pi.lesser.as_slice());
+    assert_eq!(el.result.pi.greater.as_slice(), clean.pi.greater.as_slice());
+    // The survivor exchange still measures balance.
+    if procs > 1 {
+        assert!(el.result.comm.balance.is_some());
+    }
 }
 
 #[test]

@@ -86,6 +86,34 @@ impl Device {
         }
     }
 
+    /// Build a deliberately *load-skewed* variant of the 2-D slice: atoms
+    /// in the first `heavy_slabs` transport slabs (the source-contact
+    /// region, where a real device has its densest bonding environment)
+    /// keep all `NB` neighbor slots, while every other atom is pruned to
+    /// `light_nb` slots. The SSE work per atom is proportional to its
+    /// filled slots, so the per-tile cost becomes strongly non-uniform
+    /// along the atom axis — the scenario the adaptive tiling is measured
+    /// on.
+    ///
+    /// Pruning only empties slots; it never invents couplings, so the
+    /// block tri-diagonal structure is preserved. The neighbor relation
+    /// becomes asymmetric (a heavy atom may keep a pruned light partner),
+    /// which the kernels already tolerate: matrix assembly iterates the
+    /// symmetrized [`Device::coupling_pairs`] and `∇H` reads fall back
+    /// when the reverse slot is gone.
+    pub fn skewed(p: &SimParams, heavy_slabs: usize, light_nb: usize) -> Self {
+        let mut dev = Device::new(p);
+        let heavy_slabs = heavy_slabs.min(p.bnum);
+        for a in 0..dev.na {
+            if dev.slab_of(a) >= heavy_slabs {
+                for slot in light_nb.min(p.nb)..p.nb {
+                    dev.neighbors[a][slot] = NO_NEIGHBOR;
+                }
+            }
+        }
+        dev
+    }
+
     /// Slab (RGF block) containing atom `a`.
     #[inline]
     pub fn slab_of(&self, a: usize) -> usize {
@@ -231,6 +259,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn skewed_device_concentrates_pairs_in_the_contact() {
+        let p = SimParams::test_small();
+        let d = Device::skewed(&p, 1, 1);
+        // Heavy slab 0 keeps its full slots; light atoms keep exactly one.
+        for a in 0..d.na {
+            let filled = (0..d.nb).filter(|&s| d.neighbor(a, s).is_some()).count();
+            if d.slab_of(a) == 0 {
+                assert!(filled >= 2, "heavy atom {a} lost slots");
+            } else {
+                assert!(filled <= 1, "light atom {a} kept {filled} slots");
+            }
+        }
+        // Structure invariants survive pruning.
+        for a in 0..d.na {
+            for s in 0..d.nb {
+                if let Some(b) = d.neighbor(a, s) {
+                    assert!(d.may_couple(a, b));
+                    assert_ne!(a, b);
+                }
+            }
+        }
+        // Strictly fewer pairs than the dense device.
+        let dense = Device::new(&p);
+        assert!(d.coupling_pairs().len() < dense.coupling_pairs().len());
     }
 
     #[test]

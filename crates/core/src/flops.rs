@@ -13,6 +13,7 @@
 
 use crate::device::Device;
 use crate::params::{SimParams, N3D};
+use std::ops::Range;
 
 /// Calibrated RGF constant in `RGF_KAPPA·Nkz·NE·bnum·bs³` (fit to Table 3's
 /// 52.95 Pflop at `Nkz = 3` for the 4,864-atom structure with `bnum = 152`).
@@ -83,6 +84,58 @@ pub fn sse_dace_flops_exact(p: &SimParams, dev: &Device) -> u64 {
     let no3 = (p.norb * p.norb * p.norb) as u64;
     let pab = pair_count(dev, p);
     48 * pab * p.nkz as u64 * no3 * (p.ne as u64 + p.nqz as u64 * sideband_count(p))
+}
+
+/// Neighbor pairs whose source atom lies in `a_range` — the restriction
+/// of [`pair_count`] to one atom tile. Tile counts sum exactly to the
+/// global count over any partition of the atom axis.
+pub fn pair_count_tile(dev: &Device, p: &SimParams, a_range: &Range<usize>) -> u64 {
+    let mut n = 0u64;
+    for a in a_range.clone() {
+        for slot in 0..p.nb {
+            if dev.neighbor(a, slot).is_some() {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Valid `(E, ±ω)` sideband pairs whose energy lies in `e_range`: for each
+/// `E` the down-sidebands `min(E, Nω)` and up-sidebands `min(NE−1−E, Nω)`
+/// exist on the grid. Sums to [`sideband_count`] over the full axis.
+pub fn sideband_count_tile(p: &SimParams, e_range: &Range<usize>) -> u64 {
+    e_range
+        .clone()
+        .map(|e| (e.min(p.nw) + (p.ne - 1 - e).min(p.nw)) as u64)
+        .sum()
+}
+
+/// *Exact* flop count of the DaCe SSE work restricted to one
+/// `(energy, atom)` tile — the per-unit predicted cost the adaptive
+/// partitioner feeds on. Same structure as [`sse_dace_flops_exact`] with
+/// both axes tile-restricted; summing over a full tile grid reproduces
+/// the global count exactly, so predicted per-rank shares partition the
+/// true total.
+pub fn sse_dace_flops_tile(
+    p: &SimParams,
+    dev: &Device,
+    e_range: &Range<usize>,
+    a_range: &Range<usize>,
+) -> u64 {
+    let no3 = (p.norb * p.norb * p.norb) as u64;
+    let pab = pair_count_tile(dev, p, a_range);
+    48 * pab
+        * p.nkz as u64
+        * no3
+        * (e_range.len() as u64 + p.nqz as u64 * sideband_count_tile(p, e_range))
+}
+
+/// RGF flop model for one chunk of `n_e` energies (the GF-phase share of
+/// a work unit): `κ·Nkz·n_e·bnum·bs³`.
+pub fn rgf_flops_chunk(p: &SimParams, n_e: usize) -> f64 {
+    let bs = p.e_block_size() as f64;
+    RGF_KAPPA * (p.nkz * n_e * p.bnum) as f64 * bs * bs * bs
 }
 
 /// RGF flop model: `κ·Nkz·NE·bnum·bs³` with `bs = NA/bnum·Norb`.
@@ -175,6 +228,58 @@ mod tests {
     fn contour_calibration_point() {
         let f3 = contour_flops(&SimParams::paper_si_4864(3));
         assert!((f3 / PFLOP - 8.45).abs() / 8.45 < 0.02, "{}", f3 / PFLOP);
+    }
+
+    #[test]
+    fn tile_flops_partition_the_exact_total() {
+        // Any tiling of the (E, A) plane must sum to the global exact
+        // count — the invariant that makes predicted per-rank shares
+        // meaningful.
+        let p = SimParams::test_small();
+        for dev in [Device::new(&p), Device::skewed(&p, 1, 1)] {
+            let total = sse_dace_flops_exact(&p, &dev);
+            for (te, ta) in [(1, 1), (2, 2), (3, 4), (12, 16)] {
+                let e_parts: Vec<Range<usize>> = split(p.ne, te);
+                let a_parts: Vec<Range<usize>> = split(p.na, ta);
+                let mut sum = 0u64;
+                for er in &e_parts {
+                    for ar in &a_parts {
+                        sum += sse_dace_flops_tile(&p, &dev, er, ar);
+                    }
+                }
+                assert_eq!(sum, total, "tiling {te}x{ta}");
+            }
+        }
+        fn split(total: usize, parts: usize) -> Vec<Range<usize>> {
+            (0..parts)
+                .map(|i| {
+                    let base = total / parts;
+                    let extra = total % parts;
+                    let start = i * base + i.min(extra);
+                    start..start + base + usize::from(i < extra)
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn skewed_device_has_skewed_tile_costs() {
+        let p = SimParams::test_small();
+        let dev = Device::skewed(&p, 1, 1);
+        let apb = p.na / p.bnum;
+        let heavy = sse_dace_flops_tile(&p, &dev, &(0..p.ne), &(0..apb));
+        let light = sse_dace_flops_tile(&p, &dev, &(0..p.ne), &(p.na - apb..p.na));
+        assert!(
+            heavy as f64 > 2.0 * light as f64,
+            "heavy {heavy} vs light {light}"
+        );
+    }
+
+    #[test]
+    fn rgf_chunks_partition_the_total() {
+        let p = SimParams::test_small();
+        let sum: f64 = [5, 4, 3].iter().map(|&n| rgf_flops_chunk(&p, n)).sum();
+        assert!((sum - rgf_flops(&p)).abs() < 1e-6 * rgf_flops(&p));
     }
 
     #[test]

@@ -220,8 +220,8 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
             for (g_hi, g_lo, t_out) in [(&g_l, &g_g, &mut t_l), (&g_g, &g_l, &mut t_g)] {
                 let g_hi_batch = g_hi.inner(&[a]);
                 let g_lo_batch = g_lo.inner(&[b]);
-                for j in 0..N3D {
-                    u[j].fill(Complex64::ZERO);
+                for (j, u_j) in u.iter_mut().enumerate() {
+                    u_j.fill(Complex64::ZERO);
                     gemm::batched_gemm_shared_b_acc(
                         no,
                         no,
@@ -229,11 +229,11 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
                         ke,
                         g_hi_batch,
                         inputs.dh.inner(&[a, slot, j]),
-                        &mut u[j],
+                        u_j,
                     );
                 }
-                for i in 0..N3D {
-                    v[i].fill(Complex64::ZERO);
+                for (i, v_i) in v.iter_mut().enumerate() {
+                    v_i.fill(Complex64::ZERO);
                     gemm::batched_gemm_shared_b_acc(
                         no,
                         no,
@@ -241,7 +241,7 @@ pub fn pi(inputs: &SseInputs<'_>) -> PhononSelfEnergy {
                         ke,
                         g_lo_batch,
                         dh_ba[i].as_slice(),
-                        &mut v[i],
+                        v_i,
                     );
                 }
                 for q in 0..p.nqz {

@@ -305,12 +305,12 @@ impl ThreadComm {
     }
 
     /// File a death certificate for world slot `slot`.
-    fn declare_dead(&self, slot: usize) {
+    pub(crate) fn declare_dead(&self, slot: usize) {
         self.world.dead[slot].store(true, Ordering::Release);
     }
 
     /// First slot other than `me` with a death certificate on file.
-    fn first_dead_excluding(&self, me: usize) -> Option<usize> {
+    pub(crate) fn first_dead_excluding(&self, me: usize) -> Option<usize> {
         (0..self.world.n).find(|&s| s != me && self.world.dead[s].load(Ordering::Acquire))
     }
 
@@ -642,6 +642,43 @@ impl ThreadComm {
                         epoch: self.epoch_of(src),
                     });
                 }
+            }
+        }
+    }
+
+    /// Non-blocking receive: the next already-delivered message from
+    /// `src`, if any. Asserts the tag like [`ThreadComm::recv`] — callers
+    /// poll inside a protocol window whose messages all ride one tag, and
+    /// per-pair FIFO guarantees nothing else can be pending. Under a fault
+    /// plan a corrupted frame is discarded (the retransmission is already
+    /// on its way) and the poll reports empty.
+    // Without fault injection the `continue` (corrupt-frame discard) is
+    // compiled out and the loop body always exits on first pass.
+    #[cfg_attr(not(feature = "fault-inject"), allow(clippy::never_loop))]
+    pub fn poll_recv(&self, src: usize, tag: u64) -> Option<Vec<Complex64>> {
+        loop {
+            match self.receivers[src].try_recv() {
+                Ok(payload) => {
+                    #[cfg(feature = "fault-inject")]
+                    let payload = {
+                        let (got_tag, data, cksum) = payload;
+                        if self.world.plan.is_some()
+                            && src != self.rank
+                            && fault::checksum(&data) != cksum
+                        {
+                            continue;
+                        }
+                        (got_tag, data, cksum)
+                    };
+                    let (got_tag, data) = Self::unframe(payload);
+                    assert_eq!(
+                        got_tag, tag,
+                        "rank {} polled tag {tag} from {src}, got {got_tag}",
+                        self.rank
+                    );
+                    return Some(data);
+                }
+                Err(_) => return None,
             }
         }
     }

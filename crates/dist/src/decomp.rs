@@ -12,13 +12,17 @@ pub struct BlockPartition {
 }
 
 impl BlockPartition {
+    /// With `parts > total` the trailing `parts - total` parts are
+    /// well-defined zero-unit parts: their `range()` is the empty
+    /// `total..total` and `owner()` never answers them.
     pub fn new(total: usize, parts: usize) -> Self {
-        assert!(parts > 0 && parts <= total, "need 1..=total parts");
+        assert!(parts > 0, "need at least one part");
         BlockPartition { total, parts }
     }
 
     /// Half-open index range of part `i`. The first `total % parts` parts
-    /// get one extra element.
+    /// get one extra element; with `parts > total` the parts past `total`
+    /// are empty (`total..total`).
     pub fn range(&self, i: usize) -> Range<usize> {
         assert!(i < self.parts);
         let base = self.total / self.parts;
@@ -168,6 +172,85 @@ impl DaceDecomp {
     }
 }
 
+/// Weighted block assignment: map `weights.len()` work units onto `parts`
+/// ranks so the maximum per-rank weight is near-minimal.
+///
+/// Greedy LPT (longest processing time first) — units sorted by
+/// `(weight desc, id asc)`, each placed on the currently lightest rank
+/// (ties toward the lowest rank id) — followed by bounded
+/// boundary-refinement passes that move a unit off the heaviest rank onto
+/// the lightest when that strictly shrinks the makespan (the same
+/// greedy-then-refine structure METIS uses for weighted partitions).
+///
+/// Invariants:
+/// * **exact partition** — every unit is assigned to exactly one rank in
+///   `0..parts`;
+/// * **LPT bound** — `max_load ≤ total/parts + max_weight` (list
+///   scheduling guarantee; refinement only improves it);
+/// * **determinism** — the result is a pure function of `(weights,
+///   parts)`: ties break on ids, no randomness, and relabeling
+///   equal-weight units permutes the assignment without changing the
+///   per-rank load multiset.
+///
+/// Non-finite or negative weights are treated as zero so a poisoned cost
+/// model degrades to "some balanced assignment" instead of poisoning the
+/// schedule.
+pub fn partition_weighted(weights: &[f64], parts: usize) -> Vec<usize> {
+    assert!(parts > 0, "need at least one part");
+    let w = |u: usize| {
+        let x = weights[u];
+        if x.is_finite() && x > 0.0 {
+            x
+        } else {
+            0.0
+        }
+    };
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| w(b).partial_cmp(&w(a)).unwrap().then(a.cmp(&b)));
+
+    let mut owner = vec![0usize; weights.len()];
+    let mut load = vec![0.0f64; parts];
+    for &u in &order {
+        let r = (0..parts)
+            .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap().then(a.cmp(&b)))
+            .expect("parts > 0");
+        owner[u] = r;
+        load[r] += w(u);
+    }
+
+    // Boundary refinement: relocate a unit from the heaviest rank to the
+    // lightest while it strictly improves the makespan. Deterministic and
+    // bounded: each pass scans the heaviest rank's units in id order and
+    // the loop stops at the first pass with no improving move.
+    for _ in 0..weights.len().max(8) {
+        let hi = (0..parts)
+            .max_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap().then(b.cmp(&a)))
+            .expect("parts > 0");
+        let lo = (0..parts)
+            .min_by(|&a, &b| load[a].partial_cmp(&load[b]).unwrap().then(a.cmp(&b)))
+            .expect("parts > 0");
+        let mut moved = false;
+        for (u, o) in owner.iter_mut().enumerate() {
+            if *o != hi {
+                continue;
+            }
+            let wu = w(u);
+            // Strict improvement of the pairwise makespan.
+            if load[lo] + wu < load[hi] - 1e-12 {
+                *o = lo;
+                load[hi] -= wu;
+                load[lo] += wu;
+                moved = true;
+                break;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    owner
+}
+
 /// Survivor re-tiling of the CA decomposition.
 ///
 /// The DaCe tiling assigns one *work unit* per original rank: the tile
@@ -201,6 +284,59 @@ impl ElasticTiling {
             survivors: (0..procs).collect(),
             owner: (0..procs).collect(),
         }
+    }
+
+    /// Static tiling of the full `TE·TA` unit grid over a *smaller* world:
+    /// the first `world` ranks are alive and each owns a contiguous block
+    /// of units (uniform block assignment — the baseline the adaptive
+    /// partitioner is measured against). Requires `world ≥ 1`; with
+    /// `world > TE·TA` the surplus ranks own zero units.
+    pub fn uniform(p: &SimParams, te: usize, ta: usize, world: usize) -> Self {
+        let dec = DaceDecomp::new(p, te, ta);
+        let units = dec.procs();
+        let bp = BlockPartition::new(units, world);
+        ElasticTiling {
+            dec,
+            survivors: (0..world).collect(),
+            owner: (0..units).map(|u| bp.owner(u)).collect(),
+        }
+    }
+
+    /// Weighted tiling: units assigned to the first `world` ranks by
+    /// [`partition_weighted`] over per-unit costs. Same unit grid as
+    /// [`ElasticTiling::uniform`], so tile geometries — and therefore the
+    /// computed observables — are identical; only the unit→rank map
+    /// changes.
+    pub fn weighted(p: &SimParams, te: usize, ta: usize, world: usize, weights: &[f64]) -> Self {
+        let dec = DaceDecomp::new(p, te, ta);
+        let units = dec.procs();
+        assert_eq!(weights.len(), units, "one weight per work unit");
+        ElasticTiling {
+            dec,
+            survivors: (0..world).collect(),
+            owner: partition_weighted(weights, world),
+        }
+    }
+
+    /// Re-partition all units over the *current* survivors using fresh
+    /// per-unit weights. Returns the units whose owner changed (ascending)
+    /// — the migration set the caller must move state for. No-op (empty
+    /// return) when there are no survivors.
+    pub fn rebalance(&mut self, weights: &[f64]) -> Vec<usize> {
+        assert_eq!(weights.len(), self.owner.len(), "one weight per work unit");
+        if self.survivors.is_empty() {
+            return Vec::new();
+        }
+        let parts = partition_weighted(weights, self.survivors.len());
+        let mut moved = Vec::new();
+        for (u, part) in parts.into_iter().enumerate() {
+            let new_owner = self.survivors[part];
+            if self.owner[u] != new_owner {
+                self.owner[u] = new_owner;
+                moved.push(u);
+            }
+        }
+        moved
     }
 
     /// Number of work units (= original world size `TE·TA`).
@@ -314,6 +450,119 @@ mod tests {
             let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
             assert!(mx - mn <= 1);
         }
+    }
+
+    #[test]
+    fn partition_with_more_parts_than_items() {
+        // parts > total: the first `total` parts own one item each, the
+        // rest are well-defined empty parts, and owner()/range() agree.
+        for (total, parts) in [(3, 5), (1, 8), (0, 4), (7, 7)] {
+            let bp = BlockPartition::new(total, parts);
+            let mut covered = vec![false; total];
+            for i in 0..parts {
+                let r = bp.range(i);
+                if i < total {
+                    assert_eq!(r.len(), usize::from(total > 0).min(1));
+                } else {
+                    assert!(r.is_empty(), "part {i} of ({total},{parts}) not empty");
+                    assert_eq!(r, total..total);
+                }
+                for idx in r {
+                    assert!(!covered[idx]);
+                    covered[idx] = true;
+                    assert_eq!(bp.owner(idx), i, "owner({idx}) vs range({i})");
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "gap in cover");
+        }
+    }
+
+    #[test]
+    fn weighted_partition_balances_skew() {
+        // One heavy unit plus many light ones: LPT must isolate the heavy
+        // unit and spread the rest.
+        let mut w = vec![1.0; 12];
+        w[0] = 8.0;
+        let owner = partition_weighted(&w, 4);
+        assert_eq!(owner.len(), 12);
+        assert!(owner.iter().all(|&r| r < 4));
+        let load = |r: usize| -> f64 { (0..12).filter(|&u| owner[u] == r).map(|u| w[u]).sum() };
+        let loads: Vec<f64> = (0..4).map(load).collect();
+        let total: f64 = w.iter().sum();
+        let max_w = 8.0;
+        let max_load = loads.iter().cloned().fold(0.0, f64::max);
+        // List-scheduling guarantee.
+        assert!(max_load <= total / 4.0 + max_w + 1e-9, "{loads:?}");
+        // The heavy rank should get few or no extra light units.
+        let heavy_rank = owner[0];
+        assert!(load(heavy_rank) <= 9.0, "{loads:?}");
+    }
+
+    #[test]
+    fn weighted_partition_is_deterministic() {
+        let w: Vec<f64> = (0..20).map(|u| 1.0 + (u % 5) as f64).collect();
+        let a = partition_weighted(&w, 3);
+        let b = partition_weighted(&w, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_partition_tolerates_bad_weights() {
+        let w = [f64::NAN, -3.0, f64::INFINITY, 1.0, 2.0];
+        let owner = partition_weighted(&w, 2);
+        assert_eq!(owner.len(), 5);
+        assert!(owner.iter().all(|&r| r < 2));
+    }
+
+    #[test]
+    fn elastic_uniform_matches_block_partition() {
+        let p = SimParams::test_small();
+        let t = ElasticTiling::uniform(&p, 3, 4, 5);
+        assert_eq!(t.procs(), 12);
+        assert_eq!(t.world_size(), 5);
+        let bp = BlockPartition::new(12, 5);
+        for u in 0..12 {
+            assert_eq!(t.owner[u], bp.owner(u));
+            assert!(t.is_live_unit(u));
+        }
+    }
+
+    #[test]
+    fn elastic_weighted_keeps_grid_and_moves_owners() {
+        let p = SimParams::test_small();
+        let mut w = vec![1.0; 12];
+        w[0] = 10.0;
+        let t = ElasticTiling::weighted(&p, 3, 4, 4, &w);
+        assert_eq!(t.procs(), 12);
+        assert_eq!(t.world_size(), 4);
+        // Same unit grid as uniform — tile geometry untouched.
+        let u = ElasticTiling::uniform(&p, 3, 4, 4);
+        assert_eq!(t.dec.procs(), u.dec.procs());
+        // The heavy unit's rank carries less of the light load.
+        let heavy = t.owner[0];
+        assert!(t.load(heavy) <= 2, "{:?}", t.owner);
+    }
+
+    #[test]
+    fn rebalance_reports_exactly_the_moved_units() {
+        let p = SimParams::test_small();
+        let mut t = ElasticTiling::uniform(&p, 3, 4, 4);
+        let before = t.owner.clone();
+        let mut w = vec![1.0; 12];
+        // Make rank 0's block (units 0..3) heavy so some of it migrates.
+        w[0] = 6.0;
+        w[1] = 6.0;
+        let moved = t.rebalance(&w);
+        for u in 0..12 {
+            if moved.contains(&u) {
+                assert_ne!(t.owner[u], before[u]);
+            } else {
+                assert_eq!(t.owner[u], before[u]);
+            }
+        }
+        // Rebalance with identical weights is idempotent.
+        let again = t.rebalance(&w);
+        assert!(again.is_empty(), "{again:?}");
     }
 
     #[test]

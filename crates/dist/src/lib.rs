@@ -19,9 +19,14 @@ pub use comm::{run_elastic_world, run_world, CommError, LivenessConfig, ThreadCo
 pub use decomp::ElasticTiling;
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultAction, FaultPlan, RetryPolicy};
+pub use runner::{
+    distributed_iteration_elastic, distributed_iteration_tiled, maybe_rebalance,
+    ElasticIterationResult, ElasticPolicy,
+};
 #[cfg(feature = "fault-inject")]
-pub use runner::distributed_iteration_elastic_with_faults;
-pub use runner::{distributed_iteration_elastic, ElasticIterationResult, ElasticPolicy};
+pub use runner::{
+    distributed_iteration_elastic_with_faults, distributed_iteration_tiled_with_faults,
+};
+pub use schemes::{elastic_sse_exchange, elastic_sse_exchange_opts, BalanceStats, ElasticExchange};
 #[cfg(feature = "fault-inject")]
-pub use schemes::elastic_sse_exchange_with_faults;
-pub use schemes::{elastic_sse_exchange, ElasticExchange};
+pub use schemes::{elastic_sse_exchange_with_faults, elastic_sse_exchange_with_faults_opts};

@@ -267,9 +267,87 @@ pub fn distributed_iteration_elastic(
     ta: usize,
     policy: &ElasticPolicy,
 ) -> Result<ElasticIterationResult, NumericalError> {
-    distributed_iteration_elastic_impl(p, dev, em, pm, grids, cfg, te, ta, policy, |ctx, tiling| {
-        elastic_sse_exchange(ctx, tiling, &policy.live)
+    let mut tiling = ElasticTiling::new(p, te, ta);
+    distributed_iteration_elastic_impl(p, dev, em, pm, grids, cfg, &mut tiling, policy, |ctx, t| {
+        elastic_sse_exchange(ctx, t, &policy.live)
     })
+}
+
+/// One elastic GF+SSE iteration on a *caller-provided* tiling — the entry
+/// point of the adaptive load-balancing loop. The tiling may be uniform
+/// ([`ElasticTiling::uniform`]), weighted ([`ElasticTiling::weighted`]),
+/// or mid-recovery; deaths shrink it in place so the caller's tiling
+/// stays current across iterations. With `steal` on, idle ranks pull
+/// unstarted units from stragglers inside the iteration; observables are
+/// bitwise identical either way. Per-rank busy times and per-unit costs
+/// come back in `result.comm.balance`.
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_iteration_tiled(
+    p: &SimParams,
+    dev: &Device,
+    em: &ElectronModel,
+    pm: &PhononModel,
+    grids: &Grids,
+    cfg: &GfConfig,
+    tiling: &mut ElasticTiling,
+    policy: &ElasticPolicy,
+    steal: bool,
+) -> Result<ElasticIterationResult, NumericalError> {
+    distributed_iteration_elastic_impl(p, dev, em, pm, grids, cfg, tiling, policy, |ctx, t| {
+        crate::schemes::elastic_sse_exchange_opts(ctx, t, &policy.live, steal)
+    })
+}
+
+/// [`distributed_iteration_tiled`] with the SSE exchange running under a
+/// deterministic fault plan — the harness for proving the steal protocol
+/// composes with rank death: a victim or thief killed mid-protocol
+/// surfaces as a typed death and the iteration rides the elastic
+/// re-tiling path to completion.
+#[cfg(feature = "fault-inject")]
+#[allow(clippy::too_many_arguments)]
+pub fn distributed_iteration_tiled_with_faults(
+    p: &SimParams,
+    dev: &Device,
+    em: &ElectronModel,
+    pm: &PhononModel,
+    grids: &Grids,
+    cfg: &GfConfig,
+    tiling: &mut ElasticTiling,
+    policy: &ElasticPolicy,
+    steal: bool,
+    plan: crate::fault::FaultPlan,
+) -> Result<ElasticIterationResult, NumericalError> {
+    distributed_iteration_elastic_impl(p, dev, em, pm, grids, cfg, tiling, policy, |ctx, t| {
+        crate::schemes::elastic_sse_exchange_with_faults_opts(
+            ctx,
+            t,
+            &policy.live,
+            plan.clone(),
+            steal,
+        )
+    })
+}
+
+/// Re-partition `tiling` from measured per-unit costs when the measured
+/// busy-time imbalance exceeds `threshold`. Uses the bitwise-safe
+/// migration path ([`ElasticTiling::rebalance`]): only the unit → rank
+/// map moves, never the tile geometry, so the next iteration's
+/// observables are unchanged. Returns the units that moved (empty when
+/// balanced enough) and feeds the rebalance telemetry counters.
+pub fn maybe_rebalance(
+    tiling: &mut ElasticTiling,
+    balance: &crate::schemes::BalanceStats,
+    threshold: f64,
+) -> Vec<usize> {
+    if balance.imbalance_ratio() <= threshold {
+        return Vec::new();
+    }
+    let moved = tiling.rebalance(&balance.unit_secs);
+    if !moved.is_empty() {
+        qt_telemetry::counters::add_rebalance_event();
+        qt_telemetry::counters::add_rebalance_moved_units(moved.len() as u64);
+    }
+    moved
 }
 
 /// [`distributed_iteration_elastic`] with the SSE exchange running under a
@@ -290,8 +368,9 @@ pub fn distributed_iteration_elastic_with_faults(
     policy: &ElasticPolicy,
     plan: crate::fault::FaultPlan,
 ) -> Result<ElasticIterationResult, NumericalError> {
-    distributed_iteration_elastic_impl(p, dev, em, pm, grids, cfg, te, ta, policy, |ctx, tiling| {
-        crate::schemes::elastic_sse_exchange_with_faults(ctx, tiling, &policy.live, plan.clone())
+    let mut tiling = ElasticTiling::new(p, te, ta);
+    distributed_iteration_elastic_impl(p, dev, em, pm, grids, cfg, &mut tiling, policy, |ctx, t| {
+        crate::schemes::elastic_sse_exchange_with_faults(ctx, t, &policy.live, plan.clone())
     })
 }
 
@@ -303,17 +382,15 @@ fn distributed_iteration_elastic_impl(
     pm: &PhononModel,
     grids: &Grids,
     cfg: &GfConfig,
-    te: usize,
-    ta: usize,
+    tiling: &mut ElasticTiling,
     policy: &ElasticPolicy,
     exchange: impl Fn(&SseDistContext<'_>, &ElasticTiling) -> ElasticExchange,
 ) -> Result<ElasticIterationResult, NumericalError> {
     let _span = qt_telemetry::Span::enter_global("dist/iteration_elastic");
-    let procs = te * ta;
+    let procs = tiling.procs();
     let gfp = gf_phase(p, dev, em, pm, grids, cfg, procs)?;
     let ctx = gfp.ctx(p, dev, grids);
     let gf_dec = OmenDecomp::new(p, procs);
-    let mut tiling = ElasticTiling::new(p, te, ta);
     let mut coverage = CoverageReport::full(p.nkz * p.ne);
     let mut quarantined_idx: BTreeSet<usize> = BTreeSet::new();
     let mut deaths: Vec<usize> = Vec::new();
@@ -341,6 +418,7 @@ fn distributed_iteration_elastic_impl(
                 max_rank_recv: 0,
                 rank_sent: Vec::new(),
                 rank_recv: Vec::new(),
+                balance: None,
             };
             let result = DistIterationResult {
                 sigma: ElectronSelfEnergy::zeros(p),
@@ -358,7 +436,7 @@ fn distributed_iteration_elastic_impl(
                 migrated_units,
             ));
         }
-        match exchange(&ctx, &tiling) {
+        match exchange(&ctx, tiling) {
             Ok((sigma, pi, stats)) => {
                 let degraded = tiling.live_units().len() < procs;
                 let result = DistIterationResult {
@@ -536,6 +614,90 @@ mod tests {
             classic.pi.greater.as_slice()
         );
         assert_eq!(el.result.comm.rank_sent, classic.comm.rank_sent);
+    }
+
+    #[test]
+    fn tiled_iteration_rebalance_keeps_results_bitwise_stable() {
+        let p = SimParams {
+            nkz: 2,
+            nqz: 2,
+            ne: 12,
+            nw: 2,
+            na: 12,
+            nb: 3,
+            norb: 2,
+            bnum: 4,
+        };
+        let dev = Device::skewed(&p, 1, 1);
+        let em = ElectronModel::for_params(&p);
+        let pm = PhononModel::default();
+        let grids = Grids::new(&p, -1.2, 1.2);
+        let cfg = GfConfig::default();
+        let policy = ElasticPolicy::default();
+        let mut tiling = ElasticTiling::uniform(&p, 2, 2, 4);
+        let first = distributed_iteration_tiled(
+            &p,
+            &dev,
+            &em,
+            &pm,
+            &grids,
+            &cfg,
+            &mut tiling,
+            &policy,
+            false,
+        )
+        .unwrap();
+        assert!(!first.degraded);
+        let bal = first
+            .result
+            .comm
+            .balance
+            .as_ref()
+            .expect("balance measured");
+        assert_eq!(bal.rank_busy_secs.len(), 4);
+        // Drive the re-tiling decision off a deterministic skew instead of
+        // wall-clock noise: one rank 4x busier, its unit 8x costlier.
+        let skew = crate::schemes::BalanceStats {
+            rank_busy_secs: vec![4.0, 1.0, 1.0, 1.0],
+            unit_secs: vec![1.0, 8.0, 1.0, 1.0],
+            ..Default::default()
+        };
+        let events0 = qt_telemetry::counters::total_rebalance_events();
+        assert!(maybe_rebalance(&mut tiling, &skew, 10.0).is_empty());
+        let moved = maybe_rebalance(&mut tiling, &skew, 1.5);
+        assert!(!moved.is_empty(), "4.0/1.75 imbalance must trigger a move");
+        assert!(qt_telemetry::counters::total_rebalance_events() > events0);
+        // The re-tiled iteration must reproduce the observables bit for bit.
+        let second = distributed_iteration_tiled(
+            &p,
+            &dev,
+            &em,
+            &pm,
+            &grids,
+            &cfg,
+            &mut tiling,
+            &policy,
+            false,
+        )
+        .unwrap();
+        assert_eq!(
+            first.result.sigma.lesser.as_slice(),
+            second.result.sigma.lesser.as_slice()
+        );
+        assert_eq!(
+            first.result.sigma.greater.as_slice(),
+            second.result.sigma.greater.as_slice()
+        );
+        assert_eq!(
+            first.result.pi.lesser.as_slice(),
+            second.result.pi.lesser.as_slice()
+        );
+        assert_eq!(
+            first.result.pi.greater.as_slice(),
+            second.result.pi.greater.as_slice()
+        );
+        assert_eq!(first.result.current, second.result.current);
+        assert!(second.result.comm.balance.is_some());
     }
 
     #[test]

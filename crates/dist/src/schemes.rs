@@ -51,6 +51,43 @@ pub struct CommStats {
     pub rank_sent: Vec<u64>,
     /// Bytes received by each rank during the SSE exchange.
     pub rank_recv: Vec<u64>,
+    /// Per-rank compute-load measurements; `Some` for the elastic scheme
+    /// (which times every work unit), `None` for the classic schemes.
+    pub balance: Option<BalanceStats>,
+}
+
+/// Per-rank compute-load measurements of one elastic SSE exchange — the
+/// raw input of the adaptive tiling layer.
+#[derive(Clone, Debug, Default)]
+pub struct BalanceStats {
+    /// Wall seconds each survivor slot spent computing tiles, including
+    /// any units it stole from stragglers.
+    pub rank_busy_secs: Vec<f64>,
+    /// Measured compute seconds per work unit (indexed by unit id, 0.0
+    /// for abandoned units), attributed to the unit wherever it ran.
+    pub unit_secs: Vec<f64>,
+    /// Steal requests issued across the world this exchange.
+    pub steal_requests: u64,
+    /// Work units that actually moved to a thief this exchange.
+    pub stolen_units: u64,
+}
+
+impl BalanceStats {
+    /// Busy-time imbalance ratio `max / mean` across ranks; 1.0 for an
+    /// empty or idle world (nothing to balance).
+    pub fn imbalance_ratio(&self) -> f64 {
+        if self.rank_busy_secs.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = self.rank_busy_secs.iter().sum();
+        let max = self.rank_busy_secs.iter().cloned().fold(0.0, f64::max);
+        let mean = sum / self.rank_busy_secs.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
 }
 
 /// Pack `G[:, e, a_range, :, :]` (all kz) into a flat buffer.
@@ -916,6 +953,406 @@ fn tag_gather(u: usize) -> u64 {
     (1 << 50) | (u as u64 * 2)
 }
 
+/// Tag of the intra-iteration steal protocol. Every steal message between
+/// a given pair of ranks rides this one tag with the message kind in the
+/// payload head, so per-pair FIFO plus the strict tag assert verify that
+/// no steal frame leaks past the protocol window (each rank's `FIN` is
+/// the last steal message on each of its channels).
+const TAG_STEAL: u64 = 1 << 54;
+
+const STEAL_REQ: f64 = 0.0;
+const STEAL_DENY: f64 = 1.0;
+const STEAL_GRANT: f64 = 2.0;
+const STEAL_RESULT: f64 = 3.0;
+const STEAL_FIN: f64 = 4.0;
+
+/// Everything one work unit's compute produces: the Σ≷ tile plus the Π≷
+/// partial slices for every `(q, ω)` round, and the measured wall time.
+struct UnitOut {
+    sig: [Vec<Complex64>; 2],
+    /// Per `q·Nω + ω`, ascending: the `my_a` rows the round's Π owner
+    /// accumulates; empty for rounds whose owner unit was abandoned.
+    pi_slices: Vec<(Vec<Complex64>, Vec<Complex64>)>,
+    secs: f64,
+}
+
+/// One survivor's return from the elastic rank body.
+struct ElasticRankOut {
+    assembled: Option<(ElectronSelfEnergy, PhononSelfEnergy)>,
+    /// (bytes sent, bytes received) during the SSE exchange proper.
+    bytes: (u64, u64),
+    /// Wall seconds spent computing tiles (own and stolen).
+    busy_secs: f64,
+    /// `(unit, measured seconds)` for every unit this rank *owned*,
+    /// including ones computed remotely by a thief.
+    unit_secs: Vec<(usize, f64)>,
+    steal_requests: u64,
+    stolen_units: u64,
+}
+
+/// Compute one tile end to end: Σ≷ via [`local_sse_tile`] plus the Π≷
+/// partial slices of every live `(q, ω)` round, timed and traced on the
+/// computing rank's trace lane. Pure in its inputs, so a stolen unit
+/// reproduces the victim's results bitwise.
+#[allow(clippy::too_many_arguments)]
+fn compute_unit_tile(
+    ctx: &SseDistContext<'_>,
+    tiling: &ElasticTiling,
+    geom: &TileGeom,
+    g: &[Vec<Complex64>; 2],
+    d: &[Vec<Complex64>; 2],
+    scale: Complex64,
+    unit: usize,
+    track_rank: usize,
+    hb: &dyn Fn(),
+) -> UnitOut {
+    let p = ctx.p;
+    let procs = tiling.procs();
+    let pi_len = (p.nb + 1) * N3D * N3D;
+    let t0 = std::time::Instant::now();
+    let cpu0 = qt_telemetry::cputime::thread_cpu_secs();
+    let sig = local_sse_tile(ctx, geom, g, d, scale, hb);
+    let my_a = geom.my_a.clone();
+    let mut pi_slices = Vec::with_capacity(p.nqz * p.nw);
+    for q in 0..p.nqz {
+        for w in 0..p.nw {
+            let owner_id = tiling.owner[(q * p.nw + w) % procs];
+            if !tiling.is_survivor(owner_id) {
+                pi_slices.push((Vec::new(), Vec::new()));
+                continue;
+            }
+            let (part_l, part_g) = pi_tile_partials(ctx, geom, g, q, w, hb);
+            let sl = |buf: &[Complex64]| buf[my_a.start * pi_len..my_a.end * pi_len].to_vec();
+            pi_slices.push((sl(&part_l), sl(&part_g)));
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    // Cost in thread CPU time: immune to preemption on oversubscribed
+    // hosts, so the cost model and the imbalance metric stay honest even
+    // when the thread world time-slices on few cores. The trace keeps the
+    // wall span (that is what a trace viewer lays out).
+    let secs = qt_telemetry::cputime::thread_cpu_since(cpu0, wall);
+    qt_telemetry::trace::record_rank_event(
+        format!("sse/unit/{unit}"),
+        track_rank,
+        t0,
+        (wall * 1e9) as u64,
+    );
+    UnitOut {
+        sig,
+        pi_slices,
+        secs,
+    }
+}
+
+/// Borrowed inputs of the steal-protocol message handler.
+struct StealEnv<'a> {
+    ctx: &'a SseDistContext<'a>,
+    tiling: &'a ElasticTiling,
+    my_units: &'a [usize],
+    geoms: &'a [TileGeom],
+    g_local: &'a [[Vec<Complex64>; 2]],
+    d_local: &'a [[Vec<Complex64>; 2]],
+    scale: Complex64,
+}
+
+impl StealEnv<'_> {
+    fn g_len(&self, u: usize) -> usize {
+        let p = self.ctx.p;
+        p.nkz * self.geoms[u].e_halo.len() * self.geoms[u].a_win.len() * p.norb * p.norb
+    }
+    fn d_len(&self, u: usize) -> usize {
+        let p = self.ctx.p;
+        p.nqz * p.nw * self.geoms[u].a_win.len() * (p.nb * N3D * N3D)
+    }
+    fn sig_len(&self, u: usize) -> usize {
+        let p = self.ctx.p;
+        p.nkz * self.geoms[u].my_e.len() * self.geoms[u].my_a.len() * p.norb * p.norb
+    }
+}
+
+/// The reply a thief's outstanding request resolved to.
+enum StealReply {
+    Deny,
+    Granted,
+}
+
+/// Mutable per-rank state of the steal protocol.
+struct StealCore {
+    /// Local indices (into `my_units`) not yet started; the back is what
+    /// gets granted away.
+    queue: std::collections::VecDeque<usize>,
+    /// Finished outputs per local unit index (own or thief-returned).
+    outs: Vec<Option<UnitOut>>,
+    fin_rcvd: Vec<bool>,
+    /// Peers that can no longer grant (denied us, or finished).
+    dry: Vec<bool>,
+    fin_sent: bool,
+    /// Units granted away whose `RESULT` has not come back yet.
+    lent_out: usize,
+    reply: Option<StealReply>,
+    busy_secs: f64,
+    steal_requests: u64,
+    stolen_units: u64,
+}
+
+/// Dispatch one incoming steal message from slot `from`. `REQ` grants an
+/// unstarted unit (with its input buffers) when at least two remain
+/// queued, else denies — unless this rank already sent `FIN`, in which
+/// case the request is dropped and the `FIN` on the wire doubles as the
+/// denial. A `GRANT` reply computes the stolen tile on the spot and
+/// returns its results; a `RESULT` stores a lent-out unit's output under
+/// its local slot.
+fn handle_steal_msg(
+    core: &mut StealCore,
+    env: &StealEnv<'_>,
+    comm: &ThreadComm,
+    from: usize,
+    msg: Vec<Complex64>,
+) -> Result<(), CommError> {
+    let kind = msg[0].re;
+    if kind == STEAL_REQ {
+        if core.fin_sent {
+            return Ok(()); // our FIN (already on the wire) is the denial
+        }
+        if core.queue.len() >= 2 {
+            let mi = core.queue.pop_back().expect("non-empty");
+            let u = env.my_units[mi];
+            let mut buf = Vec::with_capacity(2 + 2 * (env.g_len(u) + env.d_len(u)));
+            buf.push(c64(STEAL_GRANT, 0.0));
+            buf.push(c64(u as f64, 0.0));
+            for t in env.g_local[mi].iter().chain(env.d_local[mi].iter()) {
+                buf.extend_from_slice(t);
+            }
+            core.lent_out += 1;
+            comm.try_send(from, TAG_STEAL, buf)?;
+        } else {
+            comm.try_send(from, TAG_STEAL, vec![c64(STEAL_DENY, 0.0)])?;
+        }
+    } else if kind == STEAL_DENY {
+        core.reply = Some(StealReply::Deny);
+    } else if kind == STEAL_GRANT {
+        let u = msg[1].re as usize;
+        let (gl, dl) = (env.g_len(u), env.d_len(u));
+        assert_eq!(msg.len(), 2 + 2 * gl + 2 * dl, "GRANT frame size");
+        let g = [msg[2..2 + gl].to_vec(), msg[2 + gl..2 + 2 * gl].to_vec()];
+        let base = 2 + 2 * gl;
+        let d = [
+            msg[base..base + dl].to_vec(),
+            msg[base + dl..base + 2 * dl].to_vec(),
+        ];
+        let hb = || comm.heartbeat();
+        let out = compute_unit_tile(
+            env.ctx,
+            env.tiling,
+            &env.geoms[u],
+            &g,
+            &d,
+            env.scale,
+            u,
+            comm.identity(),
+            &hb,
+        );
+        core.busy_secs += out.secs;
+        core.stolen_units += 1;
+        qt_telemetry::counters::add_stolen_units(1);
+        let mut buf = Vec::with_capacity(3 + env.sig_len(u) * 2);
+        buf.push(c64(STEAL_RESULT, 0.0));
+        buf.push(c64(u as f64, 0.0));
+        buf.push(c64(out.secs, 0.0));
+        buf.extend_from_slice(&out.sig[0]);
+        buf.extend_from_slice(&out.sig[1]);
+        for (l, g) in &out.pi_slices {
+            buf.extend_from_slice(l);
+            buf.extend_from_slice(g);
+        }
+        comm.try_send(from, TAG_STEAL, buf)?;
+        core.reply = Some(StealReply::Granted);
+    } else if kind == STEAL_RESULT {
+        let u = msg[1].re as usize;
+        let secs = msg[2].re;
+        let mi = env
+            .my_units
+            .iter()
+            .position(|&x| x == u)
+            .expect("RESULT for a unit we own");
+        let p = env.ctx.p;
+        let pi_len = (p.nb + 1) * N3D * N3D;
+        let my_a_len = env.geoms[u].my_a.len();
+        let sl = env.sig_len(u);
+        let mut pos = 3;
+        let sig = [
+            msg[pos..pos + sl].to_vec(),
+            msg[pos + sl..pos + 2 * sl].to_vec(),
+        ];
+        pos += 2 * sl;
+        let procs = env.tiling.procs();
+        let mut pi_slices = Vec::with_capacity(p.nqz * p.nw);
+        for qw in 0..p.nqz * p.nw {
+            let owner_id = env.tiling.owner[qw % procs];
+            if !env.tiling.is_survivor(owner_id) {
+                pi_slices.push((Vec::new(), Vec::new()));
+                continue;
+            }
+            let n = my_a_len * pi_len;
+            let l = msg[pos..pos + n].to_vec();
+            let g = msg[pos + n..pos + 2 * n].to_vec();
+            pos += 2 * n;
+            pi_slices.push((l, g));
+        }
+        assert_eq!(pos, msg.len(), "RESULT frame size");
+        core.outs[mi] = Some(UnitOut {
+            sig,
+            pi_slices,
+            secs,
+        });
+        core.lent_out -= 1;
+    } else if kind == STEAL_FIN {
+        core.fin_rcvd[from] = true;
+        core.dry[from] = true;
+    } else {
+        panic!("unknown steal message kind {kind}");
+    }
+    Ok(())
+}
+
+/// Drain every pending steal message (all live peers, non-blocking).
+/// Stops reading a peer's channel at its `FIN` — anything behind it
+/// belongs to the next protocol phase.
+fn poll_steal(
+    core: &mut StealCore,
+    env: &StealEnv<'_>,
+    comm: &ThreadComm,
+) -> Result<(), CommError> {
+    for s in 0..comm.size() {
+        if s == comm.rank() || core.fin_rcvd[s] {
+            continue;
+        }
+        while let Some(msg) = comm.poll_recv(s, TAG_STEAL) {
+            handle_steal_msg(core, env, comm, s, msg)?;
+            if core.fin_rcvd[s] {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The compute phase with intra-iteration work stealing: process the own
+/// queue front-to-back while serving thieves between units; once idle,
+/// request units from stragglers until every peer is dry; then announce
+/// `FIN` and drain each peer's channel to its `FIN` (collecting any
+/// late `RESULT`s for lent-out units on the way). Termination: queues
+/// only shrink, every request resolves to a grant, a denial, or the
+/// victim's `FIN` (an implicit denial), and a peer that dies mid-protocol
+/// surfaces as a typed [`CommError`] for the supervisor's elastic path.
+#[allow(clippy::too_many_arguments)]
+fn steal_compute_phase(
+    env: &StealEnv<'_>,
+    comm: &ThreadComm,
+    live: &LivenessConfig,
+) -> Result<(Vec<UnitOut>, f64, u64, u64), CommError> {
+    let n = comm.size();
+    let me_slot = comm.rank();
+    let mut core = StealCore {
+        queue: (0..env.my_units.len()).collect(),
+        outs: (0..env.my_units.len()).map(|_| None).collect(),
+        fin_rcvd: vec![false; n],
+        dry: (0..n).map(|s| s == me_slot).collect(),
+        fin_sent: false,
+        lent_out: 0,
+        reply: None,
+        busy_secs: 0.0,
+        steal_requests: 0,
+        stolen_units: 0,
+    };
+    // Own work, serving thieves between units.
+    loop {
+        poll_steal(&mut core, env, comm)?;
+        let Some(mi) = core.queue.pop_front() else {
+            break;
+        };
+        let u = env.my_units[mi];
+        let hb = || comm.heartbeat();
+        let out = compute_unit_tile(
+            env.ctx,
+            env.tiling,
+            &env.geoms[u],
+            &env.g_local[mi],
+            &env.d_local[mi],
+            env.scale,
+            u,
+            comm.identity(),
+            &hb,
+        );
+        core.busy_secs += out.secs;
+        core.outs[mi] = Some(out);
+    }
+    // Idle: steal from stragglers until everyone is dry.
+    while let Some(v) = (1..n)
+        .map(|off| (me_slot + off) % n)
+        .find(|&s| !core.dry[s])
+    {
+        comm.try_send(v, TAG_STEAL, vec![c64(STEAL_REQ, 0.0)])?;
+        core.steal_requests += 1;
+        qt_telemetry::counters::add_steal_request();
+        core.reply = None;
+        let mut watch = (comm.epoch_of(v), std::time::Instant::now());
+        loop {
+            poll_steal(&mut core, env, comm)?;
+            if core.reply.is_some() || core.fin_rcvd[v] {
+                break;
+            }
+            std::thread::sleep(live.poll);
+            comm.heartbeat();
+            if let Some(s) = comm.first_dead_excluding(me_slot) {
+                return Err(CommError::RankDeath {
+                    rank: comm.identity_of(s),
+                    epoch: comm.epoch_of(s),
+                });
+            }
+            let e = comm.epoch_of(v);
+            if e != watch.0 {
+                watch = (e, std::time::Instant::now());
+            } else if watch.1.elapsed() >= live.deadline {
+                comm.declare_dead(v);
+                return Err(CommError::RankDeath {
+                    rank: comm.identity_of(v),
+                    epoch: e,
+                });
+            }
+        }
+        match core.reply.take() {
+            Some(StealReply::Deny) | None => core.dry[v] = true, // FIN implies deny
+            Some(StealReply::Granted) => {}                      // same victim may have more
+        }
+    }
+    // Announce we are done; FIN is the last steal frame on each channel.
+    core.fin_sent = true;
+    for s in 0..n {
+        if s != me_slot {
+            comm.try_send(s, TAG_STEAL, vec![c64(STEAL_FIN, 0.0)])?;
+        }
+    }
+    // Drain each peer to its FIN, collecting late RESULTs.
+    for s in 0..n {
+        if s == me_slot {
+            continue;
+        }
+        while !core.fin_rcvd[s] {
+            let msg = comm.try_recv(s, TAG_STEAL, live)?;
+            handle_steal_msg(&mut core, env, comm, s, msg)?;
+        }
+    }
+    assert_eq!(core.lent_out, 0, "every lent unit must have reported back");
+    let outs = core
+        .outs
+        .into_iter()
+        .map(|o| o.expect("every owned unit computed"))
+        .collect();
+    Ok((outs, core.busy_secs, core.steal_requests, core.stolen_units))
+}
+
 /// Success: the assembled Σ≷/Π≷ plus the survivor world's measured traffic
 /// (indexed by survivor slot). Failure: the *original* ids of ranks newly
 /// confirmed dead — the supervisor re-tiles around them and retries. The
@@ -933,11 +1370,27 @@ pub fn elastic_sse_exchange(
     tiling: &ElasticTiling,
     live: &LivenessConfig,
 ) -> ElasticExchange {
+    elastic_sse_exchange_opts(ctx, tiling, live, false)
+}
+
+/// [`elastic_sse_exchange`] with intra-iteration work stealing switchable.
+/// With `steal` on, idle survivors request unstarted units from stragglers
+/// over the comm world; the Σ≷/Π≷ observables stay bitwise identical (the
+/// stolen tile is computed by the same kernel on the same buffers and its
+/// results are forwarded under the victim's slot), but the measured byte
+/// counts gain the steal traffic, so the exact volume models only apply
+/// with stealing off.
+pub fn elastic_sse_exchange_opts(
+    ctx: &SseDistContext<'_>,
+    tiling: &ElasticTiling,
+    live: &LivenessConfig,
+    steal: bool,
+) -> ElasticExchange {
     let _span = qt_telemetry::Span::enter_global("comm/elastic_scheme");
     let results = run_elastic_world(tiling.survivors.clone(), |comm: ThreadComm| {
-        elastic_rank_body(ctx, tiling, live, comm)
+        elastic_rank_body(ctx, tiling, live, steal, comm)
     });
-    collect_elastic(&tiling.survivors, results)
+    collect_elastic(tiling, results)
 }
 
 /// [`elastic_sse_exchange`] on a world carrying a deterministic fault plan
@@ -949,21 +1402,66 @@ pub fn elastic_sse_exchange_with_faults(
     live: &LivenessConfig,
     plan: crate::fault::FaultPlan,
 ) -> ElasticExchange {
+    elastic_sse_exchange_with_faults_opts(ctx, tiling, live, plan, false)
+}
+
+/// [`elastic_sse_exchange_with_faults`] with work stealing switchable; a
+/// victim or thief killed mid-protocol surfaces as a typed death and the
+/// supervisor degrades to the elastic re-tiling path.
+#[cfg(feature = "fault-inject")]
+pub fn elastic_sse_exchange_with_faults_opts(
+    ctx: &SseDistContext<'_>,
+    tiling: &ElasticTiling,
+    live: &LivenessConfig,
+    plan: crate::fault::FaultPlan,
+    steal: bool,
+) -> ElasticExchange {
     let _span = qt_telemetry::Span::enter_global("comm/elastic_scheme_faulty");
     let results =
         crate::comm::run_elastic_world_with_faults(tiling.survivors.clone(), plan, |comm| {
-            elastic_rank_body(ctx, tiling, live, comm)
+            elastic_rank_body(ctx, tiling, live, steal, comm)
         });
-    collect_elastic(&tiling.survivors, results)
+    collect_elastic(tiling, results)
 }
 
 fn collect_elastic(
-    survivors: &[usize],
-    results: Vec<Result<RankResult, CommError>>,
+    tiling: &ElasticTiling,
+    results: Vec<Result<ElasticRankOut, CommError>>,
 ) -> ElasticExchange {
+    let survivors = &tiling.survivors;
     if results.iter().all(|r| r.is_ok()) {
-        let ok: Vec<RankResult> = results.into_iter().map(|r| r.expect("no errors")).collect();
-        return Ok(collect_results(ok));
+        let ok: Vec<ElasticRankOut> = results.into_iter().map(|r| r.expect("no errors")).collect();
+        let rank_sent: Vec<u64> = ok.iter().map(|r| r.bytes.0).collect();
+        let rank_recv: Vec<u64> = ok.iter().map(|r| r.bytes.1).collect();
+        let mut unit_secs = vec![0.0; tiling.procs()];
+        for r in &ok {
+            for &(u, s) in &r.unit_secs {
+                unit_secs[u] = s;
+            }
+        }
+        let balance = BalanceStats {
+            rank_busy_secs: ok.iter().map(|r| r.busy_secs).collect(),
+            unit_secs,
+            steal_requests: ok.iter().map(|r| r.steal_requests).sum(),
+            stolen_units: ok.iter().map(|r| r.stolen_units).sum(),
+        };
+        let world_bytes = rank_sent.iter().sum();
+        let max_rank_recv = rank_recv.iter().copied().max().unwrap_or(0);
+        let (sigma, pi) = ok
+            .into_iter()
+            .find_map(|r| r.assembled)
+            .expect("root produced the assembled Σ and Π");
+        return Ok((
+            sigma,
+            pi,
+            CommStats {
+                world_bytes,
+                max_rank_recv,
+                rank_sent,
+                rank_recv,
+                balance: Some(balance),
+            },
+        ));
     }
     // Cross-check the accusations against who actually reported back. A
     // slot that returned at all — Ok or a typed detection error — is
@@ -1001,8 +1499,9 @@ fn elastic_rank_body(
     ctx: &SseDistContext<'_>,
     tiling: &ElasticTiling,
     live: &LivenessConfig,
+    steal: bool,
     comm: ThreadComm,
-) -> Result<RankResult, CommError> {
+) -> Result<ElasticRankOut, CommError> {
     let p = ctx.p;
     let nn = p.norb * p.norb;
     let scale = c64(sse::sigma_scale(p, ctx.grids), 0.0);
@@ -1020,11 +1519,11 @@ fn elastic_rank_body(
     // like the classic alltoallv.
     for &u_src in &my_units {
         let chunk = gf_dec.energy.range(u_src);
-        for u_dst in 0..procs {
+        for (u_dst, geom) in geoms.iter().enumerate() {
             if !tiling.is_live_unit(u_dst) {
                 continue; // degraded mode: the tile is abandoned
             }
-            let buf = pack_g_halo(ctx, chunk.clone(), &geoms[u_dst], nn);
+            let buf = pack_g_halo(ctx, chunk.clone(), geom, nn);
             comm.try_send(slot(u_dst), tag_a2a1(procs, u_src, u_dst), buf)?;
         }
     }
@@ -1053,11 +1552,11 @@ fn elastic_rank_body(
         .flat_map(|q| (0..p.nw).map(move |w| (q, w)))
         .filter(|&(q, w)| tiling.owner[(q * p.nw + w) % procs] == me)
         .collect();
-    for u_dst in 0..procs {
+    for (u_dst, geom) in geoms.iter().enumerate() {
         if !tiling.is_live_unit(u_dst) {
             continue;
         }
-        let aw = geoms[u_dst].a_win.clone();
+        let aw = geom.a_win.clone();
         let mut buf = Vec::new();
         for d in [ctx.d_lesser_pre, ctx.d_greater_pre] {
             for &(q, w) in &my_qw {
@@ -1098,11 +1597,45 @@ fn elastic_rank_body(
             assert_eq!(pos, buf.len());
         }
     }
-    // ---- Local SSE, one tile per owned unit. ----
-    let sig: Vec<[Vec<Complex64>; 2]> = my_units
+    // ---- Compute phase: Σ≷ tile + Π≷ partial slices per owned unit,
+    // timed per unit. With stealing on, idle ranks pull unstarted units
+    // from stragglers; the tile kernels are pure in their buffers, so the
+    // results are bitwise identical either way. ----
+    let env = StealEnv {
+        ctx,
+        tiling,
+        my_units: &my_units,
+        geoms: &geoms,
+        g_local: &g_local,
+        d_local: &d_local,
+        scale,
+    };
+    let (outs, busy_secs, steal_requests, stolen_units) = if steal && comm.size() > 1 {
+        steal_compute_phase(&env, &comm, live)?
+    } else {
+        let mut outs = Vec::with_capacity(my_units.len());
+        let mut busy = 0.0;
+        for (mi, &u) in my_units.iter().enumerate() {
+            let out = compute_unit_tile(
+                ctx,
+                tiling,
+                &geoms[u],
+                &g_local[mi],
+                &d_local[mi],
+                scale,
+                u,
+                me,
+                &hb,
+            );
+            busy += out.secs;
+            outs.push(out);
+        }
+        (outs, busy, 0, 0)
+    };
+    let unit_secs: Vec<(usize, f64)> = my_units
         .iter()
-        .enumerate()
-        .map(|(mi, &u)| local_sse_tile(ctx, &geoms[u], &g_local[mi], &d_local[mi], scale, &hb))
+        .zip(&outs)
+        .map(|(&u, o)| (u, o.secs))
         .collect();
     // ---- Π≷ partials, reduced to each (q, ω) owner. The owner accumulates
     // in ascending *unit* order — the same order the classic scheme uses
@@ -1118,12 +1651,10 @@ fn elastic_rank_body(
                 continue; // the round's owner unit was abandoned: Π≷ stays zero
             }
             for (mi, &u) in my_units.iter().enumerate() {
-                let (part_l, part_g) = pi_tile_partials(ctx, &geoms[u], &g_local[mi], q, w, &hb);
-                let my_a = geoms[u].my_a.clone();
-                let sl = |buf: &[Complex64]| buf[my_a.start * pi_len..my_a.end * pi_len].to_vec();
+                let (sl_l, sl_g) = &outs[mi].pi_slices[qw];
                 let tag = tag_pi(procs, qw, u);
-                comm.try_send(tiling.slot_of(owner_id), tag, sl(&part_l))?;
-                comm.try_send(tiling.slot_of(owner_id), tag + 1, sl(&part_g))?;
+                comm.try_send(tiling.slot_of(owner_id), tag, sl_l.clone())?;
+                comm.try_send(tiling.slot_of(owner_id), tag + 1, sl_g.clone())?;
             }
             if owner_id == me {
                 let mut tot_l = vec![Complex64::ZERO; p.na * pi_len];
@@ -1162,16 +1693,15 @@ fn elastic_rank_body(
     comm.try_barrier(live)?;
     // ---- Gather tiles to the root (survivor slot 0). ----
     for (mi, &u) in my_units.iter().enumerate() {
-        comm.try_send(0, tag_gather(u), sig[mi][0].clone())?;
-        comm.try_send(0, tag_gather(u) + 1, sig[mi][1].clone())?;
+        comm.try_send(0, tag_gather(u), outs[mi].sig[0].clone())?;
+        comm.try_send(0, tag_gather(u) + 1, outs[mi].sig[1].clone())?;
     }
     if comm.rank() == 0 {
         let mut out = ElectronSelfEnergy::zeros(p);
-        for u in 0..procs {
+        for (u, geom) in geoms.iter().enumerate() {
             if !tiling.is_live_unit(u) {
                 continue; // abandoned tile: its Σ≷ slice stays zero
             }
-            let geom = &geoms[u];
             let bufs = [
                 comm.try_recv(slot(u), tag_gather(u), live)?,
                 comm.try_recv(slot(u), tag_gather(u) + 1, live)?,
@@ -1212,7 +1742,14 @@ fn elastic_rank_body(
                 store((q, w), l, g);
             }
         }
-        Ok((Some((out, pi_out)), stats))
+        Ok(ElasticRankOut {
+            assembled: Some((out, pi_out)),
+            bytes: stats,
+            busy_secs,
+            unit_secs,
+            steal_requests,
+            stolen_units,
+        })
     } else {
         comm.try_send(0, 1 << 52, vec![c64(pi_owned.len() as f64, 0.0)])?;
         for ((q, w), l, g) in pi_owned {
@@ -1224,7 +1761,14 @@ fn elastic_rank_body(
             comm.try_send(0, (1 << 52) + 2, l)?;
             comm.try_send(0, (1 << 52) + 3, g)?;
         }
-        Ok((None, stats))
+        Ok(ElasticRankOut {
+            assembled: None,
+            bytes: stats,
+            busy_secs,
+            unit_secs,
+            steal_requests,
+            stolen_units,
+        })
     }
 }
 
@@ -1247,6 +1791,7 @@ fn collect_results(results: Vec<RankResult>) -> (ElectronSelfEnergy, PhononSelfE
             max_rank_recv,
             rank_sent,
             rank_recv,
+            balance: None,
         },
     )
 }
@@ -1270,6 +1815,16 @@ mod tests {
     }
 
     fn fixture() -> Fx {
+        fixture_with(Device::new)
+    }
+
+    /// A device with one heavy contact slab and a sparse channel: the
+    /// per-tile SSE cost is strongly atom-skewed.
+    fn skewed_fixture() -> Fx {
+        fixture_with(|p| Device::skewed(p, 1, 1))
+    }
+
+    fn fixture_with(make_dev: impl Fn(&SimParams) -> Device) -> Fx {
         let p = SimParams {
             nkz: 2,
             nqz: 2,
@@ -1280,7 +1835,7 @@ mod tests {
             norb: 2,
             bnum: 4,
         };
-        let dev = Device::new(&p);
+        let dev = make_dev(&p);
         let em = ElectronModel::for_params(&p);
         let pm = PhononModel::default();
         let grids = Grids::new(&p, -1.2, 1.2);
@@ -1481,6 +2036,68 @@ mod tests {
             assert_bitwise("pi greater", &full.1.greater, &dist_pi.greater);
         }
         assert_eq!(tiling.world_size(), 1);
+    }
+
+    #[test]
+    fn weighted_tiling_is_bitwise_identical_and_reports_balance() {
+        let fx = skewed_fixture();
+        let live = LivenessConfig::default();
+        let (te, ta) = (2usize, 2usize);
+        let uniform = ElasticTiling::uniform(&fx.p, te, ta, te * ta);
+        let (base, base_pi, _) = elastic_sse_exchange(&ctx(&fx), &uniform, &live).unwrap();
+        // A lopsided weight vector must move owners, not tile geometry —
+        // and the observables must not move a single bit with them.
+        let weighted = ElasticTiling::weighted(&fx.p, te, ta, te * ta, &[1.0, 10.0, 1.0, 1.0]);
+        assert_ne!(weighted.owner, uniform.owner, "weights must move owners");
+        let (dist, dist_pi, stats) = elastic_sse_exchange(&ctx(&fx), &weighted, &live).unwrap();
+        assert_bitwise("sigma lesser", &base.lesser, &dist.lesser);
+        assert_bitwise("sigma greater", &base.greater, &dist.greater);
+        assert_bitwise("pi lesser", &base_pi.lesser, &dist_pi.lesser);
+        assert_bitwise("pi greater", &base_pi.greater, &dist_pi.greater);
+        let bal = stats.balance.expect("elastic exchange measures balance");
+        assert_eq!(bal.rank_busy_secs.len(), te * ta);
+        assert_eq!(bal.unit_secs.len(), te * ta);
+        assert!(
+            bal.unit_secs.iter().all(|&s| s > 0.0),
+            "{:?}",
+            bal.unit_secs
+        );
+        assert!(bal.imbalance_ratio() >= 1.0);
+        assert_eq!(bal.steal_requests, 0, "stealing defaults off");
+    }
+
+    #[test]
+    fn stealing_terminates_and_matches_bitwise() {
+        let fx = skewed_fixture();
+        let live = LivenessConfig::default();
+        let (te, ta) = (2usize, 2usize);
+        let (classic, classic_pi, _) = dace_scheme(&ctx(&fx), te, ta);
+        // All-zero weights collapse every unit onto rank 0: three ranks
+        // start idle and must pull their work through the steal protocol.
+        let tiling = ElasticTiling::weighted(&fx.p, te, ta, te * ta, &[0.0; 4]);
+        assert_eq!(tiling.units_of(0).len(), te * ta);
+        let mut stole = 0u64;
+        for _ in 0..5 {
+            let (dist, dist_pi, stats) =
+                elastic_sse_exchange_opts(&ctx(&fx), &tiling, &live, true).unwrap();
+            assert_bitwise("sigma lesser", &classic.lesser, &dist.lesser);
+            assert_bitwise("sigma greater", &classic.greater, &dist.greater);
+            assert_bitwise("pi lesser", &classic_pi.lesser, &dist_pi.lesser);
+            assert_bitwise("pi greater", &classic_pi.greater, &dist_pi.greater);
+            let bal = stats.balance.expect("balance measured");
+            assert!(bal.steal_requests >= bal.stolen_units);
+            // Every unit cost is attributed, wherever the unit ran.
+            assert!(
+                bal.unit_secs.iter().all(|&s| s > 0.0),
+                "{:?}",
+                bal.unit_secs
+            );
+            stole += bal.stolen_units;
+            if stole > 0 {
+                break;
+            }
+        }
+        assert!(stole > 0, "three idle ranks must manage at least one steal");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Property tests for the weighted partitioner behind adaptive tiling.
+//!
+//! Three invariants make cost-driven re-tiling safe to run every SCF
+//! iteration:
+//!
+//! 1. **Exact partition** — every work unit lands on exactly one rank in
+//!    `0..parts`, for any weight vector (including zeros, NaNs, and
+//!    negatives, which the partitioner treats as weightless).
+//! 2. **LPT bound** — `max_load ≤ total/parts + max_weight`, the list
+//!    scheduling guarantee; boundary refinement may only improve it.
+//! 3. **Determinism** — the assignment is a pure function of
+//!    `(weights, parts)`: the same inputs re-partition identically, so a
+//!    re-tiling decision replays bit-for-bit across runs.
+
+use proptest::prelude::*;
+use qt_dist::decomp::partition_weighted;
+
+/// Seeded weight vector: deterministic pseudo-random positive weights
+/// with an occasional zero / non-finite entry mixed in.
+fn weights_from(seed: u64, n: usize) -> Vec<f64> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match (s >> 33) % 16 {
+                0 => 0.0,
+                1 => f64::NAN,
+                2 => -3.0,
+                _ => 1.0 + ((s >> 40) % 1000) as f64 / 10.0,
+            }
+        })
+        .collect()
+}
+
+fn sane(w: f64) -> f64 {
+    if w.is_finite() && w > 0.0 {
+        w
+    } else {
+        0.0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weighted_partition_is_exact(
+        seed in 0u64..1u64 << 32,
+        n in 0usize..48,
+        parts in 1usize..12,
+    ) {
+        let weights = weights_from(seed, n);
+        let owner = partition_weighted(&weights, parts);
+        prop_assert_eq!(owner.len(), n);
+        prop_assert!(owner.iter().all(|&r| r < parts), "owner out of range: {:?}", owner);
+    }
+
+    #[test]
+    fn weighted_partition_respects_lpt_bound(
+        seed in 0u64..1u64 << 32,
+        n in 1usize..48,
+        parts in 1usize..12,
+    ) {
+        let weights = weights_from(seed, n);
+        let owner = partition_weighted(&weights, parts);
+        let mut load = vec![0.0f64; parts];
+        for (u, &r) in owner.iter().enumerate() {
+            load[r] += sane(weights[u]);
+        }
+        let max_load = load.iter().cloned().fold(0.0, f64::max);
+        let total: f64 = weights.iter().cloned().map(sane).sum();
+        let max_w = weights.iter().cloned().map(sane).fold(0.0, f64::max);
+        prop_assert!(
+            max_load <= total / parts as f64 + max_w + 1e-9,
+            "LPT bound violated: max_load {max_load}, total {total}, parts {parts}, max_w {max_w}"
+        );
+    }
+
+    #[test]
+    fn weighted_partition_is_deterministic(
+        seed in 0u64..1u64 << 32,
+        n in 0usize..48,
+        parts in 1usize..12,
+    ) {
+        let weights = weights_from(seed, n);
+        let a = partition_weighted(&weights, parts);
+        let b = partition_weighted(&weights, parts);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn equal_weights_spread_across_all_parts() {
+    // With n ≥ parts equal weights nobody idles: refinement cannot beat
+    // the uniform spread, and ties break toward low rank ids.
+    let owner = partition_weighted(&[2.0; 8], 4);
+    let mut counts = [0usize; 4];
+    for &r in &owner {
+        counts[r] += 1;
+    }
+    assert_eq!(counts, [2, 2, 2, 2]);
+}

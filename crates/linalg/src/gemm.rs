@@ -343,6 +343,7 @@ pub fn batched_gemm_shared_b_acc(
 
 /// [`batched_gemm_shared_b_acc`] with the scale riding the accumulate
 /// epilogue: `out[t] += scale · (a[t] @ b)` for every item of the batch.
+#[allow(clippy::too_many_arguments)]
 pub fn batched_gemm_shared_b_scaled_acc(
     m: usize,
     k: usize,

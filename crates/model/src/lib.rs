@@ -5,12 +5,14 @@
 //! of Fig. 13 and Table 8.
 
 pub mod calibrate;
+pub mod costmap;
 pub mod machine;
 pub mod memory;
 pub mod scaling;
 pub mod tilesearch;
 
 pub use calibrate::{calibrate, GemmCalibration, ShapeClass, SHAPE_CLASSES};
+pub use costmap::{imbalance_ratio, CostMap};
 pub use machine::{Machine, PIZ_DAINT, SUMMIT};
 pub use scaling::{predict, strong_scaling, weak_scaling, PhaseTimes, Variant};
 pub use tilesearch::{optimal_tiling, optimal_tiling3, Tiling, Tiling3};

@@ -34,7 +34,11 @@ const ELASTIC_RANK_DEATHS: usize = 16;
 const ELASTIC_HEARTBEAT_TIMEOUTS: usize = 17;
 const ELASTIC_RETILE_EVENTS: usize = 18;
 const ELASTIC_MIGRATED_TILES: usize = 19;
-const N_COUNTERS: usize = 20;
+const BALANCE_STEAL_REQUESTS: usize = 20;
+const BALANCE_STOLEN_UNITS: usize = 21;
+const BALANCE_REBALANCE_EVENTS: usize = 22;
+const BALANCE_MOVED_UNITS: usize = 23;
+const N_COUNTERS: usize = 24;
 
 #[derive(Default)]
 struct Cell {
@@ -192,6 +196,34 @@ pub fn add_migrated_tiles(n: u64) {
     bump(ELASTIC_MIGRATED_TILES, n);
 }
 
+/// Account one work-steal request sent by an idle rank
+/// (`balance.steal_requests`).
+#[inline]
+pub fn add_steal_request() {
+    bump(BALANCE_STEAL_REQUESTS, 1);
+}
+
+/// Account `n` work units granted to a thief by a straggler
+/// (`balance.stolen_units`).
+#[inline]
+pub fn add_stolen_units(n: u64) {
+    bump(BALANCE_STOLEN_UNITS, n);
+}
+
+/// Account one iteration-to-iteration re-partitioning pass of the
+/// adaptive tiling (`balance.rebalance_events`).
+#[inline]
+pub fn add_rebalance_event() {
+    bump(BALANCE_REBALANCE_EVENTS, 1);
+}
+
+/// Account `n` units whose owner changed in a re-partitioning pass
+/// (`balance.moved_units`).
+#[inline]
+pub fn add_rebalance_moved_units(n: u64) {
+    bump(BALANCE_MOVED_UNITS, n);
+}
+
 /// Total flops across all threads (alive or exited) since the last reset.
 pub fn total_flops() -> u64 {
     total(FLOPS)
@@ -268,6 +300,26 @@ pub fn total_retile_events() -> u64 {
 /// Total migrated tiles across all threads since the last reset.
 pub fn total_migrated_tiles() -> u64 {
     total(ELASTIC_MIGRATED_TILES)
+}
+
+/// Total steal requests across all threads since the last reset.
+pub fn total_steal_requests() -> u64 {
+    total(BALANCE_STEAL_REQUESTS)
+}
+
+/// Total stolen work units across all threads since the last reset.
+pub fn total_stolen_units() -> u64 {
+    total(BALANCE_STOLEN_UNITS)
+}
+
+/// Total adaptive re-partitioning passes since the last reset.
+pub fn total_rebalance_events() -> u64 {
+    total(BALANCE_REBALANCE_EVENTS)
+}
+
+/// Total units moved by re-partitioning passes since the last reset.
+pub fn total_rebalance_moved_units() -> u64 {
+    total(BALANCE_MOVED_UNITS)
 }
 
 /// Total communicated bytes across all threads since the last reset.
@@ -445,6 +497,24 @@ mod tests {
         assert!(total_heartbeat_timeouts() - t0 >= 2);
         assert!(total_retile_events() - r0 >= 1);
         assert!(total_migrated_tiles() - m0 >= 3);
+    }
+
+    #[test]
+    fn balance_counts_accumulate() {
+        let (s0, u0, r0, m0) = (
+            total_steal_requests(),
+            total_stolen_units(),
+            total_rebalance_events(),
+            total_rebalance_moved_units(),
+        );
+        add_steal_request();
+        add_stolen_units(2);
+        add_rebalance_event();
+        add_rebalance_moved_units(5);
+        assert!(total_steal_requests() - s0 >= 1);
+        assert!(total_stolen_units() - u0 >= 2);
+        assert!(total_rebalance_events() - r0 >= 1);
+        assert!(total_rebalance_moved_units() - m0 >= 5);
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Per-thread CPU time, for cost measurements that must survive an
+//! oversubscribed host.
+//!
+//! Timing a compute span with `Instant` measures *wall* time, which on a
+//! machine with fewer cores than runnable threads includes every
+//! preemption by a sibling rank — a 4-way time-sliced kernel reads as 4x
+//! its real cost, poisoning the per-unit cost model and any critical-path
+//! metric built from it. `CLOCK_THREAD_CPUTIME_ID` charges a span only
+//! for the cycles this thread actually burned, so per-unit costs stay
+//! comparable whether the thread world ran on one core or sixty-four.
+
+/// Seconds of CPU time consumed by the calling thread, or `None` where no
+/// thread clock is available (the caller falls back to wall time).
+#[cfg(target_os = "linux")]
+pub fn thread_cpu_secs() -> Option<f64> {
+    // Declared locally to avoid a libc dependency; the symbol comes from
+    // the C runtime std already links.
+    #[repr(C)]
+    struct Timespec {
+        sec: i64,
+        nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+    }
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+    let mut ts = Timespec { sec: 0, nsec: 0 };
+    // SAFETY: `ts` is a valid, writable timespec-layout struct and the
+    // clock id is a compile-time constant the kernel accepts.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    (rc == 0).then(|| ts.sec as f64 + ts.nsec as f64 / 1e9)
+}
+
+#[cfg(not(target_os = "linux"))]
+pub fn thread_cpu_secs() -> Option<f64> {
+    None
+}
+
+/// CPU seconds elapsed on this thread since `start` (a prior
+/// [`thread_cpu_secs`] reading), falling back to `wall_secs` when the
+/// thread clock is unavailable or ran backwards.
+pub fn thread_cpu_since(start: Option<f64>, wall_secs: f64) -> f64 {
+    match (start, thread_cpu_secs()) {
+        (Some(a), Some(b)) if b >= a => b - a,
+        _ => wall_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_clock_advances_with_work() {
+        let Some(t0) = thread_cpu_secs() else {
+            return; // platform without a thread clock: fallback path only
+        };
+        // Burn a visible amount of CPU.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let t1 = thread_cpu_secs().unwrap();
+        assert!(t1 >= t0, "thread CPU clock must be monotonic");
+        assert!(t1 - t0 < 60.0, "implausible CPU delta {}", t1 - t0);
+    }
+
+    #[test]
+    fn since_falls_back_to_wall() {
+        assert_eq!(thread_cpu_since(None, 1.25), 1.25);
+        // A backwards reading (impossible clock) also falls back.
+        assert_eq!(thread_cpu_since(Some(f64::MAX), 0.5), 0.5);
+    }
+}

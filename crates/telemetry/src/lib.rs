@@ -29,6 +29,7 @@
 //! time across workers rather than wall-clock.
 
 pub mod counters;
+pub mod cputime;
 pub mod json;
 pub mod registry;
 pub mod report;
@@ -36,7 +37,7 @@ pub mod span;
 pub mod trace;
 
 pub use registry::PhaseStat;
-pub use report::{ElasticityReport, TelemetryReport};
+pub use report::{BalanceReport, ElasticityReport, TelemetryReport};
 pub use span::{enabled, set_enabled, Span};
 pub use trace::{export_chrome_trace, set_tracing, tracing_enabled};
 

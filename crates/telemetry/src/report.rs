@@ -194,6 +194,61 @@ impl ElasticityReport {
     }
 }
 
+/// Load-balance summary of the distributed iteration: per-rank busy
+/// times, the resulting imbalance ratio, and what the adaptive machinery
+/// (cost-model re-tiling, intra-iteration work stealing) did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BalanceReport {
+    /// Busy milliseconds per world slot (compute time, excluding waits).
+    pub rank_busy_ms: Vec<f64>,
+    /// `max / mean` of the per-rank busy times (1.0 = perfect balance).
+    pub imbalance_ratio: f64,
+    /// The same ratio under the static uniform tiling — the baseline the
+    /// adaptive layer is compared against. 0.0 when not measured.
+    pub imbalance_before: f64,
+    /// Steal requests sent by idle ranks (`balance.steal_requests`).
+    pub steal_requests: u64,
+    /// Work units granted to thieves (`balance.stolen_units`).
+    pub stolen_units: u64,
+    /// Iteration-to-iteration re-partitioning passes
+    /// (`balance.rebalance_events`).
+    pub rebalance_events: u64,
+    /// Units whose owner changed across re-partitioning passes
+    /// (`balance.moved_units`).
+    pub moved_units: u64,
+}
+
+impl BalanceReport {
+    /// Build from measured per-rank busy times (milliseconds), snapshotting
+    /// the global balance counters. `imbalance_before` is the static-tiling
+    /// baseline ratio when one was measured, else 0.
+    pub fn from_busy_times(rank_busy_ms: Vec<f64>, imbalance_before: f64) -> Self {
+        let ratio = Self::ratio(&rank_busy_ms);
+        BalanceReport {
+            rank_busy_ms,
+            imbalance_ratio: ratio,
+            imbalance_before,
+            steal_requests: counters::total_steal_requests(),
+            stolen_units: counters::total_stolen_units(),
+            rebalance_events: counters::total_rebalance_events(),
+            moved_units: counters::total_rebalance_moved_units(),
+        }
+    }
+
+    /// `max / mean` of a busy-time vector; 1.0 for empty or all-zero
+    /// input.
+    pub fn ratio(busy: &[f64]) -> f64 {
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let mean = busy.iter().sum::<f64>() / busy.len() as f64;
+        if mean <= 0.0 {
+            return 1.0;
+        }
+        busy.iter().cloned().fold(0.0, f64::max) / mean
+    }
+}
+
 /// Per-rank communication volume of a distributed phase.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RankComm {
@@ -235,6 +290,10 @@ pub struct TelemetryReport {
     /// rank-failure recovery machinery (also rejected under
     /// `check-report --require-health`).
     pub elasticity: Option<ElasticityReport>,
+    /// Load-balance summary of the distributed iteration; `None` until a
+    /// run with per-rank busy-time measurement fills it in
+    /// (`check-report --require-balance` rejects reports without it).
+    pub balance: Option<BalanceReport>,
 }
 
 fn phase_report(path: &str, s: &PhaseStat) -> PhaseReport {
@@ -292,6 +351,7 @@ impl TelemetryReport {
             warmup: None,
             health: Some(HealthReport::from_counters()),
             elasticity: Some(ElasticityReport::from_counters()),
+            balance: None,
         }
     }
 
@@ -408,6 +468,30 @@ impl TelemetryReport {
                 ),
             ]),
         };
+        let balance = match &self.balance {
+            None => Json::Null,
+            Some(b) => Json::Obj(vec![
+                (
+                    "rank_busy_ms".to_string(),
+                    Json::Arr(b.rank_busy_ms.iter().map(|&ms| Json::Num(ms)).collect()),
+                ),
+                ("imbalance_ratio".to_string(), Json::Num(b.imbalance_ratio)),
+                (
+                    "imbalance_before".to_string(),
+                    Json::Num(b.imbalance_before),
+                ),
+                (
+                    "steal_requests".to_string(),
+                    Json::Num(b.steal_requests as f64),
+                ),
+                ("stolen_units".to_string(), Json::Num(b.stolen_units as f64)),
+                (
+                    "rebalance_events".to_string(),
+                    Json::Num(b.rebalance_events as f64),
+                ),
+                ("moved_units".to_string(), Json::Num(b.moved_units as f64)),
+            ]),
+        };
         Json::Obj(vec![
             ("phases".to_string(), Json::Arr(phases)),
             ("residuals".to_string(), Json::Arr(residuals)),
@@ -432,6 +516,7 @@ impl TelemetryReport {
             ("warmup".to_string(), warmup),
             ("health".to_string(), health),
             ("elasticity".to_string(), elasticity),
+            ("balance".to_string(), balance),
         ])
         .dump()
     }
@@ -494,6 +579,24 @@ impl TelemetryReport {
                     heartbeat_timeouts: int_field(e, "heartbeat_timeouts")?,
                     retile_events: int_field(e, "retile_events")?,
                     migrated_tiles: int_field(e, "migrated_tiles")?,
+                }),
+            },
+            balance: match root.get("balance") {
+                Some(Json::Null) | None => None,
+                Some(b) => Some(BalanceReport {
+                    rank_busy_ms: b
+                        .get("rank_busy_ms")
+                        .and_then(Json::as_array)
+                        .ok_or("balance lacks rank_busy_ms array")?
+                        .iter()
+                        .map(|v| v.as_f64().ok_or("bad rank_busy_ms entry"))
+                        .collect::<Result<Vec<f64>, _>>()?,
+                    imbalance_ratio: num_field(b, "imbalance_ratio")?,
+                    imbalance_before: num_field(b, "imbalance_before")?,
+                    steal_requests: int_field(b, "steal_requests")?,
+                    stolen_units: int_field(b, "stolen_units")?,
+                    rebalance_events: int_field(b, "rebalance_events")?,
+                    moved_units: int_field(b, "moved_units")?,
                 }),
             },
             ..TelemetryReport::default()
@@ -601,6 +704,27 @@ impl TelemetryReport {
                 return Err("warmup stats contain negative timings".into());
             }
         }
+        if let Some(b) = &self.balance {
+            if b.rank_busy_ms.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                return Err("balance busy times contain bad entries".into());
+            }
+            if !b.imbalance_ratio.is_finite() || b.imbalance_ratio < 1.0 - 1e-9 {
+                return Err(format!(
+                    "balance imbalance_ratio {} is not a max/mean ratio",
+                    b.imbalance_ratio
+                ));
+            }
+            if !b.imbalance_before.is_finite() || b.imbalance_before < 0.0 {
+                return Err("balance imbalance_before is bad".into());
+            }
+            let recomputed = BalanceReport::ratio(&b.rank_busy_ms);
+            if !b.rank_busy_ms.is_empty() && (recomputed - b.imbalance_ratio).abs() > 1e-6 {
+                return Err(format!(
+                    "balance ratio {} disagrees with busy times (expect {recomputed})",
+                    b.imbalance_ratio
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -652,9 +776,47 @@ mod tests {
             retile_events: 2,
             migrated_tiles: 6,
         });
+        rep.balance = Some(BalanceReport {
+            rank_busy_ms: vec![4.0, 2.0, 2.0],
+            imbalance_ratio: 1.5,
+            imbalance_before: 2.4,
+            steal_requests: 5,
+            stolen_units: 3,
+            rebalance_events: 1,
+            moved_units: 2,
+        });
         rep.validate().unwrap();
         let back = TelemetryReport::from_json(&rep.to_json()).unwrap();
         assert_eq!(back, rep);
+    }
+
+    #[test]
+    fn balance_block_validation() {
+        registry::record("test/report/phase4", 1, 1, 0, 0, 0);
+        let mut rep = TelemetryReport::from_current();
+        // Absent block parses to None and validates.
+        let back = TelemetryReport::from_json(&rep.to_json()).unwrap();
+        assert_eq!(back.balance, None);
+        back.validate().unwrap();
+        // Ratio must agree with the busy-time vector.
+        rep.balance = Some(BalanceReport {
+            rank_busy_ms: vec![3.0, 1.0],
+            imbalance_ratio: 1.2, // should be 1.5
+            ..BalanceReport::default()
+        });
+        assert!(rep.validate().is_err());
+        // from_busy_times computes the right ratio.
+        let b = BalanceReport::from_busy_times(vec![3.0, 1.0], 0.0);
+        assert!((b.imbalance_ratio - 1.5).abs() < 1e-12);
+        rep.balance = Some(b);
+        rep.validate().unwrap();
+        // A sub-unity ratio is structurally impossible and rejected.
+        rep.balance = Some(BalanceReport {
+            rank_busy_ms: vec![],
+            imbalance_ratio: 0.5,
+            ..BalanceReport::default()
+        });
+        assert!(rep.validate().is_err());
     }
 
     #[test]

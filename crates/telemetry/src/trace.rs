@@ -5,6 +5,7 @@
 //! track. Load the emitted file in `chrome://tracing` or
 //! <https://ui.perfetto.dev>.
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -21,11 +22,16 @@ thread_local! {
 }
 
 struct Event {
-    name: &'static str,
+    name: Cow<'static, str>,
     ts_us: f64,
     dur_us: f64,
     tid: u64,
 }
+
+/// Track-id base for per-rank tracks: rank `r`'s slices land on tid
+/// `RANK_TRACK_BASE + r`, far above the thread-local tids, so a trace
+/// viewer shows one clean lane per world slot.
+pub const RANK_TRACK_BASE: u64 = 1_000_000;
 
 /// Turn trace-event buffering on or off. Turning it on pins the trace
 /// epoch (timestamp zero) if not already set.
@@ -45,6 +51,19 @@ pub fn tracing_enabled() -> bool {
 /// Append one complete event for a span that started at `t0` and ran for
 /// `dur_ns`. No-op unless tracing is enabled.
 pub fn record_event(name: &'static str, t0: Instant, dur_ns: u64) {
+    record_on_track(Cow::Borrowed(name), t0, dur_ns, TID.with(|t| *t));
+}
+
+/// Append one complete event on the dedicated track of world slot `rank`
+/// (tid `RANK_TRACK_BASE + rank`) — used for unit-granularity compute
+/// slices so the trace shows one lane per rank regardless of which OS
+/// thread backed it. Owned names allow per-unit labels like
+/// `"sse/unit/7"`. No-op unless tracing is enabled.
+pub fn record_rank_event(name: String, rank: usize, t0: Instant, dur_ns: u64) {
+    record_on_track(Cow::Owned(name), t0, dur_ns, RANK_TRACK_BASE + rank as u64);
+}
+
+fn record_on_track(name: Cow<'static, str>, t0: Instant, dur_ns: u64, tid: u64) {
     if !tracing_enabled() {
         return;
     }
@@ -54,7 +73,7 @@ pub fn record_event(name: &'static str, t0: Instant, dur_ns: u64) {
         name,
         ts_us,
         dur_us: dur_ns as f64 / 1e3,
-        tid: TID.with(|t| *t),
+        tid,
     });
 }
 
@@ -79,7 +98,7 @@ pub fn export_chrome_trace() -> String {
                 ("name".to_string(), Json::Str(e.name.to_string())),
                 (
                     "cat".to_string(),
-                    Json::Str(category_of(e.name).to_string()),
+                    Json::Str(category_of(&e.name).to_string()),
                 ),
                 ("ph".to_string(), Json::Str("X".to_string())),
                 ("ts".to_string(), Json::Num(e.ts_us)),
@@ -150,6 +169,25 @@ mod tests {
         let json = export_chrome_trace();
         let n = validate_chrome_trace(&json).unwrap();
         assert!(n >= 2);
+    }
+
+    #[test]
+    fn rank_events_land_on_rank_tracks() {
+        set_tracing(true);
+        record_rank_event("sse/unit/7".to_string(), 3, Instant::now(), 900);
+        set_tracing(false);
+        let json = export_chrome_trace();
+        validate_chrome_trace(&json).unwrap();
+        let trace = Json::parse(&json).unwrap();
+        let events = trace.get("traceEvents").and_then(Json::as_array).unwrap();
+        let ev = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("sse/unit/7"))
+            .expect("rank event exported");
+        assert_eq!(
+            ev.get("tid").and_then(Json::as_u64),
+            Some(RANK_TRACK_BASE + 3)
+        );
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! The build environment has no registry access, so the workspace patches
+//! `rand` to this crate (see `[patch.crates-io]` in the root manifest). It
+//! implements exactly the API subset the workspace uses: seeded `StdRng`
+//! construction and `Rng::random_range` over primitive ranges. The
+//! generator is SplitMix64 — deterministic for a given seed, which is all
+//! the seeded test fixtures require (they never depend on the upstream
+//! rand stream).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generator construction (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling (`rand::Rng` subset).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Range types [`Rng::random_range`] accepts.
+pub trait SampleRange {
+    type Output;
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> Self::Output;
+}
+
+fn unit_f64<G: Rng + ?Sized>(rng: &mut G) -> f64 {
+    // 53 uniform mantissa bits in [0, 1).
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "empty range");
+        a + unit_f64(rng) * (b - a)
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty range");
+                let span = (b as i128 - a as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (a as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    /// Deterministic SplitMix64 generator (stand-in for `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        use crate::{Rng as _, SeedableRng as _};
+        let mut a = rngs::StdRng::seed_from_u64(7);
+        let mut b = rngs::StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        use crate::{Rng as _, SeedableRng as _};
+        let mut r = rngs::StdRng::seed_from_u64(1);
+        for _ in 0..256 {
+            let x = r.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            let n = r.random_range(3usize..9);
+            assert!((3..9).contains(&n));
+            let m = r.random_range(0i64..=4);
+            assert!((0..=4).contains(&m));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Offline stand-in for `rayon` 1.10.
+//!
+//! The build environment has no registry access, so the workspace patches
+//! `rayon` to this crate. The parallel-iterator entry points return the
+//! corresponding *standard* iterators, so every downstream combinator
+//! (`map`, `enumerate`, `for_each`, `collect`, …) is the std one and the
+//! code runs sequentially with identical results. Rank-level parallelism
+//! in this workspace uses `std::thread` scopes directly and is unaffected.
+
+pub mod prelude {
+    /// `into_par_iter()` → the std `into_iter()`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_iter()` / `par_chunks()` on shared slices and `Vec`s.
+    pub trait ParallelSlice<T> {
+        fn as_seq_slice(&self) -> &[T];
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_seq_slice().iter()
+        }
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.as_seq_slice().chunks(size)
+        }
+    }
+    impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
+        fn as_seq_slice(&self) -> &[T] {
+            self.as_ref()
+        }
+    }
+
+    /// `par_iter_mut()` / `par_chunks_mut()` on mutable slices and `Vec`s.
+    pub trait ParallelSliceMut<T> {
+        fn as_seq_slice_mut(&mut self) -> &mut [T];
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.as_seq_slice_mut().iter_mut()
+        }
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.as_seq_slice_mut().chunks_mut(size)
+        }
+    }
+    impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
+        fn as_seq_slice_mut(&mut self) -> &mut [T] {
+            self.as_mut()
+        }
+    }
+}
+
+/// Sequential stand-in: one logical worker.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder;
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder
+    }
+    pub fn num_threads(self, _n: usize) -> Self {
+        self
+    }
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
+pub struct ThreadPool;
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn entry_points_alias_std_iterators() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let s: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(s, 10);
+        let mut buf = [0usize; 6];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, c)| {
+            for x in c {
+                *x = i;
+            }
+        });
+        assert_eq!(buf, [0, 0, 1, 1, 2, 2]);
+    }
+}

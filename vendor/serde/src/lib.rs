@@ -1,0 +1,322 @@
+//! Offline stand-in for `serde` 1.
+//!
+//! The build environment has no registry access, so the workspace patches
+//! `serde` to this crate. Instead of upstream's visitor-based data model it
+//! round-trips through an owned [`Value`] tree: `Serialize` renders a value
+//! into the tree, `Deserialize` reads one back out, and the accompanying
+//! `serde_derive` stand-in generates both impls for plain structs and
+//! enums (externally tagged, like upstream's default representation).
+//! `serde_json`'s stand-in then renders the tree as JSON text — so the
+//! whole derive→to_string→from_str round trip works offline.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// The self-describing value tree both traits pass through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Integers keep 64-bit precision (JSON numbers without a fraction).
+    Int(i64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    /// Ordered key/value pairs (insertion order preserved).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::Num(v) if v.fract() == 0.0 && v.abs() < 9.0e15 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::Num(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Render into the value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild from the value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+/// Look up a required object field (derive-generated code calls this).
+pub fn field<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+/// Like [`field`], but a missing key reads as `Null` so `Option` fields
+/// skipped on output (`skip_serializing_if`) still deserialize.
+pub fn field_or_null<'a>(obj: &'a [(String, Value)], key: &str) -> &'a Value {
+    static NULL: Value = Value::Null;
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                let raw = v.as_i64().ok_or_else(|| format!("expected integer, got {v:?}"))?;
+                <$t>::try_from(raw).map_err(|_| format!("integer {raw} out of range"))
+            }
+        }
+    )*};
+}
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| format!("expected number, got {v:?}"))
+            }
+        }
+    )*};
+}
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("expected bool, got {v:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+/// `&'static str` deserialization leaks the parsed string — acceptable for
+/// the static machine descriptions this workspace round-trips in tests.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_arr()
+            .ok_or_else(|| format!("expected array, got {v:?}"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(format!("expected 2-element array, got {v:?}")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v.as_arr() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(format!("expected 3-element array, got {v:?}")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_obj()
+            .ok_or_else(|| format!("expected object, got {v:?}"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Deterministic output: sort keys.
+        let mut pairs: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_obj()
+            .ok_or_else(|| format!("expected object, got {v:?}"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            Vec::<i64>::from_value(&vec![1i64, -2].to_value()),
+            Ok(vec![1, -2])
+        );
+        assert_eq!(Option::<bool>::from_value(&Value::Null), Ok(None));
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), 3i64);
+        assert_eq!(BTreeMap::from_value(&m.to_value()), Ok(m));
+    }
+}

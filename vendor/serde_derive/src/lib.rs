@@ -1,0 +1,354 @@
+//! Offline stand-in for `serde_derive` 1.
+//!
+//! Generates impls of the stand-in `serde::Serialize`/`serde::Deserialize`
+//! traits (a [`serde::Value`] tree round trip) for non-generic structs and
+//! enums with unit, tuple, and struct variants — the shapes this workspace
+//! derives. The input is parsed directly from the `proc_macro` token
+//! stream (no `syn`/`quote`, which are equally unavailable offline) and
+//! the generated code is rendered as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // '#' + bracket group
+            continue;
+        }
+        break;
+    }
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Advance past one type (or expression) until a top-level `,`, tracking
+/// angle-bracket depth. Returns the index of the `,` or `toks.len()`.
+fn skip_to_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Count top-level comma-separated items in a tuple field list.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut arity = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        arity += 1;
+        i = skip_to_comma(&toks, i) + 1;
+    }
+    arity
+}
+
+/// Field names of a `{ ... }` field list.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 1; // name
+        i += 1; // ':'
+        i = skip_to_comma(&toks, i) + 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        i = skip_to_comma(&toks, i) + 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Result<Parsed, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(t) if is_punct(t, '<')) {
+        return Err(format!(
+            "serde derive stand-in: generic type {name} unsupported"
+        ));
+    }
+    let shape = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => return Err(format!("expected enum body, got {other:?}")),
+        },
+        other => return Err(format!("cannot derive for {other}")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+fn tuple_bindings(n: usize) -> Vec<String> {
+    (0..n).map(|k| format!("__f{k}")).collect()
+}
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Obj(vec![{}])", items.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds = tuple_bindings(*n);
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Obj(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Obj(vec![({vn:?}.to_string(), \
+                                 ::serde::Value::Obj(vec![{}]))]),",
+                                fields.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n  fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    let body = match &p.shape {
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field_or_null(__obj, {f:?}))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = v.as_obj().ok_or_else(|| format!(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})",
+                items.join("\n")
+            )
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?,"))
+                .collect();
+            format!(
+                "let __arr = v.as_arr().ok_or_else(|| format!(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return Err(format!(\"expected {n} elements for {name}\")); }}\n\
+                 Ok({name}({}))",
+                items.join(" ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("{vn:?} => Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?,"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vn:?} => {{\n\
+                             let __arr = __payload.as_arr().ok_or_else(|| format!(\"expected array payload for {name}::{vn}\"))?;\n\
+                             if __arr.len() != {n} {{ return Err(format!(\"expected {n} elements for {name}::{vn}\")); }}\n\
+                             Ok({name}::{vn}({}))\n}}",
+                            items.join(" ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::field_or_null(__obj, {f:?}))?,"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vn:?} => {{\n\
+                             let __obj = __payload.as_obj().ok_or_else(|| format!(\"expected object payload for {name}::{vn}\"))?;\n\
+                             Ok({name}::{vn} {{ {} }})\n}}",
+                            items.join("\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{}\n\
+                 __other => Err(format!(\"unknown unit variant {{__other:?}} for {name}\")),\n}},\n\
+                 ::serde::Value::Obj(__fields) if __fields.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__fields[0];\n\
+                 match __tag.as_str() {{\n{}\n\
+                 __other => Err(format!(\"unknown variant {{__other:?}} for {name}\")),\n}}\n}},\n\
+                 __other => Err(format!(\"expected enum value for {name}, got {{__other:?}}\")),\n}}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n  fn from_value(v: &::serde::Value) -> Result<Self, String> {{\n{body}\n  }}\n}}\n"
+    )
+}
+
+fn render(input: TokenStream, gen: fn(&Parsed) -> String) -> TokenStream {
+    let code = match parse_input(input) {
+        Ok(parsed) => gen(&parsed),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    render(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    render(input, gen_deserialize)
+}
