@@ -55,6 +55,10 @@ fn main() {
         balance(&args[1..]);
         return;
     }
+    if which == "postmortem" {
+        postmortem_cmd(&args[1..]);
+        return;
+    }
     let known = [
         "all",
         "table1",
@@ -71,7 +75,8 @@ fn main() {
     ];
     if !known.contains(&which.as_str()) {
         eprintln!(
-            "unknown subcommand {which:?} (expected one of: profile, check-report, balance, {})",
+            "unknown subcommand {which:?} (expected one of: profile, check-report, balance, \
+             postmortem, {})",
             known.join(", ")
         );
         std::process::exit(2);
@@ -479,11 +484,14 @@ fn profile(flags: &[String]) {
     let mut report_path: Option<String> = None;
     let mut checkpoint_path: Option<String> = None;
     let mut resume_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut postmortem_path: Option<String> = None;
+    let mut chaos_kill: Option<usize> = None;
     let mut i = 0;
     while i < flags.len() {
         let need = |what: &str| {
             flags.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("{what} needs a file path");
+                eprintln!("{what} needs a value");
                 std::process::exit(2);
             })
         };
@@ -492,21 +500,47 @@ fn profile(flags: &[String]) {
             "--report" => report_path = Some(need("--report")),
             "--checkpoint" => checkpoint_path = Some(need("--checkpoint")),
             "--resume" => resume_path = Some(need("--resume")),
+            "--metrics-out" => metrics_path = Some(need("--metrics-out")),
+            "--postmortem" => postmortem_path = Some(need("--postmortem")),
+            "--chaos-kill" => {
+                let rank = need("--chaos-kill").parse().unwrap_or_else(|_| {
+                    eprintln!("--chaos-kill needs a rank number");
+                    std::process::exit(2);
+                });
+                chaos_kill = Some(rank);
+            }
             other => {
                 eprintln!(
                     "unknown profile flag {other:?} \
-                     (expected --trace/--report/--checkpoint/--resume)"
+                     (expected --trace/--report/--checkpoint/--resume/\
+                     --metrics-out/--postmortem/--chaos-kill)"
                 );
                 std::process::exit(2);
             }
         }
         i += 2;
     }
+    #[cfg(not(feature = "fault-inject"))]
+    if chaos_kill.is_some() {
+        eprintln!("--chaos-kill requires building with --features fault-inject");
+        std::process::exit(2);
+    }
+    if chaos_kill.is_some() && postmortem_path.is_none() {
+        postmortem_path = Some("POSTMORTEM.json".into());
+    }
 
     println!("== profile: instrumented end-to-end pipeline ==");
     qt_telemetry::reset_all();
     qt_telemetry::set_enabled(true);
     qt_telemetry::set_tracing(trace_path.is_some());
+    // The flight recorder and the metrics time-series ride every profile
+    // run: both are ring-buffered, allocation-free on the warm path, and
+    // leave the observables bitwise identical.
+    qt_telemetry::set_journaling(true);
+    qt_telemetry::set_series_enabled(true);
+    if let Some(path) = &postmortem_path {
+        qt_telemetry::postmortem::install_panic_hook(std::path::PathBuf::from(path));
+    }
 
     // Laptop-sized structure-preserving configuration: every phase of the
     // full pipeline runs, every closed-form model stays exact.
@@ -598,6 +632,61 @@ fn profile(flags: &[String]) {
     )
     .expect("elastic distributed iteration");
     assert!(!elastic.degraded, "fault-free elastic run must not degrade");
+
+    // One stealing pass over a deliberately collapsed tiling (all units
+    // on rank 0, three idle thieves) so the steal protocol — and its
+    // REQ->GRANT->RESULT trace flow arcs — shows up in every profile.
+    // Grants depend on poll timing, so retry the pass a few times; the
+    // observables stay bitwise identical either way.
+    {
+        let live = qt_dist::LivenessConfig::default();
+        let tiling = qt_dist::ElasticTiling::weighted(&p, te, ta, te * ta, &[0.0; 4]);
+        let mut steal_requests = 0u64;
+        let mut stolen = 0u64;
+        for _ in 0..5 {
+            let (_, _, stats) = qt_dist::elastic_sse_exchange_opts(&ctx, &tiling, &live, true)
+                .expect("stealing elastic exchange");
+            let bal = stats.balance.expect("balance measured");
+            steal_requests += bal.steal_requests;
+            stolen += bal.stolen_units;
+            if stolen > 0 {
+                break;
+            }
+        }
+        println!("  stealing pass: {steal_requests} requests, {stolen} units stolen");
+        assert!(
+            stolen > 0,
+            "three idle ranks must manage at least one steal"
+        );
+    }
+
+    // Scheduled chaos: kill the requested rank on its third SSE send and
+    // let the elastic supervisor ride the recovery. The flight recorder
+    // captures the HeartbeatTimeout -> RankDeath -> Retile chain, which
+    // lands in the postmortem dump below.
+    #[cfg(feature = "fault-inject")]
+    let chaos_outcome = chaos_kill.map(|victim| {
+        let procs = te * ta;
+        assert!(
+            victim < procs,
+            "--chaos-kill rank {victim} outside world {procs}"
+        );
+        println!("  chaos: killing rank {victim} (world {procs}) mid-iteration");
+        let plan = qt_dist::FaultPlan::new(42).with_kill_at(victim, 3);
+        let policy = qt_dist::runner::ElasticPolicy {
+            max_bad_fraction: 1.0 / procs as f64,
+            ..Default::default()
+        };
+        let el = qt_dist::runner::distributed_iteration_elastic_with_faults(
+            &p, &sim.dev, &sim.em, &sim.pm, &sim.grids, &cfg.gf, te, ta, &policy, plan,
+        )
+        .expect("elastic recovery from the scheduled kill");
+        println!(
+            "  chaos: deaths={:?} retiles={} migrated={} degraded={}",
+            el.deaths, el.retiles, el.migrated_units, el.degraded
+        );
+        el
+    });
 
     // ---- Reconcile measurements against the models. ----
     let mut rep = qt_telemetry::TelemetryReport::from_current();
@@ -805,17 +894,97 @@ fn profile(flags: &[String]) {
         rep.total_bytes
     );
 
+    if let Some(j) = &rep.journal {
+        let top: Vec<String> = j
+            .by_kind
+            .iter()
+            .map(|(tag, n)| format!("{tag}:{n}"))
+            .collect();
+        println!(
+            "  journal: {} events recorded, {} dropped [{}]",
+            j.events,
+            j.dropped,
+            top.join(" ")
+        );
+    }
+    if let Some(s) = &rep.series {
+        println!(
+            "  series: {} samples, {} dropped",
+            s.samples.len(),
+            s.dropped
+        );
+    }
+
     if let Some(path) = &report_path {
         std::fs::write(path, rep.to_json()).expect("write report");
         println!("  report written to {path}");
     }
+    if let Some(path) = &metrics_path {
+        std::fs::write(path, qt_telemetry::series::render_prometheus()).expect("write metrics");
+        println!("  metrics written to {path}");
+    }
     if let Some(path) = &trace_path {
         let trace = qt_telemetry::export_chrome_trace();
-        let events = qt_telemetry::trace::validate_chrome_trace(&trace).expect("trace is valid");
+        let events = match qt_telemetry::trace::validate_chrome_trace(&trace) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("trace validation FAILED: {e}");
+                std::process::exit(2);
+            }
+        };
         std::fs::write(path, trace).expect("write trace");
         println!("  trace written to {path} ({events} events)");
     }
+    // Postmortem: a supervisor-observed rank death or a degraded
+    // completion drains the flight recorder into a versioned dump with
+    // the final report snapshot attached.
+    #[cfg(feature = "fault-inject")]
+    if let Some(el) = &chaos_outcome {
+        if !el.deaths.is_empty() || el.degraded {
+            let path = postmortem_path.as_deref().unwrap_or("POSTMORTEM.json");
+            let reason = if el.degraded {
+                "degraded_completion"
+            } else {
+                "rank_death"
+            };
+            let detail = format!(
+                "deaths={:?} retiles={} migrated_units={}",
+                el.deaths, el.retiles, el.migrated_units
+            );
+            let pm = qt_telemetry::Postmortem::capture(reason, &detail, Some(rep.clone()));
+            pm.save(std::path::Path::new(path))
+                .expect("write postmortem");
+            println!("  postmortem written to {path}");
+        }
+    }
     println!();
+}
+
+/// Pretty-print the causal timeline of a postmortem dump written by a
+/// crashed or chaos-injected `profile` run, classifying unreadable files
+/// with a typed error. Exit 0 on a readable dump, 1 on a bad one.
+fn postmortem_cmd(flags: &[String]) {
+    let Some(path) = flags.first() else {
+        eprintln!("usage: reproduce postmortem <POSTMORTEM.json>");
+        std::process::exit(2);
+    };
+    let pm = match qt_telemetry::Postmortem::load(std::path::Path::new(path)) {
+        Ok(pm) => pm,
+        Err(e) => {
+            eprintln!("cannot read postmortem {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", pm.timeline());
+    if let Some(rep) = &pm.report {
+        match rep.validate() {
+            Ok(()) => println!("embedded report: valid"),
+            Err(e) => {
+                eprintln!("embedded report FAILED validation: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// One world size of the skewed-device balance scenario.

@@ -94,6 +94,7 @@ pub fn surface_self_energy(
         Ok(out) => Ok(out),
         Err(first) if cfg.eta_bump > 0.0 => {
             qt_telemetry::counters::add_eta_retry();
+            qt_telemetry::journal::emit(qt_telemetry::EventKind::EtaRetry);
             let zb = z + c64(0.0, cfg.eta_bump);
             match decimate(zb, h00, h01, s00, s01, side, cfg) {
                 Ok(mut out) => {

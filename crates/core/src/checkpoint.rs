@@ -306,6 +306,7 @@ impl ScfCheckpoint {
         }
         fs::rename(&tmp, path)?;
         qt_telemetry::counters::add_checkpoint_write();
+        qt_telemetry::journal::emit(qt_telemetry::EventKind::CheckpointWrite);
         Ok(())
     }
 

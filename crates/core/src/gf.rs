@@ -240,8 +240,12 @@ fn apply_health_policy<T>(
                     return Err(error);
                 }
                 qt_telemetry::counters::add_quarantined_point();
+                let gi = grid_index(i);
+                qt_telemetry::journal::emit(qt_telemetry::EventKind::QuarantinePoint {
+                    grid_index: gi as u64,
+                });
                 coverage.quarantined.push(QuarantinedPoint {
-                    grid_index: grid_index(i),
+                    grid_index: gi,
                     error,
                 });
             }

@@ -144,6 +144,9 @@ impl MixingController {
                 if self.current > floor {
                     self.current = (self.current * 0.5).max(floor);
                     qt_telemetry::counters::add_mixing_backoff();
+                    qt_telemetry::journal::emit(qt_telemetry::EventKind::MixingBackoff {
+                        factor: self.current,
+                    });
                 }
                 self.streak = 0;
             } else if res < prev {
@@ -268,6 +271,11 @@ pub fn run_scf_resumable(
     let mut iterations = 0;
     for iter in start..cfg.max_iterations {
         let _iter_span = qt_telemetry::Span::enter_global("scf_iter");
+        // Iteration attribution for journal events and series samples
+        // emitted anywhere inside this iteration (including worker
+        // threads — the SCF loop itself is sequential).
+        qt_telemetry::journal::set_iteration(iter as i64);
+        qt_telemetry::series::set_series_iteration(iter as i64);
         let iter_t0 = std::time::Instant::now();
         let alloc0 = qt_telemetry::counters::total_alloc_bytes();
         let fresh0 = qt_telemetry::counters::total_ws_fresh();
@@ -339,6 +347,11 @@ pub fn run_scf_resumable(
                 boundary_misses,
                 quarantined,
             });
+            qt_telemetry::journal::emit(qt_telemetry::EventKind::IterationDone {
+                residual: res,
+                wall_secs: wall,
+            });
+            qt_telemetry::series::sample_now();
             electron = Some(egf);
             phonon = Some(pgf);
             break;
@@ -375,6 +388,11 @@ pub fn run_scf_resumable(
             boundary_misses,
             quarantined,
         });
+        qt_telemetry::journal::emit(qt_telemetry::EventKind::IterationDone {
+            residual: res,
+            wall_secs: wall,
+        });
+        qt_telemetry::series::sample_now();
         electron = Some(egf);
         phonon = Some(pgf);
         if let Some(c) = ckpt {
@@ -398,6 +416,8 @@ pub fn run_scf_resumable(
             }
         }
     }
+    qt_telemetry::journal::set_iteration(-1);
+    qt_telemetry::series::set_series_iteration(-1);
     Ok(ScfResult {
         converged,
         iterations,

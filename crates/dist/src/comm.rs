@@ -36,15 +36,13 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use qt_linalg::Complex64;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 #[cfg(feature = "fault-inject")]
 use crate::fault::{self, FaultAction, FaultPlan};
-#[cfg(feature = "fault-inject")]
-use std::cell::RefCell;
 
 /// Typed failure of an elastic communication primitive.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -132,8 +130,16 @@ type Payload = (u64, Vec<Complex64>);
 #[cfg(feature = "fault-inject")]
 type Payload = (u64, Vec<Complex64>, u64);
 
+/// Monotone world id: every world instance (including each survivor world
+/// built during elastic recovery) salts its trace flow ids with a fresh
+/// value, so send→recv arcs from different worlds never collide in one
+/// Chrome trace.
+static WORLD_SALT: AtomicU64 = AtomicU64::new(1);
+
 struct WorldInner {
     n: usize,
+    /// This world's flow-id salt (see [`WORLD_SALT`]).
+    salt: u64,
     /// `senders[dst][src]` sends into `receivers`' matching channel.
     senders: Vec<Vec<Sender<Payload>>>,
     /// Bytes sent per rank.
@@ -165,6 +171,14 @@ pub struct ThreadComm {
     receivers: Vec<Receiver<Payload>>,
     /// Generation of the last `try_barrier` this rank entered.
     barrier_gen: Cell<u64>,
+    /// Per-destination ordinal of the next *cleanly delivered* outbound
+    /// frame; the receive side keeps the mirror count, and per-pair FIFO
+    /// makes the two agree — that shared ordinal keys the send→recv trace
+    /// flow arc. Single-threaded per rank.
+    flow_out: RefCell<Vec<u64>>,
+    /// Per-source ordinal of the next *accepted* (checksum-clean) inbound
+    /// frame.
+    flow_in: RefCell<Vec<u64>>,
     /// Per-destination ordinal of the next logical message, the `msg_idx`
     /// fed to the deterministic fault schedule. Single-threaded per rank.
     #[cfg(feature = "fault-inject")]
@@ -230,6 +244,7 @@ impl ThreadComm {
         }
         let inner = Arc::new(WorldInner {
             n,
+            salt: WORLD_SALT.fetch_add(1, Ordering::Relaxed),
             senders,
             sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
             received: (0..n).map(|_| AtomicU64::new(0)).collect(),
@@ -255,6 +270,8 @@ impl ThreadComm {
                     world: inner.clone(),
                     receivers: rxs,
                     barrier_gen: Cell::new(0),
+                    flow_out: RefCell::new(vec![0; n]),
+                    flow_in: RefCell::new(vec![0; n]),
                     #[cfg(feature = "fault-inject")]
                     msg_seq: RefCell::new(vec![0; n]),
                     #[cfg(feature = "fault-inject")]
@@ -314,6 +331,56 @@ impl ThreadComm {
         (0..self.world.n).find(|&s| s != me && self.world.dead[s].load(Ordering::Acquire))
     }
 
+    /// This world's trace flow-id salt (shared by every endpoint, unique
+    /// per world instance). Protocol layers salt their own arcs with it.
+    pub(crate) fn world_salt(&self) -> u64 {
+        self.world.salt
+    }
+
+    /// Account a cleanly delivered outbound frame to `dst` and emit the
+    /// `"s"` half of its send→recv trace flow arc. The ordinal always
+    /// advances (even with tracing off) so both sides stay in step no
+    /// matter when tracing was enabled.
+    fn note_clean_send(&self, dst: usize, tag: u64) {
+        let seq = {
+            let mut s = self.flow_out.borrow_mut();
+            let v = s[dst];
+            s[dst] += 1;
+            v
+        };
+        if qt_telemetry::tracing_enabled() {
+            let id = qt_telemetry::trace::flow_id(&[
+                self.world.salt,
+                self.rank as u64,
+                dst as u64,
+                tag,
+                seq,
+            ]);
+            qt_telemetry::trace::record_flow_start("comm/msg", self.identity(), id);
+        }
+    }
+
+    /// Account an accepted (checksum-clean) inbound frame from `src` and
+    /// emit the `"f"` half of its send→recv trace flow arc.
+    fn note_clean_recv(&self, src: usize, tag: u64) {
+        let seq = {
+            let mut s = self.flow_in.borrow_mut();
+            let v = s[src];
+            s[src] += 1;
+            v
+        };
+        if qt_telemetry::tracing_enabled() {
+            let id = qt_telemetry::trace::flow_id(&[
+                self.world.salt,
+                src as u64,
+                self.rank as u64,
+                tag,
+                seq,
+            ]);
+            qt_telemetry::trace::record_flow_finish("comm/msg", self.identity(), id);
+        }
+    }
+
     /// Point-to-point send (non-blocking). Self-sends are allowed and do
     /// not count toward network bytes.
     pub fn send(&self, dst: usize, tag: u64, data: Vec<Complex64>) {
@@ -331,6 +398,9 @@ impl ThreadComm {
             // the telemetry report read the same byte stream the
             // per-rank counters feed.
             qt_telemetry::counters::add_bytes(bytes);
+            // Flow start strictly precedes the channel push so the paired
+            // finish can never carry an earlier timestamp.
+            self.note_clean_send(dst, tag);
         }
         self.world.senders[dst][self.rank]
             .send(Self::frame(tag, data))
@@ -411,6 +481,11 @@ impl ThreadComm {
                     self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
                     qt_telemetry::counters::add_bytes(bytes);
                     qt_telemetry::counters::add_comm_retry();
+                    qt_telemetry::journal::emit(qt_telemetry::EventKind::CommRetransmit {
+                        src: self.identity() as u64,
+                        dst: self.identity_of(dst) as u64,
+                        attempt: attempt as u64,
+                    });
                     std::thread::sleep(plan.retry.backoff(attempt));
                 }
                 FaultAction::Corrupt => {
@@ -423,6 +498,11 @@ impl ThreadComm {
                     self.world.received[dst].fetch_add(bytes, Ordering::Relaxed);
                     qt_telemetry::counters::add_bytes(bytes);
                     qt_telemetry::counters::add_comm_retry();
+                    qt_telemetry::journal::emit(qt_telemetry::EventKind::CommRetransmit {
+                        src: self.identity() as u64,
+                        dst: self.identity_of(dst) as u64,
+                        attempt: attempt as u64,
+                    });
                     self.world.senders[dst][self.rank]
                         .send((tag, garbage, cksum ^ fault::BROKEN_CHECKSUM_XOR))
                         .map_err(|_| dead_dst(self))?;
@@ -435,6 +515,7 @@ impl ThreadComm {
                     self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
                     self.world.received[dst].fetch_add(bytes, Ordering::Relaxed);
                     qt_telemetry::counters::add_bytes(bytes);
+                    self.note_clean_send(dst, tag);
                     self.world.senders[dst][self.rank]
                         .send((tag, payload.take().expect("delivered once"), cksum))
                         .map_err(|_| dead_dst(self))?;
@@ -488,6 +569,7 @@ impl ThreadComm {
             self.world.sent[self.rank].fetch_add(bytes, Ordering::Relaxed);
             self.world.received[dst].fetch_add(bytes, Ordering::Relaxed);
             qt_telemetry::counters::add_bytes(bytes);
+            self.note_clean_send(dst, tag);
         }
         self.world.senders[dst][self.rank]
             .send(Self::frame(tag, data))
@@ -517,6 +599,9 @@ impl ThreadComm {
             "rank {} expected tag {tag} from {src}, got {got_tag}",
             self.rank
         );
+        if src != self.rank {
+            self.note_clean_recv(src, tag);
+        }
         data
     }
 
@@ -549,6 +634,9 @@ impl ThreadComm {
                             "rank {} expected tag {tag} from {src}, got {got_tag}",
                             self.rank
                         );
+                        if src != self.rank {
+                            self.note_clean_recv(src, tag);
+                        }
                         return data;
                     }
                     // Corrupted in transit: discard; the sender counted
@@ -557,6 +645,11 @@ impl ThreadComm {
                 Err(RecvTimeoutError::Timeout) => {
                     timeouts += 1;
                     qt_telemetry::counters::add_comm_retry();
+                    qt_telemetry::journal::emit(qt_telemetry::EventKind::CommRetransmit {
+                        src: self.identity_of(src) as u64,
+                        dst: self.identity() as u64,
+                        attempt: timeouts as u64,
+                    });
                     assert!(
                         timeouts <= plan.retry.max_attempts,
                         "rank {} timed out {timeouts} times waiting for tag {tag} from {src}",
@@ -607,10 +700,16 @@ impl ThreadComm {
                         "rank {} expected tag {tag} from {src}, got {got_tag}",
                         self.rank
                     );
+                    if src != self.rank {
+                        self.note_clean_recv(src, tag);
+                    }
                     return Ok(data);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     qt_telemetry::counters::add_heartbeat_timeout();
+                    qt_telemetry::journal::emit(qt_telemetry::EventKind::HeartbeatTimeout {
+                        watched: self.identity_of(src) as u64,
+                    });
                     // Waiting is progress: keep our own epoch moving so
                     // peers blocked on *us* don't declare us dead.
                     self.heartbeat();
@@ -676,6 +775,9 @@ impl ThreadComm {
                         "rank {} polled tag {tag} from {src}, got {got_tag}",
                         self.rank
                     );
+                    if src != self.rank {
+                        self.note_clean_recv(src, tag);
+                    }
                     return Some(data);
                 }
                 Err(_) => return None,
@@ -885,7 +987,16 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
-            .map(|comm| scope.spawn(|| f(comm)))
+            .map(|comm| {
+                scope.spawn(|| {
+                    // Journal attribution: every event this rank thread
+                    // emits carries its original (pre-shrink) identity.
+                    qt_telemetry::journal::set_thread_rank(comm.identity() as i64);
+                    let out = f(comm);
+                    qt_telemetry::journal::set_thread_rank(-1);
+                    out
+                })
+            })
             .collect();
         handles
             .into_iter()

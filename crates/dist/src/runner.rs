@@ -458,12 +458,16 @@ fn distributed_iteration_elastic_impl(
             Err(suspects) => {
                 retiles += 1;
                 qt_telemetry::counters::add_retile_event();
+                let mut moved_this_round: u64 = 0;
                 for dead in suspects {
                     if !tiling.is_survivor(dead) {
                         continue; // already handled in an earlier round
                     }
                     deaths.push(dead);
                     qt_telemetry::counters::add_rank_death();
+                    qt_telemetry::journal::emit(qt_telemetry::EventKind::RankDeath {
+                        rank: dead as u64,
+                    });
                     // Quarantine the electron grid points whose GF-chunk
                     // state sat on the dead rank (deduplicated: a unit that
                     // migrates and loses its new host again counts once).
@@ -483,6 +487,7 @@ fn distributed_iteration_elastic_impl(
                     if coverage.bad_fraction() <= policy.max_bad_fraction {
                         let moved = tiling.remove_rank(dead).len();
                         migrated_units += moved;
+                        moved_this_round += moved as u64;
                         qt_telemetry::counters::add_migrated_tiles(moved as u64);
                     } else {
                         // Too much of the grid would ride recovery: give
@@ -490,6 +495,9 @@ fn distributed_iteration_elastic_impl(
                         tiling.abandon_rank(dead);
                     }
                 }
+                qt_telemetry::journal::emit(qt_telemetry::EventKind::Retile {
+                    moved_units: moved_this_round,
+                });
             }
         }
     }

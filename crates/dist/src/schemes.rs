@@ -966,6 +966,37 @@ const STEAL_GRANT: f64 = 2.0;
 const STEAL_RESULT: f64 = 3.0;
 const STEAL_FIN: f64 = 4.0;
 
+/// Discriminator words keeping the steal protocol's trace flow ids
+/// disjoint from the transport-level `comm/msg` ids riding the same
+/// world salt.
+const FLOW_STEAL_REQ: u64 = 0x5_0001;
+const FLOW_STEAL_GRANT: u64 = 0x5_0002;
+const FLOW_STEAL_RESULT: u64 = 0x5_0003;
+
+/// Record one half of a steal-protocol flow arc. Both endpoints derive
+/// the id from (world salt, protocol word, thief slot, victim slot,
+/// per-pair ordinal); per-pair FIFO keeps the ordinals in agreement.
+fn note_steal_flow(
+    comm: &ThreadComm,
+    word: u64,
+    thief: usize,
+    victim: usize,
+    seq: u64,
+    start: bool,
+    name: &'static str,
+) {
+    if !qt_telemetry::tracing_enabled() {
+        return;
+    }
+    let id =
+        qt_telemetry::trace::flow_id(&[comm.world_salt(), word, thief as u64, victim as u64, seq]);
+    if start {
+        qt_telemetry::trace::record_flow_start(name, comm.identity(), id);
+    } else {
+        qt_telemetry::trace::record_flow_finish(name, comm.identity(), id);
+    }
+}
+
 /// Everything one work unit's compute produces: the Σ≷ tile plus the Π≷
 /// partial slices for every `(q, ω)` round, and the measured wall time.
 struct UnitOut {
@@ -1009,6 +1040,9 @@ fn compute_unit_tile(
     let p = ctx.p;
     let procs = tiling.procs();
     let pi_len = (p.nb + 1) * N3D * N3D;
+    // Unit attribution for journal events emitted while this tile
+    // computes (heartbeat timeouts, quarantines, steals of this unit).
+    qt_telemetry::journal::set_thread_unit(unit as i64);
     let t0 = std::time::Instant::now();
     let cpu0 = qt_telemetry::cputime::thread_cpu_secs();
     let sig = local_sse_tile(ctx, geom, g, d, scale, hb);
@@ -1038,6 +1072,7 @@ fn compute_unit_tile(
         t0,
         (wall * 1e9) as u64,
     );
+    qt_telemetry::journal::set_thread_unit(-1);
     UnitOut {
         sig,
         pi_slices,
@@ -1094,6 +1129,15 @@ struct StealCore {
     busy_secs: f64,
     steal_requests: u64,
     stolen_units: u64,
+    /// Per-peer flow ordinals for trace correlation: REQs sent to /
+    /// received from each slot, GRANTs sent/received, RESULTs
+    /// sent/received. Per-pair FIFO keeps both endpoints in agreement.
+    req_out: Vec<u64>,
+    req_in: Vec<u64>,
+    grant_out: Vec<u64>,
+    grant_in: Vec<u64>,
+    result_out: Vec<u64>,
+    result_in: Vec<u64>,
 }
 
 /// Dispatch one incoming steal message from slot `from`. `REQ` grants an
@@ -1112,6 +1156,17 @@ fn handle_steal_msg(
 ) -> Result<(), CommError> {
     let kind = msg[0].re;
     if kind == STEAL_REQ {
+        let seq = core.req_in[from];
+        core.req_in[from] += 1;
+        note_steal_flow(
+            comm,
+            FLOW_STEAL_REQ,
+            from,
+            comm.rank(),
+            seq,
+            false,
+            "steal/req",
+        );
         if core.fin_sent {
             return Ok(()); // our FIN (already on the wire) is the denial
         }
@@ -1125,13 +1180,42 @@ fn handle_steal_msg(
                 buf.extend_from_slice(t);
             }
             core.lent_out += 1;
+            let gseq = core.grant_out[from];
+            core.grant_out[from] += 1;
+            note_steal_flow(
+                comm,
+                FLOW_STEAL_GRANT,
+                from,
+                comm.rank(),
+                gseq,
+                true,
+                "steal/grant",
+            );
+            qt_telemetry::journal::emit(qt_telemetry::EventKind::StealGrant {
+                thief: comm.identity_of(from) as u64,
+                unit: u as u64,
+            });
             comm.try_send(from, TAG_STEAL, buf)?;
         } else {
+            qt_telemetry::journal::emit(qt_telemetry::EventKind::StealDeny {
+                thief: comm.identity_of(from) as u64,
+            });
             comm.try_send(from, TAG_STEAL, vec![c64(STEAL_DENY, 0.0)])?;
         }
     } else if kind == STEAL_DENY {
         core.reply = Some(StealReply::Deny);
     } else if kind == STEAL_GRANT {
+        let gseq = core.grant_in[from];
+        core.grant_in[from] += 1;
+        note_steal_flow(
+            comm,
+            FLOW_STEAL_GRANT,
+            comm.rank(),
+            from,
+            gseq,
+            false,
+            "steal/grant",
+        );
         let u = msg[1].re as usize;
         let (gl, dl) = (env.g_len(u), env.d_len(u));
         assert_eq!(msg.len(), 2 + 2 * gl + 2 * dl, "GRANT frame size");
@@ -1166,9 +1250,31 @@ fn handle_steal_msg(
             buf.extend_from_slice(l);
             buf.extend_from_slice(g);
         }
+        let rseq = core.result_out[from];
+        core.result_out[from] += 1;
+        note_steal_flow(
+            comm,
+            FLOW_STEAL_RESULT,
+            comm.rank(),
+            from,
+            rseq,
+            true,
+            "steal/result",
+        );
         comm.try_send(from, TAG_STEAL, buf)?;
         core.reply = Some(StealReply::Granted);
     } else if kind == STEAL_RESULT {
+        let rseq = core.result_in[from];
+        core.result_in[from] += 1;
+        note_steal_flow(
+            comm,
+            FLOW_STEAL_RESULT,
+            from,
+            comm.rank(),
+            rseq,
+            false,
+            "steal/result",
+        );
         let u = msg[1].re as usize;
         let secs = msg[2].re;
         let mi = env
@@ -1265,6 +1371,12 @@ fn steal_compute_phase(
         busy_secs: 0.0,
         steal_requests: 0,
         stolen_units: 0,
+        req_out: vec![0; n],
+        req_in: vec![0; n],
+        grant_out: vec![0; n],
+        grant_in: vec![0; n],
+        result_out: vec![0; n],
+        result_in: vec![0; n],
     };
     // Own work, serving thieves between units.
     loop {
@@ -1293,6 +1405,12 @@ fn steal_compute_phase(
         .map(|off| (me_slot + off) % n)
         .find(|&s| !core.dry[s])
     {
+        let rseq = core.req_out[v];
+        core.req_out[v] += 1;
+        note_steal_flow(comm, FLOW_STEAL_REQ, me_slot, v, rseq, true, "steal/req");
+        qt_telemetry::journal::emit(qt_telemetry::EventKind::StealRequest {
+            victim: comm.identity_of(v) as u64,
+        });
         comm.try_send(v, TAG_STEAL, vec![c64(STEAL_REQ, 0.0)])?;
         core.steal_requests += 1;
         qt_telemetry::counters::add_steal_request();

@@ -38,7 +38,8 @@ const BALANCE_STEAL_REQUESTS: usize = 20;
 const BALANCE_STOLEN_UNITS: usize = 21;
 const BALANCE_REBALANCE_EVENTS: usize = 22;
 const BALANCE_MOVED_UNITS: usize = 23;
-const N_COUNTERS: usize = 24;
+const JOURNAL_DROPPED: usize = 24;
+const N_COUNTERS: usize = 25;
 
 #[derive(Default)]
 struct Cell {
@@ -224,9 +225,21 @@ pub fn add_rebalance_moved_units(n: u64) {
     bump(BALANCE_MOVED_UNITS, n);
 }
 
+/// Account `n` journal events overwritten by a full flight-recorder ring
+/// before they could be drained (`journal.dropped`).
+#[inline]
+pub fn add_journal_dropped(n: u64) {
+    bump(JOURNAL_DROPPED, n);
+}
+
 /// Total flops across all threads (alive or exited) since the last reset.
 pub fn total_flops() -> u64 {
     total(FLOPS)
+}
+
+/// Total journal events lost to ring overflow since the last reset.
+pub fn total_journal_dropped() -> u64 {
+    total(JOURNAL_DROPPED)
 }
 
 /// Total heap-allocated bytes across all threads since the last reset.

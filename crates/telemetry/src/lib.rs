@@ -14,11 +14,21 @@
 //!   inert (a single relaxed atomic load) while telemetry is disabled.
 //! * [`registry`] — the global phase table spans record into.
 //! * [`trace`] — a Chrome/Perfetto `trace_event` exporter so a full SCF
-//!   run can be opened in a trace viewer.
+//!   run can be opened in a trace viewer, including cross-rank flow
+//!   arrows pairing sends with receives and steal requests with grants.
 //! * [`report`] — the serialisable [`report::TelemetryReport`]: per-phase
 //!   time/flops/GF·s/bytes plus model residuals (measured vs Table 3 flop
 //!   models, measured vs Table 4/5 communication-volume models) and the
 //!   SCF convergence trajectory.
+//! * [`names`] — the single registry of metric name strings; every
+//!   exported counter spells its name through a constant here.
+//! * [`journal`] — the flight recorder: lock-light per-rank bounded rings
+//!   of typed, timestamped events (quarantines, retries, rank deaths,
+//!   re-tilings, steals, checkpoints, iteration marks).
+//! * [`series`] — periodic counter snapshots in a bounded ring, exported
+//!   as the report's `series` block and as Prometheus text.
+//! * [`postmortem`] — drains the journal into a versioned crash artifact
+//!   (`POSTMORTEM.json`) on rank death, degraded completion, or panic.
 //!
 //! Attribution modes: [`span::Span::enter_global`] measures deltas of the
 //! *summed* counters and is correct for sequential orchestration phases
@@ -30,22 +40,31 @@
 
 pub mod counters;
 pub mod cputime;
+pub mod journal;
 pub mod json;
+pub mod names;
+pub mod postmortem;
 pub mod registry;
 pub mod report;
+pub mod series;
 pub mod span;
 pub mod trace;
 
+pub use journal::{journaling_enabled, set_journaling, EventKind};
+pub use postmortem::{Postmortem, PostmortemError};
 pub use registry::PhaseStat;
-pub use report::{BalanceReport, ElasticityReport, TelemetryReport};
+pub use report::{BalanceReport, ElasticityReport, JournalBlock, SeriesBlock, TelemetryReport};
+pub use series::{series_enabled, set_series_enabled};
 pub use span::{enabled, set_enabled, Span};
 pub use trace::{export_chrome_trace, set_tracing, tracing_enabled};
 
 /// Reset every piece of global telemetry state: counters, the phase
-/// registry, and any buffered trace events. Enable/trace flags keep their
-/// values.
+/// registry, buffered trace events, the event journal, and the metrics
+/// series. Enable/trace/journal flags keep their values.
 pub fn reset_all() {
     counters::reset_counters();
     registry::reset_phases();
     trace::clear_trace();
+    journal::reset_journal();
+    series::reset_series();
 }

@@ -1,0 +1,125 @@
+//! The single registry of counter/metric name strings.
+//!
+//! Every metric exported anywhere — the report's counter blocks, the
+//! time-series samples, the Prometheus rendering — must spell its name
+//! through a constant in this module. Scattered string literals fork a
+//! metric silently on the first typo ("health.quarantine" next to
+//! "health.quarantined" would both look plausible in a dashboard);
+//! `report.rs` carries a test asserting its block keys resolve here.
+//!
+//! Naming convention: `<block>.<field>`, where `<block>` matches the
+//! report block (`health`, `elastic`, `balance`, `boundary`, `alloc`,
+//! `journal`) and `<field>` the counter inside it. The Prometheus
+//! rendering in [`crate::series`] maps `.` to `_` and prefixes `qt_`.
+
+/// Total real floating-point operations.
+pub const FLOPS: &str = "flops";
+/// Total communicated bytes.
+pub const BYTES: &str = "bytes";
+/// Heap bytes allocated (counting allocator only).
+pub const ALLOC_BYTES: &str = "alloc.bytes";
+/// Heap allocations performed (counting allocator only).
+pub const ALLOC_COUNT: &str = "alloc.count";
+/// Workspace-arena pool misses.
+pub const WS_FRESH: &str = "ws.fresh";
+/// Boundary self-energies served from the cache.
+pub const BOUNDARY_CACHE_HITS: &str = "boundary.cache_hits";
+/// Boundary self-energies recomputed by decimation.
+pub const BOUNDARY_CACHE_MISSES: &str = "boundary.cache_misses";
+/// Grid points quarantined after numerical failures.
+pub const HEALTH_QUARANTINED: &str = "health.quarantined_points";
+/// Eta-bump regularized decimation retries.
+pub const HEALTH_ETA_RETRIES: &str = "health.eta_retries";
+/// Adaptive-mixing backoffs (mixing factor halvings).
+pub const HEALTH_MIXING_BACKOFFS: &str = "health.mixing_backoffs";
+/// Communication retries (retransmissions, timeouts, discards).
+pub const HEALTH_COMM_RETRIES: &str = "health.comm_retries";
+/// SCF checkpoints written to disk.
+pub const HEALTH_CHECKPOINT_WRITES: &str = "health.checkpoint_writes";
+/// Ranks declared permanently dead.
+pub const ELASTIC_RANK_DEATHS: &str = "elastic.rank_deaths";
+/// Receive-poll liveness probes that expired without data.
+pub const ELASTIC_HEARTBEAT_TIMEOUTS: &str = "elastic.heartbeat_timeouts";
+/// Survivor re-tiling passes.
+pub const ELASTIC_RETILE_EVENTS: &str = "elastic.retile_events";
+/// Tiles migrated off dead ranks.
+pub const ELASTIC_MIGRATED_TILES: &str = "elastic.migrated_tiles";
+/// Work-steal requests sent by idle ranks.
+pub const BALANCE_STEAL_REQUESTS: &str = "balance.steal_requests";
+/// Work units granted to thieves.
+pub const BALANCE_STOLEN_UNITS: &str = "balance.stolen_units";
+/// Iteration-to-iteration re-partitioning passes.
+pub const BALANCE_REBALANCE_EVENTS: &str = "balance.rebalance_events";
+/// Units whose owner changed in re-partitioning passes.
+pub const BALANCE_MOVED_UNITS: &str = "balance.moved_units";
+/// Journal events lost to flight-recorder ring overflow.
+pub const JOURNAL_DROPPED: &str = "journal.dropped";
+/// Journal events currently captured across all rings.
+pub const JOURNAL_EVENTS: &str = "journal.events";
+
+/// Number of metrics sampled into every time-series snapshot.
+pub const N_SERIES_METRICS: usize = 20;
+
+/// The metric names of a time-series sample, in sampling order. The
+/// order is part of the series schema: `Sample::values[i]` is the total
+/// of `SERIES_METRICS[i]`.
+pub const SERIES_METRICS: [&str; N_SERIES_METRICS] = [
+    FLOPS,
+    BYTES,
+    ALLOC_BYTES,
+    ALLOC_COUNT,
+    WS_FRESH,
+    BOUNDARY_CACHE_HITS,
+    BOUNDARY_CACHE_MISSES,
+    HEALTH_QUARANTINED,
+    HEALTH_ETA_RETRIES,
+    HEALTH_MIXING_BACKOFFS,
+    HEALTH_COMM_RETRIES,
+    HEALTH_CHECKPOINT_WRITES,
+    ELASTIC_RANK_DEATHS,
+    ELASTIC_HEARTBEAT_TIMEOUTS,
+    ELASTIC_RETILE_EVENTS,
+    ELASTIC_MIGRATED_TILES,
+    BALANCE_STEAL_REQUESTS,
+    BALANCE_STOLEN_UNITS,
+    BALANCE_REBALANCE_EVENTS,
+    BALANCE_MOVED_UNITS,
+];
+
+/// The report's `health` block keys are the `health.*` metric names with
+/// the block prefix stripped; same for `elasticity` (`elastic.*`) and the
+/// counter fields of `balance`. This helper strips the prefix so the
+/// report test can assert its keys resolve here.
+pub fn field_of(metric: &str) -> &str {
+    metric.rsplit('.').next().unwrap_or(metric)
+}
+
+/// Is `name` a registered metric name?
+pub fn is_registered(name: &str) -> bool {
+    name == JOURNAL_DROPPED || name == JOURNAL_EVENTS || SERIES_METRICS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_metrics_are_unique_and_registered() {
+        for (i, m) in SERIES_METRICS.iter().enumerate() {
+            assert!(is_registered(m));
+            assert!(
+                !SERIES_METRICS[..i].contains(m),
+                "duplicate metric name {m:?}"
+            );
+        }
+        assert!(is_registered(JOURNAL_DROPPED));
+        assert!(!is_registered("health.quarantine")); // the typo-fork case
+    }
+
+    #[test]
+    fn field_of_strips_the_block_prefix() {
+        assert_eq!(field_of(HEALTH_ETA_RETRIES), "eta_retries");
+        assert_eq!(field_of(FLOPS), "flops");
+        assert_eq!(field_of(BALANCE_MOVED_UNITS), "moved_units");
+    }
+}

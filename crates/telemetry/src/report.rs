@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use crate::json::Json;
-use crate::{counters, registry, registry::PhaseStat};
+use crate::{counters, journal, registry, registry::PhaseStat, series};
 
 /// Per-phase entry of the report.
 #[derive(Clone, Debug, PartialEq)]
@@ -249,6 +249,53 @@ impl BalanceReport {
     }
 }
 
+/// Metrics time-series block: the periodic counter snapshots taken by
+/// [`crate::series`], in chronological order, with ring-drop accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeriesBlock {
+    /// Samples in chronological order.
+    pub samples: Vec<series::Sample>,
+    /// Samples lost to sample-ring overflow.
+    pub dropped: u64,
+}
+
+impl SeriesBlock {
+    /// Snapshot the global sample ring.
+    pub fn from_series() -> Self {
+        let (samples, dropped) = series::snapshot();
+        SeriesBlock { samples, dropped }
+    }
+}
+
+/// Event-journal summary block: how many events the flight recorder
+/// holds, how many it lost to ring overflow, and the per-kind breakdown.
+/// The full timeline is not embedded in the report — it ships in
+/// postmortem dumps.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JournalBlock {
+    /// Events currently buffered across all rings.
+    pub events: u64,
+    /// Events lost to ring overflow (the `journal.dropped` counter).
+    pub dropped: u64,
+    /// Buffered events per kind tag, sorted by tag.
+    pub by_kind: Vec<(String, u64)>,
+}
+
+impl JournalBlock {
+    /// Summarize the live journal without draining it.
+    pub fn from_journal() -> Self {
+        let by_kind: Vec<(String, u64)> = journal::kind_counts()
+            .into_iter()
+            .map(|(t, n)| (t.to_string(), n))
+            .collect();
+        JournalBlock {
+            events: by_kind.iter().map(|(_, n)| n).sum(),
+            dropped: counters::total_journal_dropped(),
+            by_kind,
+        }
+    }
+}
+
 /// Per-rank communication volume of a distributed phase.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RankComm {
@@ -294,6 +341,10 @@ pub struct TelemetryReport {
     /// run with per-rank busy-time measurement fills it in
     /// (`check-report --require-balance` rejects reports without it).
     pub balance: Option<BalanceReport>,
+    /// Metrics time-series; `None` unless series sampling was enabled.
+    pub series: Option<SeriesBlock>,
+    /// Event-journal summary; `None` unless journaling was enabled.
+    pub journal: Option<JournalBlock>,
 }
 
 fn phase_report(path: &str, s: &PhaseStat) -> PhaseReport {
@@ -352,6 +403,8 @@ impl TelemetryReport {
             health: Some(HealthReport::from_counters()),
             elasticity: Some(ElasticityReport::from_counters()),
             balance: None,
+            series: series::series_enabled().then(SeriesBlock::from_series),
+            journal: journal::journaling_enabled().then(JournalBlock::from_journal),
         }
     }
 
@@ -492,6 +545,32 @@ impl TelemetryReport {
                 ("moved_units".to_string(), Json::Num(b.moved_units as f64)),
             ]),
         };
+        let series_block = match &self.series {
+            None => Json::Null,
+            Some(s) => Json::Obj(vec![
+                (
+                    "samples".to_string(),
+                    Json::Arr(s.samples.iter().map(series::Sample::to_json).collect()),
+                ),
+                ("dropped".to_string(), Json::Num(s.dropped as f64)),
+            ]),
+        };
+        let journal_block = match &self.journal {
+            None => Json::Null,
+            Some(j) => Json::Obj(vec![
+                ("events".to_string(), Json::Num(j.events as f64)),
+                ("dropped".to_string(), Json::Num(j.dropped as f64)),
+                (
+                    "by_kind".to_string(),
+                    Json::Obj(
+                        j.by_kind
+                            .iter()
+                            .map(|(k, n)| (k.clone(), Json::Num(*n as f64)))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
         Json::Obj(vec![
             ("phases".to_string(), Json::Arr(phases)),
             ("residuals".to_string(), Json::Arr(residuals)),
@@ -517,6 +596,8 @@ impl TelemetryReport {
             ("health".to_string(), health),
             ("elasticity".to_string(), elasticity),
             ("balance".to_string(), balance),
+            ("series".to_string(), series_block),
+            ("journal".to_string(), journal_block),
         ])
         .dump()
     }
@@ -597,6 +678,38 @@ impl TelemetryReport {
                     stolen_units: int_field(b, "stolen_units")?,
                     rebalance_events: int_field(b, "rebalance_events")?,
                     moved_units: int_field(b, "moved_units")?,
+                }),
+            },
+            series: match root.get("series") {
+                Some(Json::Null) | None => None,
+                Some(s) => Some(SeriesBlock {
+                    samples: s
+                        .get("samples")
+                        .and_then(Json::as_array)
+                        .ok_or("series lacks samples array")?
+                        .iter()
+                        .map(series::Sample::from_json)
+                        .collect::<Result<Vec<_>, _>>()?,
+                    dropped: int_field(s, "dropped")?,
+                }),
+            },
+            journal: match root.get("journal") {
+                Some(Json::Null) | None => None,
+                Some(j) => Some(JournalBlock {
+                    events: int_field(j, "events")?,
+                    dropped: int_field(j, "dropped")?,
+                    by_kind: match j.get("by_kind") {
+                        Some(Json::Obj(fields)) => fields
+                            .iter()
+                            .map(|(k, v)| {
+                                Ok((
+                                    k.clone(),
+                                    v.as_u64().ok_or(format!("bad by_kind count for {k:?}"))?,
+                                ))
+                            })
+                            .collect::<Result<Vec<_>, String>>()?,
+                        _ => return Err("journal block lacks by_kind object".into()),
+                    },
                 }),
             },
             ..TelemetryReport::default()
@@ -725,6 +838,26 @@ impl TelemetryReport {
                 ));
             }
         }
+        if let Some(s) = &self.series {
+            if s.samples
+                .iter()
+                .any(|x| !x.ts_us.is_finite() || x.ts_us < 0.0)
+            {
+                return Err("series samples contain bad timestamps".into());
+            }
+            if s.samples.windows(2).any(|w| w[0].ts_us > w[1].ts_us) {
+                return Err("series samples are not chronological".into());
+            }
+        }
+        if let Some(j) = &self.journal {
+            let by_kind_total: u64 = j.by_kind.iter().map(|(_, n)| n).sum();
+            if by_kind_total != j.events {
+                return Err(format!(
+                    "journal by_kind sums to {by_kind_total}, expected {} events",
+                    j.events
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -785,9 +918,99 @@ mod tests {
             rebalance_events: 1,
             moved_units: 2,
         });
+        rep.series = Some(SeriesBlock {
+            samples: vec![
+                series::Sample {
+                    ts_us: 10.0,
+                    iteration: 0,
+                    values: [7; crate::names::N_SERIES_METRICS],
+                },
+                series::Sample {
+                    ts_us: 20.0,
+                    iteration: 1,
+                    values: [9; crate::names::N_SERIES_METRICS],
+                },
+            ],
+            dropped: 1,
+        });
+        rep.journal = Some(JournalBlock {
+            events: 5,
+            dropped: 2,
+            by_kind: vec![
+                ("heartbeat_timeout".to_string(), 3),
+                ("rank_death".to_string(), 2),
+            ],
+        });
         rep.validate().unwrap();
         let back = TelemetryReport::from_json(&rep.to_json()).unwrap();
         assert_eq!(back, rep);
+        // An inconsistent journal summary must not validate.
+        rep.journal = Some(JournalBlock {
+            events: 4,
+            dropped: 0,
+            by_kind: vec![("rank_death".to_string(), 2)],
+        });
+        assert!(rep.validate().is_err());
+        // Nor a time-reversed series.
+        rep.journal = None;
+        rep.series.as_mut().unwrap().samples.reverse();
+        assert!(rep.validate().is_err());
+    }
+
+    #[test]
+    fn report_block_keys_come_from_the_name_registry() {
+        use crate::names;
+        registry::record("test/report/phase5", 1, 1, 0, 0, 0);
+        crate::series::set_series_enabled(true);
+        crate::series::sample_now();
+        let mut rep = TelemetryReport::from_current();
+        crate::series::set_series_enabled(false);
+        rep.journal = Some(JournalBlock::from_journal());
+        let root = Json::parse(&rep.to_json()).unwrap();
+        let block_keys = |block: &str| -> Vec<String> {
+            match root.get(block) {
+                Some(Json::Obj(fields)) => fields.iter().map(|(k, _)| k.clone()).collect(),
+                other => panic!("block {block:?} is not an object: {other:?}"),
+            }
+        };
+        // Counter blocks spell their keys as `<block>.<key>` registry
+        // entries (the report block `elasticity` maps to the `elastic.`
+        // metric prefix).
+        for key in block_keys("health") {
+            let metric = format!("health.{key}");
+            assert!(names::is_registered(&metric), "unregistered {metric:?}");
+            assert_eq!(names::field_of(&metric), key);
+        }
+        for key in block_keys("elasticity") {
+            let metric = format!("elastic.{key}");
+            assert!(names::is_registered(&metric), "unregistered {metric:?}");
+        }
+        for key in [
+            "steal_requests",
+            "stolen_units",
+            "rebalance_events",
+            "moved_units",
+        ] {
+            assert!(names::is_registered(&format!("balance.{key}")));
+        }
+        // Series samples key their values by the registered names
+        // verbatim.
+        let samples = root
+            .get("series")
+            .and_then(|s| s.get("samples"))
+            .and_then(Json::as_array)
+            .expect("series block with samples");
+        assert!(!samples.is_empty());
+        for s in samples {
+            match s.get("values") {
+                Some(Json::Obj(fields)) => {
+                    for (k, _) in fields {
+                        assert!(names::is_registered(k), "unregistered series metric {k:?}");
+                    }
+                }
+                other => panic!("sample values is not an object: {other:?}"),
+            }
+        }
     }
 
     #[test]
