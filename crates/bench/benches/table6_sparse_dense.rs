@@ -1,11 +1,21 @@
-//! Table 6: sparse vs dense 3-matrix multiplication in RGF
-//! (`F[n] @ gR[n+1] @ E[n+1]`) — Dense-MM vs CSRMM vs CSRGEMM.
+//! Table 6: sparse vs dense coupling kernels in RGF.
 //!
-//! The paper measured 203.59 / 47.06 / 93.02 ms on a P100 with cuSPARSE;
-//! the reproduction checks the *ordering* and rough ratios on CPU.
+//! Two granularities:
+//!
+//! * `table6_rgf_triple_product` — the paper's isolated 3-matrix product
+//!   (`F[n] @ gR[n+1] @ E[n+1]`), Dense-MM vs CSRMM vs CSRGEMM. The paper
+//!   measured 203.59 / 47.06 / 93.02 ms on a P100 with cuSPARSE; the
+//!   reproduction checks the *ordering* and rough ratios on CPU.
+//! * `table6_rgf_full_solve` — the same choice embedded in the full
+//!   block-tridiagonal solve: all-dense vs forced-CSR coupling products vs
+//!   the calibrated per-block auto-selector, across a block-size × density
+//!   grid spanning both sides of the crossover.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qt_bench::{table6_csrgemm, table6_csrmm, table6_dense_mm, table6_operands};
+use qt_bench::{
+    sparse_rgf_problem, table6_csrgemm, table6_csrmm, table6_dense_mm, table6_operands,
+};
+use qt_core::rgf::{self, KernelSelector, MultiplyStrategy};
 use std::hint::black_box;
 
 fn bench_table6(c: &mut Criterion) {
@@ -26,5 +36,47 @@ fn bench_table6(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table6);
+fn bench_table6_full_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_rgf_full_solve");
+    group.sample_size(10);
+    let blocks = 8usize;
+    for &bs in &[32usize, 64] {
+        // Calibrate once per block size; the selector then routes every
+        // coupling block by measured density.
+        let cal = qt_model::calibrate_kernels(bs, 0.08);
+        let auto = cal.strategy(0.1);
+        for &density in &[0.05f64, 0.2, 0.6] {
+            let (a, sig) = sparse_rgf_problem(blocks, bs, density, 42);
+            let id = format!("bs{bs}_d{density}");
+            group.bench_with_input(BenchmarkId::new("dense", &id), &(), |b, ()| {
+                b.iter(|| {
+                    black_box(
+                        rgf::rgf_with_strategy(&a, &sig, MultiplyStrategy::Dense).expect("rgf"),
+                    )
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("csrmm", &id), &(), |b, ()| {
+                b.iter(|| {
+                    black_box(
+                        rgf::rgf_with_strategy(
+                            &a,
+                            &sig,
+                            MultiplyStrategy::Csrmm { threshold: 0.0 },
+                        )
+                        .expect("rgf"),
+                    )
+                })
+            });
+            let sel = KernelSelector::new(blocks - 1);
+            group.bench_with_input(BenchmarkId::new("selector", &id), &(), |b, ()| {
+                b.iter(|| {
+                    black_box(rgf::rgf_with_selector(&a, &sig, auto, Some(&sel)).expect("rgf"))
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table6, bench_table6_full_solve);
 criterion_main!(benches);

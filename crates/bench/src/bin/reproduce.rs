@@ -59,13 +59,16 @@ fn main() {
         postmortem_cmd(&args[1..]);
         return;
     }
+    if which == "table6" {
+        table6_cmd(&args[1..]);
+        return;
+    }
     let known = [
         "all",
         "table1",
         "table3",
         "table4",
         "table5",
-        "table6",
         "table7",
         "table8",
         "fig13",
@@ -76,7 +79,7 @@ fn main() {
     if !known.contains(&which.as_str()) {
         eprintln!(
             "unknown subcommand {which:?} (expected one of: profile, check-report, balance, \
-             postmortem, {})",
+             postmortem, table6, {})",
             known.join(", ")
         );
         std::process::exit(2);
@@ -94,7 +97,7 @@ fn main() {
     if all || which == "table5" {
         table5();
     }
-    if all || which == "table6" {
+    if all {
         table6();
     }
     if all || which == "table7" {
@@ -295,6 +298,288 @@ fn table6() {
         93.02 / 47.06
     );
     println!("  (expected ordering: CSRMM fastest, Dense-MM slowest — paper 1.98-4.33x)\n");
+}
+
+/// Table 6 for real: sweep full RGF solves across coupling densities with
+/// the dense, forced-CSR, and auto-selected coupling kernels, gate the
+/// calibrated selector against the empirical winner at every density, and
+/// emit `BENCH_table6.json` (CI `table6-regression` job).
+fn table6_cmd(flags: &[String]) {
+    use qt_core::rgf::{self, KernelSelector, MultiplyStrategy};
+    use qt_telemetry::json::Json;
+
+    let mut out_path = "BENCH_table6.json".to_string();
+    let mut report_path: Option<String> = None;
+    let mut bs = 64usize;
+    let mut blocks = 16usize;
+    let mut reps = 7usize;
+    let mut tie_tol = 0.15f64;
+    let mut i = 0;
+    while i < flags.len() {
+        let need = |what: &str| {
+            flags.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let num = |what: &str| -> f64 {
+            need(what).parse().unwrap_or_else(|_| {
+                eprintln!("{what} needs a number");
+                std::process::exit(2);
+            })
+        };
+        match flags[i].as_str() {
+            "--out" => out_path = need("--out"),
+            "--report" => report_path = Some(need("--report")),
+            "--bs" => bs = num("--bs") as usize,
+            "--blocks" => blocks = num("--blocks") as usize,
+            "--reps" => reps = num("--reps") as usize,
+            "--tie-tol" => tie_tol = num("--tie-tol"),
+            other => {
+                eprintln!(
+                    "unknown table6 flag {other:?} (expected --out/--report/--bs/--blocks/\
+                     --reps/--tie-tol)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    let reps = reps.max(1);
+    let blocks = blocks.max(2);
+
+    // The legacy micro-benchmark (single triple product) for continuity
+    // with the paper's presentation, then the full-solve sweep.
+    table6();
+
+    println!("== Table 6 sweep: sparse vs dense coupling kernels in full RGF ==");
+    println!("  ({blocks} blocks of {bs}x{bs}; best of {reps} solves per cell)");
+    qt_telemetry::reset_all();
+    qt_telemetry::set_enabled(true);
+    qt_telemetry::set_journaling(true);
+
+    // The whole comparison runs on ONE rayon worker: at this block size
+    // the dense GEMMs sit above the parallel threshold while the CSR
+    // kernels are serial, so an N-way pool would make the sweep measure
+    // the machine's core count instead of per-kernel data movement.
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread rayon pool");
+
+    // Calibrate machine rates once; the selector then routes every coupling
+    // block by measured density against the predicted crossover.
+    let cal = pool.install(|| qt_model::calibrate_kernels(bs, 0.08));
+    let auto = cal.strategy(0.1);
+    let crossover = cal.crossover();
+    println!(
+        "  calibration: dense {:.2} Gflop/s, sparse {:.2} Gflop/s -> crossover density {:.3}",
+        cal.dense_rate / 1e9,
+        cal.sparse_rate / 1e9,
+        crossover
+    );
+
+    let densities = [0.002f64, 0.01, 0.05, 0.1, 0.2, 0.4, 0.7];
+    println!(
+        "  {:<8} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>6}",
+        "density", "dense ms", "csrmm ms", "auto ms", "empirical", "selector", "agree"
+    );
+    let mut failures: Vec<String> = Vec::new();
+    let mut rows: Vec<Json> = Vec::new();
+    pool.install(|| {
+        // Prime the worker before the first gated cell: the first solves on
+        // this thread grow the workspace pools and fault in their pages, and
+        // the first timed density is also the one the >=1.5x gate reads, so
+        // without this the coldest cell and the strictest check coincide.
+        {
+            let (a, sig) = qt_bench::sparse_rgf_problem(blocks, bs, densities[0], 100);
+            qt_telemetry::set_enabled(false);
+            for _ in 0..2 {
+                rgf::rgf_with_strategy(&a, &sig, MultiplyStrategy::Dense).expect("rgf");
+                rgf::rgf_with_strategy(&a, &sig, MultiplyStrategy::Csrmm { threshold: 0.0 })
+                    .expect("rgf");
+            }
+            qt_telemetry::set_enabled(true);
+        }
+        for (di, &density) in densities.iter().enumerate() {
+            let (a, sig) = qt_bench::sparse_rgf_problem(blocks, bs, density, 100 + di as u64);
+
+            // Observables must be kernel-independent to 1e-10 (the whole point
+            // of an exact sparse path: same math, less data movement).
+            let reference = rgf::rgf_with_strategy(&a, &sig, MultiplyStrategy::Dense).expect("rgf");
+            let sel = KernelSelector::new(blocks - 1);
+            for (name, strat, s) in [
+                ("csrmm", MultiplyStrategy::Csrmm { threshold: 0.0 }, None),
+                ("auto", auto, Some(&sel)),
+            ] {
+                let out = rgf::rgf_with_selector(&a, &sig, strat, s).expect("rgf");
+                let mut err = 0.0f64;
+                for n in 0..blocks {
+                    err = err
+                        .max(reference.gr_diag[n].max_abs_diff(&out.gr_diag[n]))
+                        .max(reference.gl_diag[n].max_abs_diff(&out.gl_diag[n]))
+                        .max(reference.gg_diag[n].max_abs_diff(&out.gg_diag[n]));
+                }
+                if err > 1e-10 {
+                    failures.push(format!(
+                    "density {density}: {name} observables diverge from dense by {err:.2e} > 1e-10"
+                ));
+                }
+            }
+
+            // The correctness pass above already fed the journal and the
+            // selection counters; run the timed cells with telemetry off so
+            // per-op instrumentation doesn't distort the kernel comparison.
+            // The three variants are interleaved rep by rep (best-of-reps per
+            // variant) so slow machine phases hit all of them alike instead of
+            // biasing whichever variant owned that wall-clock window.
+            qt_telemetry::set_enabled(false);
+            let run_dense = || {
+                rgf::rgf_with_strategy(&a, &sig, MultiplyStrategy::Dense).expect("rgf");
+            };
+            let run_sparse = || {
+                rgf::rgf_with_strategy(&a, &sig, MultiplyStrategy::Csrmm { threshold: 0.0 })
+                    .expect("rgf");
+            };
+            let run_auto = || {
+                rgf::rgf_with_selector(&a, &sig, auto, Some(&sel)).expect("rgf");
+            };
+            let (mut dense_ms, mut sparse_ms, mut auto_ms) =
+                (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            run_dense();
+            run_sparse();
+            run_auto();
+            let once = |f: &dyn Fn()| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64() * 1e3
+            };
+            for _ in 0..reps {
+                dense_ms = dense_ms.min(once(&run_dense));
+                sparse_ms = sparse_ms.min(once(&run_sparse));
+                auto_ms = auto_ms.min(once(&run_auto));
+            }
+            qt_telemetry::set_enabled(true);
+
+            // Every coupling in this device has the same density, so the
+            // selector should have settled on one kernel for all of them.
+            let picked_sparse = (0..blocks - 1)
+                .filter(|&n| sel.choice(n) == Some(true))
+                .count();
+            let selector_sparse = picked_sparse * 2 > blocks - 1;
+            let empirical_sparse = sparse_ms < dense_ms;
+            let tie = (dense_ms - sparse_ms).abs() < tie_tol * dense_ms.min(sparse_ms);
+            let agree = tie || selector_sparse == empirical_sparse;
+            println!(
+                "  {:<8.3} {:>10.2} {:>10.2} {:>10.2} | {:>9} {:>9} {:>6}",
+                density,
+                dense_ms,
+                sparse_ms,
+                auto_ms,
+                if empirical_sparse { "sparse" } else { "dense" },
+                if selector_sparse { "sparse" } else { "dense" },
+                if agree {
+                    if tie {
+                        "tie"
+                    } else {
+                        "yes"
+                    }
+                } else {
+                    "NO"
+                }
+            );
+            if !agree {
+                failures.push(format!(
+                    "density {density}: selector picked {} but {} was empirically faster \
+                 (dense {dense_ms:.2} ms vs sparse {sparse_ms:.2} ms)",
+                    if selector_sparse { "sparse" } else { "dense" },
+                    if empirical_sparse { "sparse" } else { "dense" }
+                ));
+            }
+            if di == 0 && dense_ms < 1.5 * sparse_ms {
+                failures.push(format!(
+                "density {density}: sparse speedup {:.2}x < required 1.5x at the sparsest point",
+                dense_ms / sparse_ms
+            ));
+            }
+            if di == densities.len() - 1 && sparse_ms < dense_ms {
+                failures.push(format!(
+                    "density {density}: dense should win at the densest point \
+                 (dense {dense_ms:.2} ms vs sparse {sparse_ms:.2} ms)"
+                ));
+            }
+            rows.push(Json::Obj(vec![
+                ("density".to_string(), Json::Num(density)),
+                ("dense_ms".to_string(), Json::Num(dense_ms)),
+                ("sparse_ms".to_string(), Json::Num(sparse_ms)),
+                ("auto_ms".to_string(), Json::Num(auto_ms)),
+                (
+                    "speedup_vs_dense".to_string(),
+                    Json::Num(dense_ms / sparse_ms),
+                ),
+                (
+                    "selector_sparse".to_string(),
+                    Json::Num(if selector_sparse { 1.0 } else { 0.0 }),
+                ),
+                (
+                    "empirical_sparse".to_string(),
+                    Json::Num(if empirical_sparse { 1.0 } else { 0.0 }),
+                ),
+                ("tie".to_string(), Json::Num(if tie { 1.0 } else { 0.0 })),
+            ]));
+        }
+    });
+    println!(
+        "  (empirical = faster of the forced runs; agree gates the selector, with ties \
+         within {:.0}% tolerated)",
+        tie_tol * 100.0
+    );
+
+    let doc = Json::Obj(vec![
+        ("block_size".to_string(), Json::Num(bs as f64)),
+        ("blocks".to_string(), Json::Num(blocks as f64)),
+        ("reps".to_string(), Json::Num(reps as f64)),
+        ("dense_rate".to_string(), Json::Num(cal.dense_rate)),
+        ("sparse_rate".to_string(), Json::Num(cal.sparse_rate)),
+        ("crossover_density".to_string(), Json::Num(crossover)),
+        ("rows".to_string(), Json::Arr(rows)),
+    ]);
+    std::fs::write(&out_path, doc.dump()).expect("write table6 json");
+    println!("  results written to {out_path}");
+
+    if let Some(path) = &report_path {
+        let mut rep = qt_telemetry::TelemetryReport::from_current();
+        if let Some(k) = rep.kernel_selection.as_mut() {
+            k.crossover_density = crossover;
+        }
+        if let Err(e) = rep.validate() {
+            eprintln!("table6 report FAILED validation: {e}");
+            std::process::exit(1);
+        }
+        std::fs::write(path, rep.to_json()).expect("write report");
+        let k = rep.kernel_selection.as_ref().expect("auto runs recorded");
+        println!(
+            "  report written to {path} (selections: {} sparse / {} dense, {} switches; \
+             measured sparse {:.1} ms vs predicted {:.1} ms)",
+            k.sparse_selected,
+            k.dense_selected,
+            k.switches,
+            k.sparse_secs * 1e3,
+            k.predicted_sparse_secs * 1e3
+        );
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("table6 FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "  gate OK: observables kernel-independent to 1e-10, sparse >= 1.5x at the \
+         sparsest density, dense wins at the densest, selector matches the empirical \
+         winner at every swept density\n"
+    );
 }
 
 fn table7() {
@@ -1310,6 +1595,7 @@ fn balance(flags: &[String]) {
 fn check_report(flags: &[String]) {
     let mut require_boundary_hits = false;
     let mut require_health = false;
+    let mut require_kernel_selection = false;
     let mut require_balance: Option<f64> = None;
     let mut path: Option<String> = None;
     let mut i = 0;
@@ -1317,6 +1603,7 @@ fn check_report(flags: &[String]) {
         match flags[i].as_str() {
             "--require-boundary-hits" => require_boundary_hits = true,
             "--require-health" => require_health = true,
+            "--require-kernel-selection" => require_kernel_selection = true,
             "--require-balance" => {
                 let v = flags.get(i + 1).and_then(|v| v.parse().ok());
                 require_balance = Some(v.unwrap_or_else(|| {
@@ -1329,7 +1616,7 @@ fn check_report(flags: &[String]) {
             other => {
                 eprintln!(
                     "unknown check-report flag {other:?} (expected --require-boundary-hits/\
-                     --require-health/--require-balance <ratio>)"
+                     --require-health/--require-kernel-selection/--require-balance <ratio>)"
                 );
                 std::process::exit(2);
             }
@@ -1376,6 +1663,19 @@ fn check_report(flags: &[String]) {
              rank-failure recovery layer or stripped its counters"
         );
         std::process::exit(1);
+    }
+    if require_kernel_selection {
+        let Some(k) = &rep.kernel_selection else {
+            eprintln!(
+                "report FAILED: no kernel_selection block — the run never routed a \
+                 coupling product through the auto-selector"
+            );
+            std::process::exit(1);
+        };
+        if k.sparse_selected + k.dense_selected == 0 {
+            eprintln!("report FAILED: kernel_selection block recorded zero decisions");
+            std::process::exit(1);
+        }
     }
     if let Some(max_ratio) = require_balance {
         let Some(b) = &rep.balance else {

@@ -10,7 +10,7 @@ use qt_core::grids::Grids;
 use qt_core::hamiltonian::{ElectronModel, PhononModel};
 use qt_core::params::SimParams;
 use qt_core::sse;
-use qt_linalg::{CsrMatrix, Matrix, Tensor};
+use qt_linalg::{BlockTridiag, CsrMatrix, Matrix, Tensor};
 
 /// Reduced-scale stand-in for the 4,864-atom Table 7 configuration:
 /// identical structure, laptop-sized dimensions.
@@ -143,6 +143,52 @@ pub fn table6_operands(n: usize, density: f64, seed: u64) -> Table6Operands {
     }
 }
 
+/// A synthetic sparse block-tridiagonal RGF problem at a controlled
+/// coupling density: diagonally dominant (well-conditioned) dense diagonal
+/// blocks, random coupling blocks keeping each entry with probability
+/// `density`, and anti-Hermitian `Σ<` blocks. One fixture serves the
+/// Table 6 sweep (`reproduce table6`), the criterion benchmark, and the
+/// sparse allocation-regression test.
+pub fn sparse_rgf_problem(
+    nb: usize,
+    bs: usize,
+    density: f64,
+    seed: u64,
+) -> (BlockTridiag, Vec<Matrix>) {
+    use rand::{Rng as _, SeedableRng};
+    let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut a = BlockTridiag::zeros(nb, bs);
+    // The diagonal shift scales with the block order so the system stays
+    // diagonally dominant even when dense couplings push the off-diagonal
+    // row sums to O(bs): the kernel-agreement gates compare observables to
+    // 1e-10 and must not be washed out by conditioning.
+    let shift = qt_linalg::c64(4.0 + 2.5 * bs as f64, 1.0);
+    for n in 0..nb {
+        let mut d = Matrix::random(bs, bs, &mut r);
+        for i in 0..bs {
+            d[(i, i)] += shift;
+        }
+        *a.diag_mut(n) = d;
+    }
+    for n in 0..nb - 1 {
+        let blk = |r: &mut rand::rngs::StdRng| {
+            Matrix::from_fn(bs, bs, |_, _| {
+                if r.random_range(0.0..1.0) < density {
+                    qt_linalg::c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0))
+                } else {
+                    qt_linalg::Complex64::ZERO
+                }
+            })
+        };
+        *a.upper_mut(n) = blk(&mut r);
+        *a.lower_mut(n) = blk(&mut r);
+    }
+    let sig: Vec<Matrix> = (0..nb)
+        .map(|_| Matrix::random_hermitian(bs, &mut r).scale(qt_linalg::Complex64::I))
+        .collect();
+    (a, sig)
+}
+
 /// Route (a): densify both Hamiltonian blocks, two dense GEMMs.
 pub fn table6_dense_mm(ops: &Table6Operands) -> Matrix {
     let f = ops.f_sparse.to_dense();
@@ -178,6 +224,24 @@ mod tests {
             .matmul(&ops.g_sparse.to_dense())
             .matmul(&ops.e_sparse.to_dense());
         assert!(c.max_abs_diff(&ref_sparse) < 1e-10);
+    }
+
+    #[test]
+    fn sparse_rgf_problem_strategies_agree() {
+        let (a, sig) = sparse_rgf_problem(4, 12, 0.1, 9);
+        let dense =
+            qt_core::rgf::rgf_with_strategy(&a, &sig, qt_core::rgf::MultiplyStrategy::Dense)
+                .unwrap();
+        let sparse = qt_core::rgf::rgf_with_strategy(
+            &a,
+            &sig,
+            qt_core::rgf::MultiplyStrategy::Csrmm { threshold: 0.0 },
+        )
+        .unwrap();
+        for n in 0..4 {
+            assert!(dense.gr_diag[n].max_abs_diff(&sparse.gr_diag[n]) < 1e-10);
+            assert!(dense.gl_diag[n].max_abs_diff(&sparse.gl_diag[n]) < 1e-10);
+        }
     }
 
     #[test]

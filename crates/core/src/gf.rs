@@ -59,6 +59,10 @@ pub struct GfConfig {
     /// Containment policy for per-point numerical failures (quarantine vs
     /// fail-fast, and the tolerated bad fraction).
     pub health: HealthPolicy,
+    /// How RGF evaluates the off-diagonal coupling products (Table 6):
+    /// all-dense GEMM, forced CSRMM, or calibrated per-block
+    /// auto-selection.
+    pub strategy: rgf::MultiplyStrategy,
 }
 
 impl Default for GfConfig {
@@ -70,6 +74,7 @@ impl Default for GfConfig {
             boundary: BoundaryConfig::default(),
             contacts: Contacts::default(),
             health: HealthPolicy::default(),
+            strategy: rgf::MultiplyStrategy::Dense,
         }
     }
 }
@@ -323,13 +328,16 @@ pub fn electron_gf_phase(
     sse: &ElectronSelfEnergy,
     cfg: &GfConfig,
 ) -> Result<ElectronGf, NumericalError> {
-    electron_gf_phase_cached(dev, em, p, grids, sse, cfg, None)
+    electron_gf_phase_cached(dev, em, p, grids, sse, cfg, None, None)
 }
 
 /// [`electron_gf_phase`] with optional contact self-energy memoization:
 /// when `cache` is given it is (re-)bound to the current `H`/`S`/grid
 /// identity and the Sancho–Rubio decimation runs at most once per
-/// `(kz, E)` point across every Born iteration.
+/// `(kz, E)` point across every Born iteration. `selector` carries the
+/// sticky per-coupling kernel choices when `cfg.strategy` is
+/// [`rgf::MultiplyStrategy::Auto`].
+#[allow(clippy::too_many_arguments)]
 pub fn electron_gf_phase_cached(
     dev: &Device,
     em: &ElectronModel,
@@ -338,6 +346,7 @@ pub fn electron_gf_phase_cached(
     sse: &ElectronSelfEnergy,
     cfg: &GfConfig,
     cache: Option<&BoundaryCache>,
+    selector: Option<&rgf::KernelSelector>,
 ) -> Result<ElectronGf, NumericalError> {
     let _span = qt_telemetry::Span::enter_global("gf/electron");
     let no = p.norb;
@@ -476,7 +485,7 @@ pub fn electron_gf_phase_cached(
                     }
                 }
             }
-            let out = rgf::rgf(&a, &sig_lesser)
+            let out = rgf::rgf_with_selector(&a, &sig_lesser, cfg.strategy, selector)
                 .map_err(|_| NumericalError::singular("rgf", point_idx))?;
             // Gather per-atom diagonal blocks (these escape the worker, so
             // they stay on the regular heap).
@@ -568,10 +577,12 @@ pub fn phonon_gf_phase(
     sse: &PhononSelfEnergy,
     cfg: &GfConfig,
 ) -> Result<PhononGf, NumericalError> {
-    phonon_gf_phase_cached(dev, pm, p, grids, sse, cfg, None)
+    phonon_gf_phase_cached(dev, pm, p, grids, sse, cfg, None, None)
 }
 
-/// [`phonon_gf_phase`] with optional contact self-energy memoization.
+/// [`phonon_gf_phase`] with optional contact self-energy memoization and
+/// an optional sticky kernel selector for the Auto multiply strategy.
+#[allow(clippy::too_many_arguments)]
 pub fn phonon_gf_phase_cached(
     dev: &Device,
     pm: &PhononModel,
@@ -580,6 +591,7 @@ pub fn phonon_gf_phase_cached(
     sse: &PhononSelfEnergy,
     cfg: &GfConfig,
     cache: Option<&BoundaryCache>,
+    selector: Option<&rgf::KernelSelector>,
 ) -> Result<PhononGf, NumericalError> {
     let _span = qt_telemetry::Span::enter_global("gf/phonon");
     let apb = dev.atoms_per_slab;
@@ -724,7 +736,7 @@ pub fn phonon_gf_phase_cached(
                     }
                 }
             }
-            let out = rgf::rgf(&a, &sig_lesser)
+            let out = rgf::rgf_with_selector(&a, &sig_lesser, cfg.strategy, selector)
                 .map_err(|_| NumericalError::singular("rgf", point_idx))?;
             // Off-diagonal D images, once per point into pooled buffers
             // (the old path re-derived them per atom pair):

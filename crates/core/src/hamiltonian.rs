@@ -146,6 +146,29 @@ impl ElectronModel {
         h
     }
 
+    /// Structural density of the off-diagonal coupling blocks of `H(kz)`:
+    /// the fraction of entries a CSR image of `A_{n+1,n}` / `A_{n,n+1}`
+    /// carries, averaged over the interfaces. Each cross-slab neighbor
+    /// pair contributes one `Norb × Norb` submatrix to the upper block of
+    /// its interface (and the adjoint below), so the estimate is exact for
+    /// the structural pattern and an upper bound on the numerical density
+    /// (hash-generated entries are nonzero almost surely, but a decayed
+    /// coupling can underflow to zero).
+    pub fn coupling_density(&self, dev: &Device) -> f64 {
+        let bs = dev.atoms_per_slab * self.norb;
+        let couplings = dev.bnum.saturating_sub(1);
+        if couplings == 0 || bs == 0 {
+            return 1.0;
+        }
+        let cross = dev
+            .coupling_pairs()
+            .into_iter()
+            .filter(|&(a, b)| dev.slab_of(a) != dev.slab_of(b))
+            .count();
+        let filled = (cross * self.norb * self.norb) as f64;
+        (filled / (couplings * bs * bs) as f64).min(1.0)
+    }
+
     /// Assemble the overlap `S(kz)` (identity plus small neighbor overlap).
     pub fn overlap_matrix(&self, dev: &Device, _kz: f64) -> BlockTridiag {
         let bs = dev.atoms_per_slab * self.norb;
@@ -305,6 +328,39 @@ mod tests {
             ElectronModel::for_params(&p),
             PhononModel::default(),
         )
+    }
+
+    #[test]
+    fn coupling_density_bounds_the_measured_density() {
+        let (dev, em, _) = setup();
+        let predicted = em.coupling_density(&dev);
+        assert!(
+            predicted > 0.0 && predicted <= 1.0,
+            "structural density must be a fraction, got {predicted}"
+        );
+        // The structural estimate must dominate the numerical density of
+        // every assembled coupling block (zeros can only be lost, never
+        // gained, relative to the neighbor-pair pattern).
+        let h = em.hamiltonian(&dev, 0.3);
+        let bs = h.block_size();
+        let mut nnz = 0usize;
+        let mut cap = 0usize;
+        for n in 0..dev.bnum - 1 {
+            nnz += h
+                .upper(n)
+                .as_slice()
+                .iter()
+                .chain(h.lower(n).as_slice())
+                .filter(|z| z.re != 0.0 || z.im != 0.0)
+                .count();
+            cap += 2 * bs * bs;
+        }
+        let measured = nnz as f64 / cap as f64;
+        assert!(
+            measured <= predicted + 1e-12,
+            "measured {measured} must not exceed structural {predicted}"
+        );
+        assert!(measured > 0.0, "couplings must not be empty");
     }
 
     #[test]

@@ -23,10 +23,14 @@
 //!           G<_{n+1,n} = −Gᴿ_{n+1,n+1} A_{n+1,n} g<_n − G<_{n+1,n+1} A_{n,n+1}† gᴿ_n†
 //! ```
 
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
 use qt_linalg::gemm::{gemm_acc, gemm_bdagger_acc, gemm_bdagger_scaled_acc, gemm_scaled_acc};
 use qt_linalg::{
-    c64, invert, invert_ws, workspace, BlockTridiag, CsrMatrix, Matrix, SingularMatrix,
+    c64, invert, invert_ws, workspace, BlockTridiag, Complex64, CsrMatrix, Matrix, SingularMatrix,
 };
+use qt_telemetry::counters;
 
 /// How the off-diagonal triple products of the forward pass are evaluated
 /// (the Table 6 design space, §5.1.2).
@@ -45,6 +49,291 @@ pub enum MultiplyStrategy {
         /// Magnitude below which entries are treated as structural zeros.
         threshold: f64,
     },
+    /// Per-coupling-block runtime selection between the CSR kernels and
+    /// blocked dense GEMM. A coupling goes sparse when its structural
+    /// density sits below the machine crossover `sparse_rate/dense_rate`
+    /// (CSRMM beats GEMM exactly when `8·nnz·n / sparse_rate <
+    /// 8·bs³/ dense_rate`, i.e. `density < sparse_rate/dense_rate`).
+    /// Rates come from [`qt_model`-style] calibration; with a
+    /// [`KernelSelector`] attached the decision is sticky across SCF
+    /// iterations with a hysteresis `band` around the crossover.
+    Auto {
+        /// Calibrated dense GEMM throughput in flop/s (0 disables time
+        /// prediction and forces the crossover to 1, i.e. all-sparse).
+        dense_rate: f64,
+        /// Calibrated CSR kernel throughput in flop/s *on the nonzeros*.
+        sparse_rate: f64,
+        /// Relative hysteresis half-width around the crossover density;
+        /// a remembered choice only flips once the density leaves
+        /// `[d*·(1−band), d*·(1+band)]`.
+        band: f64,
+    },
+}
+
+impl MultiplyStrategy {
+    /// Crossover density below which the sparse kernels win, per the
+    /// calibrated rates of an [`MultiplyStrategy::Auto`] value. `None`
+    /// for the fixed strategies.
+    pub fn crossover_density(&self) -> Option<f64> {
+        match *self {
+            MultiplyStrategy::Auto {
+                dense_rate,
+                sparse_rate,
+                ..
+            } => Some(if dense_rate > 0.0 {
+                (sparse_rate / dense_rate).clamp(0.0, 1.0)
+            } else {
+                1.0
+            }),
+            _ => None,
+        }
+    }
+}
+
+const CHOICE_UNSET: u8 = 0;
+const CHOICE_DENSE: u8 = 1;
+const CHOICE_SPARSE: u8 = 2;
+
+/// Sticky per-coupling-block kernel memory for [`MultiplyStrategy::Auto`].
+///
+/// One selector is shared by every RGF solve of a carrier (all `(kz, E)`
+/// workers hit the same cells — the coupling structure is identical across
+/// the spectral grid), so a choice made on the first SCF iteration holds on
+/// later ones unless the measured density drifts out of the hysteresis
+/// band. Flips and first-time choices are journalled as
+/// [`qt_telemetry::EventKind::KernelChoice`] and counted under
+/// `kernel.switches`.
+#[derive(Debug, Default)]
+pub struct KernelSelector {
+    choices: Vec<AtomicU8>,
+}
+
+impl KernelSelector {
+    /// A selector for `couplings` off-diagonal block pairs (`bnum − 1`).
+    pub fn new(couplings: usize) -> Self {
+        KernelSelector {
+            choices: (0..couplings)
+                .map(|_| AtomicU8::new(CHOICE_UNSET))
+                .collect(),
+        }
+    }
+
+    /// Number of coupling blocks this selector remembers.
+    pub fn len(&self) -> usize {
+        self.choices.len()
+    }
+
+    /// True when the selector tracks no couplings.
+    pub fn is_empty(&self) -> bool {
+        self.choices.is_empty()
+    }
+
+    /// The remembered route for a coupling: `Some(true)` sparse,
+    /// `Some(false)` dense, `None` when the block has not been routed yet.
+    pub fn choice(&self, block: usize) -> Option<bool> {
+        match self.choices.get(block)?.load(Ordering::Relaxed) {
+            CHOICE_SPARSE => Some(true),
+            CHOICE_DENSE => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Forget every remembered choice (a new bias point changes the
+    /// operator structure enough to warrant re-deciding from scratch).
+    pub fn reset(&self) {
+        for c in &self.choices {
+            c.store(CHOICE_UNSET, Ordering::Relaxed);
+        }
+    }
+
+    /// Route one coupling block: sparse (`true`) or dense (`false`).
+    ///
+    /// A fresh block compares `density < crossover`; a remembered block
+    /// keeps its route until the density exits the hysteresis band, which
+    /// keeps the choice stable when a density hovers at the crossover
+    /// across SCF iterations. Out-of-range blocks fall back to the
+    /// stateless compare.
+    pub fn choose(&self, block: usize, density: f64, crossover: f64, band: f64) -> bool {
+        let Some(cell) = self.choices.get(block) else {
+            return density < crossover;
+        };
+        let prev = cell.load(Ordering::Relaxed);
+        let sparse = match prev {
+            CHOICE_SPARSE => density < crossover * (1.0 + band),
+            CHOICE_DENSE => density < crossover * (1.0 - band),
+            _ => density < crossover,
+        };
+        let next = if sparse { CHOICE_SPARSE } else { CHOICE_DENSE };
+        if prev != next {
+            cell.store(next, Ordering::Relaxed);
+            if prev != CHOICE_UNSET {
+                counters::add_kernel_switch();
+            }
+            qt_telemetry::journal::emit(qt_telemetry::EventKind::KernelChoice {
+                block: block as u64,
+                sparse,
+            });
+        }
+        sparse
+    }
+}
+
+/// The per-coupling execution plan: either keep the pair of off-diagonal
+/// blocks dense, or carry pooled CSR images of `A_{n+1,n}` / `A_{n,n+1}`.
+enum CouplingKernel {
+    Dense,
+    Sparse { lo: CsrMatrix, up: CsrMatrix },
+}
+
+impl CouplingKernel {
+    fn lo_sp(&self) -> Option<&CsrMatrix> {
+        match self {
+            CouplingKernel::Dense => None,
+            CouplingKernel::Sparse { lo, .. } => Some(lo),
+        }
+    }
+
+    fn up_sp(&self) -> Option<&CsrMatrix> {
+        match self {
+            CouplingKernel::Dense => None,
+            CouplingKernel::Sparse { up, .. } => Some(up),
+        }
+    }
+}
+
+/// Timing context for [`MultiplyStrategy::Auto`]: measures every routed
+/// coupling op and accumulates measured plus model-predicted nanoseconds
+/// into the kernel-selection counters, so `KernelSelectionReport` can put
+/// the machine model side by side with reality. Inert (plain call) for the
+/// fixed strategies and while telemetry spans are disabled.
+#[derive(Clone, Copy)]
+struct AutoTiming {
+    enabled: bool,
+    dense_rate: f64,
+    sparse_rate: f64,
+}
+
+impl AutoTiming {
+    fn off() -> AutoTiming {
+        AutoTiming {
+            enabled: false,
+            dense_rate: 0.0,
+            sparse_rate: 0.0,
+        }
+    }
+
+    #[inline]
+    fn op(&self, sparse: bool, f: impl FnOnce()) {
+        if !self.enabled {
+            return f();
+        }
+        let flops0 = counters::local_flops();
+        let t0 = Instant::now();
+        f();
+        let ns = t0.elapsed().as_nanos() as u64;
+        let fl = counters::local_flops() - flops0;
+        let rate = if sparse {
+            self.sparse_rate
+        } else {
+            self.dense_rate
+        };
+        let pred = if rate > 0.0 {
+            (fl as f64 / rate * 1e9) as u64
+        } else {
+            0
+        };
+        if sparse {
+            counters::add_kernel_sparse_ns(ns);
+            counters::add_kernel_sparse_pred_ns(pred);
+        } else {
+            counters::add_kernel_dense_flops(fl);
+            counters::add_kernel_dense_ns(ns);
+            counters::add_kernel_dense_pred_ns(pred);
+        }
+    }
+}
+
+/// `out += K·b` — coupling block times dense, CSRMM when routed sparse.
+fn mul_coupling(
+    sp: Option<&CsrMatrix>,
+    timing: &AutoTiming,
+    k: &Matrix,
+    b: &Matrix,
+    out: &mut Matrix,
+) {
+    match sp {
+        Some(s) => timing.op(true, || s.mul_dense_acc(b, out)),
+        None => timing.op(false, || gemm_acc(k, b, out)),
+    }
+}
+
+/// `out += z·(a·K)` — dense times coupling block.
+fn rmul_coupling(
+    sp: Option<&CsrMatrix>,
+    timing: &AutoTiming,
+    bs: usize,
+    a: &Matrix,
+    k: &Matrix,
+    z: Complex64,
+    out: &mut Matrix,
+) {
+    match sp {
+        Some(s) => timing.op(true, || s.rmul_dense_scaled_acc(a, z, out)),
+        None => timing.op(false, || {
+            gemm_scaled_acc(
+                bs,
+                bs,
+                bs,
+                a.as_slice(),
+                k.as_slice(),
+                out.as_mut_slice(),
+                z,
+            )
+        }),
+    }
+}
+
+/// `out += z·(a·K†)` — dense times the adjoint of a coupling block.
+fn rmul_dagger_coupling(
+    sp: Option<&CsrMatrix>,
+    timing: &AutoTiming,
+    bs: usize,
+    a: &Matrix,
+    k: &Matrix,
+    z: Complex64,
+    out: &mut Matrix,
+) {
+    match sp {
+        Some(s) => timing.op(true, || s.rmul_dagger_scaled_acc(a, z, out)),
+        None => timing.op(false, || {
+            gemm_bdagger_scaled_acc(
+                bs,
+                bs,
+                bs,
+                a.as_slice(),
+                k.as_slice(),
+                out.as_mut_slice(),
+                z,
+            )
+        }),
+    }
+}
+
+/// Structural density of a coupling pair (`nnz / capacity` over both the
+/// lower and upper block).
+fn coupling_density(lo: &Matrix, up: &Matrix) -> f64 {
+    let nnz = lo
+        .as_slice()
+        .iter()
+        .chain(up.as_slice())
+        .filter(|z| z.re != 0.0 || z.im != 0.0)
+        .count();
+    let cap = lo.as_slice().len() + up.as_slice().len();
+    if cap == 0 {
+        1.0
+    } else {
+        nnz as f64 / cap as f64
+    }
 }
 
 /// Diagonal and first-subdiagonal Green's-function blocks.
@@ -132,75 +421,104 @@ pub fn rgf_with_strategy(
     sigma_lesser: &[Matrix],
     strategy: MultiplyStrategy,
 ) -> Result<RgfOutput, SingularMatrix> {
+    rgf_with_selector(a, sigma_lesser, strategy, None)
+}
+
+/// Run RGF with a multiply strategy and an optional sticky
+/// [`KernelSelector`]. The selector only matters for
+/// [`MultiplyStrategy::Auto`]; without one, Auto falls back to a
+/// stateless per-solve density-vs-crossover compare.
+pub fn rgf_with_selector(
+    a: &BlockTridiag,
+    sigma_lesser: &[Matrix],
+    strategy: MultiplyStrategy,
+    selector: Option<&KernelSelector>,
+) -> Result<RgfOutput, SingularMatrix> {
     // Thread-local attribution: RGF runs inside the per-(kz, E) rayon
     // workers, so the phase aggregates busy time across workers.
     let _span = qt_telemetry::Span::enter("rgf");
     let nb = a.num_blocks();
     assert_eq!(sigma_lesser.len(), nb, "one Σ< block per RGF block");
-    // CSR images of the coupling blocks for the CSRMM route.
-    let sparse_couplings: Option<(Vec<CsrMatrix>, Vec<CsrMatrix>)> = match strategy {
-        MultiplyStrategy::Dense => None,
-        MultiplyStrategy::Csrmm { threshold } => Some((
-            (0..nb - 1)
-                .map(|n| CsrMatrix::from_dense(a.lower(n), threshold))
-                .collect(),
-            (0..nb - 1)
-                .map(|n| CsrMatrix::from_dense(a.upper(n), threshold))
-                .collect(),
-        )),
-    };
     let bs = a.block_size();
+    // Per-coupling execution plan. The sparse routes carry pooled CSR
+    // images of the coupling blocks, built once per solve and recycled at
+    // the end, so warm iterations never touch the global allocator.
+    let (plan, timing): (Vec<CouplingKernel>, AutoTiming) = match strategy {
+        MultiplyStrategy::Dense => (
+            (0..nb.saturating_sub(1))
+                .map(|_| CouplingKernel::Dense)
+                .collect(),
+            AutoTiming::off(),
+        ),
+        MultiplyStrategy::Csrmm { threshold } => (
+            (0..nb - 1)
+                .map(|n| CouplingKernel::Sparse {
+                    lo: CsrMatrix::from_dense_pooled(a.lower(n), threshold),
+                    up: CsrMatrix::from_dense_pooled(a.upper(n), threshold),
+                })
+                .collect(),
+            AutoTiming::off(),
+        ),
+        MultiplyStrategy::Auto {
+            dense_rate,
+            sparse_rate,
+            band,
+        } => {
+            let crossover = strategy.crossover_density().unwrap_or(1.0);
+            let plan = (0..nb - 1)
+                .map(|n| {
+                    let density = coupling_density(a.lower(n), a.upper(n));
+                    let sparse = match selector {
+                        Some(s) => s.choose(n, density, crossover, band),
+                        None => density < crossover,
+                    };
+                    if sparse {
+                        counters::add_kernel_sparse_selected();
+                        CouplingKernel::Sparse {
+                            lo: CsrMatrix::from_dense_pooled(a.lower(n), 0.0),
+                            up: CsrMatrix::from_dense_pooled(a.upper(n), 0.0),
+                        }
+                    } else {
+                        counters::add_kernel_dense_selected();
+                        CouplingKernel::Dense
+                    }
+                })
+                .collect();
+            (
+                plan,
+                AutoTiming {
+                    enabled: qt_telemetry::enabled(),
+                    dense_rate,
+                    sparse_rate,
+                },
+            )
+        }
+    };
     let neg = c64(-1.0, 0.0);
+    let one = c64(1.0, 0.0);
     // Forward pass: left-connected g's. Every temporary (and the retained
     // g's themselves) is checked out of the per-thread workspace pool, so a
     // warm SCF iteration performs zero heap allocations here.
     let mut g_r: Vec<Matrix> = Vec::with_capacity(nb);
     let mut g_l: Vec<Matrix> = Vec::with_capacity(nb);
     for n in 0..nb {
-        let mut m = workspace::take(bs, bs);
+        let mut m = workspace::take_uninit(bs, bs);
         m.copy_from(a.diag(n));
-        let mut sig = workspace::take(bs, bs);
+        let mut sig = workspace::take_uninit(bs, bs);
         sig.copy_from(&sigma_lesser[n]);
         if n > 0 {
             // A_{n,n−1} couples block n−1 into n; the triple product
             // `A_{n,n−1} · gᴿ_{n−1} · A_{n−1,n}` is the Table 6 operation.
+            let kern = &plan[n - 1];
             let tau = a.lower(n - 1);
-            match &sparse_couplings {
-                None => {
-                    let mut tg = workspace::take(bs, bs);
-                    gemm_acc(tau, &g_r[n - 1], &mut tg);
-                    gemm_scaled_acc(
-                        bs,
-                        bs,
-                        bs,
-                        tg.as_slice(),
-                        a.upper(n - 1).as_slice(),
-                        m.as_mut_slice(),
-                        neg,
-                    );
-                    let mut tl = workspace::take(bs, bs);
-                    gemm_acc(tau, &g_l[n - 1], &mut tl);
-                    gemm_bdagger_acc(
-                        bs,
-                        bs,
-                        bs,
-                        tl.as_slice(),
-                        tau.as_slice(),
-                        sig.as_mut_slice(),
-                    );
-                    workspace::give(tg);
-                    workspace::give(tl);
-                }
-                Some((lowers, uppers)) => {
-                    // CSRMM: sparse × dense, then dense × sparse.
-                    let lo_sp = &lowers[n - 1];
-                    let up_sp = &uppers[n - 1];
-                    let tg = lo_sp.mul_dense(&g_r[n - 1]);
-                    m -= &up_sp.rmul_dense(&tg);
-                    let tl = lo_sp.mul_dense(&g_l[n - 1]);
-                    sig += &tl.matmul_dagger(tau);
-                }
-            }
+            let mut tg = workspace::take(bs, bs);
+            mul_coupling(kern.lo_sp(), &timing, tau, &g_r[n - 1], &mut tg);
+            rmul_coupling(kern.up_sp(), &timing, bs, &tg, a.upper(n - 1), neg, &mut m);
+            let mut tl = workspace::take(bs, bs);
+            mul_coupling(kern.lo_sp(), &timing, tau, &g_l[n - 1], &mut tl);
+            rmul_dagger_coupling(kern.lo_sp(), &timing, bs, &tl, tau, one, &mut sig);
+            workspace::give(tg);
+            workspace::give(tl);
         }
         let gr = invert_ws(&m)?;
         workspace::give(m);
@@ -220,59 +538,46 @@ pub fn rgf_with_strategy(
     let mut gr_lower: Vec<Matrix> = Vec::with_capacity(nb - 1);
     let mut gr_upper: Vec<Matrix> = Vec::with_capacity(nb - 1);
     let mut gl_lower: Vec<Matrix> = Vec::with_capacity(nb - 1);
-    let mut last_gr = workspace::take(bs, bs);
+    let mut last_gr = workspace::take_uninit(bs, bs);
     last_gr.copy_from(&g_r[nb - 1]);
     gr_diag.push(last_gr);
-    let mut last_gl = workspace::take(bs, bs);
+    let mut last_gl = workspace::take_uninit(bs, bs);
     last_gl.copy_from(&g_l[nb - 1]);
     gl_diag.push(last_gl);
     for n in (0..nb - 1).rev() {
         let up = a.upper(n); // A_{n,n+1}
         let lo = a.lower(n); // A_{n+1,n}
-        let mut gr_next = workspace::take(bs, bs);
-        gr_next.copy_from(&gr_diag[gr_diag.len() - 1]);
-        let mut gl_next = workspace::take(bs, bs);
-        gl_next.copy_from(&gl_diag[gl_diag.len() - 1]);
+        let kern = &plan[n];
+        // The previous iteration's diagonal blocks are read-only here and
+        // pushed-to only after their last use, so borrow them in place —
+        // no pooled copies.
+        let gr_next = &gr_diag[gr_diag.len() - 1];
+        let gl_next = &gl_diag[gl_diag.len() - 1];
         let gr_n = &g_r[n];
         let gl_n = &g_l[n];
         // Shared prefixes: t1 = gᴿ_n A_{n,n+1}, t1g = t1 Gᴿ_{n+1,n+1},
         // t2 = t1g A_{n+1,n}.
         let mut t1 = workspace::take(bs, bs);
-        gemm_acc(gr_n, up, &mut t1);
+        rmul_coupling(kern.up_sp(), &timing, bs, gr_n, up, one, &mut t1);
         let mut t1g = workspace::take(bs, bs);
-        gemm_acc(&t1, &gr_next, &mut t1g);
+        gemm_acc(&t1, gr_next, &mut t1g);
         let mut t2 = workspace::take(bs, bs);
-        gemm_acc(&t1g, lo, &mut t2);
+        rmul_coupling(kern.lo_sp(), &timing, bs, &t1g, lo, one, &mut t2);
         // Gᴿ_nn = gᴿ_n + t2 gᴿ_n
-        let mut grd = workspace::take(bs, bs);
+        let mut grd = workspace::take_uninit(bs, bs);
         grd.copy_from(gr_n);
         gemm_acc(&t2, gr_n, &mut grd);
         // G<_nn — four terms, sharing t1/t2 instead of recomputing the
         // triple products.
-        let mut gld = workspace::take(bs, bs);
+        let mut gld = workspace::take_uninit(bs, bs);
         gld.copy_from(gl_n);
         let mut t3 = workspace::take(bs, bs);
-        gemm_acc(&t1, &gl_next, &mut t3);
+        gemm_acc(&t1, gl_next, &mut t3);
         let mut t4 = workspace::take(bs, bs);
-        gemm_bdagger_acc(bs, bs, bs, t3.as_slice(), up.as_slice(), t4.as_mut_slice());
-        gemm_bdagger_acc(
-            bs,
-            bs,
-            bs,
-            t4.as_slice(),
-            gr_n.as_slice(),
-            gld.as_mut_slice(),
-        );
+        rmul_dagger_coupling(kern.up_sp(), &timing, bs, &t3, up, one, &mut t4);
         gemm_acc(&t2, gl_n, &mut gld);
         let mut v1 = workspace::take(bs, bs);
-        gemm_bdagger_acc(
-            bs,
-            bs,
-            bs,
-            gl_n.as_slice(),
-            lo.as_slice(),
-            v1.as_mut_slice(),
-        );
+        rmul_dagger_coupling(kern.lo_sp(), &timing, bs, gl_n, lo, one, &mut v1);
         let mut v2 = workspace::take(bs, bs);
         gemm_bdagger_acc(
             bs,
@@ -283,19 +588,22 @@ pub fn rgf_with_strategy(
             v2.as_mut_slice(),
         );
         let mut v3 = workspace::take(bs, bs);
-        gemm_bdagger_acc(bs, bs, bs, v2.as_slice(), up.as_slice(), v3.as_mut_slice());
+        rmul_dagger_coupling(kern.up_sp(), &timing, bs, &v2, up, one, &mut v3);
+        // The t4 and v3 contributions to G<_nn share the right operand
+        // `gᴿ_n†`; summing them first folds two GEMM units into one.
+        t4 += &v3;
         gemm_bdagger_acc(
             bs,
             bs,
             bs,
-            v3.as_slice(),
+            t4.as_slice(),
             gr_n.as_slice(),
             gld.as_mut_slice(),
         );
         // Off-diagonal blocks. w1 = Gᴿ_{n+1,n+1} A_{n+1,n} feeds both
         // Gᴿ_{n+1,n} and G<_{n+1,n}; Gᴿ_{n,n+1} = −t1g re-uses its buffer.
         let mut w1 = workspace::take(bs, bs);
-        gemm_acc(&gr_next, lo, &mut w1);
+        rmul_coupling(kern.lo_sp(), &timing, bs, gr_next, lo, one, &mut w1);
         let mut grl = workspace::take(bs, bs);
         gemm_scaled_acc(
             bs,
@@ -321,14 +629,7 @@ pub fn rgf_with_strategy(
             neg,
         );
         let mut x1 = workspace::take(bs, bs);
-        gemm_bdagger_acc(
-            bs,
-            bs,
-            bs,
-            gl_next.as_slice(),
-            up.as_slice(),
-            x1.as_mut_slice(),
-        );
+        rmul_dagger_coupling(kern.up_sp(), &timing, bs, gl_next, up, one, &mut x1);
         gemm_bdagger_scaled_acc(
             bs,
             bs,
@@ -338,7 +639,7 @@ pub fn rgf_with_strategy(
             gll.as_mut_slice(),
             neg,
         );
-        for tmp in [t1, t2, t3, t4, v1, v2, v3, w1, x1, gr_next, gl_next] {
+        for tmp in [t1, t2, t3, t4, v1, v2, v3, w1, x1] {
             workspace::give(tmp);
         }
         gr_diag.push(grd);
@@ -355,7 +656,7 @@ pub fn rgf_with_strategy(
     // G> from the exact identity G> = G< + Gᴿ − Gᴬ.
     let mut gg_diag: Vec<Matrix> = Vec::with_capacity(nb);
     for (gr, gl) in gr_diag.iter().zip(&gl_diag) {
-        let mut gg = workspace::take(bs, bs);
+        let mut gg = workspace::take_uninit(bs, bs);
         gg.copy_from(gl);
         gg += gr;
         gg.sub_dagger_assign(gr);
@@ -363,6 +664,12 @@ pub fn rgf_with_strategy(
     }
     for m in g_r.into_iter().chain(g_l) {
         workspace::give(m);
+    }
+    for kern in plan {
+        if let CouplingKernel::Sparse { lo, up } = kern {
+            lo.recycle();
+            up.recycle();
+        }
     }
     Ok(RgfOutput {
         gr_diag,
@@ -573,6 +880,185 @@ mod tests {
             qt_linalg::workspace::fresh_here(),
             before,
             "warm RGF must be allocation-free"
+        );
+    }
+
+    #[test]
+    fn selector_hysteresis_is_sticky() {
+        let s = KernelSelector::new(2);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.choice(0), None);
+        // Fresh block: plain compare against the crossover (0.2).
+        assert!(s.choose(0, 0.15, 0.2, 0.5));
+        assert_eq!(s.choice(0), Some(true));
+        // Density drifts above the crossover but stays inside the band
+        // (0.2·1.5 = 0.3): the sparse choice is sticky.
+        assert!(s.choose(0, 0.25, 0.2, 0.5));
+        assert_eq!(s.choice(0), Some(true));
+        // Leaves the band: flips to dense.
+        assert!(!s.choose(0, 0.35, 0.2, 0.5));
+        assert_eq!(s.choice(0), Some(false));
+        // Back below the crossover but above 0.2·0.5 = 0.1: still dense.
+        assert!(!s.choose(0, 0.15, 0.2, 0.5));
+        // Below the lower band edge: flips back to sparse.
+        assert!(s.choose(0, 0.05, 0.2, 0.5));
+        // Out-of-range block index degrades to the stateless compare.
+        assert!(s.choose(7, 0.1, 0.2, 0.5));
+        assert!(!s.choose(7, 0.5, 0.2, 0.5));
+        s.reset();
+        assert_eq!(s.choice(0), None);
+    }
+
+    #[test]
+    fn auto_selector_routes_by_density_and_matches_dense() {
+        // Couplings 0 and 1 are genuinely sparse (~8%), the rest fully
+        // dense. With a crossover at 0.3 the selector must route exactly
+        // the sparse pair to CSR — and the mixed-plan output must agree
+        // with the all-dense solve to observable accuracy.
+        let mut r = rand::rngs::StdRng::seed_from_u64(47);
+        let (nb, bs) = (6usize, 16usize);
+        let mut a = BlockTridiag::zeros(nb, bs);
+        for n in 0..nb {
+            let mut d = Matrix::random(bs, bs, &mut r);
+            for i in 0..bs {
+                d[(i, i)] += c64(4.0, 1.0);
+            }
+            *a.diag_mut(n) = d;
+        }
+        for n in 0..nb - 1 {
+            let density = if n < 2 { 0.08 } else { 1.0 };
+            let blk = |r: &mut rand::rngs::StdRng| {
+                Matrix::from_fn(bs, bs, |_, _| {
+                    if r.random_range(0.0..1.0) < density {
+                        c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0))
+                    } else {
+                        Complex64::ZERO
+                    }
+                })
+            };
+            *a.upper_mut(n) = blk(&mut r);
+            *a.lower_mut(n) = blk(&mut r);
+        }
+        let sig: Vec<Matrix> = (0..nb)
+            .map(|_| Matrix::random_hermitian(bs, &mut r).scale(Complex64::I))
+            .collect();
+        let dense = rgf_with_strategy(&a, &sig, MultiplyStrategy::Dense).unwrap();
+        let strat = MultiplyStrategy::Auto {
+            dense_rate: 1e9,
+            sparse_rate: 3e8,
+            band: 0.1,
+        };
+        assert!((strat.crossover_density().unwrap() - 0.3).abs() < 1e-15);
+        let sel = KernelSelector::new(nb - 1);
+        let auto = rgf_with_selector(&a, &sig, strat, Some(&sel)).unwrap();
+        for n in 0..nb {
+            assert!(dense.gr_diag[n].max_abs_diff(&auto.gr_diag[n]) < 1e-10);
+            assert!(dense.gl_diag[n].max_abs_diff(&auto.gl_diag[n]) < 1e-10);
+            assert!(dense.gg_diag[n].max_abs_diff(&auto.gg_diag[n]) < 1e-10);
+        }
+        for n in 0..nb - 1 {
+            assert!(dense.gr_lower[n].max_abs_diff(&auto.gr_lower[n]) < 1e-10);
+            assert!(dense.gr_upper[n].max_abs_diff(&auto.gr_upper[n]) < 1e-10);
+            assert!(dense.gl_lower[n].max_abs_diff(&auto.gl_lower[n]) < 1e-10);
+        }
+        assert_eq!(sel.choice(0), Some(true), "8% coupling must go sparse");
+        assert_eq!(sel.choice(1), Some(true));
+        for n in 2..nb - 1 {
+            assert_eq!(
+                sel.choice(n),
+                Some(false),
+                "dense coupling {n} must stay dense"
+            );
+        }
+        // A second solve re-uses the remembered choices without flips.
+        let again = rgf_with_selector(&a, &sig, strat, Some(&sel)).unwrap();
+        assert!(dense.gr_diag[0].max_abs_diff(&again.gr_diag[0]) < 1e-10);
+        assert_eq!(sel.choice(0), Some(true));
+        again.recycle();
+        auto.recycle();
+        dense.recycle();
+    }
+
+    #[test]
+    fn auto_without_selector_is_stateless_and_counted() {
+        let (a, sig) = random_problem(4, 6, 33);
+        let before = qt_telemetry::counters::total_kernel_dense_selected();
+        // Fully dense random couplings with a low crossover: every
+        // coupling routes dense, even without a selector attached.
+        let strat = MultiplyStrategy::Auto {
+            dense_rate: 1e9,
+            sparse_rate: 1e8,
+            band: 0.05,
+        };
+        let out = rgf_with_selector(&a, &sig, strat, None).unwrap();
+        let (ref_gr, _) = dense_reference(&a, &sig).unwrap();
+        let blk = ref_gr.submatrix(0, 0, 6, 6);
+        assert!(out.gr_diag[0].max_abs_diff(&blk) < 1e-10);
+        assert!(
+            qt_telemetry::counters::total_kernel_dense_selected() >= before + 3,
+            "each coupling decision must be counted"
+        );
+        out.recycle();
+    }
+
+    #[test]
+    fn warm_sparse_rgf_reuses_workspace_buffers() {
+        // The pooled CSR images (and the sparse temporaries) must come out
+        // of the thread workspace pool on a warm solve, exactly like the
+        // dense route.
+        let mut r = rand::rngs::StdRng::seed_from_u64(59);
+        let (nb, bs) = (4usize, 10usize);
+        let mut a = BlockTridiag::zeros(nb, bs);
+        for n in 0..nb {
+            let mut d = Matrix::random(bs, bs, &mut r);
+            for i in 0..bs {
+                d[(i, i)] += c64(4.0, 1.0);
+            }
+            *a.diag_mut(n) = d;
+        }
+        for n in 0..nb - 1 {
+            let blk = |r: &mut rand::rngs::StdRng| {
+                Matrix::from_fn(bs, bs, |_, _| {
+                    if r.random_range(0.0..1.0) < 0.2 {
+                        c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0))
+                    } else {
+                        Complex64::ZERO
+                    }
+                })
+            };
+            *a.upper_mut(n) = blk(&mut r);
+            *a.lower_mut(n) = blk(&mut r);
+        }
+        let sig: Vec<Matrix> = (0..nb)
+            .map(|_| Matrix::random_hermitian(bs, &mut r).scale(Complex64::I))
+            .collect();
+        let strat = MultiplyStrategy::Csrmm { threshold: 0.0 };
+        rgf_with_strategy(&a, &sig, strat).unwrap().recycle();
+        let before = qt_linalg::workspace::fresh_here();
+        rgf_with_strategy(&a, &sig, strat).unwrap().recycle();
+        assert_eq!(
+            qt_linalg::workspace::fresh_here(),
+            before,
+            "warm sparse RGF must be allocation-free"
+        );
+        // And the Auto route pools the same way once its choices settle.
+        let sel = KernelSelector::new(nb - 1);
+        let auto = MultiplyStrategy::Auto {
+            dense_rate: 1e9,
+            sparse_rate: 5e8,
+            band: 0.1,
+        };
+        rgf_with_selector(&a, &sig, auto, Some(&sel))
+            .unwrap()
+            .recycle();
+        let before = qt_linalg::workspace::fresh_here();
+        rgf_with_selector(&a, &sig, auto, Some(&sel))
+            .unwrap()
+            .recycle();
+        assert_eq!(
+            qt_linalg::workspace::fresh_here(),
+            before,
+            "warm auto-selected RGF must be allocation-free"
         );
     }
 

@@ -15,6 +15,7 @@ use crate::grids::Grids;
 use crate::hamiltonian::{ElectronModel, PhononModel};
 use crate::health::NumericalError;
 use crate::params::SimParams;
+use crate::rgf;
 use crate::sse::{self, SseInputs, SseVariant};
 use qt_linalg::Tensor;
 
@@ -33,6 +34,14 @@ pub struct Simulation {
     /// models in place (a changed identity key also invalidates it
     /// automatically at the next GF phase).
     pub boundary: BoundaryCache,
+    /// Sticky per-coupling kernel choices for the electron RGF solves
+    /// (only consulted when `gf.strategy` is
+    /// [`rgf::MultiplyStrategy::Auto`]). Electrons and phonons get
+    /// separate selectors: their coupling densities differ, and sharing
+    /// cells would make the hysteresis flap between carriers.
+    pub kernel_selector_e: rgf::KernelSelector,
+    /// Sticky per-coupling kernel choices for the phonon RGF solves.
+    pub kernel_selector_ph: rgf::KernelSelector,
 }
 
 impl Simulation {
@@ -44,6 +53,7 @@ impl Simulation {
         let pm = PhononModel::default();
         let grids = Grids::new(&p, emin, emax);
         let dh = em.dh_tensor(&dev);
+        let couplings = p.bnum.saturating_sub(1);
         Simulation {
             p,
             dev,
@@ -52,6 +62,8 @@ impl Simulation {
             grids,
             dh,
             boundary: BoundaryCache::new(),
+            kernel_selector_e: rgf::KernelSelector::new(couplings),
+            kernel_selector_ph: rgf::KernelSelector::new(couplings),
         }
     }
 }
@@ -301,6 +313,7 @@ pub fn run_scf_resumable(
             &sigma,
             &cfg.gf,
             Some(&sim.boundary),
+            Some(&sim.kernel_selector_e),
         )?;
         let pgf = gf::phonon_gf_phase_cached(
             &sim.dev,
@@ -310,6 +323,7 @@ pub fn run_scf_resumable(
             &pi,
             &cfg.gf,
             Some(&sim.boundary),
+            Some(&sim.kernel_selector_ph),
         )?;
         current_history.push(egf.current);
         // Convergence on G<.

@@ -9,6 +9,24 @@
 use crate::complex::Complex64;
 use crate::dense::Matrix;
 use crate::flops;
+use crate::workspace;
+
+/// Account a sparse-kernel operation: `f` real flops into the global flop
+/// counter (same source of truth as the dense GEMMs) and into the
+/// sparse-kernel telemetry shard, plus `b` streamed bytes under the
+/// minimal traffic model (each operand read once, the result written
+/// once).
+#[inline]
+fn account(f: u64, b: u64) {
+    flops::add_flops(f);
+    qt_telemetry::counters::add_kernel_sparse_flops(f);
+    qt_telemetry::counters::add_kernel_sparse_bytes(b);
+}
+
+/// Bytes of one dense `Complex64` element.
+const C64_BYTES: u64 = 16;
+/// Bytes of one CSR index / row-pointer entry.
+const IDX_BYTES: u64 = 8;
 
 /// CSR sparse matrix over [`Complex64`].
 #[derive(Clone, Debug, PartialEq)]
@@ -77,6 +95,20 @@ impl CsrMatrix {
         }
     }
 
+    /// Keep-predicate of the dense → CSR conversions: strict structural
+    /// non-zero test when `tol == 0` (no arithmetic at all), squared-
+    /// modulus compare otherwise — `hypot` per entry is pure overhead on
+    /// the per-solve conversion path, and `|v| > tol ⇔ |v|² > tol²` for
+    /// every representable magnitude a drop threshold cares about.
+    #[inline(always)]
+    fn keeps(v: Complex64, tol: f64) -> bool {
+        if tol == 0.0 {
+            v.re != 0.0 || v.im != 0.0
+        } else {
+            v.norm_sqr() > tol * tol
+        }
+    }
+
     /// Convert from dense, dropping entries with modulus `<= tol`.
     pub fn from_dense(m: &Matrix, tol: f64) -> Self {
         let (rows, cols) = m.shape();
@@ -87,20 +119,67 @@ impl CsrMatrix {
         for i in 0..rows {
             for j in 0..cols {
                 let v = m[(i, j)];
-                if v.abs() > tol {
+                if Self::keeps(v, tol) {
                     indices.push(j);
                     data.push(v);
                 }
             }
             indptr.push(indices.len());
         }
-        CsrMatrix {
+        let out = CsrMatrix {
             rows,
             cols,
             indptr,
             indices,
             data,
+        };
+        account(0, C64_BYTES * (rows * cols) as u64 + out.storage_bytes());
+        out
+    }
+
+    /// Like [`CsrMatrix::from_dense`], but with all three CSR arrays
+    /// checked out of the thread-local workspace pools, so warm SCF
+    /// iterations build coupling-block images without touching the
+    /// allocator. The buffers are sized for the dense worst case, so the
+    /// push loop can never reallocate. Return the storage with
+    /// [`CsrMatrix::recycle`] on the same thread.
+    pub fn from_dense_pooled(m: &Matrix, tol: f64) -> Self {
+        let (rows, cols) = m.shape();
+        // Empty checkouts: every retained slot is pushed before it is
+        // read, so the zeroing `take_*` variants would memset worst-case
+        // dense storage only to clear it again.
+        let mut data = workspace::take_scratch_empty(rows * cols);
+        let mut indices = workspace::take_idx_empty(rows * cols);
+        let mut indptr = workspace::take_idx_empty(rows + 1);
+        indptr.push(0);
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = m[(i, j)];
+                if Self::keeps(v, tol) {
+                    indices.push(j);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
         }
+        let out = CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        };
+        account(0, C64_BYTES * (rows * cols) as u64 + out.storage_bytes());
+        out
+    }
+
+    /// Return this matrix's storage to the calling thread's workspace
+    /// pools. Pairs with [`CsrMatrix::from_dense_pooled`]; harmless (the
+    /// buffers simply join the pools) for heap-built matrices.
+    pub fn recycle(self) {
+        workspace::give_scratch(self.data);
+        workspace::give_idx(self.indices);
+        workspace::give_idx(self.indptr);
     }
 
     /// Convert to dense. Counted as the memory traffic of a densification.
@@ -111,7 +190,17 @@ impl CsrMatrix {
                 m[(i, self.indices[idx])] = self.data[idx];
             }
         }
+        account(
+            0,
+            self.storage_bytes() + C64_BYTES * (self.rows * self.cols) as u64,
+        );
         m
+    }
+
+    /// Bytes of the CSR storage itself: one complex value per stored
+    /// entry, one column index per entry, one row pointer per row.
+    pub fn storage_bytes(&self) -> u64 {
+        (C64_BYTES + IDX_BYTES) * self.nnz() as u64 + IDX_BYTES * (self.rows + 1) as u64
     }
 
     #[inline]
@@ -135,6 +224,24 @@ impl CsrMatrix {
         self.nnz() as f64 / (self.rows * self.cols) as f64
     }
 
+    /// Occupancy list of the stored rows, flattened as `(row, start, end)`
+    /// triples in a pooled index buffer (return it with
+    /// [`workspace::give_idx`]). The dense×CSR kernels iterate this per
+    /// dense row, so at low density the inner loops touch only the rows
+    /// that exist instead of probing `indptr` across the whole order.
+    fn occupied_rows(&self) -> Vec<usize> {
+        let mut occ = workspace::take_idx_empty(3 * self.rows);
+        for k in 0..self.rows {
+            let (s, e) = (self.indptr[k], self.indptr[k + 1]);
+            if s != e {
+                occ.push(k);
+                occ.push(s);
+                occ.push(e);
+            }
+        }
+        occ
+    }
+
     /// Iterate `(row, col, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, Complex64)> + '_ {
         (0..self.rows).flat_map(move |i| {
@@ -145,56 +252,122 @@ impl CsrMatrix {
 
     /// Sparse × dense → dense (`CSRMM` forward form).
     pub fn mul_dense(&self, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, b.cols());
+        self.mul_dense_acc(b, &mut out);
+        out
+    }
+
+    /// `out += self · b` — the CSRMM forward form, accumulating into a
+    /// caller-owned (usually pooled) dense block.
+    pub fn mul_dense_acc(&self, b: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, b.rows(), "inner dimension mismatch");
         let n = b.cols();
-        let mut out = Matrix::zeros(self.rows, n);
-        flops::add_flops(8 * self.nnz() as u64 * n as u64);
+        assert_eq!(out.shape(), (self.rows, n), "output shape mismatch");
+        account(
+            8 * self.nnz() as u64 * n as u64,
+            self.storage_bytes() + C64_BYTES * ((self.nnz() + self.rows) * n) as u64,
+        );
         for i in 0..self.rows {
+            let out_row = out.row_mut(i);
             for idx in self.indptr[i]..self.indptr[i + 1] {
                 let a = self.data[idx];
-                let k = self.indices[idx];
-                let b_row = b.row(k);
-                let out_row = out.row_mut(i);
+                let b_row = b.row(self.indices[idx]);
                 for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
                     *o = o.mul_add(a, bv);
                 }
             }
         }
-        out
     }
 
     /// Dense × sparse → dense (the "transposed dense-CSR" form of CSRMM).
     pub fn rmul_dense(&self, a: &Matrix) -> Matrix {
-        assert_eq!(a.cols(), self.rows, "inner dimension mismatch");
-        let m = a.rows();
-        let mut out = Matrix::zeros(m, self.cols);
-        flops::add_flops(8 * self.nnz() as u64 * m as u64);
-        for i in 0..m {
-            for k in 0..self.rows {
-                let av = a[(i, k)];
-                if av == Complex64::ZERO {
-                    continue;
-                }
-                for idx in self.indptr[k]..self.indptr[k + 1] {
-                    let j = self.indices[idx];
-                    out[(i, j)] = out[(i, j)].mul_add(av, self.data[idx]);
-                }
-            }
-        }
+        let mut out = Matrix::zeros(a.rows(), self.cols);
+        self.rmul_dense_scaled_acc(a, Complex64::ONE, &mut out);
         out
     }
 
-    /// Sparse × sparse → sparse (Gustavson's algorithm, `CSRGEMM`).
+    /// `out += z · (a · self)` — dense × sparse accumulate, the
+    /// right-hand CSRMM form the RGF recursions need for `X · τ`
+    /// coupling products (with `z = ±1`).
+    pub fn rmul_dense_scaled_acc(&self, a: &Matrix, z: Complex64, out: &mut Matrix) {
+        assert_eq!(a.cols(), self.rows, "inner dimension mismatch");
+        let m = a.rows();
+        assert_eq!(out.shape(), (m, self.cols), "output shape mismatch");
+        account(
+            8 * self.nnz() as u64 * m as u64,
+            self.storage_bytes() + C64_BYTES * ((self.nnz() + self.cols) * m) as u64,
+        );
+        // Row-contiguous: for each row of `a`, both the `a` reads and the
+        // scattered `out` updates stay inside one cached row. The stored
+        // rows are compacted into an occupancy list once, so the hot loop
+        // never probes `indptr` for the (at low density, many) empty rows.
+        let occ = self.occupied_rows();
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for t in occ.chunks_exact(3) {
+                let av = a_row[t[0]];
+                if av == Complex64::ZERO {
+                    continue;
+                }
+                let avz = av * z;
+                for idx in t[1]..t[2] {
+                    let o = &mut out_row[self.indices[idx]];
+                    *o = o.mul_add(avz, self.data[idx]);
+                }
+            }
+        }
+        workspace::give_idx(occ);
+    }
+
+    /// `out += z · (a · selfᴴ)` — dense × conjugate-transposed sparse,
+    /// accumulating; covers the RGF's `X · τ†` coupling products without
+    /// materializing τ†. `selfᴴ[k, j] = conj(self[j, k])`, so each stored
+    /// row `j` of `self` contributes one column `j` of the product.
+    pub fn rmul_dagger_scaled_acc(&self, a: &Matrix, z: Complex64, out: &mut Matrix) {
+        assert_eq!(a.cols(), self.cols, "inner dimension mismatch");
+        let m = a.rows();
+        assert_eq!(out.shape(), (m, self.rows), "output shape mismatch");
+        account(
+            8 * self.nnz() as u64 * m as u64,
+            self.storage_bytes() + C64_BYTES * ((self.nnz() + self.rows) * m) as u64,
+        );
+        // Dot-product form, row-contiguous in both operands: stored row `j`
+        // of `self` is column `j` of `selfᴴ`, so `out[i, j]` is a gather-dot
+        // of `a`'s row `i` against that row's indices — no column-strided
+        // walks over `a` or `out`, and the per-entry accumulator folds in
+        // with a single scaled add (the blocked GEMM epilogue order). The
+        // compacted occupancy list keeps the hot loop off the empty rows.
+        let occ = self.occupied_rows();
+        for i in 0..m {
+            let a_row = a.row(i);
+            let out_row = out.row_mut(i);
+            for t in occ.chunks_exact(3) {
+                let mut acc = Complex64::ZERO;
+                for idx in t[1]..t[2] {
+                    acc = acc.mul_add(a_row[self.indices[idx]], self.data[idx].conj());
+                }
+                out_row[t[0]] += acc * z;
+            }
+        }
+        workspace::give_idx(occ);
+    }
+
+    /// Sparse × sparse → sparse (Gustavson's algorithm, `CSRGEMM`). The
+    /// per-row accumulator, occupancy markers and touch list come from
+    /// the thread-local workspace pools; only the result allocates.
     pub fn mul_csr(&self, b: &CsrMatrix) -> CsrMatrix {
         assert_eq!(self.cols, b.rows, "inner dimension mismatch");
         let mut indptr = Vec::with_capacity(self.rows + 1);
         let mut indices = Vec::new();
         let mut data = Vec::new();
         indptr.push(0);
-        // Dense accumulator row with occupancy markers.
-        let mut acc = vec![Complex64::ZERO; b.cols];
-        let mut marker = vec![usize::MAX; b.cols];
-        let mut touched: Vec<usize> = Vec::new();
+        // Dense accumulator row with occupancy markers. The pooled marker
+        // buffer arrives zeroed, so occupancy for row `i` is `i + 1`.
+        let mut acc = workspace::take_scratch(b.cols);
+        let mut marker = workspace::take_idx(b.cols);
+        let mut touched = workspace::take_idx(b.cols);
+        touched.clear();
         let mut muladds: u64 = 0;
         for i in 0..self.rows {
             touched.clear();
@@ -204,8 +377,8 @@ impl CsrMatrix {
                 for bidx in b.indptr[k]..b.indptr[k + 1] {
                     let j = b.indices[bidx];
                     muladds += 1;
-                    if marker[j] != i {
-                        marker[j] = i;
+                    if marker[j] != i + 1 {
+                        marker[j] = i + 1;
                         acc[j] = a * b.data[bidx];
                         touched.push(j);
                     } else {
@@ -220,14 +393,21 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        flops::add_flops(8 * muladds);
-        CsrMatrix {
+        workspace::give_scratch(acc);
+        workspace::give_idx(marker);
+        workspace::give_idx(touched);
+        let out = CsrMatrix {
             rows: self.rows,
             cols: b.cols,
             indptr,
             indices,
             data,
-        }
+        };
+        account(
+            8 * muladds,
+            self.storage_bytes() + b.storage_bytes() + out.storage_bytes(),
+        );
+        out
     }
 
     /// Transpose.
@@ -261,7 +441,10 @@ impl CsrMatrix {
     /// Sparse matrix-vector product.
     pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(x.len(), self.cols);
-        flops::add_flops(8 * self.nnz() as u64);
+        account(
+            8 * self.nnz() as u64,
+            self.storage_bytes() + C64_BYTES * (self.cols + self.rows) as u64,
+        );
         let mut y = vec![Complex64::ZERO; self.rows];
         for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = Complex64::ZERO;
@@ -393,5 +576,78 @@ mod tests {
         let s = CsrMatrix::identity(10);
         assert_eq!(s.nnz(), 10);
         assert!((s.density() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accumulate_forms_match_dense_references() {
+        let mut r = rng();
+        let s = random_sparse(7, 5, 0.4, &mut r);
+        let a = Matrix::random(6, 7, &mut r);
+        let b = Matrix::random(5, 4, &mut r);
+        let z = c64(-1.0, 0.5);
+
+        // out starts non-zero so the accumulate semantics are exercised.
+        let mut out = Matrix::random(7, 4, &mut r);
+        let mut expect = out.clone();
+        s.mul_dense_acc(&b, &mut out);
+        expect.axpy(Complex64::ONE, &s.to_dense().matmul(&b));
+        assert!(out.max_abs_diff(&expect) < 1e-12);
+
+        let mut out = Matrix::random(6, 5, &mut r);
+        let mut expect = out.clone();
+        s.rmul_dense_scaled_acc(&a, z, &mut out);
+        expect.axpy(z, &a.matmul(&s.to_dense()));
+        assert!(out.max_abs_diff(&expect) < 1e-12);
+
+        let a2 = Matrix::random(6, 5, &mut r);
+        let mut out = Matrix::random(6, 7, &mut r);
+        let mut expect = out.clone();
+        s.rmul_dagger_scaled_acc(&a2, z, &mut out);
+        expect.axpy(z, &a2.matmul(&s.to_dense().dagger()));
+        assert!(out.max_abs_diff(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn pooled_conversion_roundtrips_and_recycles() {
+        let mut r = rng();
+        let dense = Matrix::from_fn(9, 9, |_, _| {
+            if r.random_range(0.0..1.0) < 0.25 {
+                c64(r.random_range(-1.0..1.0), r.random_range(-1.0..1.0))
+            } else {
+                Complex64::ZERO
+            }
+        });
+        let heap = CsrMatrix::from_dense(&dense, 0.0);
+        // Warm the pools, then assert the second conversion is a pure
+        // pool hit.
+        CsrMatrix::from_dense_pooled(&dense, 0.0).recycle();
+        let fresh0 = workspace::fresh_here();
+        let pooled = CsrMatrix::from_dense_pooled(&dense, 0.0);
+        assert_eq!(workspace::fresh_here(), fresh0, "warm conversion allocated");
+        assert_eq!(pooled, heap);
+        pooled.recycle();
+    }
+
+    #[test]
+    fn sparse_ops_feed_kernel_telemetry() {
+        use qt_telemetry::counters as tc;
+        let mut r = rng();
+        let s = random_sparse(8, 8, 0.5, &mut r);
+        let b = Matrix::random(8, 8, &mut r);
+        let (f0, b0) = (
+            tc::total_kernel_sparse_flops(),
+            tc::total_kernel_sparse_bytes(),
+        );
+        let _ = s.mul_dense(&b);
+        let n = s.nnz() as u64;
+        assert!(tc::total_kernel_sparse_flops() - f0 >= 8 * n * 8);
+        assert!(tc::total_kernel_sparse_bytes() - b0 >= s.storage_bytes());
+        let f1 = tc::total_kernel_sparse_flops();
+        let _ = s.mul_csr(&s);
+        assert!(tc::total_kernel_sparse_flops() > f1);
+        let f2 = tc::total_kernel_sparse_flops();
+        let x = vec![Complex64::ONE; 8];
+        let _ = s.matvec(&x);
+        assert!(tc::total_kernel_sparse_flops() - f2 >= 8 * n);
     }
 }

@@ -316,6 +316,107 @@ pub fn batched_gemm_acc(
     }
 }
 
+/// `out += scale · (a_view @ b)` where `a_view` is an `m x k` row-major view
+/// with row stride `lda >= k` into a larger matrix, while `b` (`k x n`) and
+/// `out` (`m x n`) are contiguous. Serial and uninstrumented — no flop
+/// accounting, no hot-section timers — because it is the internal building
+/// block of the blocked LU substitution, whose flops the LU entry points
+/// already account in closed form (double-counting would break the exact
+/// model residuals).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_view_a_scaled_acc_uninstrumented(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    lda: usize,
+    b: &[Complex64],
+    out: &mut [Complex64],
+    scale: Complex64,
+) {
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    gemm_view_abc_scaled_acc_uninstrumented(m, k, n, a, lda, b, n, out, n, scale);
+}
+
+/// `c += scale · (a_view @ b_view)` where all three operands are row-major
+/// views with independent row strides into larger buffers. This is the
+/// in-place trailing update of the blocked LU factorization
+/// (`A22 −= L21 · U12` inside one packed-factor buffer), which needs a
+/// strided C on top of [`gemm_view_a_scaled_acc_uninstrumented`]'s strided
+/// A. Serial and uninstrumented for the same reason: LU accounts its flops
+/// in closed form.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_view_abc_scaled_acc_uninstrumented(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[Complex64],
+    lda: usize,
+    b: &[Complex64],
+    ldb: usize,
+    c: &mut [Complex64],
+    ldc: usize,
+    scale: Complex64,
+) {
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    debug_assert!(lda >= k && a.len() >= (m - 1) * lda + k);
+    debug_assert!(ldb >= n && b.len() >= (k - 1) * ldb + n);
+    debug_assert!(ldc >= n && c.len() >= (m - 1) * ldc + n);
+    if m * k * n < NAIVE_THRESHOLD || m < MR || n < NR {
+        for i in 0..m {
+            let a_row = &a[i * lda..i * lda + k];
+            let c_row = &mut c[i * ldc..i * ldc + n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == Complex64::ZERO {
+                    continue;
+                }
+                let av = a_ip * scale;
+                let b_row = &b[p * ldb..p * ldb + n];
+                for (o, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *o = o.mul_add(av, bv);
+                }
+            }
+        }
+        return;
+    }
+    // The same macro/micro pipeline as `gemm_blocked`, with the C row
+    // stride decoupled from the logical width.
+    let mut jc = 0;
+    while jc < n {
+        let nc = (n - jc).min(NC);
+        let nc_pad = nc.next_multiple_of(NR);
+        let mut pc = 0;
+        while pc < k {
+            let kc = (k - pc).min(KC);
+            let mut b_buf = pack_pool::take(nc_pad * kc * 2);
+            pack_b(PanelB::Rows { b, ld: ldb }, pc, kc, jc, nc, &mut b_buf);
+            let mut ic = 0;
+            while ic < m {
+                let mc = (m - ic).min(MC);
+                process_band::<false>(
+                    PanelA::Rows { a, ld: lda },
+                    ic,
+                    mc,
+                    pc,
+                    kc,
+                    nc,
+                    &b_buf,
+                    &mut c[ic * ldc + jc..],
+                    ldc,
+                    scale,
+                );
+                ic += MC;
+            }
+            pack_pool::give(b_buf);
+            pc += kc;
+        }
+        jc += NC;
+    }
+}
+
 /// Batched GEMM with one *shared* right operand: `out[t] += a[t] @ b` for
 /// `batch` stacked row-major `m x k` items against a single `k x n` B.
 ///

@@ -28,85 +28,206 @@ pub struct Lu {
     piv: Vec<usize>,
 }
 
+/// Column-panel width of the blocked factorization: matches the
+/// substitution's [`SOLVE_BLOCK`] so both phases hand the packed GEMM
+/// kernel the same rank-16 updates.
+const FACTOR_BLOCK: usize = 16;
+
 /// Factor `lu` in place with partial pivoting; `piv` must hold the
 /// identity permutation on entry. The shared core of [`Lu::factor`] and
 /// the workspace-pooled [`invert_ws`].
+///
+/// Blocked right-looking: each `FACTOR_BLOCK`-wide column panel is
+/// factored with scalar rank-1 updates (pivot search over the full
+/// remaining column height, row swaps across the full width — the same
+/// pivots partial pivoting would pick unblocked), then the panel's `U12`
+/// strip is completed by a small in-panel triangular solve and the
+/// trailing submatrix takes one `A22 −= L21·U12` rank-`FACTOR_BLOCK`
+/// update through the packed GEMM kernel, where the bulk of the `n³/3`
+/// work lives.
 fn factor_in_place(lu: &mut Matrix, piv: &mut [usize]) -> Result<(), SingularMatrix> {
     let n = lu.rows();
     // ~8/3 n^3 real flop for complex LU.
     flops::add_flops((8 * n as u64 * n as u64 * n as u64) / 3);
-    for col in 0..n {
-        // Pivot search.
-        let mut p = col;
-        let mut best = lu[(col, col)].norm_sqr();
-        for r in col + 1..n {
-            let v = lu[(r, col)].norm_sqr();
-            if v > best {
-                best = v;
-                p = r;
+    let mut k0 = 0;
+    while k0 < n {
+        let k1 = (k0 + FACTOR_BLOCK).min(n);
+        // Panel factorization: rank-1 updates restricted to the panel's
+        // own columns.
+        for col in k0..k1 {
+            let mut p = col;
+            let mut best = lu[(col, col)].norm_sqr();
+            for r in col + 1..n {
+                let v = lu[(r, col)].norm_sqr();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best == 0.0 || !best.is_finite() {
+                return Err(SingularMatrix);
+            }
+            if p != col {
+                piv.swap(p, col);
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot_inv = lu[(col, col)].inv();
+            for r in col + 1..n {
+                let factor = lu[(r, col)] * pivot_inv;
+                lu[(r, col)] = factor;
+                if factor == Complex64::ZERO {
+                    continue;
+                }
+                for j in col + 1..k1 {
+                    let u = lu[(col, j)];
+                    lu[(r, j)] = lu[(r, j)].mul_add(-factor, u);
+                }
             }
         }
-        if best == 0.0 || !best.is_finite() {
-            return Err(SingularMatrix);
-        }
-        if p != col {
-            piv.swap(p, col);
-            for j in 0..n {
-                let tmp = lu[(col, j)];
-                lu[(col, j)] = lu[(p, j)];
-                lu[(p, j)] = tmp;
+        if k1 < n {
+            let s = lu.as_mut_slice();
+            // U12 := L11⁻¹·A12 — unit-lower triangular solve over the
+            // panel's rows, right-hand sides in columns k1..n.
+            for col in k0..k1 - 1 {
+                let (head, tail) = s.split_at_mut((col + 1) * n);
+                let ucol = &head[col * n + k1..col * n + n];
+                for row in tail.chunks_exact_mut(n).take(k1 - col - 1) {
+                    let l = row[col];
+                    if l == Complex64::ZERO {
+                        continue;
+                    }
+                    for (o, &u) in row[k1..n].iter_mut().zip(ucol.iter()) {
+                        *o = o.mul_add(-l, u);
+                    }
+                }
             }
-        }
-        let pivot_inv = lu[(col, col)].inv();
-        for r in col + 1..n {
-            let factor = lu[(r, col)] * pivot_inv;
-            lu[(r, col)] = factor;
-            if factor == Complex64::ZERO {
-                continue;
+            // Trailing update A22 −= L21·U12. L21 is copied into a pooled
+            // contiguous panel: the GEMM reads it while writing A22, and
+            // both live in the same rows of the factor buffer.
+            let m2 = n - k1;
+            let fbw = k1 - k0;
+            let mut l21 = crate::workspace::take_scratch_empty(m2 * fbw);
+            for i in 0..m2 {
+                l21.extend_from_slice(&s[(k1 + i) * n + k0..(k1 + i) * n + k1]);
             }
-            for j in col + 1..n {
-                let u = lu[(col, j)];
-                lu[(r, j)] = lu[(r, j)].mul_add(-factor, u);
-            }
+            let (head, tail) = s.split_at_mut(k1 * n);
+            crate::gemm::gemm_view_abc_scaled_acc_uninstrumented(
+                m2,
+                fbw,
+                m2,
+                &l21,
+                fbw,
+                &head[k0 * n + k1..],
+                n,
+                &mut tail[k1..],
+                n,
+                Complex64::real(-1.0),
+            );
+            crate::workspace::give_scratch(l21);
         }
+        k0 = k1;
     }
     Ok(())
 }
 
+/// Row-block size of the blocked substitution: small enough that the
+/// in-block triangular solves stay a minor fraction of the work, large
+/// enough that the off-block updates are GEMM-shaped.
+const SOLVE_BLOCK: usize = 16;
+
 /// Forward/backward substitution of the packed factors into `x`, which on
 /// entry holds the row-permuted right-hand side.
+///
+/// Blocked: the strictly-triangular bulk of both sweeps is expressed as
+/// `X_block −= T_block · X_done` rank-`k` updates through the packed GEMM
+/// kernel, so an `n`-rhs solve (the inverse computation RGF performs per
+/// diagonal block) runs at GEMM rate instead of the scalar-loop rate; only
+/// the `SOLVE_BLOCK`-wide in-block triangles remain scalar.
 fn substitute_in_place(lu: &Matrix, x: &mut Matrix) {
     let n = lu.rows();
     let nrhs = x.cols();
+    if n == 0 || nrhs == 0 {
+        return;
+    }
+    let a = lu.as_slice();
+    let xs = x.as_mut_slice();
+    let neg = Complex64::real(-1.0);
     // Forward substitution with unit-diagonal L.
-    for i in 1..n {
-        for k in 0..i {
-            let l = lu[(i, k)];
-            if l == Complex64::ZERO {
-                continue;
-            }
-            for j in 0..nrhs {
-                let v = x[(k, j)];
-                x[(i, j)] = x[(i, j)].mul_add(-l, v);
+    let mut i0 = 0;
+    while i0 < n {
+        let ib = (n - i0).min(SOLVE_BLOCK);
+        let (done, rest) = xs.split_at_mut(i0 * nrhs);
+        let block = &mut rest[..ib * nrhs];
+        if i0 > 0 {
+            crate::gemm::gemm_view_a_scaled_acc_uninstrumented(
+                ib,
+                i0,
+                nrhs,
+                &a[i0 * n..],
+                n,
+                done,
+                block,
+                neg,
+            );
+        }
+        for i in 1..ib {
+            let (head, tail) = block.split_at_mut(i * nrhs);
+            let xi = &mut tail[..nrhs];
+            for k in 0..i {
+                let l = a[(i0 + i) * n + i0 + k];
+                if l == Complex64::ZERO {
+                    continue;
+                }
+                let xk = &head[k * nrhs..(k + 1) * nrhs];
+                for (o, &v) in xi.iter_mut().zip(xk.iter()) {
+                    *o = o.mul_add(-l, v);
+                }
             }
         }
+        i0 += ib;
     }
     // Backward substitution with U.
-    for i in (0..n).rev() {
-        for k in i + 1..n {
-            let u = lu[(i, k)];
-            if u == Complex64::ZERO {
-                continue;
+    let mut i1 = n;
+    while i1 > 0 {
+        let ib = i1.min(SOLVE_BLOCK);
+        let i0 = i1 - ib;
+        let (head, tail) = xs.split_at_mut(i1 * nrhs);
+        let block = &mut head[i0 * nrhs..];
+        if i1 < n {
+            crate::gemm::gemm_view_a_scaled_acc_uninstrumented(
+                ib,
+                n - i1,
+                nrhs,
+                &a[i0 * n + i1..],
+                n,
+                tail,
+                block,
+                neg,
+            );
+        }
+        for i in (0..ib).rev() {
+            let (bh, bt) = block.split_at_mut((i + 1) * nrhs);
+            let xi = &mut bh[i * nrhs..];
+            for k in i + 1..ib {
+                let u = a[(i0 + i) * n + i0 + k];
+                if u == Complex64::ZERO {
+                    continue;
+                }
+                let xk = &bt[(k - i - 1) * nrhs..(k - i) * nrhs];
+                for (o, &v) in xi.iter_mut().zip(xk.iter()) {
+                    *o = o.mul_add(-u, v);
+                }
             }
-            for j in 0..nrhs {
-                let v = x[(k, j)];
-                x[(i, j)] = x[(i, j)].mul_add(-u, v);
+            let d = a[(i0 + i) * n + i0 + i].inv();
+            for v in xi.iter_mut() {
+                *v *= d;
             }
         }
-        let d = lu[(i, i)].inv();
-        for j in 0..nrhs {
-            x[(i, j)] *= d;
-        }
+        i1 = i0;
     }
 }
 
@@ -188,7 +309,7 @@ pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, SingularMatrix> {
 pub fn invert_ws(a: &Matrix) -> Result<Matrix, SingularMatrix> {
     assert!(a.is_square(), "LU requires a square matrix");
     let n = a.rows();
-    let mut lu = crate::workspace::take(n, n);
+    let mut lu = crate::workspace::take_uninit(n, n);
     lu.copy_from(a);
     let mut piv = crate::workspace::take_idx(n);
     for (i, p) in piv.iter_mut().enumerate() {

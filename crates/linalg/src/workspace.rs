@@ -56,6 +56,64 @@ impl Workspace {
         }
     }
 
+    /// Check out a buffer of exactly `len` entries with **unspecified
+    /// contents** (whatever the previous user left behind). For callers
+    /// that fully overwrite the buffer before reading it — `copy_from`
+    /// targets, overwrite-product outputs — this skips the `take_scratch`
+    /// zero-fill, which is pure memory traffic on the RGF hot path.
+    pub fn take_scratch_uninit(&mut self, len: usize) -> Vec<Complex64> {
+        let pos = self.bufs.partition_point(|b| b.capacity() < len);
+        if pos < self.bufs.len() {
+            let mut b = self.bufs.remove(pos);
+            // Only the tail beyond the previous length is filled (or the
+            // excess truncated); retained entries keep their stale values
+            // by design.
+            b.resize(len, Complex64::ZERO);
+            b
+        } else {
+            self.fresh += 1;
+            qt_telemetry::counters::add_ws_fresh();
+            vec![Complex64::ZERO; len]
+        }
+    }
+
+    /// Check out a `rows x cols` matrix with unspecified contents (see
+    /// [`Workspace::take_scratch_uninit`]).
+    pub fn take_uninit(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.take_scratch_uninit(rows * cols))
+    }
+
+    /// Check out an **empty** buffer with capacity for at least `cap`
+    /// entries — for push-style fills (CSR assembly) where any `resize`
+    /// fill, zeroed or not, is wasted work.
+    pub fn take_scratch_empty(&mut self, cap: usize) -> Vec<Complex64> {
+        let pos = self.bufs.partition_point(|b| b.capacity() < cap);
+        if pos < self.bufs.len() {
+            let mut b = self.bufs.remove(pos);
+            b.clear();
+            b
+        } else {
+            self.fresh += 1;
+            qt_telemetry::counters::add_ws_fresh();
+            Vec::with_capacity(cap)
+        }
+    }
+
+    /// Empty index-buffer counterpart of
+    /// [`Workspace::take_scratch_empty`].
+    pub fn take_idx_empty(&mut self, cap: usize) -> Vec<usize> {
+        let pos = self.idx_bufs.partition_point(|b| b.capacity() < cap);
+        if pos < self.idx_bufs.len() {
+            let mut b = self.idx_bufs.remove(pos);
+            b.clear();
+            b
+        } else {
+            self.fresh += 1;
+            qt_telemetry::counters::add_ws_fresh();
+            Vec::with_capacity(cap)
+        }
+    }
+
     /// Return a buffer to the pool.
     pub fn give_scratch(&mut self, buf: Vec<Complex64>) {
         if buf.capacity() == 0 {
@@ -134,10 +192,32 @@ pub fn take_scratch(len: usize) -> Vec<Complex64> {
     POOL.with(|p| p.borrow_mut().take_scratch(len))
 }
 
+/// Check out a `rows x cols` matrix with **unspecified contents** from the
+/// calling thread's pool — for buffers that are fully overwritten before
+/// being read (`copy_from` targets, overwrite-product outputs).
+#[inline]
+pub fn take_uninit(rows: usize, cols: usize) -> Matrix {
+    POOL.with(|p| p.borrow_mut().take_uninit(rows, cols))
+}
+
 /// Return a buffer taken with [`take_scratch`].
 #[inline]
 pub fn give_scratch(buf: Vec<Complex64>) {
     POOL.with(|p| p.borrow_mut().give_scratch(buf));
+}
+
+/// Check out an empty complex buffer with capacity `cap` from the calling
+/// thread's pool (see [`Workspace::take_scratch_empty`]).
+#[inline]
+pub fn take_scratch_empty(cap: usize) -> Vec<Complex64> {
+    POOL.with(|p| p.borrow_mut().take_scratch_empty(cap))
+}
+
+/// Check out an empty index buffer with capacity `cap` from the calling
+/// thread's pool (see [`Workspace::take_idx_empty`]).
+#[inline]
+pub fn take_idx_empty(cap: usize) -> Vec<usize> {
+    POOL.with(|p| p.borrow_mut().take_idx_empty(cap))
 }
 
 /// Check out a zeroed index buffer from the calling thread's pool.
@@ -209,6 +289,49 @@ mod tests {
         let m2 = ws.take(3, 3);
         assert!(m2.as_slice().iter().all(|z| *z == Complex64::ZERO));
         ws.give(m2);
+    }
+
+    #[test]
+    fn take_uninit_reuses_without_zeroing() {
+        let mut ws = Workspace::default();
+        let mut m = ws.take(3, 3);
+        m[(2, 2)] = c64(9.0, 1.0);
+        ws.give(m);
+        // Uninit checkout may observe the stale value — and must not have
+        // paid for a zero-fill to hide it.
+        let m2 = ws.take_uninit(3, 3);
+        assert_eq!(ws.fresh_count(), 1, "served from the pool");
+        assert_eq!(m2.shape(), (3, 3));
+        ws.give(m2);
+        // The zeroing checkout still scrubs the same buffer.
+        let m3 = ws.take(3, 3);
+        assert!(m3.as_slice().iter().all(|z| *z == Complex64::ZERO));
+        ws.give(m3);
+    }
+
+    #[test]
+    fn take_empty_has_capacity_and_zero_len() {
+        let mut ws = Workspace::default();
+        let mut b = ws.take_scratch(100);
+        b[7] = c64(1.0, 2.0);
+        ws.give_scratch(b);
+        let mut p = ws.take_idx(50);
+        p[3] = 9;
+        ws.give_idx(p);
+        // Both served from the pool: empty, with enough capacity, and with
+        // no fill of any kind performed.
+        let b2 = ws.take_scratch_empty(80);
+        assert!(b2.is_empty() && b2.capacity() >= 80);
+        let p2 = ws.take_idx_empty(40);
+        assert!(p2.is_empty() && p2.capacity() >= 40);
+        assert_eq!(ws.fresh_count(), 2);
+        ws.give_scratch(b2);
+        ws.give_idx(p2);
+        // Pool miss still counts as a fresh allocation.
+        let big = ws.take_scratch_empty(4096);
+        assert!(big.is_empty() && big.capacity() >= 4096);
+        assert_eq!(ws.fresh_count(), 3);
+        ws.give_scratch(big);
     }
 
     #[test]

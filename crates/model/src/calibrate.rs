@@ -12,7 +12,8 @@
 //! model so `qt_model::predict` can be driven by achieved numbers.
 
 use crate::machine::Machine;
-use qt_linalg::{c64, gemm, Complex64};
+use qt_core::rgf::MultiplyStrategy;
+use qt_linalg::{c64, gemm, Complex64, CsrMatrix, Matrix};
 use std::time::Instant;
 
 /// One GEMM shape family the simulator emits (§4.2 / Table 3).
@@ -180,6 +181,95 @@ impl GemmCalibration {
     }
 }
 
+/// Measured throughput of the two Table 6 kernel families at one
+/// coupling-block size: blocked dense GEMM versus the CSR row kernels.
+/// The ratio `sparse_rate / dense_rate` is the density below which the
+/// sparse route wins — CSRMM costs `8·nnz·bs` flop against GEMM's
+/// `8·bs³`, so sparse time undercuts dense time exactly when
+/// `density < sparse_rate / dense_rate`.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelCalibration {
+    /// Block size the rates were measured at.
+    pub block_size: usize,
+    /// Blocked dense GEMM throughput, flop/s.
+    pub dense_rate: f64,
+    /// CSR×dense throughput *on the nonzeros*, flop/s. Lower than
+    /// `dense_rate` on any real machine (irregular access, no packing),
+    /// which is precisely why the crossover sits below density 1.
+    pub sparse_rate: f64,
+}
+
+impl KernelCalibration {
+    /// Density at which the two kernels break even, clamped to `[0, 1]`.
+    pub fn crossover(&self) -> f64 {
+        if self.dense_rate > 0.0 {
+            (self.sparse_rate / self.dense_rate).clamp(0.0, 1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// The calibrated [`MultiplyStrategy::Auto`] carrying these rates.
+    pub fn strategy(&self, band: f64) -> MultiplyStrategy {
+        MultiplyStrategy::Auto {
+            dense_rate: self.dense_rate,
+            sparse_rate: self.sparse_rate,
+            band,
+        }
+    }
+}
+
+/// Deterministic dense matrix at roughly `density`, for the sparse side of
+/// the kernel calibration.
+fn sparse_fill(seed: u64, rows: usize, cols: usize, density: f64) -> Matrix {
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+    };
+    Matrix::from_fn(rows, cols, |_, _| {
+        let keep = (next() + 1.0) / 2.0 < density;
+        let (re, im) = (next(), next());
+        if keep {
+            c64(re, im)
+        } else {
+            Complex64::ZERO
+        }
+    })
+}
+
+/// Time the blocked GEMM and the CSR×dense kernel at block size `bs`,
+/// the sparse side on a representative coupling block of the given
+/// structural `density`. Per-nonzero rates are density-dependent in
+/// practice (shorter rows amortize less), so calibrate at a density near
+/// the device's actual coupling density
+/// ([`qt_core::hamiltonian::ElectronModel::coupling_density`]).
+pub fn calibrate_kernels(bs: usize, density: f64) -> KernelCalibration {
+    let a = fill(3, bs * bs);
+    let b = fill(4, bs * bs);
+    let mut out = vec![Complex64::ZERO; bs * bs];
+    let dense_flops = 8.0 * (bs * bs * bs) as f64;
+    let reps = (1e8 / dense_flops).ceil().clamp(1.0, 1e5) as usize;
+    let dense_t = time_pass(
+        || gemm::gemm_blocked_acc(bs, bs, bs, &a, &b, &mut out),
+        reps,
+    );
+    let coupling = CsrMatrix::from_dense(&sparse_fill(5, bs, bs, density), 0.0);
+    let operand = sparse_fill(6, bs, bs, 1.0);
+    let mut sout = Matrix::zeros(bs, bs);
+    // Rate on the nonzeros: the work CSRMM actually performs.
+    let sparse_flops = (8 * coupling.nnz() * bs).max(8) as f64;
+    let reps_s = (1e8 / sparse_flops).ceil().clamp(1.0, 1e5) as usize;
+    let sparse_t = time_pass(|| coupling.mul_dense_acc(&operand, &mut sout), reps_s);
+    KernelCalibration {
+        block_size: bs,
+        dense_rate: dense_flops / dense_t,
+        sparse_rate: sparse_flops / sparse_t,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +319,33 @@ mod tests {
         // compute_rate plumbs the measured efficiency through unchanged.
         let rate = m.compute_rate(1, m.eff_gf);
         assert!((rate - cal.class("rgf_block").blocked_flops).abs() / rate < 1e-12);
+    }
+
+    #[test]
+    fn kernel_calibration_rates_and_crossover() {
+        let k = calibrate_kernels(24, 0.1);
+        assert!(k.dense_rate > 0.0 && k.sparse_rate > 0.0);
+        let c = k.crossover();
+        assert!(c > 0.0 && c <= 1.0, "crossover must be a density, got {c}");
+        match k.strategy(0.15) {
+            MultiplyStrategy::Auto {
+                dense_rate,
+                sparse_rate,
+                band,
+            } => {
+                assert_eq!(dense_rate, k.dense_rate);
+                assert_eq!(sparse_rate, k.sparse_rate);
+                assert_eq!(band, 0.15);
+            }
+            other => panic!("expected Auto, got {other:?}"),
+        }
+        // A dead dense rate degrades to an all-sparse crossover of 1.
+        let z = KernelCalibration {
+            block_size: 8,
+            dense_rate: 0.0,
+            sparse_rate: 1.0,
+        };
+        assert_eq!(z.crossover(), 1.0);
     }
 
     #[test]

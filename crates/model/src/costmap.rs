@@ -74,11 +74,26 @@ impl CostMap {
     /// RGF energy chunk (`BlockPartition(NE, units)`), for whole-iteration
     /// cost accounting (e.g. the `reproduce profile` table).
     pub fn predict_with_gf(p: &SimParams, dev: &Device, te: usize, ta: usize) -> Self {
+        Self::predict_with_gf_scaled(p, dev, te, ta, 1.0)
+    }
+
+    /// [`CostMap::predict_with_gf`] with a kernel-dependent scale on the
+    /// RGF chunk: `rgf_scale` is the fraction of the all-dense RGF flops
+    /// the configured multiply strategy actually performs (see
+    /// [`rgf_flop_scale`]). The SSE share is untouched — kernel selection
+    /// only affects the coupling products inside RGF.
+    pub fn predict_with_gf_scaled(
+        p: &SimParams,
+        dev: &Device,
+        te: usize,
+        ta: usize,
+        rgf_scale: f64,
+    ) -> Self {
         let mut cm = Self::predict(p, dev, te, ta);
         let units = cm.predicted_flops.len();
         let gf = BlockPartition::new(p.ne, units);
         for (u, f) in cm.predicted_flops.iter_mut().enumerate() {
-            *f += rgf_flops_chunk(p, gf.len(u));
+            *f += rgf_flops_chunk(p, gf.len(u)) * rgf_scale;
         }
         cm
     }
@@ -176,6 +191,25 @@ impl CostMap {
     }
 }
 
+/// Fraction of RGF's per-block flops spent in the off-diagonal coupling
+/// products — the ops the Table 6 kernel selector can route to CSR. Per
+/// interior block the solver performs 11 coupling GEMM-equivalents
+/// (4 forward, 7 backward), ~9 dense-only GEMM-equivalents on the
+/// Green's-function blocks (the two `·gᴿ†` updates of `G<` are fused
+/// into one), and one LU inversion (~⅓ of a GEMM at the same order), so
+/// the routable share is `11 / (20 + 1/3)`.
+pub const RGF_COUPLING_FLOP_FRACTION: f64 = 11.0 / (20.0 + 1.0 / 3.0);
+
+/// Fraction of the all-dense RGF flops performed when the coupling
+/// products run sparse at the given structural `density`: the dense-only
+/// share stays, the routable share shrinks linearly with the nonzeros.
+/// `density = 1` (or anything above the crossover, where the selector
+/// keeps GEMM) gives 1.0.
+pub fn rgf_flop_scale(density: f64) -> f64 {
+    let d = density.clamp(0.0, 1.0);
+    1.0 - RGF_COUPLING_FLOP_FRACTION * (1.0 - d)
+}
+
 /// Busy-time imbalance ratio `max / mean` of per-rank loads — the metric
 /// the adaptive layer reports and gates on. 1.0 is perfect balance; empty
 /// or all-zero loads report 1.0 (nothing to balance).
@@ -224,6 +258,32 @@ mod tests {
     }
 
     #[test]
+    fn gf_scaled_prediction_shrinks_only_the_rgf_share() {
+        let (p, dev) = small();
+        let sse_total = qt_core::flops::sse_dace_flops_exact(&p, &dev) as f64;
+        let rgf_total = qt_core::flops::rgf_flops(&p);
+        let scale = rgf_flop_scale(0.1);
+        assert!(scale > 0.0 && scale < 1.0);
+        let cm = CostMap::predict_with_gf_scaled(&p, &dev, 3, 4, scale);
+        let sum: f64 = cm.predicted_flops.iter().sum();
+        let expect = sse_total + scale * rgf_total;
+        assert!(
+            (sum - expect).abs() < 1e-6 * expect,
+            "sum {sum} vs {expect}"
+        );
+        // scale = 1 reproduces predict_with_gf exactly.
+        let full: f64 = CostMap::predict_with_gf(&p, &dev, 3, 4)
+            .predicted_flops
+            .iter()
+            .sum();
+        assert!((full - (sse_total + rgf_total)).abs() < 1e-6 * full);
+        // Density-1 scaling is the identity; density-0 keeps the
+        // dense-only share.
+        assert_eq!(rgf_flop_scale(1.0), 1.0);
+        assert!((rgf_flop_scale(0.0) - (1.0 - RGF_COUPLING_FLOP_FRACTION)).abs() < 1e-15);
+    }
+
+    #[test]
     fn skew_shows_up_in_predictions() {
         let p = SimParams::test_small();
         let dev = Device::skewed(&p, 1, 1);
@@ -256,20 +316,20 @@ mod tests {
             quarantined,
         };
         cm.apply_quarantine(&p, &report);
-        for u in 0..cm.predicted_flops.len() {
+        for (u, &b) in before.iter().enumerate() {
             let (i, _) = cm.dec.coords(u);
             if i == 0 {
-                assert!(cm.predicted_flops[u] < before[u]);
+                assert!(cm.predicted_flops[u] < b);
                 assert!(cm.live_fraction[u] < 1.0);
             } else {
-                assert_eq!(cm.predicted_flops[u], before[u]);
+                assert_eq!(cm.predicted_flops[u], b);
             }
         }
         // Idempotent: applying the same report again must not compound.
         let once = cm.predicted_flops.clone();
         cm.apply_quarantine(&p, &report);
-        for u in 0..once.len() {
-            assert!((cm.predicted_flops[u] - once[u]).abs() <= 1e-9 * once[u].max(1.0));
+        for (u, &o) in once.iter().enumerate() {
+            assert!((cm.predicted_flops[u] - o).abs() <= 1e-9 * o.max(1.0));
         }
     }
 

@@ -11,8 +11,10 @@ pub mod memory;
 pub mod scaling;
 pub mod tilesearch;
 
-pub use calibrate::{calibrate, GemmCalibration, ShapeClass, SHAPE_CLASSES};
-pub use costmap::{imbalance_ratio, CostMap};
+pub use calibrate::{
+    calibrate, calibrate_kernels, GemmCalibration, KernelCalibration, ShapeClass, SHAPE_CLASSES,
+};
+pub use costmap::{imbalance_ratio, rgf_flop_scale, CostMap, RGF_COUPLING_FLOP_FRACTION};
 pub use machine::{Machine, PIZ_DAINT, SUMMIT};
 pub use scaling::{predict, strong_scaling, weak_scaling, PhaseTimes, Variant};
 pub use tilesearch::{optimal_tiling, optimal_tiling3, Tiling, Tiling3};

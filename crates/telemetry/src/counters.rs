@@ -39,11 +39,29 @@ const BALANCE_STOLEN_UNITS: usize = 21;
 const BALANCE_REBALANCE_EVENTS: usize = 22;
 const BALANCE_MOVED_UNITS: usize = 23;
 const JOURNAL_DROPPED: usize = 24;
-const N_COUNTERS: usize = 25;
+const KSEL_SPARSE: usize = 25;
+const KSEL_DENSE: usize = 26;
+const KSEL_SWITCHES: usize = 27;
+const KERNEL_SPARSE_FLOPS: usize = 28;
+const KERNEL_SPARSE_BYTES: usize = 29;
+const KERNEL_DENSE_FLOPS: usize = 30;
+const KERNEL_SPARSE_NS: usize = 31;
+const KERNEL_DENSE_NS: usize = 32;
+const KERNEL_SPARSE_PRED_NS: usize = 33;
+const KERNEL_DENSE_PRED_NS: usize = 34;
+const N_COUNTERS: usize = 35;
 
-#[derive(Default)]
 struct Cell {
     v: [AtomicU64; N_COUNTERS],
+}
+
+// `#[derive(Default)]` stops at 32-element arrays; build the shard by hand.
+impl Default for Cell {
+    fn default() -> Cell {
+        Cell {
+            v: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 static CELLS: Mutex<Vec<Arc<Cell>>> = Mutex::new(Vec::new());
@@ -232,9 +250,133 @@ pub fn add_journal_dropped(n: u64) {
     bump(JOURNAL_DROPPED, n);
 }
 
+/// Account one per-block-operation kernel-selector decision that routed a
+/// coupling product through the CSR sparse kernels
+/// (`kernel.sparse_selected`).
+#[inline]
+pub fn add_kernel_sparse_selected() {
+    bump(KSEL_SPARSE, 1);
+}
+
+/// Account one per-block-operation kernel-selector decision that kept a
+/// coupling product on the blocked dense GEMM (`kernel.dense_selected`).
+#[inline]
+pub fn add_kernel_dense_selected() {
+    bump(KSEL_DENSE, 1);
+}
+
+/// Account one hysteresis flip of a sticky per-block kernel choice — the
+/// measured density crossed the crossover band and the selector changed
+/// its mind (`kernel.switches`).
+#[inline]
+pub fn add_kernel_switch() {
+    bump(KSEL_SWITCHES, 1);
+}
+
+/// Add `n` real flops executed by the CSR sparse kernels
+/// (`kernel.sparse_flops`). Also counted in the global flop counter by
+/// the kernels themselves; this shard isolates the sparse share.
+#[inline]
+pub fn add_kernel_sparse_flops(n: u64) {
+    bump(KERNEL_SPARSE_FLOPS, n);
+}
+
+/// Add `n` bytes streamed by the CSR sparse kernels under their minimal
+/// traffic model (`kernel.sparse_bytes`): CSR storage read once plus the
+/// dense operand/result panels touched.
+#[inline]
+pub fn add_kernel_sparse_bytes(n: u64) {
+    bump(KERNEL_SPARSE_BYTES, n);
+}
+
+/// Add `n` real flops a selector-governed coupling product executed on
+/// the dense route (`kernel.dense_flops`).
+#[inline]
+pub fn add_kernel_dense_flops(n: u64) {
+    bump(KERNEL_DENSE_FLOPS, n);
+}
+
+/// Add `n` measured nanoseconds spent in sparse-selected coupling ops.
+#[inline]
+pub fn add_kernel_sparse_ns(n: u64) {
+    bump(KERNEL_SPARSE_NS, n);
+}
+
+/// Add `n` measured nanoseconds spent in dense-selected coupling ops.
+#[inline]
+pub fn add_kernel_dense_ns(n: u64) {
+    bump(KERNEL_DENSE_NS, n);
+}
+
+/// Add `n` model-predicted nanoseconds for the same sparse-selected ops
+/// that fed [`add_kernel_sparse_ns`] — accumulated together so predicted
+/// and measured cover the identical op set.
+#[inline]
+pub fn add_kernel_sparse_pred_ns(n: u64) {
+    bump(KERNEL_SPARSE_PRED_NS, n);
+}
+
+/// Add `n` model-predicted nanoseconds for the dense-selected ops that
+/// fed [`add_kernel_dense_ns`].
+#[inline]
+pub fn add_kernel_dense_pred_ns(n: u64) {
+    bump(KERNEL_DENSE_PRED_NS, n);
+}
+
 /// Total flops across all threads (alive or exited) since the last reset.
 pub fn total_flops() -> u64 {
     total(FLOPS)
+}
+
+/// Total sparse kernel-selector decisions since the last reset.
+pub fn total_kernel_sparse_selected() -> u64 {
+    total(KSEL_SPARSE)
+}
+
+/// Total dense kernel-selector decisions since the last reset.
+pub fn total_kernel_dense_selected() -> u64 {
+    total(KSEL_DENSE)
+}
+
+/// Total hysteresis flips of sticky kernel choices since the last reset.
+pub fn total_kernel_switches() -> u64 {
+    total(KSEL_SWITCHES)
+}
+
+/// Total CSR sparse-kernel flops since the last reset.
+pub fn total_kernel_sparse_flops() -> u64 {
+    total(KERNEL_SPARSE_FLOPS)
+}
+
+/// Total CSR sparse-kernel streamed bytes since the last reset.
+pub fn total_kernel_sparse_bytes() -> u64 {
+    total(KERNEL_SPARSE_BYTES)
+}
+
+/// Total dense-route coupling flops under kernel selection since the
+/// last reset.
+pub fn total_kernel_dense_flops() -> u64 {
+    total(KERNEL_DENSE_FLOPS)
+}
+
+/// Total measured nanoseconds in sparse-selected coupling ops.
+pub fn total_kernel_sparse_ns() -> u64 {
+    total(KERNEL_SPARSE_NS)
+}
+
+/// Total measured nanoseconds in dense-selected coupling ops.
+pub fn total_kernel_dense_ns() -> u64 {
+    total(KERNEL_DENSE_NS)
+}
+
+/// Total model-predicted nanoseconds for the timed sparse-selected ops.
+pub fn total_kernel_sparse_pred_ns() -> u64 {
+    total(KERNEL_SPARSE_PRED_NS)
+}
+
+/// Total model-predicted nanoseconds for the timed dense-selected ops.
+pub fn total_kernel_dense_pred_ns() -> u64 {
+    total(KERNEL_DENSE_PRED_NS)
 }
 
 /// Total journal events lost to ring overflow since the last reset.
@@ -528,6 +670,41 @@ mod tests {
         assert!(total_stolen_units() - u0 >= 2);
         assert!(total_rebalance_events() - r0 >= 1);
         assert!(total_rebalance_moved_units() - m0 >= 5);
+    }
+
+    #[test]
+    fn kernel_selection_counts_accumulate() {
+        let (s0, d0, w0) = (
+            total_kernel_sparse_selected(),
+            total_kernel_dense_selected(),
+            total_kernel_switches(),
+        );
+        let (f0, b0, g0) = (
+            total_kernel_sparse_flops(),
+            total_kernel_sparse_bytes(),
+            total_kernel_dense_flops(),
+        );
+        add_kernel_sparse_selected();
+        add_kernel_sparse_selected();
+        add_kernel_dense_selected();
+        add_kernel_switch();
+        add_kernel_sparse_flops(800);
+        add_kernel_sparse_bytes(4096);
+        add_kernel_dense_flops(1600);
+        add_kernel_sparse_ns(10);
+        add_kernel_dense_ns(20);
+        add_kernel_sparse_pred_ns(12);
+        add_kernel_dense_pred_ns(18);
+        assert!(total_kernel_sparse_selected() - s0 >= 2);
+        assert!(total_kernel_dense_selected() - d0 >= 1);
+        assert!(total_kernel_switches() - w0 >= 1);
+        assert!(total_kernel_sparse_flops() - f0 >= 800);
+        assert!(total_kernel_sparse_bytes() - b0 >= 4096);
+        assert!(total_kernel_dense_flops() - g0 >= 1600);
+        assert!(total_kernel_sparse_ns() >= 10);
+        assert!(total_kernel_dense_ns() >= 20);
+        assert!(total_kernel_sparse_pred_ns() >= 12);
+        assert!(total_kernel_dense_pred_ns() >= 18);
     }
 
     #[test]

@@ -89,6 +89,16 @@ pub enum EventKind {
     },
     /// An SCF checkpoint was written to disk.
     CheckpointWrite,
+    /// The kernel selector set or flipped a sticky per-coupling-block
+    /// choice between the CSR sparse kernels and the blocked dense GEMM.
+    /// Emitted on first choice and on hysteresis flips, not on every
+    /// reuse of a settled choice.
+    KernelChoice {
+        /// Coupling-block index within the device (0-based).
+        block: u64,
+        /// `true` when the CSR sparse route was chosen.
+        sparse: bool,
+    },
     /// An SCF iteration completed.
     IterationDone {
         /// Convergence residual; NaN on the first iteration (none yet).
@@ -119,6 +129,7 @@ impl EventKind {
             EventKind::StealGrant { .. } => "steal_grant",
             EventKind::StealDeny { .. } => "steal_deny",
             EventKind::CheckpointWrite => "checkpoint_write",
+            EventKind::KernelChoice { .. } => "kernel_choice",
             EventKind::IterationDone { .. } => "iteration_done",
             EventKind::Overflow { .. } => "overflow",
         }
@@ -373,6 +384,10 @@ impl Event {
                 num("granted_unit", unit as f64);
             }
             EventKind::StealDeny { thief } => num("thief", thief as f64),
+            EventKind::KernelChoice { block, sparse } => {
+                num("block", block as f64);
+                fields.push(("sparse".to_string(), Json::Bool(sparse)));
+            }
             EventKind::IterationDone {
                 residual,
                 wall_secs,
@@ -443,6 +458,13 @@ impl Event {
                 thief: int("thief")?,
             },
             "checkpoint_write" => EventKind::CheckpointWrite,
+            "kernel_choice" => EventKind::KernelChoice {
+                block: int("block")?,
+                sparse: v
+                    .get("sparse")
+                    .and_then(Json::as_bool)
+                    .ok_or("kernel_choice event lacks bool \"sparse\"")?,
+            },
             "iteration_done" => EventKind::IterationDone {
                 residual: match v.get("residual") {
                     Some(Json::Num(r)) => *r,
@@ -501,6 +523,10 @@ impl Event {
             }
             EventKind::StealDeny { thief } => format!("denied steal request from {thief}"),
             EventKind::CheckpointWrite => "checkpoint written".to_string(),
+            EventKind::KernelChoice { block, sparse } => {
+                let kernel = if sparse { "sparse CSR" } else { "dense GEMM" };
+                format!("coupling block {block} routed to {kernel} kernels")
+            }
             EventKind::IterationDone {
                 residual,
                 wall_secs,
@@ -615,6 +641,14 @@ mod tests {
             EventKind::StealGrant { thief: 2, unit: 11 },
             EventKind::StealDeny { thief: 2 },
             EventKind::CheckpointWrite,
+            EventKind::KernelChoice {
+                block: 3,
+                sparse: true,
+            },
+            EventKind::KernelChoice {
+                block: 4,
+                sparse: false,
+            },
             EventKind::IterationDone {
                 residual: 1e-6,
                 wall_secs: 0.25,

@@ -53,7 +53,10 @@ pub mod trace;
 pub use journal::{journaling_enabled, set_journaling, EventKind};
 pub use postmortem::{Postmortem, PostmortemError};
 pub use registry::PhaseStat;
-pub use report::{BalanceReport, ElasticityReport, JournalBlock, SeriesBlock, TelemetryReport};
+pub use report::{
+    BalanceReport, ElasticityReport, JournalBlock, KernelSelectionReport, SeriesBlock,
+    TelemetryReport,
+};
 pub use series::{series_enabled, set_series_enabled};
 pub use span::{enabled, set_enabled, Span};
 pub use trace::{export_chrome_trace, set_tracing, tracing_enabled};

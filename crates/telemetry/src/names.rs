@@ -56,9 +56,21 @@ pub const BALANCE_MOVED_UNITS: &str = "balance.moved_units";
 pub const JOURNAL_DROPPED: &str = "journal.dropped";
 /// Journal events currently captured across all rings.
 pub const JOURNAL_EVENTS: &str = "journal.events";
+/// Kernel-selector decisions that chose the CSR sparse route.
+pub const KERNEL_SPARSE_SELECTED: &str = "kernel.sparse_selected";
+/// Kernel-selector decisions that kept the blocked dense GEMM.
+pub const KERNEL_DENSE_SELECTED: &str = "kernel.dense_selected";
+/// Hysteresis flips of sticky per-block kernel choices.
+pub const KERNEL_SWITCHES: &str = "kernel.switches";
+/// Real flops executed by CSR sparse kernels.
+pub const KERNEL_SPARSE_FLOPS: &str = "kernel.sparse_flops";
+/// Bytes streamed by CSR sparse kernels (minimal traffic model).
+pub const KERNEL_SPARSE_BYTES: &str = "kernel.sparse_bytes";
+/// Flops of selector-governed coupling products run densely.
+pub const KERNEL_DENSE_FLOPS: &str = "kernel.dense_flops";
 
 /// Number of metrics sampled into every time-series snapshot.
-pub const N_SERIES_METRICS: usize = 20;
+pub const N_SERIES_METRICS: usize = 26;
 
 /// The metric names of a time-series sample, in sampling order. The
 /// order is part of the series schema: `Sample::values[i]` is the total
@@ -84,6 +96,12 @@ pub const SERIES_METRICS: [&str; N_SERIES_METRICS] = [
     BALANCE_STOLEN_UNITS,
     BALANCE_REBALANCE_EVENTS,
     BALANCE_MOVED_UNITS,
+    KERNEL_SPARSE_SELECTED,
+    KERNEL_DENSE_SELECTED,
+    KERNEL_SWITCHES,
+    KERNEL_SPARSE_FLOPS,
+    KERNEL_SPARSE_BYTES,
+    KERNEL_DENSE_FLOPS,
 ];
 
 /// The report's `health` block keys are the `health.*` metric names with

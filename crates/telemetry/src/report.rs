@@ -249,6 +249,61 @@ impl BalanceReport {
     }
 }
 
+/// Kernel-selection summary: what the per-block sparse/dense selector
+/// decided during RGF, how much work each route carried, and how the
+/// measured wall-time per route compares to the calibrated model's
+/// prediction — so a mis-calibrated selector shows up as a CI-visible
+/// residual instead of a silent slowdown.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelSelectionReport {
+    /// Per-block-operation decisions that chose the CSR sparse route.
+    pub sparse_selected: u64,
+    /// Per-block-operation decisions that kept the blocked dense GEMM.
+    pub dense_selected: u64,
+    /// Hysteresis flips of sticky per-block choices.
+    pub switches: u64,
+    /// Real flops executed by the CSR sparse kernels.
+    pub sparse_flops: u64,
+    /// Bytes streamed by the CSR sparse kernels (minimal traffic model).
+    pub sparse_bytes: u64,
+    /// Flops of selector-governed coupling products run densely.
+    pub dense_flops: u64,
+    /// Measured seconds in sparse-selected coupling ops (0 when the
+    /// timing spans were disabled).
+    pub sparse_secs: f64,
+    /// Measured seconds in dense-selected coupling ops.
+    pub dense_secs: f64,
+    /// Model-predicted seconds for the same timed sparse ops (0 when the
+    /// strategy carried no calibrated rates).
+    pub predicted_sparse_secs: f64,
+    /// Model-predicted seconds for the same timed dense ops.
+    pub predicted_dense_secs: f64,
+    /// The crossover density the selector was operating with (sparse
+    /// wins below it); 0 when unknown to the report writer.
+    pub crossover_density: f64,
+}
+
+impl KernelSelectionReport {
+    /// Snapshot the global kernel-selection counters. The crossover
+    /// density is not a counter; the caller that knows the calibration
+    /// fills it in.
+    pub fn from_counters() -> Self {
+        KernelSelectionReport {
+            sparse_selected: counters::total_kernel_sparse_selected(),
+            dense_selected: counters::total_kernel_dense_selected(),
+            switches: counters::total_kernel_switches(),
+            sparse_flops: counters::total_kernel_sparse_flops(),
+            sparse_bytes: counters::total_kernel_sparse_bytes(),
+            dense_flops: counters::total_kernel_dense_flops(),
+            sparse_secs: counters::total_kernel_sparse_ns() as f64 / 1e9,
+            dense_secs: counters::total_kernel_dense_ns() as f64 / 1e9,
+            predicted_sparse_secs: counters::total_kernel_sparse_pred_ns() as f64 / 1e9,
+            predicted_dense_secs: counters::total_kernel_dense_pred_ns() as f64 / 1e9,
+            crossover_density: 0.0,
+        }
+    }
+}
+
 /// Metrics time-series block: the periodic counter snapshots taken by
 /// [`crate::series`], in chronological order, with ring-drop accounting.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -341,6 +396,10 @@ pub struct TelemetryReport {
     /// run with per-rank busy-time measurement fills it in
     /// (`check-report --require-balance` rejects reports without it).
     pub balance: Option<BalanceReport>,
+    /// Kernel-selection summary; `None` until a run actually exercised
+    /// the per-block sparse/dense selector (`check-report
+    /// --require-kernel-selection` rejects reports without it).
+    pub kernel_selection: Option<KernelSelectionReport>,
     /// Metrics time-series; `None` unless series sampling was enabled.
     pub series: Option<SeriesBlock>,
     /// Event-journal summary; `None` unless journaling was enabled.
@@ -403,6 +462,10 @@ impl TelemetryReport {
             health: Some(HealthReport::from_counters()),
             elasticity: Some(ElasticityReport::from_counters()),
             balance: None,
+            kernel_selection: (counters::total_kernel_sparse_selected()
+                + counters::total_kernel_dense_selected()
+                > 0)
+            .then(KernelSelectionReport::from_counters),
             series: series::series_enabled().then(SeriesBlock::from_series),
             journal: journal::journaling_enabled().then(JournalBlock::from_journal),
         }
@@ -545,6 +608,37 @@ impl TelemetryReport {
                 ("moved_units".to_string(), Json::Num(b.moved_units as f64)),
             ]),
         };
+        let kernel_selection = match &self.kernel_selection {
+            None => Json::Null,
+            Some(k) => Json::Obj(vec![
+                (
+                    "sparse_selected".to_string(),
+                    Json::Num(k.sparse_selected as f64),
+                ),
+                (
+                    "dense_selected".to_string(),
+                    Json::Num(k.dense_selected as f64),
+                ),
+                ("switches".to_string(), Json::Num(k.switches as f64)),
+                ("sparse_flops".to_string(), Json::Num(k.sparse_flops as f64)),
+                ("sparse_bytes".to_string(), Json::Num(k.sparse_bytes as f64)),
+                ("dense_flops".to_string(), Json::Num(k.dense_flops as f64)),
+                ("sparse_secs".to_string(), Json::Num(k.sparse_secs)),
+                ("dense_secs".to_string(), Json::Num(k.dense_secs)),
+                (
+                    "predicted_sparse_secs".to_string(),
+                    Json::Num(k.predicted_sparse_secs),
+                ),
+                (
+                    "predicted_dense_secs".to_string(),
+                    Json::Num(k.predicted_dense_secs),
+                ),
+                (
+                    "crossover_density".to_string(),
+                    Json::Num(k.crossover_density),
+                ),
+            ]),
+        };
         let series_block = match &self.series {
             None => Json::Null,
             Some(s) => Json::Obj(vec![
@@ -596,6 +690,7 @@ impl TelemetryReport {
             ("health".to_string(), health),
             ("elasticity".to_string(), elasticity),
             ("balance".to_string(), balance),
+            ("kernel_selection".to_string(), kernel_selection),
             ("series".to_string(), series_block),
             ("journal".to_string(), journal_block),
         ])
@@ -678,6 +773,22 @@ impl TelemetryReport {
                     stolen_units: int_field(b, "stolen_units")?,
                     rebalance_events: int_field(b, "rebalance_events")?,
                     moved_units: int_field(b, "moved_units")?,
+                }),
+            },
+            kernel_selection: match root.get("kernel_selection") {
+                Some(Json::Null) | None => None,
+                Some(k) => Some(KernelSelectionReport {
+                    sparse_selected: int_field(k, "sparse_selected")?,
+                    dense_selected: int_field(k, "dense_selected")?,
+                    switches: int_field(k, "switches")?,
+                    sparse_flops: int_field(k, "sparse_flops")?,
+                    sparse_bytes: int_field(k, "sparse_bytes")?,
+                    dense_flops: int_field(k, "dense_flops")?,
+                    sparse_secs: num_field(k, "sparse_secs")?,
+                    dense_secs: num_field(k, "dense_secs")?,
+                    predicted_sparse_secs: num_field(k, "predicted_sparse_secs")?,
+                    predicted_dense_secs: num_field(k, "predicted_dense_secs")?,
+                    crossover_density: num_field(k, "crossover_density")?,
                 }),
             },
             series: match root.get("series") {
@@ -838,6 +949,27 @@ impl TelemetryReport {
                 ));
             }
         }
+        if let Some(k) = &self.kernel_selection {
+            if k.sparse_selected + k.dense_selected == 0 {
+                return Err("kernel_selection block present but no decisions recorded".into());
+            }
+            let secs = [
+                k.sparse_secs,
+                k.dense_secs,
+                k.predicted_sparse_secs,
+                k.predicted_dense_secs,
+                k.crossover_density,
+            ];
+            if secs.iter().any(|x| !x.is_finite() || *x < 0.0) {
+                return Err("kernel_selection block contains bad timings".into());
+            }
+            if !(0.0..=1.0).contains(&k.crossover_density) {
+                return Err(format!(
+                    "kernel_selection crossover_density {} is not a density",
+                    k.crossover_density
+                ));
+            }
+        }
         if let Some(s) = &self.series {
             if s.samples
                 .iter()
@@ -918,6 +1050,19 @@ mod tests {
             rebalance_events: 1,
             moved_units: 2,
         });
+        rep.kernel_selection = Some(KernelSelectionReport {
+            sparse_selected: 12,
+            dense_selected: 4,
+            switches: 1,
+            sparse_flops: 1 << 20,
+            sparse_bytes: 1 << 16,
+            dense_flops: 1 << 22,
+            sparse_secs: 0.01,
+            dense_secs: 0.04,
+            predicted_sparse_secs: 0.012,
+            predicted_dense_secs: 0.038,
+            crossover_density: 0.3,
+        });
         rep.series = Some(SeriesBlock {
             samples: vec![
                 series::Sample {
@@ -944,6 +1089,17 @@ mod tests {
         rep.validate().unwrap();
         let back = TelemetryReport::from_json(&rep.to_json()).unwrap();
         assert_eq!(back, rep);
+        // A kernel-selection block with no decisions must not validate.
+        let mut bad = rep.clone();
+        bad.kernel_selection = Some(KernelSelectionReport::default());
+        assert!(bad.validate().is_err());
+        // Nor one whose crossover is not a density.
+        bad.kernel_selection = Some(KernelSelectionReport {
+            sparse_selected: 1,
+            crossover_density: 1.5,
+            ..KernelSelectionReport::default()
+        });
+        assert!(bad.validate().is_err());
         // An inconsistent journal summary must not validate.
         rep.journal = Some(JournalBlock {
             events: 4,
@@ -992,6 +1148,18 @@ mod tests {
             "moved_units",
         ] {
             assert!(names::is_registered(&format!("balance.{key}")));
+        }
+        // Counter fields of the kernel-selection block (the derived
+        // timing fields are not counters and carry no registry entry).
+        for key in [
+            "sparse_selected",
+            "dense_selected",
+            "switches",
+            "sparse_flops",
+            "sparse_bytes",
+            "dense_flops",
+        ] {
+            assert!(names::is_registered(&format!("kernel.{key}")));
         }
         // Series samples key their values by the registered names
         // verbatim.

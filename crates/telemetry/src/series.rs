@@ -152,6 +152,12 @@ fn snapshot_values() -> [u64; names::N_SERIES_METRICS] {
         counters::total_stolen_units(),
         counters::total_rebalance_events(),
         counters::total_rebalance_moved_units(),
+        counters::total_kernel_sparse_selected(),
+        counters::total_kernel_dense_selected(),
+        counters::total_kernel_switches(),
+        counters::total_kernel_sparse_flops(),
+        counters::total_kernel_sparse_bytes(),
+        counters::total_kernel_dense_flops(),
     ]
 }
 
