@@ -63,6 +63,10 @@ fn main() {
         table6_cmd(&args[1..]);
         return;
     }
+    if which == "serve" {
+        serve_cmd(&args[1..]);
+        return;
+    }
     let known = [
         "all",
         "table1",
@@ -79,9 +83,16 @@ fn main() {
     if !known.contains(&which.as_str()) {
         eprintln!(
             "unknown subcommand {which:?} (expected one of: profile, check-report, balance, \
-             postmortem, table6, {})",
+             postmortem, table6, serve, {})",
             known.join(", ")
         );
+        std::process::exit(2);
+    }
+    // These subcommands take no flags; reject stray arguments loudly
+    // instead of silently ignoring them (a typo like `--repotr` must not
+    // look like a successful run to CI).
+    if let Some(extra) = args.get(1) {
+        eprintln!("unknown {which} flag {extra:?} (this subcommand takes no flags)");
         std::process::exit(2);
     }
     let all = which == "all";
@@ -1253,6 +1264,12 @@ fn postmortem_cmd(flags: &[String]) {
         eprintln!("usage: reproduce postmortem <POSTMORTEM.json>");
         std::process::exit(2);
     };
+    if let Some(extra) = flags.get(1) {
+        eprintln!(
+            "unknown postmortem flag {extra:?} (usage: reproduce postmortem <POSTMORTEM.json>)"
+        );
+        std::process::exit(2);
+    }
     let pm = match qt_telemetry::Postmortem::load(std::path::Path::new(path)) {
         Ok(pm) => pm,
         Err(e) => {
@@ -1270,6 +1287,349 @@ fn postmortem_cmd(flags: &[String]) {
             }
         }
     }
+}
+
+/// Tentpole driver (CI `serve-smoke` job): bring up the qt-serve daemon,
+/// push bias sweeps through its admission path, and gate the robustness
+/// story in-binary:
+///
+/// 1. every admitted request is answered (no hangs, no lost responses);
+/// 2. a chaos rank kill mid-service leaves the sweep bitwise identical
+///    to the fault-free reference (recovery never changes answers);
+/// 3. an induced warm-start divergence degrades to the cold solve —
+///    journaled, counted, and bitwise equal to a never-warmed reference;
+/// 4. a deadlined request is cancelled cooperatively instead of hanging,
+///    overrunning its budget by at most ~one solve;
+/// 5. concurrent requests share the variant's warm state across the
+///    worker pool.
+fn serve_cmd(flags: &[String]) {
+    use qt_core::scf::ScfConfig;
+    use qt_serve::{ServeConfig, Service, SweepRequest, SweepStatus, VariantSpec};
+    use std::time::Duration;
+
+    let mut points = 12usize;
+    let mut world = 4usize;
+    let mut chaos_kill: Option<usize> = None;
+    let mut diverge_point: Option<usize> = None;
+    let mut report_path: Option<String> = None;
+    let mut postmortem_path: Option<String> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        let need = |what: &str| {
+            flags.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        let int = |what: &str| -> usize {
+            need(what).parse().unwrap_or_else(|_| {
+                eprintln!("{what} needs an integer");
+                std::process::exit(2);
+            })
+        };
+        match flags[i].as_str() {
+            "--points" => points = int("--points"),
+            "--world" => world = int("--world"),
+            "--chaos-kill" => chaos_kill = Some(int("--chaos-kill")),
+            "--diverge-point" => diverge_point = Some(int("--diverge-point")),
+            "--report" => report_path = Some(need("--report")),
+            "--postmortem" => postmortem_path = Some(need("--postmortem")),
+            other => {
+                eprintln!(
+                    "unknown serve flag {other:?} (expected --points/--world/--chaos-kill/\
+                     --diverge-point/--report/--postmortem)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    if chaos_kill.is_some() {
+        eprintln!("--chaos-kill requires building with --features fault-inject");
+        std::process::exit(2);
+    }
+    let points = points.max(2);
+    let world = world.max(1);
+
+    println!("== serve: fault-tolerant batched sweep service ==");
+    qt_telemetry::reset_all();
+    qt_telemetry::set_enabled(true);
+    qt_telemetry::set_journaling(true);
+
+    // Laptop-sized variant; the sweep spans a low-bias IV window.
+    let variant = || VariantSpec {
+        params: SimParams {
+            nkz: 2,
+            nqz: 2,
+            ne: 10,
+            nw: 2,
+            na: 8,
+            nb: 3,
+            norb: 2,
+            bnum: 4,
+        },
+        emin: -1.2,
+        emax: 1.2,
+        cfg: ScfConfig {
+            max_iterations: 40,
+            tolerance: 1e-7,
+            ..Default::default()
+        },
+    };
+    let fresh = |world: usize| {
+        Service::start(
+            vec![variant()],
+            ServeConfig {
+                workers: 2,
+                pool_slots: world,
+                ..Default::default()
+            },
+        )
+    };
+    let biases: Vec<f64> = (0..points).map(|i| 0.05 + 0.01 * i as f64).collect();
+    let wait = Duration::from_secs(600);
+    let completed = |status: SweepStatus, what: &str| -> Vec<qt_serve::PointResult> {
+        match status {
+            SweepStatus::Completed { points } => points,
+            other => {
+                eprintln!("serve FAILED: {what} did not complete: {other:?}");
+                std::process::exit(1);
+            }
+        }
+    };
+
+    // ---- Gate 1: fault-free reference sweep, every response arrives. ----
+    let t0 = Instant::now();
+    let reference = {
+        let svc = fresh(world);
+        let t = svc
+            .submit(SweepRequest::new(0, biases.clone()))
+            .expect("admit reference sweep");
+        let resp = t.wait_timeout(wait).unwrap_or_else(|| {
+            eprintln!("serve FAILED: reference sweep unanswered after {wait:?}");
+            std::process::exit(1);
+        });
+        svc.shutdown();
+        completed(resp.status, "reference sweep")
+    };
+    let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let per_point = Duration::from_secs_f64(t0.elapsed().as_secs_f64() / points as f64);
+    println!(
+        "  {:<8} {:>12} {:>6} {:>6} {:>9}",
+        "bias V", "current", "iters", "warm", "degraded"
+    );
+    for p in &reference {
+        println!(
+            "  {:<8.3} {:>12.4e} {:>6} {:>6} {:>9}",
+            p.bias, p.current, p.iterations, p.warm_started, p.degraded_to_cold
+        );
+    }
+    println!("  reference: {points} points in {ref_ms:.0} ms, all answered");
+
+    // ---- Gate 2: rank kill mid-service is bitwise invisible. ----
+    {
+        let svc = fresh(world);
+        let req = SweepRequest {
+            chaos_kill_rank: chaos_kill,
+            ..SweepRequest::new(0, biases.clone())
+        };
+        let t = svc.submit(req).expect("admit chaos sweep");
+        let resp = t.wait_timeout(wait).unwrap_or_else(|| {
+            eprintln!("serve FAILED: chaos sweep unanswered after {wait:?}");
+            std::process::exit(1);
+        });
+        let chaos = completed(resp.status, "chaos sweep");
+        let retired = world - svc.pool().capacity();
+        for (a, b) in reference.iter().zip(&chaos) {
+            if a.current.to_bits() != b.current.to_bits() {
+                eprintln!(
+                    "serve FAILED: chaos sweep diverged at bias {} V: {:e} vs {:e}",
+                    a.bias, a.current, b.current
+                );
+                std::process::exit(1);
+            }
+        }
+        match chaos_kill {
+            Some(victim) => {
+                if retired == 0 {
+                    eprintln!("serve FAILED: chaos kill of rank {victim} retired no pool slots");
+                    std::process::exit(1);
+                }
+                println!(
+                    "  chaos: rank {victim} killed, {retired} slot(s) retired from the pool, \
+                     sweep bitwise identical to fault-free reference"
+                );
+                // The rank death is a reportable incident: drain the flight
+                // recorder into a postmortem for the CI artifact.
+                let path = postmortem_path
+                    .clone()
+                    .unwrap_or_else(|| "POSTMORTEM.json".into());
+                let pm = qt_telemetry::Postmortem::capture(
+                    "rank_death",
+                    &format!("serve chaos probe: victim={victim} retired={retired} world={world}"),
+                    Some(qt_telemetry::TelemetryReport::from_current()),
+                );
+                pm.save(std::path::Path::new(&path))
+                    .expect("write postmortem");
+                println!("  postmortem written to {path}");
+            }
+            None => println!("  repeat sweep bitwise identical to reference (determinism gate)"),
+        }
+        svc.shutdown();
+    }
+
+    // ---- Gate 3: induced divergence degrades to the cold answer. ----
+    if let Some(idx) = diverge_point {
+        let idx = idx.clamp(1, points - 1); // point 0 has no warm neighbor
+        let cold_ref = {
+            let svc = fresh(world);
+            let t = svc
+                .submit(SweepRequest::new(0, vec![biases[idx]]))
+                .expect("admit cold reference");
+            let resp = t.wait_timeout(wait).expect("cold reference answered");
+            svc.shutdown();
+            completed(resp.status, "cold reference")[0].clone()
+        };
+        let svc = fresh(world);
+        let req = SweepRequest {
+            poison_warm_point: Some(idx),
+            ..SweepRequest::new(0, biases.clone())
+        };
+        let t = svc.submit(req).expect("admit divergence sweep");
+        let resp = t.wait_timeout(wait).expect("divergence sweep answered");
+        svc.shutdown();
+        let pts = completed(resp.status, "divergence sweep");
+        let degraded = &pts[idx];
+        if !(degraded.warm_started && degraded.degraded_to_cold && degraded.converged) {
+            eprintln!(
+                "serve FAILED: poisoned point {idx} did not take the degradation path \
+                 (warm_started={} degraded={} converged={})",
+                degraded.warm_started, degraded.degraded_to_cold, degraded.converged
+            );
+            std::process::exit(1);
+        }
+        if degraded.current.to_bits() != cold_ref.current.to_bits() {
+            eprintln!(
+                "serve FAILED: degraded point {idx} answer {:e} differs from the cold \
+                 reference {:e}",
+                degraded.current, cold_ref.current
+            );
+            std::process::exit(1);
+        }
+        let events = qt_telemetry::journal::drain();
+        let journaled = events.iter().any(|e| {
+            matches!(
+                e.kind,
+                qt_telemetry::EventKind::WarmFallback { point, .. } if point == idx as u64
+            )
+        });
+        if !journaled || qt_telemetry::counters::total_service_warm_fallbacks() == 0 {
+            eprintln!("serve FAILED: warm-start degradation was not journaled/counted");
+            std::process::exit(1);
+        }
+        println!(
+            "  divergence: poisoned point {idx} fell back to cold solve, answer bitwise \
+             equal to cold reference, degradation journaled"
+        );
+    }
+
+    // ---- Gates 4+5: deadlines cancel cooperatively; concurrent requests
+    // share warm state. ----
+    {
+        let svc = fresh(world);
+        let deadline = per_point.mul_f64(1.5).max(Duration::from_millis(5));
+        let t0 = Instant::now();
+        let t = svc
+            .submit(SweepRequest {
+                deadline: Some(deadline),
+                ..SweepRequest::new(0, biases.clone())
+            })
+            .expect("admit deadlined sweep");
+        let resp = t.wait_timeout(wait).unwrap_or_else(|| {
+            eprintln!("serve FAILED: deadlined sweep unanswered (hang) after {wait:?}");
+            std::process::exit(1);
+        });
+        let elapsed = t0.elapsed();
+        let overrun_budget = deadline + per_point.mul_f64(5.0) + Duration::from_secs(1);
+        match resp.status {
+            SweepStatus::DeadlineExpired { completed } => {
+                if elapsed > overrun_budget {
+                    eprintln!(
+                        "serve FAILED: deadline {deadline:?} overran to {elapsed:?} \
+                         (budget {overrun_budget:?} ≈ deadline + one solve + slack)"
+                    );
+                    std::process::exit(1);
+                }
+                println!(
+                    "  deadline: {deadline:?} budget cancelled the sweep after {} of \
+                     {points} points in {:.0} ms (cooperative, bounded overrun)",
+                    completed.len(),
+                    elapsed.as_secs_f64() * 1e3
+                );
+            }
+            other => {
+                eprintln!("serve FAILED: deadlined sweep returned {other:?}");
+                std::process::exit(1);
+            }
+        }
+
+        // Concurrent burst: admitted requests batch onto the shared pool
+        // and reuse the variant's warm store across requests.
+        let tickets: Vec<_> = (0..3)
+            .map(|k| {
+                let b = vec![biases[k], biases[k + 1]];
+                svc.submit(SweepRequest::new(0, b)).expect("admit burst")
+            })
+            .collect();
+        let mut warm_points = 0usize;
+        for t in tickets {
+            let resp = t.wait_timeout(wait).unwrap_or_else(|| {
+                eprintln!("serve FAILED: burst request unanswered after {wait:?}");
+                std::process::exit(1);
+            });
+            warm_points += completed(resp.status, "burst sweep")
+                .iter()
+                .filter(|p| p.warm_started)
+                .count();
+        }
+        if warm_points == 0 {
+            eprintln!("serve FAILED: no burst point reused warm state across requests");
+            std::process::exit(1);
+        }
+        println!("  burst: 3 concurrent sweeps answered, {warm_points} points warm-started");
+        svc.shutdown();
+    }
+
+    // ---- Report with the service block (check-report --require-service). ----
+    let rep = qt_telemetry::TelemetryReport::from_current();
+    if let Err(e) = rep.validate() {
+        eprintln!("serve report FAILED validation: {e}");
+        std::process::exit(1);
+    }
+    let Some(s) = &rep.service else {
+        eprintln!("serve FAILED: report is missing the service block");
+        std::process::exit(1);
+    };
+    println!(
+        "  service: {} admitted, {} rejected, {} completed, {} failed, {} deadline cancels, \
+         {} warm starts ({} fell back), {} retries, {} breaker opens, {} drained",
+        s.admitted,
+        s.rejected,
+        s.completed,
+        s.failed,
+        s.deadline_cancels,
+        s.warm_starts,
+        s.warm_fallbacks,
+        s.retries,
+        s.breaker_opens,
+        s.drained
+    );
+    if let Some(path) = &report_path {
+        std::fs::write(path, rep.to_json()).expect("write report");
+        println!("  report written to {path}");
+    }
+    println!("  serve: all gates passed\n");
 }
 
 /// One world size of the skewed-device balance scenario.
@@ -1596,6 +1956,7 @@ fn check_report(flags: &[String]) {
     let mut require_boundary_hits = false;
     let mut require_health = false;
     let mut require_kernel_selection = false;
+    let mut require_service = false;
     let mut require_balance: Option<f64> = None;
     let mut path: Option<String> = None;
     let mut i = 0;
@@ -1604,6 +1965,7 @@ fn check_report(flags: &[String]) {
             "--require-boundary-hits" => require_boundary_hits = true,
             "--require-health" => require_health = true,
             "--require-kernel-selection" => require_kernel_selection = true,
+            "--require-service" => require_service = true,
             "--require-balance" => {
                 let v = flags.get(i + 1).and_then(|v| v.parse().ok());
                 require_balance = Some(v.unwrap_or_else(|| {
@@ -1616,7 +1978,8 @@ fn check_report(flags: &[String]) {
             other => {
                 eprintln!(
                     "unknown check-report flag {other:?} (expected --require-boundary-hits/\
-                     --require-health/--require-kernel-selection/--require-balance <ratio>)"
+                     --require-health/--require-kernel-selection/--require-service/\
+                     --require-balance <ratio>)"
                 );
                 std::process::exit(2);
             }
@@ -1674,6 +2037,19 @@ fn check_report(flags: &[String]) {
         };
         if k.sparse_selected + k.dense_selected == 0 {
             eprintln!("report FAILED: kernel_selection block recorded zero decisions");
+            std::process::exit(1);
+        }
+    }
+    if require_service {
+        let Some(s) = &rep.service else {
+            eprintln!(
+                "report FAILED: no service block — the run did not go through \
+                 the qt-serve admission path"
+            );
+            std::process::exit(1);
+        };
+        if s.admitted == 0 {
+            eprintln!("report FAILED: service block recorded zero admitted requests");
             std::process::exit(1);
         }
     }

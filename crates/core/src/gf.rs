@@ -26,6 +26,15 @@ pub struct Contacts {
     pub mu_right: f64,
     /// Lattice/contact temperature (K).
     pub temperature: f64,
+    /// Rigid band offset of the left lead (eV): the lead surface Green's
+    /// function is evaluated at `E − shift_left`, modelling a gate- or
+    /// workfunction-induced band-edge shift of the contact material.
+    /// Unlike `mu_*`/`temperature` (occupations, applied outside the
+    /// boundary cache) this changes the memoized Σᴿ itself, so it is part
+    /// of the cache identity key.
+    pub shift_left: f64,
+    /// Rigid band offset of the right lead (eV).
+    pub shift_right: f64,
 }
 
 impl Default for Contacts {
@@ -34,6 +43,8 @@ impl Default for Contacts {
             mu_left: 0.05,
             mu_right: -0.05,
             temperature: 300.0,
+            shift_left: 0.0,
+            shift_right: 0.0,
         }
     }
 }
@@ -286,6 +297,13 @@ fn electron_boundary_key(
     for &e in &grids.energies {
         kh.f64(e);
     }
+    // The lead band offsets shift the energy the decimation runs at, so
+    // they are part of the Σᴿ identity. The occupations (mu_*,
+    // temperature) deliberately stay OUT of the key: they are applied
+    // outside the cache, which is what lets one memoized Σᴿ serve every
+    // bias point of a sweep.
+    kh.f64(cfg.contacts.shift_left)
+        .f64(cfg.contacts.shift_right);
     kh.f64(cfg.eta)
         .f64(cfg.boundary.eta)
         .u64(cfg.boundary.max_iter as u64)
@@ -372,7 +390,9 @@ pub fn electron_gf_phase_cached(
             let energy = grids.energies[e];
             // Lead surface GF at finite broadening; device interior at
             // (near-)real energy so contacts are the only implicit bath.
-            let z = c64(energy, cfg.eta);
+            // Each lead sees the energy relative to its own band offset.
+            let z_l = c64(energy - cfg.contacts.shift_left, cfg.eta);
+            let z_r = c64(energy - cfg.contacts.shift_right, cfg.eta);
             let z_dev = c64(energy, cfg.device_eta);
             let nbk = h.num_blocks();
             let bs = h.block_size();
@@ -412,7 +432,7 @@ pub fn electron_gf_phase_cached(
             // iterate, so iteration 2+ replays the stored Σᴿ.
             let compute_pair = || -> Result<(Matrix, Matrix), NumericalError> {
                 let sig_l = boundary::surface_self_energy(
-                    z,
+                    z_l,
                     h.diag(0),
                     h.upper(0),
                     s.diag(0),
@@ -421,7 +441,7 @@ pub fn electron_gf_phase_cached(
                     &cfg.boundary,
                 )?;
                 let sig_r = boundary::surface_self_energy(
-                    z,
+                    z_r,
                     h.diag(nbk - 1),
                     h.upper(nbk - 2),
                     s.diag(nbk - 1),
@@ -977,6 +997,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn variants_sharing_a_cache_never_exchange_entries() {
+        // Cross-request poisoning regression: two device variants that
+        // differ only in their contact band offsets share one
+        // BoundaryCache (the qt-serve sharing pattern). The offsets enter
+        // the identity key, so the second variant must rebind the cache
+        // and recompute its own Σᴿ — its cached results have to match an
+        // uncached solve bitwise instead of replaying the first variant's
+        // entries.
+        let (p, dev, em, _, grids) = setup();
+        let sse = ElectronSelfEnergy::zeros(&p);
+        let mut cfg_a = GfConfig::default();
+        cfg_a.contacts.mu_left = 0.2;
+        cfg_a.contacts.mu_right = -0.2;
+        let mut cfg_b = cfg_a;
+        cfg_b.contacts.shift_left = 0.15;
+        cfg_b.contacts.shift_right = -0.1;
+        let cache = BoundaryCache::new();
+        let a_cached =
+            electron_gf_phase_cached(&dev, &em, &p, &grids, &sse, &cfg_a, Some(&cache), None)
+                .unwrap();
+        let b_cached =
+            electron_gf_phase_cached(&dev, &em, &p, &grids, &sse, &cfg_b, Some(&cache), None)
+                .unwrap();
+        let b_cold = electron_gf_phase(&dev, &em, &p, &grids, &sse, &cfg_b).unwrap();
+        assert_eq!(
+            b_cached.g_lesser.max_abs_diff(&b_cold.g_lesser),
+            0.0,
+            "variant B served from a cache shared with variant A must \
+             recompute its own contact self-energies bitwise"
+        );
+        assert_eq!(b_cached.current, b_cold.current);
+        // And the offsets genuinely change the physics, so a poisoned
+        // replay would have been observable.
+        assert!(
+            a_cached.g_lesser.max_abs_diff(&b_cold.g_lesser) > 1e-12,
+            "band offsets must alter the Green's functions for this test to bite"
+        );
+        // Re-running variant B replays its own entries (warm hits).
+        let hits0 = qt_telemetry::counters::total_boundary_hits();
+        let b_warm =
+            electron_gf_phase_cached(&dev, &em, &p, &grids, &sse, &cfg_b, Some(&cache), None)
+                .unwrap();
+        assert_eq!(b_warm.g_lesser.max_abs_diff(&b_cold.g_lesser), 0.0);
+        assert!(
+            qt_telemetry::counters::total_boundary_hits() - hits0 >= (p.nkz * p.ne) as u64,
+            "replaying the bound variant must hit the cache"
+        );
     }
 
     #[test]

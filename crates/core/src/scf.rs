@@ -18,6 +18,9 @@ use crate::params::SimParams;
 use crate::rgf;
 use crate::sse::{self, SseInputs, SseVariant};
 use qt_linalg::Tensor;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Everything needed to run a simulation, bundled.
 pub struct Simulation {
@@ -236,9 +239,155 @@ fn mix_tensor(old: &mut Tensor, new: &Tensor, mix: f64) {
     }
 }
 
+/// Cooperative cancellation handle for a running SCF solve. Cloneable and
+/// thread-safe: the deadline watchdog (or any supervisor) keeps one clone
+/// and cancels it asynchronously; the SCF loop observes the flag at every
+/// iteration boundary, so a cancelled solve stops within one Born
+/// iteration of the signal — the structural bound behind qt-serve's
+/// deadline guarantee.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        CancelToken(Arc::new(AtomicBool::new(false)))
+    }
+
+    /// Signal cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Typed failure of [`run_scf_with`]. Wraps per-point numerical failures
+/// and adds the two structured outcomes the service layer reacts to:
+/// stale state whose shape no longer matches the live config, and
+/// cooperative cancellation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScfError {
+    /// A GF phase failed numerically (singular block, non-convergent
+    /// boundary, non-finite tensor, …) past the quarantine ceiling.
+    Numerical(NumericalError),
+    /// A resumed checkpoint or warm-start seed carries tensors of a
+    /// different device shape than the live config — refusing up front
+    /// (before any tensor allocation) instead of panicking mid-loop.
+    ShapeMismatch {
+        /// Where the stale state came from: `"checkpoint"` or `"warm-start"`.
+        source: &'static str,
+        /// Which tensor mismatched, e.g. `"sigma.lesser"`.
+        field: &'static str,
+        expected: Vec<usize>,
+        found: Vec<usize>,
+    },
+    /// The solve was cancelled at an iteration boundary. `iteration` is
+    /// the Born iteration that was about to run; `checkpointed` reports
+    /// whether a drain checkpoint was written for later resumption.
+    Cancelled {
+        iteration: usize,
+        checkpointed: bool,
+    },
+}
+
+impl fmt::Display for ScfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScfError::Numerical(e) => write!(f, "{e}"),
+            ScfError::ShapeMismatch {
+                source,
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{source} {field} shape {found:?} does not match the live config {expected:?}"
+            ),
+            ScfError::Cancelled {
+                iteration,
+                checkpointed,
+            } => write!(
+                f,
+                "SCF cancelled before iteration {iteration} ({})",
+                if *checkpointed {
+                    "drain checkpoint written"
+                } else {
+                    "no checkpoint"
+                }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScfError {}
+
+impl From<NumericalError> for ScfError {
+    fn from(e: NumericalError) -> Self {
+        ScfError::Numerical(e)
+    }
+}
+
+/// Converged self-energies from a neighboring solve (e.g. the nearest
+/// completed bias point of a sweep), used to seed the Born iteration
+/// instead of `Σ = Π = 0`. A good seed is already near the fixed point,
+/// so the continuation solve converges in a fraction of the cold
+/// iterations; a bad seed at worst costs the iterations it takes the
+/// caller to notice non-convergence and fall back to a cold solve —
+/// never a wrong answer, because convergence is judged by the same
+/// residual test either way.
+#[derive(Clone, Debug)]
+pub struct WarmStart {
+    pub sigma: ElectronSelfEnergy,
+    pub pi: PhononSelfEnergy,
+}
+
+/// Optional behaviors of [`run_scf_with`], all off by default.
+#[derive(Default)]
+pub struct ScfOptions<'a> {
+    /// Write a [`ScfCheckpoint`] every `ckpt.every` iterations, and a
+    /// drain checkpoint on cancellation (even when `every` is 0 — a
+    /// drain-only configuration).
+    pub ckpt: Option<&'a CheckpointConfig>,
+    /// Continue from a previously saved checkpoint instead of `Σ = Π = 0`.
+    pub resume: Option<ScfCheckpoint>,
+    /// Seed the Born iteration with converged self-energies from a
+    /// neighboring solve. Ignored when `resume` is given (a checkpoint
+    /// carries strictly more state).
+    pub warm: Option<WarmStart>,
+    /// Cooperative cancellation, observed at every iteration boundary.
+    pub cancel: Option<CancelToken>,
+}
+
+/// Refuse stale tensors whose shape disagrees with the live config —
+/// checked before any cloning or allocation so a mismatched checkpoint
+/// costs nothing and cannot panic the solve.
+fn expect_shape(
+    source: &'static str,
+    field: &'static str,
+    expected: &[usize],
+    t: &Tensor,
+) -> Result<(), ScfError> {
+    if t.shape() != expected {
+        return Err(ScfError::ShapeMismatch {
+            source,
+            field,
+            expected: expected.to_vec(),
+            found: t.shape().to_vec(),
+        });
+    }
+    Ok(())
+}
+
 /// Run the GF ↔ SSE loop to convergence.
 pub fn run_scf(sim: &Simulation, cfg: &ScfConfig) -> Result<ScfResult, NumericalError> {
-    run_scf_resumable(sim, cfg, None, None)
+    run_scf_with(sim, cfg, ScfOptions::default()).map_err(|e| match e {
+        ScfError::Numerical(err) => err,
+        // No resume/warm/cancel options were passed, so neither
+        // structured variant can occur.
+        other => unreachable!("SCF error without options: {other}"),
+    })
 }
 
 /// [`run_scf`] with optional checkpointing (write a [`ScfCheckpoint`]
@@ -255,9 +404,40 @@ pub fn run_scf_resumable(
     cfg: &ScfConfig,
     ckpt: Option<&CheckpointConfig>,
     resume: Option<ScfCheckpoint>,
-) -> Result<ScfResult, NumericalError> {
+) -> Result<ScfResult, ScfError> {
+    run_scf_with(
+        sim,
+        cfg,
+        ScfOptions {
+            ckpt,
+            resume,
+            ..Default::default()
+        },
+    )
+}
+
+/// The full-control SCF entry point: [`run_scf`] plus checkpoint/resume,
+/// warm-start seeding and cooperative cancellation (see [`ScfOptions`]).
+/// Resumed checkpoints and warm-start seeds are shape-checked against the
+/// live config before any tensor is cloned; a mismatch returns
+/// [`ScfError::ShapeMismatch`] instead of panicking downstream.
+pub fn run_scf_with(
+    sim: &Simulation,
+    cfg: &ScfConfig,
+    opts: ScfOptions<'_>,
+) -> Result<ScfResult, ScfError> {
     let _scf_span = qt_telemetry::Span::enter_global("scf");
     let p = &sim.p;
+    let eshape = [p.nkz, p.ne, p.na, p.norb, p.norb];
+    let pshape = [
+        p.nqz,
+        p.nw,
+        p.na,
+        p.nb + 1,
+        crate::params::N3D,
+        crate::params::N3D,
+    ];
+    let ckpt = opts.ckpt;
     let mut sigma = ElectronSelfEnergy::zeros(p);
     let mut pi = PhononSelfEnergy::zeros(p);
     let mut residuals = Vec::new();
@@ -266,7 +446,14 @@ pub fn run_scf_resumable(
     let mut prev_gl: Option<Tensor> = None;
     let mut mixer = MixingController::new(cfg.mixing, cfg.adaptive_mixing);
     let mut start = 0;
-    if let Some(ck) = resume {
+    if let Some(ck) = opts.resume {
+        expect_shape("checkpoint", "sigma.lesser", &eshape, &ck.sigma.lesser)?;
+        expect_shape("checkpoint", "sigma.greater", &eshape, &ck.sigma.greater)?;
+        expect_shape("checkpoint", "pi.lesser", &pshape, &ck.pi.lesser)?;
+        expect_shape("checkpoint", "pi.greater", &pshape, &ck.pi.greater)?;
+        if let Some(gl) = &ck.prev_gl {
+            expect_shape("checkpoint", "prev_gl", &eshape, gl)?;
+        }
         sigma = ck.sigma.clone();
         pi = ck.pi.clone();
         residuals = ck.residuals.clone();
@@ -276,12 +463,62 @@ pub fn run_scf_resumable(
         // Always run at least one iteration so the result carries GF
         // tensors, even when the checkpoint already reached max_iterations.
         start = ck.iteration.min(cfg.max_iterations.saturating_sub(1));
+    } else if let Some(w) = opts.warm {
+        expect_shape("warm-start", "sigma.lesser", &eshape, &w.sigma.lesser)?;
+        expect_shape("warm-start", "sigma.greater", &eshape, &w.sigma.greater)?;
+        expect_shape("warm-start", "pi.lesser", &pshape, &w.pi.lesser)?;
+        expect_shape("warm-start", "pi.greater", &pshape, &w.pi.greater)?;
+        // Seed only the self-energies: `prev_gl` stays `None`, so the
+        // first iteration has no residual and the convergence test runs
+        // on genuinely recomputed Green's functions — a warm start can
+        // save iterations but never fake convergence.
+        sigma = w.sigma;
+        pi = w.pi;
     }
     let mut converged = false;
     let mut electron = None;
     let mut phonon = None;
     let mut iterations = 0;
     for iter in start..cfg.max_iterations {
+        if let Some(tok) = &opts.cancel {
+            if tok.is_cancelled() {
+                // Drain semantics: write a resumable snapshot even when
+                // `every` is 0 (drain-only checkpointing), so an
+                // in-flight solve survives a service shutdown.
+                let checkpointed = match ckpt {
+                    Some(c) => {
+                        let snapshot = ScfCheckpoint {
+                            iteration: iter,
+                            mixing_current: mixer.current,
+                            prev_residual: mixer.prev_residual(),
+                            decrease_streak: mixer.streak(),
+                            residuals: residuals.clone(),
+                            current_history: current_history.clone(),
+                            sigma: sigma.clone(),
+                            pi: pi.clone(),
+                            prev_gl: prev_gl.clone(),
+                        };
+                        match snapshot.save(&c.path) {
+                            Ok(()) => true,
+                            Err(err) => {
+                                eprintln!(
+                                    "warning: drain checkpoint write to {:?} failed: {err}",
+                                    c.path
+                                );
+                                false
+                            }
+                        }
+                    }
+                    None => false,
+                };
+                qt_telemetry::journal::set_iteration(-1);
+                qt_telemetry::series::set_series_iteration(-1);
+                return Err(ScfError::Cancelled {
+                    iteration: iter,
+                    checkpointed,
+                });
+            }
+        }
         let _iter_span = qt_telemetry::Span::enter_global("scf_iter");
         // Iteration attribution for journal events and series samples
         // emitted anywhere inside this iteration (including worker
@@ -640,6 +877,207 @@ mod tests {
             (ra - rb).abs() <= 1e-12 * rb.abs().max(1e-30),
             "final current after resume: {ra} vs {rb}"
         );
+    }
+
+    #[test]
+    fn mismatched_checkpoint_shape_is_a_typed_error() {
+        // A checkpoint saved for a different device must be refused with
+        // ShapeMismatch before any tensor work — not panic mid-loop.
+        let cfg = ScfConfig {
+            max_iterations: 2,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        let small = sim();
+        let dir = std::env::temp_dir().join("qt-scf-shape-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scf.ckpt");
+        let ck_cfg = CheckpointConfig {
+            path: path.clone(),
+            every: 1,
+        };
+        run_scf_resumable(&small, &cfg, Some(&ck_cfg), None).unwrap();
+        let ck = ScfCheckpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        // A live config with a different atom count.
+        let other = Simulation::new(
+            SimParams {
+                nkz: 2,
+                nqz: 2,
+                ne: 10,
+                nw: 2,
+                na: 12,
+                nb: 3,
+                norb: 2,
+                bnum: 4,
+            },
+            -1.2,
+            1.2,
+        );
+        match run_scf_resumable(&other, &cfg, None, Some(ck)) {
+            Err(ScfError::ShapeMismatch {
+                source,
+                field,
+                expected,
+                found,
+            }) => {
+                assert_eq!(source, "checkpoint");
+                assert_eq!(field, "sigma.lesser");
+                assert_eq!(expected, vec![2, 10, 12, 2, 2]);
+                assert_eq!(found, vec![2, 10, 8, 2, 2]);
+            }
+            other => panic!("expected ShapeMismatch, got {:?}", other.map(|_| "ok")),
+        }
+    }
+
+    #[test]
+    fn cancelled_solve_stops_at_the_iteration_boundary() {
+        let sim = sim();
+        let cfg = ScfConfig {
+            max_iterations: 10,
+            tolerance: 1e-12,
+            ..Default::default()
+        };
+        // Pre-cancelled token: the loop must not run a single iteration.
+        let tok = CancelToken::new();
+        tok.cancel();
+        let out = run_scf_with(
+            &sim,
+            &cfg,
+            ScfOptions {
+                cancel: Some(tok),
+                ..Default::default()
+            },
+        );
+        match out {
+            Err(ScfError::Cancelled {
+                iteration,
+                checkpointed,
+            }) => {
+                assert_eq!(iteration, 0);
+                assert!(!checkpointed, "no checkpoint config was given");
+            }
+            other => panic!("expected Cancelled, got {:?}", other.map(|_| "ok")),
+        }
+        // With a drain-only checkpoint config (every = 0) the cancelled
+        // solve leaves a resumable snapshot behind.
+        let dir = std::env::temp_dir().join("qt-scf-cancel-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drain.ckpt");
+        let ck_cfg = CheckpointConfig {
+            path: path.clone(),
+            every: 0,
+        };
+        let tok = CancelToken::new();
+        tok.cancel();
+        let out = run_scf_with(
+            &sim,
+            &cfg,
+            ScfOptions {
+                ckpt: Some(&ck_cfg),
+                cancel: Some(tok),
+                ..Default::default()
+            },
+        );
+        match out {
+            Err(ScfError::Cancelled { checkpointed, .. }) => {
+                assert!(checkpointed);
+            }
+            other => panic!("expected Cancelled, got {:?}", other.map(|_| "ok")),
+        }
+        let ck = ScfCheckpoint::load(&path).unwrap();
+        assert_eq!(ck.iteration, 0);
+        std::fs::remove_file(&path).unwrap();
+        // An uncancelled token changes nothing: the guarded run matches
+        // the plain run bitwise.
+        let plain = run_scf(&sim, &cfg).unwrap();
+        let guarded = run_scf_with(
+            &sim,
+            &cfg,
+            ScfOptions {
+                cancel: Some(CancelToken::new()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(guarded.residuals, plain.residuals);
+        assert_eq!(guarded.current_history, plain.current_history);
+    }
+
+    #[test]
+    fn warm_start_converges_faster_to_the_same_answer() {
+        let cfg = ScfConfig {
+            max_iterations: 40,
+            tolerance: 1e-7,
+            ..Default::default()
+        };
+        let mut cfg_a = cfg;
+        cfg_a.gf.contacts.mu_left = 0.20;
+        cfg_a.gf.contacts.mu_right = -0.20;
+        let cold_a = run_scf(&sim(), &cfg_a).unwrap();
+        assert!(cold_a.converged);
+        // Continuation: a neighboring bias point seeded from A's
+        // converged self-energies.
+        let mut cfg_b = cfg;
+        cfg_b.gf.contacts.mu_left = 0.22;
+        cfg_b.gf.contacts.mu_right = -0.22;
+        let cold_b = run_scf(&sim(), &cfg_b).unwrap();
+        assert!(cold_b.converged);
+        let warm_b = run_scf_with(
+            &sim(),
+            &cfg_b,
+            ScfOptions {
+                warm: Some(WarmStart {
+                    sigma: cold_a.sigma.clone(),
+                    pi: cold_a.pi.clone(),
+                }),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(warm_b.converged);
+        assert!(
+            warm_b.iterations < cold_b.iterations,
+            "warm start must save iterations: warm {} vs cold {}",
+            warm_b.iterations,
+            cold_b.iterations
+        );
+        // Same fixed point: the warm and cold solves agree to the
+        // convergence tolerance (both stopped at residual < 1e-8).
+        let last_cold = cold_b.current_history.last().unwrap();
+        let last_warm = warm_b.current_history.last().unwrap();
+        assert!(
+            (last_cold - last_warm).abs() <= 1e-6 * last_cold.abs().max(1e-12),
+            "warm-started current {last_warm} vs cold {last_cold}"
+        );
+        // A wrong-shape warm seed is refused with a typed error.
+        let bad = run_scf_with(
+            &sim(),
+            &cfg_b,
+            ScfOptions {
+                warm: Some(WarmStart {
+                    sigma: ElectronSelfEnergy::zeros(&SimParams {
+                        nkz: 2,
+                        nqz: 2,
+                        ne: 10,
+                        nw: 2,
+                        na: 12,
+                        nb: 3,
+                        norb: 2,
+                        bnum: 4,
+                    }),
+                    pi: cold_a.pi.clone(),
+                }),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            bad,
+            Err(ScfError::ShapeMismatch {
+                source: "warm-start",
+                ..
+            })
+        ));
     }
 
     #[test]

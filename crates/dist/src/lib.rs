@@ -9,6 +9,7 @@ pub mod comm;
 pub mod decomp;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
+pub mod pool;
 pub mod runner;
 pub mod schemes;
 pub mod volume;
@@ -19,6 +20,7 @@ pub use comm::{run_elastic_world, run_world, CommError, LivenessConfig, ThreadCo
 pub use decomp::ElasticTiling;
 #[cfg(feature = "fault-inject")]
 pub use fault::{FaultAction, FaultPlan, RetryPolicy};
+pub use pool::{RankLease, RankPool};
 pub use runner::{
     distributed_iteration_elastic, distributed_iteration_tiled, maybe_rebalance,
     ElasticIterationResult, ElasticPolicy,

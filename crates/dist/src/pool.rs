@@ -1,0 +1,201 @@
+//! A leasable pool of world slots for the sweep service.
+//!
+//! The service batches concurrent bias sweeps onto one shared set of
+//! rank threads. Each solve leases a contiguous capacity slice from this
+//! pool and returns it on drop, so two requests can run side by side
+//! without oversubscribing the machine, and a request that panics or is
+//! cancelled can never leak its slots — RAII gives the lease back.
+//!
+//! Ranks that die mid-solve (detected by the elastic layer as a
+//! [`qt_telemetry`-journaled rank death]) are *retired*: the pool's
+//! capacity shrinks permanently and later leases are served from the
+//! survivors. Retirement never blocks — a dead rank owes nothing.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct PoolState {
+    /// Slots currently available to lease.
+    available: usize,
+    /// Total slots the pool still owns (shrinks on retirement).
+    capacity: usize,
+}
+
+/// Shared, blocking pool of world slots. Cheaply cloneable; all clones
+/// lease from the same capacity.
+#[derive(Clone)]
+pub struct RankPool {
+    state: Arc<(Mutex<PoolState>, Condvar)>,
+}
+
+/// A leased slice of the pool. Returns its slots on drop.
+pub struct RankLease {
+    pool: RankPool,
+    slots: usize,
+}
+
+impl RankLease {
+    /// Number of world slots this lease holds.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+}
+
+impl Drop for RankLease {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.pool.state;
+        let mut st = lock.lock().unwrap();
+        // A retirement that raced this return may have shrunk capacity
+        // below available + slots; never exceed what the pool still owns.
+        st.available = (st.available + self.slots).min(st.capacity);
+        cvar.notify_all();
+    }
+}
+
+impl RankPool {
+    /// A pool owning `capacity` world slots.
+    pub fn new(capacity: usize) -> RankPool {
+        RankPool {
+            state: Arc::new((
+                Mutex::new(PoolState {
+                    available: capacity,
+                    capacity,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Total slots the pool still owns (initial capacity minus
+    /// retirements).
+    pub fn capacity(&self) -> usize {
+        self.state.0.lock().unwrap().capacity
+    }
+
+    /// Slots currently available to lease.
+    pub fn available(&self) -> usize {
+        self.state.0.lock().unwrap().available
+    }
+
+    /// Lease `slots` slots without blocking. `None` when the pool cannot
+    /// satisfy the request right now — or ever, if retirements have
+    /// shrunk capacity below `slots` (callers distinguish via
+    /// [`RankPool::capacity`]).
+    pub fn try_lease(&self, slots: usize) -> Option<RankLease> {
+        let mut st = self.state.0.lock().unwrap();
+        if st.available < slots {
+            return None;
+        }
+        st.available -= slots;
+        Some(RankLease {
+            pool: self.clone(),
+            slots,
+        })
+    }
+
+    /// Lease `slots` slots, blocking until they free up or `timeout`
+    /// elapses. Returns `None` on timeout, and immediately when
+    /// retirements have made the request permanently unsatisfiable.
+    pub fn lease_timeout(&self, slots: usize, timeout: Duration) -> Option<RankLease> {
+        let (lock, cvar) = &*self.state;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = lock.lock().unwrap();
+        while st.available < slots {
+            if st.capacity < slots {
+                return None; // can never be satisfied
+            }
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (guard, res) = cvar.wait_timeout(st, left).unwrap();
+            st = guard;
+            if res.timed_out() && st.available < slots {
+                return None;
+            }
+        }
+        st.available -= slots;
+        Some(RankLease {
+            pool: self.clone(),
+            slots,
+        })
+    }
+
+    /// Permanently remove `slots` slots from the pool after rank deaths.
+    /// Prefers idle slots; any remainder is absorbed as leases return
+    /// (their slots are not re-added past the shrunk capacity).
+    pub fn retire(&self, slots: usize) {
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        st.capacity = st.capacity.saturating_sub(slots);
+        st.available = st.available.min(st.capacity);
+        // Waiters re-check capacity and give up if now unsatisfiable.
+        cvar.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn leases_return_on_drop() {
+        let pool = RankPool::new(4);
+        let a = pool.try_lease(3).unwrap();
+        assert_eq!(pool.available(), 1);
+        assert!(pool.try_lease(2).is_none(), "only one slot left");
+        let b = pool.try_lease(1).unwrap();
+        assert_eq!((a.slots(), b.slots()), (3, 1));
+        drop(a);
+        assert_eq!(pool.available(), 3);
+        drop(b);
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    fn blocking_lease_wakes_when_slots_free() {
+        let pool = RankPool::new(2);
+        let held = pool.try_lease(2).unwrap();
+        let p2 = pool.clone();
+        let waiter = thread::spawn(move || p2.lease_timeout(2, Duration::from_secs(10)));
+        thread::sleep(Duration::from_millis(20));
+        drop(held);
+        let lease = waiter.join().unwrap().expect("waiter gets the slots");
+        assert_eq!(lease.slots(), 2);
+    }
+
+    #[test]
+    fn lease_times_out_when_pool_stays_full() {
+        let pool = RankPool::new(1);
+        let _held = pool.try_lease(1).unwrap();
+        assert!(pool.lease_timeout(1, Duration::from_millis(30)).is_none());
+    }
+
+    #[test]
+    fn retirement_shrinks_capacity_and_absorbs_returns() {
+        let pool = RankPool::new(4);
+        let lease = pool.try_lease(3).unwrap();
+        // Two ranks die: one idle slot is reclaimed immediately, the
+        // other debt is absorbed when the outstanding lease returns.
+        pool.retire(2);
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.available(), 1);
+        drop(lease);
+        assert_eq!(pool.available(), 2, "returns never exceed capacity");
+        // A request larger than the shrunk capacity fails fast instead
+        // of blocking forever.
+        assert!(pool.lease_timeout(3, Duration::from_secs(10)).is_none());
+    }
+
+    #[test]
+    fn retirement_wakes_doomed_waiters() {
+        let pool = RankPool::new(2);
+        let _held = pool.try_lease(2).unwrap();
+        let p2 = pool.clone();
+        let waiter = thread::spawn(move || p2.lease_timeout(2, Duration::from_secs(10)));
+        thread::sleep(Duration::from_millis(20));
+        pool.retire(1);
+        assert!(
+            waiter.join().unwrap().is_none(),
+            "waiter gives up once capacity < request"
+        );
+    }
+}

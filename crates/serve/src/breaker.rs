@@ -1,0 +1,121 @@
+//! Per-variant circuit breaker.
+//!
+//! A device variant whose sweeps keep failing (singular blocks, rank
+//! loss past the recovery budget, non-convergent even cold) burns
+//! worker time and retry budget for every client that touches it. The
+//! breaker quarantines such a variant at admission time: after
+//! `threshold` consecutive failed requests the variant is *open* —
+//! submits are rejected immediately with a retry-after hint — until a
+//! cooldown passes, when one probe request is allowed through
+//! (half-open). A success closes the breaker and resets the count.
+
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct VariantState {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+/// Consecutive-failure circuit breaker over a fixed set of variants.
+/// Interior mutability belongs to the caller (the service holds it
+/// behind a `Mutex` alongside the rest of its admission state).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    states: Vec<VariantState>,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    pub fn new(variants: usize, threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            states: vec![VariantState::default(); variants],
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// Admission check. `Err(retry_after)` while the breaker is open;
+    /// `Ok` otherwise. A check after the cooldown elapses transitions to
+    /// half-open: it admits the caller as the probe and re-arms the
+    /// cooldown so concurrent submits don't stampede the variant.
+    pub fn check(&mut self, variant: usize, now: Instant) -> Result<(), Duration> {
+        let st = &mut self.states[variant];
+        match st.open_until {
+            Some(until) if now < until => Err(until - now),
+            Some(_) => {
+                st.open_until = Some(now + self.cooldown);
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Record a failed request. Returns `true` when this failure opens
+    /// the breaker (trip edge, not a level), so the caller can bump the
+    /// counter and journal exactly once per trip.
+    pub fn record_failure(&mut self, variant: usize, now: Instant) -> bool {
+        let st = &mut self.states[variant];
+        st.consecutive_failures += 1;
+        if st.consecutive_failures >= self.threshold {
+            let newly_open = st.open_until.is_none_or(|until| now >= until);
+            st.open_until = Some(now + self.cooldown);
+            return newly_open;
+        }
+        false
+    }
+
+    /// Record a successful request: closes the breaker and resets the
+    /// failure count.
+    pub fn record_success(&mut self, variant: usize) {
+        self.states[variant] = VariantState::default();
+    }
+
+    /// Is the variant currently rejecting submits?
+    pub fn is_open(&self, variant: usize, now: Instant) -> bool {
+        self.states[variant]
+            .open_until
+            .is_some_and(|until| now < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_and_recloses_on_success() {
+        let mut br = CircuitBreaker::new(2, 3, Duration::from_secs(60));
+        let t0 = Instant::now();
+        assert!(br.check(0, t0).is_ok());
+        assert!(!br.record_failure(0, t0));
+        assert!(!br.record_failure(0, t0));
+        assert!(br.record_failure(0, t0), "third failure trips");
+        assert!(br.is_open(0, t0));
+        let err = br.check(0, t0).unwrap_err();
+        assert!(err <= Duration::from_secs(60));
+        // The other variant is unaffected.
+        assert!(br.check(1, t0).is_ok());
+        // After the cooldown, one probe goes through (half-open)...
+        let later = t0 + Duration::from_secs(61);
+        assert!(br.check(0, later).is_ok());
+        // ...and immediately re-arms against a stampede.
+        assert!(br.check(0, later).is_err());
+        // A success closes it for good.
+        br.record_success(0);
+        assert!(br.check(0, later).is_ok());
+        assert!(br.check(0, later).is_ok());
+    }
+
+    #[test]
+    fn failure_during_open_does_not_rejournal_the_trip() {
+        let mut br = CircuitBreaker::new(1, 1, Duration::from_secs(60));
+        let t0 = Instant::now();
+        assert!(br.record_failure(0, t0), "first failure trips");
+        assert!(
+            !br.record_failure(0, t0),
+            "failures while already open are not new trips"
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-variant warm-start store.
+//!
+//! Every converged bias point deposits its self-energies here; a later
+//! point of the same variant seeds its Born iteration from the nearest
+//! deposited bias. Seeds are shared behind `Arc` — depositing never
+//! copies tensors, and a lookup clones only at the solver boundary
+//! (`ScfOptions::warm` takes owned state).
+
+use std::sync::{Arc, Mutex};
+
+use qt_core::scf::WarmStart;
+
+/// Nearest-bias warm-start store for one device variant.
+#[derive(Default)]
+pub struct WarmStore {
+    /// `(bias, seed)` pairs in deposit order; small (one per solved
+    /// point), so nearest lookup is a linear scan.
+    entries: Mutex<Vec<(f64, Arc<WarmStart>)>>,
+}
+
+impl WarmStore {
+    pub fn new() -> Self {
+        WarmStore::default()
+    }
+
+    /// Deposit the converged state of `bias`. Replaces an existing entry
+    /// at the same bias (latest solve wins).
+    pub fn deposit(&self, bias: f64, seed: Arc<WarmStart>) {
+        let mut entries = self.entries.lock().unwrap();
+        match entries.iter_mut().find(|(b, _)| *b == bias) {
+            Some(slot) => slot.1 = seed,
+            None => entries.push((bias, seed)),
+        }
+    }
+
+    /// The seed whose bias is nearest to `bias`, if any.
+    pub fn nearest(&self, bias: f64) -> Option<(f64, Arc<WarmStart>)> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .min_by(|(a, _), (b, _)| (a - bias).abs().partial_cmp(&(b - bias).abs()).unwrap())
+            .map(|(b, s)| (*b, s.clone()))
+    }
+
+    /// Number of deposited seeds.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qt_core::gf::{ElectronSelfEnergy, PhononSelfEnergy};
+    use qt_core::params::SimParams;
+
+    fn seed() -> Arc<WarmStart> {
+        let p = SimParams {
+            nkz: 1,
+            nqz: 1,
+            ne: 2,
+            nw: 1,
+            na: 4,
+            nb: 2,
+            norb: 1,
+            bnum: 2,
+        };
+        Arc::new(WarmStart {
+            sigma: ElectronSelfEnergy::zeros(&p),
+            pi: PhononSelfEnergy::zeros(&p),
+        })
+    }
+
+    #[test]
+    fn nearest_picks_the_closest_bias_and_deposit_replaces() {
+        let store = WarmStore::new();
+        assert!(store.nearest(0.1).is_none());
+        store.deposit(0.0, seed());
+        store.deposit(0.4, seed());
+        assert_eq!(store.nearest(0.1).unwrap().0, 0.0);
+        assert_eq!(store.nearest(0.3).unwrap().0, 0.4);
+        let replacement = seed();
+        store.deposit(0.4, replacement.clone());
+        assert_eq!(store.len(), 2, "same-bias deposit replaces, not appends");
+        assert!(Arc::ptr_eq(&store.nearest(0.39).unwrap().1, &replacement));
+    }
+}

@@ -49,7 +49,17 @@ const KERNEL_SPARSE_NS: usize = 31;
 const KERNEL_DENSE_NS: usize = 32;
 const KERNEL_SPARSE_PRED_NS: usize = 33;
 const KERNEL_DENSE_PRED_NS: usize = 34;
-const N_COUNTERS: usize = 35;
+const SERVICE_ADMITTED: usize = 35;
+const SERVICE_REJECTED: usize = 36;
+const SERVICE_COMPLETED: usize = 37;
+const SERVICE_FAILED: usize = 38;
+const SERVICE_DEADLINE_CANCELS: usize = 39;
+const SERVICE_WARM_STARTS: usize = 40;
+const SERVICE_WARM_FALLBACKS: usize = 41;
+const SERVICE_RETRIES: usize = 42;
+const SERVICE_BREAKER_OPENS: usize = 43;
+const SERVICE_DRAINED: usize = 44;
+const N_COUNTERS: usize = 45;
 
 struct Cell {
     v: [AtomicU64; N_COUNTERS],
@@ -323,9 +333,130 @@ pub fn add_kernel_dense_pred_ns(n: u64) {
     bump(KERNEL_DENSE_PRED_NS, n);
 }
 
+/// Account one sweep request admitted into the service queue
+/// (`service.admitted`).
+#[inline]
+pub fn add_service_admitted() {
+    bump(SERVICE_ADMITTED, 1);
+}
+
+/// Account one sweep request rejected with backpressure — queue full,
+/// shutdown in progress, or an open circuit breaker
+/// (`service.rejected`).
+#[inline]
+pub fn add_service_rejected() {
+    bump(SERVICE_REJECTED, 1);
+}
+
+/// Account one sweep request completed with every point answered
+/// (`service.completed`).
+#[inline]
+pub fn add_service_completed() {
+    bump(SERVICE_COMPLETED, 1);
+}
+
+/// Account one sweep request that ended in failure after exhausting its
+/// retry budget (`service.failed`).
+#[inline]
+pub fn add_service_failed() {
+    bump(SERVICE_FAILED, 1);
+}
+
+/// Account one request cancelled by the deadline watchdog
+/// (`service.deadline_cancels`).
+#[inline]
+pub fn add_service_deadline_cancel() {
+    bump(SERVICE_DEADLINE_CANCELS, 1);
+}
+
+/// Account one sweep point seeded from a neighboring converged solve
+/// (`service.warm_starts`).
+#[inline]
+pub fn add_service_warm_start() {
+    bump(SERVICE_WARM_STARTS, 1);
+}
+
+/// Account one warm-start validation failure that degraded to a cold
+/// solve (`service.warm_fallbacks`).
+#[inline]
+pub fn add_service_warm_fallback() {
+    bump(SERVICE_WARM_FALLBACKS, 1);
+}
+
+/// Account one per-request retry after a transient failure
+/// (`service.retries`).
+#[inline]
+pub fn add_service_retry() {
+    bump(SERVICE_RETRIES, 1);
+}
+
+/// Account one circuit-breaker trip quarantining a device variant
+/// (`service.breaker_opens`).
+#[inline]
+pub fn add_service_breaker_open() {
+    bump(SERVICE_BREAKER_OPENS, 1);
+}
+
+/// Account one in-flight sweep point checkpointed by drain-on-shutdown
+/// (`service.drained`).
+#[inline]
+pub fn add_service_drained() {
+    bump(SERVICE_DRAINED, 1);
+}
+
 /// Total flops across all threads (alive or exited) since the last reset.
 pub fn total_flops() -> u64 {
     total(FLOPS)
+}
+
+/// Total admitted sweep requests since the last reset.
+pub fn total_service_admitted() -> u64 {
+    total(SERVICE_ADMITTED)
+}
+
+/// Total backpressure-rejected sweep requests since the last reset.
+pub fn total_service_rejected() -> u64 {
+    total(SERVICE_REJECTED)
+}
+
+/// Total completed sweep requests since the last reset.
+pub fn total_service_completed() -> u64 {
+    total(SERVICE_COMPLETED)
+}
+
+/// Total failed sweep requests since the last reset.
+pub fn total_service_failed() -> u64 {
+    total(SERVICE_FAILED)
+}
+
+/// Total deadline cancellations since the last reset.
+pub fn total_service_deadline_cancels() -> u64 {
+    total(SERVICE_DEADLINE_CANCELS)
+}
+
+/// Total warm-started sweep points since the last reset.
+pub fn total_service_warm_starts() -> u64 {
+    total(SERVICE_WARM_STARTS)
+}
+
+/// Total warm-to-cold degradations since the last reset.
+pub fn total_service_warm_fallbacks() -> u64 {
+    total(SERVICE_WARM_FALLBACKS)
+}
+
+/// Total per-request retries since the last reset.
+pub fn total_service_retries() -> u64 {
+    total(SERVICE_RETRIES)
+}
+
+/// Total circuit-breaker trips since the last reset.
+pub fn total_service_breaker_opens() -> u64 {
+    total(SERVICE_BREAKER_OPENS)
+}
+
+/// Total drain-checkpointed sweep points since the last reset.
+pub fn total_service_drained() -> u64 {
+    total(SERVICE_DRAINED)
 }
 
 /// Total sparse kernel-selector decisions since the last reset.
@@ -705,6 +836,51 @@ mod tests {
         assert!(total_kernel_dense_ns() >= 20);
         assert!(total_kernel_sparse_pred_ns() >= 12);
         assert!(total_kernel_dense_pred_ns() >= 18);
+    }
+
+    #[test]
+    fn service_counts_accumulate() {
+        let before = [
+            total_service_admitted(),
+            total_service_rejected(),
+            total_service_completed(),
+            total_service_failed(),
+            total_service_deadline_cancels(),
+            total_service_warm_starts(),
+            total_service_warm_fallbacks(),
+            total_service_retries(),
+            total_service_breaker_opens(),
+            total_service_drained(),
+        ];
+        // Two admissions so the settled totals (completed + failed) never
+        // exceed admissions — the report validator checks that invariant
+        // against these same process-global counters.
+        add_service_admitted();
+        add_service_admitted();
+        add_service_rejected();
+        add_service_completed();
+        add_service_failed();
+        add_service_deadline_cancel();
+        add_service_warm_start();
+        add_service_warm_fallback();
+        add_service_retry();
+        add_service_breaker_open();
+        add_service_drained();
+        let after = [
+            total_service_admitted(),
+            total_service_rejected(),
+            total_service_completed(),
+            total_service_failed(),
+            total_service_deadline_cancels(),
+            total_service_warm_starts(),
+            total_service_warm_fallbacks(),
+            total_service_retries(),
+            total_service_breaker_opens(),
+            total_service_drained(),
+        ];
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert!(a - b >= 1, "service counter {i} did not advance");
+        }
     }
 
     #[test]

@@ -106,6 +106,48 @@ pub enum EventKind {
         /// Iteration wall time in seconds.
         wall_secs: f64,
     },
+    /// A sweep request passed admission control and entered the queue.
+    RequestAdmitted {
+        /// Service-assigned request id.
+        request: u64,
+    },
+    /// A sweep request was rejected with backpressure (queue full,
+    /// breaker open, or shutdown).
+    RequestRejected {
+        /// Service-assigned request id.
+        request: u64,
+    },
+    /// A sweep request finished with every point answered.
+    RequestDone {
+        /// Service-assigned request id.
+        request: u64,
+        /// Points that degraded from a warm start to a cold solve.
+        degraded_points: u64,
+    },
+    /// The deadline watchdog cancelled an in-flight request.
+    DeadlineExpired {
+        /// Service-assigned request id.
+        request: u64,
+    },
+    /// A warm-started point failed validation and re-ran cold.
+    WarmFallback {
+        /// Service-assigned request id.
+        request: u64,
+        /// Sweep point index within the request.
+        point: u64,
+    },
+    /// The circuit breaker quarantined a device variant.
+    BreakerOpen {
+        /// Variant slot in the service's variant table.
+        variant: u64,
+    },
+    /// Drain-on-shutdown checkpointed an in-flight sweep point.
+    DrainCheckpoint {
+        /// Service-assigned request id.
+        request: u64,
+        /// Sweep point index within the request.
+        point: u64,
+    },
     /// Marker prepended at drain time for a ring that overflowed:
     /// `dropped` older events were overwritten before this drain.
     Overflow {
@@ -131,6 +173,13 @@ impl EventKind {
             EventKind::CheckpointWrite => "checkpoint_write",
             EventKind::KernelChoice { .. } => "kernel_choice",
             EventKind::IterationDone { .. } => "iteration_done",
+            EventKind::RequestAdmitted { .. } => "request_admitted",
+            EventKind::RequestRejected { .. } => "request_rejected",
+            EventKind::RequestDone { .. } => "request_done",
+            EventKind::DeadlineExpired { .. } => "deadline_expired",
+            EventKind::WarmFallback { .. } => "warm_fallback",
+            EventKind::BreakerOpen { .. } => "breaker_open",
+            EventKind::DrainCheckpoint { .. } => "drain_checkpoint",
             EventKind::Overflow { .. } => "overflow",
         }
     }
@@ -403,6 +452,22 @@ impl Event {
                 ));
                 fields.push(("wall_secs".to_string(), Json::Num(wall_secs)));
             }
+            EventKind::RequestAdmitted { request }
+            | EventKind::RequestRejected { request }
+            | EventKind::DeadlineExpired { request } => num("request", request as f64),
+            EventKind::RequestDone {
+                request,
+                degraded_points,
+            } => {
+                num("request", request as f64);
+                num("degraded_points", degraded_points as f64);
+            }
+            EventKind::WarmFallback { request, point }
+            | EventKind::DrainCheckpoint { request, point } => {
+                num("request", request as f64);
+                num("point", point as f64);
+            }
+            EventKind::BreakerOpen { variant } => num("variant", variant as f64),
             EventKind::Overflow { dropped } => num("dropped", dropped as f64),
             EventKind::EtaRetry | EventKind::CheckpointWrite => {}
         }
@@ -472,6 +537,30 @@ impl Event {
                 },
                 wall_secs: num("wall_secs")?,
             },
+            "request_admitted" => EventKind::RequestAdmitted {
+                request: int("request")?,
+            },
+            "request_rejected" => EventKind::RequestRejected {
+                request: int("request")?,
+            },
+            "request_done" => EventKind::RequestDone {
+                request: int("request")?,
+                degraded_points: int("degraded_points")?,
+            },
+            "deadline_expired" => EventKind::DeadlineExpired {
+                request: int("request")?,
+            },
+            "warm_fallback" => EventKind::WarmFallback {
+                request: int("request")?,
+                point: int("point")?,
+            },
+            "breaker_open" => EventKind::BreakerOpen {
+                variant: int("variant")?,
+            },
+            "drain_checkpoint" => EventKind::DrainCheckpoint {
+                request: int("request")?,
+                point: int("point")?,
+            },
             "overflow" => EventKind::Overflow {
                 dropped: int("dropped")?,
             },
@@ -536,6 +625,34 @@ impl Event {
                 } else {
                     format!("iteration done (no residual), {wall_secs:.3}s")
                 }
+            }
+            EventKind::RequestAdmitted { request } => {
+                format!("request {request} admitted into the sweep queue")
+            }
+            EventKind::RequestRejected { request } => {
+                format!("request {request} rejected with backpressure")
+            }
+            EventKind::RequestDone {
+                request,
+                degraded_points,
+            } => {
+                if degraded_points > 0 {
+                    format!("request {request} done ({degraded_points} points degraded to cold)")
+                } else {
+                    format!("request {request} done")
+                }
+            }
+            EventKind::DeadlineExpired { request } => {
+                format!("deadline expired, cancelling request {request}")
+            }
+            EventKind::WarmFallback { request, point } => {
+                format!("request {request} point {point} fell back from warm start to cold solve")
+            }
+            EventKind::BreakerOpen { variant } => {
+                format!("circuit breaker opened for device variant {variant}")
+            }
+            EventKind::DrainCheckpoint { request, point } => {
+                format!("drain checkpointed request {request} point {point}")
             }
             EventKind::Overflow { dropped } => {
                 format!("[ring overflow: {dropped} older events lost]")
@@ -652,6 +769,22 @@ mod tests {
             EventKind::IterationDone {
                 residual: 1e-6,
                 wall_secs: 0.25,
+            },
+            EventKind::RequestAdmitted { request: 1 },
+            EventKind::RequestRejected { request: 2 },
+            EventKind::RequestDone {
+                request: 1,
+                degraded_points: 2,
+            },
+            EventKind::DeadlineExpired { request: 3 },
+            EventKind::WarmFallback {
+                request: 1,
+                point: 4,
+            },
+            EventKind::BreakerOpen { variant: 0 },
+            EventKind::DrainCheckpoint {
+                request: 5,
+                point: 6,
             },
             EventKind::Overflow { dropped: 17 },
         ];

@@ -9,7 +9,7 @@
 //!
 //! Naming convention: `<block>.<field>`, where `<block>` matches the
 //! report block (`health`, `elastic`, `balance`, `boundary`, `alloc`,
-//! `journal`) and `<field>` the counter inside it. The Prometheus
+//! `journal`, `service`) and `<field>` the counter inside it. The Prometheus
 //! rendering in [`crate::series`] maps `.` to `_` and prefixes `qt_`.
 
 /// Total real floating-point operations.
@@ -68,9 +68,29 @@ pub const KERNEL_SPARSE_FLOPS: &str = "kernel.sparse_flops";
 pub const KERNEL_SPARSE_BYTES: &str = "kernel.sparse_bytes";
 /// Flops of selector-governed coupling products run densely.
 pub const KERNEL_DENSE_FLOPS: &str = "kernel.dense_flops";
+/// Sweep requests admitted into the service queue.
+pub const SERVICE_ADMITTED: &str = "service.admitted";
+/// Sweep requests rejected with backpressure.
+pub const SERVICE_REJECTED: &str = "service.rejected";
+/// Sweep requests completed with every point answered.
+pub const SERVICE_COMPLETED: &str = "service.completed";
+/// Sweep requests that failed after exhausting retries.
+pub const SERVICE_FAILED: &str = "service.failed";
+/// Requests cancelled by the deadline watchdog.
+pub const SERVICE_DEADLINE_CANCELS: &str = "service.deadline_cancels";
+/// Sweep points seeded from a neighboring converged solve.
+pub const SERVICE_WARM_STARTS: &str = "service.warm_starts";
+/// Warm-start validation failures degraded to cold solves.
+pub const SERVICE_WARM_FALLBACKS: &str = "service.warm_fallbacks";
+/// Per-request retries after transient failures.
+pub const SERVICE_RETRIES: &str = "service.retries";
+/// Circuit-breaker trips quarantining device variants.
+pub const SERVICE_BREAKER_OPENS: &str = "service.breaker_opens";
+/// In-flight sweep points checkpointed by drain-on-shutdown.
+pub const SERVICE_DRAINED: &str = "service.drained";
 
 /// Number of metrics sampled into every time-series snapshot.
-pub const N_SERIES_METRICS: usize = 26;
+pub const N_SERIES_METRICS: usize = 36;
 
 /// The metric names of a time-series sample, in sampling order. The
 /// order is part of the series schema: `Sample::values[i]` is the total
@@ -102,6 +122,16 @@ pub const SERIES_METRICS: [&str; N_SERIES_METRICS] = [
     KERNEL_SPARSE_FLOPS,
     KERNEL_SPARSE_BYTES,
     KERNEL_DENSE_FLOPS,
+    SERVICE_ADMITTED,
+    SERVICE_REJECTED,
+    SERVICE_COMPLETED,
+    SERVICE_FAILED,
+    SERVICE_DEADLINE_CANCELS,
+    SERVICE_WARM_STARTS,
+    SERVICE_WARM_FALLBACKS,
+    SERVICE_RETRIES,
+    SERVICE_BREAKER_OPENS,
+    SERVICE_DRAINED,
 ];
 
 /// The report's `health` block keys are the `health.*` metric names with

@@ -304,6 +304,61 @@ impl KernelSelectionReport {
     }
 }
 
+/// Sweep-service availability summary: what admission control, the
+/// deadline watchdog, warm-start degradation, retry, the circuit
+/// breaker, and drain-on-shutdown did over the service's lifetime.
+/// `warm_starts` counts seeding *attempts*, so `warm_fallbacks` (seeds
+/// that failed validation and re-ran cold) can never exceed it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceReport {
+    /// Sweep requests admitted into the service queue.
+    pub admitted: u64,
+    /// Sweep requests rejected with backpressure.
+    pub rejected: u64,
+    /// Sweep requests completed with every point answered.
+    pub completed: u64,
+    /// Sweep requests that failed after exhausting retries.
+    pub failed: u64,
+    /// Requests cancelled by the deadline watchdog.
+    pub deadline_cancels: u64,
+    /// Sweep points seeded from a neighboring converged solve.
+    pub warm_starts: u64,
+    /// Warm-start validation failures degraded to cold solves.
+    pub warm_fallbacks: u64,
+    /// Per-request retries after transient failures.
+    pub retries: u64,
+    /// Circuit-breaker trips quarantining device variants.
+    pub breaker_opens: u64,
+    /// In-flight sweep points checkpointed by drain-on-shutdown.
+    pub drained: u64,
+}
+
+impl ServiceReport {
+    /// Snapshot the global service counters. Settled-side counters
+    /// (completed, failed, warm_fallbacks) are read *before* their
+    /// attempted-side counterparts (admitted, warm_starts): the service
+    /// bumps attempts before settlements, so with monotonic counters this
+    /// read order keeps `completed + failed <= admitted` and
+    /// `warm_fallbacks <= warm_starts` true even mid-run.
+    pub fn from_counters() -> Self {
+        let completed = counters::total_service_completed();
+        let failed = counters::total_service_failed();
+        let warm_fallbacks = counters::total_service_warm_fallbacks();
+        ServiceReport {
+            admitted: counters::total_service_admitted(),
+            rejected: counters::total_service_rejected(),
+            completed,
+            failed,
+            deadline_cancels: counters::total_service_deadline_cancels(),
+            warm_starts: counters::total_service_warm_starts(),
+            warm_fallbacks,
+            retries: counters::total_service_retries(),
+            breaker_opens: counters::total_service_breaker_opens(),
+            drained: counters::total_service_drained(),
+        }
+    }
+}
+
 /// Metrics time-series block: the periodic counter snapshots taken by
 /// [`crate::series`], in chronological order, with ring-drop accounting.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -400,6 +455,10 @@ pub struct TelemetryReport {
     /// the per-block sparse/dense selector (`check-report
     /// --require-kernel-selection` rejects reports without it).
     pub kernel_selection: Option<KernelSelectionReport>,
+    /// Sweep-service availability summary; `None` until a run touched
+    /// the service admission path (`check-report --require-service`
+    /// rejects reports without it).
+    pub service: Option<ServiceReport>,
     /// Metrics time-series; `None` unless series sampling was enabled.
     pub series: Option<SeriesBlock>,
     /// Event-journal summary; `None` unless journaling was enabled.
@@ -466,6 +525,8 @@ impl TelemetryReport {
                 + counters::total_kernel_dense_selected()
                 > 0)
             .then(KernelSelectionReport::from_counters),
+            service: (counters::total_service_admitted() + counters::total_service_rejected() > 0)
+                .then(ServiceReport::from_counters),
             series: series::series_enabled().then(SeriesBlock::from_series),
             journal: journal::journaling_enabled().then(JournalBlock::from_journal),
         }
@@ -639,6 +700,30 @@ impl TelemetryReport {
                 ),
             ]),
         };
+        let service = match &self.service {
+            None => Json::Null,
+            Some(s) => Json::Obj(vec![
+                ("admitted".to_string(), Json::Num(s.admitted as f64)),
+                ("rejected".to_string(), Json::Num(s.rejected as f64)),
+                ("completed".to_string(), Json::Num(s.completed as f64)),
+                ("failed".to_string(), Json::Num(s.failed as f64)),
+                (
+                    "deadline_cancels".to_string(),
+                    Json::Num(s.deadline_cancels as f64),
+                ),
+                ("warm_starts".to_string(), Json::Num(s.warm_starts as f64)),
+                (
+                    "warm_fallbacks".to_string(),
+                    Json::Num(s.warm_fallbacks as f64),
+                ),
+                ("retries".to_string(), Json::Num(s.retries as f64)),
+                (
+                    "breaker_opens".to_string(),
+                    Json::Num(s.breaker_opens as f64),
+                ),
+                ("drained".to_string(), Json::Num(s.drained as f64)),
+            ]),
+        };
         let series_block = match &self.series {
             None => Json::Null,
             Some(s) => Json::Obj(vec![
@@ -691,6 +776,7 @@ impl TelemetryReport {
             ("elasticity".to_string(), elasticity),
             ("balance".to_string(), balance),
             ("kernel_selection".to_string(), kernel_selection),
+            ("service".to_string(), service),
             ("series".to_string(), series_block),
             ("journal".to_string(), journal_block),
         ])
@@ -789,6 +875,21 @@ impl TelemetryReport {
                     predicted_sparse_secs: num_field(k, "predicted_sparse_secs")?,
                     predicted_dense_secs: num_field(k, "predicted_dense_secs")?,
                     crossover_density: num_field(k, "crossover_density")?,
+                }),
+            },
+            service: match root.get("service") {
+                Some(Json::Null) | None => None,
+                Some(s) => Some(ServiceReport {
+                    admitted: int_field(s, "admitted")?,
+                    rejected: int_field(s, "rejected")?,
+                    completed: int_field(s, "completed")?,
+                    failed: int_field(s, "failed")?,
+                    deadline_cancels: int_field(s, "deadline_cancels")?,
+                    warm_starts: int_field(s, "warm_starts")?,
+                    warm_fallbacks: int_field(s, "warm_fallbacks")?,
+                    retries: int_field(s, "retries")?,
+                    breaker_opens: int_field(s, "breaker_opens")?,
+                    drained: int_field(s, "drained")?,
                 }),
             },
             series: match root.get("series") {
@@ -970,6 +1071,24 @@ impl TelemetryReport {
                 ));
             }
         }
+        if let Some(s) = &self.service {
+            if s.admitted + s.rejected == 0 {
+                return Err("service block present but no requests recorded".into());
+            }
+            if s.completed + s.failed > s.admitted {
+                return Err(format!(
+                    "service settled {} requests but admitted only {}",
+                    s.completed + s.failed,
+                    s.admitted
+                ));
+            }
+            if s.warm_fallbacks > s.warm_starts {
+                return Err(format!(
+                    "service warm_fallbacks {} exceeds warm_starts {}",
+                    s.warm_fallbacks, s.warm_starts
+                ));
+            }
+        }
         if let Some(s) = &self.series {
             if s.samples
                 .iter()
@@ -1063,6 +1182,18 @@ mod tests {
             predicted_dense_secs: 0.038,
             crossover_density: 0.3,
         });
+        rep.service = Some(ServiceReport {
+            admitted: 8,
+            rejected: 2,
+            completed: 6,
+            failed: 1,
+            deadline_cancels: 1,
+            warm_starts: 5,
+            warm_fallbacks: 1,
+            retries: 2,
+            breaker_opens: 1,
+            drained: 3,
+        });
         rep.series = Some(SeriesBlock {
             samples: vec![
                 series::Sample {
@@ -1098,6 +1229,25 @@ mod tests {
             sparse_selected: 1,
             crossover_density: 1.5,
             ..KernelSelectionReport::default()
+        });
+        assert!(bad.validate().is_err());
+        // A service block with no traffic, over-settled requests, or more
+        // fallbacks than warm attempts must not validate.
+        bad.kernel_selection = rep.kernel_selection.clone();
+        bad.service = Some(ServiceReport::default());
+        assert!(bad.validate().is_err());
+        bad.service = Some(ServiceReport {
+            admitted: 2,
+            completed: 2,
+            failed: 1,
+            ..ServiceReport::default()
+        });
+        assert!(bad.validate().is_err());
+        bad.service = Some(ServiceReport {
+            admitted: 2,
+            warm_starts: 1,
+            warm_fallbacks: 2,
+            ..ServiceReport::default()
         });
         assert!(bad.validate().is_err());
         // An inconsistent journal summary must not validate.
@@ -1160,6 +1310,23 @@ mod tests {
             "dense_flops",
         ] {
             assert!(names::is_registered(&format!("kernel.{key}")));
+        }
+        // Every field of the service block mirrors a registered counter.
+        rep.service = Some(ServiceReport {
+            admitted: 1,
+            ..ServiceReport::default()
+        });
+        let root = Json::parse(&rep.to_json()).unwrap();
+        match root.get("service") {
+            Some(Json::Obj(fields)) => {
+                assert!(!fields.is_empty());
+                for (key, _) in fields {
+                    let metric = format!("service.{key}");
+                    assert!(names::is_registered(&metric), "unregistered {metric:?}");
+                    assert_eq!(names::field_of(&metric), *key);
+                }
+            }
+            other => panic!("service block is not an object: {other:?}"),
         }
         // Series samples key their values by the registered names
         // verbatim.

@@ -158,6 +158,16 @@ fn snapshot_values() -> [u64; names::N_SERIES_METRICS] {
         counters::total_kernel_sparse_flops(),
         counters::total_kernel_sparse_bytes(),
         counters::total_kernel_dense_flops(),
+        counters::total_service_admitted(),
+        counters::total_service_rejected(),
+        counters::total_service_completed(),
+        counters::total_service_failed(),
+        counters::total_service_deadline_cancels(),
+        counters::total_service_warm_starts(),
+        counters::total_service_warm_fallbacks(),
+        counters::total_service_retries(),
+        counters::total_service_breaker_opens(),
+        counters::total_service_drained(),
     ]
 }
 

@@ -37,6 +37,7 @@ fn main() {
         mu_left: 0.35,
         mu_right: -0.35,
         temperature: 300.0,
+        ..Contacts::default()
     };
 
     println!("== FinFET self-heating (Fig. 1d reproduction) ==");

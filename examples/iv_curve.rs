@@ -42,6 +42,7 @@ fn main() {
             mu_left: v / 2.0,
             mu_right: -v / 2.0,
             temperature: 300.0,
+            ..Contacts::default()
         };
         let out = run_scf(&sim, &cfg).expect("SCF");
         let ballistic = out.current_history[0];

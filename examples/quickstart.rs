@@ -39,6 +39,7 @@ fn main() {
         mu_left: 0.25,
         mu_right: -0.25,
         temperature: 300.0,
+        ..Contacts::default()
     };
 
     let (result, flop) = qt_linalg::count_flops(|| run_scf(&sim, &cfg).expect("SCF solve"));

@@ -134,6 +134,7 @@ fn observables_behave_physically() {
         mu_left: 0.3,
         mu_right: -0.3,
         temperature: 300.0,
+        ..Contacts::default()
     };
     let out = run_scf(&sim, &cfg).unwrap();
     let power =
@@ -163,6 +164,7 @@ fn current_is_odd_under_bias_reversal() {
             mu_left: mu,
             mu_right: -mu,
             temperature: 300.0,
+            ..Contacts::default()
         };
         *run_scf(&sim, &cfg).unwrap().current_history.last().unwrap()
     };
