@@ -67,6 +67,10 @@ fn main() {
         serve_cmd(&args[1..]);
         return;
     }
+    if which == "corpus" {
+        corpus_cmd(&args[1..]);
+        return;
+    }
     let known = [
         "all",
         "table1",
@@ -83,7 +87,7 @@ fn main() {
     if !known.contains(&which.as_str()) {
         eprintln!(
             "unknown subcommand {which:?} (expected one of: profile, check-report, balance, \
-             postmortem, table6, serve, {})",
+             postmortem, table6, serve, corpus, {})",
             known.join(", ")
         );
         std::process::exit(2);
@@ -1386,6 +1390,10 @@ fn serve_cmd(flags: &[String]) {
                 ..Default::default()
             },
         )
+        .unwrap_or_else(|e| {
+            eprintln!("serve FAILED: variant registration rejected: {e}");
+            std::process::exit(1);
+        })
     };
     let biases: Vec<f64> = (0..points).map(|i| 0.05 + 0.01 * i as f64).collect();
     let wait = Duration::from_secs(600);
@@ -1952,11 +1960,643 @@ fn balance(flags: &[String]) {
 }
 
 /// Re-parse and re-validate a report written by `profile` (CI smoke).
+/// One executed sweep point of a corpus scenario: the observables and
+/// coverage fingerprint that get pinned in the golden record.
+struct CorpusPoint {
+    bias: f64,
+    temperature: f64,
+    converged: bool,
+    iterations: usize,
+    current: f64,
+    total_points: usize,
+    /// Flattened grid indices the health layer quarantined, in order.
+    quarantine: Vec<usize>,
+}
+
+fn bits_hex(v: f64) -> String {
+    format!("{:#018x}", v.to_bits())
+}
+
+fn parse_bits(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.trim_start_matches("0x"), 16).ok()
+}
+
+fn scenario_error_tag(e: &qt_scenario::ScenarioError) -> &'static str {
+    use qt_scenario::ScenarioError as E;
+    match e {
+        E::Syntax { .. } => "syntax",
+        E::UnknownKey { .. } => "unknown-key",
+        E::TypeMismatch { .. } => "type-mismatch",
+        E::MissingKey { .. } => "missing-key",
+        E::OutOfRange { .. } => "out-of-range",
+        E::Invalid { .. } => "invalid",
+    }
+}
+
+/// `reproduce corpus`: run the scenario zoo and self-gate against the
+/// committed golden records.
+///
+/// Tiers, all fail-closed (any gate miss exits 1):
+///  - invalid corpus: every `corpus/invalid/*.toml` must be rejected
+///    with exactly the `ScenarioError` variant its `#! expect:` header
+///    declares — the strict-validation contract, pinned as data;
+///  - golden runs: every `corpus/scenarios/*.toml` builds and sweeps;
+///    observables must match the golden record bitwise or within the
+///    tolerance the record itself states, and the quarantine fingerprint
+///    must match exactly (disordered scenarios must quarantine at least
+///    one point and report it honestly);
+///  - chaos matrix (`--chaos`, fault-inject builds): each clean scenario
+///    re-runs through the service with a mid-sweep rank kill; recovery
+///    must be bitwise invisible against both the in-process fault-free
+///    service run and the golden service record.
+fn corpus_cmd(flags: &[String]) {
+    use qt_core::scf::{run_scf_with, ScfOptions};
+    use qt_telemetry::counters;
+    use qt_telemetry::json::Json;
+
+    let mut dir = "corpus".to_string();
+    let mut write_golden = false;
+    let mut chaos = false;
+    let mut only: Option<Vec<String>> = None;
+    let mut report_path: Option<String> = None;
+    let mut i = 0;
+    while i < flags.len() {
+        let need = |what: &str| {
+            flags.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match flags[i].as_str() {
+            "--dir" => {
+                dir = need("--dir");
+                i += 1;
+            }
+            "--write-golden" => write_golden = true,
+            "--chaos" => chaos = true,
+            "--scenarios" => {
+                only = Some(need("--scenarios").split(',').map(str::to_string).collect());
+                i += 1;
+            }
+            "--report" => {
+                report_path = Some(need("--report"));
+                i += 1;
+            }
+            other => {
+                eprintln!(
+                    "unknown corpus flag {other:?} (expected --dir/--write-golden/--chaos/\
+                     --scenarios a,b/--report <path>)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    if chaos {
+        eprintln!("--chaos requires building with --features fault-inject");
+        std::process::exit(2);
+    }
+
+    println!("== corpus: golden-result scenario zoo ==");
+    qt_telemetry::reset_all();
+    qt_telemetry::set_enabled(true);
+    qt_telemetry::set_journaling(true);
+    let mut failures: Vec<String> = Vec::new();
+
+    let toml_files = |sub: &str| -> Vec<std::path::PathBuf> {
+        let path = std::path::Path::new(&dir).join(sub);
+        let mut files: Vec<_> = match std::fs::read_dir(&path) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+                .collect(),
+            Err(e) => {
+                eprintln!("cannot read corpus directory {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        files.sort();
+        files
+    };
+
+    // ---- Tier 0: the invalid corpus must be rejected, precisely. ----
+    println!("-- invalid corpus: strict validation --");
+    for path in toml_files("invalid") {
+        let name = path
+            .file_stem()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let Some(expect) = src
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("#! expect:"))
+            .map(str::trim)
+        else {
+            failures.push(format!(
+                "invalid/{name}: missing `#! expect: <variant>` header line"
+            ));
+            continue;
+        };
+        match qt_scenario::load(&src) {
+            Ok(_) => failures.push(format!(
+                "invalid/{name}: expected {expect} rejection but the scenario built"
+            )),
+            Err(e) if scenario_error_tag(&e) == expect => {
+                println!("  {name:<24} rejected as expected: {e}");
+            }
+            Err(e) => failures.push(format!(
+                "invalid/{name}: expected {expect}, got {}: {e}",
+                scenario_error_tag(&e)
+            )),
+        }
+    }
+
+    // ---- Tier 1: golden scenario runs. ----
+    println!("-- golden runs --");
+    let selected = |name: &str| only.as_ref().is_none_or(|o| o.iter().any(|n| n == name));
+    // Built scenarios kept for the chaos tier (clean ones only).
+    let mut chaos_queue: Vec<(qt_scenario::BuiltScenario, Vec<CorpusPoint>)> = Vec::new();
+    for path in toml_files("scenarios") {
+        let src = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let stem = path
+            .file_stem()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .into_owned();
+        if !selected(&stem) {
+            continue;
+        }
+        let built = match qt_scenario::load(&src) {
+            Ok(b) => b,
+            Err(e) => {
+                failures.push(format!("scenarios/{stem}: failed to build: {e}"));
+                continue;
+            }
+        };
+        let name = built.scenario.name.clone();
+        if name != stem {
+            failures.push(format!(
+                "scenarios/{stem}: scenario name {name:?} disagrees with its file name"
+            ));
+        }
+        let sweep = built.sweep_points();
+        println!("  {name}: {} sweep points", sweep.len());
+        let mut points = Vec::with_capacity(sweep.len());
+        let mut run_failed = false;
+        for &(bias, temperature) in &sweep {
+            let cfg = built.config_at(bias, temperature);
+            match run_scf_with(&built.sim, &cfg, ScfOptions::default()) {
+                Ok(out) => {
+                    let cov = &out.electron.coverage;
+                    println!(
+                        "    bias {bias:>5.2} V  T {temperature:>5.0} K  current {:>12.4e}  \
+                         iters {:>2}  quarantined {}/{}",
+                        out.electron.current,
+                        out.iterations,
+                        cov.quarantined.len(),
+                        cov.total_points
+                    );
+                    points.push(CorpusPoint {
+                        bias,
+                        temperature,
+                        converged: out.converged,
+                        iterations: out.iterations,
+                        current: out.electron.current,
+                        total_points: cov.total_points,
+                        quarantine: cov.quarantined.iter().map(|q| q.grid_index).collect(),
+                    });
+                }
+                Err(e) => {
+                    failures.push(format!(
+                        "{name}: point (bias {bias}, T {temperature}) failed outright: {e}"
+                    ));
+                    run_failed = true;
+                }
+            }
+        }
+        counters::add_corpus_scenario_run();
+        if run_failed {
+            counters::add_corpus_mismatched();
+            continue;
+        }
+
+        // Disorder honesty gate: a disordered scenario that never
+        // quarantines is not exercising the health layer it exists to
+        // pin; and whatever it quarantines must be an honest report.
+        if built
+            .disorder
+            .as_ref()
+            .is_some_and(|d| d.vacancy_fraction > 0.0)
+        {
+            let quarantined: usize = points.iter().map(|p| p.quarantine.len()).sum();
+            if quarantined == 0 {
+                failures.push(format!(
+                    "{name}: disordered scenario quarantined nothing — the vacancy \
+                     resonance is not reaching the health layer"
+                ));
+            }
+            for p in &points {
+                let mut seen = std::collections::BTreeSet::new();
+                for &idx in &p.quarantine {
+                    if idx >= p.total_points {
+                        failures.push(format!(
+                            "{name}: dishonest coverage at bias {}: quarantined index \
+                             {idx} >= total_points {}",
+                            p.bias, p.total_points
+                        ));
+                    }
+                    if !seen.insert(idx) {
+                        failures.push(format!(
+                            "{name}: dishonest coverage at bias {}: index {idx} \
+                             quarantined twice",
+                            p.bias
+                        ));
+                    }
+                }
+            }
+        }
+
+        let golden_path = std::path::Path::new(&dir)
+            .join("golden")
+            .join(format!("{name}.json"));
+        if write_golden {
+            #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+            let mut obj = vec![
+                ("scenario".to_string(), Json::Str(name.clone())),
+                (
+                    "tolerance".to_string(),
+                    Json::Obj(vec![
+                        ("abs".to_string(), Json::Num(1e-12)),
+                        ("rel".to_string(), Json::Num(1e-9)),
+                    ]),
+                ),
+                (
+                    "points".to_string(),
+                    Json::Arr(
+                        points
+                            .iter()
+                            .map(|p| {
+                                Json::Obj(vec![
+                                    ("bias".to_string(), Json::Num(p.bias)),
+                                    ("temperature".to_string(), Json::Num(p.temperature)),
+                                    ("converged".to_string(), Json::Bool(p.converged)),
+                                    ("iterations".to_string(), Json::Num(p.iterations as f64)),
+                                    ("current".to_string(), Json::Num(p.current)),
+                                    ("current_bits".to_string(), Json::Str(bits_hex(p.current))),
+                                    ("total_points".to_string(), Json::Num(p.total_points as f64)),
+                                    (
+                                        "quarantine".to_string(),
+                                        Json::Arr(
+                                            p.quarantine
+                                                .iter()
+                                                .map(|&q| Json::Num(q as f64))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ];
+            #[cfg(feature = "fault-inject")]
+            if chaos && built.disorder.is_none() {
+                let service = corpus_service_sweep(&built, None, &mut failures);
+                obj.push((
+                    "service".to_string(),
+                    Json::Arr(
+                        service
+                            .iter()
+                            .map(|p| {
+                                Json::Obj(vec![
+                                    ("bias".to_string(), Json::Num(p.bias)),
+                                    ("current_bits".to_string(), Json::Str(bits_hex(p.current))),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
+            std::fs::create_dir_all(golden_path.parent().unwrap()).ok();
+            let body = Json::Obj(obj).dump() + "\n";
+            std::fs::write(&golden_path, body).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", golden_path.display());
+                std::process::exit(1);
+            });
+            println!("    golden record written: {}", golden_path.display());
+        } else {
+            match compare_golden(&name, &golden_path, &points) {
+                Ok(()) => counters::add_corpus_matched(),
+                Err(diffs) => {
+                    counters::add_corpus_mismatched();
+                    failures.extend(diffs);
+                }
+            }
+        }
+        if built.disorder.is_none() {
+            chaos_queue.push((built, points));
+        }
+    }
+
+    // ---- Tier 2: chaos matrix (fault-inject builds only). ----
+    #[cfg(feature = "fault-inject")]
+    if chaos && !write_golden {
+        println!("-- chaos matrix: mid-sweep rank kill per scenario --");
+        for (built, _) in &chaos_queue {
+            let name = built.scenario.name.clone();
+            let reference = corpus_service_sweep(built, None, &mut failures);
+            let killed = corpus_service_sweep(built, Some(1), &mut failures);
+            qt_telemetry::counters::add_corpus_chaos_rerun();
+            if reference.len() != killed.len() {
+                failures.push(format!(
+                    "{name}: chaos rerun answered {} points, fault-free answered {}",
+                    killed.len(),
+                    reference.len()
+                ));
+                continue;
+            }
+            let mut diverged = 0usize;
+            for (a, b) in reference.iter().zip(&killed) {
+                if a.current.to_bits() != b.current.to_bits() {
+                    diverged += 1;
+                    failures.push(format!(
+                        "{name}: chaos rerun diverged at bias {} V: {:e} vs {:e}",
+                        a.bias, a.current, b.current
+                    ));
+                }
+            }
+            // Gate the fault-free service run against the golden service
+            // record too: recovery being self-consistent is not enough if
+            // the service itself drifted from the committed baseline.
+            let golden_path = std::path::Path::new(&dir)
+                .join("golden")
+                .join(format!("{name}.json"));
+            match std::fs::read_to_string(&golden_path)
+                .ok()
+                .and_then(|s| qt_telemetry::json::Json::parse(&s).ok())
+            {
+                Some(doc) => match doc.get("service").and_then(|s| s.as_array()) {
+                    Some(records) if records.len() == reference.len() => {
+                        for (i, (rec, got)) in records.iter().zip(&reference).enumerate() {
+                            let bits = rec
+                                .get("current_bits")
+                                .and_then(|b| b.as_str())
+                                .and_then(parse_bits);
+                            if bits != Some(got.current.to_bits()) {
+                                failures.push(format!(
+                                    "{name}: service point {i} drifted from the golden \
+                                     service record (bias {} V)",
+                                    got.bias
+                                ));
+                            }
+                        }
+                    }
+                    _ => failures.push(format!(
+                        "{name}: golden record has no matching service block — \
+                         regenerate with --write-golden --chaos"
+                    )),
+                },
+                None => failures.push(format!(
+                    "{name}: no readable golden record for the chaos gate"
+                )),
+            }
+            if diverged == 0 {
+                println!(
+                    "  {name}: rank kill bitwise invisible across {} points",
+                    reference.len()
+                );
+            }
+        }
+    }
+    let _ = &chaos_queue;
+
+    if let Some(path) = &report_path {
+        let rep = qt_telemetry::TelemetryReport::from_current();
+        if let Err(e) = rep.validate() {
+            failures.push(format!("telemetry report failed validation: {e}"));
+        }
+        std::fs::write(path, rep.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("  report written to {path}");
+    }
+
+    let rep = qt_telemetry::report::CorpusReport::from_counters();
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("corpus FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "corpus OK: {} built, {} rejected as expected, {} run, {} matched, {} chaos reruns",
+        rep.scenarios_built,
+        rep.scenarios_rejected,
+        rep.scenarios_run,
+        rep.matched,
+        rep.chaos_reruns
+    );
+}
+
+/// Compare one scenario's run against its golden record. Observables
+/// match bitwise or within the tolerance the record itself states; the
+/// coverage fingerprint must match exactly. Every mismatching current is
+/// journaled as a [`qt_telemetry::EventKind::CorpusMismatch`] so a
+/// postmortem carries the exact bit patterns.
+fn compare_golden(
+    name: &str,
+    golden_path: &std::path::Path,
+    points: &[CorpusPoint],
+) -> Result<(), Vec<String>> {
+    use qt_telemetry::json::Json;
+    let src = match std::fs::read_to_string(golden_path) {
+        Ok(s) => s,
+        Err(e) => {
+            return Err(vec![format!(
+                "{name}: no golden record at {} ({e}) — run `reproduce corpus --write-golden`",
+                golden_path.display()
+            )])
+        }
+    };
+    let doc = match Json::parse(&src) {
+        Ok(d) => d,
+        Err(e) => return Err(vec![format!("{name}: golden record unparsable: {e}")]),
+    };
+    let abs_tol = doc
+        .get("tolerance")
+        .and_then(|t| t.get("abs"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let rel_tol = doc
+        .get("tolerance")
+        .and_then(|t| t.get("rel"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let Some(golden) = doc.get("points").and_then(|p| p.as_array()) else {
+        return Err(vec![format!("{name}: golden record has no points array")]);
+    };
+    let mut diffs = Vec::new();
+    if golden.len() != points.len() {
+        return Err(vec![format!(
+            "{name}: sweep shape changed: {} golden points, {} run",
+            golden.len(),
+            points.len()
+        )]);
+    }
+    for (i, (g, p)) in golden.iter().zip(points).enumerate() {
+        let gf = |key: &str| g.get(key).and_then(Json::as_f64);
+        if gf("bias") != Some(p.bias) || gf("temperature") != Some(p.temperature) {
+            diffs.push(format!(
+                "{name}: point {i} sweep coordinates changed (golden bias {:?}, run {})",
+                gf("bias"),
+                p.bias
+            ));
+            continue;
+        }
+        let golden_bits = g
+            .get("current_bits")
+            .and_then(|b| b.as_str())
+            .and_then(parse_bits);
+        let Some(golden_bits) = golden_bits else {
+            diffs.push(format!(
+                "{name}: point {i} golden record lacks current_bits"
+            ));
+            continue;
+        };
+        let golden_current = f64::from_bits(golden_bits);
+        let exact = golden_bits == p.current.to_bits();
+        let within =
+            (p.current - golden_current).abs() <= abs_tol.max(rel_tol * golden_current.abs());
+        if !exact && !within {
+            qt_telemetry::journal::emit(qt_telemetry::EventKind::CorpusMismatch {
+                point: i as u64,
+                golden_bits,
+                got_bits: p.current.to_bits(),
+            });
+            diffs.push(format!(
+                "{name}: point {i} (bias {} V) current {:e} diverged from golden {:e} \
+                 (|Δ| {:e}, tolerance abs {abs_tol:e} rel {rel_tol:e})",
+                p.bias,
+                p.current,
+                golden_current,
+                (p.current - golden_current).abs()
+            ));
+        } else if !exact {
+            println!(
+                "    point {i}: current within tolerance of golden (|Δ| {:e})",
+                (p.current - golden_current).abs()
+            );
+        }
+        if g.get("converged").and_then(Json::as_bool) != Some(p.converged) {
+            diffs.push(format!("{name}: point {i} convergence flag changed"));
+        }
+        if g.get("iterations").and_then(Json::as_u64) != Some(p.iterations as u64) {
+            diffs.push(format!(
+                "{name}: point {i} iteration count changed (golden {:?}, run {})",
+                g.get("iterations").and_then(Json::as_u64),
+                p.iterations
+            ));
+        }
+        if g.get("total_points").and_then(Json::as_u64) != Some(p.total_points as u64) {
+            diffs.push(format!("{name}: point {i} coverage denominator changed"));
+        }
+        let golden_quarantine: Option<Vec<usize>> =
+            g.get("quarantine").and_then(|q| q.as_array()).map(|a| {
+                a.iter()
+                    .filter_map(|v| v.as_u64().map(|u| u as usize))
+                    .collect()
+            });
+        if golden_quarantine.as_deref() != Some(&p.quarantine[..]) {
+            diffs.push(format!(
+                "{name}: point {i} quarantine fingerprint changed (golden {:?}, run {:?})",
+                golden_quarantine, p.quarantine
+            ));
+        }
+    }
+    if diffs.is_empty() {
+        println!("    matches golden record ({} points)", points.len());
+        Ok(())
+    } else {
+        Err(diffs)
+    }
+}
+
+/// Run one scenario's bias sweep through the service layer, optionally
+/// killing a pool rank mid-sweep. A single worker keeps the warm-start
+/// deposit order deterministic, so two runs of the same sweep are
+/// bitwise comparable.
+#[cfg(feature = "fault-inject")]
+fn corpus_service_sweep(
+    built: &qt_scenario::BuiltScenario,
+    kill_rank: Option<usize>,
+    failures: &mut Vec<String>,
+) -> Vec<qt_serve::PointResult> {
+    use qt_serve::{ServeConfig, Service, SweepRequest, SweepStatus, VariantSpec};
+    let name = &built.scenario.name;
+    let temperature = built.scenario.sweep.temperatures[0];
+    let spec = VariantSpec {
+        params: built.params,
+        emin: built.scenario.grid.emin,
+        emax: built.scenario.grid.emax,
+        cfg: built.config_at(0.0, temperature),
+    };
+    let svc = match Service::start(
+        vec![spec],
+        ServeConfig {
+            workers: 1,
+            pool_slots: 4,
+            ..Default::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("{name}: service refused the scenario variant: {e}"));
+            return Vec::new();
+        }
+    };
+    let req = SweepRequest {
+        chaos_kill_rank: kill_rank,
+        ..SweepRequest::new(0, built.scenario.sweep.biases.clone())
+    };
+    let ticket = match svc.submit(req) {
+        Ok(t) => t,
+        Err(e) => {
+            failures.push(format!("{name}: service rejected the sweep: {e}"));
+            return Vec::new();
+        }
+    };
+    let resp = ticket.wait_timeout(std::time::Duration::from_secs(600));
+    svc.shutdown();
+    match resp.map(|r| r.status) {
+        Some(SweepStatus::Completed { points }) => points,
+        Some(other) => {
+            failures.push(format!("{name}: service sweep did not complete: {other:?}"));
+            Vec::new()
+        }
+        None => {
+            failures.push(format!("{name}: service sweep unanswered after 600 s"));
+            Vec::new()
+        }
+    }
+}
+
 fn check_report(flags: &[String]) {
     let mut require_boundary_hits = false;
     let mut require_health = false;
     let mut require_kernel_selection = false;
     let mut require_service = false;
+    let mut require_corpus = false;
     let mut require_balance: Option<f64> = None;
     let mut path: Option<String> = None;
     let mut i = 0;
@@ -1966,6 +2606,7 @@ fn check_report(flags: &[String]) {
             "--require-health" => require_health = true,
             "--require-kernel-selection" => require_kernel_selection = true,
             "--require-service" => require_service = true,
+            "--require-corpus" => require_corpus = true,
             "--require-balance" => {
                 let v = flags.get(i + 1).and_then(|v| v.parse().ok());
                 require_balance = Some(v.unwrap_or_else(|| {
@@ -1979,7 +2620,7 @@ fn check_report(flags: &[String]) {
                 eprintln!(
                     "unknown check-report flag {other:?} (expected --require-boundary-hits/\
                      --require-health/--require-kernel-selection/--require-service/\
-                     --require-balance <ratio>)"
+                     --require-corpus/--require-balance <ratio>)"
                 );
                 std::process::exit(2);
             }
@@ -2050,6 +2691,27 @@ fn check_report(flags: &[String]) {
         };
         if s.admitted == 0 {
             eprintln!("report FAILED: service block recorded zero admitted requests");
+            std::process::exit(1);
+        }
+    }
+    if require_corpus {
+        let Some(c) = &rep.corpus else {
+            eprintln!(
+                "report FAILED: no corpus block — the run did not execute any \
+                 golden-corpus scenarios"
+            );
+            std::process::exit(1);
+        };
+        if c.scenarios_run == 0 {
+            eprintln!("report FAILED: corpus block recorded zero scenarios executed");
+            std::process::exit(1);
+        }
+        if c.mismatched > 0 {
+            eprintln!(
+                "report FAILED: corpus recorded {} scenario(s) diverging from their \
+                 golden records",
+                c.mismatched
+            );
             std::process::exit(1);
         }
     }

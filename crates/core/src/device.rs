@@ -43,7 +43,14 @@ impl Device {
     /// Neighbor slots are filled with the nearest atoms by Euclidean
     /// distance, restricted to the same or adjacent slabs.
     pub fn new(p: &SimParams) -> Self {
-        p.validate().expect("invalid simulation parameters");
+        Device::try_new(p).expect("invalid simulation parameters")
+    }
+
+    /// Fallible [`Device::new`]: the entry point for user-supplied
+    /// parameters (scenario files, service variant registration), where
+    /// invalid dimensions must surface as an error instead of a panic.
+    pub fn try_new(p: &SimParams) -> Result<Self, String> {
+        p.validate()?;
         let atoms_per_slab = p.atoms_per_block();
         let mut positions = Vec::with_capacity(p.na);
         for slab in 0..p.bnum {
@@ -76,13 +83,35 @@ impl Device {
                 neighbors[a][slot] = b;
             }
         }
-        Device {
+        Ok(Device {
             na: p.na,
             nb: p.nb,
             bnum: p.bnum,
             atoms_per_slab,
             positions,
             neighbors,
+        })
+    }
+
+    /// Delete (vacate) lattice sites: every neighbor slot pointing at a
+    /// deleted site is emptied, in both directions, so the site decouples
+    /// from the lattice entirely. The atom index itself survives — tensor
+    /// shapes stay `[NA, …]` — but the site carries no bonds, which is how
+    /// a vacancy manifests in a tight-binding model. Indices `>= na` are
+    /// ignored.
+    ///
+    /// Combined with [`crate::hamiltonian::Disorder`] (which pins the
+    /// dangling level's on-site energy), this is the seeded-disorder
+    /// substrate of the scenario layer.
+    pub fn delete_sites(&mut self, sites: &[usize]) {
+        let vacant = |a: usize| sites.contains(&a);
+        for a in 0..self.na {
+            for slot in 0..self.nb {
+                let b = self.neighbors[a][slot];
+                if b != NO_NEIGHBOR && (vacant(a) || vacant(b)) {
+                    self.neighbors[a][slot] = NO_NEIGHBOR;
+                }
+            }
         }
     }
 
@@ -286,6 +315,44 @@ mod tests {
         // Strictly fewer pairs than the dense device.
         let dense = Device::new(&p);
         assert!(d.coupling_pairs().len() < dense.coupling_pairs().len());
+    }
+
+    #[test]
+    fn invalid_parameters_are_errors_not_panics() {
+        let mut p = SimParams::test_small();
+        p.bnum = 3; // does not divide na = 16
+        assert!(Device::try_new(&p).is_err());
+        let mut p2 = SimParams::test_small();
+        p2.na = 0;
+        assert!(Device::try_new(&p2).is_err());
+        assert!(Device::try_new(&SimParams::test_small()).is_ok());
+    }
+
+    #[test]
+    fn deleted_sites_carry_no_bonds_in_either_direction() {
+        let p = SimParams::test_small();
+        let mut d = Device::new(&p);
+        let victim = d.na / 2;
+        d.delete_sites(&[victim]);
+        for s in 0..d.nb {
+            assert!(d.neighbor(victim, s).is_none(), "vacancy kept a bond");
+        }
+        for a in 0..d.na {
+            for s in 0..d.nb {
+                assert_ne!(
+                    d.neighbor(a, s),
+                    Some(victim),
+                    "atom {a} still bonds the vacancy"
+                );
+            }
+        }
+        // The vacancy is absent from the symmetric pair set too.
+        assert!(d
+            .coupling_pairs()
+            .iter()
+            .all(|&(a, b)| a != victim && b != victim));
+        // Out-of-range indices are ignored, not a panic.
+        d.delete_sites(&[usize::MAX, d.na + 7]);
     }
 
     #[test]

@@ -28,20 +28,34 @@ pub struct Grids {
 impl Grids {
     /// Build grids spanning `[emin, emax]` with the simulation dimensions.
     pub fn new(p: &SimParams, emin: f64, emax: f64) -> Self {
-        assert!(emax > emin, "empty energy window");
-        assert!(p.ne > 1);
+        Grids::try_new(p, emin, emax).expect("invalid energy window")
+    }
+
+    /// Fallible [`Grids::new`]: the entry point for user-supplied windows
+    /// (scenario files), where a bad window must surface as an error
+    /// instead of a panic.
+    pub fn try_new(p: &SimParams, emin: f64, emax: f64) -> Result<Self, String> {
+        if !emin.is_finite() || !emax.is_finite() {
+            return Err(format!("energy window [{emin}, {emax}] must be finite"));
+        }
+        if emax <= emin {
+            return Err(format!("empty energy window: emax {emax} <= emin {emin}"));
+        }
+        if p.ne <= 1 {
+            return Err(format!("ne must exceed 1, got {}", p.ne));
+        }
         let de = (emax - emin) / (p.ne - 1) as f64;
         let energies = (0..p.ne).map(|e| emin + e as f64 * de).collect();
         let omegas = (0..p.nw).map(|l| (l + 1) as f64 * de).collect();
         let kz = momentum_points(p.nkz);
         let qz = momentum_points(p.nqz);
-        Grids {
+        Ok(Grids {
             energies,
             omegas,
             kz,
             qz,
             de,
-        }
+        })
     }
 
     /// Index of `E − ω_l` on the energy grid, `None` if below the window.
@@ -173,6 +187,19 @@ mod tests {
         assert!((ratio - (w / (KB_EV * t)).exp()).abs() < 1e-9);
         // High-frequency limit vanishes.
         assert!(bose(10.0, 300.0) < 1e-12);
+    }
+
+    #[test]
+    fn bad_windows_are_typed_errors_not_panics() {
+        let p = SimParams::test_small();
+        assert!(Grids::try_new(&p, 1.0, -1.0).is_err());
+        assert!(Grids::try_new(&p, 0.0, 0.0).is_err());
+        assert!(Grids::try_new(&p, f64::NAN, 1.0).is_err());
+        assert!(Grids::try_new(&p, -1.0, f64::INFINITY).is_err());
+        let mut p1 = p;
+        p1.ne = 1;
+        assert!(Grids::try_new(&p1, -1.0, 1.0).is_err());
+        assert!(Grids::try_new(&p, -1.0, 1.0).is_ok());
     }
 
     #[test]

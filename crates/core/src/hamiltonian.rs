@@ -37,6 +37,63 @@ fn uniform(key: u64) -> f64 {
     (mix(key) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
 }
 
+/// Seeded lattice disorder: deterministic vacancies (site deletion) and
+/// on-site energy perturbation. Both draws are keyed on `(seed, site)`
+/// through the same splitmix64 hash as the clean model, so a disordered
+/// device is exactly reproducible from its seed — disordered runs can be
+/// golden-tested, and the numerical pathology they provoke (an isolated
+/// resonant level at zero device broadening is a genuinely singular RGF
+/// block) is the *same* pathology on every run.
+///
+/// The two halves of a vacancy live in different builders: the bond
+/// pruning is applied to the [`Device`] ([`Device::delete_sites`] with
+/// [`Disorder::vacancies`]), the dangling level's pinned on-site energy in
+/// [`ElectronModel::onsite`]. [`crate::scf::Simulation::disordered`] wires
+/// both from one spec.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Disorder {
+    /// Seed of every per-site draw.
+    pub seed: u64,
+    /// Fraction of sites deleted (vacancies), in `[0, 1]`.
+    pub vacancy_fraction: f64,
+    /// On-site energy perturbation amplitude (eV) on surviving sites;
+    /// each site's orbitals shift together by `amplitude · u(site)` with
+    /// `u ∈ [-1, 1)`.
+    pub onsite_amplitude: f64,
+    /// Energy (eV) the dangling level of a vacancy is pinned to. Placing
+    /// it exactly on an energy grid point (with `device_eta = 0`) makes
+    /// the vacancy's decoupled diagonal exactly singular there — the
+    /// legitimate `SingularBlock` the quarantine machinery exists for.
+    pub vacancy_level: f64,
+}
+
+impl Disorder {
+    /// Uniform draw in `[0, 1)` for a `(seed, site, salt)` key.
+    fn draw(&self, site: usize, salt: u64) -> f64 {
+        let key = self
+            .seed
+            .wrapping_mul(0x9E37)
+            .wrapping_add((site as u64) << 16)
+            ^ salt;
+        (mix(key) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Is `site` deleted under this spec?
+    pub fn is_vacant(&self, site: usize) -> bool {
+        self.vacancy_fraction > 0.0 && self.draw(site, 0x7ACA) < self.vacancy_fraction
+    }
+
+    /// All vacant sites among `0..na`, ascending.
+    pub fn vacancies(&self, na: usize) -> Vec<usize> {
+        (0..na).filter(|&a| self.is_vacant(a)).collect()
+    }
+
+    /// On-site energy shift (eV) of a surviving `site`.
+    pub fn onsite_shift(&self, site: usize) -> f64 {
+        self.onsite_amplitude * (2.0 * self.draw(site, 0x0514) - 1.0)
+    }
+}
+
 /// Electron structure generator.
 #[derive(Clone, Debug)]
 pub struct ElectronModel {
@@ -51,6 +108,8 @@ pub struct ElectronModel {
     pub overlap: f64,
     /// Random seed folded into every coupling.
     pub seed: u64,
+    /// Seeded defect/vacancy disorder; `None` is the pristine lattice.
+    pub disorder: Option<Disorder>,
 }
 
 impl Default for ElectronModel {
@@ -62,6 +121,7 @@ impl Default for ElectronModel {
             z_coupling: 0.15,
             overlap: 0.04,
             seed: 0x5EED,
+            disorder: None,
         }
     }
 }
@@ -100,13 +160,22 @@ impl ElectronModel {
     }
 
     /// Onsite block of atom `a` (Hermitian), including the `2·cos(kz)`
-    /// periodic z-coupling.
-    fn onsite(&self, a: usize, kz: f64) -> Matrix {
+    /// periodic z-coupling. Under [`Disorder`], a vacant site's orbitals
+    /// collapse to the pinned dangling level (no z dispersion — the site
+    /// carries no bonds), and surviving sites pick up their seeded
+    /// per-site shift.
+    pub fn onsite(&self, a: usize, kz: f64) -> Matrix {
+        if let Some(d) = self.disorder {
+            if d.is_vacant(a) {
+                return Matrix::scaled_identity(self.norb, c64(d.vacancy_level, 0.0));
+            }
+        }
+        let shift = self.disorder.map_or(0.0, |d| d.onsite_shift(a));
         let mut m = Matrix::zeros(self.norb, self.norb);
         for o in 0..self.norb {
             let eps = self.onsite_spacing * (o as f64 - (self.norb - 1) as f64 / 2.0)
                 + 0.05 * uniform(self.seed ^ ((a as u64) << 8) ^ o as u64);
-            m[(o, o)] = c64(eps + 2.0 * self.z_coupling * kz.cos(), 0.0);
+            m[(o, o)] = c64(eps + shift + 2.0 * self.z_coupling * kz.cos(), 0.0);
         }
         m
     }
@@ -425,6 +494,76 @@ mod tests {
                     let expect = fwd.dagger().scale(c64(-1.0, 0.0));
                     assert!(rev.max_abs_diff(&expect) < 1e-12, "pair ({a},{b}) dir {i}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn disorder_draws_are_deterministic_per_seed() {
+        let d1 = Disorder {
+            seed: 0xD15EA5E,
+            vacancy_fraction: 0.25,
+            onsite_amplitude: 0.1,
+            vacancy_level: 0.0,
+        };
+        let d2 = d1;
+        assert_eq!(d1.vacancies(64), d2.vacancies(64));
+        for a in 0..64 {
+            assert_eq!(d1.onsite_shift(a).to_bits(), d2.onsite_shift(a).to_bits());
+        }
+        // A different seed reshuffles the vacancies (for any fraction in
+        // (0, 1) the chance of identical 64-site draws is negligible, and
+        // this is a fixed-seed check, not a statistical one).
+        let d3 = Disorder { seed: 0xBEEF, ..d1 };
+        assert_ne!(d1.vacancies(64), d3.vacancies(64));
+        // Fraction bounds behave.
+        let none = Disorder {
+            vacancy_fraction: 0.0,
+            ..d1
+        };
+        assert!(none.vacancies(64).is_empty());
+        let all = Disorder {
+            vacancy_fraction: 1.0,
+            ..d1
+        };
+        assert_eq!(all.vacancies(8).len(), 8);
+    }
+
+    #[test]
+    fn vacant_sites_collapse_to_the_pinned_level() {
+        let p = SimParams::test_small();
+        let disorder = Disorder {
+            seed: 42,
+            vacancy_fraction: 0.3,
+            onsite_amplitude: 0.05,
+            vacancy_level: 0.125,
+        };
+        let mut dev = Device::new(&p);
+        dev.delete_sites(&disorder.vacancies(p.na));
+        let mut em = ElectronModel::for_params(&p);
+        em.disorder = Some(disorder);
+        let clean = ElectronModel::for_params(&p);
+        let vacancies = disorder.vacancies(p.na);
+        assert!(!vacancies.is_empty(), "seed 42 must produce vacancies");
+        let h = em.hamiltonian(&dev, 0.7);
+        assert!(h.is_hermitian(1e-12), "disorder must keep H Hermitian");
+        for a in 0..p.na {
+            let on = em.onsite(a, 0.7);
+            if disorder.is_vacant(a) {
+                for o in 0..p.norb {
+                    assert_eq!(on[(o, o)].re, 0.125, "dangling level must be pinned");
+                    assert_eq!(on[(o, o)].im, 0.0);
+                }
+            } else {
+                let base = clean.onsite(a, 0.7);
+                let shift = (on[(0, 0)] - base[(0, 0)]).re;
+                assert!(
+                    shift.abs() <= disorder.onsite_amplitude + 1e-12,
+                    "per-site shift {shift} exceeds the amplitude"
+                );
+                // The same site shifts every orbital identically.
+                let shift1 = (on[(1, 1)] - base[(1, 1)]).re;
+                assert!((shift - shift1).abs() < 1e-12);
             }
         }
     }

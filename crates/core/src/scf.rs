@@ -50,14 +50,70 @@ pub struct Simulation {
 impl Simulation {
     /// Build a simulation over the energy window `[emin, emax]` (eV).
     pub fn new(p: SimParams, emin: f64, emax: f64) -> Self {
-        p.validate().expect("invalid parameters");
-        let dev = Device::new(&p);
+        Simulation::try_new(p, emin, emax).expect("invalid parameters")
+    }
+
+    /// Fallible [`Simulation::new`]: the entry point for user-supplied
+    /// parameters (scenario files, `qt-serve` variant registration), where
+    /// bad dimensions or an empty energy window must surface as an error
+    /// instead of a panic.
+    pub fn try_new(p: SimParams, emin: f64, emax: f64) -> Result<Self, String> {
+        p.validate()?;
+        let dev = Device::try_new(&p)?;
         let em = ElectronModel::for_params(&p);
         let pm = PhononModel::default();
-        let grids = Grids::new(&p, emin, emax);
+        Simulation::from_parts(p, dev, em, pm, emin, emax)
+    }
+
+    /// Build a simulation with seeded defect/vacancy disorder: vacancy
+    /// bonds are pruned from the device and the electron model carries the
+    /// per-site on-site perturbation, both drawn deterministically from
+    /// `disorder.seed` — the same seed always produces the same disordered
+    /// device.
+    pub fn disordered(
+        p: SimParams,
+        emin: f64,
+        emax: f64,
+        disorder: crate::hamiltonian::Disorder,
+    ) -> Result<Self, String> {
+        p.validate()?;
+        let mut dev = Device::try_new(&p)?;
+        dev.delete_sites(&disorder.vacancies(p.na));
+        let mut em = ElectronModel::for_params(&p);
+        em.disorder = Some(disorder);
+        let pm = PhononModel::default();
+        Simulation::from_parts(p, dev, em, pm, emin, emax)
+    }
+
+    /// Assemble a simulation from prebuilt parts (custom device/models —
+    /// the scenario layer's geometry variants come through here). Checks
+    /// `p` and the energy window; the caller is responsible for the parts
+    /// being mutually consistent with `p`.
+    pub fn from_parts(
+        p: SimParams,
+        dev: Device,
+        em: ElectronModel,
+        pm: PhononModel,
+        emin: f64,
+        emax: f64,
+    ) -> Result<Self, String> {
+        p.validate()?;
+        if dev.na != p.na || dev.nb != p.nb || dev.bnum != p.bnum {
+            return Err(format!(
+                "device geometry ({}, {}, {}) disagrees with params ({}, {}, {})",
+                dev.na, dev.nb, dev.bnum, p.na, p.nb, p.bnum
+            ));
+        }
+        if em.norb != p.norb {
+            return Err(format!(
+                "electron model norb {} disagrees with params norb {}",
+                em.norb, p.norb
+            ));
+        }
+        let grids = Grids::try_new(&p, emin, emax)?;
         let dh = em.dh_tensor(&dev);
         let couplings = p.bnum.saturating_sub(1);
-        Simulation {
+        Ok(Simulation {
             p,
             dev,
             em,
@@ -67,7 +123,7 @@ impl Simulation {
             boundary: BoundaryCache::new(),
             kernel_selector_e: rgf::KernelSelector::new(couplings),
             kernel_selector_ph: rgf::KernelSelector::new(couplings),
-        }
+        })
     }
 }
 
@@ -1078,6 +1134,105 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn vacancy_resonance_quarantines_honestly() {
+        // A vacancy whose dangling level sits exactly on a grid energy is
+        // a genuinely singular RGF block at zero device broadening — the
+        // real numerical pathology the quarantine machinery exists for.
+        // The vacancy has no neighbor slots, so the SSE never dresses it
+        // and the singularity (and its quarantine) persists across Born
+        // iterations at exactly the resonant (kz, E) points.
+        let p = SimParams {
+            nkz: 2,
+            nqz: 2,
+            ne: 9, // de = 0.25 exactly; energies[4] == 0.0 exactly
+            nw: 2,
+            na: 8,
+            nb: 3,
+            norb: 2,
+            bnum: 4,
+        };
+        let grids = Grids::try_new(&p, -1.0, 1.0).unwrap();
+        let level = grids.energies[4];
+        assert_eq!(level, 0.0);
+        let disorder = crate::hamiltonian::Disorder {
+            seed: 7,
+            vacancy_fraction: 0.3,
+            onsite_amplitude: 0.05,
+            vacancy_level: level,
+        };
+        let n_vac = disorder.vacancies(p.na).len();
+        assert!(n_vac >= 1, "seed 7 must produce at least one vacancy");
+        let sim = Simulation::disordered(p, -1.0, 1.0, disorder).unwrap();
+        let cfg = ScfConfig {
+            max_iterations: 4,
+            ..Default::default()
+        };
+        let out = run_scf(&sim, &cfg).unwrap();
+        // Honest coverage: exactly the resonant energy column (every kz)
+        // is quarantined, with a SingularBlock root cause.
+        assert_eq!(out.electron.coverage.total_points, p.nkz * p.ne);
+        assert_eq!(
+            out.electron.coverage.quarantined.len(),
+            p.nkz,
+            "one quarantined point per kz at the resonant energy"
+        );
+        for q in &out.electron.coverage.quarantined {
+            assert_eq!(
+                q.grid_index % p.ne,
+                4,
+                "quarantine must sit on the resonance"
+            );
+            assert!(matches!(
+                q.error,
+                NumericalError::SingularBlock { phase: "rgf", .. }
+            ));
+        }
+        // The rest of the spectrum is still covered and finite.
+        assert!(!out.electron.coverage.is_full());
+        assert!(out.electron.coverage.bad_fraction() < 0.25);
+        assert!(out.electron.current.is_finite());
+    }
+
+    #[test]
+    fn disordered_construction_is_reproducible() {
+        let p = SimParams::test_small();
+        let d = crate::hamiltonian::Disorder {
+            seed: 99,
+            vacancy_fraction: 0.2,
+            onsite_amplitude: 0.08,
+            vacancy_level: 0.5,
+        };
+        let a = Simulation::disordered(p, -1.2, 1.2, d).unwrap();
+        let b = Simulation::disordered(p, -1.2, 1.2, d).unwrap();
+        let ha = a.em.hamiltonian(&a.dev, 0.3);
+        let hb = b.em.hamiltonian(&b.dev, 0.3);
+        assert_eq!(ha.to_dense().max_abs_diff(&hb.to_dense()), 0.0);
+        assert_eq!(a.dev.neighbors, b.dev.neighbors);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_assemblies() {
+        let p = SimParams::test_small();
+        let dev = Device::new(&p);
+        let pm = PhononModel::default();
+        // norb mismatch between model and params.
+        let mut em = ElectronModel::for_params(&p);
+        em.norb = p.norb + 1;
+        assert!(Simulation::from_parts(p, dev.clone(), em, pm.clone(), -1.0, 1.0).is_err());
+        // Device geometry mismatch.
+        let mut p2 = p;
+        p2.na = 32;
+        p2.bnum = 8;
+        let em2 = ElectronModel::for_params(&p2);
+        assert!(Simulation::from_parts(p2, dev, em2, pm, -1.0, 1.0).is_err());
+        // Bad window through the fallible constructor.
+        assert!(Simulation::try_new(p, 1.0, -1.0).is_err());
+        let mut bad = p;
+        bad.bnum = 3;
+        assert!(Simulation::try_new(bad, -1.0, 1.0).is_err());
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Typed, fail-closed scenario errors.
+//!
+//! Every failure mode of the scenario pipeline — lexing, schema
+//! walking, range checking, cross-field physics, simulation assembly —
+//! maps onto one of these variants, each carrying the *key path* of the
+//! offending input (`"disorder.vacancy_fraction"`, not "bad value
+//! somewhere"). Scenario files are user input: nothing in this crate may
+//! panic on them, and `reproduce corpus` prints these errors verbatim as
+//! its rejection rationale.
+
+use std::fmt;
+
+/// What went wrong with a scenario file, and where.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioError {
+    /// The document is not in the supported TOML subset.
+    Syntax { line: usize, message: String },
+    /// A key the schema does not know. Unknown keys are rejected, not
+    /// ignored: a typo like `vacancy_fractoin` silently ignored would
+    /// run a *different physical system* than the author wrote.
+    UnknownKey { path: String },
+    /// A key holds a value of the wrong type.
+    TypeMismatch {
+        path: String,
+        expected: &'static str,
+        found: &'static str,
+    },
+    /// A required key is absent.
+    MissingKey { path: String },
+    /// A value parses but violates its documented range.
+    OutOfRange {
+        path: String,
+        value: String,
+        constraint: String,
+    },
+    /// A cross-field or assembly-level inconsistency (values fine in
+    /// isolation, impossible together).
+    Invalid { path: String, reason: String },
+}
+
+impl ScenarioError {
+    /// The key path the error is attributed to (empty for syntax errors,
+    /// which are located by line instead).
+    pub fn path(&self) -> &str {
+        match self {
+            ScenarioError::Syntax { .. } => "",
+            ScenarioError::UnknownKey { path }
+            | ScenarioError::TypeMismatch { path, .. }
+            | ScenarioError::MissingKey { path }
+            | ScenarioError::OutOfRange { path, .. }
+            | ScenarioError::Invalid { path, .. } => path,
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            ScenarioError::UnknownKey { path } => {
+                write!(
+                    f,
+                    "unknown key `{path}` (unknown keys are rejected, not ignored)"
+                )
+            }
+            ScenarioError::TypeMismatch {
+                path,
+                expected,
+                found,
+            } => write!(f, "`{path}` must be a {expected}, got a {found}"),
+            ScenarioError::MissingKey { path } => write!(f, "required key `{path}` is missing"),
+            ScenarioError::OutOfRange {
+                path,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "`{path}` = {value} is out of range: must be {constraint}"
+            ),
+            ScenarioError::Invalid { path, reason } => write!(f, "`{path}` is invalid: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}

@@ -1,0 +1,774 @@
+//! The scenario schema: strict walking of the parsed TOML tree into a
+//! normalized [`Scenario`].
+//!
+//! Walking is *closed-world*: every key the walker does not explicitly
+//! consume is an [`ScenarioError::UnknownKey`] carrying its full dotted
+//! path. Optional keys have documented defaults, and the normalized
+//! scenario always spells them out — [`Scenario::to_toml`] serializes
+//! the *effective* configuration, so re-parsing it is the identity.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::error::ScenarioError;
+use crate::toml::{self, Value};
+
+/// Device geometry family. The family fixes the neighbor coordination
+/// of the synthetic atomistic chain — the block sparsity pattern the
+/// RGF/SSE kernels see — while sections/atoms set its extent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Geometry {
+    /// Quasi-1D wire, coordination 4 (the paper's silicon nanowire).
+    Nanowire,
+    /// Gate-all-around-like stack: denser coordination (6) and gate-
+    /// shifted contact bands.
+    GateAllAround,
+    /// 2D-material-like sheet: sparse coordination (3).
+    Sheet2d,
+}
+
+impl Geometry {
+    pub fn tag(self) -> &'static str {
+        match self {
+            Geometry::Nanowire => "nanowire",
+            Geometry::GateAllAround => "gate-all-around",
+            Geometry::Sheet2d => "sheet-2d",
+        }
+    }
+
+    fn from_tag(tag: &str) -> Option<Self> {
+        match tag {
+            "nanowire" => Some(Geometry::Nanowire),
+            "gate-all-around" => Some(Geometry::GateAllAround),
+            "sheet-2d" => Some(Geometry::Sheet2d),
+            _ => None,
+        }
+    }
+
+    /// Neighbor slots per atom (`SimParams::nb`).
+    pub fn coordination(self) -> usize {
+        match self {
+            Geometry::Nanowire => 4,
+            Geometry::GateAllAround => 6,
+            Geometry::Sheet2d => 3,
+        }
+    }
+}
+
+/// `[geometry]` — the device's block structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GeometrySpec {
+    pub kind: Geometry,
+    /// RGF sections (`SimParams::bnum`), 2..=64.
+    pub sections: usize,
+    /// Atoms per section, 1..=64 (`na = sections * atoms_per_section`).
+    pub atoms_per_section: usize,
+    /// Orbitals per atom, 1..=8.
+    pub orbitals: usize,
+}
+
+/// `[grid]` — energy/momentum resolution and the electron window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridSpec {
+    pub nkz: usize,
+    pub nqz: usize,
+    pub ne: usize,
+    pub nw: usize,
+    /// Electron energy window (eV).
+    pub emin: f64,
+    pub emax: f64,
+}
+
+/// `[contacts]` — temperature and rigid lead band offsets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ContactsSpec {
+    /// Lattice/contact temperature (K), (0, 2000].
+    pub temperature: f64,
+    pub shift_left: f64,
+    pub shift_right: f64,
+}
+
+/// `[sweep]` — the bias points (and optional temperature ladder) the
+/// scenario's observables are recorded at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepSpec {
+    /// Bias points (V); each runs at `mu = ±bias/2`. 1..=16 points.
+    pub biases: Vec<f64>,
+    /// Temperatures (K); defaults to the contact temperature alone.
+    /// 1..=4 entries; the sweep runs the full temperature × bias grid.
+    pub temperatures: Vec<f64>,
+}
+
+/// `[solver]` — Born-iteration knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolverSpec {
+    pub max_iterations: usize,
+    pub tolerance: f64,
+    pub mixing: f64,
+    pub adaptive_mixing: bool,
+    /// SSE kernel variant tag: "reference" | "omen" | "dace".
+    pub variant: String,
+}
+
+/// `[disorder]` — seeded vacancies and on-site perturbation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DisorderSpec {
+    pub seed: u64,
+    /// Fraction of sites deleted as vacancies, [0, 0.3].
+    pub vacancy_fraction: f64,
+    /// Half-width of the uniform on-site energy shift (eV), [0, 1].
+    pub onsite_amplitude: f64,
+    /// Pinned on-site level of vacancy sites (eV), inside the window.
+    /// Snapped bitwise to the nearest grid energy when `snap_level` —
+    /// landing a vacancy resonance *exactly on* a grid point is what
+    /// makes disordered scenarios deterministically exercise the
+    /// `SingularBlock` quarantine path.
+    pub vacancy_level: f64,
+    pub snap_level: bool,
+}
+
+/// A fully validated, normalized scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// File-safe identifier: `[a-z0-9_-]+`.
+    pub name: String,
+    pub geometry: GeometrySpec,
+    pub grid: GridSpec,
+    pub contacts: ContactsSpec,
+    pub sweep: SweepSpec,
+    pub solver: SolverSpec,
+    pub disorder: Option<DisorderSpec>,
+}
+
+/// Closed-world section walker: hands out typed values by key and
+/// rejects, at `finish()`, any key it was never asked about.
+struct Section<'a> {
+    table: &'a BTreeMap<String, Value>,
+    path: String,
+    seen: BTreeSet<String>,
+}
+
+impl<'a> Section<'a> {
+    fn new(table: &'a BTreeMap<String, Value>, path: &str) -> Self {
+        Section {
+            table,
+            path: path.to_string(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    fn key_path(&self, key: &str) -> String {
+        if self.path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{}.{key}", self.path)
+        }
+    }
+
+    fn get(&mut self, key: &str) -> Option<&'a Value> {
+        self.seen.insert(key.to_string());
+        self.table.get(key)
+    }
+
+    fn required(&mut self, key: &str) -> Result<&'a Value, ScenarioError> {
+        self.get(key).ok_or_else(|| ScenarioError::MissingKey {
+            path: self.key_path(key),
+        })
+    }
+
+    fn mismatch(&self, key: &str, expected: &'static str, v: &Value) -> ScenarioError {
+        ScenarioError::TypeMismatch {
+            path: self.key_path(key),
+            expected,
+            found: v.kind(),
+        }
+    }
+
+    fn str(&mut self, key: &str) -> Result<&'a str, ScenarioError> {
+        match self.required(key)? {
+            Value::Str(s) => Ok(s),
+            v => Err(self.mismatch(key, "string", v)),
+        }
+    }
+
+    fn usize_in(&mut self, key: &str, lo: usize, hi: usize) -> Result<usize, ScenarioError> {
+        match self.required(key)? {
+            Value::Int(i) => self.range_usize(key, *i, lo, hi),
+            v => Err(self.mismatch(key, "integer", v)),
+        }
+    }
+
+    fn opt_usize_in(
+        &mut self,
+        key: &str,
+        default: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<usize, ScenarioError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(Value::Int(i)) => self.range_usize(key, *i, lo, hi),
+            Some(v) => Err(self.mismatch(key, "integer", v)),
+        }
+    }
+
+    fn range_usize(&self, key: &str, i: i64, lo: usize, hi: usize) -> Result<usize, ScenarioError> {
+        usize::try_from(i)
+            .ok()
+            .filter(|u| (lo..=hi).contains(u))
+            .ok_or_else(|| ScenarioError::OutOfRange {
+                path: self.key_path(key),
+                value: i.to_string(),
+                constraint: format!("an integer in [{lo}, {hi}]"),
+            })
+    }
+
+    fn u64(&mut self, key: &str) -> Result<u64, ScenarioError> {
+        match self.required(key)? {
+            Value::Int(i) => u64::try_from(*i).map_err(|_| ScenarioError::OutOfRange {
+                path: self.key_path(key),
+                value: i.to_string(),
+                constraint: "a non-negative integer".into(),
+            }),
+            v => Err(self.mismatch(key, "integer", v)),
+        }
+    }
+
+    fn number(&self, key: &str, v: &Value) -> Result<f64, ScenarioError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            v => Err(self.mismatch(key, "number", v)),
+        }
+    }
+
+    fn f64_in(&mut self, key: &str, constraint: &Bound) -> Result<f64, ScenarioError> {
+        let v = self.required(key)?;
+        let f = self.number(key, v)?;
+        self.check_bound(key, f, constraint)
+    }
+
+    fn opt_f64_in(
+        &mut self,
+        key: &str,
+        default: f64,
+        constraint: &Bound,
+    ) -> Result<f64, ScenarioError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                let f = self.number(key, v)?;
+                self.check_bound(key, f, constraint)
+            }
+        }
+    }
+
+    fn check_bound(&self, key: &str, f: f64, b: &Bound) -> Result<f64, ScenarioError> {
+        if b.admits(f) {
+            Ok(f)
+        } else {
+            Err(ScenarioError::OutOfRange {
+                path: self.key_path(key),
+                value: format!("{f}"),
+                constraint: b.describe(),
+            })
+        }
+    }
+
+    fn opt_bool(&mut self, key: &str, default: bool) -> Result<bool, ScenarioError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(Value::Bool(b)) => Ok(*b),
+            Some(v) => Err(self.mismatch(key, "boolean", v)),
+        }
+    }
+
+    fn f64_array(
+        &mut self,
+        key: &str,
+        max_len: usize,
+        each: &Bound,
+    ) -> Result<Vec<f64>, ScenarioError> {
+        let Some(v) = self.get(key) else {
+            return Err(ScenarioError::MissingKey {
+                path: self.key_path(key),
+            });
+        };
+        self.f64_array_value(key, v, max_len, each)
+    }
+
+    fn opt_f64_array(
+        &mut self,
+        key: &str,
+        max_len: usize,
+        each: &Bound,
+    ) -> Result<Option<Vec<f64>>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => Ok(Some(self.f64_array_value(key, v, max_len, each)?)),
+        }
+    }
+
+    fn f64_array_value(
+        &self,
+        key: &str,
+        v: &Value,
+        max_len: usize,
+        each: &Bound,
+    ) -> Result<Vec<f64>, ScenarioError> {
+        let Value::Array(items) = v else {
+            return Err(self.mismatch(key, "array", v));
+        };
+        if items.is_empty() || items.len() > max_len {
+            return Err(ScenarioError::OutOfRange {
+                path: self.key_path(key),
+                value: format!("{} entries", items.len()),
+                constraint: format!("between 1 and {max_len} entries"),
+            });
+        }
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let elem_key = format!("{key}[{i}]");
+            let f = self.number(&elem_key, item)?;
+            out.push(self.check_bound(&elem_key, f, each)?);
+        }
+        Ok(out)
+    }
+
+    fn table(&mut self, key: &str) -> Result<Option<&'a BTreeMap<String, Value>>, ScenarioError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(Value::Table(t)) => Ok(Some(t)),
+            Some(v) => Err(self.mismatch(key, "table", v)),
+        }
+    }
+
+    /// Reject every key that was never consumed. Deterministic: the
+    /// first unknown key in sorted order wins.
+    fn finish(self) -> Result<(), ScenarioError> {
+        for key in self.table.keys() {
+            if !self.seen.contains(key) {
+                return Err(ScenarioError::UnknownKey {
+                    path: self.key_path(key),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A closed or half-open numeric interval with finite-ness built in.
+struct Bound {
+    lo: f64,
+    hi: f64,
+    /// Exclude the lower endpoint (`(lo, hi]` instead of `[lo, hi]`).
+    open_lo: bool,
+}
+
+impl Bound {
+    const fn closed(lo: f64, hi: f64) -> Self {
+        Bound {
+            lo,
+            hi,
+            open_lo: false,
+        }
+    }
+
+    const fn above(lo: f64, hi: f64) -> Self {
+        Bound {
+            lo,
+            hi,
+            open_lo: true,
+        }
+    }
+
+    fn admits(&self, f: f64) -> bool {
+        f.is_finite()
+            && f <= self.hi
+            && if self.open_lo {
+                f > self.lo
+            } else {
+                f >= self.lo
+            }
+    }
+
+    fn describe(&self) -> String {
+        let open = if self.open_lo { '(' } else { '[' };
+        format!("a finite number in {open}{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl Scenario {
+    /// Parse and validate a scenario document. Every failure is a typed
+    /// [`ScenarioError`]; this function must never panic on any input.
+    pub fn parse(source: &str) -> Result<Scenario, ScenarioError> {
+        let root = toml::parse(source)?;
+        let mut top = Section::new(&root, "");
+
+        let name = top.str("name")?.to_string();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+        {
+            return Err(ScenarioError::OutOfRange {
+                path: "name".into(),
+                value: format!("{name:?}"),
+                constraint: "a non-empty [a-z0-9_-]+ identifier".into(),
+            });
+        }
+
+        let geometry = {
+            let t = top.table("geometry")?.ok_or(ScenarioError::MissingKey {
+                path: "geometry".into(),
+            })?;
+            let mut s = Section::new(t, "geometry");
+            let kind_tag = s.str("kind")?;
+            let kind = Geometry::from_tag(kind_tag).ok_or_else(|| ScenarioError::OutOfRange {
+                path: "geometry.kind".into(),
+                value: format!("{kind_tag:?}"),
+                constraint: "one of \"nanowire\", \"gate-all-around\", \"sheet-2d\"".into(),
+            })?;
+            let spec = GeometrySpec {
+                kind,
+                sections: s.usize_in("sections", 2, 64)?,
+                atoms_per_section: s.usize_in("atoms_per_section", 1, 64)?,
+                orbitals: s.opt_usize_in("orbitals", 2, 1, 8)?,
+            };
+            s.finish()?;
+            spec
+        };
+
+        let grid = {
+            let t = top.table("grid")?.ok_or(ScenarioError::MissingKey {
+                path: "grid".into(),
+            })?;
+            let mut s = Section::new(t, "grid");
+            let nkz = s.opt_usize_in("nkz", 2, 1, 8)?;
+            let window = Bound::closed(-20.0, 20.0);
+            let spec = GridSpec {
+                nkz,
+                nqz: s.opt_usize_in("nqz", nkz, 1, 8)?,
+                ne: s.usize_in("ne", 2, 64)?,
+                nw: s.opt_usize_in("nw", 1, 1, 63)?,
+                emin: s.f64_in("emin", &window)?,
+                emax: s.f64_in("emax", &window)?,
+            };
+            s.finish()?;
+            spec
+        };
+
+        let contacts = match top.table("contacts")? {
+            None => ContactsSpec {
+                temperature: 300.0,
+                shift_left: 0.0,
+                shift_right: 0.0,
+            },
+            Some(t) => {
+                let mut s = Section::new(t, "contacts");
+                let shift = Bound::closed(-10.0, 10.0);
+                let spec = ContactsSpec {
+                    temperature: s.opt_f64_in("temperature", 300.0, &Bound::above(0.0, 2000.0))?,
+                    shift_left: s.opt_f64_in("shift_left", 0.0, &shift)?,
+                    shift_right: s.opt_f64_in("shift_right", 0.0, &shift)?,
+                };
+                s.finish()?;
+                spec
+            }
+        };
+
+        let sweep = {
+            let t = top.table("sweep")?.ok_or(ScenarioError::MissingKey {
+                path: "sweep".into(),
+            })?;
+            let mut s = Section::new(t, "sweep");
+            let spec = SweepSpec {
+                biases: s.f64_array("biases", 16, &Bound::closed(-10.0, 10.0))?,
+                temperatures: s
+                    .opt_f64_array("temperatures", 4, &Bound::above(0.0, 2000.0))?
+                    .unwrap_or_else(|| vec![contacts.temperature]),
+            };
+            s.finish()?;
+            spec
+        };
+
+        let solver = match top.table("solver")? {
+            None => SolverSpec::default(),
+            Some(t) => {
+                let mut s = Section::new(t, "solver");
+                let variant = match s.get("variant") {
+                    None => "dace".to_string(),
+                    Some(Value::Str(v)) if ["reference", "omen", "dace"].contains(&v.as_str()) => {
+                        v.clone()
+                    }
+                    Some(Value::Str(v)) => {
+                        return Err(ScenarioError::OutOfRange {
+                            path: "solver.variant".into(),
+                            value: format!("{v:?}"),
+                            constraint: "one of \"reference\", \"omen\", \"dace\"".into(),
+                        })
+                    }
+                    Some(v) => return Err(s.mismatch("variant", "string", v)),
+                };
+                let spec = SolverSpec {
+                    max_iterations: s.opt_usize_in("max_iterations", 15, 1, 200)?,
+                    tolerance: s.opt_f64_in("tolerance", 1e-6, &Bound::above(0.0, 1.0))?,
+                    mixing: s.opt_f64_in("mixing", 0.5, &Bound::above(0.0, 1.0))?,
+                    adaptive_mixing: s.opt_bool("adaptive_mixing", true)?,
+                    variant,
+                };
+                s.finish()?;
+                spec
+            }
+        };
+
+        let disorder = match top.table("disorder")? {
+            None => None,
+            Some(t) => {
+                let mut s = Section::new(t, "disorder");
+                let spec = DisorderSpec {
+                    seed: s.u64("seed")?,
+                    vacancy_fraction: s.opt_f64_in(
+                        "vacancy_fraction",
+                        0.0,
+                        &Bound::closed(0.0, 0.3),
+                    )?,
+                    onsite_amplitude: s.opt_f64_in(
+                        "onsite_amplitude",
+                        0.0,
+                        &Bound::closed(0.0, 1.0),
+                    )?,
+                    vacancy_level: s.opt_f64_in(
+                        "vacancy_level",
+                        0.0,
+                        &Bound::closed(-20.0, 20.0),
+                    )?,
+                    snap_level: s.opt_bool("snap_level", true)?,
+                };
+                s.finish()?;
+                Some(spec)
+            }
+        };
+
+        top.finish()?;
+
+        let mut scenario = Scenario {
+            name,
+            geometry,
+            grid,
+            contacts,
+            sweep,
+            solver,
+            disorder,
+        };
+        scenario.check_cross_field()?;
+        scenario.snap_vacancy_level();
+        Ok(scenario)
+    }
+
+    /// Snap the vacancy level bitwise onto the nearest energy grid point,
+    /// replicating the exact `Grids` formula `emin + e * de`. A vacancy
+    /// resonance landing *exactly on* a grid energy (with `device_eta` 0)
+    /// is what makes the disordered scenarios trip `SingularBlock`
+    /// deterministically; a level between grid points just scatters.
+    /// Idempotent, so normalized scenarios re-parse to themselves.
+    fn snap_vacancy_level(&mut self) {
+        let (ne, emin, emax) = (self.grid.ne, self.grid.emin, self.grid.emax);
+        let Some(d) = &mut self.disorder else { return };
+        if !d.snap_level {
+            return;
+        }
+        let de = (emax - emin) / (ne - 1) as f64;
+        let mut best = emin;
+        let mut best_gap = f64::INFINITY;
+        for e in 0..ne {
+            let energy = emin + e as f64 * de;
+            let gap = (energy - d.vacancy_level).abs();
+            if gap < best_gap {
+                best_gap = gap;
+                best = energy;
+            }
+        }
+        d.vacancy_level = best;
+    }
+
+    /// Cross-field physical consistency — values fine in isolation but
+    /// impossible together.
+    fn check_cross_field(&self) -> Result<(), ScenarioError> {
+        let g = &self.geometry;
+        let na = g.sections * g.atoms_per_section;
+        if g.kind.coordination() >= na {
+            return Err(ScenarioError::Invalid {
+                path: "geometry".into(),
+                reason: format!(
+                    "{} coordination {} needs more than {na} atoms \
+                     (sections * atoms_per_section)",
+                    g.kind.tag(),
+                    g.kind.coordination()
+                ),
+            });
+        }
+        let gr = &self.grid;
+        if gr.emax <= gr.emin {
+            return Err(ScenarioError::Invalid {
+                path: "grid.emax".into(),
+                reason: format!("window [{}, {}] is empty", gr.emin, gr.emax),
+            });
+        }
+        if gr.nw >= gr.ne {
+            return Err(ScenarioError::Invalid {
+                path: "grid.nw".into(),
+                reason: format!(
+                    "phonon ladder nw {} must be shorter than the energy grid ne {}",
+                    gr.nw, gr.ne
+                ),
+            });
+        }
+        for (i, &b) in self.sweep.biases.iter().enumerate() {
+            // mu = ±b/2 outside the energy window puts the contact
+            // occupation edges where no spectrum is computed.
+            if b / 2.0 < gr.emin || b / 2.0 > gr.emax || -b / 2.0 < gr.emin || -b / 2.0 > gr.emax {
+                return Err(ScenarioError::Invalid {
+                    path: format!("sweep.biases[{i}]"),
+                    reason: format!(
+                        "bias {b} V puts mu = ±{} eV outside the energy window [{}, {}]",
+                        b / 2.0,
+                        gr.emin,
+                        gr.emax
+                    ),
+                });
+            }
+        }
+        if let Some(d) = &self.disorder {
+            if d.vacancy_level < gr.emin || d.vacancy_level > gr.emax {
+                return Err(ScenarioError::Invalid {
+                    path: "disorder.vacancy_level".into(),
+                    reason: format!(
+                        "level {} eV is outside the energy window [{}, {}]",
+                        d.vacancy_level, gr.emin, gr.emax
+                    ),
+                });
+            }
+            if d.vacancy_fraction > 0.0 && gr.ne < 8 {
+                return Err(ScenarioError::Invalid {
+                    path: "disorder.vacancy_fraction".into(),
+                    reason: format!(
+                        "vacancy resonances quarantine one energy column; with ne {} \
+                         that exceeds the tolerable bad fraction (need ne >= 8)",
+                        gr.ne
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonical serialization of the *effective* configuration: every
+    /// optional key is spelled out with its resolved value, keys are
+    /// sorted, floats keep round-trip precision. `parse(to_toml(s))`
+    /// is the identity on normalized scenarios.
+    pub fn to_toml(&self) -> String {
+        let mut root = BTreeMap::new();
+        root.insert("name".to_string(), Value::Str(self.name.clone()));
+        let mut geometry = BTreeMap::new();
+        geometry.insert(
+            "kind".to_string(),
+            Value::Str(self.geometry.kind.tag().to_string()),
+        );
+        geometry.insert(
+            "sections".to_string(),
+            Value::Int(self.geometry.sections as i64),
+        );
+        geometry.insert(
+            "atoms_per_section".to_string(),
+            Value::Int(self.geometry.atoms_per_section as i64),
+        );
+        geometry.insert(
+            "orbitals".to_string(),
+            Value::Int(self.geometry.orbitals as i64),
+        );
+        root.insert("geometry".to_string(), Value::Table(geometry));
+        let mut grid = BTreeMap::new();
+        grid.insert("nkz".to_string(), Value::Int(self.grid.nkz as i64));
+        grid.insert("nqz".to_string(), Value::Int(self.grid.nqz as i64));
+        grid.insert("ne".to_string(), Value::Int(self.grid.ne as i64));
+        grid.insert("nw".to_string(), Value::Int(self.grid.nw as i64));
+        grid.insert("emin".to_string(), Value::Float(self.grid.emin));
+        grid.insert("emax".to_string(), Value::Float(self.grid.emax));
+        root.insert("grid".to_string(), Value::Table(grid));
+        let mut contacts = BTreeMap::new();
+        contacts.insert(
+            "temperature".to_string(),
+            Value::Float(self.contacts.temperature),
+        );
+        contacts.insert(
+            "shift_left".to_string(),
+            Value::Float(self.contacts.shift_left),
+        );
+        contacts.insert(
+            "shift_right".to_string(),
+            Value::Float(self.contacts.shift_right),
+        );
+        root.insert("contacts".to_string(), Value::Table(contacts));
+        let mut sweep = BTreeMap::new();
+        sweep.insert(
+            "biases".to_string(),
+            Value::Array(self.sweep.biases.iter().map(|&b| Value::Float(b)).collect()),
+        );
+        sweep.insert(
+            "temperatures".to_string(),
+            Value::Array(
+                self.sweep
+                    .temperatures
+                    .iter()
+                    .map(|&t| Value::Float(t))
+                    .collect(),
+            ),
+        );
+        root.insert("sweep".to_string(), Value::Table(sweep));
+        let mut solver = BTreeMap::new();
+        solver.insert(
+            "max_iterations".to_string(),
+            Value::Int(self.solver.max_iterations as i64),
+        );
+        solver.insert("tolerance".to_string(), Value::Float(self.solver.tolerance));
+        solver.insert("mixing".to_string(), Value::Float(self.solver.mixing));
+        solver.insert(
+            "adaptive_mixing".to_string(),
+            Value::Bool(self.solver.adaptive_mixing),
+        );
+        solver.insert(
+            "variant".to_string(),
+            Value::Str(self.solver.variant.clone()),
+        );
+        root.insert("solver".to_string(), Value::Table(solver));
+        if let Some(d) = &self.disorder {
+            let mut disorder = BTreeMap::new();
+            disorder.insert("seed".to_string(), Value::Int(d.seed as i64));
+            disorder.insert(
+                "vacancy_fraction".to_string(),
+                Value::Float(d.vacancy_fraction),
+            );
+            disorder.insert(
+                "onsite_amplitude".to_string(),
+                Value::Float(d.onsite_amplitude),
+            );
+            disorder.insert("vacancy_level".to_string(), Value::Float(d.vacancy_level));
+            disorder.insert("snap_level".to_string(), Value::Bool(d.snap_level));
+            root.insert("disorder".to_string(), Value::Table(disorder));
+        }
+        toml::dump(&root)
+    }
+}
+
+impl Default for SolverSpec {
+    fn default() -> Self {
+        SolverSpec {
+            max_iterations: 15,
+            tolerance: 1e-6,
+            mixing: 0.5,
+            adaptive_mixing: true,
+            variant: "dace".to_string(),
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! A minimal, dependency-free TOML reader for scenario files.
+//!
+//! The build image vendors no TOML crate, and scenario files need only a
+//! small, predictable subset: `[table]` and `[table.subtable]` headers,
+//! `key = value` pairs, and values that are strings, integers, floats,
+//! booleans, or flat arrays. Everything outside that subset is a
+//! *syntax error with a line number* — never a silent skip and never a
+//! panic, because scenario files are user input and the whole pipeline
+//! is fail-closed.
+//!
+//! Deliberate restrictions (each rejected with an explanatory error):
+//! no multi-line strings, no dotted keys on the left-hand side, no
+//! inline tables, no arrays-of-tables (`[[x]]`), no datetime values,
+//! and no duplicate keys or table redefinitions. Tables iterate in
+//! sorted key order, which makes re-serialization canonical.
+
+use std::collections::BTreeMap;
+
+use crate::error::ScenarioError;
+
+/// A parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Array(Vec<Value>),
+    Table(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Type name used in `TypeMismatch` errors.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "boolean",
+            Value::Array(_) => "array",
+            Value::Table(_) => "table",
+        }
+    }
+
+    pub fn as_table(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Is `c` legal in a bare key or table name segment?
+fn bare_key_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Parse a TOML document into a root table.
+pub fn parse(source: &str) -> Result<BTreeMap<String, Value>, ScenarioError> {
+    let mut root: BTreeMap<String, Value> = BTreeMap::new();
+    // Path of the table currently receiving `key = value` lines.
+    let mut current: Vec<String> = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw, lineno)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            if header.starts_with('[') {
+                return Err(syntax(
+                    lineno,
+                    "arrays of tables ([[...]]) are not supported",
+                ));
+            }
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(syntax(lineno, "table header is missing its closing ']'"));
+            };
+            let path = parse_table_path(name, lineno)?;
+            create_table(&mut root, &path, lineno)?;
+            current = path;
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(syntax(
+                lineno,
+                format!("expected `key = value` or a [table] header, got {line:?}"),
+            ));
+        };
+        let key = line[..eq].trim();
+        if key.is_empty() {
+            return Err(syntax(lineno, "empty key before '='"));
+        }
+        if !key.chars().all(bare_key_char) {
+            return Err(syntax(
+                lineno,
+                format!("key {key:?} must be a bare key ([A-Za-z0-9_-]+; dotted and quoted keys are not supported)"),
+            ));
+        }
+        let value = parse_value(line[eq + 1..].trim(), lineno)?;
+        let table = navigate(&mut root, &current);
+        if table.contains_key(key) {
+            return Err(syntax(lineno, format!("duplicate key {key:?}")));
+        }
+        table.insert(key.to_string(), value);
+    }
+    Ok(root)
+}
+
+/// Remove a trailing `# comment`, respecting `#` inside quoted strings.
+fn strip_comment(line: &str, lineno: usize) -> Result<&str, ScenarioError> {
+    let mut in_str = false;
+    for (idx, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '\'' => {
+                return Err(syntax(
+                    lineno,
+                    "single-quoted (literal) strings are not supported; use \"...\"",
+                ))
+            }
+            '#' if !in_str => return Ok(&line[..idx]),
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err(syntax(lineno, "unterminated string"));
+    }
+    Ok(line)
+}
+
+fn parse_table_path(name: &str, lineno: usize) -> Result<Vec<String>, ScenarioError> {
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(syntax(lineno, "empty table header"));
+    }
+    let mut path = Vec::new();
+    for seg in name.split('.') {
+        let seg = seg.trim();
+        if seg.is_empty() || !seg.chars().all(bare_key_char) {
+            return Err(syntax(lineno, format!("bad table name segment {seg:?}")));
+        }
+        path.push(seg.to_string());
+    }
+    Ok(path)
+}
+
+/// Create the table at `path`, erroring on redefinition or on a path
+/// that crosses a non-table value.
+fn create_table(
+    root: &mut BTreeMap<String, Value>,
+    path: &[String],
+    lineno: usize,
+) -> Result<(), ScenarioError> {
+    let mut table = root;
+    for (depth, seg) in path.iter().enumerate() {
+        let last = depth + 1 == path.len();
+        let slot = table
+            .entry(seg.clone())
+            .or_insert_with(|| Value::Table(BTreeMap::new()));
+        match slot {
+            Value::Table(inner) => {
+                if last && !inner.is_empty() {
+                    return Err(syntax(
+                        lineno,
+                        format!("table [{}] defined twice", path.join(".")),
+                    ));
+                }
+                table = match table.get_mut(seg) {
+                    Some(Value::Table(inner)) => inner,
+                    _ => unreachable!("just matched a table"),
+                };
+            }
+            other => {
+                return Err(syntax(
+                    lineno,
+                    format!("{seg:?} is already a {}, not a table", other.kind()),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn navigate<'a>(
+    root: &'a mut BTreeMap<String, Value>,
+    path: &[String],
+) -> &'a mut BTreeMap<String, Value> {
+    let mut table = root;
+    for seg in path {
+        table = match table.get_mut(seg) {
+            Some(Value::Table(inner)) => inner,
+            // `create_table` ran for every header, so the path exists
+            // and is all tables.
+            _ => unreachable!("table path vanished"),
+        };
+    }
+    table
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ScenarioError> {
+    if text.is_empty() {
+        return Err(syntax(lineno, "missing value after '='"));
+    }
+    if let Some(rest) = text.strip_prefix('"') {
+        let Some(inner) = rest.strip_suffix('"') else {
+            return Err(syntax(lineno, "unterminated string"));
+        };
+        if inner.contains('"') {
+            return Err(syntax(lineno, "only one string per value"));
+        }
+        if inner.contains('\\') {
+            return Err(syntax(lineno, "string escapes are not supported"));
+        }
+        return Ok(Value::Str(inner.to_string()));
+    }
+    if let Some(body) = text.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(syntax(
+                lineno,
+                "unterminated array (must close on the same line)",
+            ));
+        };
+        let mut items = Vec::new();
+        for part in split_array(body, lineno)? {
+            items.push(parse_value(part.trim(), lineno)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    parse_number(text, lineno)
+}
+
+/// Split an array body on top-level commas (strings may contain commas).
+fn split_array(body: &str, lineno: usize) -> Result<Vec<&str>, ScenarioError> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut depth = 0usize;
+    for (idx, c) in body.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| syntax(lineno, "unbalanced ']' inside array"))?
+            }
+            ',' if !in_str && depth == 0 => {
+                parts.push(&body[start..idx]);
+                start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = &body[start..];
+    if !tail.trim().is_empty() {
+        parts.push(tail);
+    } else if !parts.is_empty() && tail.trim().is_empty() && !body.trim().is_empty() {
+        // Allow one trailing comma; `[1,,2]` still fails in parse_value
+        // because the empty middle part is pushed above.
+    }
+    Ok(parts)
+}
+
+/// Integers and floats. No `inf`/`nan` literals: a scenario has no
+/// legitimate use for them and accepting them would let non-finite
+/// numbers past the syntax layer.
+fn parse_number(text: &str, lineno: usize) -> Result<Value, ScenarioError> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let looks_float = cleaned.contains(['.', 'e', 'E']);
+    if !cleaned
+        .chars()
+        .all(|c| c.is_ascii_digit() || "+-.eE".contains(c))
+    {
+        return Err(syntax(lineno, format!("unrecognized value {text:?}")));
+    }
+    if looks_float {
+        match cleaned.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Float(f)),
+            _ => Err(syntax(lineno, format!("bad float {text:?}"))),
+        }
+    } else {
+        cleaned
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| syntax(lineno, format!("bad integer {text:?}")))
+    }
+}
+
+/// Canonical serialization: sorted keys, scalar keys before subtables,
+/// floats printed with a shortest round-trip representation that always
+/// re-parses as a float (Rust's `{:?}` keeps the `.0`).
+pub fn dump(root: &BTreeMap<String, Value>) -> String {
+    let mut out = String::new();
+    dump_table(root, &mut Vec::new(), &mut out);
+    out
+}
+
+fn dump_table(table: &BTreeMap<String, Value>, path: &mut Vec<String>, out: &mut String) {
+    let mut scalars: Vec<(&String, &Value)> = Vec::new();
+    let mut subtables: Vec<(&String, &BTreeMap<String, Value>)> = Vec::new();
+    for (k, v) in table {
+        match v {
+            Value::Table(t) => subtables.push((k, t)),
+            other => scalars.push((k, other)),
+        }
+    }
+    if !scalars.is_empty() && !path.is_empty() {
+        out.push_str(&format!("[{}]\n", path.join(".")));
+    }
+    for (k, v) in scalars {
+        out.push_str(&format!("{k} = {}\n", dump_value(v)));
+    }
+    for (k, t) in subtables {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        path.push(k.clone());
+        if t.values().all(|v| matches!(v, Value::Table(_))) && !t.is_empty() {
+            // Pure-subtable containers get no header of their own.
+        } else if t.is_empty() {
+            out.push_str(&format!("[{}]\n", path.join(".")));
+        }
+        dump_table(t, path, out);
+        path.pop();
+    }
+}
+
+fn dump_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("{s:?}"),
+        Value::Int(i) => format!("{i}"),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Bool(b) => format!("{b}"),
+        Value::Array(items) => {
+            let inner: Vec<String> = items.iter().map(dump_value).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Value::Table(_) => unreachable!("inline tables are never produced"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_supported_subset() {
+        let doc = r#"
+# a scenario
+name = "demo"
+[geometry]
+kind = "nanowire"   # coordination 4
+sections = 4
+[solver]
+tolerance = 1e-6
+adaptive = true
+biases = [0.1, 0.2, 0.3]
+"#;
+        let t = parse(doc).unwrap();
+        assert_eq!(t["name"], Value::Str("demo".into()));
+        let geo = t["geometry"].as_table().unwrap();
+        assert_eq!(geo["kind"], Value::Str("nanowire".into()));
+        assert_eq!(geo["sections"], Value::Int(4));
+        let solver = t["solver"].as_table().unwrap();
+        assert_eq!(solver["tolerance"], Value::Float(1e-6));
+        assert_eq!(solver["adaptive"], Value::Bool(true));
+        assert_eq!(
+            solver["biases"],
+            Value::Array(vec![
+                Value::Float(0.1),
+                Value::Float(0.2),
+                Value::Float(0.3)
+            ])
+        );
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = |doc: &str| match parse(doc) {
+            Err(ScenarioError::Syntax { line, .. }) => line,
+            other => panic!("expected syntax error, got {other:?}"),
+        };
+        assert_eq!(err("key"), 1);
+        assert_eq!(err("a = 1\nb = "), 2);
+        assert_eq!(err("a = 1\n\nc = \"unterminated"), 3);
+        assert_eq!(err("[t]\na = 1\n[t]\n"), 3); // redefinition
+        assert_eq!(err("a = 1\na = 2"), 2); // duplicate
+        assert_eq!(err("a = nan"), 1);
+        assert_eq!(err("a = inf"), 1);
+        assert_eq!(err("[[t]]"), 1);
+        assert_eq!(err("a.b = 1"), 1);
+        assert_eq!(err("a = 'literal'"), 1);
+        assert_eq!(err("a = [1, 2"), 1);
+    }
+
+    #[test]
+    fn dump_is_canonical_and_reparses() {
+        let doc = r#"
+z = 3
+a = "x"
+[n.m]
+q = 1.5
+[n.k]
+r = [1, 2]
+"#;
+        let t = parse(doc).unwrap();
+        let dumped = dump(&t);
+        let t2 = parse(&dumped).unwrap();
+        assert_eq!(t, t2, "dump must re-parse to the same tree:\n{dumped}");
+        // Canonical: dumping again yields the identical text.
+        assert_eq!(dump(&t2), dumped);
+        // Floats keep their float-ness through the round trip.
+        let nm = t2["n"].as_table().unwrap()["m"].as_table().unwrap();
+        assert_eq!(nm["q"], Value::Float(1.5));
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the fail-closed contract: *no* input — random
+//! bytes, token soup, or targeted mutation of a valid document — may
+//! panic the scenario pipeline; every failure is a typed
+//! [`ScenarioError`]. And for valid documents, normalization is a
+//! fixed point: parse → to_toml → parse is the identity.
+
+use proptest::collection;
+use proptest::prelude::*;
+use qt_scenario::{Scenario, ScenarioError};
+
+/// A valid baseline document the mutation fuzzer starts from.
+fn baseline(kind: &str, sections: usize, atoms: usize, ne: usize, disorder: bool) -> String {
+    let mut doc = format!(
+        "name = \"prop-case\"\n\
+         [geometry]\n\
+         kind = \"{kind}\"\n\
+         sections = {sections}\n\
+         atoms_per_section = {atoms}\n\
+         [grid]\n\
+         ne = {ne}\n\
+         nw = 2\n\
+         emin = -1.5\n\
+         emax = 1.5\n\
+         [sweep]\n\
+         biases = [0.0, 0.25]\n"
+    );
+    if disorder {
+        doc.push_str("[disorder]\nseed = 11\nvacancy_fraction = 0.1\nvacancy_level = 0.2\n");
+    }
+    doc
+}
+
+/// Tokens the soup fuzzer splices together: every schema keyword plus
+/// adversarial syntax fragments, so the walker and lexer both get hit.
+const TOKENS: &[&str] = &[
+    "[geometry]",
+    "[grid]",
+    "[sweep]",
+    "[solver]",
+    "[disorder]",
+    "[contacts]",
+    "[geometry.kind]",
+    "[[sweep]]",
+    "[unknown]",
+    "name",
+    "kind",
+    "sections",
+    "atoms_per_section",
+    "orbitals",
+    "nkz",
+    "nqz",
+    "ne",
+    "nw",
+    "emin",
+    "emax",
+    "biases",
+    "temperatures",
+    "seed",
+    "vacancy_fraction",
+    "vacancy_level",
+    "max_iterations",
+    "tolerance",
+    "mixing",
+    "variant",
+    "=",
+    "\"nanowire\"",
+    "\"dace\"",
+    "\"unterminated",
+    "4",
+    "-3",
+    "0.5",
+    "1e308",
+    "-1e308",
+    "inf",
+    "nan",
+    "true",
+    "false",
+    "[",
+    "]",
+    "[1, 2]",
+    "[1,",
+    ",",
+    "#",
+    "a.b",
+    "''",
+    "\u{1F980}",
+    "\\",
+    "= =",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: the parser must return Ok or a typed error,
+    /// never panic, and syntax errors must point at a real line.
+    #[test]
+    fn random_bytes_never_panic(bytes in collection::vec(0u8..=255u8, 0..200)) {
+        let doc = String::from_utf8_lossy(&bytes).into_owned();
+        match Scenario::parse(&doc) {
+            Ok(s) => { let _ = s.build(); }
+            Err(ScenarioError::Syntax { line, .. }) => {
+                prop_assert!(line >= 1 && line <= doc.lines().count().max(1));
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Token soup: schema keywords and adversarial fragments spliced
+    /// into documents that are *almost* well-formed — the hard paths of
+    /// the section walker.
+    #[test]
+    fn token_soup_never_panics(picks in collection::vec(0usize..TOKENS.len(), 0..40), glue in any::<u64>()) {
+        let mut doc = String::new();
+        for (i, &p) in picks.iter().enumerate() {
+            doc.push_str(TOKENS[p]);
+            // Deterministic per-position glue: space or newline.
+            doc.push(if (glue >> (i % 64)) & 1 == 1 { '\n' } else { ' ' });
+        }
+        match Scenario::parse(&doc) {
+            Ok(s) => { let _ = s.build(); }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Single-point mutation of a valid document: replace one line with
+    /// garbage drawn from the token pool. Must never panic, and when it
+    /// fails the error carries a usable location (path or line).
+    #[test]
+    fn mutated_valid_documents_fail_closed(
+        line_pick in any::<u32>(),
+        token in 0usize..TOKENS.len(),
+        disorder in any::<bool>(),
+    ) {
+        let doc = baseline("nanowire", 4, 4, 12, disorder);
+        let lines: Vec<&str> = doc.lines().collect();
+        let target = line_pick as usize % lines.len();
+        let mutated: String = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| if i == target { TOKENS[token] } else { *l })
+            .collect::<Vec<_>>()
+            .join("\n");
+        match Scenario::parse(&mutated) {
+            Ok(s) => { let _ = s.build(); }
+            Err(ScenarioError::Syntax { line, .. }) => {
+                prop_assert!(line >= 1 && line <= lines.len());
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Valid documents normalize to a fixed point: parse → to_toml →
+    /// parse is the identity, and the canonical form is idempotent.
+    /// Build succeeds, and the built scenario agrees with its params.
+    #[test]
+    fn valid_documents_roundtrip_deterministically(
+        kind_pick in 0usize..3,
+        sections in 2usize..=5,
+        atoms in 2usize..=5,
+        ne in 8usize..=16,
+        disorder in any::<bool>(),
+    ) {
+        let kind = ["nanowire", "gate-all-around", "sheet-2d"][kind_pick];
+        let doc = baseline(kind, sections, atoms, ne, disorder);
+        let s1 = Scenario::parse(&doc).unwrap();
+        let canon = s1.to_toml();
+        let s2 = Scenario::parse(&canon).unwrap();
+        prop_assert_eq!(&s1, &s2);
+        prop_assert_eq!(&canon, &s2.to_toml());
+        let built = s1.build().unwrap();
+        prop_assert_eq!(built.params.na, sections * atoms);
+        prop_assert_eq!(built.params.bnum, sections);
+        prop_assert_eq!(built.disorder.is_some(), disorder);
+        // Building twice from the same scenario yields the same device.
+        let again = s1.build().unwrap();
+        prop_assert_eq!(&built.sim.dev.neighbors, &again.sim.dev.neighbors);
+    }
+}

@@ -140,6 +140,14 @@ pub enum SubmitError {
     ShuttingDown,
     /// No such variant index registered.
     UnknownVariant { variant: usize },
+    /// A bias in the sweep is NaN or infinite. Rejected at admission:
+    /// a non-finite bias would otherwise reach the warm store's nearest-
+    /// neighbor comparison (and the contact occupations) and poison the
+    /// worker. Not retryable — the request itself is malformed.
+    NonFiniteBias { index: usize },
+    /// The variant registration itself was invalid (bad dimensions or
+    /// energy window); carries the builder's explanation.
+    InvalidVariant { variant: usize, reason: String },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -154,6 +162,12 @@ impl std::fmt::Display for SubmitError {
             SubmitError::ShuttingDown => write!(f, "service is shutting down"),
             SubmitError::UnknownVariant { variant } => {
                 write!(f, "unknown device variant {variant}")
+            }
+            SubmitError::NonFiniteBias { index } => {
+                write!(f, "bias point {index} is not finite")
+            }
+            SubmitError::InvalidVariant { variant, reason } => {
+                write!(f, "variant {variant} is invalid: {reason}")
             }
         }
     }
@@ -187,6 +201,13 @@ pub struct ServeConfig {
     pub drain_dir: Option<PathBuf>,
     /// Base of the `QueueFull` retry-after hint (scaled by queue depth).
     pub retry_after_hint: Duration,
+    /// Maximum warm-start seeds retained per variant. A long-running
+    /// service sweeping many distinct biases would otherwise grow seed
+    /// memory without bound (each seed holds full Σ/Π tensors). At
+    /// capacity the store evicts the seed whose absence least hurts
+    /// bias-space coverage (the one crowding its nearest neighbor,
+    /// oldest on ties) — see `WarmStore`.
+    pub warm_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -202,6 +223,7 @@ impl Default for ServeConfig {
             breaker_cooldown: Duration::from_millis(500),
             drain_dir: None,
             retry_after_hint: Duration::from_millis(100),
+            warm_capacity: 16,
         }
     }
 }

@@ -60,15 +60,25 @@ pub struct Service {
 
 impl Service {
     /// Build the simulations and start the worker + watchdog threads.
-    pub fn start(variants: Vec<VariantSpec>, cfg: ServeConfig) -> Service {
+    /// Each variant's parameters and energy window go through the
+    /// fallible builder ([`Simulation::try_new`]); a bad registration is
+    /// a typed [`SubmitError::InvalidVariant`], not a panic — variant
+    /// specs come from user configuration (scenario files, service
+    /// callers), never from trusted code.
+    pub fn start(variants: Vec<VariantSpec>, cfg: ServeConfig) -> Result<Service, SubmitError> {
         let variants = variants
             .into_iter()
-            .map(|spec| VariantRuntime {
-                sim: Simulation::new(spec.params, spec.emin, spec.emax),
-                warm: WarmStore::new(),
-                spec,
+            .enumerate()
+            .map(|(i, spec)| {
+                let sim = Simulation::try_new(spec.params, spec.emin, spec.emax)
+                    .map_err(|reason| SubmitError::InvalidVariant { variant: i, reason })?;
+                Ok(VariantRuntime {
+                    sim,
+                    warm: WarmStore::with_capacity(cfg.warm_capacity),
+                    spec,
+                })
             })
-            .collect::<Vec<_>>();
+            .collect::<Result<Vec<_>, SubmitError>>()?;
         let breaker =
             CircuitBreaker::new(variants.len(), cfg.breaker_threshold, cfg.breaker_cooldown);
         let pool = RankPool::new(cfg.pool_slots);
@@ -94,13 +104,13 @@ impl Service {
                     .expect("spawn service worker")
             })
             .collect();
-        Service {
+        Ok(Service {
             shared,
             tx: Some(tx),
             workers,
             watchdog,
             next_id: AtomicU64::new(1),
-        }
+        })
     }
 
     /// The shared rank pool (for observability and tests).
@@ -122,6 +132,12 @@ impl Service {
             return reject(SubmitError::UnknownVariant {
                 variant: req.variant,
             });
+        }
+        // A NaN/infinite bias would poison the warm store's nearest-
+        // neighbor search and the contact occupations deep inside the
+        // worker; reject it here, at the trust boundary, instead.
+        if let Some(index) = req.biases.iter().position(|b| !b.is_finite()) {
+            return reject(SubmitError::NonFiniteBias { index });
         }
         if self.shared.draining.load(SeqCst) {
             return reject(SubmitError::ShuttingDown);
@@ -498,7 +514,7 @@ fn finish_point(
 fn chaos_probe(shared: &Shared, vr: &VariantRuntime, victim: usize) {
     use qt_dist::{distributed_iteration_elastic_with_faults, ElasticPolicy, FaultPlan};
     let procs = shared.cfg.pool_slots.max(2);
-    let (te, ta) = if procs % 2 == 0 {
+    let (te, ta) = if procs.is_multiple_of(2) {
         (2, procs / 2)
     } else {
         (1, procs)

@@ -34,7 +34,7 @@ fn variant(max_iterations: usize, tolerance: f64) -> VariantSpec {
 }
 
 fn quick_service(cfg: ServeConfig) -> Service {
-    Service::start(vec![variant(40, 1e-6)], cfg)
+    Service::start(vec![variant(40, 1e-6)], cfg).expect("valid test variant")
 }
 
 #[test]
@@ -220,7 +220,8 @@ fn repeated_failures_open_the_breaker() {
             breaker_cooldown: Duration::from_secs(3600),
             ..Default::default()
         },
-    );
+    )
+    .expect("valid test variant");
     let opens0 = qt_telemetry::counters::total_service_breaker_opens();
     for _ in 0..2 {
         let t = svc.submit(SweepRequest::new(0, vec![0.1])).unwrap();
@@ -281,4 +282,64 @@ fn shutdown_drains_in_flight_sweeps_with_resumable_checkpoints() {
         other => panic!("expected Drained/ShutDown, got {other:?}"),
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn non_finite_biases_are_rejected_at_admission() {
+    let svc = quick_service(ServeConfig {
+        workers: 1,
+        ..Default::default()
+    });
+    // Before the admission check, a NaN bias sailed into the worker and
+    // panicked the warm store's nearest-neighbor comparison. It must be
+    // a typed submit error instead — and must not consume queue depth.
+    assert_eq!(
+        svc.submit(SweepRequest::new(0, vec![0.1, f64::NAN, 0.2]))
+            .err(),
+        Some(SubmitError::NonFiniteBias { index: 1 })
+    );
+    assert_eq!(
+        svc.submit(SweepRequest::new(0, vec![f64::INFINITY])).err(),
+        Some(SubmitError::NonFiniteBias { index: 0 })
+    );
+    // The service stays healthy for well-formed requests afterwards.
+    let t = svc.submit(SweepRequest::new(0, vec![0.1])).unwrap();
+    assert!(matches!(
+        t.wait().unwrap().status,
+        SweepStatus::Completed { .. }
+    ));
+    svc.shutdown();
+}
+
+#[test]
+fn invalid_variant_registrations_are_typed_errors() {
+    // bnum does not divide na: the old path panicked inside
+    // `Simulation::new`; registration must now fail closed.
+    let bad = VariantSpec {
+        params: SimParams {
+            bnum: 3,
+            ..tiny_params()
+        },
+        emin: -1.2,
+        emax: 1.2,
+        cfg: ScfConfig::default(),
+    };
+    match Service::start(vec![variant(40, 1e-6), bad], ServeConfig::default()) {
+        Err(SubmitError::InvalidVariant { variant, reason }) => {
+            assert_eq!(variant, 1);
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected InvalidVariant, got {:?}", other.err()),
+    }
+    // An inverted energy window is caught the same way.
+    let inverted = VariantSpec {
+        params: tiny_params(),
+        emin: 1.2,
+        emax: -1.2,
+        cfg: ScfConfig::default(),
+    };
+    assert!(matches!(
+        Service::start(vec![inverted], ServeConfig::default()),
+        Err(SubmitError::InvalidVariant { variant: 0, .. })
+    ));
 }

@@ -59,7 +59,14 @@ const SERVICE_WARM_FALLBACKS: usize = 41;
 const SERVICE_RETRIES: usize = 42;
 const SERVICE_BREAKER_OPENS: usize = 43;
 const SERVICE_DRAINED: usize = 44;
-const N_COUNTERS: usize = 45;
+const SERVICE_WARM_EVICTED: usize = 45;
+const CORPUS_SCENARIOS_BUILT: usize = 46;
+const CORPUS_SCENARIOS_REJECTED: usize = 47;
+const CORPUS_SCENARIOS_RUN: usize = 48;
+const CORPUS_MATCHED: usize = 49;
+const CORPUS_MISMATCHED: usize = 50;
+const CORPUS_CHAOS_RERUNS: usize = 51;
+const N_COUNTERS: usize = 52;
 
 struct Cell {
     v: [AtomicU64; N_COUNTERS],
@@ -404,6 +411,55 @@ pub fn add_service_drained() {
     bump(SERVICE_DRAINED, 1);
 }
 
+/// Account one warm-start seed evicted by the bounded store's spread-
+/// preserving policy (`service.warm_evicted`).
+#[inline]
+pub fn add_service_warm_evicted() {
+    bump(SERVICE_WARM_EVICTED, 1);
+}
+
+/// Account one scenario successfully parsed, validated and built into a
+/// simulation (`corpus.scenarios_built`).
+#[inline]
+pub fn add_corpus_scenario_built() {
+    bump(CORPUS_SCENARIOS_BUILT, 1);
+}
+
+/// Account one scenario rejected by fail-closed validation with a typed
+/// `ScenarioError` (`corpus.scenarios_rejected`).
+#[inline]
+pub fn add_corpus_scenario_rejected() {
+    bump(CORPUS_SCENARIOS_REJECTED, 1);
+}
+
+/// Account one golden-corpus scenario executed end to end
+/// (`corpus.scenarios_run`).
+#[inline]
+pub fn add_corpus_scenario_run() {
+    bump(CORPUS_SCENARIOS_RUN, 1);
+}
+
+/// Account one scenario whose fingerprint matched its golden record
+/// (`corpus.matched`).
+#[inline]
+pub fn add_corpus_matched() {
+    bump(CORPUS_MATCHED, 1);
+}
+
+/// Account one scenario whose fingerprint diverged from its golden
+/// record (`corpus.mismatched`).
+#[inline]
+pub fn add_corpus_mismatched() {
+    bump(CORPUS_MISMATCHED, 1);
+}
+
+/// Account one chaos-matrix rerun of a corpus scenario under fault
+/// injection (`corpus.chaos_reruns`).
+#[inline]
+pub fn add_corpus_chaos_rerun() {
+    bump(CORPUS_CHAOS_RERUNS, 1);
+}
+
 /// Total flops across all threads (alive or exited) since the last reset.
 pub fn total_flops() -> u64 {
     total(FLOPS)
@@ -457,6 +513,41 @@ pub fn total_service_breaker_opens() -> u64 {
 /// Total drain-checkpointed sweep points since the last reset.
 pub fn total_service_drained() -> u64 {
     total(SERVICE_DRAINED)
+}
+
+/// Total warm-store evictions since the last reset.
+pub fn total_service_warm_evicted() -> u64 {
+    total(SERVICE_WARM_EVICTED)
+}
+
+/// Total scenarios built since the last reset.
+pub fn total_corpus_scenarios_built() -> u64 {
+    total(CORPUS_SCENARIOS_BUILT)
+}
+
+/// Total scenarios rejected with typed errors since the last reset.
+pub fn total_corpus_scenarios_rejected() -> u64 {
+    total(CORPUS_SCENARIOS_REJECTED)
+}
+
+/// Total corpus scenarios executed since the last reset.
+pub fn total_corpus_scenarios_run() -> u64 {
+    total(CORPUS_SCENARIOS_RUN)
+}
+
+/// Total golden-fingerprint matches since the last reset.
+pub fn total_corpus_matched() -> u64 {
+    total(CORPUS_MATCHED)
+}
+
+/// Total golden-fingerprint mismatches since the last reset.
+pub fn total_corpus_mismatched() -> u64 {
+    total(CORPUS_MISMATCHED)
+}
+
+/// Total chaos-matrix reruns since the last reset.
+pub fn total_corpus_chaos_reruns() -> u64 {
+    total(CORPUS_CHAOS_RERUNS)
 }
 
 /// Total sparse kernel-selector decisions since the last reset.
@@ -880,6 +971,43 @@ mod tests {
         ];
         for (i, (b, a)) in before.iter().zip(&after).enumerate() {
             assert!(a - b >= 1, "service counter {i} did not advance");
+        }
+    }
+
+    #[test]
+    fn corpus_counts_accumulate() {
+        let before = [
+            total_service_warm_evicted(),
+            total_corpus_scenarios_built(),
+            total_corpus_scenarios_rejected(),
+            total_corpus_scenarios_run(),
+            total_corpus_matched(),
+            total_corpus_mismatched(),
+            total_corpus_chaos_reruns(),
+        ];
+        add_service_warm_evicted();
+        add_corpus_scenario_built();
+        add_corpus_scenario_rejected();
+        // Two runs cover one match plus one mismatch: the report's
+        // corpus block validates `matched + mismatched <= scenarios_run`
+        // against these same global counters, and report tests snapshot
+        // them via `from_current()`.
+        add_corpus_scenario_run();
+        add_corpus_scenario_run();
+        add_corpus_matched();
+        add_corpus_mismatched();
+        add_corpus_chaos_rerun();
+        let after = [
+            total_service_warm_evicted(),
+            total_corpus_scenarios_built(),
+            total_corpus_scenarios_rejected(),
+            total_corpus_scenarios_run(),
+            total_corpus_matched(),
+            total_corpus_mismatched(),
+            total_corpus_chaos_reruns(),
+        ];
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert!(a - b >= 1, "corpus counter {i} did not advance");
         }
     }
 

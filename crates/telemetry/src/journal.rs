@@ -148,6 +148,17 @@ pub enum EventKind {
         /// Sweep point index within the request.
         point: u64,
     },
+    /// A corpus scenario's observable diverged from its golden record at
+    /// one sweep point. The numeric diff rides the event as raw f64 bits
+    /// so the postmortem timeline can reproduce the comparison exactly.
+    CorpusMismatch {
+        /// Sweep point index within the scenario.
+        point: u64,
+        /// `f64::to_bits` of the golden value.
+        golden_bits: u64,
+        /// `f64::to_bits` of the observed value.
+        got_bits: u64,
+    },
     /// Marker prepended at drain time for a ring that overflowed:
     /// `dropped` older events were overwritten before this drain.
     Overflow {
@@ -180,6 +191,7 @@ impl EventKind {
             EventKind::WarmFallback { .. } => "warm_fallback",
             EventKind::BreakerOpen { .. } => "breaker_open",
             EventKind::DrainCheckpoint { .. } => "drain_checkpoint",
+            EventKind::CorpusMismatch { .. } => "corpus_mismatch",
             EventKind::Overflow { .. } => "overflow",
         }
     }
@@ -468,6 +480,23 @@ impl Event {
                 num("point", point as f64);
             }
             EventKind::BreakerOpen { variant } => num("variant", variant as f64),
+            EventKind::CorpusMismatch {
+                point,
+                golden_bits,
+                got_bits,
+            } => {
+                num("point", point as f64);
+                // u64 bit patterns exceed f64's integer range; ride as
+                // strings to stay lossless.
+                fields.push((
+                    "golden_bits".to_string(),
+                    Json::Str(format!("{golden_bits:#018x}")),
+                ));
+                fields.push((
+                    "got_bits".to_string(),
+                    Json::Str(format!("{got_bits:#018x}")),
+                ));
+            }
             EventKind::Overflow { dropped } => num("dropped", dropped as f64),
             EventKind::EtaRetry | EventKind::CheckpointWrite => {}
         }
@@ -561,6 +590,21 @@ impl Event {
                 request: int("request")?,
                 point: int("point")?,
             },
+            "corpus_mismatch" => {
+                let bits = |k: &str| -> Result<u64, String> {
+                    let s = v
+                        .get(k)
+                        .and_then(Json::as_str)
+                        .ok_or(format!("corpus_mismatch event lacks string {k:?}"))?;
+                    u64::from_str_radix(s.trim_start_matches("0x"), 16)
+                        .map_err(|e| format!("bad {k} {s:?}: {e}"))
+                };
+                EventKind::CorpusMismatch {
+                    point: int("point")?,
+                    golden_bits: bits("golden_bits")?,
+                    got_bits: bits("got_bits")?,
+                }
+            }
             "overflow" => EventKind::Overflow {
                 dropped: int("dropped")?,
             },
@@ -653,6 +697,17 @@ impl Event {
             }
             EventKind::DrainCheckpoint { request, point } => {
                 format!("drain checkpointed request {request} point {point}")
+            }
+            EventKind::CorpusMismatch {
+                point,
+                golden_bits,
+                got_bits,
+            } => {
+                format!(
+                    "corpus point {point} diverged from golden: {:e} vs {:e}",
+                    f64::from_bits(golden_bits),
+                    f64::from_bits(got_bits)
+                )
             }
             EventKind::Overflow { dropped } => {
                 format!("[ring overflow: {dropped} older events lost]")
@@ -785,6 +840,11 @@ mod tests {
             EventKind::DrainCheckpoint {
                 request: 5,
                 point: 6,
+            },
+            EventKind::CorpusMismatch {
+                point: 2,
+                golden_bits: 0x3FE0000000000000,
+                got_bits: f64::NAN.to_bits(),
             },
             EventKind::Overflow { dropped: 17 },
         ];

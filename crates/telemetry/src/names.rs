@@ -88,9 +88,23 @@ pub const SERVICE_RETRIES: &str = "service.retries";
 pub const SERVICE_BREAKER_OPENS: &str = "service.breaker_opens";
 /// In-flight sweep points checkpointed by drain-on-shutdown.
 pub const SERVICE_DRAINED: &str = "service.drained";
+/// Warm-start seeds evicted by the bounded store's spread policy.
+pub const SERVICE_WARM_EVICTED: &str = "service.warm_evicted";
+/// Scenarios parsed, validated and built into simulations.
+pub const CORPUS_SCENARIOS_BUILT: &str = "corpus.scenarios_built";
+/// Scenarios rejected fail-closed with typed errors.
+pub const CORPUS_SCENARIOS_REJECTED: &str = "corpus.scenarios_rejected";
+/// Golden-corpus scenarios executed end to end.
+pub const CORPUS_SCENARIOS_RUN: &str = "corpus.scenarios_run";
+/// Scenario fingerprints that matched their golden record.
+pub const CORPUS_MATCHED: &str = "corpus.matched";
+/// Scenario fingerprints that diverged from their golden record.
+pub const CORPUS_MISMATCHED: &str = "corpus.mismatched";
+/// Chaos-matrix reruns of corpus scenarios under fault injection.
+pub const CORPUS_CHAOS_RERUNS: &str = "corpus.chaos_reruns";
 
 /// Number of metrics sampled into every time-series snapshot.
-pub const N_SERIES_METRICS: usize = 36;
+pub const N_SERIES_METRICS: usize = 43;
 
 /// The metric names of a time-series sample, in sampling order. The
 /// order is part of the series schema: `Sample::values[i]` is the total
@@ -132,6 +146,13 @@ pub const SERIES_METRICS: [&str; N_SERIES_METRICS] = [
     SERVICE_RETRIES,
     SERVICE_BREAKER_OPENS,
     SERVICE_DRAINED,
+    SERVICE_WARM_EVICTED,
+    CORPUS_SCENARIOS_BUILT,
+    CORPUS_SCENARIOS_REJECTED,
+    CORPUS_SCENARIOS_RUN,
+    CORPUS_MATCHED,
+    CORPUS_MISMATCHED,
+    CORPUS_CHAOS_RERUNS,
 ];
 
 /// The report's `health` block keys are the `health.*` metric names with

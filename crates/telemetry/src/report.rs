@@ -331,6 +331,8 @@ pub struct ServiceReport {
     pub breaker_opens: u64,
     /// In-flight sweep points checkpointed by drain-on-shutdown.
     pub drained: u64,
+    /// Warm-start seeds evicted by the bounded store's spread policy.
+    pub warm_evicted: u64,
 }
 
 impl ServiceReport {
@@ -355,6 +357,47 @@ impl ServiceReport {
             retries: counters::total_service_retries(),
             breaker_opens: counters::total_service_breaker_opens(),
             drained: counters::total_service_drained(),
+            warm_evicted: counters::total_service_warm_evicted(),
+        }
+    }
+}
+
+/// Scenario-corpus summary: what the golden-corpus gate saw — scenarios
+/// built and rejected by the fail-closed builder, scenarios executed,
+/// fingerprint match/mismatch tallies, and chaos-matrix reruns.
+/// `matched + mismatched` never exceeds `scenarios_run` (every compared
+/// fingerprint comes from a run; chaos reruns are counted separately).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CorpusReport {
+    /// Scenarios parsed, validated and built into simulations.
+    pub scenarios_built: u64,
+    /// Scenarios rejected fail-closed with typed errors.
+    pub scenarios_rejected: u64,
+    /// Golden-corpus scenarios executed end to end.
+    pub scenarios_run: u64,
+    /// Scenario fingerprints that matched their golden record.
+    pub matched: u64,
+    /// Scenario fingerprints that diverged from their golden record.
+    pub mismatched: u64,
+    /// Chaos-matrix reruns of corpus scenarios under fault injection.
+    pub chaos_reruns: u64,
+}
+
+impl CorpusReport {
+    /// Snapshot the global corpus counters. Settled-side tallies
+    /// (matched, mismatched) are read *before* `scenarios_run` so the
+    /// `matched + mismatched <= scenarios_run` invariant holds even if
+    /// another scenario lands mid-snapshot.
+    pub fn from_counters() -> Self {
+        let matched = counters::total_corpus_matched();
+        let mismatched = counters::total_corpus_mismatched();
+        CorpusReport {
+            scenarios_built: counters::total_corpus_scenarios_built(),
+            scenarios_rejected: counters::total_corpus_scenarios_rejected(),
+            scenarios_run: counters::total_corpus_scenarios_run(),
+            matched,
+            mismatched,
+            chaos_reruns: counters::total_corpus_chaos_reruns(),
         }
     }
 }
@@ -459,6 +502,10 @@ pub struct TelemetryReport {
     /// the service admission path (`check-report --require-service`
     /// rejects reports without it).
     pub service: Option<ServiceReport>,
+    /// Scenario-corpus summary; `None` until a run touched the scenario
+    /// builder or the golden-corpus gate (`check-report
+    /// --require-corpus` rejects reports without it).
+    pub corpus: Option<CorpusReport>,
     /// Metrics time-series; `None` unless series sampling was enabled.
     pub series: Option<SeriesBlock>,
     /// Event-journal summary; `None` unless journaling was enabled.
@@ -527,6 +574,11 @@ impl TelemetryReport {
             .then(KernelSelectionReport::from_counters),
             service: (counters::total_service_admitted() + counters::total_service_rejected() > 0)
                 .then(ServiceReport::from_counters),
+            corpus: (counters::total_corpus_scenarios_built()
+                + counters::total_corpus_scenarios_rejected()
+                + counters::total_corpus_scenarios_run()
+                > 0)
+            .then(CorpusReport::from_counters),
             series: series::series_enabled().then(SeriesBlock::from_series),
             journal: journal::journaling_enabled().then(JournalBlock::from_journal),
         }
@@ -722,6 +774,27 @@ impl TelemetryReport {
                     Json::Num(s.breaker_opens as f64),
                 ),
                 ("drained".to_string(), Json::Num(s.drained as f64)),
+                ("warm_evicted".to_string(), Json::Num(s.warm_evicted as f64)),
+            ]),
+        };
+        let corpus = match &self.corpus {
+            None => Json::Null,
+            Some(c) => Json::Obj(vec![
+                (
+                    "scenarios_built".to_string(),
+                    Json::Num(c.scenarios_built as f64),
+                ),
+                (
+                    "scenarios_rejected".to_string(),
+                    Json::Num(c.scenarios_rejected as f64),
+                ),
+                (
+                    "scenarios_run".to_string(),
+                    Json::Num(c.scenarios_run as f64),
+                ),
+                ("matched".to_string(), Json::Num(c.matched as f64)),
+                ("mismatched".to_string(), Json::Num(c.mismatched as f64)),
+                ("chaos_reruns".to_string(), Json::Num(c.chaos_reruns as f64)),
             ]),
         };
         let series_block = match &self.series {
@@ -777,6 +850,7 @@ impl TelemetryReport {
             ("balance".to_string(), balance),
             ("kernel_selection".to_string(), kernel_selection),
             ("service".to_string(), service),
+            ("corpus".to_string(), corpus),
             ("series".to_string(), series_block),
             ("journal".to_string(), journal_block),
         ])
@@ -890,6 +964,20 @@ impl TelemetryReport {
                     retries: int_field(s, "retries")?,
                     breaker_opens: int_field(s, "breaker_opens")?,
                     drained: int_field(s, "drained")?,
+                    // Absent in reports predating the bounded warm store;
+                    // default to zero rather than rejecting them.
+                    warm_evicted: s.get("warm_evicted").and_then(Json::as_u64).unwrap_or(0),
+                }),
+            },
+            corpus: match root.get("corpus") {
+                Some(Json::Null) | None => None,
+                Some(c) => Some(CorpusReport {
+                    scenarios_built: int_field(c, "scenarios_built")?,
+                    scenarios_rejected: int_field(c, "scenarios_rejected")?,
+                    scenarios_run: int_field(c, "scenarios_run")?,
+                    matched: int_field(c, "matched")?,
+                    mismatched: int_field(c, "mismatched")?,
+                    chaos_reruns: int_field(c, "chaos_reruns")?,
                 }),
             },
             series: match root.get("series") {
@@ -1089,6 +1177,18 @@ impl TelemetryReport {
                 ));
             }
         }
+        if let Some(c) = &self.corpus {
+            if c.scenarios_built + c.scenarios_rejected + c.scenarios_run == 0 {
+                return Err("corpus block present but no scenarios recorded".into());
+            }
+            if c.matched + c.mismatched > c.scenarios_run {
+                return Err(format!(
+                    "corpus compared {} fingerprints but ran only {} scenarios",
+                    c.matched + c.mismatched,
+                    c.scenarios_run
+                ));
+            }
+        }
         if let Some(s) = &self.series {
             if s.samples
                 .iter()
@@ -1193,6 +1293,15 @@ mod tests {
             retries: 2,
             breaker_opens: 1,
             drained: 3,
+            warm_evicted: 2,
+        });
+        rep.corpus = Some(CorpusReport {
+            scenarios_built: 6,
+            scenarios_rejected: 2,
+            scenarios_run: 5,
+            matched: 4,
+            mismatched: 1,
+            chaos_reruns: 3,
         });
         rep.series = Some(SeriesBlock {
             samples: vec![
@@ -1248,6 +1357,18 @@ mod tests {
             warm_starts: 1,
             warm_fallbacks: 2,
             ..ServiceReport::default()
+        });
+        assert!(bad.validate().is_err());
+        // A corpus block with no activity, or with more fingerprint
+        // comparisons than scenario runs, must not validate.
+        bad.service = rep.service;
+        bad.corpus = Some(CorpusReport::default());
+        assert!(bad.validate().is_err());
+        bad.corpus = Some(CorpusReport {
+            scenarios_run: 1,
+            matched: 1,
+            mismatched: 1,
+            ..CorpusReport::default()
         });
         assert!(bad.validate().is_err());
         // An inconsistent journal summary must not validate.
@@ -1327,6 +1448,23 @@ mod tests {
                 }
             }
             other => panic!("service block is not an object: {other:?}"),
+        }
+        // Every field of the corpus block mirrors a registered counter.
+        rep.corpus = Some(CorpusReport {
+            scenarios_built: 1,
+            ..CorpusReport::default()
+        });
+        let root = Json::parse(&rep.to_json()).unwrap();
+        match root.get("corpus") {
+            Some(Json::Obj(fields)) => {
+                assert!(!fields.is_empty());
+                for (key, _) in fields {
+                    let metric = format!("corpus.{key}");
+                    assert!(names::is_registered(&metric), "unregistered {metric:?}");
+                    assert_eq!(names::field_of(&metric), *key);
+                }
+            }
+            other => panic!("corpus block is not an object: {other:?}"),
         }
         // Series samples key their values by the registered names
         // verbatim.

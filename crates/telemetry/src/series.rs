@@ -168,6 +168,13 @@ fn snapshot_values() -> [u64; names::N_SERIES_METRICS] {
         counters::total_service_retries(),
         counters::total_service_breaker_opens(),
         counters::total_service_drained(),
+        counters::total_service_warm_evicted(),
+        counters::total_corpus_scenarios_built(),
+        counters::total_corpus_scenarios_rejected(),
+        counters::total_corpus_scenarios_run(),
+        counters::total_corpus_matched(),
+        counters::total_corpus_mismatched(),
+        counters::total_corpus_chaos_reruns(),
     ]
 }
 
